@@ -1,0 +1,20 @@
+"""Figure 2 — BER of PLoRa and Aloba backscatter uplinks vs tag-to-Tx distance.
+
+Paper claim: the BER of both baseline systems rises from below 1 % to above
+50 % as the tag moves from a fraction of a metre to 20 m away from the
+transmitter, which is why blind (feedback-less) backscatter uplinks waste
+energy on repeated transmissions.
+"""
+
+from repro.sim import experiments
+
+
+def test_fig02_baseline_uplink_ber(regenerate):
+    result = regenerate(experiments.figure2_baseline_uplink_ber)
+    assert result.scalars["plora_ber_at_0.5m"] < 0.02
+    assert result.scalars["plora_ber_at_20m"] > 0.3
+    assert result.scalars["aloba_ber_at_20m"] > 0.3
+    plora = result.get_series("plora")
+    # Monotone-ish collapse with distance: the far end is much worse than the
+    # near end for both systems.
+    assert plora.y_at(20) > 10 * plora.y_at(0.1)

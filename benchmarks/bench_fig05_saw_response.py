@@ -1,0 +1,21 @@
+"""Figure 5 — amplitude-frequency response of the B3790 SAW filter.
+
+Paper claim: the response rises monotonically towards the 434 MHz centre
+frequency with 25 / 9.5 / 7.2 dB of amplitude variation over the last
+500 / 250 / 125 kHz, and about 10 dB of insertion loss.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig05_saw_response(regenerate):
+    result = regenerate(experiments.figure5_saw_response)
+    assert result.scalars["span_500khz_db"] == pytest.approx(25.0, abs=1.0)
+    assert result.scalars["span_250khz_db"] == pytest.approx(9.5, abs=1.0)
+    assert result.scalars["span_125khz_db"] == pytest.approx(7.2, abs=1.0)
+    assert result.scalars["insertion_loss_db"] == pytest.approx(10.0, abs=0.5)
+    gains = result.get_series("saw_gain")
+    assert gains.y_at(434.0) > gains.y_at(433.5)
+    assert gains.y_at(433.5) > gains.y_at(430.0)

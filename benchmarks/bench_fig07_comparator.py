@@ -1,0 +1,17 @@
+"""Figure 7 — single- vs double-threshold comparator on a noisy chirp envelope.
+
+Paper claim: a single high threshold misses/fragments the peak and a single
+low threshold fires on misleading peaks, while the double-threshold
+(hysteresis) comparator produces one stable high pulse whose tail marks the
+amplitude peak.
+"""
+
+from repro.sim import experiments
+
+
+def test_fig07_comparator_stability(regenerate):
+    result = regenerate(experiments.figure7_comparator)
+    assert result.scalars["double_pulses"] == 1.0
+    assert result.scalars["high_only_pulses"] >= result.scalars["double_pulses"]
+    assert result.scalars["low_only_pulses"] >= result.scalars["double_pulses"]
+    assert result.scalars["uh"] > result.scalars["ul"] > 0.0

@@ -1,0 +1,14 @@
+"""Figure 10 — baseband signal quality with and without cyclic-frequency shifting.
+
+Paper claim: routing the envelope through the intermediate frequency removes
+the DC offset, flicker noise and detector noise that pollute the baseband,
+recovering roughly 11 dB of SNR.
+"""
+
+from repro.sim import experiments
+
+
+def test_fig10_cyclic_shift_gain(regenerate):
+    result = regenerate(experiments.figure10_cyclic_shift)
+    assert result.scalars["snr_shifted_db"] > result.scalars["snr_direct_db"]
+    assert 6.0 <= result.scalars["snr_gain_db"] <= 18.0

@@ -1,0 +1,23 @@
+"""Figure 16 — outdoor BER and throughput against the coding rate (K).
+
+Paper claims: BER grows 2.4-5.2x from CR=1 to CR=5 (about 1.85e-3 at 100 m
+with CR=5), throughput grows roughly 5x, and both metrics worsen with the
+transmitter-to-tag distance.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig16_coding_rate(regenerate):
+    result = regenerate(experiments.figure16_coding_rate)
+    assert 1.8 <= result.scalars["ber_ratio_cr5_over_cr1_at_100m"] <= 6.0
+    assert 4.0 <= result.scalars["throughput_ratio_cr5_over_cr1_at_100m"] <= 5.5
+    assert 5e-4 <= result.scalars["ber_cr5_at_100m"] <= 5e-3
+    # BER grows with distance for every coding rate.
+    for k in (1, 3, 5):
+        assert (result.get_series("ber_150m").y_at(k)
+                > result.get_series("ber_10m").y_at(k))
+    # Throughput at CR=5 approaches the 19.5 kbps raw rate at short range.
+    assert result.get_series("throughput_10m").y_at(5) == pytest.approx(19.5, rel=0.1)

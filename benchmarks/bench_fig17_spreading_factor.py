@@ -1,0 +1,18 @@
+"""Figure 17 — demodulation range and throughput against the spreading factor.
+
+Paper claims: the range grows 1.1-1.3x from SF7 to SF12 while the throughput
+drops by 30-35x (the symbol time grows with 2^SF).
+"""
+
+from repro.sim import experiments
+
+
+def test_fig17_spreading_factor(regenerate):
+    result = regenerate(experiments.figure17_spreading_factor)
+    assert 1.05 <= result.scalars["range_ratio_sf12_over_sf7"] <= 1.45
+    assert 25.0 <= result.scalars["throughput_ratio_sf7_over_sf12"] <= 40.0
+    for k in (1, 2, 3):
+        ranges = result.get_series(f"range_k{k}")
+        throughputs = result.get_series(f"throughput_k{k}")
+        assert ranges.y_at(12) > ranges.y_at(7)
+        assert throughputs.y_at(7) > throughputs.y_at(12)

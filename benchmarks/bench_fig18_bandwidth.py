@@ -1,0 +1,22 @@
+"""Figure 18 — demodulation range and throughput against the LoRa bandwidth.
+
+Paper claims: with CR=2 the range grows from 72.2 m at 125 kHz to 138.6 m at
+500 kHz (the SAW amplitude gap grows with bandwidth), and the throughput
+scales proportionally with the bandwidth (roughly 4x from 125 to 500 kHz).
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig18_bandwidth(regenerate):
+    result = regenerate(experiments.figure18_bandwidth)
+    assert 1.5 <= result.scalars["range_ratio_500_over_125_k2"] <= 2.4
+    assert result.scalars["throughput_ratio_500_over_125_k2"] == pytest.approx(4.0,
+                                                                               rel=0.05)
+    assert result.scalars["range_500_k2_m"] == pytest.approx(138.6, rel=0.15)
+    assert result.scalars["range_125_k2_m"] == pytest.approx(72.2, rel=0.2)
+    for k in (1, 2, 3):
+        ranges = result.get_series(f"range_k{k}")
+        assert ranges.y_at(500) > ranges.y_at(250) > ranges.y_at(125)

@@ -1,0 +1,21 @@
+"""Figure 19 — indoor range and throughput through one concrete wall.
+
+Paper claims: the demodulation range declines from 48.8 m (CR=1) to 26.2 m
+(CR=5) while the throughput grows from 3.7 to 18.7 kbps.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig19_one_wall(regenerate):
+    result = regenerate(experiments.figure19_one_wall)
+    assert result.scalars["range_k1_m"] == pytest.approx(48.8, rel=0.2)
+    assert result.scalars["range_k5_m"] == pytest.approx(26.2, rel=0.25)
+    assert result.scalars["throughput_k5_kbps"] == pytest.approx(18.7, rel=0.15)
+    ranges = result.get_series("range")
+    throughputs = result.get_series("throughput")
+    assert all(ranges.y[i] >= ranges.y[i + 1] for i in range(len(ranges.y) - 1))
+    assert all(throughputs.y[i] <= throughputs.y[i + 1]
+               for i in range(len(throughputs.y) - 1))

@@ -1,0 +1,18 @@
+"""Figure 20 — indoor range and throughput through two concrete walls.
+
+Paper claims: the range declines by 2.09-2.21x and the throughput by
+1.01-1.05x relative to the one-wall setting.
+"""
+
+from repro.sim import experiments
+
+
+def test_fig20_two_walls(regenerate):
+    result = regenerate(experiments.figure20_two_walls)
+    assert 1.8 <= result.scalars["range_ratio_one_over_two_walls_min"] <= 2.6
+    assert 1.8 <= result.scalars["range_ratio_one_over_two_walls_max"] <= 2.6
+    # Throughput barely changes: the data rate does not depend on the wall.
+    one_wall = experiments.figure19_one_wall()
+    ratio = (one_wall.scalars["throughput_k5_kbps"]
+             / result.scalars["throughput_k5_kbps"])
+    assert 0.95 <= ratio <= 1.1

@@ -1,0 +1,24 @@
+"""Figure 22 / §5.2.1 — RSS and BER over distance; receiver sensitivity.
+
+Paper claims: Saiyan still detects packets at 180 m, demonstrating a
+-85.8 dBm sensitivity — 30 dB better than a conventional envelope detector —
+while the BER grows gradually with distance.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig22_receiver_sensitivity(regenerate):
+    result = regenerate(experiments.figure22_sensitivity)
+    assert result.scalars["sensitivity_dbm"] == pytest.approx(-85.8, abs=1.0)
+    assert result.scalars["sensitivity_gain_over_envelope_db"] == pytest.approx(30.0,
+                                                                                abs=1.0)
+    assert result.scalars["detection_range_m"] == pytest.approx(180.0, rel=0.15)
+    rss = result.get_series("rss")
+    ber = result.get_series("ber")
+    detection = result.get_series("detection_probability")
+    assert rss.y_at(10) > rss.y_at(170)
+    assert ber.y_at(170) > ber.y_at(10)
+    assert detection.y_at(10) > 0.99

@@ -1,0 +1,19 @@
+"""Figure 24 — demodulation range across an outdoor day's temperature swing.
+
+Paper claims: the range is largely insensitive to temperature, varying only
+from 126.4 m to 118.6 m (~6 %) as the temperature moves between -8.6 °C and
+1.6 °C.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig24_temperature(regenerate):
+    result = regenerate(experiments.figure24_temperature)
+    assert result.scalars["relative_drop"] < 0.12
+    assert result.scalars["range_max_m"] == pytest.approx(126.4, rel=0.15)
+    assert result.scalars["range_min_m"] == pytest.approx(118.6, rel=0.15)
+    ranges = result.get_series("range")
+    assert min(ranges.y) > 0.85 * max(ranges.y)

@@ -1,0 +1,22 @@
+"""Figure 25 — ablation: vanilla Saiyan, + cyclic frequency shifting, + correlation.
+
+Paper claims: vanilla Saiyan reaches 38.4-72.6 m across CR=1..5; adding the
+cyclic-frequency-shifting circuit multiplies the range by 1.56-1.73x, and
+the correlator by a further 1.94-2.25x.
+"""
+
+from repro.sim import experiments
+
+
+def test_fig25_ablation(regenerate):
+    result = regenerate(experiments.figure25_ablation)
+    assert 20.0 <= result.scalars["vanilla_range_min_m"] <= 80.0
+    assert 1.4 <= result.scalars["shift_gain_min"] <= 2.0
+    assert 1.4 <= result.scalars["shift_gain_max"] <= 2.0
+    assert 1.7 <= result.scalars["correlation_gain_min"] <= 2.4
+    assert 1.7 <= result.scalars["correlation_gain_max"] <= 2.4
+    vanilla = result.get_series("vanilla")
+    shifted = result.get_series("frequency_shift")
+    full = result.get_series("super")
+    for k in (1, 2, 3, 4, 5):
+        assert full.y_at(k) > shifted.y_at(k) > vanilla.y_at(k)

@@ -1,0 +1,25 @@
+"""Figure 26 — packet reception ratio vs number of allowed retransmissions.
+
+Paper claims: at a 100 m link, Aloba's PRR grows from 45.6 % to 70.1 / 83.3 /
+95.5 % with 1 / 2 / 3 Saiyan-enabled retransmissions; PLoRa's grows from
+81.8 % towards ~100 %.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_fig26_retransmission_prr(regenerate):
+    result = regenerate(experiments.figure26_retransmission)
+    aloba = result.get_series("aloba")
+    plora = result.get_series("plora")
+    assert aloba.y_at(0) == pytest.approx(45.6, abs=6.0)
+    assert plora.y_at(0) == pytest.approx(81.8, abs=6.0)
+    assert aloba.y_at(1) == pytest.approx(70.1, abs=8.0)
+    assert aloba.y_at(3) > 88.0
+    assert plora.y_at(3) > 97.0
+    # PRR never decreases (beyond statistical noise) as the budget grows.
+    for series in (aloba, plora):
+        for i in range(len(series.y) - 1):
+            assert series.y[i] <= series.y[i + 1] + 2.0

@@ -1,0 +1,21 @@
+"""Table 2 / §4.3 — per-component power and cost; ASIC power budget.
+
+Paper claims: the PCB prototype draws 369.4 µW under 1 % duty cycling (LNA
+67.3 %, oscillator 23.5 %) and costs $27.2; the ASIC brings the power down to
+93.2 µW (a 74.8 % reduction) split into 68.4 / 22.8 / 2 µW for the LNA,
+oscillator and digital logic.
+"""
+
+import pytest
+
+from repro.sim import experiments
+
+
+def test_tab02_power_and_cost(regenerate):
+    result = regenerate(experiments.table2_power_cost)
+    assert result.scalars["pcb_total_power_uw"] == pytest.approx(369.4, abs=1.0)
+    assert result.scalars["pcb_total_cost_usd"] == pytest.approx(27.2, abs=0.5)
+    assert result.scalars["asic_total_power_uw"] == pytest.approx(93.2, abs=0.5)
+    assert result.scalars["lna_share"] == pytest.approx(0.673, abs=0.02)
+    assert result.scalars["oscillator_share"] == pytest.approx(0.235, abs=0.02)
+    assert result.scalars["asic_saving_vs_pcb"] == pytest.approx(0.748, abs=0.02)

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+through the drivers in :mod:`repro.sim.experiments`, prints the same
+rows/series the paper reports, and asserts the graded claims (orderings and
+approximate factors).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed output is the evidence recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import SweepResult
+from repro.sim.reporting import format_sweep
+
+
+def run_once(benchmark, func, *args, **kwargs) -> SweepResult:
+    """Run ``func`` exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(result: SweepResult) -> None:
+    """Print an experiment result so the benchmark log shows the regenerated data."""
+    print()
+    print(format_sweep(result))
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Fixture: run an experiment driver once, print it, and return the result."""
+
+    def _run(func, *args, **kwargs) -> SweepResult:
+        result = run_once(benchmark, func, *args, **kwargs)
+        report(result)
+        return result
+
+    return _run

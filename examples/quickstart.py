@@ -1,0 +1,69 @@
+"""Quickstart: demodulate a LoRa downlink packet with a Saiyan tag.
+
+This example walks the complete signal path of the paper in a dozen lines of
+user code:
+
+1. build the downlink air interface (SF7, 500 kHz, 2 bits per chirp),
+2. modulate a feedback packet at the access point,
+3. propagate it over a calibrated 433 MHz outdoor link to a tag 100 m away,
+4. demodulate it with the full Super Saiyan pipeline (SAW front end,
+   cyclic-frequency shifting, correlation), and
+5. report the outcome together with the receiver's power budget.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DownlinkParameters, SaiyanConfig, SaiyanMode, SaiyanReceiver
+from repro.channel.environment import outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.power_model import SaiyanPowerModel
+from repro.lora.modulation import LoRaModulator
+from repro.lora.packet import LoRaPacket, PacketStructure
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # 1. Air interface of the downlink feedback channel (§5 setup).
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=2)
+    structure = PacketStructure(preamble_symbols=10, sync_symbols=2.25, payload_symbols=16)
+
+    # 2. The access point modulates a feedback packet.
+    packet = LoRaPacket(payload_bits=rng.integers(0, 2, 32), parameters=downlink,
+                        structure=structure)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    waveform = modulator.modulate(packet)
+    print(f"transmitted: {packet.num_payload_symbols} chirps, "
+          f"{packet.payload_bits.size} bits, {packet.duration_s * 1e3:.2f} ms on air")
+
+    # 3. Propagate over the calibrated outdoor 433 MHz link.
+    distance_m = 100.0
+    link = outdoor_environment(fading=NoFading()).link_budget()
+    received = link.apply_to_waveform(waveform, distance_m, random_state=rng)
+    print(f"link:        {distance_m:.0f} m, RSS = {link.rss_dbm(distance_m):.1f} dBm, "
+          f"SNR = {link.snr_db(distance_m, downlink.bandwidth_hz):.1f} dB")
+
+    # 4. The tag demodulates with the full Super Saiyan pipeline.
+    receiver = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER),
+                              structure=structure)
+    report = receiver.receive(received, reference=packet, random_state=rng)
+    print(f"received:    detected={report.detected}, bit errors={report.bit_errors}"
+          f"/{report.total_bits}, BER={report.bit_error_rate:.4f}")
+
+    # 5. What did hearing that packet cost?
+    power = SaiyanPowerModel(downlink, implementation="asic")
+    print(f"energy:      {power.energy_per_packet_uj(16):.1f} µJ per packet on the ASIC "
+          f"({power.energy_saving_factor(16):.0f}x less than a commodity LoRa receiver)")
+    print(f"sensitivity: {SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.SUPER):.1f} dBm "
+          f"(vanilla Saiyan: "
+          f"{SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.VANILLA):.1f} dBm)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Rate adaptation: matching the downlink coding rate to each tag's link quality.
+
+One of the feedback-loop applications the paper motivates (§1): the access
+point estimates each backscatter link, then tells every tag how many bits to
+pack per chirp.  Close tags run at K=5 for throughput; distant tags fall back
+to K=1 so their BER stays under the 1e-3 target.
+
+The script places tags at several distances, lets the access point assign a
+rate to each, and cross-checks the assignment against the calibrated link
+model (what BER/throughput does each tag actually get at its assigned rate,
+and what would the naive "everyone at K=5" policy have cost?).
+
+Run with::
+
+    python examples/rate_adaptation.py
+"""
+
+from __future__ import annotations
+
+from repro.channel.environment import outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.lora.parameters import DownlinkParameters
+from repro.net.access_point import AccessPoint
+from repro.net.tag import BackscatterTag
+from repro.sim.link_sim import SaiyanLinkModel
+
+TAG_DISTANCES_M = (15.0, 45.0, 80.0, 110.0, 140.0)
+
+
+def main() -> None:
+    environment = outdoor_environment(fading=NoFading())
+    link = environment.link_budget()
+    access_point = AccessPoint()
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=2)
+    config = SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER)
+    model = SaiyanLinkModel(config=config, link=link)
+
+    header = (f"{'tag':>4}{'distance':>10}{'RSS (dBm)':>12}{'assigned K':>12}"
+              f"{'BER @ K':>12}{'goodput (kbps)':>16}{'BER @ K=5':>12}")
+    print(header)
+    print("-" * len(header))
+    for tag_id, distance in enumerate(TAG_DISTANCES_M, start=1):
+        rss = link.rss_dbm(distance)
+        command = access_point.maybe_adapt_rate(tag_id, rss)
+        assigned = access_point.rate_adapter.current_bits(tag_id)
+        tag = BackscatterTag(tag_id, config=config)
+        if command is not None:
+            tag.handle_command(command, rss_dbm=rss)
+        ber = model.bit_error_rate(rss, bits_per_chirp=assigned)
+        goodput = model.throughput_bps(rss, bits_per_chirp=assigned) / 1e3
+        ber_greedy = model.bit_error_rate(rss, bits_per_chirp=5)
+        print(f"{tag_id:>4}{distance:>9.0f}m{rss:>12.1f}{assigned:>12}"
+              f"{ber:>12.2e}{goodput:>16.2f}{ber_greedy:>12.2e}")
+
+    print()
+    print("Close tags are pushed to high rates where the link can afford it, while the")
+    print("farthest tags stay at K=1; forcing K=5 everywhere would multiply their BER")
+    print("by an order of magnitude without the feedback loop being able to fix it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Smart-farm scenario: on-demand retransmission over a lossy backscatter uplink.
+
+The paper's motivating deployment (§1): backscatter soil/humidity sensors in
+a field report to a remote access point.  The uplink is lossy; without a
+downlink the tags must blindly repeat every packet.  With Saiyan the access
+point asks for a retransmission only when a packet is actually missing
+(§5.3.1 / Figure 26).
+
+The example runs the same field twice — once with deaf tags (vanilla Saiyan
+cannot decode the feedback at this distance) and once with full Saiyan tags —
+and reports the packet reception ratio and the transmission overhead.
+
+Run with::
+
+    python examples/smart_farm_retransmission.py
+"""
+
+from __future__ import annotations
+
+from repro.channel.environment import outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.lora.parameters import DownlinkParameters
+from repro.sim.network import FeedbackNetworkSimulator
+
+#: Tag-to-access-point distance of the deployment.
+LINK_DISTANCE_M = 100.0
+
+#: First-attempt uplink delivery probability of the backscatter sensors
+#: (calibrated to the paper's Aloba measurement at 100 m).
+UPLINK_SUCCESS_PROBABILITY = 0.46
+
+#: Sensor reports per tag in the simulated day.
+PACKETS_PER_TAG = 1000
+
+
+def run_farm(mode: SaiyanMode, *, max_retransmissions: int, seed: int = 7):
+    """Simulate one tag's day of reporting and return the experiment result."""
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=2)
+    link = outdoor_environment(fading=NoFading()).link_budget()
+    downlink_rss = link.rss_dbm(LINK_DISTANCE_M)
+    simulator = FeedbackNetworkSimulator(
+        uplink_success_probability=lambda tag, channel: UPLINK_SUCCESS_PROBABILITY,
+        downlink_rss_dbm=lambda tag: downlink_rss,
+        config=SaiyanConfig(downlink=downlink, mode=mode),
+    )
+    return simulator.run_retransmission_experiment(
+        num_packets=PACKETS_PER_TAG, max_retransmissions=max_retransmissions,
+        random_state=seed)
+
+
+def main() -> None:
+    print(f"smart farm: {PACKETS_PER_TAG} sensor reports over a "
+          f"{LINK_DISTANCE_M:.0f} m backscatter uplink "
+          f"(first-attempt delivery {UPLINK_SUCCESS_PROBABILITY:.0%})\n")
+
+    header = f"{'tag receiver':<28}{'retx budget':>12}{'PRR':>9}{'tx/packet':>12}{'feedback heard':>16}"
+    print(header)
+    print("-" * len(header))
+    for mode, label in ((SaiyanMode.VANILLA, "deaf tag (vanilla only)"),
+                        (SaiyanMode.SUPER, "Saiyan tag (full pipeline)")):
+        for budget in (0, 1, 3):
+            result = run_farm(mode, max_retransmissions=budget)
+            print(f"{label:<28}{budget:>12}{result.prr:>9.1%}"
+                  f"{result.mean_transmissions_per_packet:>12.2f}"
+                  f"{result.feedback_heard:>16}")
+    print()
+    print("The deaf tag never hears the retransmission requests at this range, so its")
+    print("PRR is stuck at the single-shot value; the Saiyan tag recovers almost every")
+    print("lost report with at most three extra transmissions per packet.")
+
+
+if __name__ == "__main__":
+    main()

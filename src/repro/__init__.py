@@ -1,0 +1,36 @@
+"""Saiyan reproduction library.
+
+A production-quality Python reproduction of *"Saiyan: Design and
+Implementation of a Low-power Demodulator for LoRa Backscatter Systems"*
+(NSDI 2022).  The package is organised in layers:
+
+* :mod:`repro.dsp` — signal containers, chirps, filters, noise, spectra.
+* :mod:`repro.lora` — LoRa PHY (modulation, coding, packets).
+* :mod:`repro.channel` — path loss, walls, fading, backscatter links,
+  interference, environment presets.
+* :mod:`repro.hardware` — SAW filter, LNA, envelope detector, comparator,
+  mixers, oscillator, MCU, energy harvester, power ledgers.
+* :mod:`repro.core` — the Saiyan demodulator itself (vanilla and super),
+  packet decoder, receiver API and power model.
+* :mod:`repro.baselines` — PLoRa, Aloba, commodity LoRa and plain
+  envelope-detector receivers.
+* :mod:`repro.net` — backscatter tag, access point, feedback loop, ARQ,
+  channel hopping, rate adaptation, slotted-ALOHA MAC.
+* :mod:`repro.sim` — Monte-Carlo link simulation, event-driven network
+  simulation and the per-figure experiment drivers.
+"""
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.receiver import SaiyanReceiver
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SaiyanConfig",
+    "SaiyanMode",
+    "SaiyanReceiver",
+    "DownlinkParameters",
+    "LoRaParameters",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline receivers the paper compares Saiyan against.
+
+* :class:`~repro.baselines.plora.PLoRaDetector` — PLoRa's cross-correlation
+  packet detector (SIGCOMM'18).
+* :class:`~repro.baselines.aloba.AlobaDetector` — Aloba's moving-average /
+  RSSI-pattern packet detector (SenSys'20).
+* :class:`~repro.baselines.standard_lora.StandardLoRaReceiver` — the
+  commodity LoRa receive chain (down-converter + ADC + FFT) whose ~40 mW
+  power draw motivates Saiyan.
+* :class:`~repro.baselines.envelope_receiver.ConventionalEnvelopeReceiver`
+  — a plain envelope-detector receiver, the 30 dB-worse sensitivity
+  reference of §5.2.1.
+"""
+
+from repro.baselines.plora import PLoRaDetector
+from repro.baselines.aloba import AlobaDetector
+from repro.baselines.standard_lora import StandardLoRaReceiver
+from repro.baselines.envelope_receiver import ConventionalEnvelopeReceiver
+
+__all__ = [
+    "PLoRaDetector",
+    "AlobaDetector",
+    "StandardLoRaReceiver",
+    "ConventionalEnvelopeReceiver",
+]

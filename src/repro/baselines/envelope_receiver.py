@@ -1,0 +1,97 @@
+"""Conventional envelope-detector receiver baseline (§5.2.1 reference).
+
+Plenty of backscatter systems demodulate amplitude-modulated downlinks with
+a bare envelope detector and a comparator.  §5.2.1 of the paper quantifies
+why that approach cannot serve long-range LoRa downlinks: its sensitivity is
+about 30 dB worse than Saiyan's because the detector's self-mixing folds all
+the RF noise into the baseband (Equation 4), and because a LoRa chirp has a
+*constant* envelope so there is nothing for the detector to latch onto
+without Saiyan's SAW-based frequency-to-amplitude transformation.
+
+:class:`ConventionalEnvelopeReceiver` implements that receiver: envelope
+detection straight from the antenna (no SAW filter) followed by a
+double-threshold comparator.  Against LoRa chirps it detects packet *energy*
+but recovers no symbol structure, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import ENVELOPE_DETECTOR_SENSITIVITY_DBM
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.comparator import DoubleThresholdComparator
+from repro.hardware.envelope_detector import EnvelopeDetector
+from repro.lora.parameters import LoRaParameters
+from repro.utils.validation import ensure_positive
+
+
+class ConventionalEnvelopeReceiver:
+    """Envelope detector + comparator, with no frequency-selective front end.
+
+    Parameters
+    ----------
+    parameters:
+        Air interface of the incident signal (only the bandwidth is used, to
+        set the detector's RC filter).
+    rise_factor:
+        Envelope rise over the noise floor required to declare energy
+        present.
+    """
+
+    name = "envelope"
+    detection_sensitivity_dbm = ENVELOPE_DETECTOR_SENSITIVITY_DBM
+    can_demodulate_payload = False
+
+    def __init__(self, parameters: LoRaParameters | None = None, *,
+                 rise_factor: float = 2.0) -> None:
+        self.parameters = parameters if parameters is not None else LoRaParameters()
+        self.rise_factor = ensure_positive(rise_factor, "rise_factor")
+        self.detector = EnvelopeDetector(rc_bandwidth_hz=self.parameters.bandwidth_hz)
+
+    # ------------------------------------------------------------------
+    def envelope(self, waveform: Signal) -> Signal:
+        """Return the detector output for ``waveform``."""
+        if not isinstance(waveform, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(waveform).__name__}")
+        return self.detector.detect(waveform)
+
+    def detect_energy(self, waveform: Signal, *, noise_floor: float | None = None) -> bool:
+        """Whether the envelope shows a sustained rise above the noise floor."""
+        envelope = np.asarray(self.envelope(waveform).samples, dtype=float)
+        if noise_floor is None:
+            head = envelope[: max(envelope.size // 16, 1)]
+            noise_floor = float(np.median(head)) if head.size else 0.0
+        threshold = max(noise_floor, 1e-30) * self.rise_factor
+        return bool(np.mean(envelope > threshold) > 0.25)
+
+    def envelope_variation(self, waveform: Signal) -> float:
+        """Return the relative peak-to-mean variation of the envelope.
+
+        For a constant-envelope LoRa chirp this is close to zero (no symbol
+        information), whereas the SAW-transformed waveform Saiyan sees varies
+        by an order of magnitude — the property the whole paper hinges on.
+        """
+        envelope = np.asarray(self.envelope(waveform).samples, dtype=float)
+        mean = float(np.mean(envelope))
+        if mean <= 0:
+            return 0.0
+        return float((np.max(envelope) - np.min(envelope)) / mean)
+
+    def quantize(self, waveform: Signal, *, high_fraction: float = 0.7,
+                 low_fraction: float = 0.4) -> np.ndarray:
+        """Comparator output of the raw envelope (for completeness)."""
+        envelope = self.envelope(waveform)
+        samples = np.asarray(envelope.samples, dtype=float)
+        peak = float(np.max(samples)) if samples.size else 0.0
+        if peak <= 0:
+            return np.zeros(samples.size, dtype=np.int64)
+        comparator = DoubleThresholdComparator(high_fraction * peak, low_fraction * peak)
+        return comparator.quantize(envelope).binary
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def detects_at_rss(cls, rss_dbm: float) -> bool:
+        """Link-level detection decision used by the fast simulator."""
+        return rss_dbm >= cls.detection_sensitivity_dbm

@@ -1,0 +1,105 @@
+"""Commodity LoRa receiver baseline.
+
+The standard LoRa receive chain — down-converter, ADC sampling at twice the
+chirp bandwidth, FFT demodulation — is what the access point uses (it has no
+power constraint) and what a backscatter tag *cannot* afford: the chain
+draws ~40 mW (§1), which the paper's solar harvester would take about 17
+minutes to bank per packet.
+
+:class:`StandardLoRaReceiver` wraps the :class:`~repro.lora.demodulation.
+LoRaDemodulator` together with the ADC/MCU power accounting so the power
+benchmarks can put Saiyan's 93.2 µW ASIC next to it, and so the access-point
+model in :mod:`repro.net` has a concrete receiver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import STANDARD_LORA_RX_POWER_MW
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.adc import ADC
+from repro.lora.demodulation import DemodulationResult, LoRaDemodulator
+from repro.lora.packet import LoRaPacket, PacketStructure
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+
+#: SNR (dB, in the chirp bandwidth) above which a commodity LoRa receiver
+#: demodulates SF7 essentially error-free.  LoRa's processing gain lets it
+#: operate below the noise floor; -7.5 dB is the SX127x SF7 figure.
+LORA_SNR_THRESHOLDS_DB: dict[int, float] = {
+    7: -7.5, 8: -10.0, 9: -12.5, 10: -15.0, 11: -17.5, 12: -20.0,
+}
+
+
+class StandardLoRaReceiver:
+    """Full-power FFT-based LoRa receiver (the access-point receiver).
+
+    Parameters
+    ----------
+    parameters:
+        LoRa or downlink air-interface parameters.
+    oversampling:
+        Samples per chip of the waveforms that will be supplied.
+    """
+
+    name = "standard_lora"
+    can_demodulate_payload = True
+    power_mw = STANDARD_LORA_RX_POWER_MW
+
+    def __init__(self, parameters: LoRaParameters | DownlinkParameters | None = None, *,
+                 oversampling: int = 4) -> None:
+        self.parameters = parameters if parameters is not None else LoRaParameters()
+        self.oversampling = int(oversampling)
+        if self.oversampling < 1:
+            raise ConfigurationError(f"oversampling must be >= 1, got {oversampling}")
+        self.demodulator = LoRaDemodulator(self.parameters, oversampling=self.oversampling)
+        self.adc = ADC(sampling_rate_hz=2.0 * self.parameters.bandwidth_hz)
+
+    @property
+    def sample_rate(self) -> float:
+        """Expected input sample rate."""
+        return self.demodulator.sample_rate
+
+    # ------------------------------------------------------------------
+    def demodulate_payload(self, waveform: Signal, num_symbols: int) -> DemodulationResult:
+        """Demodulate an aligned payload waveform."""
+        return self.demodulator.demodulate_payload(waveform, num_symbols)
+
+    def receive_packet(self, waveform: Signal, structure: PacketStructure
+                       ) -> DemodulationResult:
+        """Detect and demodulate one packet from a full waveform."""
+        return self.demodulator.demodulate_packet(waveform, structure)
+
+    def bit_errors(self, reference: LoRaPacket, result: DemodulationResult) -> int:
+        """Count payload bit errors against the transmitted packet."""
+        return self.demodulator.bit_errors(reference, result)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def snr_threshold_db(cls, spreading_factor: int) -> float:
+        """Demodulation SNR threshold for ``spreading_factor`` (link-level model)."""
+        if spreading_factor not in LORA_SNR_THRESHOLDS_DB:
+            # Extrapolate the 2.5 dB-per-SF trend beyond the table.
+            return -7.5 - 2.5 * (spreading_factor - 7)
+        return LORA_SNR_THRESHOLDS_DB[spreading_factor]
+
+    @classmethod
+    def symbol_error_probability(cls, snr_db: float, spreading_factor: int) -> float:
+        """Approximate symbol error probability of FFT demodulation.
+
+        Uses the union bound for non-coherent orthogonal signalling with
+        ``2**SF`` hypotheses and the LoRa processing gain ``2**SF``:
+        ``P_s ≈ (M-1)/2 * exp(-gamma/2)`` where ``gamma`` is the post-despread
+        SNR, clipped to [0, 1].
+        """
+        chips = 2 ** spreading_factor
+        gamma = 10.0 ** (snr_db / 10.0) * chips
+        p = (chips - 1) / 2.0 * np.exp(-gamma / 2.0)
+        return float(np.clip(p, 0.0, 1.0))
+
+    def energy_per_packet_uj(self, packet_duration_s: float) -> float:
+        """Energy (µJ) the commodity chain spends receiving one packet."""
+        if packet_duration_s <= 0:
+            raise ConfigurationError("packet_duration_s must be positive")
+        return self.power_mw * 1e3 * packet_duration_s

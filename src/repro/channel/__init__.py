@@ -1,0 +1,43 @@
+"""Radio-channel substrate.
+
+Models the propagation environments of the paper's field studies: outdoor
+line-of-sight links (square, parking lot, road), indoor links penetrating
+one or two concrete walls, the double-attenuation backscatter uplink, fading,
+in-band interference from a jammer, and the link-budget arithmetic that
+converts transmit power plus geometry into received signal strength and SNR.
+"""
+
+from repro.channel.path_loss import (
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    PathLossModel,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+)
+from repro.channel.walls import WallAttenuation, CONCRETE_WALL_LOSS_DB
+from repro.channel.fading import RayleighFading, RicianFading, NoFading
+from repro.channel.link_budget import LinkBudget, LinkResult
+from repro.channel.backscatter_link import BackscatterLink
+from repro.channel.interference import Jammer, InterferenceEnvironment
+from repro.channel.environment import Environment, outdoor_environment, indoor_environment
+
+__all__ = [
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "PathLossModel",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "WallAttenuation",
+    "CONCRETE_WALL_LOSS_DB",
+    "RayleighFading",
+    "RicianFading",
+    "NoFading",
+    "LinkBudget",
+    "LinkResult",
+    "BackscatterLink",
+    "Jammer",
+    "InterferenceEnvironment",
+    "Environment",
+    "outdoor_environment",
+    "indoor_environment",
+]

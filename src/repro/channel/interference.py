@@ -1,0 +1,134 @@
+"""In-band interference sources.
+
+The channel-hopping case study (§5.3.2) places a software-defined radio
+three metres from the receiver and lets it jam the 433 MHz channel.  The
+:class:`Jammer` models such a transmitter; :class:`InterferenceEnvironment`
+aggregates any number of jammers and answers, per channel, how much
+interference power a receiver sees — which is what the access point's
+spectrum monitor consults when deciding to command a channel hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.path_loss import FreeSpacePathLoss, PathLossModel
+from repro.exceptions import LinkError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.units import dbm_to_watts, watts_to_dbm
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class Jammer:
+    """A continuous interferer on one channel.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Centre frequency of the jamming signal.
+    power_dbm:
+        Transmit power of the jammer.
+    bandwidth_hz:
+        Occupied bandwidth of the jamming signal.
+    distance_m:
+        Distance from the jammer to the victim receiver.
+    duty_cycle:
+        Fraction of time the jammer is on (1.0 = continuous).
+    path_loss:
+        Propagation model from the jammer to the receiver.
+    """
+
+    frequency_hz: float
+    power_dbm: float = 20.0
+    bandwidth_hz: float = 500e3
+    distance_m: float = 3.0
+    duty_cycle: float = 1.0
+    path_loss: PathLossModel = field(default_factory=FreeSpacePathLoss)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.frequency_hz, "frequency_hz")
+        ensure_positive(self.bandwidth_hz, "bandwidth_hz")
+        ensure_positive(self.distance_m, "distance_m")
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise LinkError(f"duty_cycle must be in [0, 1], got {self.duty_cycle}")
+
+    def received_power_dbm(self) -> float:
+        """Return the average jammer power at the victim receiver (dBm)."""
+        loss = self.path_loss.mean_loss_db(self.distance_m, self.frequency_hz)
+        power = self.power_dbm - loss
+        if self.duty_cycle <= 0:
+            return float("-inf")
+        return float(power + 10.0 * np.log10(self.duty_cycle))
+
+    def overlaps(self, channel_hz: float, channel_bandwidth_hz: float) -> bool:
+        """Whether the jammer's band overlaps ``channel_hz`` +- half a bandwidth."""
+        ensure_positive(channel_bandwidth_hz, "channel_bandwidth_hz")
+        half = (self.bandwidth_hz + channel_bandwidth_hz) / 2.0
+        return abs(self.frequency_hz - channel_hz) <= half
+
+    def is_active(self, *, random_state: RandomState = None) -> bool:
+        """Sample whether the jammer is transmitting at a random instant."""
+        if self.duty_cycle >= 1.0:
+            return True
+        if self.duty_cycle <= 0.0:
+            return False
+        rng = as_rng(random_state)
+        return bool(rng.random() < self.duty_cycle)
+
+
+@dataclass
+class InterferenceEnvironment:
+    """A set of jammers plus the channel-overlap logic a receiver cares about."""
+
+    jammers: list[Jammer] = field(default_factory=list)
+
+    def add(self, jammer: Jammer) -> None:
+        """Register a jammer."""
+        if not isinstance(jammer, Jammer):
+            raise LinkError(f"expected a Jammer, got {type(jammer).__name__}")
+        self.jammers.append(jammer)
+
+    def remove_all(self) -> None:
+        """Remove every jammer (e.g. when the interferer is switched off)."""
+        self.jammers.clear()
+
+    def interference_power_dbm(self, channel_hz: float, channel_bandwidth_hz: float, *,
+                               random_state: RandomState = None) -> float:
+        """Return the aggregate interference power (dBm) on a channel.
+
+        Non-overlapping jammers contribute nothing; overlapping jammers'
+        powers add in the linear domain.  Returns ``-inf`` when the channel
+        is clean.
+        """
+        rng = as_rng(random_state)
+        total_w = 0.0
+        for jammer in self.jammers:
+            if not jammer.overlaps(channel_hz, channel_bandwidth_hz):
+                continue
+            if not jammer.is_active(random_state=rng):
+                continue
+            total_w += float(dbm_to_watts(jammer.received_power_dbm()))
+        if total_w <= 0.0:
+            return float("-inf")
+        return float(watts_to_dbm(total_w))
+
+    def sinr_db(self, rss_dbm: float, noise_dbm: float, channel_hz: float,
+                channel_bandwidth_hz: float, *,
+                random_state: RandomState = None) -> float:
+        """Return the signal-to-interference-plus-noise ratio (dB) on a channel."""
+        ensure_non_negative(channel_bandwidth_hz, "channel_bandwidth_hz")
+        interference = self.interference_power_dbm(channel_hz, channel_bandwidth_hz,
+                                                   random_state=random_state)
+        noise_w = float(dbm_to_watts(noise_dbm))
+        interference_w = 0.0 if interference == float("-inf") else float(dbm_to_watts(interference))
+        signal_w = float(dbm_to_watts(rss_dbm))
+        return float(watts_to_dbm(signal_w) - watts_to_dbm(noise_w + interference_w))
+
+    def channel_is_clean(self, channel_hz: float, channel_bandwidth_hz: float, *,
+                         threshold_dbm: float = -90.0) -> bool:
+        """Whether the aggregate interference on a channel is below ``threshold_dbm``."""
+        power = self.interference_power_dbm(channel_hz, channel_bandwidth_hz)
+        return power < threshold_dbm

@@ -1,0 +1,123 @@
+"""Path-loss models.
+
+Two models cover the paper's scenarios:
+
+* :class:`FreeSpacePathLoss` — the Friis free-space model, appropriate for
+  short outdoor line-of-sight references.
+* :class:`LogDistancePathLoss` — the log-distance model
+  ``PL(d) = PL(d0) + 10 n log10(d/d0) + X`` whose exponent ``n`` is the main
+  calibration knob for the outdoor (n ~ 2.7-3) and indoor (n ~ 3.5-4)
+  environments of §5.1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT_M_S
+from repro.exceptions import LinkError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Return the Friis free-space path loss (dB) at ``distance_m``.
+
+    ``FSPL = 20 log10(4 pi d f / c)``.  Distances below one wavelength are
+    clamped to one wavelength to keep the formula in its far-field domain.
+    """
+    if distance_m <= 0:
+        raise LinkError(f"distance_m must be positive, got {distance_m}")
+    ensure_positive(frequency_hz, "frequency_hz")
+    wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
+    distance = max(float(distance_m), wavelength)
+    return float(20.0 * np.log10(4.0 * np.pi * distance * frequency_hz / SPEED_OF_LIGHT_M_S))
+
+
+def log_distance_path_loss_db(distance_m: float, frequency_hz: float, *,
+                              exponent: float = 2.7, reference_distance_m: float = 1.0,
+                              shadowing_db: float = 0.0) -> float:
+    """Return the log-distance path loss (dB) at ``distance_m``.
+
+    The loss at the reference distance is the free-space loss; beyond it the
+    loss grows with ``10 * exponent * log10(d / d0)`` plus an optional fixed
+    shadowing margin.
+    """
+    if distance_m <= 0:
+        raise LinkError(f"distance_m must be positive, got {distance_m}")
+    ensure_positive(exponent, "exponent")
+    ensure_positive(reference_distance_m, "reference_distance_m")
+    reference_loss = free_space_path_loss_db(reference_distance_m, frequency_hz)
+    distance = max(float(distance_m), reference_distance_m)
+    return float(reference_loss
+                 + 10.0 * exponent * np.log10(distance / reference_distance_m)
+                 + shadowing_db)
+
+
+class PathLossModel(ABC):
+    """Interface of a deterministic-plus-stochastic path-loss model."""
+
+    @abstractmethod
+    def mean_loss_db(self, distance_m: float, frequency_hz: float) -> float:
+        """Return the mean (deterministic) path loss in dB."""
+
+    def sample_loss_db(self, distance_m: float, frequency_hz: float, *,
+                       random_state: RandomState = None) -> float:
+        """Return one realisation of the path loss, including shadowing."""
+        return self.mean_loss_db(distance_m, frequency_hz)
+
+
+@dataclass(frozen=True)
+class FreeSpacePathLoss(PathLossModel):
+    """Friis free-space propagation."""
+
+    def mean_loss_db(self, distance_m: float, frequency_hz: float) -> float:
+        return free_space_path_loss_db(distance_m, frequency_hz)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss(PathLossModel):
+    """Log-distance propagation with optional log-normal shadowing.
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n``.
+    reference_distance_m:
+        Distance ``d0`` at which the free-space reference loss is evaluated.
+    shadowing_sigma_db:
+        Standard deviation of the log-normal shadowing term; zero disables
+        shadowing so :meth:`sample_loss_db` equals :meth:`mean_loss_db`.
+    fixed_extra_loss_db:
+        Deterministic extra attenuation (e.g. foliage, body blockage).
+    """
+
+    exponent: float = 2.7
+    reference_distance_m: float = 1.0
+    shadowing_sigma_db: float = 0.0
+    fixed_extra_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.exponent, "exponent")
+        ensure_positive(self.reference_distance_m, "reference_distance_m")
+        ensure_non_negative(self.shadowing_sigma_db, "shadowing_sigma_db")
+        ensure_non_negative(self.fixed_extra_loss_db, "fixed_extra_loss_db")
+
+    def mean_loss_db(self, distance_m: float, frequency_hz: float) -> float:
+        return log_distance_path_loss_db(
+            distance_m, frequency_hz,
+            exponent=self.exponent,
+            reference_distance_m=self.reference_distance_m,
+            shadowing_db=self.fixed_extra_loss_db,
+        )
+
+    def sample_loss_db(self, distance_m: float, frequency_hz: float, *,
+                       random_state: RandomState = None) -> float:
+        loss = self.mean_loss_db(distance_m, frequency_hz)
+        if self.shadowing_sigma_db > 0:
+            rng = as_rng(random_state)
+            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return loss

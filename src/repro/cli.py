@@ -1,0 +1,144 @@
+"""Command-line interface for the Saiyan reproduction.
+
+Three subcommands cover the workflows a user reaches for most often::
+
+    python -m repro experiments [--only fig21 fig25] [--list]
+        Regenerate the paper's tables/figures and print the series + scalars.
+
+    python -m repro power [--implementation asic|pcb] [--duty-cycle 0.01]
+        Print the per-component power/cost ledger and the per-packet energy.
+
+    python -m repro range [--environment outdoor|indoor] [--walls N] [--bits K]
+        Print detection/demodulation ranges of Saiyan (all modes) and the
+        baselines in a given environment.
+
+The same functionality is available programmatically through
+:mod:`repro.sim.experiments`, :mod:`repro.core.power_model` and
+:mod:`repro.sim.link_sim`; the CLI only arranges and prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.channel.environment import indoor_environment, outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.power_model import SaiyanPowerModel
+from repro.lora.parameters import DownlinkParameters
+from repro.sim import experiments
+from repro.sim.link_sim import BaselineLinkModel, SaiyanLinkModel
+from repro.sim.reporting import format_sweep
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Saiyan (NSDI'22) reproduction: regenerate experiments, "
+                    "power budgets and range tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    exp = subparsers.add_parser("experiments",
+                                help="regenerate the paper's tables and figures")
+    exp.add_argument("--only", nargs="*", default=None, metavar="ID",
+                     help="artefact ids to run (e.g. fig21 tab2); default: all")
+    exp.add_argument("--list", action="store_true",
+                     help="list available artefact ids and exit")
+
+    power = subparsers.add_parser("power", help="print the tag power/cost budget")
+    power.add_argument("--implementation", choices=("pcb", "asic"), default="asic")
+    power.add_argument("--duty-cycle", type=float, default=0.01)
+    power.add_argument("--payload-symbols", type=int, default=32)
+
+    rng = subparsers.add_parser("range", help="print detection/demodulation ranges")
+    rng.add_argument("--environment", choices=("outdoor", "indoor"), default="outdoor")
+    rng.add_argument("--walls", type=int, default=1,
+                     help="concrete walls for the indoor environment")
+    rng.add_argument("--bits", type=int, default=2, help="bits per chirp (K)")
+    rng.add_argument("--spreading-factor", type=int, default=7)
+    rng.add_argument("--bandwidth-khz", type=float, default=500.0)
+    return parser
+
+
+#: Artefact ids accepted by ``repro experiments --only`` (the keys of
+#: :func:`repro.sim.experiments.run_all`).
+ARTEFACT_IDS: tuple[str, ...] = (
+    "fig2", "fig5", "fig6", "fig7", "tab1", "fig10", "fig16", "fig17", "fig18",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab2",
+    "fig26", "fig27",
+)
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    available = sorted(ARTEFACT_IDS)
+    if args.list:
+        print("available artefacts:", " ".join(available))
+        return 0
+    wanted = args.only if args.only else available
+    unknown = [name for name in wanted if name not in available]
+    if unknown:
+        print(f"unknown artefact id(s): {', '.join(unknown)}", file=sys.stderr)
+        print("available artefacts:", " ".join(available), file=sys.stderr)
+        return 2
+    results = experiments.run_all()
+    for name in wanted:
+        print(format_sweep(results[name]))
+        print()
+    return 0
+
+
+def _run_power(args: argparse.Namespace) -> int:
+    model = SaiyanPowerModel(duty_cycle=args.duty_cycle,
+                             implementation=args.implementation)
+    summary = model.summary()
+    print(f"Saiyan {summary.implementation.upper()} power budget "
+          f"(duty cycle {summary.duty_cycle:.1%})")
+    print(summary.ledger.format_table())
+    energy = model.energy_per_packet_uj(args.payload_symbols)
+    print(f"\nenergy per {args.payload_symbols}-symbol downlink packet: {energy:.1f} µJ")
+    print(f"saving vs commodity LoRa receiver: "
+          f"{model.energy_saving_factor(args.payload_symbols):.0f}x")
+    return 0
+
+
+def _run_range(args: argparse.Namespace) -> int:
+    if args.environment == "outdoor":
+        environment = outdoor_environment(fading=NoFading())
+    else:
+        environment = indoor_environment(num_walls=args.walls, fading=NoFading())
+    link = environment.link_budget()
+    downlink = DownlinkParameters(spreading_factor=args.spreading_factor,
+                                  bandwidth_hz=args.bandwidth_khz * 1e3,
+                                  bits_per_chirp=args.bits)
+    print(f"environment: {environment.name}   downlink: {downlink.describe()}")
+    print(f"{'receiver':<26}{'demod range (m)':>18}{'detect range (m)':>18}")
+    for mode in (SaiyanMode.SUPER, SaiyanMode.FREQUENCY_SHIFT, SaiyanMode.VANILLA):
+        model = SaiyanLinkModel(config=SaiyanConfig(downlink=downlink, mode=mode),
+                                link=link)
+        print(f"{'saiyan-' + mode.value:<26}{model.demodulation_range_m():>18.1f}"
+              f"{model.detection_range_m():>18.1f}")
+    for name in ("plora", "aloba", "envelope"):
+        baseline = BaselineLinkModel(name, link)
+        print(f"{name:<26}{'-':>18}{baseline.detection_range_m():>18.1f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the tests."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    if args.command == "power":
+        return _run_power(args)
+    if args.command == "range":
+        return _run_range(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

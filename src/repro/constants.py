@@ -1,0 +1,197 @@
+"""Physical constants and paper-reported reference values.
+
+Numbers in this module come either from physics (speed of light, thermal
+noise) or directly from the Saiyan paper (NSDI 2022).  Keeping them in one
+place makes the provenance of every calibration value auditable and lets the
+benchmarks reference the paper's reported numbers when comparing simulated
+output against the published evaluation.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Physics
+# ---------------------------------------------------------------------------
+
+SPEED_OF_LIGHT_M_S: float = 299_792_458.0
+"""Speed of light in vacuum (m/s)."""
+
+BOLTZMANN_J_PER_K: float = 1.380649e-23
+"""Boltzmann constant (J/K)."""
+
+REFERENCE_TEMPERATURE_K: float = 290.0
+"""Standard noise reference temperature (K)."""
+
+THERMAL_NOISE_DBM_PER_HZ: float = -174.0
+"""Thermal noise power spectral density at 290 K (dBm/Hz)."""
+
+# ---------------------------------------------------------------------------
+# LoRa / radio configuration used throughout the paper's evaluation (§5)
+# ---------------------------------------------------------------------------
+
+LORA_CARRIER_HZ: float = 433.5e6
+"""Carrier frequency used by the paper's LoRa transmitter (433.5 MHz band)."""
+
+LORA_ALT_CHANNEL_HZ: float = 434.5e6
+"""Alternate channel used in the channel-hopping case study (§5.3.2)."""
+
+JAMMER_CHANNEL_HZ: float = 433.0e6
+"""Frequency of the jamming USRP in the channel-hopping case study."""
+
+LORA_BANDWIDTHS_HZ: tuple[float, ...] = (125e3, 250e3, 500e3)
+"""LoRa bandwidth options considered in the paper."""
+
+LORA_SPREADING_FACTORS: tuple[int, ...] = (7, 8, 9, 10, 11, 12)
+"""LoRa spreading factors considered in the paper."""
+
+DEFAULT_SPREADING_FACTOR: int = 7
+"""Spreading factor used in most field studies (§5 setup)."""
+
+DEFAULT_BANDWIDTH_HZ: float = 500e3
+"""Bandwidth used in most field studies (§5 setup)."""
+
+DEFAULT_TX_POWER_DBM: float = 20.0
+"""Transmit power of the LoRa transmitter (§4.2)."""
+
+DEFAULT_ANTENNA_GAIN_DBI: float = 3.0
+"""Gain of the omni-directional antennas used on the tag and transmitter."""
+
+PAYLOAD_SYMBOLS_PER_PACKET: int = 32
+"""Number of chirp symbols per LoRa packet payload in the evaluation setup."""
+
+PREAMBLE_UPCHIRPS: int = 10
+"""Number of identical up-chirps in the LoRa preamble (§2.2)."""
+
+SYNC_SYMBOLS: float = 2.25
+"""Sync-word duration, in symbol times, between preamble and payload."""
+
+PACKETS_PER_EXPERIMENT: int = 1000
+"""Packets transmitted per experiment run in the paper's field studies."""
+
+EXPERIMENT_REPETITIONS: int = 100
+"""Number of repetitions of each experiment in the paper's field studies."""
+
+# ---------------------------------------------------------------------------
+# SAW filter (Qualcomm B3790, Figure 5)
+# ---------------------------------------------------------------------------
+
+SAW_CENTER_FREQUENCY_HZ: float = 434.0e6
+"""Centre frequency of the B3790 SAW filter."""
+
+SAW_INSERTION_LOSS_DB: float = 10.0
+"""Measured insertion loss of the SAW filter adopted by Saiyan."""
+
+SAW_NOMINAL_INSERTION_LOSS_DB: float = 6.0
+"""Datasheet two-transducer conversion loss of a SAW filter (§2.1)."""
+
+SAW_GAIN_SPAN_500KHZ_DB: float = 25.0
+"""Amplitude variation across the last 500 kHz below the centre frequency."""
+
+SAW_GAIN_SPAN_250KHZ_DB: float = 9.5
+"""Amplitude variation across the last 250 kHz below the centre frequency."""
+
+SAW_GAIN_SPAN_125KHZ_DB: float = 7.2
+"""Amplitude variation across the last 125 kHz below the centre frequency."""
+
+# ---------------------------------------------------------------------------
+# Saiyan receiver characteristics
+# ---------------------------------------------------------------------------
+
+SAIYAN_SENSITIVITY_DBM: float = -85.8
+"""Receiver sensitivity demonstrated in §5.2.1."""
+
+ENVELOPE_DETECTOR_SENSITIVITY_DBM: float = -55.8
+"""Sensitivity of a conventional envelope detector (30 dB worse, §5.2.1)."""
+
+CYCLIC_SHIFT_SNR_GAIN_DB: float = 11.0
+"""SNR gain contributed by the cyclic-frequency-shifting circuit (§3.1)."""
+
+SAMPLING_RATE_SAFETY_FACTOR: float = 3.2
+"""Practical sampling-rate multiplier relative to ``BW / 2^(SF-K)`` (§2.3)."""
+
+VANILLA_SAIYAN_RANGE_M: float = 55.0
+"""Communication range of vanilla Saiyan before Super Saiyan additions (§1)."""
+
+SUPER_SAIYAN_RANGE_M: float = 148.0
+"""Demodulation range after cyclic shifting and correlation (§1, §3.2)."""
+
+DETECTION_RANGE_OUTDOOR_M: float = 148.6
+"""Outdoor packet-detection range of Saiyan (Figure 21)."""
+
+DETECTION_RANGE_INDOOR_M: float = 44.2
+"""Indoor (NLOS) packet-detection range of Saiyan (Figure 21)."""
+
+ALOBA_DETECTION_RANGE_OUTDOOR_M: float = 30.6
+"""Outdoor detection range of Aloba reported in Figure 21."""
+
+PLORA_DETECTION_RANGE_OUTDOOR_M: float = 42.4
+"""Outdoor detection range of PLoRa reported in Figure 21."""
+
+ALOBA_DETECTION_RANGE_INDOOR_M: float = 12.4
+"""Indoor detection range of Aloba reported in Figure 21."""
+
+PLORA_DETECTION_RANGE_INDOOR_M: float = 16.8
+"""Indoor detection range of PLoRa reported in Figure 21."""
+
+BER_RANGE_THRESHOLD: float = 1e-3
+"""BER threshold used to define the demodulation range (§5, metrics)."""
+
+# ---------------------------------------------------------------------------
+# Power and cost (Table 2, §4.3)
+# ---------------------------------------------------------------------------
+
+ASIC_TOTAL_POWER_UW: float = 93.2
+"""Total power consumption of the Saiyan ASIC simulation (§4.3)."""
+
+ASIC_LNA_POWER_UW: float = 68.4
+"""LNA power in the ASIC simulation."""
+
+ASIC_OSCILLATOR_POWER_UW: float = 22.8
+"""Oscillator power in the ASIC simulation."""
+
+ASIC_DIGITAL_POWER_UW: float = 2.0
+"""Digital-circuit power in the ASIC simulation."""
+
+MCU_POWER_UW: float = 19.6
+"""Apollo2 MCU power when preparing a retransmission (§4.3)."""
+
+PCB_TOTAL_POWER_UW: float = 369.4
+"""Total PCB-prototype power under 1 % duty cycling (Table 2)."""
+
+PCB_COMPONENT_POWER_UW: dict[str, float] = {
+    "saw": 0.0,
+    "lna": 248.5,
+    "oscillator": 86.8,
+    "envelope_detector": 0.0,
+    "comparator": 14.45,
+    "mcu": 19.6,
+}
+"""Per-component PCB power under 1 % duty cycling (Table 2)."""
+
+PCB_COMPONENT_COST_USD: dict[str, float] = {
+    "saw": 3.87,
+    "lna": 4.15,
+    "oscillator": 1.25,
+    "envelope_detector": 1.20,
+    "comparator": 1.26,
+    "mcu": 15.43,
+}
+"""Per-component cost in USD (Table 2)."""
+
+PCB_TOTAL_COST_USD: float = 27.2
+"""Total hardware cost of the Saiyan PCB prototype (Table 2)."""
+
+POWER_MANAGEMENT_POWER_UW: float = 24.0
+"""Power-management module consumption in working mode (§4.1)."""
+
+HARVESTER_ENERGY_MW_PERIOD_S: float = 25.4
+"""The energy harvester produces 1 mW-equivalent every 25.4 s (§1, §4.1)."""
+
+STANDARD_LORA_RX_POWER_MW: float = 40.0
+"""Power draw of a commodity LoRa receiver chain (§1)."""
+
+DUTY_CYCLE_DEFAULT: float = 0.01
+"""Duty cycle used for the Table 2 energy numbers (1 %)."""
+
+ASIC_ACTIVE_AREA_MM2: float = 0.217
+"""Active silicon area of the Saiyan ASIC (§4.3)."""

@@ -1,0 +1,160 @@
+"""Automatic gain control (AGC) for comparator threshold adaptation.
+
+§4.1 of the paper configures the comparator thresholds ``UH``/``UL`` from an
+offline table indexed by link distance and names automatic gain control as
+future work: "To alleviate this manual configuration overhead, one could
+leverage an Automatic Gain Control to adapt the power gain automatically."
+
+This module implements that extension.  The AGC tracks the envelope peak
+level with an exponential moving average (attack/decay asymmetric, like an
+analog AGC loop), derives the comparator thresholds from the tracked level
+using the same §4.1 rule, and exposes the equivalent front-end gain change
+so the power model can account for it.  With the AGC in the loop a tag no
+longer needs the per-distance calibration table: it converges onto usable
+thresholds within a few preamble chirps even when the link distance changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantizer import ThresholdCalibrator, ThresholdPair
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError, DemodulationError
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class AgcState:
+    """Snapshot of the AGC loop after processing one block of samples."""
+
+    tracked_peak: float
+    thresholds: ThresholdPair
+    gain_linear: float
+    converged: bool
+
+
+class AutomaticGainControl:
+    """Envelope-peak tracking AGC that self-calibrates the comparator.
+
+    Parameters
+    ----------
+    target_peak:
+        The normalised level the AGC steers the (gain-scaled) envelope peak
+        towards.  The comparator thresholds are derived from this level, so
+        its absolute value is arbitrary; 1.0 keeps the math readable.
+    attack:
+        Smoothing factor applied when the observed peak exceeds the tracked
+        peak (fast attack protects the comparator from immediate clipping).
+    decay:
+        Smoothing factor applied when the observed peak falls below the
+        tracked peak (slow decay rides out per-symbol amplitude variation).
+    calibrator:
+        Threshold rule; defaults to the §4.1 gap/hysteresis values.
+    convergence_tolerance:
+        Relative change of the tracked peak below which the loop reports
+        convergence.
+    """
+
+    def __init__(self, *, target_peak: float = 1.0, attack: float = 0.5,
+                 decay: float = 0.05,
+                 calibrator: ThresholdCalibrator | None = None,
+                 convergence_tolerance: float = 0.05) -> None:
+        self.target_peak = ensure_positive(target_peak, "target_peak")
+        self.attack = ensure_in_range(attack, "attack", 0.0, 1.0, inclusive=False)
+        self.decay = ensure_in_range(decay, "decay", 0.0, 1.0, inclusive=False)
+        self.calibrator = calibrator if calibrator is not None else ThresholdCalibrator()
+        self.convergence_tolerance = ensure_positive(convergence_tolerance,
+                                                     "convergence_tolerance")
+        self._tracked_peak: float | None = None
+        self._history: list[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def tracked_peak(self) -> float | None:
+        """The current tracked envelope peak (None before the first block)."""
+        return self._tracked_peak
+
+    @property
+    def blocks_processed(self) -> int:
+        """Number of envelope blocks seen so far."""
+        return len(self._history)
+
+    def reset(self) -> None:
+        """Forget all state (e.g. after a channel hop)."""
+        self._tracked_peak = None
+        self._history.clear()
+
+    # ------------------------------------------------------------------
+    def _observe_peak(self, envelope: Signal | np.ndarray) -> float:
+        samples = np.asarray(envelope.samples if isinstance(envelope, Signal) else envelope,
+                             dtype=float)
+        if samples.ndim != 1 or samples.size == 0:
+            raise DemodulationError("AGC requires a non-empty 1-D envelope block")
+        peak = float(np.percentile(np.abs(samples), 99.0))
+        if peak <= 0:
+            raise DemodulationError("AGC cannot track an all-zero envelope block")
+        return peak
+
+    def update(self, envelope: Signal | np.ndarray) -> AgcState:
+        """Process one envelope block (typically one preamble chirp).
+
+        Returns the new AGC state: the tracked peak, the comparator
+        thresholds derived from it, the gain that would normalise the peak to
+        ``target_peak`` and whether the loop has converged.
+        """
+        observed = self._observe_peak(envelope)
+        if self._tracked_peak is None:
+            tracked = observed
+        else:
+            factor = self.attack if observed > self._tracked_peak else self.decay
+            tracked = (1.0 - factor) * self._tracked_peak + factor * observed
+        previous = self._tracked_peak
+        self._tracked_peak = tracked
+        self._history.append(tracked)
+        converged = (previous is not None
+                     and abs(tracked - previous) <= self.convergence_tolerance * previous)
+        thresholds = self.calibrator.thresholds_from_peak(tracked)
+        gain = self.target_peak / tracked
+        return AgcState(tracked_peak=tracked, thresholds=thresholds,
+                        gain_linear=gain, converged=converged)
+
+    # ------------------------------------------------------------------
+    def thresholds(self) -> ThresholdPair:
+        """The comparator thresholds for the current tracked peak."""
+        if self._tracked_peak is None:
+            raise DemodulationError("the AGC has not observed any envelope yet")
+        return self.calibrator.thresholds_from_peak(self._tracked_peak)
+
+    def gain_db(self) -> float:
+        """Equivalent front-end gain adjustment (dB) for the current state."""
+        if self._tracked_peak is None:
+            raise DemodulationError("the AGC has not observed any envelope yet")
+        return float(20.0 * np.log10(self.target_peak / self._tracked_peak))
+
+    def settle(self, envelope: Signal, *, block_duration_s: float,
+               max_blocks: int = 32) -> tuple[AgcState, int]:
+        """Run the loop over consecutive blocks of ``envelope`` until it converges.
+
+        Returns ``(final_state, blocks_used)``.  Raises when the envelope is
+        shorter than one block or the loop fails to converge within
+        ``max_blocks`` blocks.
+        """
+        if not isinstance(envelope, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(envelope).__name__}")
+        ensure_positive(block_duration_s, "block_duration_s")
+        block = int(round(block_duration_s * envelope.sample_rate))
+        if block < 1 or len(envelope) < block:
+            raise DemodulationError("envelope shorter than one AGC block")
+        samples = np.asarray(envelope.samples, dtype=float)
+        state: AgcState | None = None
+        blocks = min(max_blocks, samples.size // block)
+        for index in range(blocks):
+            state = self.update(samples[index * block: (index + 1) * block])
+            if state.converged and index >= 1:
+                return state, index + 1
+        if state is None:
+            raise DemodulationError("no AGC blocks were processed")
+        return state, blocks

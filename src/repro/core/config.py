@@ -1,0 +1,150 @@
+"""Saiyan receiver configuration.
+
+:class:`SaiyanConfig` bundles every knob of the demodulation pipeline — the
+downlink air interface, which Super Saiyan stages are enabled, the front-end
+gains and the comparator calibration — into one immutable object shared by
+the front end, the quantizer, the demodulators and the receiver.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.constants import CYCLIC_SHIFT_SNR_GAIN_DB
+from repro.exceptions import ConfigurationError
+from repro.lora.parameters import DownlinkParameters
+from repro.utils.validation import ensure_in_range, ensure_non_negative, ensure_positive
+
+
+class SaiyanMode(enum.Enum):
+    """Which stages of the Saiyan pipeline are active.
+
+    ``VANILLA``
+        SAW filter + envelope detector + double-threshold comparator (§2).
+    ``FREQUENCY_SHIFT``
+        Vanilla plus the cyclic-frequency-shifting circuit (§3.1).
+    ``SUPER``
+        Frequency shifting plus the correlation demodulator (§3.2) — the
+        full system evaluated in §5.
+    """
+
+    VANILLA = "vanilla"
+    FREQUENCY_SHIFT = "frequency_shift"
+    SUPER = "super"
+
+    @property
+    def uses_frequency_shift(self) -> bool:
+        """Whether the cyclic-frequency-shifting circuit is in the chain."""
+        return self in (SaiyanMode.FREQUENCY_SHIFT, SaiyanMode.SUPER)
+
+    @property
+    def uses_correlation(self) -> bool:
+        """Whether the correlation demodulator is in the chain."""
+        return self is SaiyanMode.SUPER
+
+
+@dataclass(frozen=True)
+class SaiyanConfig:
+    """Complete configuration of a Saiyan tag receiver.
+
+    Parameters
+    ----------
+    downlink:
+        Air-interface parameters of the feedback chirps (SF, BW, bits per
+        chirp ``K``).
+    mode:
+        Which pipeline stages are enabled.
+    oversampling:
+        Samples per chip used when simulating the analog waveforms.
+    lna_gain_db / lna_noise_figure_db:
+        Front-end LNA characteristics.
+    if_offset_hz:
+        The Δf clock frequency of the cyclic-frequency-shifting circuit.
+        ``None`` selects ``2 x bandwidth`` which keeps the IF clear of the
+        baseband chirp content.
+    comparator_gap_db:
+        Gap ``G`` between the expected peak amplitude and the high threshold
+        ``UH`` (§4.1).
+    comparator_hysteresis_fraction:
+        ``(UH - UL) / UH``; the §4.1 rule sets ``UL = UH - UF``.
+    envelope_smoothing_fraction:
+        Envelope-detector RC bandwidth as a multiple of the chirp bandwidth.
+    correlation_threshold:
+        Normalised-correlation level above which the correlator accepts a
+        symbol hypothesis.
+    detection_snr_gain_db:
+        Calibration constant capturing the demodulator-level benefit of the
+        cyclic shifter beyond the raw 11 dB analog SNR gain (used by the
+        link-abstraction model, not by the waveform pipeline).
+    """
+
+    downlink: DownlinkParameters = field(default_factory=DownlinkParameters)
+    mode: SaiyanMode = SaiyanMode.SUPER
+    oversampling: int = 4
+    lna_gain_db: float = 20.0
+    lna_noise_figure_db: float = 3.0
+    if_offset_hz: float | None = None
+    comparator_gap_db: float = 3.0
+    comparator_hysteresis_fraction: float = 0.5
+    envelope_smoothing_fraction: float = 1.0
+    correlation_threshold: float = 0.3
+    detection_snr_gain_db: float = CYCLIC_SHIFT_SNR_GAIN_DB
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.downlink, DownlinkParameters):
+            raise ConfigurationError(
+                "downlink must be a DownlinkParameters instance, "
+                f"got {type(self.downlink).__name__}"
+            )
+        if not isinstance(self.mode, SaiyanMode):
+            raise ConfigurationError(f"mode must be a SaiyanMode, got {self.mode!r}")
+        if self.oversampling < 1:
+            raise ConfigurationError(f"oversampling must be >= 1, got {self.oversampling}")
+        ensure_non_negative(self.lna_gain_db, "lna_gain_db")
+        ensure_non_negative(self.lna_noise_figure_db, "lna_noise_figure_db")
+        if self.if_offset_hz is not None:
+            ensure_positive(self.if_offset_hz, "if_offset_hz")
+        ensure_positive(self.comparator_gap_db, "comparator_gap_db")
+        ensure_in_range(self.comparator_hysteresis_fraction,
+                        "comparator_hysteresis_fraction", 0.0, 1.0, inclusive=False)
+        ensure_positive(self.envelope_smoothing_fraction, "envelope_smoothing_fraction")
+        ensure_in_range(self.correlation_threshold, "correlation_threshold", 0.0, 1.0)
+        ensure_non_negative(self.detection_snr_gain_db, "detection_snr_gain_db")
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_rate(self) -> float:
+        """Analog-simulation sample rate: ``oversampling x bandwidth``."""
+        return self.downlink.bandwidth_hz * self.oversampling
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Analog-simulation samples per downlink chirp."""
+        return int(round(self.downlink.symbol_duration_s * self.sample_rate))
+
+    @property
+    def effective_if_offset_hz(self) -> float:
+        """The Δf used by the cyclic-frequency-shifting circuit.
+
+        Defaults to the chirp bandwidth, which keeps the IF copy of the
+        envelope clear of the baseband impairments while still fitting under
+        the Nyquist limit of the default 4x-oversampled simulation.
+        """
+        if self.if_offset_hz is not None:
+            return self.if_offset_hz
+        return 1.0 * self.downlink.bandwidth_hz
+
+    @property
+    def mcu_sampling_rate_hz(self) -> float:
+        """Comparator sampling rate from the Table 1 rule."""
+        return self.downlink.practical_sampling_rate_hz
+
+    def with_(self, **kwargs) -> "SaiyanConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Return a one-line description of the configuration."""
+        return (f"Saiyan[{self.mode.value}] {self.downlink.describe()} "
+                f"fs={self.sample_rate / 1e6:g} MS/s")

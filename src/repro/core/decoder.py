@@ -1,0 +1,199 @@
+"""Packet-level decoding (Figure 8).
+
+The decoder scans the front-end envelope for the LoRa preamble (ten
+identical up-chirps), waits out the 2.25-symbol sync word, and hands the
+payload section to the symbol demodulator.  The preamble search runs on the
+envelope waveform: ten evenly spaced amplitude peaks, one per up-chirp, are
+an unmistakable signature even at low SNR — the same observation Aloba makes
+with RSSI patterns, but here on the SAW-transformed envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SaiyanConfig
+from repro.core.demodulator import PayloadDemodulation, _SaiyanDemodulatorBase
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError, DemodulationError
+from repro.lora.packet import PacketStructure
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class DecodedPacket:
+    """Result of attempting to decode one packet from a waveform.
+
+    Attributes
+    ----------
+    detected:
+        Whether a preamble was found.
+    preamble_index:
+        Sample index (at the analog rate) of the preamble start, or -1.
+    payload:
+        The payload demodulation result, or ``None`` when the packet was not
+        detected.
+    """
+
+    detected: bool
+    preamble_index: int
+    payload: PayloadDemodulation | None
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Decoded payload bits (empty when the packet was not detected)."""
+        if self.payload is None:
+            return np.zeros(0, dtype=np.int64)
+        return self.payload.bits
+
+    @property
+    def symbols(self) -> np.ndarray:
+        """Decoded payload symbols (empty when the packet was not detected)."""
+        if self.payload is None:
+            return np.zeros(0, dtype=np.int64)
+        return self.payload.symbols
+
+
+class SaiyanPacketDecoder:
+    """Preamble detection + sync skip + payload demodulation.
+
+    Parameters
+    ----------
+    demodulator:
+        The symbol demodulator (vanilla or super) to use for the payload.
+    structure:
+        Packet structure (preamble length, sync duration, payload length).
+    """
+
+    def __init__(self, demodulator: _SaiyanDemodulatorBase,
+                 structure: PacketStructure | None = None) -> None:
+        if not isinstance(demodulator, _SaiyanDemodulatorBase):
+            raise ConfigurationError(
+                "demodulator must be a Saiyan demodulator instance, "
+                f"got {type(demodulator).__name__}"
+            )
+        self.demodulator = demodulator
+        self.structure = structure if structure is not None else PacketStructure()
+
+    @property
+    def config(self) -> SaiyanConfig:
+        """The demodulator's configuration."""
+        return self.demodulator.config
+
+    # ------------------------------------------------------------------
+    def _preamble_peak_run(self, envelope: Signal, *, min_upchirps: int,
+                           peak_prominence: float) -> tuple[int, int] | None:
+        """Find the run of evenly spaced envelope peaks left by the preamble.
+
+        Each preamble up-chirp produces one envelope peak near the end of its
+        symbol period, so the ten preamble chirps leave a train of strong
+        peaks at the same offset inside consecutive symbol-length windows.
+        Returns ``(first_peak_index, last_peak_index)`` in samples, or
+        ``None`` when no run of at least ``min_upchirps`` aligned peaks
+        exists.
+        """
+        samples = np.asarray(envelope.samples, dtype=float)
+        n_sym = int(round(self.config.downlink.symbol_duration_s * envelope.sample_rate))
+        if n_sym < 4 or samples.size < n_sym * min_upchirps:
+            return None
+        floor = max(float(np.median(samples)), 1e-30)
+        threshold = floor * peak_prominence
+        if not np.any(samples > threshold):
+            return None
+        num_windows = samples.size // n_sym
+        if num_windows < min_upchirps:
+            return None
+        peak_positions: list[int] = []
+        for w in range(num_windows):
+            window = samples[w * n_sym: (w + 1) * n_sym]
+            idx = int(np.argmax(window))
+            peak_positions.append(idx if window[idx] > threshold else -1)
+        tolerance = max(n_sym // 16, 2)
+        best_run: tuple[int, int, int] | None = None  # (first_w, last_w, offset)
+        run_first = None
+        previous_offset = None
+        for w, idx in enumerate(peak_positions):
+            aligned = (idx >= 0 and previous_offset is not None
+                       and abs(idx - previous_offset) <= tolerance)
+            if aligned:
+                if run_first is None:
+                    run_first = w - 1
+                length = w - run_first + 1
+                if length >= min_upchirps:
+                    if best_run is None or length > best_run[1] - best_run[0] + 1:
+                        best_run = (run_first, w, idx)
+            else:
+                run_first = None
+            previous_offset = idx if idx >= 0 else None
+        if best_run is None:
+            return None
+        first_w, last_w, offset = best_run
+        first_peak = first_w * n_sym + peak_positions[first_w]
+        last_peak = last_w * n_sym + peak_positions[last_w]
+        return int(first_peak), int(last_peak)
+
+    def detect_preamble(self, envelope: Signal, *, min_upchirps: int = 4,
+                        peak_prominence: float = 2.0) -> int | None:
+        """Locate the preamble in an envelope waveform.
+
+        The search looks for ``min_upchirps`` consecutive envelope peaks
+        spaced one symbol apart whose amplitude exceeds ``peak_prominence``
+        times the envelope median.  Returns the (approximate) sample index of
+        the first detected preamble chirp, or ``None``.
+        """
+        run = self._preamble_peak_run(envelope, min_upchirps=min_upchirps,
+                                      peak_prominence=peak_prominence)
+        if run is None:
+            return None
+        n_sym = int(round(self.config.downlink.symbol_duration_s * envelope.sample_rate))
+        first_peak, _ = run
+        # An up-chirp peaks at the end of its symbol, so the chirp begins one
+        # symbol before (and one sample after) its peak.
+        return max(int(first_peak + 1 - n_sym), 0)
+
+    def locate_payload_start(self, envelope: Signal, *, min_upchirps: int = 4,
+                             peak_prominence: float = 2.0) -> int | None:
+        """Return the sample index where the payload begins, or ``None``.
+
+        Alignment is anchored on the *last* preamble peak (the end of the
+        final preamble up-chirp), which makes the result insensitive to how
+        many of the ten preamble chirps were actually detected: the payload
+        always starts one sync-word duration after the preamble ends.
+        """
+        run = self._preamble_peak_run(envelope, min_upchirps=min_upchirps,
+                                      peak_prominence=peak_prominence)
+        if run is None:
+            return None
+        n_sym = int(round(self.config.downlink.symbol_duration_s * envelope.sample_rate))
+        _, last_peak = run
+        preamble_end = last_peak + 1
+        return int(preamble_end + round(self.structure.sync_symbols * n_sym))
+
+    # ------------------------------------------------------------------
+    def decode(self, rf_waveform: Signal, *, random_state: RandomState = None,
+               num_payload_symbols: int | None = None) -> DecodedPacket:
+        """Decode one packet from an RF waveform containing preamble + sync + payload."""
+        if not isinstance(rf_waveform, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(rf_waveform).__name__}")
+        rng = as_rng(random_state)
+        payload_symbols = (self.structure.payload_symbols
+                           if num_payload_symbols is None else int(num_payload_symbols))
+        front = self.demodulator.frontend.process(rf_waveform, random_state=rng)
+        payload_offset = self.locate_payload_start(front.envelope)
+        if payload_offset is None:
+            return DecodedPacket(detected=False, preamble_index=-1, payload=None)
+        n_sym = self.demodulator.samples_per_symbol
+        start = max(payload_offset - int(round(
+            (self.structure.preamble_symbols + self.structure.sync_symbols) * n_sym)), 0)
+        needed = payload_offset + payload_symbols * n_sym
+        if needed > len(rf_waveform):
+            raise DemodulationError(
+                "waveform ends before the payload does "
+                f"(need {needed} samples, have {len(rf_waveform)})"
+            )
+        payload_waveform = rf_waveform.slice_samples(payload_offset, needed)
+        payload = self.demodulator.demodulate_payload(payload_waveform, payload_symbols,
+                                                      random_state=rng)
+        return DecodedPacket(detected=True, preamble_index=int(start), payload=payload)

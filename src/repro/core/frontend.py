@@ -1,0 +1,141 @@
+"""Analog front end: SAW filter -> LNA -> envelope detection.
+
+This is the Figure 12 signal path up to (and including) the envelope
+detector.  The output is the baseband amplitude envelope whose peaks encode
+the transmitted chirp symbols; the quantizer and decoders operate on it.
+
+Two envelope paths are supported, selected by the configuration's mode:
+
+* direct square-law detection (vanilla Saiyan, §2.2), and
+* the cyclic-frequency-shifting detector (§3.1) which removes the detector's
+  baseband impairments before demodulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SaiyanConfig
+from repro.core.cyclic_shift import BasebandImpairments, CyclicFrequencyShifter
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.envelope_detector import EnvelopeDetector
+from repro.hardware.lna import LowNoiseAmplifier
+from repro.hardware.saw_filter import SAWFilter
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class FrontEndOutput:
+    """Signals produced by one pass through the analog front end.
+
+    Attributes
+    ----------
+    envelope:
+        The baseband envelope handed to the quantizer/decoder.
+    after_saw:
+        The SAW filter output (AM signal), kept for diagnostics and for the
+        Figure 6 reproduction.
+    after_lna:
+        The LNA output.
+    """
+
+    envelope: Signal
+    after_saw: Signal
+    after_lna: Signal
+
+
+class AnalogFrontEnd:
+    """The Saiyan analog receive chain.
+
+    Parameters
+    ----------
+    config:
+        Saiyan receiver configuration.
+    saw_filter:
+        SAW filter model; defaults to the B3790 of Figure 5.
+    lna:
+        Low-noise amplifier; defaults to the configuration's gain and noise
+        figure.
+    impairments:
+        Baseband impairments of the envelope detector.  The defaults inject
+        a small DC offset and flicker/detector noise so that the benefit of
+        the cyclic-frequency-shifting path is observable; pass
+        ``BasebandImpairments()`` to disable them.
+    """
+
+    def __init__(self, config: SaiyanConfig, *, saw_filter: SAWFilter | None = None,
+                 lna: LowNoiseAmplifier | None = None,
+                 impairments: BasebandImpairments | None = None) -> None:
+        if not isinstance(config, SaiyanConfig):
+            raise ConfigurationError(f"expected a SaiyanConfig, got {type(config).__name__}")
+        self.config = config
+        self.saw_filter = saw_filter if saw_filter is not None else SAWFilter()
+        self.lna = lna if lna is not None else LowNoiseAmplifier(
+            gain_db=config.lna_gain_db, noise_figure_db=config.lna_noise_figure_db)
+        if impairments is None:
+            impairments = BasebandImpairments(
+                dc_offset=0.0,
+                flicker_noise_power=0.0,
+                detector_noise_rms=0.0,
+            )
+        self.impairments = impairments
+        bandwidth = config.downlink.bandwidth_hz
+        self.envelope_detector = EnvelopeDetector(
+            rc_bandwidth_hz=config.envelope_smoothing_fraction * bandwidth)
+        # The useful envelope content of the SAW-transformed chirp occupies a
+        # fraction of the chirp bandwidth (the amplitude varies over a symbol
+        # time); half the bandwidth comfortably preserves the peak position
+        # while keeping the IF image inside the simulated Nyquist band.
+        self.cyclic_shifter = CyclicFrequencyShifter(
+            if_offset_hz=config.effective_if_offset_hz,
+            envelope_bandwidth_hz=bandwidth / 2.0,
+            impairments=impairments,
+        )
+
+    # ------------------------------------------------------------------
+    def process(self, rf_signal: Signal, *, random_state: RandomState = None,
+                add_noise: bool = True) -> FrontEndOutput:
+        """Run ``rf_signal`` (complex baseband) through the front end.
+
+        Parameters
+        ----------
+        rf_signal:
+            The incident waveform at complex baseband, referenced so that
+            frequency offset 0 is the bottom of the LoRa band.
+        random_state:
+            Seed/generator for the stochastic elements (LNA noise, detector
+            noise).
+        add_noise:
+            Disable to obtain the deterministic response (used by template
+            generation and unit tests).
+        """
+        if not isinstance(rf_signal, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(rf_signal).__name__}")
+        rng = as_rng(random_state)
+        after_saw = self.saw_filter.apply(rf_signal)
+        after_lna = self.lna.apply(after_saw, random_state=rng, add_noise=add_noise)
+        if self.config.mode.uses_frequency_shift:
+            envelope = self.cyclic_shifter.process(after_lna, random_state=rng)
+        else:
+            if add_noise:
+                envelope = self.cyclic_shifter.direct_envelope(after_lna, random_state=rng)
+            else:
+                envelope = self.envelope_detector.detect(after_lna)
+        envelope = envelope.with_samples(
+            np.maximum(np.asarray(envelope.samples, dtype=float), 0.0))
+        return FrontEndOutput(envelope=envelope, after_saw=after_saw, after_lna=after_lna)
+
+    def envelope_template(self, symbol_waveform: Signal) -> Signal:
+        """Return the noise-free envelope of a symbol waveform.
+
+        Used by the correlation demodulator (§3.2) to build its local chirp
+        templates and by the threshold calibrator to predict the expected
+        peak amplitude.
+        """
+        after_saw = self.saw_filter.apply(symbol_waveform)
+        after_lna = self.lna.apply(after_saw, add_noise=False)
+        envelope = self.envelope_detector.detect(after_lna)
+        return envelope.with_samples(np.maximum(np.asarray(envelope.samples, float), 0.0))

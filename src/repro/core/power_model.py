@@ -1,0 +1,135 @@
+"""Saiyan power model: PCB prototype, ASIC projection and energy-per-packet.
+
+Reproduces the power accounting of Table 2 (PCB, 1 % duty cycle) and §4.3
+(ASIC, 93.2 µW) and answers the system-level questions the paper motivates
+with them: how much energy one downlink reception costs, whether the solar
+harvester can sustain the receiver, and how Saiyan compares with running a
+commodity LoRa receiver chain on the tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    ASIC_TOTAL_POWER_UW,
+    DUTY_CYCLE_DEFAULT,
+    MCU_POWER_UW,
+    PCB_TOTAL_POWER_UW,
+    STANDARD_LORA_RX_POWER_MW,
+)
+from repro.exceptions import PowerModelError
+from repro.hardware.energy_harvester import EnergyHarvester
+from repro.hardware.power import PowerLedger, asic_power_budget, pcb_power_table
+from repro.lora.parameters import DownlinkParameters
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class PowerSummary:
+    """Headline power figures for one Saiyan implementation."""
+
+    implementation: str
+    total_power_uw: float
+    duty_cycle: float
+    ledger: PowerLedger
+
+
+class SaiyanPowerModel:
+    """Power and energy accounting for a Saiyan tag.
+
+    Parameters
+    ----------
+    downlink:
+        Downlink air interface (sets the packet duration used by the
+        per-packet energy figures).
+    duty_cycle:
+        Receiver duty cycle (1 % in Table 2).
+    implementation:
+        ``"pcb"`` or ``"asic"``.
+    """
+
+    def __init__(self, downlink: DownlinkParameters | None = None, *,
+                 duty_cycle: float = DUTY_CYCLE_DEFAULT,
+                 implementation: str = "pcb") -> None:
+        self.downlink = downlink if downlink is not None else DownlinkParameters()
+        if not 0 < duty_cycle <= 1:
+            raise PowerModelError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        self.duty_cycle = float(duty_cycle)
+        if implementation not in ("pcb", "asic"):
+            raise PowerModelError(
+                f"implementation must be 'pcb' or 'asic', got {implementation!r}")
+        self.implementation = implementation
+
+    # ------------------------------------------------------------------
+    def ledger(self) -> PowerLedger:
+        """The per-component power ledger for this implementation."""
+        if self.implementation == "pcb":
+            return pcb_power_table(duty_cycle=self.duty_cycle)
+        return asic_power_budget()
+
+    def summary(self) -> PowerSummary:
+        """Return the headline figures."""
+        ledger = self.ledger()
+        return PowerSummary(implementation=self.implementation,
+                            total_power_uw=ledger.total_power_uw,
+                            duty_cycle=self.duty_cycle,
+                            ledger=ledger)
+
+    def total_power_uw(self) -> float:
+        """Total receiver power (µW)."""
+        return self.ledger().total_power_uw
+
+    # ------------------------------------------------------------------
+    def packet_duration_s(self, payload_symbols: int = 32, *,
+                          preamble_symbols: int = 10,
+                          sync_symbols: float = 2.25) -> float:
+        """On-air duration of one downlink packet."""
+        if payload_symbols < 0:
+            raise PowerModelError(f"payload_symbols must be >= 0, got {payload_symbols}")
+        total_symbols = preamble_symbols + sync_symbols + payload_symbols
+        return total_symbols * self.downlink.symbol_duration_s
+
+    def energy_per_packet_uj(self, payload_symbols: int = 32) -> float:
+        """Energy to demodulate one downlink packet (µJ).
+
+        Uses the instantaneous (non-duty-cycled) power of the active
+        components, since the receiver is on for the whole packet, plus the
+        MCU's decoding share.
+        """
+        duration = self.packet_duration_s(payload_symbols)
+        if self.implementation == "asic":
+            active_power = ASIC_TOTAL_POWER_UW + MCU_POWER_UW
+        else:
+            # Table 2 lists duty-cycled figures: scale back to instantaneous.
+            active_power = (PCB_TOTAL_POWER_UW / DUTY_CYCLE_DEFAULT) * 1.0
+        return active_power * duration
+
+    def standard_lora_energy_per_packet_uj(self, payload_symbols: int = 32) -> float:
+        """Energy a commodity LoRa receiver chain would need for the same packet (µJ)."""
+        duration = self.packet_duration_s(payload_symbols)
+        return STANDARD_LORA_RX_POWER_MW * 1e3 * duration
+
+    def energy_saving_factor(self, payload_symbols: int = 32) -> float:
+        """How many times less energy Saiyan needs than a commodity LoRa receiver."""
+        saiyan = self.energy_per_packet_uj(payload_symbols)
+        if saiyan <= 0:
+            raise PowerModelError("Saiyan per-packet energy is non-positive")
+        return self.standard_lora_energy_per_packet_uj(payload_symbols) / saiyan
+
+    # ------------------------------------------------------------------
+    def is_sustainable(self, harvester: EnergyHarvester | None = None) -> bool:
+        """Whether the harvester can sustain this receiver at its duty cycle."""
+        harvester = harvester if harvester is not None else EnergyHarvester()
+        if self.implementation == "asic":
+            load = ASIC_TOTAL_POWER_UW
+            return harvester.supports_continuous(load, duty_cycle=self.duty_cycle)
+        load = PCB_TOTAL_POWER_UW / DUTY_CYCLE_DEFAULT
+        return harvester.supports_continuous(load, duty_cycle=self.duty_cycle)
+
+    def charge_time_for_packet_s(self, harvester: EnergyHarvester | None = None, *,
+                                 payload_symbols: int = 32) -> float:
+        """Seconds of harvesting needed to bank the energy for one reception."""
+        harvester = harvester if harvester is not None else EnergyHarvester()
+        ensure_positive(payload_symbols + 1, "payload_symbols + 1")
+        return harvester.time_to_accumulate_s(self.energy_per_packet_uj(payload_symbols))

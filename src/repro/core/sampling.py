@@ -1,0 +1,122 @@
+"""Sampling-rate control (§2.3, Table 1).
+
+The comparator output is sampled by the MCU.  For a downlink chirp carrying
+``K`` bits at spreading factor ``SF`` and bandwidth ``BW`` the candidate
+peak positions are ``BW / 2**(SF-K)`` per second, so Nyquist requires a
+sampling rate of ``2 * BW / 2**(SF-K)``.  The paper measures that a modest
+safety margin is needed in practice and settles on ``3.2 * BW / 2**(SF-K)``.
+
+:func:`sampling_rate_table` reproduces Table 1: the theoretical and the
+practical (measured) sampling rate for every SF/K combination; the
+"practical" column uses the paper's published values where available and the
+3.2x rule elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import SAMPLING_RATE_SAFETY_FACTOR
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import ensure_integer, ensure_positive
+
+#: Practical sampling rates (kHz) measured by the paper for 99.9 % decoding
+#: accuracy (Table 1), indexed by (K, SF).
+PAPER_PRACTICAL_RATES_KHZ: dict[tuple[int, int], float] = {
+    (1, 7): 20, (1, 8): 12, (1, 9): 5.5, (1, 10): 2.6, (1, 11): 1.2, (1, 12): 0.6,
+    (2, 7): 40, (2, 8): 20, (2, 9): 12, (2, 10): 5.5, (2, 11): 2.6, (2, 12): 1.2,
+    (3, 7): 85, (3, 8): 40, (3, 9): 20, (3, 10): 12, (3, 11): 5.5, (3, 12): 2.6,
+    (4, 7): 180, (4, 8): 85, (4, 9): 40, (4, 10): 20, (4, 11): 12, (4, 12): 5.5,
+    (5, 7): 400, (5, 8): 180, (5, 9): 85, (5, 10): 40, (5, 11): 20, (5, 12): 12,
+}
+
+#: Theoretical minimum sampling rates (kHz) from Table 1, indexed by (K, SF).
+PAPER_THEORETICAL_RATES_KHZ: dict[tuple[int, int], float] = {
+    (1, 7): 15.6, (1, 8): 7.8, (1, 9): 3.9, (1, 10): 1.95, (1, 11): 0.98, (1, 12): 0.49,
+    (2, 7): 31.2, (2, 8): 15.6, (2, 9): 7.8, (2, 10): 3.9, (2, 11): 1.95, (2, 12): 0.98,
+    (3, 7): 62.5, (3, 8): 31.2, (3, 9): 15.6, (3, 10): 7.8, (3, 11): 3.9, (3, 12): 1.95,
+    (4, 7): 125, (4, 8): 62.5, (4, 9): 31.2, (4, 10): 15.6, (4, 11): 7.8, (4, 12): 3.9,
+    (5, 7): 250, (5, 8): 125, (5, 9): 62.5, (5, 10): 31.2, (5, 11): 15.6, (5, 12): 7.8,
+}
+
+
+def theoretical_sampling_rate_hz(spreading_factor: int, bits_per_chirp: int,
+                                 bandwidth_hz: float = 500e3) -> float:
+    """Return the Nyquist-minimum comparator sampling rate (Hz).
+
+    ``2 * BW / 2**(SF - K)`` per §2.3.
+    """
+    spreading_factor = ensure_integer(spreading_factor, "spreading_factor",
+                                      minimum=5, maximum=12)
+    bits_per_chirp = ensure_integer(bits_per_chirp, "bits_per_chirp", minimum=1, maximum=8)
+    ensure_positive(bandwidth_hz, "bandwidth_hz")
+    if bits_per_chirp > spreading_factor:
+        raise ConfigurationError("bits_per_chirp cannot exceed the spreading factor")
+    return 2.0 * bandwidth_hz / (2 ** (spreading_factor - bits_per_chirp))
+
+
+def practical_sampling_rate_hz(spreading_factor: int, bits_per_chirp: int,
+                               bandwidth_hz: float = 500e3, *,
+                               safety_factor: float = SAMPLING_RATE_SAFETY_FACTOR) -> float:
+    """Return the practically required sampling rate (Hz).
+
+    The paper finds ``3.2 * BW / 2**(SF - K)`` guarantees 99.9 % decoding
+    accuracy; ``safety_factor`` exposes the multiplier for sensitivity
+    studies.
+    """
+    ensure_positive(safety_factor, "safety_factor")
+    base = theoretical_sampling_rate_hz(spreading_factor, bits_per_chirp, bandwidth_hz)
+    return base * safety_factor / 2.0
+
+
+@dataclass(frozen=True)
+class SamplingRateEntry:
+    """One cell of the Table 1 reproduction."""
+
+    spreading_factor: int
+    bits_per_chirp: int
+    theoretical_khz: float
+    practical_khz: float
+    paper_theoretical_khz: float | None
+    paper_practical_khz: float | None
+
+
+def sampling_rate_table(*, bandwidth_hz: float = 500e3,
+                        spreading_factors: tuple[int, ...] = (7, 8, 9, 10, 11, 12),
+                        bits_per_chirp_values: tuple[int, ...] = (1, 2, 3, 4, 5)
+                        ) -> list[SamplingRateEntry]:
+    """Reproduce Table 1 for the requested SF / K grid.
+
+    Each entry carries both the model's numbers and (where the paper lists
+    the cell) the published theory/practice values for comparison.
+    """
+    table: list[SamplingRateEntry] = []
+    for k in bits_per_chirp_values:
+        for sf in spreading_factors:
+            theoretical = theoretical_sampling_rate_hz(sf, k, bandwidth_hz) / 1e3
+            practical = practical_sampling_rate_hz(sf, k, bandwidth_hz) / 1e3
+            table.append(SamplingRateEntry(
+                spreading_factor=sf,
+                bits_per_chirp=k,
+                theoretical_khz=theoretical,
+                practical_khz=practical,
+                paper_theoretical_khz=PAPER_THEORETICAL_RATES_KHZ.get((k, sf)),
+                paper_practical_khz=PAPER_PRACTICAL_RATES_KHZ.get((k, sf)),
+            ))
+    return table
+
+
+def format_sampling_rate_table(entries: list[SamplingRateEntry]) -> str:
+    """Render a Table 1 style text table (theory/practice per cell)."""
+    spreading_factors = sorted({e.spreading_factor for e in entries})
+    ks = sorted({e.bits_per_chirp for e in entries})
+    by_key = {(e.bits_per_chirp, e.spreading_factor): e for e in entries}
+    header = "K\\SF " + "".join(f"{f'SF={sf}':>16}" for sf in spreading_factors)
+    lines = [header]
+    for k in ks:
+        cells = []
+        for sf in spreading_factors:
+            entry = by_key[(k, sf)]
+            cells.append(f"{entry.theoretical_khz:.2f}/{entry.practical_khz:.2f}".rjust(16))
+        lines.append(f"K={k:<3}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Chirp synthesis for LoRa-style Chirp Spread Spectrum (CSS) signals.
+
+A LoRa symbol is a linear frequency sweep across the configured bandwidth
+``BW`` whose starting frequency encodes the symbol value (Equation 1 of the
+paper).  The frequency wraps back to the bottom of the band once it reaches
+``BW``.  These functions synthesise the complex-baseband waveform of such
+symbols and expose the instantaneous-frequency trajectory the Saiyan SAW
+front end operates on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import ensure_positive
+
+
+def chirp_waveform(bandwidth_hz: float, duration_s: float, sample_rate: float, *,
+                   start_offset_hz: float = 0.0, amplitude: float = 1.0,
+                   initial_phase_rad: float = 0.0) -> Signal:
+    """Synthesise one linear chirp sweeping ``bandwidth_hz`` in ``duration_s``.
+
+    The instantaneous frequency starts at ``start_offset_hz`` (relative to the
+    bottom of the band), rises at rate ``bandwidth_hz / duration_s`` and wraps
+    modulo ``bandwidth_hz``.  Phase is kept continuous across the wrap, which
+    matches how a LoRa modulator behaves.
+
+    Parameters
+    ----------
+    bandwidth_hz:
+        Sweep bandwidth (Hz).
+    duration_s:
+        Chirp (symbol) duration (s).
+    sample_rate:
+        Sampling rate (Hz).  Must be at least ``bandwidth_hz`` to represent
+        the sweep without aliasing at complex baseband.
+    start_offset_hz:
+        Starting frequency offset in ``[0, bandwidth_hz)``.
+    amplitude:
+        Peak amplitude of the complex waveform.
+    initial_phase_rad:
+        Starting phase.
+
+    Returns
+    -------
+    Signal
+        Complex-baseband chirp with frequencies in ``[0, bandwidth_hz)``.
+    """
+    ensure_positive(bandwidth_hz, "bandwidth_hz")
+    ensure_positive(duration_s, "duration_s")
+    ensure_positive(sample_rate, "sample_rate")
+    if sample_rate < bandwidth_hz:
+        raise ConfigurationError(
+            f"sample_rate ({sample_rate}) must be >= bandwidth_hz ({bandwidth_hz})"
+        )
+    if not 0 <= start_offset_hz < bandwidth_hz:
+        raise ConfigurationError(
+            f"start_offset_hz must be in [0, {bandwidth_hz}), got {start_offset_hz}"
+        )
+
+    n = max(int(round(duration_s * sample_rate)), 1)
+    t = np.arange(n) / sample_rate
+    k = bandwidth_hz / duration_s  # chirp rate (Hz/s)
+    freq = np.mod(start_offset_hz + k * t, bandwidth_hz)
+    # Integrate the instantaneous frequency to obtain a continuous phase.
+    phase = initial_phase_rad + 2 * np.pi * np.cumsum(freq) / sample_rate
+    samples = amplitude * np.exp(1j * phase)
+    return Signal(samples, sample_rate, label=f"chirp(start={start_offset_hz:g}Hz)")
+
+
+def lora_symbol_waveform(symbol: int, spreading_factor: int, bandwidth_hz: float,
+                         sample_rate: float, *, amplitude: float = 1.0,
+                         downchirp: bool = False) -> Signal:
+    """Synthesise the waveform of LoRa symbol ``symbol``.
+
+    A spreading factor ``SF`` defines ``2**SF`` possible symbols; symbol ``m``
+    starts its sweep at ``m * BW / 2**SF``.  Symbol duration is
+    ``2**SF / BW`` seconds.
+
+    Parameters
+    ----------
+    symbol:
+        Symbol value in ``[0, 2**SF)``.
+    spreading_factor:
+        LoRa spreading factor (7-12 for real LoRa, any >= 1 accepted here).
+    bandwidth_hz:
+        LoRa bandwidth.
+    sample_rate:
+        Output sampling rate.
+    amplitude:
+        Waveform amplitude.
+    downchirp:
+        If true, generate the conjugate (down-chirp) waveform used for
+        dechirping and for the sync portion of the preamble.
+    """
+    if spreading_factor < 1:
+        raise ConfigurationError(f"spreading_factor must be >= 1, got {spreading_factor}")
+    n_symbols = 2 ** spreading_factor
+    if not 0 <= symbol < n_symbols:
+        raise ConfigurationError(
+            f"symbol must be in [0, {n_symbols}) for SF={spreading_factor}, got {symbol}"
+        )
+    duration = n_symbols / bandwidth_hz
+    offset = symbol * bandwidth_hz / n_symbols
+    signal = chirp_waveform(bandwidth_hz, duration, sample_rate,
+                            start_offset_hz=offset, amplitude=amplitude)
+    if downchirp:
+        signal = signal.with_samples(np.conj(signal.samples))
+    return signal.relabel(f"lora-symbol({symbol}, SF{spreading_factor})")
+
+
+def lora_upchirp(spreading_factor: int, bandwidth_hz: float, sample_rate: float, *,
+                 amplitude: float = 1.0) -> Signal:
+    """Return the base up-chirp (symbol 0), used for the preamble."""
+    return lora_symbol_waveform(0, spreading_factor, bandwidth_hz, sample_rate,
+                                amplitude=amplitude)
+
+
+def lora_downchirp(spreading_factor: int, bandwidth_hz: float, sample_rate: float, *,
+                   amplitude: float = 1.0) -> Signal:
+    """Return the base down-chirp, used for dechirping and the sync word."""
+    return lora_symbol_waveform(0, spreading_factor, bandwidth_hz, sample_rate,
+                                amplitude=amplitude, downchirp=True)
+
+
+def instantaneous_frequency(signal: Signal) -> np.ndarray:
+    """Estimate the instantaneous frequency (Hz) of a complex-baseband signal.
+
+    The estimate differentiates the unwrapped phase; the returned array has
+    the same length as the signal (the first element repeats the second so
+    that plots align with timestamps).
+    """
+    samples = np.asarray(signal.samples)
+    if not np.iscomplexobj(samples):
+        raise ConfigurationError("instantaneous_frequency requires a complex signal")
+    phase = np.unwrap(np.angle(samples))
+    freq = np.diff(phase) * signal.sample_rate / (2 * np.pi)
+    if freq.size == 0:
+        return np.zeros(1)
+    return np.concatenate([[freq[0]], freq])

@@ -1,0 +1,118 @@
+"""Filtering primitives: moving average, FIR design, frequency-domain gain.
+
+The hardware layer models analog filters (the SAW filter, the IF band-pass
+amplifier, the output low-pass filter) on top of these primitives.  FIR
+design uses windowed-sinc filters from scipy; the frequency-domain gain
+helper applies an arbitrary magnitude response, which is how the measured
+SAW response from Figure 5 is imposed onto a waveform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sps
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import ensure_integer, ensure_positive
+
+
+def moving_average(signal: Signal, window: int) -> Signal:
+    """Return the causal moving average of ``signal`` over ``window`` samples.
+
+    This mirrors the moving-average filter Aloba applies to RSSI samples for
+    packet detection.
+    """
+    window = ensure_integer(window, "window", minimum=1)
+    kernel = np.ones(window) / window
+    samples = np.convolve(np.asarray(signal.samples), kernel, mode="same")
+    return signal.with_samples(samples, label=f"{signal.label}|mavg{window}")
+
+
+def fir_lowpass(cutoff_hz: float, sample_rate: float, *, num_taps: int = 129) -> np.ndarray:
+    """Design a linear-phase FIR low-pass filter (Hamming windowed sinc)."""
+    ensure_positive(cutoff_hz, "cutoff_hz")
+    ensure_positive(sample_rate, "sample_rate")
+    num_taps = ensure_integer(num_taps, "num_taps", minimum=3)
+    nyquist = sample_rate / 2.0
+    if cutoff_hz >= nyquist:
+        raise ConfigurationError(
+            f"cutoff_hz ({cutoff_hz}) must be below the Nyquist frequency ({nyquist})"
+        )
+    return sps.firwin(num_taps, cutoff_hz, fs=sample_rate)
+
+
+def fir_bandpass(low_hz: float, high_hz: float, sample_rate: float, *,
+                 num_taps: int = 129) -> np.ndarray:
+    """Design a linear-phase FIR band-pass filter."""
+    ensure_positive(low_hz, "low_hz")
+    ensure_positive(high_hz, "high_hz")
+    num_taps = ensure_integer(num_taps, "num_taps", minimum=3)
+    nyquist = sample_rate / 2.0
+    if not low_hz < high_hz:
+        raise ConfigurationError(f"low_hz ({low_hz}) must be below high_hz ({high_hz})")
+    if high_hz >= nyquist:
+        raise ConfigurationError(
+            f"high_hz ({high_hz}) must be below the Nyquist frequency ({nyquist})"
+        )
+    return sps.firwin(num_taps, [low_hz, high_hz], pass_zero=False, fs=sample_rate)
+
+
+def apply_fir(signal: Signal, taps: np.ndarray) -> Signal:
+    """Apply FIR ``taps`` to ``signal`` with zero group-delay compensation.
+
+    ``filtfilt``-style forward/backward filtering would double the roll-off;
+    instead the linear-phase delay of ``(len(taps) - 1) / 2`` samples is
+    removed so that envelope timing (on which Saiyan's peak-position decoding
+    depends) is preserved.
+    """
+    taps = np.asarray(taps, dtype=float)
+    if taps.ndim != 1 or taps.size < 1:
+        raise ConfigurationError("taps must be a non-empty 1-D array")
+    samples = np.asarray(signal.samples)
+    delay = (taps.size - 1) // 2
+    padded = np.concatenate([samples, np.zeros(delay, dtype=samples.dtype)])
+    filtered = sps.lfilter(taps, [1.0], padded)[delay:]
+    return signal.with_samples(filtered)
+
+
+def lowpass_filter(signal: Signal, cutoff_hz: float, *, num_taps: int = 129) -> Signal:
+    """Low-pass filter ``signal`` at ``cutoff_hz``."""
+    taps = fir_lowpass(cutoff_hz, signal.sample_rate, num_taps=num_taps)
+    return apply_fir(signal, taps).relabel(f"{signal.label}|lpf{cutoff_hz:g}")
+
+
+def bandpass_filter(signal: Signal, low_hz: float, high_hz: float, *,
+                    num_taps: int = 129) -> Signal:
+    """Band-pass filter ``signal`` between ``low_hz`` and ``high_hz``."""
+    taps = fir_bandpass(low_hz, high_hz, signal.sample_rate, num_taps=num_taps)
+    return apply_fir(signal, taps).relabel(f"{signal.label}|bpf{low_hz:g}-{high_hz:g}")
+
+
+def frequency_domain_gain(signal: Signal, gain_fn) -> Signal:
+    """Apply a frequency-dependent amplitude gain to ``signal``.
+
+    ``gain_fn`` receives the FFT bin frequencies (Hz, signed for complex
+    signals) and must return the *linear amplitude* gain at each frequency.
+    This is how the measured SAW filter response (Figure 5) is imposed on a
+    chirp waveform: the chirp's energy at each instantaneous frequency is
+    scaled by the filter's gain at that frequency, which converts the
+    frequency modulation into amplitude modulation.
+    """
+    samples = np.asarray(signal.samples)
+    n = samples.size
+    if np.iscomplexobj(samples):
+        spectrum = np.fft.fft(samples)
+        freqs = np.fft.fftfreq(n, d=1.0 / signal.sample_rate)
+        gains = np.asarray(gain_fn(freqs), dtype=float)
+        if gains.shape != freqs.shape:
+            raise ConfigurationError("gain_fn must return one gain per frequency bin")
+        shaped = np.fft.ifft(spectrum * gains)
+    else:
+        spectrum = np.fft.rfft(samples)
+        freqs = np.fft.rfftfreq(n, d=1.0 / signal.sample_rate)
+        gains = np.asarray(gain_fn(freqs), dtype=float)
+        if gains.shape != freqs.shape:
+            raise ConfigurationError("gain_fn must return one gain per frequency bin")
+        shaped = np.fft.irfft(spectrum * gains, n=n)
+    return signal.with_samples(shaped, label=f"{signal.label}|shaped")

@@ -1,0 +1,76 @@
+"""Signal power, RSS and SNR measurement helpers.
+
+The channel layer expresses waveform amplitudes such that ``mean(|x|^2)`` is
+the received power in watts, so :func:`signal_power_dbm` doubles as an RSS
+meter (Figure 22 plots exactly this quantity against distance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.dsp.spectrum import band_power
+from repro.exceptions import SignalError
+from repro.utils.units import linear_to_db, watts_to_dbm
+
+
+def signal_power(signal: Signal) -> float:
+    """Return the mean linear power of ``signal``."""
+    return signal.power()
+
+
+def signal_power_dbm(signal: Signal) -> float:
+    """Return the mean power of ``signal`` in dBm (samples assumed in sqrt-watts)."""
+    return float(watts_to_dbm(signal.power()))
+
+
+def rms(signal: Signal) -> float:
+    """Return the RMS amplitude of ``signal``."""
+    return signal.rms()
+
+
+def snr_db(signal_power_linear: float, noise_power_linear: float) -> float:
+    """Return the SNR in dB given linear signal and noise powers."""
+    if noise_power_linear <= 0:
+        raise SignalError("noise power must be positive to compute an SNR")
+    if signal_power_linear < 0:
+        raise SignalError("signal power cannot be negative")
+    if signal_power_linear == 0:
+        return float("-inf")
+    return float(linear_to_db(signal_power_linear / noise_power_linear))
+
+
+def estimate_snr_from_bands(signal: Signal, signal_band: tuple[float, float],
+                            noise_band: tuple[float, float]) -> float:
+    """Estimate SNR by comparing power in a signal band against a noise band.
+
+    Both bands are ``(low_hz, high_hz)`` tuples.  The noise band's power
+    density is extrapolated to the signal band's width so that the estimate
+    is a true in-band SNR.  This is how the 11 dB gain of the
+    cyclic-frequency-shifting circuit is quantified in the Figure 10 bench.
+    """
+    sig_low, sig_high = signal_band
+    noise_low, noise_high = noise_band
+    p_signal = band_power(signal, sig_low, sig_high)
+    p_noise = band_power(signal, noise_low, noise_high)
+    noise_width = noise_high - noise_low
+    signal_width = sig_high - sig_low
+    if noise_width <= 0 or signal_width <= 0:
+        raise SignalError("band widths must be positive")
+    noise_in_signal_band = p_noise * signal_width / noise_width
+    if noise_in_signal_band <= 0:
+        return float("inf")
+    net_signal = max(p_signal - noise_in_signal_band, 0.0)
+    if net_signal == 0:
+        return float("-inf")
+    return float(linear_to_db(net_signal / noise_in_signal_band))
+
+
+def peak_to_average_ratio(signal: Signal) -> float:
+    """Return the peak-to-average power ratio (dB) of ``signal``."""
+    samples = np.abs(np.asarray(signal.samples)) ** 2
+    mean = np.mean(samples)
+    if mean <= 0:
+        return 0.0
+    return float(linear_to_db(np.max(samples) / mean))

@@ -1,0 +1,58 @@
+"""Ideal mixing operations used by the cyclic-frequency-shifting circuit.
+
+The hardware mixers in Saiyan (§3.1) multiply the incident RF signal with a
+locally generated clock.  At complex baseband that multiplication is either
+a frequency shift (for a complex exponential LO) or the creation of two
+sidebands (for a real cosine LO, which is what the MCU-generated clock
+actually is).  Both flavours are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.exceptions import SignalError
+
+
+def frequency_shift(signal: Signal, shift_hz: float) -> Signal:
+    """Shift the spectrum of ``signal`` by ``shift_hz`` (complex LO mixing).
+
+    Positive shifts move energy towards higher frequencies.  The output is
+    complex even when the input is real.
+    """
+    t = signal.times
+    lo = np.exp(1j * 2 * np.pi * shift_hz * t)
+    return signal.with_samples(np.asarray(signal.samples) * lo,
+                               label=f"{signal.label}|shift{shift_hz:+g}Hz")
+
+
+def mix_with_tone(signal: Signal, tone_hz: float, *, phase_rad: float = 0.0) -> Signal:
+    """Multiply ``signal`` by a real cosine clock at ``tone_hz``.
+
+    A real LO produces both sum and difference sidebands, exactly like the
+    passive mixers driven by the MCU clock in the cyclic-frequency-shifting
+    circuit: ``S(F)`` becomes ``S(F - dF)/2 + S(F + dF)/2``.
+    """
+    t = signal.times
+    lo = np.cos(2 * np.pi * tone_hz * t + phase_rad)
+    return signal.with_samples(np.asarray(signal.samples) * lo,
+                               label=f"{signal.label}|mix{tone_hz:g}Hz")
+
+
+def multiply_signals(a: Signal, b: Signal) -> Signal:
+    """Return the element-wise product of two signals (an ideal mixer).
+
+    Both signals must share the same sample rate and length.
+    """
+    if not np.isclose(a.sample_rate, b.sample_rate):
+        raise SignalError(
+            f"cannot mix signals with different sample rates "
+            f"({a.sample_rate} Hz vs {b.sample_rate} Hz)"
+        )
+    if len(a) != len(b):
+        raise SignalError(
+            f"cannot mix signals of different lengths ({len(a)} vs {len(b)})"
+        )
+    return a.with_samples(np.asarray(a.samples) * np.asarray(b.samples),
+                          label=f"{a.label}*{b.label}")

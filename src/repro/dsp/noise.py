@@ -1,0 +1,111 @@
+"""Noise sources: thermal AWGN, flicker noise and DC offset.
+
+The noise floor seen by the Saiyan front end is modelled as additive white
+Gaussian noise whose power is derived from the thermal noise density
+(−174 dBm/Hz), the receiver bandwidth and the receiver noise figure.  The
+cyclic-frequency-shifting circuit additionally has to contend with DC offset
+and 1/f (flicker) noise at baseband, which these helpers can synthesise so
+that the benefit of moving the signal to an intermediate frequency is
+reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import THERMAL_NOISE_DBM_PER_HZ
+from repro.dsp.signals import Signal
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.units import db_to_linear, dbm_to_watts
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+def noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Return the thermal noise power (dBm) in ``bandwidth_hz``.
+
+    ``N = -174 dBm/Hz + 10*log10(BW) + NF``.
+    """
+    ensure_positive(bandwidth_hz, "bandwidth_hz")
+    ensure_non_negative(noise_figure_db, "noise_figure_db")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+
+
+def awgn_samples(n: int, noise_power: float, *, complex_valued: bool = True,
+                 random_state: RandomState = None) -> np.ndarray:
+    """Generate ``n`` AWGN samples with average power ``noise_power`` (linear).
+
+    For complex noise the power is split evenly between the I and Q
+    components.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    ensure_non_negative(noise_power, "noise_power")
+    rng = as_rng(random_state)
+    if complex_valued:
+        sigma = np.sqrt(noise_power / 2.0)
+        return sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    sigma = np.sqrt(noise_power)
+    return sigma * rng.standard_normal(n)
+
+
+def add_awgn(signal: Signal, noise_power: float, *,
+             random_state: RandomState = None) -> Signal:
+    """Add AWGN of linear power ``noise_power`` to ``signal``."""
+    noise = awgn_samples(len(signal), noise_power,
+                         complex_valued=signal.is_complex, random_state=random_state)
+    return signal.with_samples(np.asarray(signal.samples) + noise,
+                               label=f"{signal.label}+awgn")
+
+
+def add_awgn_snr(signal: Signal, snr_db: float, *,
+                 random_state: RandomState = None) -> Signal:
+    """Add AWGN such that the resulting SNR equals ``snr_db``.
+
+    The signal power is measured from the samples, so the function works for
+    any waveform regardless of absolute scaling.
+    """
+    signal_power = signal.power()
+    noise_power = signal_power / db_to_linear(snr_db)
+    return add_awgn(signal, float(noise_power), random_state=random_state)
+
+
+def add_noise_floor_dbm(signal: Signal, noise_dbm: float, *,
+                        random_state: RandomState = None) -> Signal:
+    """Add AWGN whose absolute power is ``noise_dbm`` (dBm referenced to 1 mW).
+
+    This couples naturally with waveforms whose amplitude is expressed such
+    that ``|x|^2`` is watts (the convention used by the channel layer).
+    """
+    return add_awgn(signal, float(dbm_to_watts(noise_dbm)), random_state=random_state)
+
+
+def dc_offset(signal: Signal, offset: float) -> Signal:
+    """Add a constant DC offset, as produced by envelope-detector self-mixing."""
+    return signal.with_samples(np.asarray(signal.samples) + offset,
+                               label=f"{signal.label}+dc")
+
+
+def flicker_noise(n: int, power: float, sample_rate: float, *,
+                  random_state: RandomState = None) -> np.ndarray:
+    """Generate ``n`` samples of 1/f (flicker) noise with average power ``power``.
+
+    Flicker noise is synthesised by shaping white Gaussian noise with a
+    ``1/sqrt(f)`` magnitude response in the frequency domain; the DC bin is
+    set to zero so the offset is controlled separately by :func:`dc_offset`.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    ensure_non_negative(power, "power")
+    ensure_positive(sample_rate, "sample_rate")
+    rng = as_rng(random_state)
+    white = rng.standard_normal(n)
+    spectrum = np.fft.rfft(white)
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    shaping = np.zeros_like(freqs)
+    nonzero = freqs > 0
+    shaping[nonzero] = 1.0 / np.sqrt(freqs[nonzero])
+    shaped = np.fft.irfft(spectrum * shaping, n=n)
+    current = np.mean(shaped**2)
+    if current > 0:
+        shaped *= np.sqrt(power / current)
+    return shaped

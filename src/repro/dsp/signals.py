@@ -1,0 +1,181 @@
+"""The :class:`Signal` container.
+
+A ``Signal`` couples a 1-D numpy sample array with the sample rate it was
+generated at, plus optional metadata (carrier frequency, a human-readable
+label).  Keeping the rate next to the samples prevents the classic bug of
+filtering or correlating two signals captured at different rates, and lets
+operations such as slicing by time or measuring duration be expressed
+naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import SignalError
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A uniformly sampled signal.
+
+    Parameters
+    ----------
+    samples:
+        1-D array of real or complex samples.
+    sample_rate:
+        Sampling rate in Hz, strictly positive.
+    carrier_hz:
+        Optional RF carrier the baseband samples are referenced to.  Purely
+        informational: operations do not use it unless documented.
+    label:
+        Optional human-readable description, propagated through operations
+        where it makes sense.
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    carrier_hz: float | None = None
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples)
+        if samples.ndim != 1:
+            raise SignalError(f"Signal samples must be 1-D, got shape {samples.shape}")
+        if samples.size == 0:
+            raise SignalError("Signal must contain at least one sample")
+        object.__setattr__(self, "samples", samples)
+        object.__setattr__(self, "sample_rate", ensure_positive(self.sample_rate, "sample_rate"))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def duration(self) -> float:
+        """Duration of the signal in seconds."""
+        return self.samples.size / self.sample_rate
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps in seconds, starting at zero."""
+        return np.arange(self.samples.size) / self.sample_rate
+
+    @property
+    def is_complex(self) -> bool:
+        """Whether the sample array holds complex values."""
+        return np.iscomplexobj(self.samples)
+
+    def power(self) -> float:
+        """Mean power of the samples (|x|^2 averaged)."""
+        return float(np.mean(np.abs(self.samples) ** 2))
+
+    def rms(self) -> float:
+        """Root-mean-square amplitude of the samples."""
+        return float(np.sqrt(self.power()))
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def with_samples(self, samples: np.ndarray, *, sample_rate: float | None = None,
+                     label: str | None = None) -> "Signal":
+        """Return a copy with ``samples`` (and optionally a new rate/label)."""
+        return Signal(
+            samples=np.asarray(samples),
+            sample_rate=self.sample_rate if sample_rate is None else sample_rate,
+            carrier_hz=self.carrier_hz,
+            label=self.label if label is None else label,
+        )
+
+    def scaled(self, factor: float) -> "Signal":
+        """Return a copy with every sample multiplied by ``factor``."""
+        return self.with_samples(self.samples * factor)
+
+    def scaled_db(self, gain_db: float) -> "Signal":
+        """Return a copy with amplitude scaled by ``gain_db`` (power dB)."""
+        return self.scaled(10.0 ** (gain_db / 20.0))
+
+    def magnitude(self) -> "Signal":
+        """Return a real signal containing ``|samples|``."""
+        return self.with_samples(np.abs(self.samples))
+
+    def real(self) -> "Signal":
+        """Return a real signal containing the real part of the samples."""
+        return self.with_samples(np.real(self.samples))
+
+    def slice_time(self, start_s: float, stop_s: float) -> "Signal":
+        """Return the sub-signal between ``start_s`` and ``stop_s`` seconds."""
+        if stop_s <= start_s:
+            raise SignalError(f"stop_s ({stop_s}) must exceed start_s ({start_s})")
+        start = int(round(start_s * self.sample_rate))
+        stop = int(round(stop_s * self.sample_rate))
+        start = max(start, 0)
+        stop = min(stop, self.samples.size)
+        if stop <= start:
+            raise SignalError("requested time slice lies outside the signal")
+        return self.with_samples(self.samples[start:stop])
+
+    def slice_samples(self, start: int, stop: int) -> "Signal":
+        """Return the sub-signal covering sample indices ``[start, stop)``."""
+        if stop <= start:
+            raise SignalError(f"stop ({stop}) must exceed start ({start})")
+        start = max(int(start), 0)
+        stop = min(int(stop), self.samples.size)
+        if stop <= start:
+            raise SignalError("requested sample slice lies outside the signal")
+        return self.with_samples(self.samples[start:stop])
+
+    def concatenate(self, other: "Signal") -> "Signal":
+        """Append ``other`` to this signal.  Sample rates must match."""
+        self._check_compatible(other)
+        return self.with_samples(np.concatenate([self.samples, other.samples]))
+
+    def add(self, other: "Signal") -> "Signal":
+        """Return the element-wise sum.  Lengths and rates must match."""
+        self._check_compatible(other)
+        if len(self) != len(other):
+            raise SignalError(
+                f"cannot add signals of different lengths ({len(self)} vs {len(other)})"
+            )
+        return self.with_samples(self.samples + other.samples)
+
+    def relabel(self, label: str) -> "Signal":
+        """Return a copy carrying ``label``."""
+        return replace(self, label=label)
+
+    def _check_compatible(self, other: "Signal") -> None:
+        if not isinstance(other, Signal):
+            raise SignalError(f"expected a Signal, got {type(other).__name__}")
+        if not np.isclose(other.sample_rate, self.sample_rate):
+            raise SignalError(
+                "sample rates differ: "
+                f"{self.sample_rate} Hz vs {other.sample_rate} Hz"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def silence(cls, duration_s: float, sample_rate: float, *, complex_valued: bool = True,
+                carrier_hz: float | None = None) -> "Signal":
+        """Return an all-zero signal of ``duration_s`` seconds."""
+        ensure_positive(duration_s, "duration_s")
+        n = max(int(round(duration_s * sample_rate)), 1)
+        dtype = np.complex128 if complex_valued else np.float64
+        return cls(np.zeros(n, dtype=dtype), sample_rate, carrier_hz=carrier_hz, label="silence")
+
+    @classmethod
+    def tone(cls, frequency_hz: float, duration_s: float, sample_rate: float, *,
+             amplitude: float = 1.0, phase_rad: float = 0.0,
+             carrier_hz: float | None = None) -> "Signal":
+        """Return a complex exponential tone at ``frequency_hz``."""
+        ensure_positive(duration_s, "duration_s")
+        n = max(int(round(duration_s * sample_rate)), 1)
+        t = np.arange(n) / sample_rate
+        samples = amplitude * np.exp(1j * (2 * np.pi * frequency_hz * t + phase_rad))
+        return cls(samples, sample_rate, carrier_hz=carrier_hz, label=f"tone@{frequency_hz:g}Hz")

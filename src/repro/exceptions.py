@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Saiyan reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+signal-processing problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or combination of parameters is invalid.
+
+    Raised when constructing objects (LoRa parameters, hardware models,
+    simulation configurations) with values outside their physically or
+    logically meaningful range.
+    """
+
+
+class SignalError(ReproError):
+    """A signal object is malformed or incompatible with an operation.
+
+    Examples: feeding an empty sample array into a filter, mixing two
+    signals with different sample rates, or requesting a band outside the
+    representable spectrum.
+    """
+
+
+class DemodulationError(ReproError):
+    """Demodulation could not be performed.
+
+    Raised when a demodulator cannot find a preamble, cannot synchronize to
+    the symbol boundaries, or is asked to decode a packet whose structure is
+    inconsistent with its configuration.
+    """
+
+
+class LinkError(ReproError):
+    """A radio-link computation is invalid.
+
+    Raised for impossible geometries (non-positive distances), invalid
+    transmit powers, or link budgets that cannot be evaluated.
+    """
+
+
+class ProtocolError(ReproError):
+    """A MAC/feedback-protocol invariant was violated.
+
+    Raised by the network layer when packets are malformed, when a tag
+    replies in a slot it does not own, or when the access point receives an
+    acknowledgement it never solicited.
+    """
+
+
+class PowerModelError(ReproError):
+    """An energy/power accounting operation is invalid.
+
+    Raised when a component reports negative energy, when a duty cycle is
+    outside ``(0, 1]``, or when the energy harvester is asked to supply more
+    energy than it has accumulated.
+    """

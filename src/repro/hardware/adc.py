@@ -1,0 +1,86 @@
+"""Analog-to-digital converter.
+
+Saiyan removes the ADC from the receive chain; the model is provided for the
+standard-LoRa-receiver baseline (which digitizes the baseband at twice the
+chirp bandwidth, §1) and to let the power benchmarks quantify what removing
+it saves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.validation import ensure_integer, ensure_positive
+
+
+class ADC(Component):
+    """A uniform mid-rise quantizer with a configurable resolution.
+
+    Parameters
+    ----------
+    sampling_rate_hz:
+        Conversion rate.
+    resolution_bits:
+        Number of output bits per sample.
+    full_scale:
+        Input amplitude mapped to the top code; inputs are clipped to
+        ``[-full_scale, full_scale]`` (or ``[0, full_scale]`` for
+        non-negative envelopes).
+    power_per_msps_uw:
+        Power drawn per mega-sample-per-second of conversion rate.  The
+        default reproduces the "tens of mW" figure for a LoRa-grade ADC +
+        down-converter chain the paper cites.
+    """
+
+    def __init__(self, sampling_rate_hz: float, *, resolution_bits: int = 12,
+                 full_scale: float = 1.0, power_per_msps_uw: float = 20_000.0,
+                 cost_usd: float = 2.5) -> None:
+        sampling_rate_hz = ensure_positive(sampling_rate_hz, "sampling_rate_hz")
+        resolution_bits = ensure_integer(resolution_bits, "resolution_bits",
+                                         minimum=1, maximum=24)
+        power = PowerProfile(
+            active_power_uw=power_per_msps_uw * sampling_rate_hz / 1e6,
+            cost_usd=cost_usd,
+        )
+        super().__init__("adc", power)
+        self.sampling_rate_hz = sampling_rate_hz
+        self.resolution_bits = resolution_bits
+        self.full_scale = ensure_positive(full_scale, "full_scale")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of quantization levels."""
+        return 2 ** self.resolution_bits
+
+    def digitize(self, waveform: Signal) -> Signal:
+        """Sample and quantize ``waveform``.
+
+        The output signal holds the reconstructed (dequantized) values at
+        the ADC rate so downstream DSP can treat it like any other waveform
+        while still seeing the quantization error.
+        """
+        if not isinstance(waveform, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(waveform).__name__}")
+        duration = waveform.duration
+        n_out = max(int(np.floor(duration * self.sampling_rate_hz)), 1)
+        sample_times = np.arange(n_out) / self.sampling_rate_hz
+        indices = np.minimum((sample_times * waveform.sample_rate).astype(int),
+                             len(waveform) - 1)
+        values = np.asarray(waveform.samples)[indices]
+        if np.iscomplexobj(values):
+            quantized = (self._quantize_real(values.real)
+                         + 1j * self._quantize_real(values.imag))
+        else:
+            quantized = self._quantize_real(values.astype(float))
+        return Signal(quantized, self.sampling_rate_hz, carrier_hz=waveform.carrier_hz,
+                      label=f"{waveform.label}|adc{self.resolution_bits}b")
+
+    def _quantize_real(self, values: np.ndarray) -> np.ndarray:
+        clipped = np.clip(values, -self.full_scale, self.full_scale)
+        step = 2.0 * self.full_scale / self.num_levels
+        codes = np.floor((clipped + self.full_scale) / step)
+        codes = np.clip(codes, 0, self.num_levels - 1)
+        return (codes + 0.5) * step - self.full_scale

@@ -1,0 +1,54 @@
+"""Antenna model.
+
+Both the LoRa transmitter and the Saiyan tag use 3 dBi omni-directional
+433 MHz antennas (§4.1, §4.2).  The model is intentionally small: a gain, an
+operating band and an efficiency factor used by the link budget.
+"""
+
+from __future__ import annotations
+
+from repro.constants import DEFAULT_ANTENNA_GAIN_DBI, LORA_CARRIER_HZ
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+class Antenna(Component):
+    """An omni-directional antenna with a fixed gain.
+
+    Parameters
+    ----------
+    gain_dbi:
+        Peak gain relative to an isotropic radiator.
+    center_frequency_hz:
+        Centre of the operating band.
+    bandwidth_hz:
+        Width of the band over which the stated gain applies.
+    efficiency:
+        Radiation efficiency in (0, 1].
+    """
+
+    def __init__(self, *, gain_dbi: float = DEFAULT_ANTENNA_GAIN_DBI,
+                 center_frequency_hz: float = LORA_CARRIER_HZ,
+                 bandwidth_hz: float = 20e6, efficiency: float = 0.9,
+                 cost_usd: float = 1.0) -> None:
+        super().__init__("antenna", PowerProfile(active_power_uw=0.0, cost_usd=cost_usd))
+        self.gain_dbi = float(gain_dbi)
+        self.center_frequency_hz = ensure_positive(center_frequency_hz, "center_frequency_hz")
+        self.bandwidth_hz = ensure_positive(bandwidth_hz, "bandwidth_hz")
+        self.efficiency = ensure_in_range(efficiency, "efficiency", 0.0, 1.0,
+                                          inclusive=False if efficiency == 0 else True)
+        if self.efficiency <= 0:
+            raise ConfigurationError("efficiency must be positive")
+
+    def covers(self, frequency_hz: float) -> bool:
+        """Whether ``frequency_hz`` lies inside the antenna's operating band."""
+        ensure_positive(frequency_hz, "frequency_hz")
+        half = self.bandwidth_hz / 2.0
+        return abs(frequency_hz - self.center_frequency_hz) <= half
+
+    def effective_gain_dbi(self, frequency_hz: float) -> float:
+        """Gain at ``frequency_hz``: nominal in-band, heavily reduced out of band."""
+        if self.covers(frequency_hz):
+            return self.gain_dbi
+        return self.gain_dbi - 20.0

@@ -1,0 +1,91 @@
+"""Base class shared by all hardware component models.
+
+A :class:`Component` couples the component's signal-processing behaviour
+(implemented by subclasses) with a :class:`PowerProfile` describing its
+active power draw, duty-cycled average power and unit cost — the quantities
+Table 2 of the paper reports per component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PowerModelError
+from repro.utils.validation import ensure_non_negative
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Power and cost characteristics of one hardware component.
+
+    Parameters
+    ----------
+    active_power_uw:
+        Power draw while the component is operating (µW).
+    sleep_power_uw:
+        Power draw while idle (µW); zero for purely passive parts.
+    cost_usd:
+        Unit cost in USD (Table 2).
+    """
+
+    active_power_uw: float = 0.0
+    sleep_power_uw: float = 0.0
+    cost_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.active_power_uw, "active_power_uw")
+        ensure_non_negative(self.sleep_power_uw, "sleep_power_uw")
+        ensure_non_negative(self.cost_usd, "cost_usd")
+        if self.sleep_power_uw > self.active_power_uw and self.active_power_uw > 0:
+            raise PowerModelError(
+                "sleep power cannot exceed active power "
+                f"({self.sleep_power_uw} µW > {self.active_power_uw} µW)"
+            )
+
+    def average_power_uw(self, duty_cycle: float) -> float:
+        """Return the duty-cycled average power (µW).
+
+        ``duty_cycle`` is the fraction of time the component is active; the
+        rest of the time it draws its sleep power.
+        """
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise PowerModelError(f"duty_cycle must be in [0, 1], got {duty_cycle}")
+        return (self.active_power_uw * duty_cycle
+                + self.sleep_power_uw * (1.0 - duty_cycle))
+
+    def energy_uj(self, duration_s: float, duty_cycle: float = 1.0) -> float:
+        """Return the energy (µJ) consumed over ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise PowerModelError(f"duration_s must be >= 0, got {duration_s}")
+        return self.average_power_uw(duty_cycle) * duration_s
+
+
+class Component:
+    """A named hardware component with a power profile.
+
+    Subclasses implement the component's signal behaviour; this base class
+    only provides the identity and energy accounting shared by all of them.
+    """
+
+    def __init__(self, name: str, power: PowerProfile | None = None) -> None:
+        if not name:
+            raise PowerModelError("component name must be non-empty")
+        self.name = str(name)
+        self.power = power if power is not None else PowerProfile()
+
+    def average_power_uw(self, duty_cycle: float = 1.0) -> float:
+        """Duty-cycled average power draw of this component (µW)."""
+        return self.power.average_power_uw(duty_cycle)
+
+    def energy_uj(self, duration_s: float, duty_cycle: float = 1.0) -> float:
+        """Energy consumed by this component over ``duration_s`` seconds (µJ)."""
+        return self.power.energy_uj(duration_s, duty_cycle)
+
+    @property
+    def cost_usd(self) -> float:
+        """Unit cost of the component (USD)."""
+        return self.power.cost_usd
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"active={self.power.active_power_uw:g}µW)")

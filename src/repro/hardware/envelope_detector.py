@@ -1,0 +1,85 @@
+"""Square-law envelope detector.
+
+Backscatter receivers use a diode or CMOS square-law detector to
+down-convert the RF signal without a mixer or local oscillator.  The
+detector output is ``k * |s_t + s_n|^2`` (Equation 4): besides the wanted
+``|s_t|^2`` term it contains the cross term ``2 k s_t s_n`` and the
+noise-squared term ``k |s_n|^2``, both of which land in the baseband and
+degrade the SNR — the effect the paper quantifies as a ~30 dB sensitivity
+penalty for plain envelope-detector receivers and then recovers with the
+cyclic-frequency-shifting circuit.
+
+The model squares the (complex-baseband) input, applies the conversion gain,
+adds the detector's own output noise, and low-pass filters with the RC
+bandwidth of the detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import lowpass_filter
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+class EnvelopeDetector(Component):
+    """Square-law envelope detector with conversion gain and output noise.
+
+    Parameters
+    ----------
+    conversion_gain:
+        The ``k`` factor of Equation 4, mapping input power to output
+        "voltage".  The absolute value is immaterial to decisions (the
+        comparator thresholds are calibrated against it) but is exposed so
+        tests can verify linear scaling.
+    output_noise_rms:
+        RMS of the additive noise the detector itself contributes at its
+        output (baseband), in the same units as the output.
+    rc_bandwidth_hz:
+        Bandwidth of the output RC filter.  ``None`` disables the filter
+        (useful when the caller filters explicitly, e.g. the cyclic
+        frequency shifter which needs the IF content preserved).
+    passive:
+        Whether the detector is passive (no bias current); Table 2 lists the
+        envelope detector at 0 µW.
+    cost_usd:
+        Component cost (Table 2 lists $1.20).
+    """
+
+    def __init__(self, *, conversion_gain: float = 1.0,
+                 output_noise_rms: float = 0.0,
+                 rc_bandwidth_hz: float | None = None,
+                 passive: bool = True,
+                 cost_usd: float = 1.20) -> None:
+        power = PowerProfile(active_power_uw=0.0 if passive else 5.0, cost_usd=cost_usd)
+        super().__init__("envelope_detector", power)
+        self.conversion_gain = ensure_positive(conversion_gain, "conversion_gain")
+        self.output_noise_rms = ensure_non_negative(output_noise_rms, "output_noise_rms")
+        if rc_bandwidth_hz is not None:
+            ensure_positive(rc_bandwidth_hz, "rc_bandwidth_hz")
+        self.rc_bandwidth_hz = rc_bandwidth_hz
+
+    def detect(self, signal: Signal, *, random_state: RandomState = None) -> Signal:
+        """Return the detector output for ``signal``.
+
+        The output is a real baseband signal at the same sample rate.  The
+        square-law operation itself performs the down-conversion: any
+        spectral content of the input appears at difference frequencies in
+        the output.
+        """
+        if not isinstance(signal, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(signal).__name__}")
+        squared = self.conversion_gain * np.abs(np.asarray(signal.samples)) ** 2
+        output = signal.with_samples(squared.astype(float), label=f"{signal.label}|envdet")
+        if self.output_noise_rms > 0:
+            rng = as_rng(random_state)
+            output = output.with_samples(
+                np.asarray(output.samples)
+                + rng.normal(0.0, self.output_noise_rms, size=len(output)))
+        if self.rc_bandwidth_hz is not None and self.rc_bandwidth_hz < signal.sample_rate / 2:
+            output = lowpass_filter(output, self.rc_bandwidth_hz)
+        return output

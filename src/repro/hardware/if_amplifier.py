@@ -1,0 +1,67 @@
+"""Intermediate-frequency (IF) amplifier.
+
+Step 2 of the cyclic-frequency-shifting circuit amplifies the unpolluted IF
+copy of the signal while its frequency selectivity rejects the baseband
+products (DC offset, flicker noise, the self-mixed noise floor).  The paper
+uses a 2N222 transistor as a low-power IF amplifier; the model is a
+band-pass gain stage centred on the IF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import bandpass_filter
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.units import db_to_linear
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+class IFAmplifier(Component):
+    """Band-pass amplifier centred on the intermediate frequency.
+
+    Parameters
+    ----------
+    center_frequency_hz:
+        The IF (the cyclic shifter's Δf plus the signal bandwidth around it).
+    bandwidth_hz:
+        Passband width; content outside it is rejected by the FIR band-pass.
+    gain_db:
+        In-band power gain.
+    """
+
+    def __init__(self, center_frequency_hz: float, bandwidth_hz: float, *,
+                 gain_db: float = 20.0, active_power_uw: float = 10.0,
+                 cost_usd: float = 0.2) -> None:
+        super().__init__("if_amplifier", PowerProfile(active_power_uw=active_power_uw,
+                                                      cost_usd=cost_usd))
+        self.center_frequency_hz = ensure_positive(center_frequency_hz, "center_frequency_hz")
+        self.bandwidth_hz = ensure_positive(bandwidth_hz, "bandwidth_hz")
+        self.gain_db = ensure_non_negative(gain_db, "gain_db")
+        if bandwidth_hz / 2 >= center_frequency_hz:
+            raise ConfigurationError(
+                "the passband must not extend to DC: require bandwidth/2 < centre frequency"
+            )
+
+    @property
+    def passband(self) -> tuple[float, float]:
+        """Return the (low, high) edges of the passband in Hz."""
+        half = self.bandwidth_hz / 2.0
+        return (self.center_frequency_hz - half, self.center_frequency_hz + half)
+
+    def apply(self, signal: Signal) -> Signal:
+        """Band-pass filter and amplify ``signal`` around the IF."""
+        if not isinstance(signal, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(signal).__name__}")
+        low, high = self.passband
+        nyquist = signal.sample_rate / 2.0
+        if high >= nyquist:
+            raise ConfigurationError(
+                f"IF passband upper edge ({high} Hz) exceeds the Nyquist "
+                f"frequency of the signal ({nyquist} Hz)"
+            )
+        filtered = bandpass_filter(signal, low, high)
+        gain = np.sqrt(db_to_linear(self.gain_db))
+        return filtered.scaled(gain).relabel(f"{signal.label}|ifamp")

@@ -1,0 +1,44 @@
+"""Analog low-pass filter.
+
+The final stage of the cyclic-frequency-shifting circuit: after the output
+mixer returns the amplified IF signal to the baseband, the DC offset,
+flicker noise and residual images sit at the IF and above, where a simple RC
+low-pass removes them (Figure 9f).
+"""
+
+from __future__ import annotations
+
+from repro.dsp.filters import lowpass_filter
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.validation import ensure_positive
+
+
+class AnalogLowPassFilter(Component):
+    """A passive RC-style low-pass filter with a configurable cutoff.
+
+    Parameters
+    ----------
+    cutoff_hz:
+        -3 dB cutoff frequency.
+    num_taps:
+        Order of the FIR approximation used in simulation.
+    """
+
+    def __init__(self, cutoff_hz: float, *, num_taps: int = 129,
+                 cost_usd: float = 0.1) -> None:
+        super().__init__("lpf", PowerProfile(active_power_uw=0.0, cost_usd=cost_usd))
+        self.cutoff_hz = ensure_positive(cutoff_hz, "cutoff_hz")
+        if num_taps < 3:
+            raise ConfigurationError(f"num_taps must be >= 3, got {num_taps}")
+        self.num_taps = int(num_taps)
+
+    def apply(self, signal: Signal) -> Signal:
+        """Low-pass filter ``signal`` at the configured cutoff."""
+        if not isinstance(signal, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(signal).__name__}")
+        if self.cutoff_hz >= signal.sample_rate / 2:
+            # Cutoff beyond Nyquist: the filter is transparent.
+            return signal
+        return lowpass_filter(signal, self.cutoff_hz, num_taps=self.num_taps)

@@ -1,0 +1,112 @@
+"""Clock generation: micro-power oscillator and delay line.
+
+The cyclic-frequency-shifting circuit needs two clocks, ``CLK_in(Δf)`` and
+``CLK_out(Δf)``.  To save power the MCU/oscillator generates only the first
+one; the second is obtained by passing the first through a transmission-line
+delay whose length is tuned so the phase shift Δφ satisfies
+``cos(Δφ) ≈ 1`` (Equation 5), making the two clocks effectively identical.
+The base clock is provided by an LTC6907 micro-power oscillator (86.8 µW in
+Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+class Oscillator(Component):
+    """Micro-power clock source (LTC6907).
+
+    Parameters
+    ----------
+    frequency_hz:
+        Output clock frequency (the IF offset Δf of the cyclic shifter).
+    amplitude:
+        Peak amplitude of the generated clock.
+    phase_noise_rms_rad:
+        RMS phase jitter added to the generated clock; zero for an ideal
+        clock.
+    """
+
+    def __init__(self, frequency_hz: float, *, amplitude: float = 1.0,
+                 phase_noise_rms_rad: float = 0.0,
+                 active_power_uw: float = 86.8, cost_usd: float = 1.25) -> None:
+        super().__init__("oscillator", PowerProfile(active_power_uw=active_power_uw,
+                                                    cost_usd=cost_usd))
+        self.frequency_hz = ensure_positive(frequency_hz, "frequency_hz")
+        self.amplitude = ensure_positive(amplitude, "amplitude")
+        self.phase_noise_rms_rad = ensure_non_negative(phase_noise_rms_rad,
+                                                       "phase_noise_rms_rad")
+
+    def generate(self, duration_s: float, sample_rate: float, *,
+                 phase_rad: float = 0.0,
+                 rng: np.random.Generator | None = None) -> Signal:
+        """Generate a real cosine clock of ``duration_s`` seconds."""
+        ensure_positive(duration_s, "duration_s")
+        ensure_positive(sample_rate, "sample_rate")
+        if sample_rate < 2 * self.frequency_hz:
+            raise ConfigurationError(
+                f"sample_rate ({sample_rate}) must be at least twice the clock "
+                f"frequency ({self.frequency_hz})"
+            )
+        n = max(int(round(duration_s * sample_rate)), 1)
+        t = np.arange(n) / sample_rate
+        phase = 2 * np.pi * self.frequency_hz * t + phase_rad
+        if self.phase_noise_rms_rad > 0:
+            generator = rng if rng is not None else np.random.default_rng()
+            phase = phase + generator.normal(0.0, self.phase_noise_rms_rad, size=n)
+        return Signal(self.amplitude * np.cos(phase), sample_rate,
+                      label=f"clk@{self.frequency_hz:g}Hz")
+
+
+class DelayLine(Component):
+    """A transmission-line delay that derives ``CLK_out`` from ``CLK_in``.
+
+    Parameters
+    ----------
+    delay_s:
+        Propagation delay of the line.  The resulting phase shift at clock
+        frequency ``f`` is ``Δφ = 2 π f delay_s``; Saiyan tunes the length so
+        ``cos(Δφ) ≈ 1``.
+    """
+
+    def __init__(self, delay_s: float = 0.0, *, cost_usd: float = 0.0) -> None:
+        super().__init__("delay_line", PowerProfile(active_power_uw=0.0, cost_usd=cost_usd))
+        self.delay_s = ensure_non_negative(delay_s, "delay_s")
+
+    def phase_shift_rad(self, frequency_hz: float) -> float:
+        """Return the phase shift Δφ this line imposes on a clock at ``frequency_hz``."""
+        ensure_positive(frequency_hz, "frequency_hz")
+        return 2.0 * np.pi * frequency_hz * self.delay_s
+
+    def apply(self, clock: Signal) -> Signal:
+        """Delay a clock waveform by the line's propagation time.
+
+        The delay is applied as an integer sample shift (the clock repeats
+        periodically so edge effects are negligible for the shifts used).
+        """
+        if not isinstance(clock, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(clock).__name__}")
+        shift = int(round(self.delay_s * clock.sample_rate))
+        if shift == 0:
+            return clock
+        samples = np.roll(np.asarray(clock.samples), shift)
+        return clock.with_samples(samples, label=f"{clock.label}|delay{self.delay_s:g}s")
+
+    @classmethod
+    def tuned_for(cls, frequency_hz: float, *, max_phase_error_rad: float = 0.1) -> "DelayLine":
+        """Return a delay line whose phase shift at ``frequency_hz`` is ~2π (cos ≈ 1).
+
+        A full-wavelength line keeps ``CLK_out`` aligned with ``CLK_in`` to
+        within ``max_phase_error_rad`` while providing the physical isolation
+        the circuit needs.
+        """
+        ensure_positive(frequency_hz, "frequency_hz")
+        ensure_positive(max_phase_error_rad, "max_phase_error_rad")
+        period = 1.0 / frequency_hz
+        return cls(delay_s=period)

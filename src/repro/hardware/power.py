@@ -1,0 +1,143 @@
+"""Power and cost accounting (Table 2 and the §4.3 ASIC budget).
+
+:class:`PowerLedger` aggregates per-component power/energy/cost, and the two
+constructors :func:`pcb_power_table` and :func:`asic_power_budget` reproduce
+the paper's published numbers so that benchmarks can print them side by side
+with any "what-if" configuration (different duty cycle, ASIC vs PCB, with or
+without the LNA, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import (
+    ASIC_DIGITAL_POWER_UW,
+    ASIC_LNA_POWER_UW,
+    ASIC_OSCILLATOR_POWER_UW,
+    ASIC_TOTAL_POWER_UW,
+    DUTY_CYCLE_DEFAULT,
+    PCB_COMPONENT_COST_USD,
+    PCB_COMPONENT_POWER_UW,
+)
+from repro.exceptions import PowerModelError
+from repro.utils.validation import ensure_non_negative
+
+
+@dataclass(frozen=True)
+class PowerEntry:
+    """One row of a power/cost table."""
+
+    name: str
+    power_uw: float
+    cost_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.power_uw, "power_uw")
+        ensure_non_negative(self.cost_usd, "cost_usd")
+
+
+@dataclass
+class PowerLedger:
+    """An itemised power/cost budget.
+
+    Entries can be added from raw numbers or from
+    :class:`~repro.hardware.component.Component` instances; totals and a
+    formatted table are derived.
+    """
+
+    entries: list[PowerEntry] = field(default_factory=list)
+    duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise PowerModelError(f"duty_cycle must be in (0, 1], got {self.duty_cycle}")
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, power_uw: float, *, cost_usd: float = 0.0) -> None:
+        """Add one entry with an explicit power figure (already duty-cycled)."""
+        self.entries.append(PowerEntry(name=name, power_uw=power_uw, cost_usd=cost_usd))
+
+    def add_component(self, component, *, duty_cycle: float | None = None) -> None:
+        """Add a hardware component, applying the ledger's (or an explicit) duty cycle."""
+        dc = self.duty_cycle if duty_cycle is None else duty_cycle
+        self.entries.append(PowerEntry(
+            name=component.name,
+            power_uw=component.average_power_uw(dc),
+            cost_usd=component.cost_usd,
+        ))
+
+    # ------------------------------------------------------------------
+    @property
+    def total_power_uw(self) -> float:
+        """Sum of all entries' power (µW)."""
+        return float(sum(entry.power_uw for entry in self.entries))
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Sum of all entries' cost (USD)."""
+        return float(sum(entry.cost_usd for entry in self.entries))
+
+    def power_of(self, name: str) -> float:
+        """Power (µW) of the entry called ``name``."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry.power_uw
+        raise PowerModelError(f"no ledger entry named {name!r}")
+
+    def fraction_of_total(self, name: str) -> float:
+        """Share of the total power attributable to ``name`` (0-1)."""
+        total = self.total_power_uw
+        if total <= 0:
+            return 0.0
+        return self.power_of(name) / total
+
+    def energy_uj(self, duration_s: float) -> float:
+        """Total energy (µJ) consumed over ``duration_s`` seconds."""
+        ensure_non_negative(duration_s, "duration_s")
+        return self.total_power_uw * duration_s
+
+    # ------------------------------------------------------------------
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """Return ``(name, power_uw, cost_usd)`` rows plus a trailing total row."""
+        rows = [(e.name, e.power_uw, e.cost_usd) for e in self.entries]
+        rows.append(("total", self.total_power_uw, self.total_cost_usd))
+        return rows
+
+    def format_table(self) -> str:
+        """Return a fixed-width text table of the ledger."""
+        lines = [f"{'component':<20}{'power (µW)':>14}{'cost ($)':>12}"]
+        for name, power, cost in self.as_rows():
+            lines.append(f"{name:<20}{power:>14.2f}{cost:>12.2f}")
+        return "\n".join(lines)
+
+
+def pcb_power_table(*, duty_cycle: float = DUTY_CYCLE_DEFAULT) -> PowerLedger:
+    """Return the Table 2 PCB power/cost budget.
+
+    The published numbers already assume 1 % duty cycling; a different
+    ``duty_cycle`` rescales the active components linearly (the SAW filter
+    and envelope detector are passive and stay at zero).
+    """
+    if not 0.0 < duty_cycle <= 1.0:
+        raise PowerModelError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+    scale = duty_cycle / DUTY_CYCLE_DEFAULT
+    ledger = PowerLedger(duty_cycle=duty_cycle)
+    for name, power in PCB_COMPONENT_POWER_UW.items():
+        ledger.add(name, power * scale, cost_usd=PCB_COMPONENT_COST_USD[name])
+    return ledger
+
+
+def asic_power_budget() -> PowerLedger:
+    """Return the §4.3 ASIC power budget (93.2 µW total)."""
+    ledger = PowerLedger(duty_cycle=1.0)
+    ledger.add("lna", ASIC_LNA_POWER_UW)
+    ledger.add("oscillator", ASIC_OSCILLATOR_POWER_UW)
+    ledger.add("digital", ASIC_DIGITAL_POWER_UW)
+    expected = ASIC_LNA_POWER_UW + ASIC_OSCILLATOR_POWER_UW + ASIC_DIGITAL_POWER_UW
+    if abs(expected - ASIC_TOTAL_POWER_UW) > 0.5:
+        raise PowerModelError(
+            "ASIC component powers no longer sum to the published total "
+            f"({expected} µW vs {ASIC_TOTAL_POWER_UW} µW)"
+        )
+    return ledger

@@ -1,0 +1,65 @@
+"""Passive RF mixer.
+
+Two mixers implement the cyclic-frequency-shifting circuit (§3.1, Figure 11):
+the input mixer multiplies the incident signal with the MCU-generated clock
+``CLK_in(Δf)`` to create sidebands at ``F ± Δf``; the output mixer moves the
+amplified IF signal back to baseband with ``CLK_out(Δf)``.  A passive mixer
+has a conversion loss (each sideband carries half the amplitude, ~6 dB of
+power) which the model applies faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.units import db_to_linear
+from repro.utils.validation import ensure_non_negative
+
+
+class RFMixer(Component):
+    """A passive mixer driven by a real clock signal.
+
+    Parameters
+    ----------
+    conversion_loss_db:
+        Extra loss beyond the inherent 1/2-amplitude sideband split of an
+        ideal multiplier (diode losses, port mismatch).
+    """
+
+    def __init__(self, *, conversion_loss_db: float = 0.0, cost_usd: float = 0.0) -> None:
+        super().__init__("rf_mixer", PowerProfile(active_power_uw=0.0, cost_usd=cost_usd))
+        self.conversion_loss_db = ensure_non_negative(conversion_loss_db, "conversion_loss_db")
+
+    def mix(self, signal: Signal, clock_hz: float, *, phase_rad: float = 0.0) -> Signal:
+        """Multiply ``signal`` by a real clock at ``clock_hz``.
+
+        The output contains both sum and difference products; the caller's
+        downstream filtering (envelope detector, IF amplifier, LPF) selects
+        the wanted one, exactly as in the analog circuit.
+        """
+        if not isinstance(signal, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(signal).__name__}")
+        if clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be positive, got {clock_hz}")
+        t = signal.times
+        clock = np.cos(2 * np.pi * clock_hz * t + phase_rad)
+        loss = np.sqrt(db_to_linear(-self.conversion_loss_db))
+        samples = np.asarray(signal.samples) * clock * loss
+        return signal.with_samples(samples, label=f"{signal.label}|mix@{clock_hz:g}Hz")
+
+    def mix_with(self, signal: Signal, clock: Signal) -> Signal:
+        """Multiply ``signal`` by an explicit clock waveform (e.g. from an Oscillator)."""
+        if len(clock) < len(signal):
+            raise ConfigurationError(
+                "clock waveform is shorter than the signal "
+                f"({len(clock)} < {len(signal)})"
+            )
+        if not np.isclose(clock.sample_rate, signal.sample_rate):
+            raise ConfigurationError("clock and signal sample rates must match")
+        loss = np.sqrt(db_to_linear(-self.conversion_loss_db))
+        samples = (np.asarray(signal.samples)
+                   * np.real(np.asarray(clock.samples)[: len(signal)]) * loss)
+        return signal.with_samples(samples, label=f"{signal.label}|mix")

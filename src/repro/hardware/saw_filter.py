@@ -1,0 +1,212 @@
+"""SAW filter model: the frequency-to-amplitude converter at Saiyan's heart.
+
+The paper repurposes a Qualcomm B3790 SAW filter (centre 434 MHz) whose
+amplitude response rises monotonically over the last few hundred kHz below
+the centre frequency (Figure 5): 25 dB of gain variation across
+433.5→434 MHz, 9.5 dB across 433.75→434 MHz and 7.2 dB across
+433.875→434 MHz, with a 10 dB measured insertion loss at the passband edge.
+Feeding a LoRa chirp whose band sits inside this *critical band* therefore
+produces an output whose amplitude tracks the chirp's instantaneous
+frequency — an AM signal a simple envelope detector can demodulate.
+
+The model works at complex baseband: frequency offset 0 corresponds to the
+bottom of the LoRa band (433.5 MHz by default) and offset ``BW`` to the SAW
+centre frequency.  The response is defined by anchor points taken from
+Figure 5 and interpolated monotonically; an optional temperature coefficient
+shifts the response in frequency, reproducing the small range degradation of
+Figure 24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    LORA_CARRIER_HZ,
+    SAW_CENTER_FREQUENCY_HZ,
+    SAW_GAIN_SPAN_125KHZ_DB,
+    SAW_GAIN_SPAN_250KHZ_DB,
+    SAW_GAIN_SPAN_500KHZ_DB,
+    SAW_INSERTION_LOSS_DB,
+)
+from repro.dsp.filters import frequency_domain_gain
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.component import Component, PowerProfile
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class SAWFilterResponse:
+    """Amplitude response of the SAW filter's rising edge (critical band).
+
+    The response is parameterised by gain anchors measured relative to the
+    passband-edge gain (``-insertion_loss_db``) at frequency offsets below
+    the SAW centre frequency.  Between anchors the gain is interpolated
+    linearly in dB, which reproduces the smooth monotone rise of Figure 5.
+
+    Parameters
+    ----------
+    insertion_loss_db:
+        Loss at the top of the critical band (centre frequency).
+    critical_band_hz:
+        Width of the rising edge; 500 kHz for the B3790.
+    anchors_db:
+        Mapping of "offset below centre frequency" (Hz) to "gain below the
+        passband-edge gain" (dB, positive values mean *more* attenuation).
+    out_of_band_rejection_db:
+        Attenuation applied beyond the critical band on the low side and
+        beyond the (narrow) passband on the high side.
+    """
+
+    insertion_loss_db: float = SAW_INSERTION_LOSS_DB
+    critical_band_hz: float = 500e3
+    anchors_db: tuple[tuple[float, float], ...] = (
+        (0.0, 0.0),
+        (125e3, SAW_GAIN_SPAN_125KHZ_DB),
+        (250e3, SAW_GAIN_SPAN_250KHZ_DB),
+        (500e3, SAW_GAIN_SPAN_500KHZ_DB),
+    )
+    out_of_band_rejection_db: float = 50.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.critical_band_hz, "critical_band_hz")
+        offsets = [a[0] for a in self.anchors_db]
+        gains = [a[1] for a in self.anchors_db]
+        if sorted(offsets) != offsets:
+            raise ConfigurationError("anchor offsets must be sorted ascending")
+        if sorted(gains) != gains:
+            raise ConfigurationError(
+                "anchor attenuations must be non-decreasing with offset "
+                "(the response must be monotone)"
+            )
+        if offsets[0] != 0.0:
+            raise ConfigurationError("the first anchor must be at offset 0 (centre frequency)")
+
+    def gain_db_at_offset_below_center(self, offset_hz):
+        """Gain (dB, <= -insertion_loss) at ``offset_hz`` below the centre frequency."""
+        offset = np.abs(np.asarray(offset_hz, dtype=float))
+        offsets = np.array([a[0] for a in self.anchors_db])
+        attenuation = np.array([a[1] for a in self.anchors_db])
+        extra = np.interp(offset, offsets, attenuation,
+                          right=self.out_of_band_rejection_db)
+        return -(self.insertion_loss_db + extra)
+
+
+class SAWFilter(Component):
+    """Passive SAW filter used as a frequency-to-amplitude converter.
+
+    Parameters
+    ----------
+    response:
+        The rising-edge amplitude response (defaults to the B3790 of Figure 5).
+    center_frequency_hz:
+        Absolute centre frequency of the SAW filter (434 MHz).
+    baseband_reference_hz:
+        Absolute frequency corresponding to baseband offset 0 (the bottom of
+        the LoRa band, 433.5 MHz in the paper's setup).
+    temperature_c:
+        Ambient temperature; the response shifts by
+        ``temperature_drift_hz_per_c`` per degree away from
+        ``nominal_temperature_c``, slightly sliding the critical band and
+        therefore reducing the usable amplitude gap (Figure 24).
+    temperature_drift_hz_per_c:
+        Frequency drift of the response per degree Celsius.  The default of
+        1.8 kHz/°C at 434 MHz (≈4 ppm/°C) reproduces the small (~6 %,
+        126.4 m -> 118.6 m) range variation the paper measures over a
+        -8.6 °C ... 1.6 °C day (Figure 24).
+    cost_usd:
+        Component cost (Table 2 lists $3.87).
+    """
+
+    def __init__(self, *, response: SAWFilterResponse | None = None,
+                 center_frequency_hz: float = SAW_CENTER_FREQUENCY_HZ,
+                 baseband_reference_hz: float = LORA_CARRIER_HZ,
+                 temperature_c: float = 25.0,
+                 nominal_temperature_c: float = 25.0,
+                 temperature_drift_hz_per_c: float = 1.8e3,
+                 cost_usd: float = 3.87) -> None:
+        super().__init__("saw", PowerProfile(active_power_uw=0.0, cost_usd=cost_usd))
+        self.response = response if response is not None else SAWFilterResponse()
+        self.center_frequency_hz = ensure_positive(center_frequency_hz, "center_frequency_hz")
+        self.baseband_reference_hz = ensure_positive(baseband_reference_hz,
+                                                     "baseband_reference_hz")
+        if self.baseband_reference_hz >= self.center_frequency_hz:
+            raise ConfigurationError(
+                "baseband_reference_hz must be below the SAW centre frequency "
+                "(the LoRa band must sit on the rising edge)"
+            )
+        self.temperature_c = float(temperature_c)
+        self.nominal_temperature_c = float(nominal_temperature_c)
+        self.temperature_drift_hz_per_c = float(temperature_drift_hz_per_c)
+
+    # ------------------------------------------------------------------
+    @property
+    def frequency_shift_hz(self) -> float:
+        """Temperature-induced shift of the response (Hz)."""
+        return (self.temperature_c - self.nominal_temperature_c) * self.temperature_drift_hz_per_c
+
+    def gain_db(self, baseband_offset_hz):
+        """Return the SAW gain (dB) at a baseband frequency offset.
+
+        ``baseband_offset_hz = 0`` corresponds to ``baseband_reference_hz``
+        (the bottom of the LoRa band); ``baseband_offset_hz = BW`` sits at
+        the SAW centre frequency for a 500 kHz LoRa channel.
+        """
+        offset = np.asarray(baseband_offset_hz, dtype=float)
+        absolute = self.baseband_reference_hz + offset + self.frequency_shift_hz
+        below_center = self.center_frequency_hz - absolute
+        # Frequencies above the centre are treated like the stop band
+        # (the B3790's passband is narrow); clip at zero offset.
+        below_center = np.maximum(below_center, 0.0)
+        return self.response.gain_db_at_offset_below_center(below_center)
+
+    def gain_linear(self, baseband_offset_hz):
+        """Return the SAW amplitude gain (linear) at a baseband offset."""
+        return 10.0 ** (np.asarray(self.gain_db(baseband_offset_hz)) / 20.0)
+
+    def amplitude_gap_db(self, bandwidth_hz: float) -> float:
+        """Return the output amplitude spread across a chirp of ``bandwidth_hz``.
+
+        This is the quantity plotted in Figure 23: the difference between
+        the SAW gain at the top and at the bottom of the chirp band, with
+        the chirp band placed against the top of the critical band (a
+        narrower LoRa channel is tuned adjacent to the SAW centre frequency,
+        matching the paper's 433.875->434 / 433.75->434 / 433.5->434 MHz
+        measurement windows).
+        """
+        ensure_positive(bandwidth_hz, "bandwidth_hz")
+        shift = self.frequency_shift_hz
+        top_offset = max(-shift, 0.0)
+        bottom_offset = max(bandwidth_hz - shift, 0.0)
+        high = float(self.response.gain_db_at_offset_below_center(top_offset))
+        low = float(self.response.gain_db_at_offset_below_center(bottom_offset))
+        return high - low
+
+    # ------------------------------------------------------------------
+    def apply(self, signal: Signal) -> Signal:
+        """Filter a complex-baseband ``signal`` through the SAW response.
+
+        The signal's spectrum is multiplied by the SAW amplitude response,
+        evaluated at each FFT bin's baseband offset.  For a chirp this turns
+        the frequency sweep into an amplitude sweep (Figure 6), which is
+        exactly the transformation Saiyan's demodulator relies on.
+        """
+        if not isinstance(signal, Signal):
+            raise ConfigurationError(f"expected a Signal, got {type(signal).__name__}")
+        return frequency_domain_gain(signal, self.gain_linear).relabel(
+            f"{signal.label}|saw")
+
+    def with_temperature(self, temperature_c: float) -> "SAWFilter":
+        """Return a copy of this filter at a different ambient temperature."""
+        return SAWFilter(
+            response=self.response,
+            center_frequency_hz=self.center_frequency_hz,
+            baseband_reference_hz=self.baseband_reference_hz,
+            temperature_c=temperature_c,
+            nominal_temperature_c=self.nominal_temperature_c,
+            temperature_drift_hz_per_c=self.temperature_drift_hz_per_c,
+            cost_usd=self.cost_usd,
+        )

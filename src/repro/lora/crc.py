@@ -1,0 +1,62 @@
+"""CRC-16 used to protect LoRa payloads.
+
+LoRa appends a CRC-16/CCITT (polynomial 0x1021) to the payload.  The access
+point and the simulation framework use it to decide whether a received
+packet counts towards the packet-reception ratio, and the tag uses it to
+validate downlink feedback commands before acting on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def _as_bits(bits) -> np.ndarray:
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    if bits.size and not np.all((bits == 0) | (bits == 1)):
+        raise ConfigurationError("bit arrays may only contain 0s and 1s")
+    return bits
+
+
+def crc16(bits) -> int:
+    """Return the CRC-16/CCITT of a bit sequence (MSB-first)."""
+    bits = _as_bits(bits)
+    crc = _INIT
+    for bit in bits:
+        top = (crc >> 15) & 1
+        crc = ((crc << 1) & 0xFFFF) | int(bit)
+        if top:
+            crc ^= _POLY
+    # Flush with 16 zero bits so every input bit affects the register.
+    for _ in range(16):
+        top = (crc >> 15) & 1
+        crc = (crc << 1) & 0xFFFF
+        if top:
+            crc ^= _POLY
+    return crc
+
+
+def crc_bits(bits) -> np.ndarray:
+    """Return the 16 CRC bits (MSB first) of a bit sequence."""
+    value = crc16(bits)
+    return np.array([(value >> (15 - i)) & 1 for i in range(16)], dtype=np.int64)
+
+
+def append_crc(bits) -> np.ndarray:
+    """Return ``bits`` with their 16-bit CRC appended."""
+    bits = _as_bits(bits)
+    return np.concatenate([bits, crc_bits(bits)])
+
+
+def verify_crc(bits_with_crc) -> bool:
+    """Check a bit sequence whose last 16 bits are a CRC computed by :func:`append_crc`."""
+    bits_with_crc = _as_bits(bits_with_crc)
+    if bits_with_crc.size < 16:
+        raise ConfigurationError("sequence too short to contain a 16-bit CRC")
+    data, received = bits_with_crc[:-16], bits_with_crc[-16:]
+    return bool(np.array_equal(crc_bits(data), received))

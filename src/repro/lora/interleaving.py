@@ -1,0 +1,60 @@
+"""Diagonal interleaving.
+
+LoRa spreads each codeword's bits across several consecutive symbols with a
+diagonal interleaver so that a single corrupted symbol damages at most one
+bit per codeword (which the Hamming code can then repair).  The interleaver
+here operates on a ``(SF, 4 + CR)`` bit matrix exactly like the LoRa PHY:
+rows are symbols' bit positions, columns are codewords.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def interleave(bits, rows: int, columns: int) -> np.ndarray:
+    """Diagonally interleave ``bits`` arranged as a ``rows x columns`` block.
+
+    Bit at position ``(r, c)`` of the input block is moved to position
+    ``(c, (r + c) % rows)`` of the output block (transposed diagonal
+    shuffle), matching the LoRa interleaver structure.
+
+    Parameters
+    ----------
+    bits:
+        Flat array of ``rows * columns`` bits.
+    rows, columns:
+        Block dimensions.  For LoRa, ``rows=SF`` and ``columns=4+CR``.
+    """
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    if rows < 1 or columns < 1:
+        raise ConfigurationError("rows and columns must be >= 1")
+    if bits.size != rows * columns:
+        raise ConfigurationError(
+            f"expected {rows * columns} bits for a {rows}x{columns} block, got {bits.size}"
+        )
+    block = bits.reshape(rows, columns)
+    out = np.empty((columns, rows), dtype=np.int64)
+    for r in range(rows):
+        for c in range(columns):
+            out[c, (r + c) % rows] = block[r, c]
+    return out.reshape(-1)
+
+
+def deinterleave(bits, rows: int, columns: int) -> np.ndarray:
+    """Invert :func:`interleave` for a ``rows x columns`` block."""
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    if rows < 1 or columns < 1:
+        raise ConfigurationError("rows and columns must be >= 1")
+    if bits.size != rows * columns:
+        raise ConfigurationError(
+            f"expected {rows * columns} bits for a {rows}x{columns} block, got {bits.size}"
+        )
+    block = bits.reshape(columns, rows)
+    out = np.empty((rows, columns), dtype=np.int64)
+    for r in range(rows):
+        for c in range(columns):
+            out[r, c] = block[c, (r + c) % rows]
+    return out.reshape(-1)

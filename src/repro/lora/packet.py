@@ -1,0 +1,171 @@
+"""LoRa packet structure: preamble, sync word and payload.
+
+The structure follows §2.2 of the paper: the preamble contains ten identical
+up-chirps, followed by 2.25 symbol times of sync (two down-chirps plus a
+quarter chirp), followed by the payload chirps.  Saiyan detects the preamble
+on the envelope waveform, waits out the sync symbols and demodulates the
+payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import PREAMBLE_UPCHIRPS, SYNC_SYMBOLS
+from repro.exceptions import ConfigurationError
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+from repro.utils.validation import ensure_integer
+
+
+def bits_to_symbols(bits, bits_per_symbol: int) -> np.ndarray:
+    """Pack a bit array (MSB first) into symbol values.
+
+    The bit array is padded with trailing zeros to a multiple of
+    ``bits_per_symbol``.
+    """
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    if bits.size and not np.all((bits == 0) | (bits == 1)):
+        raise ConfigurationError("bit arrays may only contain 0s and 1s")
+    bits_per_symbol = ensure_integer(bits_per_symbol, "bits_per_symbol", minimum=1)
+    if bits.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    remainder = bits.size % bits_per_symbol
+    if remainder:
+        bits = np.concatenate([bits, np.zeros(bits_per_symbol - remainder, dtype=np.int64)])
+    groups = bits.reshape(-1, bits_per_symbol)
+    weights = 1 << np.arange(bits_per_symbol - 1, -1, -1)
+    return groups @ weights
+
+
+def symbols_to_bits(symbols, bits_per_symbol: int) -> np.ndarray:
+    """Unpack symbol values into a bit array (MSB first)."""
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    bits_per_symbol = ensure_integer(bits_per_symbol, "bits_per_symbol", minimum=1)
+    if np.any(symbols < 0) or np.any(symbols >= (1 << bits_per_symbol)):
+        raise ConfigurationError(
+            f"symbols must be in [0, {1 << bits_per_symbol}) for {bits_per_symbol} bits"
+        )
+    if symbols.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    shifts = np.arange(bits_per_symbol - 1, -1, -1)
+    return ((symbols[:, None] >> shifts) & 1).reshape(-1)
+
+
+@dataclass(frozen=True)
+class PacketStructure:
+    """Timing structure of a LoRa packet in symbol units.
+
+    Parameters
+    ----------
+    preamble_symbols:
+        Number of identical up-chirps in the preamble (10 in the paper).
+    sync_symbols:
+        Sync-word duration in symbol times (2.25 in the paper).
+    payload_symbols:
+        Number of payload chirps.
+    """
+
+    preamble_symbols: int = PREAMBLE_UPCHIRPS
+    sync_symbols: float = SYNC_SYMBOLS
+    payload_symbols: int = 32
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.preamble_symbols, "preamble_symbols", minimum=1)
+        ensure_integer(self.payload_symbols, "payload_symbols", minimum=0)
+        if self.sync_symbols < 0:
+            raise ConfigurationError(f"sync_symbols must be >= 0, got {self.sync_symbols}")
+
+    @property
+    def total_symbols(self) -> float:
+        """Total packet length in symbol times."""
+        return self.preamble_symbols + self.sync_symbols + self.payload_symbols
+
+    def duration_s(self, symbol_duration_s: float) -> float:
+        """Total packet duration for the given symbol duration."""
+        if symbol_duration_s <= 0:
+            raise ConfigurationError("symbol_duration_s must be positive")
+        return self.total_symbols * symbol_duration_s
+
+    def payload_start_s(self, symbol_duration_s: float) -> float:
+        """Time offset where the payload begins."""
+        if symbol_duration_s <= 0:
+            raise ConfigurationError("symbol_duration_s must be positive")
+        return (self.preamble_symbols + self.sync_symbols) * symbol_duration_s
+
+
+@dataclass(frozen=True)
+class LoRaPacket:
+    """A LoRa packet: payload bits plus the parameters used to send it.
+
+    The ``symbols`` field caches the symbol values derived from the bits at
+    construction time so that the modulator and the error-rate bookkeeping
+    agree exactly on the transmitted sequence.
+    """
+
+    payload_bits: np.ndarray
+    parameters: LoRaParameters | DownlinkParameters
+    structure: PacketStructure = field(default_factory=PacketStructure)
+    packet_id: int = 0
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.payload_bits, dtype=np.int64).ravel()
+        if bits.size and not np.all((bits == 0) | (bits == 1)):
+            raise ConfigurationError("payload_bits may only contain 0s and 1s")
+        object.__setattr__(self, "payload_bits", bits)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits carried per chirp given the packet's parameters."""
+        if isinstance(self.parameters, DownlinkParameters):
+            return self.parameters.bits_per_chirp
+        return self.parameters.spreading_factor
+
+    @property
+    def symbols(self) -> np.ndarray:
+        """Symbol values transmitted for the payload."""
+        return bits_to_symbols(self.payload_bits, self.bits_per_symbol)
+
+    @property
+    def num_payload_symbols(self) -> int:
+        """Number of payload chirps actually transmitted."""
+        return int(self.symbols.size)
+
+    @property
+    def duration_s(self) -> float:
+        """On-air duration of the packet (preamble + sync + payload)."""
+        structure = PacketStructure(
+            preamble_symbols=self.structure.preamble_symbols,
+            sync_symbols=self.structure.sync_symbols,
+            payload_symbols=self.num_payload_symbols,
+        )
+        return structure.duration_s(self.parameters.symbol_duration_s)
+
+    @classmethod
+    def from_symbols(cls, symbols, parameters: LoRaParameters | DownlinkParameters, *,
+                     structure: PacketStructure | None = None,
+                     packet_id: int = 0) -> "LoRaPacket":
+        """Build a packet directly from symbol values."""
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        if isinstance(parameters, DownlinkParameters):
+            bits_per_symbol = parameters.bits_per_chirp
+        else:
+            bits_per_symbol = parameters.spreading_factor
+        bits = symbols_to_bits(symbols, bits_per_symbol)
+        if structure is None:
+            structure = PacketStructure(payload_symbols=int(symbols.size))
+        return cls(payload_bits=bits, parameters=parameters,
+                   structure=structure, packet_id=packet_id)
+
+    @classmethod
+    def random(cls, num_symbols: int, parameters: LoRaParameters | DownlinkParameters, *,
+               rng: np.random.Generator, packet_id: int = 0) -> "LoRaPacket":
+        """Generate a packet with ``num_symbols`` uniformly random payload symbols."""
+        num_symbols = ensure_integer(num_symbols, "num_symbols", minimum=1)
+        if isinstance(parameters, DownlinkParameters):
+            alphabet = parameters.alphabet_size
+        else:
+            alphabet = parameters.chips_per_symbol
+        symbols = rng.integers(0, alphabet, size=num_symbols)
+        return cls.from_symbols(symbols, parameters, packet_id=packet_id)

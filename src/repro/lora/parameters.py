@@ -1,0 +1,204 @@
+"""LoRa air-interface parameters.
+
+Two parameter sets are provided:
+
+* :class:`LoRaParameters` — the standard LoRa configuration (spreading
+  factor, bandwidth, Hamming coding rate, carrier) with the usual derived
+  quantities (symbol duration, chip count, raw and coded bit rates).
+* :class:`DownlinkParameters` — the reduced-alphabet configuration the paper
+  uses for the downlink feedback chirps that Saiyan demodulates.  A downlink
+  chirp carries ``K`` bits (the paper calls ``K`` the "coding rate", 1-5);
+  its ``2**K`` symbols are evenly spaced starting-frequency offsets, so the
+  tag only has to resolve the peak position to one of ``2**K`` bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.constants import (
+    DEFAULT_BANDWIDTH_HZ,
+    DEFAULT_SPREADING_FACTOR,
+    LORA_BANDWIDTHS_HZ,
+    LORA_CARRIER_HZ,
+    SAMPLING_RATE_SAFETY_FACTOR,
+)
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import ensure_integer, ensure_positive
+
+
+@dataclass(frozen=True)
+class LoRaParameters:
+    """Standard LoRa physical-layer configuration.
+
+    Parameters
+    ----------
+    spreading_factor:
+        LoRa spreading factor, 7-12.
+    bandwidth_hz:
+        Chirp bandwidth; 125, 250 or 500 kHz for real LoRa.
+    coding_rate:
+        Hamming coding-rate index 1-4 (coded block length ``4 + coding_rate``).
+    carrier_hz:
+        RF carrier frequency the baseband is referenced to.
+    """
+
+    spreading_factor: int = DEFAULT_SPREADING_FACTOR
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ
+    coding_rate: int = 1
+    carrier_hz: float = LORA_CARRIER_HZ
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.spreading_factor, "spreading_factor", minimum=5, maximum=12)
+        ensure_positive(self.bandwidth_hz, "bandwidth_hz")
+        ensure_integer(self.coding_rate, "coding_rate", minimum=1, maximum=4)
+        ensure_positive(self.carrier_hz, "carrier_hz")
+        if self.bandwidth_hz not in LORA_BANDWIDTHS_HZ:
+            # Non-standard bandwidths are allowed (useful for experiments) but
+            # must still be physically sensible.
+            if self.bandwidth_hz > 1e6:
+                raise ConfigurationError(
+                    f"bandwidth_hz {self.bandwidth_hz} exceeds the 1 MHz LoRa limit"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def chips_per_symbol(self) -> int:
+        """Number of chips (and candidate symbol values): ``2**SF``."""
+        return 2 ** self.spreading_factor
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """Duration of one chirp: ``2**SF / BW`` seconds."""
+        return self.chips_per_symbol / self.bandwidth_hz
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Raw (uncoded) bits carried by one chirp: ``SF``."""
+        return self.spreading_factor
+
+    @property
+    def raw_bit_rate(self) -> float:
+        """Uncoded bit rate in bit/s."""
+        return self.bits_per_symbol / self.symbol_duration_s
+
+    @property
+    def coded_bit_rate(self) -> float:
+        """Bit rate after Hamming coding (rate ``4 / (4 + CR)``)."""
+        return self.raw_bit_rate * 4.0 / (4.0 + self.coding_rate)
+
+    @property
+    def code_rate_fraction(self) -> float:
+        """The Hamming code rate as a fraction, e.g. 4/5 for ``coding_rate=1``."""
+        return 4.0 / (4.0 + self.coding_rate)
+
+    def with_(self, **kwargs) -> "LoRaParameters":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description."""
+        return (
+            f"LoRa(SF={self.spreading_factor}, BW={self.bandwidth_hz / 1e3:g} kHz, "
+            f"CR=4/{4 + self.coding_rate}, f={self.carrier_hz / 1e6:g} MHz)"
+        )
+
+
+@dataclass(frozen=True)
+class DownlinkParameters:
+    """Configuration of the downlink feedback chirps Saiyan demodulates.
+
+    The paper's evaluation varies a "coding rate" ``K`` in 1-5 which is the
+    number of bits carried per downlink chirp; the chirp alphabet therefore
+    has ``2**K`` symbols whose starting offsets are spread evenly across the
+    bandwidth.  The chirp duration is still ``2**SF / BW``, so the data rate
+    is ``K * BW / 2**SF`` (§2.3).
+
+    Parameters
+    ----------
+    spreading_factor:
+        Spreading factor of the downlink chirps (7-12).
+    bandwidth_hz:
+        Chirp bandwidth (125/250/500 kHz).
+    bits_per_chirp:
+        ``K`` in the paper, 1-5.
+    carrier_hz:
+        RF carrier frequency.
+    """
+
+    spreading_factor: int = DEFAULT_SPREADING_FACTOR
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ
+    bits_per_chirp: int = 2
+    carrier_hz: float = LORA_CARRIER_HZ
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.spreading_factor, "spreading_factor", minimum=5, maximum=12)
+        ensure_positive(self.bandwidth_hz, "bandwidth_hz")
+        ensure_integer(self.bits_per_chirp, "bits_per_chirp", minimum=1, maximum=8)
+        ensure_positive(self.carrier_hz, "carrier_hz")
+        if self.bits_per_chirp > self.spreading_factor:
+            raise ConfigurationError(
+                "bits_per_chirp cannot exceed the spreading factor "
+                f"({self.bits_per_chirp} > {self.spreading_factor})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def alphabet_size(self) -> int:
+        """Number of distinct downlink symbols: ``2**K``."""
+        return 2 ** self.bits_per_chirp
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """Duration of one downlink chirp: ``2**SF / BW`` seconds."""
+        return (2 ** self.spreading_factor) / self.bandwidth_hz
+
+    @property
+    def data_rate_bps(self) -> float:
+        """Downlink data rate ``K * BW / 2**SF`` in bit/s."""
+        return self.bits_per_chirp * self.bandwidth_hz / (2 ** self.spreading_factor)
+
+    @property
+    def nyquist_sampling_rate_hz(self) -> float:
+        """Theoretical minimum comparator sampling rate ``2 * BW / 2**(SF-K)``.
+
+        A chirp contains ``2**K`` candidate peak positions within a symbol
+        time, i.e. an event rate of ``BW / 2**(SF-K)``; Nyquist requires
+        sampling at twice that rate (§2.3).
+        """
+        return 2.0 * self.bandwidth_hz / (2 ** (self.spreading_factor - self.bits_per_chirp))
+
+    @property
+    def practical_sampling_rate_hz(self) -> float:
+        """Recommended sampling rate ``3.2 * BW / 2**(SF-K)`` (§2.3)."""
+        return (SAMPLING_RATE_SAFETY_FACTOR * self.bandwidth_hz
+                / (2 ** (self.spreading_factor - self.bits_per_chirp)))
+
+    def symbol_offset_hz(self, symbol: int) -> float:
+        """Starting-frequency offset of downlink ``symbol`` in ``[0, BW)``."""
+        ensure_integer(symbol, "symbol", minimum=0, maximum=self.alphabet_size - 1)
+        return symbol * self.bandwidth_hz / self.alphabet_size
+
+    def to_lora(self, coding_rate: int = 1) -> LoRaParameters:
+        """Return the equivalent standard :class:`LoRaParameters`."""
+        return LoRaParameters(
+            spreading_factor=self.spreading_factor,
+            bandwidth_hz=self.bandwidth_hz,
+            coding_rate=coding_rate,
+            carrier_hz=self.carrier_hz,
+        )
+
+    def with_(self, **kwargs) -> "DownlinkParameters":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description."""
+        return (
+            f"Downlink(SF={self.spreading_factor}, BW={self.bandwidth_hz / 1e3:g} kHz, "
+            f"K={self.bits_per_chirp}, rate={self.data_rate_bps:.1f} bit/s)"
+        )

@@ -1,0 +1,149 @@
+"""Access point model.
+
+The access point (a USRP in the paper, so power-unconstrained) receives the
+tags' backscattered uplink packets with a standard LoRa receiver, tracks
+which packets were lost, and drives the feedback loop: retransmission
+requests, channel hops when the spectrum monitor sees interference, rate
+changes when a link's SNR margin allows, and remote sensor control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.receiver import SaiyanReceiver
+from repro.exceptions import ProtocolError
+from repro.net.channel_hopping import ChannelHopController
+from repro.net.packets import BROADCAST_ADDRESS, CommandType, DownlinkCommand, UplinkPacket
+from repro.net.rate_adaptation import RateAdapter
+from repro.net.retransmission import ArqTracker, RetransmissionPolicy
+from repro.utils.validation import ensure_integer
+
+
+@dataclass
+class AccessPointStats:
+    """Counters the access point keeps about the feedback loop."""
+
+    packets_received: int = 0
+    packets_lost: int = 0
+    retransmission_requests: int = 0
+    channel_hops: int = 0
+    rate_changes: int = 0
+
+
+@dataclass
+class AccessPoint:
+    """The feedback-capable LoRa access point.
+
+    Parameters
+    ----------
+    retransmission_policy:
+        Bounds on ARQ requests per packet.
+    hop_controller:
+        Channel-hopping controller (owns the spectrum monitor).
+    rate_adapter:
+        Rate-adaptation controller.
+    downlink_tx_power_dbm:
+        Transmit power used for feedback packets.
+    """
+
+    retransmission_policy: RetransmissionPolicy = field(default_factory=RetransmissionPolicy)
+    hop_controller: ChannelHopController | None = None
+    rate_adapter: RateAdapter = field(default_factory=RateAdapter)
+    downlink_tx_power_dbm: float = 20.0
+    stats: AccessPointStats = field(default_factory=AccessPointStats)
+    arq: ArqTracker = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.arq = ArqTracker(policy=self.retransmission_policy)
+
+    # ------------------------------------------------------------------
+    # Uplink bookkeeping
+    # ------------------------------------------------------------------
+    def observe_uplink(self, packet: UplinkPacket, *, received: bool) -> None:
+        """Record the outcome of one uplink transmission attempt."""
+        self.arq.register_transmission(packet, received=received)
+        if received:
+            self.stats.packets_received += 1
+        else:
+            self.stats.packets_lost += 1
+
+    def request_retransmission_for(self, key: tuple[int, int]) -> DownlinkCommand | None:
+        """Return the RETRANSMIT command for a specific lost packet, if allowed.
+
+        Returns ``None`` when the packet was already delivered or its
+        retransmission budget is exhausted.
+        """
+        if not self.arq.needs_retransmission(key):
+            return None
+        tag_id, sequence = key
+        self.arq.record_request(key)
+        self.stats.retransmission_requests += 1
+        return DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=tag_id,
+                               argument=sequence % 256)
+
+    def retransmission_requests(self) -> list[DownlinkCommand]:
+        """Return the RETRANSMIT commands the access point should send now."""
+        commands: list[DownlinkCommand] = []
+        for tag_id, sequence in self.arq.pending_keys():
+            self.arq.record_request((tag_id, sequence))
+            self.stats.retransmission_requests += 1
+            commands.append(DownlinkCommand(command=CommandType.RETRANSMIT,
+                                            target_tag_id=tag_id,
+                                            argument=sequence % 256))
+        return commands
+
+    def packet_reception_ratio(self) -> float:
+        """Fraction of distinct uplink packets eventually delivered."""
+        return self.arq.packet_reception_ratio()
+
+    # ------------------------------------------------------------------
+    # Channel management
+    # ------------------------------------------------------------------
+    def maybe_hop(self, current_channel_index: int, *,
+                  target_tag_id: int = BROADCAST_ADDRESS) -> DownlinkCommand | None:
+        """Command a channel hop when the spectrum monitor sees interference."""
+        if self.hop_controller is None:
+            return None
+        command = self.hop_controller.hop_command(current_channel_index,
+                                                  target_tag_id=target_tag_id)
+        if command is not None:
+            self.stats.channel_hops += 1
+        return command
+
+    # ------------------------------------------------------------------
+    # Rate adaptation
+    # ------------------------------------------------------------------
+    def maybe_adapt_rate(self, tag_id: int, link_rss_dbm: float, *,
+                         mode=None) -> DownlinkCommand | None:
+        """Command a rate change when the tag's downlink margin allows it.
+
+        The margin is measured against the tag's demodulation sensitivity
+        for its Saiyan mode (defaults to the full Super Saiyan pipeline).
+        """
+        ensure_integer(tag_id, "tag_id", minimum=0, maximum=254)
+        from repro.core.config import SaiyanMode  # local import to avoid cycles
+
+        mode = mode if mode is not None else SaiyanMode.SUPER
+        sensitivity = SaiyanReceiver.demodulation_sensitivity_dbm(mode)
+        margin = link_rss_dbm - sensitivity
+        command = self.rate_adapter.command_for(tag_id, margin)
+        if command is not None:
+            self.stats.rate_changes += 1
+        return command
+
+    # ------------------------------------------------------------------
+    # Remote sensor control
+    # ------------------------------------------------------------------
+    def sensor_command(self, tag_id: int, *, turn_on: bool) -> DownlinkCommand:
+        """Build a remote sensor on/off command for ``tag_id``."""
+        ensure_integer(tag_id, "tag_id", minimum=0, maximum=255)
+        command_type = CommandType.SENSOR_ON if turn_on else CommandType.SENSOR_OFF
+        return DownlinkCommand(command=command_type, target_tag_id=tag_id)
+
+    # ------------------------------------------------------------------
+    def require_hop_controller(self) -> ChannelHopController:
+        """Return the hop controller, raising when none is configured."""
+        if self.hop_controller is None:
+            raise ProtocolError("this access point has no channel-hop controller")
+        return self.hop_controller

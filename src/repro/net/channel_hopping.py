@@ -1,0 +1,121 @@
+"""Channel hopping controller (§5.3.2).
+
+The access point monitors the spectrum; when the current channel carries
+in-band interference it commands the tag to hop to a clean channel.  The
+case study in the paper moves a PLoRa tag from 434 MHz to 434.5 MHz while a
+USRP jams 433 MHz, lifting the median PRR from 47 % to 92 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channel.interference import InterferenceEnvironment
+from repro.exceptions import ProtocolError
+from repro.net.packets import BROADCAST_ADDRESS, CommandType, DownlinkCommand
+from repro.utils.validation import ensure_integer, ensure_positive
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """The set of channels a deployment may use.
+
+    Parameters
+    ----------
+    base_frequency_hz:
+        Frequency of channel index 0.
+    spacing_hz:
+        Spacing between consecutive channel indices.
+    num_channels:
+        Number of channels in the plan.
+    bandwidth_hz:
+        Occupied bandwidth per channel (used for interference overlap tests).
+    """
+
+    base_frequency_hz: float = 433.5e6
+    spacing_hz: float = 500e3
+    num_channels: int = 4
+    bandwidth_hz: float = 500e3
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.base_frequency_hz, "base_frequency_hz")
+        ensure_positive(self.spacing_hz, "spacing_hz")
+        ensure_integer(self.num_channels, "num_channels", minimum=1, maximum=64)
+        ensure_positive(self.bandwidth_hz, "bandwidth_hz")
+
+    def frequency_of(self, index: int) -> float:
+        """Centre frequency of channel ``index``."""
+        ensure_integer(index, "index", minimum=0, maximum=self.num_channels - 1)
+        return self.base_frequency_hz + index * self.spacing_hz
+
+    def index_of(self, frequency_hz: float) -> int:
+        """Channel index whose centre is closest to ``frequency_hz``."""
+        ensure_positive(frequency_hz, "frequency_hz")
+        best = min(range(self.num_channels),
+                   key=lambda i: abs(self.frequency_of(i) - frequency_hz))
+        return best
+
+    def all_frequencies(self) -> list[float]:
+        """Centre frequencies of every channel in the plan."""
+        return [self.frequency_of(i) for i in range(self.num_channels)]
+
+
+@dataclass
+class ChannelHopController:
+    """Selects clean channels and issues hop commands.
+
+    Parameters
+    ----------
+    plan:
+        The channel plan.
+    interference:
+        The interference environment observed by the access point's spectrum
+        monitor.
+    interference_threshold_dbm:
+        A channel is "dirty" when the aggregate interference on it exceeds
+        this level.
+    """
+
+    plan: ChannelPlan = field(default_factory=ChannelPlan)
+    interference: InterferenceEnvironment = field(default_factory=InterferenceEnvironment)
+    interference_threshold_dbm: float = -90.0
+    hops_issued: int = 0
+
+    # ------------------------------------------------------------------
+    def channel_is_clean(self, index: int) -> bool:
+        """Whether channel ``index`` is free of interference above the threshold."""
+        frequency = self.plan.frequency_of(index)
+        return self.interference.channel_is_clean(
+            frequency, self.plan.bandwidth_hz,
+            threshold_dbm=self.interference_threshold_dbm)
+
+    def cleanest_channel(self, *, exclude: int | None = None) -> int:
+        """Return the index of the channel with the least interference."""
+        best_index = None
+        best_power = None
+        for index in range(self.plan.num_channels):
+            if exclude is not None and index == exclude:
+                continue
+            power = self.interference.interference_power_dbm(
+                self.plan.frequency_of(index), self.plan.bandwidth_hz)
+            if best_power is None or power < best_power:
+                best_power, best_index = power, index
+        if best_index is None:
+            raise ProtocolError("the channel plan has no eligible channel")
+        return best_index
+
+    def should_hop(self, current_index: int) -> bool:
+        """Whether the access point should command a hop away from ``current_index``."""
+        return not self.channel_is_clean(current_index)
+
+    def hop_command(self, current_index: int, *,
+                    target_tag_id: int = BROADCAST_ADDRESS) -> DownlinkCommand | None:
+        """Return the hop command to issue, or ``None`` if the channel is clean."""
+        if not self.should_hop(current_index):
+            return None
+        target = self.cleanest_channel(exclude=current_index)
+        if target == current_index:
+            return None
+        self.hops_issued += 1
+        return DownlinkCommand(command=CommandType.CHANNEL_HOP,
+                               target_tag_id=target_tag_id, argument=target)

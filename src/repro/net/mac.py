@@ -1,0 +1,134 @@
+"""Slotted-ALOHA MAC for multi-tag acknowledgements (§4.4, Figure 15).
+
+When the access point multicasts or broadcasts a downlink command, every
+addressed tag wants to acknowledge and their backscatter replies would
+collide.  The paper coordinates them with slotted ALOHA: each tag picks a
+random slot, counts down carrier signals from the access point that mark the
+slot boundaries, and replies when its counter reaches zero.  Collisions
+happen only when two tags draw the same slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+from repro.net.tag import BackscatterTag
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import ensure_integer
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """What happened in one acknowledgement slot."""
+
+    slot: int
+    tag_ids: tuple[int, ...]
+
+    @property
+    def is_idle(self) -> bool:
+        """No tag transmitted in this slot."""
+        return len(self.tag_ids) == 0
+
+    @property
+    def is_success(self) -> bool:
+        """Exactly one tag transmitted (the access point decodes it)."""
+        return len(self.tag_ids) == 1
+
+    @property
+    def is_collision(self) -> bool:
+        """Two or more tags collided."""
+        return len(self.tag_ids) >= 2
+
+
+@dataclass
+class RoundResult:
+    """Result of one slotted-ALOHA acknowledgement round."""
+
+    outcomes: list[SlotOutcome] = field(default_factory=list)
+
+    @property
+    def successful_tags(self) -> list[int]:
+        """Tags whose acknowledgement got through this round."""
+        return [outcome.tag_ids[0] for outcome in self.outcomes if outcome.is_success]
+
+    @property
+    def collided_tags(self) -> list[int]:
+        """Tags involved in collisions this round."""
+        tags: list[int] = []
+        for outcome in self.outcomes:
+            if outcome.is_collision:
+                tags.extend(outcome.tag_ids)
+        return tags
+
+    @property
+    def num_collisions(self) -> int:
+        """Number of slots that carried a collision."""
+        return sum(1 for outcome in self.outcomes if outcome.is_collision)
+
+
+class SlottedAlohaMac:
+    """Coordinates multi-tag acknowledgements with slotted ALOHA.
+
+    Parameters
+    ----------
+    num_slots:
+        Number of slots per acknowledgement round.  The access point signals
+        the start of each slot with a short carrier burst.
+    max_rounds:
+        Collided tags re-draw a slot in the next round, up to this bound.
+    """
+
+    def __init__(self, *, num_slots: int = 8, max_rounds: int = 8) -> None:
+        self.num_slots = ensure_integer(num_slots, "num_slots", minimum=1, maximum=256)
+        self.max_rounds = ensure_integer(max_rounds, "max_rounds", minimum=1, maximum=64)
+
+    # ------------------------------------------------------------------
+    def run_round(self, tags: list[BackscatterTag], *,
+                  random_state: RandomState = None) -> RoundResult:
+        """Run one acknowledgement round for ``tags``."""
+        if not tags:
+            raise ProtocolError("at least one tag is required for an ALOHA round")
+        rng = as_rng(random_state)
+        assignments: dict[int, list[int]] = {slot: [] for slot in range(self.num_slots)}
+        for tag in tags:
+            slot = tag.select_slot(self.num_slots, random_state=rng)
+            assignments[slot].append(tag.tag_id)
+        outcomes = [SlotOutcome(slot=slot, tag_ids=tuple(sorted(ids)))
+                    for slot, ids in sorted(assignments.items())]
+        return RoundResult(outcomes=outcomes)
+
+    def resolve(self, tags: list[BackscatterTag], *,
+                random_state: RandomState = None) -> tuple[int, list[RoundResult]]:
+        """Run rounds until every tag's acknowledgement has gone through.
+
+        Returns ``(rounds_used, per_round_results)``.  Tags whose reply got
+        through stop participating; collided tags retry in the next round.
+        Raises :class:`ProtocolError` if ``max_rounds`` is insufficient.
+        """
+        rng = as_rng(random_state)
+        remaining = {tag.tag_id: tag for tag in tags}
+        results: list[RoundResult] = []
+        for round_index in range(self.max_rounds):
+            if not remaining:
+                return round_index, results
+            result = self.run_round(list(remaining.values()), random_state=rng)
+            results.append(result)
+            for tag_id in result.successful_tags:
+                remaining.pop(tag_id, None)
+        if remaining:
+            raise ProtocolError(
+                f"{len(remaining)} tag(s) still unresolved after {self.max_rounds} rounds"
+            )
+        return self.max_rounds, results
+
+    # ------------------------------------------------------------------
+    def expected_success_probability(self, num_tags: int) -> float:
+        """Probability a given tag's reply succeeds in one round.
+
+        For ``n`` contending tags and ``S`` slots the probability that none
+        of the other ``n-1`` tags picked the same slot is
+        ``(1 - 1/S)**(n-1)``.
+        """
+        num_tags = ensure_integer(num_tags, "num_tags", minimum=1)
+        return float((1.0 - 1.0 / self.num_slots) ** (num_tags - 1))

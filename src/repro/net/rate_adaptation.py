@@ -1,0 +1,90 @@
+"""Rate adaptation (§1: "Adapting data rate to link condition").
+
+The access point estimates each backscatter link's quality (SNR margin over
+the demodulation threshold) and tells the tag how many bits to pack per
+chirp.  A strong link can afford K=5 (higher throughput, Figure 16b); a weak
+link should fall back to K=1 (lower BER, Figure 16a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+from repro.net.packets import CommandType, DownlinkCommand
+from repro.utils.validation import ensure_integer
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """Result of one rate-adaptation evaluation."""
+
+    bits_per_chirp: int
+    snr_margin_db: float
+    changed: bool
+
+
+@dataclass
+class RateAdapter:
+    """Maps SNR margin to the bits-per-chirp setting of a tag.
+
+    Parameters
+    ----------
+    margin_steps_db:
+        Additional SNR margin (beyond the K=1 requirement) needed for each
+        extra bit per chirp.  Each additional bit doubles the number of peak
+        positions to discriminate, costing roughly 3 dB.
+    min_bits / max_bits:
+        Bounds of the adaptation range (the paper evaluates K=1..5).
+    hysteresis_db:
+        Extra margin required before stepping the rate *up*, to avoid
+        oscillation around a threshold.
+    """
+
+    margin_steps_db: float = 3.0
+    min_bits: int = 1
+    max_bits: int = 5
+    hysteresis_db: float = 1.0
+    _current: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.min_bits, "min_bits", minimum=1, maximum=8)
+        ensure_integer(self.max_bits, "max_bits", minimum=self.min_bits, maximum=8)
+        if self.margin_steps_db <= 0:
+            raise ProtocolError("margin_steps_db must be positive")
+        if self.hysteresis_db < 0:
+            raise ProtocolError("hysteresis_db must be >= 0")
+
+    # ------------------------------------------------------------------
+    def ideal_bits(self, snr_margin_db: float) -> int:
+        """The bits-per-chirp the margin supports, ignoring hysteresis."""
+        if snr_margin_db < 0:
+            return self.min_bits
+        extra = int(snr_margin_db // self.margin_steps_db)
+        return int(min(self.max_bits, max(self.min_bits, self.min_bits + extra)))
+
+    def evaluate(self, tag_id: int, snr_margin_db: float) -> RateDecision:
+        """Evaluate the rate for ``tag_id`` given its current SNR margin."""
+        ensure_integer(tag_id, "tag_id", minimum=0, maximum=254)
+        current = self._current.get(tag_id, self.min_bits)
+        ideal = self.ideal_bits(snr_margin_db)
+        if ideal > current:
+            # Only step up when the margin also covers the hysteresis band.
+            with_hysteresis = self.ideal_bits(snr_margin_db - self.hysteresis_db)
+            ideal = max(current, with_hysteresis)
+        changed = ideal != current
+        self._current[tag_id] = ideal
+        return RateDecision(bits_per_chirp=ideal, snr_margin_db=float(snr_margin_db),
+                            changed=changed)
+
+    def command_for(self, tag_id: int, snr_margin_db: float) -> DownlinkCommand | None:
+        """Return the RATE_CHANGE command to send, or ``None`` when unchanged."""
+        decision = self.evaluate(tag_id, snr_margin_db)
+        if not decision.changed:
+            return None
+        return DownlinkCommand(command=CommandType.RATE_CHANGE, target_tag_id=tag_id,
+                               argument=decision.bits_per_chirp)
+
+    def current_bits(self, tag_id: int) -> int:
+        """The most recently assigned bits-per-chirp for ``tag_id``."""
+        return self._current.get(tag_id, self.min_bits)

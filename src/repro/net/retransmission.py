@@ -1,0 +1,110 @@
+"""ARQ retransmission policy (§5.3.1).
+
+Without a downlink, a backscatter tag must blindly repeat every packet to
+reach a target delivery ratio.  With Saiyan the access point asks for a
+retransmission only when a packet is actually missing.  The
+:class:`ArqTracker` records which (tag, sequence) pairs have been received
+and which still need a retransmission request, and
+:class:`RetransmissionPolicy` bounds how many times the access point will
+ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+from repro.net.packets import UplinkPacket
+from repro.utils.validation import ensure_integer
+
+
+@dataclass(frozen=True)
+class RetransmissionPolicy:
+    """Bounds on the ARQ behaviour.
+
+    Parameters
+    ----------
+    max_retransmissions:
+        Maximum number of retransmission requests per packet (0 disables
+        ARQ, reproducing the "no feedback" baseline of Figure 26).
+    """
+
+    max_retransmissions: int = 3
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.max_retransmissions, "max_retransmissions", minimum=0, maximum=16)
+
+
+@dataclass
+class _PacketRecord:
+    received: bool = False
+    attempts: int = 1
+    requests_sent: int = 0
+
+
+@dataclass
+class ArqTracker:
+    """Tracks delivery state per (tag, sequence) pair."""
+
+    policy: RetransmissionPolicy = field(default_factory=RetransmissionPolicy)
+    _records: dict[tuple[int, int], _PacketRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def register_transmission(self, packet: UplinkPacket, *, received: bool) -> None:
+        """Record one transmission attempt and whether the receiver got it."""
+        if not isinstance(packet, UplinkPacket):
+            raise ProtocolError(f"expected an UplinkPacket, got {type(packet).__name__}")
+        record = self._records.get(packet.key)
+        if record is None:
+            record = _PacketRecord(received=False, attempts=0)
+            self._records[packet.key] = record
+        record.attempts += 1
+        if received:
+            record.received = True
+
+    def needs_retransmission(self, key: tuple[int, int]) -> bool:
+        """Whether the access point should request another copy of ``key``."""
+        record = self._records.get(key)
+        if record is None:
+            return False
+        if record.received:
+            return False
+        return record.requests_sent < self.policy.max_retransmissions
+
+    def record_request(self, key: tuple[int, int]) -> None:
+        """Count a retransmission request for ``key``."""
+        record = self._records.get(key)
+        if record is None:
+            raise ProtocolError(f"no record for packet {key}; register it first")
+        if record.requests_sent >= self.policy.max_retransmissions:
+            raise ProtocolError(
+                f"retransmission budget exhausted for packet {key} "
+                f"({record.requests_sent} requests already sent)"
+            )
+        record.requests_sent += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_packets(self) -> int:
+        """Number of distinct packets tracked."""
+        return len(self._records)
+
+    @property
+    def delivered_packets(self) -> int:
+        """Number of packets eventually received."""
+        return sum(1 for record in self._records.values() if record.received)
+
+    @property
+    def total_transmissions(self) -> int:
+        """Total transmission attempts including retransmissions."""
+        return sum(record.attempts for record in self._records.values())
+
+    def packet_reception_ratio(self) -> float:
+        """Fraction of distinct packets eventually delivered."""
+        if not self._records:
+            return 0.0
+        return self.delivered_packets / self.total_packets
+
+    def pending_keys(self) -> list[tuple[int, int]]:
+        """Keys that are lost and still have retransmission budget."""
+        return [key for key in self._records if self.needs_retransmission(key)]

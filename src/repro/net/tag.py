@@ -1,0 +1,190 @@
+"""Backscatter tag model.
+
+A tag in this reproduction is a PLoRa/Aloba-style backscatter transmitter
+augmented with a Saiyan demodulator (the "plug-and-play" integration of
+§4.1).  It keeps a transmit queue, reacts to downlink feedback commands
+(retransmit, hop channel, change rate, toggle a sensor), participates in the
+slotted-ALOHA acknowledgement procedure, and accounts for the energy each
+operation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.receiver import SaiyanReceiver
+from repro.exceptions import ProtocolError
+from repro.net.packets import AckPacket, CommandType, DownlinkCommand, UplinkPacket
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import ensure_integer
+
+
+@dataclass
+class TagState:
+    """Mutable state of a backscatter tag."""
+
+    channel_hz: float = 433.5e6
+    bits_per_chirp: int = 2
+    sensors_on: bool = True
+    next_sequence: int = 0
+    transmissions: int = 0
+    retransmissions: int = 0
+    commands_received: int = 0
+    commands_ignored: int = 0
+
+
+class BackscatterTag:
+    """A LoRa backscatter tag with Saiyan downlink capability.
+
+    Parameters
+    ----------
+    tag_id:
+        Address of the tag in ``[0, 254]``.
+    config:
+        Saiyan receiver configuration; its mode determines the tag's
+        downlink sensitivity (vanilla vs super).
+    payload_bits_per_packet:
+        Application payload size carried per uplink packet.
+    """
+
+    def __init__(self, tag_id: int, *, config: SaiyanConfig | None = None,
+                 payload_bits_per_packet: int = 64) -> None:
+        self.tag_id = ensure_integer(tag_id, "tag_id", minimum=0, maximum=254)
+        self.config = config if config is not None else SaiyanConfig()
+        self.payload_bits_per_packet = ensure_integer(
+            payload_bits_per_packet, "payload_bits_per_packet", minimum=1)
+        self.state = TagState(channel_hz=self.config.downlink.carrier_hz,
+                              bits_per_chirp=self.config.downlink.bits_per_chirp)
+        self._history: dict[int, UplinkPacket] = {}
+        self._pending_ack: AckPacket | None = None
+
+    # ------------------------------------------------------------------
+    # Downlink reception
+    # ------------------------------------------------------------------
+    @property
+    def downlink_sensitivity_dbm(self) -> float:
+        """Minimum downlink RSS this tag can demodulate (mode dependent)."""
+        return SaiyanReceiver.demodulation_sensitivity_dbm(self.config.mode)
+
+    def can_hear(self, rss_dbm: float) -> bool:
+        """Whether a downlink at ``rss_dbm`` is demodulable by this tag."""
+        return rss_dbm >= self.downlink_sensitivity_dbm
+
+    def handle_command(self, command: DownlinkCommand | None, *,
+                       rss_dbm: float | None = None) -> UplinkPacket | AckPacket | None:
+        """Process one downlink command and return the tag's reaction.
+
+        Parameters
+        ----------
+        command:
+            The decoded command, or ``None`` for a command whose CRC failed.
+        rss_dbm:
+            Downlink RSS; when provided, commands below the tag's
+            sensitivity are ignored (the tag simply cannot demodulate them —
+            this is the situation Saiyan fixes for long links).
+
+        Returns
+        -------
+        The retransmitted :class:`UplinkPacket` for a RETRANSMIT command, an
+        :class:`AckPacket` for commands that require acknowledgement, or
+        ``None`` when the command was ignored or needs no reply.
+        """
+        if command is None:
+            self.state.commands_ignored += 1
+            return None
+        if rss_dbm is not None and not self.can_hear(rss_dbm):
+            self.state.commands_ignored += 1
+            return None
+        if not command.targets(self.tag_id):
+            return None
+        self.state.commands_received += 1
+        if command.command is CommandType.RETRANSMIT:
+            return self.retransmit(command.argument)
+        if command.command is CommandType.CHANNEL_HOP:
+            self._hop_channel(command.argument)
+            return self._make_ack(command)
+        if command.command is CommandType.RATE_CHANGE:
+            self._change_rate(command.argument)
+            return self._make_ack(command)
+        if command.command is CommandType.SENSOR_ON:
+            self.state.sensors_on = True
+            return self._make_ack(command)
+        if command.command is CommandType.SENSOR_OFF:
+            self.state.sensors_on = False
+            return self._make_ack(command)
+        if command.command is CommandType.ACK_REQUEST:
+            return self._make_ack(command)
+        raise ProtocolError(f"unhandled command type {command.command!r}")
+
+    def _make_ack(self, command: DownlinkCommand) -> AckPacket:
+        ack = AckPacket(tag_id=self.tag_id, acked_command=command.command)
+        self._pending_ack = ack
+        return ack
+
+    def _hop_channel(self, channel_index: int) -> None:
+        # Channel indices map onto 500 kHz-spaced channels starting at the
+        # downlink carrier; index 2 therefore reaches 434.5 MHz from 433.5 MHz.
+        base = self.config.downlink.carrier_hz
+        self.state.channel_hz = base + channel_index * 500e3
+
+    def _change_rate(self, bits_per_chirp: int) -> None:
+        bits_per_chirp = int(bits_per_chirp)
+        if not 1 <= bits_per_chirp <= self.config.downlink.spreading_factor:
+            self.state.commands_ignored += 1
+            return
+        self.state.bits_per_chirp = bits_per_chirp
+
+    # ------------------------------------------------------------------
+    # Uplink transmission
+    # ------------------------------------------------------------------
+    def next_packet(self, *, random_state: RandomState = None) -> UplinkPacket:
+        """Generate the tag's next data packet (random sensor payload)."""
+        rng = as_rng(random_state)
+        bits = rng.integers(0, 2, size=self.payload_bits_per_packet)
+        packet = UplinkPacket(tag_id=self.tag_id, sequence=self.state.next_sequence,
+                              payload_bits=bits, channel_hz=self.state.channel_hz)
+        self._history[packet.sequence] = packet
+        self.state.next_sequence += 1
+        self.state.transmissions += 1
+        return packet
+
+    def retransmit(self, sequence: int) -> UplinkPacket | None:
+        """Retransmit a previously sent sequence number, if still buffered.
+
+        Downlink commands carry only the low 8 bits of the sequence number,
+        so the lookup matches modulo 256 and prefers the most recent match
+        (standard sliding-window semantics).
+        """
+        sequence = int(sequence)
+        candidates = [s for s in self._history if s % 256 == sequence % 256]
+        original = self._history[max(candidates)] if candidates else None
+        if original is None:
+            self.state.commands_ignored += 1
+            return None
+        self.state.retransmissions += 1
+        self.state.transmissions += 1
+        return UplinkPacket(tag_id=original.tag_id, sequence=original.sequence,
+                            payload_bits=original.payload_bits,
+                            channel_hz=self.state.channel_hz, is_retransmission=True)
+
+    # ------------------------------------------------------------------
+    # MAC participation
+    # ------------------------------------------------------------------
+    def select_slot(self, num_slots: int, *, random_state: RandomState = None) -> int:
+        """Pick a random acknowledgement slot (Figure 15)."""
+        num_slots = ensure_integer(num_slots, "num_slots", minimum=1)
+        rng = as_rng(random_state)
+        return int(rng.integers(0, num_slots))
+
+    # ------------------------------------------------------------------
+    def buffered_sequences(self) -> list[int]:
+        """Sequence numbers still available for retransmission."""
+        return sorted(self._history.keys())
+
+    def drop_before(self, sequence: int) -> None:
+        """Free buffered packets older than ``sequence`` (acknowledged data)."""
+        for old in [s for s in self._history if s < sequence]:
+            del self._history[old]

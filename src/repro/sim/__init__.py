@@ -1,0 +1,62 @@
+"""Simulation framework.
+
+Three levels of fidelity are provided, trading accuracy for speed:
+
+* **Waveform level** — the :mod:`repro.core` pipeline operating on simulated
+  analog waveforms; used by the unit/integration tests and the
+  micro-benchmark experiments (SAW response, comparator behaviour, spectra).
+* **Link level** — :mod:`repro.sim.link_sim`, a calibrated RSS -> BER /
+  detection model that regenerates the field-study figures (BER, range and
+  throughput sweeps) in milliseconds instead of hours.
+* **Network level** — :mod:`repro.sim.network`, an event-driven multi-tag
+  simulation of the feedback loop (ARQ retransmissions, channel hopping,
+  slotted-ALOHA acknowledgements) behind the §5.3 case studies.
+
+:mod:`repro.sim.experiments` maps every table and figure of the paper's
+evaluation onto one driver function; the benchmark suite calls those
+drivers.
+"""
+
+from repro.sim.events import EventScheduler, Event
+from repro.sim.metrics import (
+    bit_error_rate,
+    packet_reception_ratio,
+    throughput_bps,
+    SeriesResult,
+    SweepResult,
+)
+from repro.sim.link_sim import SaiyanLinkModel, BaselineLinkModel, BackscatterUplinkModel
+from repro.sim.network import FeedbackNetworkSimulator, RetransmissionExperimentResult
+from repro.sim.sweep import sweep_1d, sweep_2d
+from repro.sim.waveform_ber import (
+    WaveformBerPoint,
+    measure_symbol_errors,
+    snr_sweep,
+    compare_modes,
+)
+from repro.sim import experiments
+from repro.sim.reporting import format_series, format_table
+
+__all__ = [
+    "EventScheduler",
+    "Event",
+    "bit_error_rate",
+    "packet_reception_ratio",
+    "throughput_bps",
+    "SeriesResult",
+    "SweepResult",
+    "SaiyanLinkModel",
+    "BaselineLinkModel",
+    "BackscatterUplinkModel",
+    "FeedbackNetworkSimulator",
+    "RetransmissionExperimentResult",
+    "sweep_1d",
+    "sweep_2d",
+    "WaveformBerPoint",
+    "measure_symbol_errors",
+    "snr_sweep",
+    "compare_modes",
+    "experiments",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,103 @@
+"""A small discrete-event scheduler.
+
+The network-level simulations (multi-tag feedback loops, ALOHA rounds,
+periodic spectrum scans) are naturally expressed as events on a virtual
+clock.  The scheduler is deliberately minimal: a priority queue of
+``(time, sequence, callback)`` entries, deterministic tie-breaking by
+insertion order, and a run loop with optional horizon.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A virtual-time discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        if not callable(callback):
+            raise ConfigurationError("callback must be callable")
+        event = Event(time=self._now + delay, sequence=next(self._counter),
+                      callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot schedule in the past (time={time}, now={self._now})")
+        return self.schedule(time - self._now, callback)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            next_event = self._queue[0]
+            if until is not None and next_event.time > until:
+                self._now = until
+                return
+            if self.step():
+                executed += 1

@@ -1,0 +1,132 @@
+"""Evaluation metrics and result containers.
+
+The paper's three key metrics (§5) are the bit error rate, the throughput
+(correctly decoded data per second) and the demodulation range (maximum
+distance with BER below 1 per mille).  The containers here carry named data
+series so that experiment drivers, benchmarks and the reporting helpers all
+speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def bit_error_rate(transmitted, received) -> float:
+    """Return the BER between two bit arrays of equal length."""
+    tx = np.asarray(transmitted, dtype=np.int64).ravel()
+    rx = np.asarray(received, dtype=np.int64).ravel()
+    if tx.size != rx.size:
+        raise ConfigurationError(
+            f"bit arrays differ in length ({tx.size} vs {rx.size})")
+    if tx.size == 0:
+        return 0.0
+    return float(np.mean(tx != rx))
+
+
+def packet_reception_ratio(delivered: int, total: int) -> float:
+    """Return the PRR given delivered/total packet counts."""
+    if total < 0 or delivered < 0:
+        raise ConfigurationError("packet counts must be non-negative")
+    if delivered > total:
+        raise ConfigurationError("delivered packets cannot exceed total packets")
+    if total == 0:
+        return 0.0
+    return delivered / total
+
+
+def throughput_bps(data_rate_bps: float, ber: float, *, detection_probability: float = 1.0
+                   ) -> float:
+    """Return the goodput: correctly decoded bits per second.
+
+    The paper's throughput metric counts correctly decoded data, so the raw
+    data rate is discounted by the fraction of erroneous bits and by the
+    probability that the packet was detected at all.
+    """
+    if data_rate_bps < 0:
+        raise ConfigurationError("data_rate_bps must be >= 0")
+    if not 0.0 <= ber <= 1.0:
+        raise ConfigurationError(f"ber must be in [0, 1], got {ber}")
+    if not 0.0 <= detection_probability <= 1.0:
+        raise ConfigurationError(
+            f"detection_probability must be in [0, 1], got {detection_probability}")
+    return data_rate_bps * (1.0 - ber) * detection_probability
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """A named (x, y) data series, e.g. "BER vs distance for CR=5"."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.name!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})")
+
+    @classmethod
+    def from_arrays(cls, name: str, x, y, *, x_label: str = "x",
+                    y_label: str = "y") -> "SeriesResult":
+        """Build a series from any array-likes."""
+        return cls(name=name, x=tuple(float(v) for v in x),
+                   y=tuple(float(v) for v in y), x_label=x_label, y_label=y_label)
+
+    def y_at(self, x_value: float) -> float:
+        """Return the y value at the x entry closest to ``x_value``."""
+        if not self.x:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        index = int(np.argmin(np.abs(np.asarray(self.x) - x_value)))
+        return self.y[index]
+
+    @property
+    def y_max(self) -> float:
+        """Maximum y value of the series."""
+        return max(self.y) if self.y else float("nan")
+
+    @property
+    def y_min(self) -> float:
+        """Minimum y value of the series."""
+        return min(self.y) if self.y else float("nan")
+
+
+@dataclass
+class SweepResult:
+    """A collection of series plus free-form scalar findings.
+
+    Experiment drivers return one of these per figure/table; the benchmarks
+    print them and assert on the scalar findings (the graded claims).
+    """
+
+    title: str
+    series: list[SeriesResult] = field(default_factory=list)
+    scalars: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_series(self, series: SeriesResult) -> None:
+        """Append a data series."""
+        self.series.append(series)
+
+    def get_series(self, name: str) -> SeriesResult:
+        """Return the series called ``name``."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise ConfigurationError(f"no series named {name!r} in {self.title!r}")
+
+    def add_scalar(self, name: str, value: float) -> None:
+        """Record one scalar finding."""
+        self.scalars[name] = float(value)
+
+    @property
+    def series_names(self) -> list[str]:
+        """Names of all series in insertion order."""
+        return [series.name for series in self.series]

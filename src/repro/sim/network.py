@@ -1,0 +1,197 @@
+"""Network-level simulation of the feedback loop (§5.3 case studies).
+
+:class:`FeedbackNetworkSimulator` wires together tags, an access point, the
+uplink/downlink success models and the ARQ / channel-hopping controllers to
+reproduce the two case studies:
+
+* **Packet retransmission** (Figure 26) — PRR as a function of the number of
+  allowed retransmissions, for links whose first-attempt loss rate matches
+  the paper's PLoRa/Aloba measurements at 100 m.
+* **Channel hopping** (Figure 27) — per-window PRR before and after the
+  access point commands a hop away from a jammed channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import SaiyanConfig
+from repro.exceptions import ConfigurationError
+from repro.net.access_point import AccessPoint
+from repro.net.channel_hopping import ChannelHopController
+from repro.net.retransmission import RetransmissionPolicy
+from repro.net.tag import BackscatterTag
+from repro.sim.metrics import packet_reception_ratio
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import ensure_integer, ensure_probability
+
+
+@dataclass
+class RetransmissionExperimentResult:
+    """Outcome of one retransmission experiment run."""
+
+    max_retransmissions: int
+    packets: int
+    delivered: int
+    total_transmissions: int
+    feedback_heard: int
+    feedback_missed: int
+
+    @property
+    def prr(self) -> float:
+        """Packet reception ratio after retransmissions."""
+        return packet_reception_ratio(self.delivered, self.packets)
+
+    @property
+    def mean_transmissions_per_packet(self) -> float:
+        """Average number of transmission attempts per packet."""
+        if self.packets == 0:
+            return 0.0
+        return self.total_transmissions / self.packets
+
+
+@dataclass
+class ChannelHoppingWindow:
+    """PRR observed in one measurement window of the hopping experiment."""
+
+    window_index: int
+    channel_index: int
+    jammed: bool
+    prr: float
+
+
+@dataclass
+class FeedbackNetworkSimulator:
+    """Simulates tags + access point + feedback loop at the packet level.
+
+    Parameters
+    ----------
+    uplink_success_probability:
+        Callable ``(tag, channel_index) -> probability`` that one uplink
+        transmission is received by the access point.
+    downlink_rss_dbm:
+        Callable ``(tag) -> RSS`` of the feedback downlink at the tag, used
+        to decide whether the tag can demodulate feedback at all (this is
+        exactly the capability Saiyan adds).
+    config:
+        Saiyan configuration shared by the tags.
+    """
+
+    uplink_success_probability: Callable[[BackscatterTag, int], float]
+    downlink_rss_dbm: Callable[[BackscatterTag], float]
+    config: SaiyanConfig = field(default_factory=SaiyanConfig)
+
+    # ------------------------------------------------------------------
+    def run_retransmission_experiment(self, *, num_packets: int = 1000,
+                                      max_retransmissions: int = 3,
+                                      tag_id: int = 1,
+                                      random_state: RandomState = None
+                                      ) -> RetransmissionExperimentResult:
+        """Run the Figure 26 experiment for one tag.
+
+        Each packet is transmitted once; if the access point misses it and
+        the retransmission budget allows, a RETRANSMIT command is sent.  The
+        tag only retransmits if it can demodulate the command (downlink RSS
+        above its sensitivity) — without Saiyan that step always fails and
+        the PRR stays at the single-shot value.
+        """
+        num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
+        max_retransmissions = ensure_integer(max_retransmissions, "max_retransmissions",
+                                             minimum=0, maximum=16)
+        rng = as_rng(random_state)
+        tag = BackscatterTag(tag_id, config=self.config)
+        access_point = AccessPoint(
+            retransmission_policy=RetransmissionPolicy(max_retransmissions=max_retransmissions))
+        feedback_heard = feedback_missed = 0
+        for _ in range(num_packets):
+            packet = tag.next_packet(random_state=rng)
+            channel_index = 0
+            success = rng.random() < self._uplink_probability(tag, channel_index)
+            access_point.observe_uplink(packet, received=success)
+            while not success:
+                command = access_point.request_retransmission_for(packet.key)
+                if command is None:
+                    break
+                rss = float(self.downlink_rss_dbm(tag))
+                reply = tag.handle_command(command, rss_dbm=rss)
+                if reply is None:
+                    feedback_missed += 1
+                    break
+                feedback_heard += 1
+                success = rng.random() < self._uplink_probability(tag, channel_index)
+                access_point.observe_uplink(reply, received=success)
+        return RetransmissionExperimentResult(
+            max_retransmissions=max_retransmissions,
+            packets=num_packets,
+            delivered=access_point.arq.delivered_packets,
+            total_transmissions=access_point.arq.total_transmissions,
+            feedback_heard=feedback_heard,
+            feedback_missed=feedback_missed,
+        )
+
+    def _uplink_probability(self, tag: BackscatterTag, channel_index: int) -> float:
+        probability = float(self.uplink_success_probability(tag, channel_index))
+        return ensure_probability(probability, "uplink success probability")
+
+    # ------------------------------------------------------------------
+    def run_channel_hopping_experiment(self, *, hop_controller: ChannelHopController,
+                                       num_windows: int = 50,
+                                       packets_per_window: int = 20,
+                                       hop_after_window: int | None = None,
+                                       tag_id: int = 1,
+                                       random_state: RandomState = None
+                                       ) -> list[ChannelHoppingWindow]:
+        """Run the Figure 27 experiment.
+
+        The tag starts on channel 0.  After each window the access point
+        checks the spectrum monitor; if the channel is jammed (and the
+        optional ``hop_after_window`` gate has passed) it commands a hop to
+        the cleanest channel, which the tag obeys if it can hear the
+        command.  The per-window PRR before and after the hop forms the CDF
+        the paper plots.
+        """
+        num_windows = ensure_integer(num_windows, "num_windows", minimum=1)
+        packets_per_window = ensure_integer(packets_per_window, "packets_per_window",
+                                            minimum=1)
+        rng = as_rng(random_state)
+        tag = BackscatterTag(tag_id, config=self.config)
+        access_point = AccessPoint(hop_controller=hop_controller)
+        current_channel = 0
+        windows: list[ChannelHoppingWindow] = []
+        for window_index in range(num_windows):
+            delivered = 0
+            for _ in range(packets_per_window):
+                packet = tag.next_packet(random_state=rng)
+                success = rng.random() < self._uplink_probability(tag, current_channel)
+                access_point.observe_uplink(packet, received=success)
+                if success:
+                    delivered += 1
+            jammed = not hop_controller.channel_is_clean(current_channel)
+            windows.append(ChannelHoppingWindow(
+                window_index=window_index,
+                channel_index=current_channel,
+                jammed=jammed,
+                prr=packet_reception_ratio(delivered, packets_per_window),
+            ))
+            allowed_to_hop = hop_after_window is None or window_index >= hop_after_window
+            if allowed_to_hop:
+                command = access_point.maybe_hop(current_channel, target_tag_id=tag.tag_id)
+                if command is not None:
+                    rss = float(self.downlink_rss_dbm(tag))
+                    reply = tag.handle_command(command, rss_dbm=rss)
+                    if reply is not None:
+                        current_channel = int(command.argument)
+        return windows
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def prr_cdf(windows: list[ChannelHoppingWindow]) -> tuple[np.ndarray, np.ndarray]:
+        """Return (sorted PRR values, cumulative fractions) across windows."""
+        if not windows:
+            raise ConfigurationError("no windows supplied to prr_cdf")
+        values = np.sort(np.array([w.prr for w in windows]))
+        fractions = np.arange(1, values.size + 1) / values.size
+        return values, fractions

@@ -1,0 +1,48 @@
+"""Generic parameter-sweep helpers.
+
+Small conveniences used by the experiment drivers and available to library
+users who want to run their own sweeps: evaluate a function over a 1-D or
+2-D grid of parameters and collect the results as arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def sweep_1d(values: Iterable, evaluate: Callable[[object], float]) -> tuple[list, np.ndarray]:
+    """Evaluate ``evaluate`` at every entry of ``values``.
+
+    Returns ``(values_list, results_array)``.
+    """
+    values_list = list(values)
+    if not values_list:
+        raise ConfigurationError("sweep_1d requires at least one value")
+    if not callable(evaluate):
+        raise ConfigurationError("evaluate must be callable")
+    results = np.array([float(evaluate(value)) for value in values_list])
+    return values_list, results
+
+
+def sweep_2d(rows: Sequence, columns: Sequence,
+             evaluate: Callable[[object, object], float]) -> np.ndarray:
+    """Evaluate ``evaluate`` over the cartesian product ``rows x columns``.
+
+    Returns a ``(len(rows), len(columns))`` array with
+    ``result[i, j] = evaluate(rows[i], columns[j])``.
+    """
+    rows = list(rows)
+    columns = list(columns)
+    if not rows or not columns:
+        raise ConfigurationError("sweep_2d requires non-empty rows and columns")
+    if not callable(evaluate):
+        raise ConfigurationError("evaluate must be callable")
+    result = np.empty((len(rows), len(columns)), dtype=float)
+    for i, row in enumerate(rows):
+        for j, column in enumerate(columns):
+            result[i, j] = float(evaluate(row, column))
+    return result

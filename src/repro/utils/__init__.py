@@ -1,0 +1,50 @@
+"""Shared utilities: unit conversions, validation helpers and RNG handling."""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watts,
+    watts_to_dbm,
+    dbm_to_volts,
+    volts_to_dbm,
+    power_to_amplitude,
+    amplitude_to_power,
+    hz_to_mhz,
+    mhz_to_hz,
+    seconds_to_us,
+    us_to_seconds,
+    wavelength,
+)
+from repro.utils.validation import (
+    ensure_positive,
+    ensure_non_negative,
+    ensure_in_range,
+    ensure_probability,
+    ensure_one_of,
+    ensure_integer,
+)
+from repro.utils.rng import RandomState, as_rng
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "dbm_to_volts",
+    "volts_to_dbm",
+    "power_to_amplitude",
+    "amplitude_to_power",
+    "hz_to_mhz",
+    "mhz_to_hz",
+    "seconds_to_us",
+    "us_to_seconds",
+    "wavelength",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_in_range",
+    "ensure_probability",
+    "ensure_one_of",
+    "ensure_integer",
+    "RandomState",
+    "as_rng",
+]

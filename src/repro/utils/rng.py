@@ -1,0 +1,44 @@
+"""Random-number-generator management.
+
+Every stochastic component in the library (noise sources, fading channels,
+MAC slot selection, Monte-Carlo experiment drivers) accepts either a seed, a
+``numpy.random.Generator`` or ``None``.  :func:`as_rng` normalises the three
+cases so simulations are reproducible when a seed is supplied and independent
+when it is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = int | np.random.Generator | None
+"""Type accepted anywhere the library needs randomness."""
+
+
+def as_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a fresh nondeterministic generator, an integer seed for
+        a reproducible generator, or an existing generator which is returned
+        unchanged (so that a caller can thread one generator through many
+        components).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(int(random_state))
+
+
+def spawn_child(rng: np.random.Generator, index: int) -> np.random.Generator:
+    """Derive a child generator from ``rng`` for parallel experiment arms.
+
+    The child is seeded from the parent's bit generator state combined with
+    ``index`` so that repeated calls with the same arguments return
+    independent yet reproducible streams.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (index * 0x9E3779B97F4A7C15 & (2**63 - 1))
+    return np.random.default_rng(seed)

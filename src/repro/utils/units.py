@@ -1,0 +1,102 @@
+"""Unit conversions used across the radio, DSP and power models.
+
+All functions are vectorised: they accept scalars or numpy arrays and return
+the corresponding type.  Power quantities use the RF conventions of the
+paper: dB for ratios, dBm for absolute powers referenced to 1 mW, and a
+50 ohm system impedance when converting between power and voltage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT_M_S
+
+SYSTEM_IMPEDANCE_OHM: float = 50.0
+"""Reference impedance used for dBm <-> volt conversions."""
+
+
+def db_to_linear(value_db):
+    """Convert a ratio expressed in dB to its linear power ratio.
+
+    Parameters
+    ----------
+    value_db:
+        Ratio in decibels (scalar or array).
+
+    Returns
+    -------
+    The linear power ratio ``10 ** (value_db / 10)``.
+    """
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value_linear):
+    """Convert a linear power ratio to dB.
+
+    Values of zero map to ``-inf`` rather than raising, mirroring the
+    behaviour of a spectrum analyser reading an empty bin.
+    """
+    value = np.asarray(value_linear, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(value)
+
+
+def dbm_to_watts(power_dbm):
+    """Convert power in dBm to watts."""
+    return np.power(10.0, (np.asarray(power_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(power_w):
+    """Convert power in watts to dBm.  Zero watts maps to ``-inf`` dBm."""
+    power = np.asarray(power_w, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(power) + 30.0
+
+
+def dbm_to_volts(power_dbm, impedance_ohm: float = SYSTEM_IMPEDANCE_OHM):
+    """Convert power in dBm to RMS voltage across ``impedance_ohm``."""
+    watts = dbm_to_watts(power_dbm)
+    return np.sqrt(watts * impedance_ohm)
+
+
+def volts_to_dbm(voltage_rms, impedance_ohm: float = SYSTEM_IMPEDANCE_OHM):
+    """Convert an RMS voltage across ``impedance_ohm`` to power in dBm."""
+    voltage = np.asarray(voltage_rms, dtype=float)
+    watts = np.square(voltage) / impedance_ohm
+    return watts_to_dbm(watts)
+
+
+def power_to_amplitude(power_linear):
+    """Convert a linear power value to the corresponding signal amplitude."""
+    return np.sqrt(np.asarray(power_linear, dtype=float))
+
+
+def amplitude_to_power(amplitude):
+    """Convert a signal amplitude to linear power."""
+    return np.square(np.asarray(amplitude, dtype=float))
+
+
+def hz_to_mhz(frequency_hz):
+    """Convert hertz to megahertz."""
+    return np.asarray(frequency_hz, dtype=float) / 1e6
+
+
+def mhz_to_hz(frequency_mhz):
+    """Convert megahertz to hertz."""
+    return np.asarray(frequency_mhz, dtype=float) * 1e6
+
+
+def seconds_to_us(duration_s):
+    """Convert seconds to microseconds."""
+    return np.asarray(duration_s, dtype=float) * 1e6
+
+
+def us_to_seconds(duration_us):
+    """Convert microseconds to seconds."""
+    return np.asarray(duration_us, dtype=float) / 1e6
+
+
+def wavelength(frequency_hz):
+    """Return the free-space wavelength (m) of ``frequency_hz``."""
+    return SPEED_OF_LIGHT_M_S / np.asarray(frequency_hz, dtype=float)

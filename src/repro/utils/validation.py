@@ -1,0 +1,81 @@
+"""Parameter-validation helpers.
+
+These helpers centralise the argument checks performed by constructors
+throughout the package so that every invalid configuration raises
+:class:`repro.exceptions.ConfigurationError` with a uniform, descriptive
+message.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from numbers import Integral, Real
+
+from repro.exceptions import ConfigurationError
+
+
+def ensure_positive(value, name: str) -> float:
+    """Return ``value`` as a float, raising if it is not strictly positive."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def ensure_non_negative(value, name: str) -> float:
+    """Return ``value`` as a float, raising if it is negative."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def ensure_in_range(value, name: str, low: float, high: float,
+                    inclusive: bool = True) -> float:
+    """Return ``value`` as a float, raising if it lies outside ``[low, high]``.
+
+    With ``inclusive=False`` the bounds themselves are excluded.
+    """
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if inclusive:
+        valid = low <= value <= high
+    else:
+        valid = low < value < high
+    if not valid:
+        bracket = "[]" if inclusive else "()"
+        raise ConfigurationError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return value
+
+
+def ensure_probability(value, name: str) -> float:
+    """Return ``value`` as a float in ``[0, 1]``."""
+    return ensure_in_range(value, name, 0.0, 1.0)
+
+
+def ensure_one_of(value, name: str, allowed: Iterable):
+    """Return ``value`` unchanged, raising if it is not a member of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def ensure_integer(value, name: str, minimum: int | None = None,
+                   maximum: int | None = None) -> int:
+    """Return ``value`` as an int, optionally constrained to ``[minimum, maximum]``."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ConfigurationError(f"{name} must be <= {maximum}, got {value}")
+    return value

@@ -1,0 +1,56 @@
+"""Unit tests for the two-hop backscatter link."""
+
+import pytest
+
+from repro.channel.backscatter_link import BackscatterLink
+from repro.channel.link_budget import LinkBudget
+from repro.exceptions import LinkError
+
+
+def test_received_power_below_one_way_link():
+    link = LinkBudget()
+    uplink = BackscatterLink(forward=link, backward=link)
+    one_way = link.rss_dbm(100.0)
+    two_hop = uplink.received_power_dbm(1.0, 100.0)
+    assert two_hop < one_way
+
+
+def test_backscatter_loss_subtracts_directly():
+    link = LinkBudget()
+    lossless = BackscatterLink(forward=link, backward=link, backscatter_loss_db=0.0)
+    lossy = BackscatterLink(forward=link, backward=link, backscatter_loss_db=6.0)
+    assert lossless.received_power_dbm(2.0, 50.0) - lossy.received_power_dbm(2.0, 50.0) \
+        == pytest.approx(6.0)
+
+
+def test_rss_decreases_with_either_hop():
+    uplink = BackscatterLink()
+    assert uplink.received_power_dbm(1.0, 100.0) > uplink.received_power_dbm(10.0, 100.0)
+    assert uplink.received_power_dbm(5.0, 50.0) > uplink.received_power_dbm(5.0, 150.0)
+
+
+def test_rejects_non_positive_distances():
+    uplink = BackscatterLink()
+    with pytest.raises(LinkError):
+        uplink.received_power_dbm(0.0, 100.0)
+    with pytest.raises(LinkError):
+        uplink.received_power_dbm(5.0, 0.0)
+
+
+def test_evaluate_reports_total_distance_and_snr():
+    uplink = BackscatterLink()
+    result = uplink.evaluate(10.0, 90.0, 500e3)
+    assert result.distance_m == pytest.approx(100.0)
+    assert result.snr_db == pytest.approx(result.rss_dbm - result.noise_dbm)
+
+
+def test_negative_backscatter_loss_rejected():
+    with pytest.raises(Exception):
+        BackscatterLink(backscatter_loss_db=-1.0)
+
+
+def test_with_returns_modified_copy():
+    uplink = BackscatterLink()
+    modified = uplink.with_(backscatter_loss_db=12.0)
+    assert modified.backscatter_loss_db == 12.0
+    assert uplink.backscatter_loss_db == 6.0

@@ -1,0 +1,63 @@
+"""Unit tests for the environment presets."""
+
+import pytest
+
+from repro.channel.environment import (
+    ideal_environment,
+    indoor_environment,
+    outdoor_environment,
+)
+from repro.channel.fading import NoFading, RayleighFading, RicianFading
+
+
+def test_outdoor_environment_defaults():
+    env = outdoor_environment()
+    assert env.name == "outdoor"
+    assert env.link.walls.num_walls == 0
+    assert isinstance(env.link.fading, RicianFading)
+
+
+def test_indoor_environment_has_walls_and_rayleigh():
+    env = indoor_environment(num_walls=2)
+    assert env.link.walls.num_walls == 2
+    assert isinstance(env.link.fading, RayleighFading)
+    assert "2" in env.name
+
+
+def test_indoor_loss_exceeds_outdoor_at_same_distance():
+    outdoor = outdoor_environment(fading=NoFading()).link_budget()
+    indoor = indoor_environment(num_walls=1, fading=NoFading()).link_budget()
+    assert indoor.rss_dbm(30.0) < outdoor.rss_dbm(30.0)
+
+
+def test_ideal_environment_is_most_generous():
+    ideal = ideal_environment().link_budget()
+    outdoor = outdoor_environment(fading=NoFading()).link_budget()
+    assert ideal.rss_dbm(100.0) > outdoor.rss_dbm(100.0)
+
+
+def test_link_budget_overrides():
+    env = outdoor_environment()
+    quiet = env.link_budget(tx_power_dbm=0.0)
+    assert quiet.tx_power_dbm == 0.0
+    assert env.link.tx_power_dbm == 20.0
+
+
+def test_with_walls_copies_environment():
+    env = outdoor_environment()
+    walled = env.with_walls(1)
+    assert walled.link.walls.num_walls == 1
+    assert env.link.walls.num_walls == 0
+
+
+def test_outdoor_calibration_puts_sensitivity_limit_near_180m():
+    # The calibration target: -85.8 dBm is reached between 150 and 220 m.
+    link = outdoor_environment(fading=NoFading()).link_budget()
+    assert link.rss_dbm(150.0) > -85.8
+    assert link.rss_dbm(220.0) < -85.8
+
+
+def test_indoor_calibration_puts_sensitivity_limit_near_45m():
+    link = indoor_environment(num_walls=1, fading=NoFading()).link_budget()
+    assert link.rss_dbm(35.0) > -85.8
+    assert link.rss_dbm(60.0) < -85.8

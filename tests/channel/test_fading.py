@@ -1,0 +1,59 @@
+"""Unit tests for the fading models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import NoFading, RayleighFading, RicianFading
+
+
+def test_no_fading_gain_is_one():
+    model = NoFading()
+    assert model.sample_power_gain() == 1.0
+    np.testing.assert_array_equal(model.sample_power_gain(size=5), np.ones(5))
+    assert model.sample_gain_db() == pytest.approx(0.0)
+
+
+def test_rayleigh_mean_power_is_unity():
+    gains = RayleighFading().sample_power_gain(size=200_000, random_state=0)
+    assert np.mean(gains) == pytest.approx(1.0, rel=0.02)
+
+
+def test_rayleigh_has_deep_fades():
+    gains = RayleighFading().sample_power_gain(size=100_000, random_state=1)
+    assert np.mean(gains < 0.1) > 0.05
+
+
+def test_rician_mean_power_is_unity():
+    gains = RicianFading(k_factor_db=6.0).sample_power_gain(size=200_000, random_state=2)
+    assert np.mean(gains) == pytest.approx(1.0, rel=0.02)
+
+
+def test_rician_high_k_approaches_deterministic():
+    gains = RicianFading(k_factor_db=20.0).sample_power_gain(size=50_000, random_state=3)
+    assert np.std(gains) < 0.25
+
+
+def test_rician_less_fading_than_rayleigh():
+    rician = RicianFading(k_factor_db=9.0).sample_power_gain(size=100_000, random_state=4)
+    rayleigh = RayleighFading().sample_power_gain(size=100_000, random_state=4)
+    assert np.mean(rician < 0.1) < np.mean(rayleigh < 0.1)
+
+
+def test_scalar_samples_are_floats():
+    assert isinstance(RayleighFading().sample_power_gain(random_state=5), float)
+    assert isinstance(RicianFading().sample_power_gain(random_state=5), float)
+
+
+def test_gain_db_matches_linear_gain():
+    model = RicianFading(k_factor_db=6.0)
+    rng_a = np.random.default_rng(7)
+    rng_b = np.random.default_rng(7)
+    linear = model.sample_power_gain(size=10, random_state=rng_a)
+    db = model.sample_gain_db(size=10, random_state=rng_b)
+    np.testing.assert_allclose(db, 10 * np.log10(linear), atol=1e-9)
+
+
+def test_seeded_sampling_is_reproducible():
+    a = RayleighFading().sample_power_gain(size=10, random_state=42)
+    b = RayleighFading().sample_power_gain(size=10, random_state=42)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,92 @@
+"""Unit tests for jammers and the interference environment."""
+
+import pytest
+
+from repro.channel.interference import InterferenceEnvironment, Jammer
+from repro.exceptions import LinkError
+
+
+def _jammer(**kwargs):
+    defaults = dict(frequency_hz=433.0e6, power_dbm=20.0, bandwidth_hz=500e3,
+                    distance_m=3.0)
+    defaults.update(kwargs)
+    return Jammer(**defaults)
+
+
+def test_jammer_received_power_is_plausible():
+    power = _jammer().received_power_dbm()
+    # 20 dBm over 3 m free space at 433 MHz loses ~35 dB.
+    assert power == pytest.approx(-15.0, abs=3.0)
+
+
+def test_jammer_duty_cycle_reduces_average_power():
+    continuous = _jammer(duty_cycle=1.0).received_power_dbm()
+    half = _jammer(duty_cycle=0.5).received_power_dbm()
+    assert continuous - half == pytest.approx(3.01, abs=0.05)
+
+
+def test_jammer_zero_duty_cycle_is_silent():
+    assert _jammer(duty_cycle=0.0).received_power_dbm() == float("-inf")
+
+
+def test_jammer_overlap_detection():
+    jammer = _jammer(frequency_hz=433.0e6, bandwidth_hz=500e3)
+    assert jammer.overlaps(433.0e6, 500e3)
+    assert jammer.overlaps(433.4e6, 500e3)
+    assert not jammer.overlaps(434.5e6, 500e3)
+
+
+def test_jammer_validation():
+    with pytest.raises(LinkError):
+        _jammer(duty_cycle=1.5)
+    with pytest.raises(Exception):
+        _jammer(distance_m=0.0)
+
+
+def test_environment_clean_channel_reports_minus_infinity():
+    environment = InterferenceEnvironment()
+    assert environment.interference_power_dbm(433.5e6, 500e3) == float("-inf")
+    assert environment.channel_is_clean(433.5e6, 500e3)
+
+
+def test_environment_detects_overlapping_jammer():
+    environment = InterferenceEnvironment()
+    environment.add(_jammer(frequency_hz=433.5e6))
+    assert environment.interference_power_dbm(433.5e6, 500e3) > -40.0
+    assert not environment.channel_is_clean(433.5e6, 500e3)
+
+
+def test_environment_ignores_out_of_band_jammer():
+    environment = InterferenceEnvironment()
+    environment.add(_jammer(frequency_hz=433.0e6, bandwidth_hz=200e3))
+    assert environment.channel_is_clean(434.5e6, 500e3)
+
+
+def test_environment_aggregates_multiple_jammers():
+    environment = InterferenceEnvironment()
+    environment.add(_jammer())
+    single = environment.interference_power_dbm(433.0e6, 500e3)
+    environment.add(_jammer())
+    double = environment.interference_power_dbm(433.0e6, 500e3)
+    assert double - single == pytest.approx(3.01, abs=0.05)
+
+
+def test_environment_remove_all():
+    environment = InterferenceEnvironment()
+    environment.add(_jammer())
+    environment.remove_all()
+    assert environment.channel_is_clean(433.0e6, 500e3)
+
+
+def test_environment_rejects_non_jammer():
+    with pytest.raises(LinkError):
+        InterferenceEnvironment().add("not a jammer")
+
+
+def test_sinr_reflects_interference():
+    environment = InterferenceEnvironment()
+    clean_sinr = environment.sinr_db(-70.0, -111.0, 433.5e6, 500e3)
+    environment.add(_jammer(frequency_hz=433.5e6))
+    jammed_sinr = environment.sinr_db(-70.0, -111.0, 433.5e6, 500e3)
+    assert clean_sinr == pytest.approx(41.0, abs=0.2)
+    assert jammed_sinr < 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for the link budget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import RayleighFading
+from repro.channel.link_budget import LinkBudget
+from repro.channel.path_loss import LogDistancePathLoss
+from repro.channel.walls import WallAttenuation
+from repro.dsp.signals import Signal
+from repro.exceptions import LinkError
+from repro.utils.units import dbm_to_watts
+
+
+def test_default_budget_matches_paper_setup():
+    link = LinkBudget()
+    assert link.tx_power_dbm == 20.0
+    assert link.tx_antenna_gain_dbi == 3.0
+    assert link.frequency_hz == pytest.approx(433.5e6)
+
+
+def test_rss_decreases_with_distance(outdoor_link):
+    assert outdoor_link.rss_dbm(10.0) > outdoor_link.rss_dbm(100.0)
+
+
+def test_antenna_gains_reduce_loss():
+    base = LinkBudget(tx_antenna_gain_dbi=0.0, rx_antenna_gain_dbi=0.0)
+    with_gain = LinkBudget(tx_antenna_gain_dbi=3.0, rx_antenna_gain_dbi=3.0)
+    assert with_gain.rss_dbm(50.0) - base.rss_dbm(50.0) == pytest.approx(6.0)
+
+
+def test_walls_reduce_rss():
+    base = LinkBudget()
+    walled = LinkBudget(walls=WallAttenuation(num_walls=2))
+    assert base.rss_dbm(30.0) - walled.rss_dbm(30.0) == pytest.approx(
+        walled.walls.total_loss_db)
+
+
+def test_noise_floor_matches_bandwidth_and_nf():
+    link = LinkBudget(noise_figure_db=6.0)
+    assert link.noise_dbm(500e3) == pytest.approx(-111.0, abs=0.1)
+
+
+def test_snr_is_rss_minus_noise(outdoor_link):
+    distance, bandwidth = 80.0, 500e3
+    assert outdoor_link.snr_db(distance, bandwidth) == pytest.approx(
+        outdoor_link.rss_dbm(distance) - outdoor_link.noise_dbm(bandwidth))
+
+
+def test_evaluate_returns_consistent_result(outdoor_link):
+    result = outdoor_link.evaluate(100.0, 500e3)
+    assert result.distance_m == 100.0
+    assert result.snr_db == pytest.approx(result.rss_dbm - result.noise_dbm)
+    assert result.path_loss_db == pytest.approx(outdoor_link.tx_power_dbm - result.rss_dbm)
+
+
+def test_rejects_non_positive_distance(outdoor_link):
+    with pytest.raises(LinkError):
+        outdoor_link.rss_dbm(0.0)
+
+
+def test_rejects_absurd_tx_power():
+    with pytest.raises(LinkError):
+        LinkBudget(tx_power_dbm=60.0)
+
+
+def test_fading_changes_per_sample_rss():
+    link = LinkBudget(fading=RayleighFading())
+    values = {round(link.rss_dbm(50.0, random_state=i, include_fading=True), 4)
+              for i in range(8)}
+    assert len(values) > 1
+
+
+def test_apply_to_waveform_scales_power(outdoor_link):
+    waveform = Signal(np.ones(4000, dtype=complex), 2e6)
+    distance = 60.0
+    received = outdoor_link.apply_to_waveform(waveform, distance, add_noise=False)
+    expected = float(dbm_to_watts(outdoor_link.rss_dbm(distance)))
+    assert received.power() == pytest.approx(expected, rel=1e-6)
+
+
+def test_apply_to_waveform_adds_noise(outdoor_link):
+    waveform = Signal(np.ones(20_000, dtype=complex), 2e6)
+    clean = outdoor_link.apply_to_waveform(waveform, 150.0, add_noise=False)
+    noisy = outdoor_link.apply_to_waveform(waveform, 150.0, add_noise=True, random_state=0)
+    assert noisy.power() > clean.power()
+
+
+def test_apply_to_waveform_rejects_zero_power(outdoor_link):
+    silent = Signal(np.zeros(100, dtype=complex), 2e6)
+    with pytest.raises(LinkError):
+        outdoor_link.apply_to_waveform(silent, 10.0)
+
+
+def test_with_returns_modified_copy(outdoor_link):
+    louder = outdoor_link.with_(tx_power_dbm=10.0)
+    assert louder.tx_power_dbm == 10.0
+    assert outdoor_link.tx_power_dbm == 20.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=1.0, max_value=500.0), st.floats(min_value=2.0, max_value=4.5))
+def test_rss_monotone_in_distance_property(distance, exponent):
+    link = LinkBudget(path_loss=LogDistancePathLoss(exponent=exponent))
+    assert link.rss_dbm(distance) >= link.rss_dbm(distance * 2.0)

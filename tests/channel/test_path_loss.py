@@ -1,0 +1,85 @@
+"""Unit tests for the path-loss models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.path_loss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+from repro.exceptions import LinkError
+
+
+def test_free_space_known_value():
+    # FSPL at 100 m, 433.5 MHz is about 65.2 dB.
+    assert free_space_path_loss_db(100.0, 433.5e6) == pytest.approx(65.2, abs=0.3)
+
+
+def test_free_space_six_db_per_distance_doubling():
+    loss_100 = free_space_path_loss_db(100.0, 433.5e6)
+    loss_200 = free_space_path_loss_db(200.0, 433.5e6)
+    assert loss_200 - loss_100 == pytest.approx(6.02, abs=0.05)
+
+
+def test_free_space_rejects_non_positive_distance():
+    with pytest.raises(LinkError):
+        free_space_path_loss_db(0.0, 433.5e6)
+
+
+def test_free_space_clamps_below_wavelength():
+    tiny = free_space_path_loss_db(1e-6, 433.5e6)
+    wavelength_loss = free_space_path_loss_db(0.7, 433.5e6)
+    assert tiny == pytest.approx(wavelength_loss, abs=0.5)
+
+
+def test_log_distance_equals_free_space_at_reference():
+    loss = log_distance_path_loss_db(1.0, 433.5e6, exponent=3.85)
+    assert loss == pytest.approx(free_space_path_loss_db(1.0, 433.5e6), abs=1e-9)
+
+
+def test_log_distance_slope_follows_exponent():
+    loss_10 = log_distance_path_loss_db(10.0, 433.5e6, exponent=3.0)
+    loss_100 = log_distance_path_loss_db(100.0, 433.5e6, exponent=3.0)
+    assert loss_100 - loss_10 == pytest.approx(30.0, abs=1e-6)
+
+
+def test_log_distance_shadowing_adds_fixed_margin():
+    base = log_distance_path_loss_db(50.0, 433.5e6)
+    shadowed = log_distance_path_loss_db(50.0, 433.5e6, shadowing_db=7.0)
+    assert shadowed - base == pytest.approx(7.0)
+
+
+def test_free_space_model_class():
+    model = FreeSpacePathLoss()
+    assert model.mean_loss_db(10.0, 433.5e6) == pytest.approx(
+        free_space_path_loss_db(10.0, 433.5e6))
+    assert model.sample_loss_db(10.0, 433.5e6) == model.mean_loss_db(10.0, 433.5e6)
+
+
+def test_log_distance_model_without_shadowing_is_deterministic():
+    model = LogDistancePathLoss(exponent=3.85)
+    assert model.sample_loss_db(77.0, 433.5e6, random_state=1) == pytest.approx(
+        model.mean_loss_db(77.0, 433.5e6))
+
+
+def test_log_distance_model_shadowing_varies():
+    model = LogDistancePathLoss(exponent=3.85, shadowing_sigma_db=6.0)
+    samples = {round(model.sample_loss_db(77.0, 433.5e6, random_state=i), 6)
+               for i in range(10)}
+    assert len(samples) > 1
+
+
+def test_log_distance_model_validation():
+    with pytest.raises(Exception):
+        LogDistancePathLoss(exponent=0.0)
+    with pytest.raises(Exception):
+        LogDistancePathLoss(shadowing_sigma_db=-1.0)
+
+
+@given(st.floats(min_value=1.0, max_value=1000.0), st.floats(min_value=1.5, max_value=5.0))
+def test_loss_is_monotone_in_distance_property(distance, exponent):
+    closer = log_distance_path_loss_db(distance, 433.5e6, exponent=exponent)
+    farther = log_distance_path_loss_db(distance * 1.5, 433.5e6, exponent=exponent)
+    assert farther > closer

@@ -1,0 +1,43 @@
+"""Unit tests for wall attenuation."""
+
+import pytest
+
+from repro.channel.walls import CONCRETE_WALL_LOSS_DB, WallAttenuation
+from repro.exceptions import LinkError
+
+
+def test_no_walls_no_loss():
+    assert WallAttenuation(num_walls=0).total_loss_db == 0.0
+
+
+def test_loss_scales_linearly_with_wall_count():
+    one = WallAttenuation(num_walls=1)
+    two = WallAttenuation(num_walls=2)
+    assert two.total_loss_db == pytest.approx(2 * one.total_loss_db)
+
+
+def test_default_loss_per_wall_is_concrete():
+    assert WallAttenuation(num_walls=1).total_loss_db == pytest.approx(CONCRETE_WALL_LOSS_DB)
+
+
+def test_custom_loss_per_wall():
+    walls = WallAttenuation(num_walls=3, loss_per_wall_db=4.0)
+    assert walls.total_loss_db == pytest.approx(12.0)
+
+
+def test_with_walls_returns_modified_copy():
+    original = WallAttenuation(num_walls=1, loss_per_wall_db=5.0)
+    modified = original.with_walls(4)
+    assert modified.num_walls == 4
+    assert modified.loss_per_wall_db == 5.0
+    assert original.num_walls == 1
+
+
+def test_negative_wall_count_rejected():
+    with pytest.raises(LinkError):
+        WallAttenuation(num_walls=-1)
+
+
+def test_negative_loss_rejected():
+    with pytest.raises(Exception):
+        WallAttenuation(num_walls=1, loss_per_wall_db=-2.0)

@@ -1,0 +1,54 @@
+"""Shared pytest fixtures for the Saiyan reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.lora.modulation import LoRaModulator
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def downlink() -> DownlinkParameters:
+    """The paper's default downlink configuration (SF7, 500 kHz, K=2)."""
+    return DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=2)
+
+
+@pytest.fixture
+def lora_params() -> LoRaParameters:
+    """Standard LoRa parameters used by the access-point receiver tests."""
+    return LoRaParameters(spreading_factor=7, bandwidth_hz=500e3, coding_rate=1)
+
+
+@pytest.fixture
+def saiyan_config(downlink: DownlinkParameters) -> SaiyanConfig:
+    """A Super-Saiyan configuration built on the default downlink."""
+    return SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER)
+
+
+@pytest.fixture
+def vanilla_config(downlink: DownlinkParameters) -> SaiyanConfig:
+    """A vanilla-Saiyan configuration built on the default downlink."""
+    return SaiyanConfig(downlink=downlink, mode=SaiyanMode.VANILLA)
+
+
+@pytest.fixture
+def modulator(downlink: DownlinkParameters) -> LoRaModulator:
+    """A modulator matched to the default downlink at 4x oversampling."""
+    return LoRaModulator(downlink, oversampling=4)
+
+
+@pytest.fixture
+def outdoor_link():
+    """The calibrated outdoor link budget without fading (deterministic RSS)."""
+    return outdoor_environment(fading=NoFading()).link_budget()

@@ -1,0 +1,111 @@
+"""Unit tests for the automatic gain control extension (§4.1 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agc import AutomaticGainControl
+from repro.core.frontend import AnalogFrontEnd
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError, DemodulationError
+from repro.lora.modulation import LoRaModulator
+
+
+def test_first_update_adopts_observed_peak():
+    agc = AutomaticGainControl()
+    state = agc.update(np.full(100, 0.5))
+    assert state.tracked_peak == pytest.approx(0.5, rel=0.02)
+    assert not state.converged
+
+
+def test_fast_attack_slow_decay():
+    agc = AutomaticGainControl(attack=0.5, decay=0.05)
+    agc.update(np.full(100, 0.1))
+    rising = agc.update(np.full(100, 1.0))
+    # Attack: moves half-way up immediately.
+    assert rising.tracked_peak == pytest.approx(0.55, rel=0.05)
+    agc2 = AutomaticGainControl(attack=0.5, decay=0.05)
+    agc2.update(np.full(100, 1.0))
+    falling = agc2.update(np.full(100, 0.1))
+    # Decay: barely moves down in one block.
+    assert falling.tracked_peak > 0.9
+
+
+def test_thresholds_follow_tracked_peak():
+    agc = AutomaticGainControl()
+    state = agc.update(np.full(100, 2.0))
+    assert state.thresholds.high < 2.0
+    assert state.thresholds.low < state.thresholds.high
+    assert agc.thresholds().high == pytest.approx(state.thresholds.high)
+
+
+def test_gain_normalises_towards_target():
+    agc = AutomaticGainControl(target_peak=1.0)
+    state = agc.update(np.full(100, 0.25))
+    assert state.gain_linear == pytest.approx(4.0, rel=0.05)
+    assert agc.gain_db() == pytest.approx(12.0, abs=0.5)
+
+
+def test_converges_on_stationary_envelope():
+    agc = AutomaticGainControl()
+    converged = False
+    for _ in range(10):
+        converged = agc.update(np.full(100, 0.7)).converged
+    assert converged
+    assert agc.blocks_processed == 10
+
+
+def test_reset_clears_state():
+    agc = AutomaticGainControl()
+    agc.update(np.full(100, 0.7))
+    agc.reset()
+    assert agc.tracked_peak is None
+    with pytest.raises(DemodulationError):
+        agc.thresholds()
+
+
+def test_settle_on_real_preamble_envelope(vanilla_config, downlink):
+    """AGC converges within a few preamble chirps on the actual front-end output."""
+    frontend = AnalogFrontEnd(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    preamble = modulator.preamble_waveform(8)
+    envelope = frontend.process(preamble, add_noise=False).envelope
+    agc = AutomaticGainControl()
+    state, blocks = agc.settle(envelope, block_duration_s=downlink.symbol_duration_s)
+    assert blocks <= 8
+    assert state.thresholds.high < float(np.max(envelope.samples))
+    assert state.thresholds.high > float(np.median(envelope.samples))
+
+
+def test_agc_thresholds_work_without_distance_table(vanilla_config, downlink):
+    """The AGC-derived thresholds decode symbols without any offline table."""
+    from repro.core.demodulator import VanillaSaiyanDemodulator
+
+    frontend = AnalogFrontEnd(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    preamble_envelope = frontend.process(modulator.preamble_waveform(6),
+                                         add_noise=False).envelope
+    agc = AutomaticGainControl()
+    state, _ = agc.settle(preamble_envelope, block_duration_s=downlink.symbol_duration_s)
+
+    demodulator = VanillaSaiyanDemodulator(vanilla_config, frontend=frontend)
+    symbols = np.array([0, 1, 2, 3, 2, 1])
+    payload = modulator.modulate_symbols(symbols)
+    result = demodulator.demodulate_payload(payload, len(symbols),
+                                            thresholds=state.thresholds)
+    np.testing.assert_array_equal(result.symbols, symbols)
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        AutomaticGainControl(attack=0.0)
+    with pytest.raises(Exception):
+        AutomaticGainControl(decay=1.0)
+    agc = AutomaticGainControl()
+    with pytest.raises(DemodulationError):
+        agc.update(np.zeros(10))
+    with pytest.raises(DemodulationError):
+        agc.update(np.zeros(0))
+    with pytest.raises(ConfigurationError):
+        agc.settle(np.ones(100), block_duration_s=1e-3)
+    with pytest.raises(DemodulationError):
+        agc.settle(Signal(np.ones(4), 1e6), block_duration_s=1.0)

@@ -1,0 +1,77 @@
+"""Unit tests for SaiyanConfig and SaiyanMode."""
+
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.exceptions import ConfigurationError
+from repro.lora.parameters import DownlinkParameters
+
+
+def test_mode_stage_flags():
+    assert not SaiyanMode.VANILLA.uses_frequency_shift
+    assert not SaiyanMode.VANILLA.uses_correlation
+    assert SaiyanMode.FREQUENCY_SHIFT.uses_frequency_shift
+    assert not SaiyanMode.FREQUENCY_SHIFT.uses_correlation
+    assert SaiyanMode.SUPER.uses_frequency_shift
+    assert SaiyanMode.SUPER.uses_correlation
+
+
+def test_default_config_is_super_mode():
+    config = SaiyanConfig()
+    assert config.mode is SaiyanMode.SUPER
+    assert config.downlink.bits_per_chirp == 2
+
+
+def test_sample_rate_and_samples_per_symbol(downlink):
+    config = SaiyanConfig(downlink=downlink, oversampling=4)
+    assert config.sample_rate == pytest.approx(2e6)
+    assert config.samples_per_symbol == 512
+
+
+def test_effective_if_offset_default_is_bandwidth(downlink):
+    config = SaiyanConfig(downlink=downlink)
+    assert config.effective_if_offset_hz == pytest.approx(downlink.bandwidth_hz)
+
+
+def test_explicit_if_offset_is_respected(downlink):
+    config = SaiyanConfig(downlink=downlink, if_offset_hz=300e3)
+    assert config.effective_if_offset_hz == pytest.approx(300e3)
+
+
+def test_mcu_sampling_rate_uses_table1_rule(downlink):
+    config = SaiyanConfig(downlink=downlink)
+    assert config.mcu_sampling_rate_hz == pytest.approx(
+        downlink.practical_sampling_rate_hz)
+
+
+def test_with_replaces_fields(saiyan_config):
+    vanilla = saiyan_config.with_(mode=SaiyanMode.VANILLA)
+    assert vanilla.mode is SaiyanMode.VANILLA
+    assert saiyan_config.mode is SaiyanMode.SUPER
+
+
+def test_describe_mentions_mode(saiyan_config):
+    assert "super" in saiyan_config.describe()
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(downlink="not params")
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(mode="super")
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(oversampling=0)
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(comparator_hysteresis_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(correlation_threshold=1.5)
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(if_offset_hz=0.0)
+
+
+def test_config_accepts_all_downlink_settings():
+    for sf in (7, 9, 12):
+        for k in (1, 3, 5):
+            downlink = DownlinkParameters(spreading_factor=sf, bits_per_chirp=k)
+            config = SaiyanConfig(downlink=downlink)
+            assert config.downlink.spreading_factor == sf

@@ -1,0 +1,82 @@
+"""Unit tests for the packet-level decoder (preamble + sync + payload)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.decoder import SaiyanPacketDecoder
+from repro.core.demodulator import SuperSaiyanDemodulator, VanillaSaiyanDemodulator
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.lora.modulation import LoRaModulator
+from repro.lora.packet import LoRaPacket, PacketStructure
+
+
+@pytest.fixture
+def decoder(saiyan_config):
+    return SaiyanPacketDecoder(SuperSaiyanDemodulator(saiyan_config),
+                               PacketStructure(payload_symbols=8))
+
+
+def _packet_waveform(downlink, rng, *, payload_symbols=8, pad_before=0):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    packet = LoRaPacket.random(payload_symbols, downlink, rng=rng)
+    waveform = modulator.modulate(packet)
+    if pad_before:
+        silence = Signal(np.full(pad_before, 1e-9, dtype=complex), modulator.sample_rate)
+        waveform = silence.concatenate(waveform)
+    return packet, waveform
+
+
+def test_decode_clean_packet(decoder, downlink, rng):
+    packet, waveform = _packet_waveform(downlink, rng)
+    decoded = decoder.decode(waveform, random_state=0)
+    assert decoded.detected
+    np.testing.assert_array_equal(decoded.symbols, packet.symbols)
+    np.testing.assert_array_equal(decoded.bits, packet.payload_bits)
+
+
+def test_decode_packet_with_leading_silence(decoder, downlink, rng):
+    packet, waveform = _packet_waveform(downlink, rng, pad_before=1500)
+    decoded = decoder.decode(waveform, random_state=0)
+    assert decoded.detected
+    np.testing.assert_array_equal(decoded.symbols, packet.symbols)
+
+
+def test_decode_noise_only_reports_not_detected(decoder, downlink, rng):
+    noise = Signal(1e-7 * (rng.normal(size=40_000) + 1j * rng.normal(size=40_000)),
+                   decoder.config.sample_rate)
+    decoded = decoder.decode(noise, random_state=0)
+    assert not decoded.detected
+    assert decoded.bits.size == 0
+    assert decoded.preamble_index == -1
+
+
+def test_vanilla_decoder_also_works(vanilla_config, downlink, rng):
+    decoder = SaiyanPacketDecoder(VanillaSaiyanDemodulator(vanilla_config),
+                                  PacketStructure(payload_symbols=6))
+    packet, waveform = _packet_waveform(downlink, rng, payload_symbols=6)
+    decoded = decoder.decode(waveform, random_state=0)
+    assert decoded.detected
+    np.testing.assert_array_equal(decoded.symbols, packet.symbols)
+
+
+def test_detect_preamble_on_envelope(decoder, downlink, rng):
+    _, waveform = _packet_waveform(downlink, rng, pad_before=2048)
+    front = decoder.demodulator.frontend.process(waveform, add_noise=False)
+    index = decoder.detect_preamble(front.envelope)
+    assert index is not None
+    assert index <= 2048 + decoder.demodulator.samples_per_symbol
+
+
+def test_detect_preamble_rejects_flat_envelope(decoder):
+    flat = Signal(np.full(20_000, 0.3), decoder.config.sample_rate)
+    assert decoder.detect_preamble(flat) is None
+
+
+def test_decoder_validation(saiyan_config):
+    with pytest.raises(ConfigurationError):
+        SaiyanPacketDecoder("not a demodulator")
+    decoder = SaiyanPacketDecoder(SuperSaiyanDemodulator(saiyan_config))
+    with pytest.raises(ConfigurationError):
+        decoder.decode(np.ones(100))

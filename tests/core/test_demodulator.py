@@ -1,0 +1,103 @@
+"""Unit tests for the vanilla and super Saiyan symbol demodulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.demodulator import SuperSaiyanDemodulator, VanillaSaiyanDemodulator
+from repro.dsp.noise import add_awgn_snr
+from repro.exceptions import DemodulationError
+from repro.lora.modulation import LoRaModulator
+from repro.lora.packet import LoRaPacket
+from repro.lora.parameters import DownlinkParameters
+
+
+def _round_trip(demodulator, downlink, symbols, *, snr_db=None, seed=0):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    waveform = modulator.modulate_symbols(symbols)
+    if snr_db is not None:
+        waveform = add_awgn_snr(waveform, snr_db, random_state=seed)
+    return demodulator.demodulate_payload(waveform, len(symbols), random_state=seed)
+
+
+def test_vanilla_decodes_clean_payload(vanilla_config, downlink, rng):
+    demodulator = VanillaSaiyanDemodulator(vanilla_config)
+    symbols = rng.integers(0, downlink.alphabet_size, size=16)
+    result = _round_trip(demodulator, downlink, symbols)
+    np.testing.assert_array_equal(result.symbols, symbols)
+    assert result.bits.size == 16 * downlink.bits_per_chirp
+
+
+def test_super_decodes_clean_payload(saiyan_config, downlink, rng):
+    demodulator = SuperSaiyanDemodulator(saiyan_config)
+    symbols = rng.integers(0, downlink.alphabet_size, size=16)
+    result = _round_trip(demodulator, downlink, symbols)
+    np.testing.assert_array_equal(result.symbols, symbols)
+    assert all(decision.used_correlation for decision in result.decisions)
+
+
+def test_vanilla_mode_is_forced(saiyan_config):
+    demodulator = VanillaSaiyanDemodulator(saiyan_config)
+    assert demodulator.config.mode is SaiyanMode.VANILLA
+
+
+def test_super_respects_frequency_shift_mode(downlink):
+    config = SaiyanConfig(downlink=downlink, mode=SaiyanMode.FREQUENCY_SHIFT)
+    demodulator = SuperSaiyanDemodulator(config)
+    assert demodulator.config.mode is SaiyanMode.FREQUENCY_SHIFT
+    symbols = [0, 1, 2, 3]
+    result = _round_trip(demodulator, downlink, symbols)
+    np.testing.assert_array_equal(result.symbols, symbols)
+    assert not any(decision.used_correlation for decision in result.decisions)
+
+
+def test_super_decodes_all_k_values(rng):
+    for k in (1, 2, 3):
+        downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3,
+                                      bits_per_chirp=k)
+        config = SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER)
+        demodulator = SuperSaiyanDemodulator(config)
+        symbols = rng.integers(0, downlink.alphabet_size, size=8)
+        result = _round_trip(demodulator, downlink, symbols)
+        np.testing.assert_array_equal(result.symbols, symbols)
+
+
+def test_super_tolerates_moderate_noise(saiyan_config, downlink, rng):
+    demodulator = SuperSaiyanDemodulator(saiyan_config)
+    symbols = rng.integers(0, downlink.alphabet_size, size=12)
+    result = _round_trip(demodulator, downlink, symbols, snr_db=15.0, seed=3)
+    errors = int(np.sum(result.symbols != symbols))
+    assert errors <= 1
+
+
+def test_super_outperforms_vanilla_at_low_snr(downlink, rng):
+    """The correlation stage should make fewer errors than peak detection."""
+    symbols = rng.integers(0, downlink.alphabet_size, size=24)
+    snr_db = 3.0
+    vanilla = VanillaSaiyanDemodulator(
+        SaiyanConfig(downlink=downlink, mode=SaiyanMode.VANILLA))
+    super_ = SuperSaiyanDemodulator(
+        SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER))
+    vanilla_errors = super_errors = 0
+    for trial in range(3):
+        result_v = _round_trip(vanilla, downlink, symbols, snr_db=snr_db, seed=trial)
+        result_s = _round_trip(super_, downlink, symbols, snr_db=snr_db, seed=trial)
+        vanilla_errors += int(np.sum(result_v.symbols != symbols))
+        super_errors += int(np.sum(result_s.symbols != symbols))
+    assert super_errors <= vanilla_errors
+
+
+def test_payload_too_short_raises(vanilla_config, downlink):
+    demodulator = VanillaSaiyanDemodulator(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    waveform = modulator.modulate_symbols([0])
+    with pytest.raises(DemodulationError):
+        demodulator.demodulate_payload(waveform, 4)
+
+
+def test_bits_match_symbols(saiyan_config, downlink, rng):
+    demodulator = SuperSaiyanDemodulator(saiyan_config)
+    packet = LoRaPacket.random(10, downlink, rng=rng)
+    result = _round_trip(demodulator, downlink, packet.symbols)
+    np.testing.assert_array_equal(result.bits[: packet.payload_bits.size],
+                                  packet.payload_bits)

@@ -1,0 +1,85 @@
+"""Unit tests for the analog front end (SAW + LNA + envelope detection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.frontend import AnalogFrontEnd
+from repro.exceptions import ConfigurationError
+from repro.lora.modulation import LoRaModulator
+
+
+def _payload(downlink, symbols):
+    return LoRaModulator(downlink, oversampling=4).modulate_symbols(symbols)
+
+
+def test_process_returns_all_stages(saiyan_config, downlink):
+    frontend = AnalogFrontEnd(saiyan_config)
+    output = frontend.process(_payload(downlink, [0, 1]), random_state=0)
+    assert len(output.envelope) > 0
+    assert len(output.after_saw) == len(output.after_lna)
+
+
+def test_envelope_is_real_non_negative(saiyan_config, downlink):
+    frontend = AnalogFrontEnd(saiyan_config)
+    output = frontend.process(_payload(downlink, [2]), random_state=0)
+    samples = np.asarray(output.envelope.samples)
+    assert not np.iscomplexobj(samples)
+    assert np.all(samples >= 0)
+
+
+def test_envelope_peak_position_tracks_symbol(vanilla_config, downlink):
+    frontend = AnalogFrontEnd(vanilla_config)
+    fractions = []
+    for symbol in range(downlink.alphabet_size):
+        output = frontend.process(_payload(downlink, [symbol]), add_noise=False)
+        envelope = np.asarray(output.envelope.samples)
+        fractions.append(int(np.argmax(envelope)) / envelope.size)
+    # Peak moves earlier as the symbol value (starting offset) grows.
+    assert fractions[0] > fractions[1] > fractions[2] > fractions[3]
+
+
+def test_vanilla_and_super_modes_use_different_paths(downlink):
+    payload = _payload(downlink, [1, 2])
+    vanilla = AnalogFrontEnd(SaiyanConfig(downlink=downlink, mode=SaiyanMode.VANILLA))
+    shifted = AnalogFrontEnd(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER))
+    envelope_vanilla = vanilla.process(payload, random_state=0).envelope
+    envelope_shifted = shifted.process(payload, random_state=0).envelope
+    assert len(envelope_vanilla) == len(envelope_shifted)
+    assert not np.allclose(np.asarray(envelope_vanilla.samples),
+                           np.asarray(envelope_shifted.samples))
+
+
+def test_noise_free_processing_is_deterministic(saiyan_config, downlink):
+    frontend = AnalogFrontEnd(saiyan_config)
+    payload = _payload(downlink, [3])
+    a = frontend.process(payload, add_noise=False).envelope
+    b = frontend.process(payload, add_noise=False).envelope
+    np.testing.assert_allclose(np.asarray(a.samples), np.asarray(b.samples))
+
+
+def test_envelope_template_matches_noiseless_processing(vanilla_config, downlink):
+    frontend = AnalogFrontEnd(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    template = frontend.envelope_template(modulator.symbol_waveform(0))
+    assert len(template) == modulator.samples_per_symbol
+    assert np.all(np.asarray(template.samples) >= 0)
+
+
+def test_lna_gain_from_config_is_applied(downlink):
+    payload = _payload(downlink, [0])
+    low = AnalogFrontEnd(SaiyanConfig(downlink=downlink, mode=SaiyanMode.VANILLA,
+                                      lna_gain_db=0.0))
+    high = AnalogFrontEnd(SaiyanConfig(downlink=downlink, mode=SaiyanMode.VANILLA,
+                                       lna_gain_db=20.0))
+    envelope_low = low.process(payload, add_noise=False).envelope
+    envelope_high = high.process(payload, add_noise=False).envelope
+    assert np.max(envelope_high.samples) > 10 * np.max(envelope_low.samples)
+
+
+def test_invalid_inputs_rejected(saiyan_config):
+    frontend = AnalogFrontEnd(saiyan_config)
+    with pytest.raises(ConfigurationError):
+        frontend.process(np.ones(100))
+    with pytest.raises(ConfigurationError):
+        AnalogFrontEnd("not a config")

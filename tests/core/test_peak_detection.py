@@ -1,0 +1,125 @@
+"""Unit tests for peak-position decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SaiyanConfig
+from repro.core.peak_detection import (
+    PeakPositionDecoder,
+    peak_position_to_symbol,
+    symbol_to_peak_fraction,
+)
+from repro.exceptions import ConfigurationError, DemodulationError
+from repro.lora.parameters import DownlinkParameters
+
+
+def test_symbol_to_peak_fraction_layout():
+    assert symbol_to_peak_fraction(0, 4) == pytest.approx(1.0)
+    assert symbol_to_peak_fraction(1, 4) == pytest.approx(0.75)
+    assert symbol_to_peak_fraction(3, 4) == pytest.approx(0.25)
+
+
+def test_peak_position_to_symbol_inverts_fraction():
+    for alphabet in (2, 4, 8, 32):
+        for symbol in range(alphabet):
+            fraction = symbol_to_peak_fraction(symbol, alphabet)
+            assert peak_position_to_symbol(fraction, alphabet) == symbol
+
+
+def test_peak_position_wraps_at_window_start():
+    # A peak at the very start of the window is the wrap-around of symbol 0.
+    assert peak_position_to_symbol(0.0, 4) == 0
+
+
+def test_peak_position_validation():
+    with pytest.raises(Exception):
+        peak_position_to_symbol(1.5, 4)
+    with pytest.raises(Exception):
+        peak_position_to_symbol(0.5, 1)
+
+
+def _decoder(bits_per_chirp=2):
+    downlink = DownlinkParameters(bits_per_chirp=bits_per_chirp)
+    return PeakPositionDecoder(SaiyanConfig(downlink=downlink))
+
+
+def test_locate_peak_uses_comparator_falling_edge():
+    decoder = _decoder()
+    binary = np.array([0, 0, 1, 1, 1, 0, 0, 0])
+    observation = decoder.locate_peak(binary)
+    assert observation.from_comparator
+    assert observation.sample_index == 4
+
+
+def test_locate_peak_high_until_end_maps_to_symbol_zero():
+    decoder = _decoder()
+    binary = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    observation = decoder.locate_peak(binary)
+    assert observation.fraction == pytest.approx(1.0)
+    assert decoder.decode_symbol(binary) == 0
+
+
+def test_locate_peak_falls_back_to_envelope():
+    decoder = _decoder()
+    binary = np.zeros(8, dtype=int)
+    envelope = np.array([0.1, 0.2, 0.9, 0.3, 0.2, 0.1, 0.1, 0.1])
+    observation = decoder.locate_peak(binary, envelope)
+    assert not observation.from_comparator
+    assert observation.sample_index == 2
+
+
+def test_locate_peak_no_information_defaults_to_middle():
+    decoder = _decoder()
+    observation = decoder.locate_peak(np.zeros(10, dtype=int))
+    assert observation.sample_index == 5
+
+
+def test_locate_peak_rejects_mismatched_envelope():
+    decoder = _decoder()
+    with pytest.raises(DemodulationError):
+        decoder.locate_peak(np.zeros(8, dtype=int), np.zeros(9))
+
+
+def test_decode_symbol_each_position():
+    decoder = _decoder(bits_per_chirp=2)
+    window = 32
+    for symbol in range(4):
+        binary = np.zeros(window, dtype=int)
+        fraction = symbol_to_peak_fraction(symbol, 4)
+        peak = min(int(round(fraction * window)) - 1, window - 1)
+        start = max(peak - 3, 0)
+        binary[start:peak + 1] = 1
+        assert decoder.decode_symbol(binary) == symbol
+
+
+def test_decode_sequence_multiple_symbols():
+    decoder = _decoder(bits_per_chirp=1)
+    window = 20
+    binary = np.zeros(3 * window, dtype=int)
+    # Symbol 0 peaks at the end of the window, symbol 1 at the middle.
+    binary[window - 4: window] = 1          # symbol 0
+    binary[window + window // 2 - 4: window + window // 2] = 1  # symbol 1
+    binary[3 * window - 4: 3 * window] = 1  # symbol 0
+    symbols = decoder.decode_sequence(binary, 3)
+    np.testing.assert_array_equal(symbols, [0, 1, 0])
+
+
+def test_decode_sequence_requires_enough_samples():
+    decoder = _decoder()
+    with pytest.raises(DemodulationError):
+        decoder.decode_sequence(np.zeros(3, dtype=int), 5)
+
+
+def test_decoder_requires_config():
+    with pytest.raises(ConfigurationError):
+        PeakPositionDecoder("nope")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=31))
+def test_round_trip_fraction_symbol_property(bits, symbol):
+    alphabet = 2 ** bits
+    symbol = symbol % alphabet
+    fraction = symbol_to_peak_fraction(symbol, alphabet)
+    assert peak_position_to_symbol(fraction, alphabet) == symbol

@@ -1,0 +1,69 @@
+"""Unit tests for the Saiyan power model."""
+
+import pytest
+
+from repro.constants import ASIC_TOTAL_POWER_UW, PCB_TOTAL_POWER_UW
+from repro.core.power_model import SaiyanPowerModel
+from repro.exceptions import PowerModelError
+from repro.hardware.energy_harvester import EnergyHarvester
+from repro.lora.parameters import DownlinkParameters
+
+
+def test_pcb_total_matches_table2():
+    model = SaiyanPowerModel(implementation="pcb")
+    assert model.total_power_uw() == pytest.approx(PCB_TOTAL_POWER_UW, abs=0.5)
+
+
+def test_asic_total_matches_section_4_3():
+    model = SaiyanPowerModel(implementation="asic")
+    assert model.total_power_uw() == pytest.approx(ASIC_TOTAL_POWER_UW, abs=0.1)
+
+
+def test_summary_reports_ledger():
+    summary = SaiyanPowerModel(implementation="asic").summary()
+    assert summary.implementation == "asic"
+    assert summary.total_power_uw == pytest.approx(ASIC_TOTAL_POWER_UW, abs=0.1)
+    assert summary.ledger.power_of("lna") == pytest.approx(68.4)
+
+
+def test_packet_duration_uses_downlink_timing():
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3)
+    model = SaiyanPowerModel(downlink)
+    expected_symbols = 10 + 2.25 + 32
+    assert model.packet_duration_s(32) == pytest.approx(expected_symbols * 256e-6)
+
+
+def test_energy_per_packet_asic_is_microjoules():
+    model = SaiyanPowerModel(implementation="asic")
+    energy = model.energy_per_packet_uj(32)
+    assert 0.5 < energy < 10.0
+
+
+def test_saiyan_saves_orders_of_magnitude_vs_commodity_lora():
+    model = SaiyanPowerModel(implementation="asic")
+    assert model.energy_saving_factor(32) > 100.0
+
+
+def test_asic_sustainable_at_one_percent_duty_cycle():
+    model = SaiyanPowerModel(implementation="asic", duty_cycle=0.01)
+    assert model.is_sustainable(EnergyHarvester())
+
+
+def test_pcb_not_sustainable_at_full_duty_cycle():
+    model = SaiyanPowerModel(implementation="pcb", duty_cycle=1.0)
+    assert not model.is_sustainable(EnergyHarvester())
+
+
+def test_charge_time_for_packet_is_short_for_asic():
+    model = SaiyanPowerModel(implementation="asic")
+    # A few µJ at ~9 µW of net harvest is well under a minute.
+    assert model.charge_time_for_packet_s() < 60.0
+
+
+def test_validation():
+    with pytest.raises(PowerModelError):
+        SaiyanPowerModel(duty_cycle=0.0)
+    with pytest.raises(PowerModelError):
+        SaiyanPowerModel(implementation="fpga")
+    with pytest.raises(PowerModelError):
+        SaiyanPowerModel().packet_duration_s(-1)

@@ -1,0 +1,103 @@
+"""Unit tests for threshold calibration and the Saiyan quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.frontend import AnalogFrontEnd
+from repro.core.quantizer import SaiyanQuantizer, ThresholdCalibrator, ThresholdPair
+from repro.exceptions import ConfigurationError, DemodulationError
+from repro.lora.modulation import LoRaModulator
+
+
+def test_threshold_pair_validation():
+    with pytest.raises(ConfigurationError):
+        ThresholdPair(high=1.0, low=1.0)
+    pair = ThresholdPair(high=1.0, low=0.5)
+    assert pair.high > pair.low
+
+
+def test_rule_from_peak_matches_section_4_1():
+    calibrator = ThresholdCalibrator(gap_db=3.0, hysteresis_fraction=0.5)
+    pair = calibrator.thresholds_from_peak(1.0)
+    assert pair.high == pytest.approx(1.0 / 10 ** (3.0 / 20.0))
+    assert pair.low == pytest.approx(pair.high * 0.5)
+
+
+def test_rule_rejects_bad_parameters():
+    with pytest.raises(Exception):
+        ThresholdCalibrator(gap_db=0.0)
+    with pytest.raises(ConfigurationError):
+        ThresholdCalibrator(hysteresis_fraction=1.0)
+    with pytest.raises(Exception):
+        ThresholdCalibrator().thresholds_from_peak(0.0)
+
+
+def test_calibration_from_envelope_uses_percentile():
+    calibrator = ThresholdCalibrator(gap_db=3.0)
+    envelope = np.concatenate([np.full(990, 1.0), np.full(10, 100.0)])
+    pair = calibrator.thresholds_from_envelope(envelope)
+    # A handful of outliers must not push UH to 100 / 10^(3/20).
+    assert pair.high < 50.0
+
+
+def test_calibration_from_empty_or_zero_envelope_fails():
+    calibrator = ThresholdCalibrator()
+    with pytest.raises(DemodulationError):
+        calibrator.thresholds_from_envelope(np.array([]))
+    with pytest.raises(DemodulationError):
+        calibrator.thresholds_from_envelope(np.zeros(100))
+
+
+def test_distance_table_lookup():
+    calibrator = ThresholdCalibrator()
+    calibrator.store_distance_entry(10.0, 1.0)
+    calibrator.store_distance_entry(100.0, 0.01)
+    assert calibrator.table_size == 2
+    near = calibrator.thresholds_for_distance(12.0)
+    far = calibrator.thresholds_for_distance(90.0)
+    assert near.high > far.high
+
+
+def test_distance_table_empty_lookup_fails():
+    with pytest.raises(DemodulationError):
+        ThresholdCalibrator().thresholds_for_distance(10.0)
+
+
+def test_quantizer_produces_binary_sequence(vanilla_config, downlink):
+    frontend = AnalogFrontEnd(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    envelope = frontend.process(modulator.modulate_symbols([0, 1, 2, 3]),
+                                random_state=0).envelope
+    quantizer = SaiyanQuantizer(vanilla_config)
+    sampled, output = quantizer.quantize(envelope)
+    assert sampled.sample_rate == pytest.approx(vanilla_config.mcu_sampling_rate_hz)
+    assert set(np.unique(output.binary)).issubset({0, 1})
+    assert output.transitions_to_high.size >= 1
+
+
+def test_quantizer_respects_explicit_thresholds(vanilla_config, downlink):
+    frontend = AnalogFrontEnd(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    envelope = frontend.process(modulator.modulate_symbols([0]), add_noise=False).envelope
+    quantizer = SaiyanQuantizer(vanilla_config)
+    impossible = ThresholdPair(high=1e9, low=1e8)
+    _, output = quantizer.quantize(envelope, thresholds=impossible)
+    assert output.binary.sum() == 0
+
+
+def test_quantizer_analog_rate_option(vanilla_config, downlink):
+    frontend = AnalogFrontEnd(vanilla_config)
+    modulator = LoRaModulator(downlink, oversampling=4)
+    envelope = frontend.process(modulator.modulate_symbols([0]), add_noise=False).envelope
+    quantizer = SaiyanQuantizer(vanilla_config)
+    sampled, _ = quantizer.quantize(envelope, sample_first=False)
+    assert sampled.sample_rate == pytest.approx(envelope.sample_rate)
+
+
+def test_quantizer_validation(vanilla_config):
+    quantizer = SaiyanQuantizer(vanilla_config)
+    with pytest.raises(ConfigurationError):
+        quantizer.quantize(np.ones(10))
+    with pytest.raises(ConfigurationError):
+        SaiyanQuantizer("nope")

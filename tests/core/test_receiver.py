@@ -1,0 +1,113 @@
+"""Unit tests for the high-level SaiyanReceiver API."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import outdoor_environment
+from repro.channel.fading import NoFading
+from repro.constants import SAIYAN_SENSITIVITY_DBM
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.receiver import ReceptionReport, SaiyanReceiver
+from repro.exceptions import ConfigurationError
+from repro.lora.modulation import LoRaModulator
+from repro.lora.packet import LoRaPacket, PacketStructure
+
+
+def test_sensitivity_ladder_is_ordered():
+    super_ = SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.SUPER)
+    shift = SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.FREQUENCY_SHIFT)
+    vanilla = SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.VANILLA)
+    assert super_ < shift < vanilla
+
+
+def test_super_detection_sensitivity_matches_paper():
+    assert SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.SUPER) == pytest.approx(
+        SAIYAN_SENSITIVITY_DBM)
+
+
+def test_demodulation_sensitivity_is_above_detection():
+    for mode in SaiyanMode:
+        assert (SaiyanReceiver.demodulation_sensitivity_dbm(mode)
+                > SaiyanReceiver.detection_sensitivity_dbm(mode))
+
+
+def test_envelope_receiver_is_30db_worse():
+    gap = (SaiyanReceiver.conventional_envelope_sensitivity_dbm()
+           - SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.SUPER))
+    assert gap == pytest.approx(30.0, abs=0.5)
+
+
+def test_snr_gain_over_vanilla():
+    assert SaiyanReceiver.snr_gain_over_vanilla_db(SaiyanMode.SUPER) > 15.0
+    assert SaiyanReceiver.snr_gain_over_vanilla_db(SaiyanMode.VANILLA) == pytest.approx(0.0)
+    assert SaiyanReceiver.cyclic_shift_snr_gain_db() == pytest.approx(11.0)
+
+
+def test_receiver_builds_demodulator_for_mode(downlink):
+    vanilla = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.VANILLA))
+    super_ = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER))
+    assert vanilla.demodulator.config.mode is SaiyanMode.VANILLA
+    assert super_.demodulator.config.mode is SaiyanMode.SUPER
+
+
+def test_receive_payload_round_trip(downlink, rng):
+    receiver = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER))
+    modulator = LoRaModulator(downlink, oversampling=4)
+    symbols = rng.integers(0, downlink.alphabet_size, size=10)
+    result = receiver.receive_payload(modulator.modulate_symbols(symbols), 10,
+                                      random_state=1)
+    np.testing.assert_array_equal(result.symbols, symbols)
+
+
+def test_receive_full_packet_over_link(downlink, rng, outdoor_link):
+    structure = PacketStructure(payload_symbols=8)
+    receiver = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER),
+                              structure=structure)
+    packet = LoRaPacket.random(8, downlink, rng=rng)
+    waveform = LoRaModulator(downlink, oversampling=4).modulate(packet)
+    received = outdoor_link.apply_to_waveform(waveform, 50.0, random_state=2)
+    report = receiver.receive(received, reference=packet, random_state=3)
+    assert report.detected
+    assert report.packet_ok
+    assert report.bit_error_rate == 0.0
+
+
+def test_receive_without_reference_reports_detection_only(downlink, rng):
+    structure = PacketStructure(payload_symbols=4)
+    receiver = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER),
+                              structure=structure)
+    packet = LoRaPacket.random(4, downlink, rng=rng)
+    waveform = LoRaModulator(downlink, oversampling=4).modulate(packet)
+    report = receiver.receive(waveform, random_state=0)
+    assert report.detected
+    assert report.total_bits == 0
+    assert report.bit_error_rate == 0.0
+
+
+def test_missed_packet_counts_all_bits_as_errors(downlink, rng):
+    structure = PacketStructure(payload_symbols=4)
+    receiver = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER),
+                              structure=structure)
+    packet = LoRaPacket.random(4, downlink, rng=rng)
+    from repro.dsp.signals import Signal
+
+    noise = Signal(1e-8 * (rng.normal(size=30_000) + 1j * rng.normal(size=30_000)),
+                   receiver.config.sample_rate)
+    report = receiver.receive(noise, reference=packet, random_state=0)
+    assert not report.detected
+    assert report.bit_error_rate == 1.0
+    assert not report.packet_ok
+
+
+def test_reception_report_properties():
+    ok = ReceptionReport(detected=True, bits=np.zeros(8, dtype=int), bit_errors=0,
+                         total_bits=8)
+    bad = ReceptionReport(detected=True, bits=np.zeros(8, dtype=int), bit_errors=2,
+                          total_bits=8)
+    assert ok.packet_ok and not bad.packet_ok
+    assert bad.bit_error_rate == pytest.approx(0.25)
+
+
+def test_receiver_rejects_bad_config():
+    with pytest.raises(ConfigurationError):
+        SaiyanReceiver(config="nope")

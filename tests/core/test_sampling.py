@@ -1,0 +1,86 @@
+"""Unit tests for the Table 1 sampling-rate rules."""
+
+import pytest
+
+from repro.core.sampling import (
+    PAPER_PRACTICAL_RATES_KHZ,
+    PAPER_THEORETICAL_RATES_KHZ,
+    format_sampling_rate_table,
+    practical_sampling_rate_hz,
+    sampling_rate_table,
+    theoretical_sampling_rate_hz,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_theoretical_rate_formula():
+    # 2 * 500 kHz / 2^(7-1) = 15.625 kHz (Table 1, SF7/K1).
+    assert theoretical_sampling_rate_hz(7, 1) == pytest.approx(15.625e3)
+
+
+def test_theoretical_rates_match_paper_table():
+    for (k, sf), khz in PAPER_THEORETICAL_RATES_KHZ.items():
+        model = theoretical_sampling_rate_hz(sf, k) / 1e3
+        assert model == pytest.approx(khz, rel=0.05), (k, sf)
+
+
+def test_practical_rate_uses_safety_factor():
+    assert practical_sampling_rate_hz(7, 1) == pytest.approx(25e3)
+
+
+def test_practical_rate_always_exceeds_theoretical():
+    for sf in range(7, 13):
+        for k in range(1, 6):
+            assert practical_sampling_rate_hz(sf, k) > theoretical_sampling_rate_hz(sf, k)
+
+
+def test_practical_rate_within_factor_two_of_paper_measurements():
+    for (k, sf), khz in PAPER_PRACTICAL_RATES_KHZ.items():
+        model = practical_sampling_rate_hz(sf, k) / 1e3
+        assert khz / 2.0 <= model <= khz * 2.0, (k, sf)
+
+
+def test_rate_scales_with_bits_per_chirp():
+    assert theoretical_sampling_rate_hz(7, 3) == pytest.approx(
+        4 * theoretical_sampling_rate_hz(7, 1))
+
+
+def test_rate_scales_inverse_with_spreading_factor():
+    assert theoretical_sampling_rate_hz(8, 1) == pytest.approx(
+        theoretical_sampling_rate_hz(7, 1) / 2)
+
+
+def test_rate_scales_with_bandwidth():
+    assert theoretical_sampling_rate_hz(7, 1, 125e3) == pytest.approx(
+        theoretical_sampling_rate_hz(7, 1, 500e3) / 4)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        theoretical_sampling_rate_hz(7, 8)
+    with pytest.raises(Exception):
+        theoretical_sampling_rate_hz(4, 1)
+    with pytest.raises(Exception):
+        practical_sampling_rate_hz(7, 1, safety_factor=0.0)
+
+
+def test_sampling_rate_table_covers_grid():
+    table = sampling_rate_table()
+    assert len(table) == 30
+    ks = {entry.bits_per_chirp for entry in table}
+    sfs = {entry.spreading_factor for entry in table}
+    assert ks == {1, 2, 3, 4, 5}
+    assert sfs == {7, 8, 9, 10, 11, 12}
+
+
+def test_sampling_rate_table_carries_paper_values():
+    table = sampling_rate_table()
+    entry = next(e for e in table if e.spreading_factor == 7 and e.bits_per_chirp == 1)
+    assert entry.paper_practical_khz == pytest.approx(20.0)
+    assert entry.paper_theoretical_khz == pytest.approx(15.6)
+
+
+def test_format_sampling_rate_table_is_text_grid():
+    text = format_sampling_rate_table(sampling_rate_table())
+    assert "K=1" in text
+    assert "SF=12" in text

@@ -1,0 +1,119 @@
+"""Unit tests for chirp synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.chirp import (
+    chirp_waveform,
+    instantaneous_frequency,
+    lora_downchirp,
+    lora_symbol_waveform,
+    lora_upchirp,
+)
+from repro.exceptions import ConfigurationError
+
+
+BW = 500e3
+FS = 2e6
+
+
+def test_chirp_duration_and_rate():
+    chirp = chirp_waveform(BW, 256e-6, FS)
+    assert chirp.sample_rate == FS
+    assert chirp.duration == pytest.approx(256e-6)
+
+
+def test_chirp_amplitude_is_constant():
+    chirp = chirp_waveform(BW, 256e-6, FS, amplitude=0.7)
+    np.testing.assert_allclose(np.abs(chirp.samples), 0.7, rtol=1e-9)
+
+
+def test_chirp_rejects_undersampling():
+    with pytest.raises(ConfigurationError):
+        chirp_waveform(BW, 256e-6, BW / 2)
+
+
+def test_chirp_rejects_offset_outside_band():
+    with pytest.raises(ConfigurationError):
+        chirp_waveform(BW, 256e-6, FS, start_offset_hz=BW)
+
+
+def test_instantaneous_frequency_sweeps_up():
+    chirp = chirp_waveform(BW, 256e-6, FS)
+    freq = instantaneous_frequency(chirp)
+    # Ignore the wrap point; most of the trajectory should be increasing.
+    increasing = np.mean(np.diff(freq) > 0)
+    assert increasing > 0.95
+
+
+def test_instantaneous_frequency_range_within_bandwidth():
+    chirp = chirp_waveform(BW, 256e-6, FS)
+    freq = instantaneous_frequency(chirp)[10:-10]
+    assert freq.min() > -0.05 * BW
+    assert freq.max() < 1.05 * BW
+
+
+def test_instantaneous_frequency_requires_complex_signal():
+    from repro.dsp.signals import Signal
+
+    with pytest.raises(ConfigurationError):
+        instantaneous_frequency(Signal(np.ones(16), FS))
+
+
+def test_symbol_zero_starts_at_zero_offset():
+    symbol = lora_symbol_waveform(0, 7, BW, FS)
+    freq = instantaneous_frequency(symbol)
+    assert freq[5:50].mean() < 0.1 * BW
+
+
+def test_symbol_offset_scales_with_value():
+    sf = 7
+    symbol = lora_symbol_waveform(64, sf, BW, FS)
+    freq = instantaneous_frequency(symbol)
+    expected = 64 * BW / 2**sf
+    # Compare near the start of the sweep (the frequency keeps rising at
+    # BW / Tsym afterwards), allowing for the estimator's ramp-up.
+    assert freq[2:8].mean() == pytest.approx(expected, abs=0.05 * BW)
+
+
+def test_symbol_duration_matches_spreading_factor():
+    sf = 9
+    symbol = lora_symbol_waveform(0, sf, BW, FS)
+    assert symbol.duration == pytest.approx(2**sf / BW)
+
+
+def test_symbol_value_out_of_range_rejected():
+    with pytest.raises(ConfigurationError):
+        lora_symbol_waveform(128, 7, BW, FS)
+
+
+def test_downchirp_is_conjugate_of_upchirp():
+    up = lora_upchirp(7, BW, FS)
+    down = lora_downchirp(7, BW, FS)
+    np.testing.assert_allclose(np.asarray(down.samples), np.conj(np.asarray(up.samples)))
+
+
+def test_dechirping_upchirp_gives_dc_tone():
+    up = lora_upchirp(7, BW, FS)
+    down = lora_downchirp(7, BW, FS)
+    product = np.asarray(up.samples) * np.asarray(down.samples)
+    spectrum = np.abs(np.fft.fft(product))
+    assert int(np.argmax(spectrum)) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=127))
+def test_dechirped_symbol_peaks_at_symbol_bin(symbol):
+    sf = 7
+    oversampling = 2
+    fs = BW * oversampling
+    waveform = lora_symbol_waveform(symbol, sf, BW, fs)
+    down = lora_downchirp(sf, BW, fs)
+    product = np.asarray(waveform.samples) * np.asarray(down.samples)
+    spectrum = np.abs(np.fft.fft(product))
+    chips = 2**sf
+    peak_bin = int(np.argmax(spectrum))
+    candidates = {symbol % spectrum.size,
+                  (symbol + chips * (oversampling - 1)) % spectrum.size}
+    assert peak_bin in candidates

@@ -1,0 +1,82 @@
+"""Unit tests for signal power / SNR measurement."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.measurements import (
+    estimate_snr_from_bands,
+    peak_to_average_ratio,
+    rms,
+    signal_power,
+    signal_power_dbm,
+    snr_db,
+)
+from repro.dsp.noise import add_awgn
+from repro.dsp.signals import Signal
+from repro.exceptions import SignalError
+from repro.utils.units import dbm_to_watts
+
+FS = 1e6
+
+
+def test_signal_power_of_unit_tone():
+    t = np.arange(1024) / FS
+    signal = Signal(np.exp(1j * 2 * np.pi * 1e3 * t), FS)
+    assert signal_power(signal) == pytest.approx(1.0)
+
+
+def test_signal_power_dbm_matches_scaling():
+    power_w = float(dbm_to_watts(-50.0))
+    signal = Signal(np.sqrt(power_w) * np.ones(1000, dtype=complex), FS)
+    assert signal_power_dbm(signal) == pytest.approx(-50.0, abs=0.01)
+
+
+def test_rms_is_sqrt_of_power():
+    signal = Signal(3.0 * np.ones(100), FS)
+    assert rms(signal) == pytest.approx(3.0)
+
+
+def test_snr_db_basic():
+    assert snr_db(10.0, 1.0) == pytest.approx(10.0)
+
+
+def test_snr_db_zero_signal_is_minus_infinity():
+    assert snr_db(0.0, 1.0) == float("-inf")
+
+
+def test_snr_db_rejects_non_positive_noise():
+    with pytest.raises(SignalError):
+        snr_db(1.0, 0.0)
+
+
+def test_snr_db_rejects_negative_signal():
+    with pytest.raises(SignalError):
+        snr_db(-1.0, 1.0)
+
+
+def test_estimate_snr_from_bands_recovers_true_snr():
+    t = np.arange(262144) / FS
+    tone = Signal(np.exp(1j * 2 * np.pi * 50e3 * t), FS)
+    noisy = add_awgn(tone, 0.1, random_state=0)  # 10 dB SNR over the full band
+    estimated = estimate_snr_from_bands(noisy, (45e3, 55e3), (200e3, 400e3))
+    # In-band SNR is higher than the full-band SNR because the tone is narrow.
+    assert estimated > 15.0
+
+
+def test_estimate_snr_from_bands_rejects_bad_bands():
+    from repro.exceptions import ReproError
+
+    signal = Signal(np.ones(1024, dtype=complex), FS)
+    with pytest.raises(ReproError):
+        estimate_snr_from_bands(signal, (10e3, 10e3), (20e3, 30e3))
+
+
+def test_peak_to_average_ratio_constant_signal_is_zero():
+    signal = Signal(np.ones(256), FS)
+    assert peak_to_average_ratio(signal) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_peak_to_average_ratio_impulse_is_large():
+    samples = np.zeros(256)
+    samples[0] = 1.0
+    assert peak_to_average_ratio(Signal(samples, FS)) > 20.0

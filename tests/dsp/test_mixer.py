@@ -1,0 +1,76 @@
+"""Unit tests for the ideal mixing operations."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mixer import frequency_shift, mix_with_tone, multiply_signals
+from repro.dsp.signals import Signal
+from repro.exceptions import SignalError
+
+FS = 1e6
+
+
+def _complex_tone(freq, n=8192):
+    t = np.arange(n) / FS
+    return Signal(np.exp(1j * 2 * np.pi * freq * t), FS)
+
+
+def _dominant_frequency(signal):
+    spectrum = np.abs(np.fft.fft(np.asarray(signal.samples)))
+    freqs = np.fft.fftfreq(len(signal), d=1 / signal.sample_rate)
+    return freqs[int(np.argmax(spectrum))]
+
+
+def test_frequency_shift_moves_tone_up():
+    shifted = frequency_shift(_complex_tone(50e3), 100e3)
+    assert _dominant_frequency(shifted) == pytest.approx(150e3, abs=500)
+
+
+def test_frequency_shift_moves_tone_down():
+    shifted = frequency_shift(_complex_tone(50e3), -100e3)
+    assert _dominant_frequency(shifted) == pytest.approx(-50e3, abs=500)
+
+
+def test_frequency_shift_preserves_power():
+    tone = _complex_tone(50e3)
+    assert frequency_shift(tone, 123e3).power() == pytest.approx(tone.power())
+
+
+def test_mix_with_tone_creates_two_sidebands():
+    mixed = mix_with_tone(_complex_tone(200e3), 50e3)
+    spectrum = np.abs(np.fft.fft(np.asarray(mixed.samples)))
+    freqs = np.fft.fftfreq(len(mixed), d=1 / FS)
+
+    def peak_near(target):
+        mask = np.abs(freqs - target) < 2e3
+        return spectrum[mask].max()
+
+    assert peak_near(150e3) > 0.3 * spectrum.max()
+    assert peak_near(250e3) > 0.3 * spectrum.max()
+
+
+def test_mix_with_tone_halves_power_per_sideband():
+    tone = _complex_tone(200e3)
+    mixed = mix_with_tone(tone, 50e3)
+    # cos^2 averages to 1/2.
+    assert mixed.power() == pytest.approx(0.5 * tone.power(), rel=0.05)
+
+
+def test_multiply_signals_is_elementwise_product():
+    a = Signal(np.array([1.0, 2.0, 3.0]), FS)
+    b = Signal(np.array([2.0, 0.5, 1.0]), FS)
+    np.testing.assert_allclose(multiply_signals(a, b).samples, [2.0, 1.0, 3.0])
+
+
+def test_multiply_signals_rejects_rate_mismatch():
+    a = Signal(np.ones(4), FS)
+    b = Signal(np.ones(4), FS / 2)
+    with pytest.raises(SignalError):
+        multiply_signals(a, b)
+
+
+def test_multiply_signals_rejects_length_mismatch():
+    a = Signal(np.ones(4), FS)
+    b = Signal(np.ones(5), FS)
+    with pytest.raises(SignalError):
+        multiply_signals(a, b)

@@ -1,0 +1,90 @@
+"""Unit tests for the noise sources."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.noise import (
+    add_awgn,
+    add_awgn_snr,
+    add_noise_floor_dbm,
+    awgn_samples,
+    dc_offset,
+    flicker_noise,
+    noise_power_dbm,
+)
+from repro.dsp.signals import Signal
+from repro.utils.units import dbm_to_watts
+
+FS = 1e6
+
+
+def test_noise_power_dbm_matches_textbook_value():
+    # -174 + 10log10(500e3) + 6 = -111.0 dBm
+    assert noise_power_dbm(500e3, 6.0) == pytest.approx(-111.0, abs=0.1)
+
+
+def test_noise_power_grows_with_bandwidth():
+    assert noise_power_dbm(500e3) - noise_power_dbm(125e3) == pytest.approx(6.02, abs=0.05)
+
+
+def test_awgn_samples_power_complex():
+    samples = awgn_samples(200_000, 0.25, complex_valued=True, random_state=0)
+    assert np.mean(np.abs(samples) ** 2) == pytest.approx(0.25, rel=0.02)
+
+
+def test_awgn_samples_power_real():
+    samples = awgn_samples(200_000, 0.25, complex_valued=False, random_state=0)
+    assert np.mean(samples**2) == pytest.approx(0.25, rel=0.02)
+
+
+def test_awgn_samples_rejects_bad_count():
+    with pytest.raises(ValueError):
+        awgn_samples(0, 1.0)
+
+
+def test_add_awgn_preserves_length_and_rate():
+    signal = Signal(np.ones(1000, dtype=complex), FS)
+    noisy = add_awgn(signal, 0.1, random_state=1)
+    assert len(noisy) == 1000
+    assert noisy.sample_rate == FS
+
+
+def test_add_awgn_snr_sets_requested_snr():
+    signal = Signal(np.exp(1j * 2 * np.pi * 0.01 * np.arange(100_000)), FS)
+    noisy = add_awgn_snr(signal, 10.0, random_state=2)
+    noise = np.asarray(noisy.samples) - np.asarray(signal.samples)
+    snr = 10 * np.log10(signal.power() / np.mean(np.abs(noise) ** 2))
+    assert snr == pytest.approx(10.0, abs=0.3)
+
+
+def test_add_noise_floor_dbm_absolute_power():
+    signal = Signal(np.zeros(200_000, dtype=complex), FS)
+    noisy = add_noise_floor_dbm(signal, -90.0, random_state=3)
+    assert noisy.power() == pytest.approx(float(dbm_to_watts(-90.0)), rel=0.05)
+
+
+def test_dc_offset_shifts_mean():
+    signal = Signal(np.zeros(100), FS)
+    assert np.mean(np.asarray(dc_offset(signal, 0.5).samples)) == pytest.approx(0.5)
+
+
+def test_flicker_noise_power_and_shape():
+    samples = flicker_noise(65536, 1.0, FS, random_state=4)
+    assert np.mean(samples**2) == pytest.approx(1.0, rel=0.05)
+    spectrum = np.abs(np.fft.rfft(samples)) ** 2
+    freqs = np.fft.rfftfreq(samples.size, d=1 / FS)
+    low_band = spectrum[(freqs > 100) & (freqs < 1_000)].mean()
+    high_band = spectrum[(freqs > 100_000) & (freqs < 200_000)].mean()
+    # 1/f noise: much more energy per Hz at low frequencies.
+    assert low_band > 20 * high_band
+
+
+def test_flicker_noise_zero_power_is_all_zero():
+    samples = flicker_noise(1024, 0.0, FS, random_state=5)
+    assert np.allclose(samples, 0.0)
+
+
+def test_noise_is_reproducible_with_seed():
+    a = awgn_samples(100, 1.0, random_state=42)
+    b = awgn_samples(100, 1.0, random_state=42)
+    np.testing.assert_array_equal(a, b)

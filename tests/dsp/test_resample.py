@@ -1,0 +1,69 @@
+"""Unit tests for rate conversion."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import decimate, resample_to_rate
+from repro.dsp.signals import Signal
+
+FS = 1e6
+
+
+def _tone(freq, n=8192):
+    t = np.arange(n) / FS
+    return Signal(np.cos(2 * np.pi * freq * t), FS)
+
+
+def test_decimate_by_one_is_identity():
+    signal = _tone(1e3)
+    assert decimate(signal, 1) is signal
+
+
+def test_decimate_reduces_rate_and_length():
+    signal = _tone(1e3)
+    decimated = decimate(signal, 4)
+    assert decimated.sample_rate == pytest.approx(FS / 4)
+    assert len(decimated) == pytest.approx(len(signal) / 4, abs=2)
+
+
+def test_decimate_without_antialias_subsamples_exactly():
+    signal = _tone(1e3)
+    decimated = decimate(signal, 8, anti_alias=False)
+    np.testing.assert_allclose(decimated.samples, np.asarray(signal.samples)[::8])
+
+
+def test_decimate_preserves_low_frequency_content():
+    signal = _tone(5e3)
+    decimated = decimate(signal, 10)
+    assert decimated.power() == pytest.approx(signal.power(), rel=0.1)
+
+
+def test_resample_to_same_rate_is_identity():
+    signal = _tone(1e3)
+    assert resample_to_rate(signal, FS) is signal
+
+
+def test_resample_to_lower_rate():
+    signal = _tone(5e3)
+    resampled = resample_to_rate(signal, 250e3)
+    assert resampled.sample_rate == pytest.approx(250e3, rel=1e-3)
+    assert resampled.duration == pytest.approx(signal.duration, rel=0.01)
+
+
+def test_resample_to_higher_rate():
+    signal = _tone(5e3)
+    resampled = resample_to_rate(signal, 2e6)
+    assert resampled.sample_rate == pytest.approx(2e6, rel=1e-3)
+    assert resampled.power() == pytest.approx(signal.power(), rel=0.1)
+
+
+def test_resample_non_integer_ratio():
+    signal = _tone(5e3)
+    resampled = resample_to_rate(signal, 160e3)
+    assert resampled.sample_rate == pytest.approx(160e3, rel=1e-3)
+
+
+def test_resample_without_antialias_integer_ratio_subsamples():
+    signal = _tone(5e3)
+    resampled = resample_to_rate(signal, FS / 4, anti_alias=False)
+    np.testing.assert_allclose(resampled.samples, np.asarray(signal.samples)[::4])

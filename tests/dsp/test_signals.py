@@ -1,0 +1,136 @@
+"""Unit tests for the Signal container."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.exceptions import SignalError
+
+
+def _make(n=100, rate=1000.0, complex_valued=True):
+    samples = np.arange(n, dtype=float)
+    if complex_valued:
+        samples = samples + 1j * samples
+    return Signal(samples, rate)
+
+
+def test_length_and_duration():
+    signal = _make(n=500, rate=1000.0)
+    assert len(signal) == 500
+    assert signal.duration == pytest.approx(0.5)
+
+
+def test_times_start_at_zero_and_step_by_period():
+    signal = _make(n=4, rate=10.0)
+    np.testing.assert_allclose(signal.times, [0.0, 0.1, 0.2, 0.3])
+
+
+def test_rejects_empty_samples():
+    with pytest.raises(SignalError):
+        Signal(np.array([]), 1000.0)
+
+
+def test_rejects_two_dimensional_samples():
+    with pytest.raises(SignalError):
+        Signal(np.zeros((4, 4)), 1000.0)
+
+
+def test_rejects_non_positive_sample_rate():
+    with pytest.raises(Exception):
+        Signal(np.ones(4), 0.0)
+
+
+def test_power_and_rms_consistent():
+    signal = Signal(2.0 * np.ones(64), 1.0)
+    assert signal.power() == pytest.approx(4.0)
+    assert signal.rms() == pytest.approx(2.0)
+
+
+def test_is_complex_flag():
+    assert _make().is_complex
+    assert not _make(complex_valued=False).is_complex
+
+
+def test_scaled_changes_power_quadratically():
+    signal = _make(complex_valued=False)
+    assert signal.scaled(2.0).power() == pytest.approx(4.0 * signal.power())
+
+
+def test_scaled_db_matches_linear_scaling():
+    signal = _make(complex_valued=False)
+    assert signal.scaled_db(6.0206).power() == pytest.approx(4.0 * signal.power(), rel=1e-3)
+
+
+def test_magnitude_returns_absolute_values():
+    signal = Signal(np.array([3 + 4j, -1 + 0j]), 1.0)
+    np.testing.assert_allclose(signal.magnitude().samples, [5.0, 1.0])
+
+
+def test_slice_time_selects_expected_samples():
+    signal = _make(n=1000, rate=1000.0)
+    piece = signal.slice_time(0.1, 0.3)
+    assert len(piece) == 200
+    assert piece.samples[0] == signal.samples[100]
+
+
+def test_slice_time_rejects_inverted_bounds():
+    with pytest.raises(SignalError):
+        _make().slice_time(0.3, 0.1)
+
+
+def test_slice_time_outside_signal_raises():
+    with pytest.raises(SignalError):
+        _make(n=10, rate=10.0).slice_time(5.0, 6.0)
+
+
+def test_slice_samples_bounds_are_clipped():
+    signal = _make(n=10)
+    piece = signal.slice_samples(8, 100)
+    assert len(piece) == 2
+
+
+def test_concatenate_requires_matching_rates():
+    a = _make(rate=1000.0)
+    b = _make(rate=2000.0)
+    with pytest.raises(SignalError):
+        a.concatenate(b)
+
+
+def test_concatenate_lengths_add():
+    a = _make(n=10)
+    b = _make(n=20)
+    assert len(a.concatenate(b)) == 30
+
+
+def test_add_requires_same_length():
+    with pytest.raises(SignalError):
+        _make(n=10).add(_make(n=11))
+
+
+def test_add_sums_samples():
+    a = _make(n=10, complex_valued=False)
+    summed = a.add(a)
+    np.testing.assert_allclose(summed.samples, 2 * np.asarray(a.samples))
+
+
+def test_silence_constructor():
+    silence = Signal.silence(0.01, 1000.0)
+    assert len(silence) == 10
+    assert silence.power() == 0.0
+
+
+def test_tone_constructor_has_expected_frequency():
+    tone = Signal.tone(100.0, 0.1, 10_000.0)
+    spectrum = np.abs(np.fft.fft(np.asarray(tone.samples)))
+    freqs = np.fft.fftfreq(len(tone), d=1 / tone.sample_rate)
+    assert abs(freqs[int(np.argmax(spectrum))] - 100.0) < 15.0
+
+
+def test_relabel_and_with_samples_preserve_metadata():
+    signal = Signal(np.ones(4), 8.0, carrier_hz=433.5e6, label="a")
+    renamed = signal.relabel("b")
+    assert renamed.label == "b"
+    assert renamed.carrier_hz == 433.5e6
+    replaced = signal.with_samples(np.zeros(4))
+    assert replaced.carrier_hz == 433.5e6
+    assert replaced.sample_rate == 8.0

@@ -1,0 +1,94 @@
+"""Unit tests for the spectral analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.dsp.spectrum import (
+    band_power,
+    occupied_bandwidth,
+    power_spectral_density,
+    power_spectrum,
+    spectrogram,
+)
+from repro.exceptions import ConfigurationError
+
+FS = 1e6
+
+
+def _tone(freq, n=16384, amplitude=1.0, complex_valued=True):
+    t = np.arange(n) / FS
+    if complex_valued:
+        return Signal(amplitude * np.exp(1j * 2 * np.pi * freq * t), FS)
+    return Signal(amplitude * np.cos(2 * np.pi * freq * t), FS)
+
+
+def test_power_spectrum_peak_at_tone_frequency():
+    freqs, power = power_spectrum(_tone(123e3))
+    assert freqs[int(np.argmax(power))] == pytest.approx(123e3, abs=200)
+
+
+def test_power_spectrum_real_signal_one_sided():
+    freqs, _ = power_spectrum(_tone(50e3, complex_valued=False))
+    assert freqs.min() >= 0.0
+
+
+def test_power_spectrum_requires_samples():
+    with pytest.raises(ConfigurationError):
+        power_spectrum(_tone(1e3, n=16), nfft=1)
+
+
+def test_psd_peak_location():
+    freqs, psd = power_spectral_density(_tone(200e3), nperseg=1024)
+    assert freqs[int(np.argmax(psd))] == pytest.approx(200e3, abs=2e3)
+
+
+def test_band_power_captures_tone():
+    signal = _tone(100e3, amplitude=1.0)
+    inside = band_power(signal, 90e3, 110e3)
+    outside = band_power(signal, 300e3, 400e3)
+    assert inside > 100 * max(outside, 1e-15)
+
+
+def test_band_power_rejects_inverted_band():
+    with pytest.raises(ConfigurationError):
+        band_power(_tone(1e3), 10e3, 5e3)
+
+
+def test_band_power_of_white_noise_scales_with_width():
+    rng = np.random.default_rng(0)
+    noise = Signal(rng.normal(size=262144), FS)
+    narrow = band_power(noise, 100e3, 150e3)
+    wide = band_power(noise, 100e3, 200e3)
+    assert wide == pytest.approx(2 * narrow, rel=0.15)
+
+
+def test_occupied_bandwidth_of_tone_is_narrow():
+    # The Welch estimate has ~4 kHz resolution, so "narrow" means a few bins.
+    assert occupied_bandwidth(_tone(100e3)) < 0.05 * FS
+
+
+def test_occupied_bandwidth_of_noise_is_wide():
+    rng = np.random.default_rng(1)
+    noise = Signal(rng.normal(size=65536) + 1j * rng.normal(size=65536), FS)
+    assert occupied_bandwidth(noise) > 0.5 * FS
+
+
+def test_occupied_bandwidth_validates_fraction():
+    with pytest.raises(ConfigurationError):
+        occupied_bandwidth(_tone(1e3), fraction=0.0)
+
+
+def test_spectrogram_shapes_are_consistent():
+    freqs, times, magnitude = spectrogram(_tone(100e3), nperseg=256)
+    assert magnitude.shape == (freqs.size, times.size)
+
+
+def test_spectrogram_tracks_chirp_frequency():
+    from repro.dsp.chirp import chirp_waveform
+
+    chirp = chirp_waveform(400e3, 2e-3, FS)
+    freqs, times, magnitude = spectrogram(chirp, nperseg=256)
+    peak_track = freqs[np.argmax(magnitude, axis=0)]
+    # The dominant frequency should increase over the chirp (ignoring wrap).
+    assert peak_track[-2] > peak_track[1]

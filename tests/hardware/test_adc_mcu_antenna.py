@@ -1,0 +1,123 @@
+"""Unit tests for the ADC, MCU and antenna models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.adc import ADC
+from repro.hardware.antenna import Antenna
+from repro.hardware.mcu import Microcontroller
+
+FS = 2e6
+
+
+# ---------------------------------------------------------------------------
+# ADC
+# ---------------------------------------------------------------------------
+
+def test_adc_output_rate():
+    adc = ADC(sampling_rate_hz=1e6, resolution_bits=12)
+    waveform = Signal(np.sin(2 * np.pi * 1e3 * np.arange(20_000) / FS), FS)
+    digitized = adc.digitize(waveform)
+    assert digitized.sample_rate == pytest.approx(1e6)
+
+
+def test_adc_quantization_error_bounded_by_lsb():
+    adc = ADC(sampling_rate_hz=FS, resolution_bits=10, full_scale=1.0)
+    values = np.linspace(-0.99, 0.99, 5000)
+    digitized = adc.digitize(Signal(values, FS))
+    lsb = 2.0 / 2**10
+    assert np.max(np.abs(np.asarray(digitized.samples) - values)) <= lsb
+
+
+def test_adc_clips_out_of_range_input():
+    adc = ADC(sampling_rate_hz=FS, resolution_bits=8, full_scale=1.0)
+    digitized = adc.digitize(Signal(np.array([5.0, -5.0]), FS))
+    assert np.max(np.asarray(digitized.samples)) <= 1.0
+    assert np.min(np.asarray(digitized.samples)) >= -1.0
+
+
+def test_adc_handles_complex_signals():
+    adc = ADC(sampling_rate_hz=FS, resolution_bits=12)
+    waveform = Signal(np.exp(1j * 2 * np.pi * 1e3 * np.arange(1000) / FS), FS)
+    digitized = adc.digitize(waveform)
+    assert digitized.is_complex
+
+
+def test_adc_power_scales_with_rate_and_dominates_saiyan():
+    adc = ADC(sampling_rate_hz=1e6)
+    # The ADC alone draws tens of mW -- orders of magnitude above Saiyan.
+    assert adc.average_power_uw() > 1_000.0
+
+
+def test_adc_validation():
+    with pytest.raises(Exception):
+        ADC(sampling_rate_hz=0.0)
+    with pytest.raises(Exception):
+        ADC(sampling_rate_hz=1e6, resolution_bits=0)
+    with pytest.raises(ConfigurationError):
+        ADC(sampling_rate_hz=1e6).digitize(np.ones(5))
+
+
+# ---------------------------------------------------------------------------
+# Microcontroller
+# ---------------------------------------------------------------------------
+
+def test_mcu_power_formula():
+    mcu = Microcontroller(clock_mhz=1.0, current_ua_per_mhz=10.0, supply_voltage_v=3.3)
+    assert mcu.power.active_power_uw == pytest.approx(33.0)
+
+
+def test_mcu_default_power_is_tens_of_microwatts():
+    mcu = Microcontroller()
+    assert 5.0 < mcu.power.active_power_uw < 50.0
+
+
+def test_mcu_count_high_samples():
+    mcu = Microcontroller()
+    assert mcu.count_high_samples(np.array([0, 1, 1, 0, 1])) == 3
+
+
+def test_mcu_falling_edges():
+    mcu = Microcontroller()
+    edges = mcu.falling_edge_positions(np.array([0, 1, 1, 0, 1, 0]))
+    np.testing.assert_array_equal(edges, [3, 5])
+
+
+def test_mcu_processing_energy_scales_with_samples():
+    mcu = Microcontroller()
+    assert mcu.processing_energy_uj(1000) > mcu.processing_energy_uj(100)
+    assert mcu.processing_energy_uj(0) == 0.0
+
+
+def test_mcu_validation():
+    with pytest.raises(ConfigurationError):
+        Microcontroller().count_high_samples(np.zeros((2, 2)))
+    with pytest.raises(ConfigurationError):
+        Microcontroller().falling_edge_positions(np.array([]))
+    with pytest.raises(ConfigurationError):
+        Microcontroller().processing_energy_uj(-1)
+
+
+# ---------------------------------------------------------------------------
+# Antenna
+# ---------------------------------------------------------------------------
+
+def test_antenna_defaults_match_paper():
+    antenna = Antenna()
+    assert antenna.gain_dbi == pytest.approx(3.0)
+    assert antenna.covers(433.5e6)
+
+
+def test_antenna_out_of_band_gain_reduced():
+    antenna = Antenna(center_frequency_hz=433.5e6, bandwidth_hz=20e6)
+    assert antenna.effective_gain_dbi(433.5e6) == pytest.approx(3.0)
+    assert antenna.effective_gain_dbi(2.4e9) < antenna.gain_dbi
+
+
+def test_antenna_validation():
+    with pytest.raises(Exception):
+        Antenna(center_frequency_hz=0.0)
+    with pytest.raises(Exception):
+        Antenna(efficiency=1.5)

@@ -1,0 +1,115 @@
+"""Unit tests for the single- and double-threshold comparators (Equation 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.hardware.comparator import (
+    DoubleThresholdComparator,
+    SingleThresholdComparator,
+)
+
+
+def test_single_threshold_basic_thresholding():
+    comparator = SingleThresholdComparator(0.5)
+    output = comparator.quantize(np.array([0.1, 0.6, 0.7, 0.2]))
+    np.testing.assert_array_equal(output.binary, [0, 1, 1, 0])
+
+
+def test_single_threshold_chatters_on_noisy_plateau():
+    comparator = SingleThresholdComparator(0.5)
+    envelope = np.array([0.1, 0.55, 0.45, 0.56, 0.44, 0.57, 0.1])
+    output = comparator.quantize(envelope)
+    assert output.num_chatters >= 2
+
+
+def test_double_threshold_requires_low_below_high():
+    with pytest.raises(ConfigurationError):
+        DoubleThresholdComparator(0.5, 0.5)
+    with pytest.raises(ConfigurationError):
+        DoubleThresholdComparator(0.4, 0.5)
+
+
+def test_double_threshold_suppresses_chatter():
+    comparator = DoubleThresholdComparator(high_threshold=0.5, low_threshold=0.3)
+    envelope = np.array([0.1, 0.55, 0.45, 0.56, 0.44, 0.57, 0.1])
+    output = comparator.quantize(envelope)
+    assert output.num_chatters == 0
+    assert output.transitions_to_high.size == 1
+
+
+def test_double_threshold_equation3_truth_table():
+    comparator = DoubleThresholdComparator(high_threshold=0.8, low_threshold=0.4)
+    # Stays low below UH, rises at UH, stays high until below UL.
+    envelope = np.array([0.5, 0.7, 0.85, 0.6, 0.45, 0.39, 0.7, 0.9])
+    output = comparator.quantize(envelope)
+    np.testing.assert_array_equal(output.binary, [0, 0, 1, 1, 1, 0, 0, 1])
+
+
+def test_double_threshold_initial_state_high():
+    comparator = DoubleThresholdComparator(0.8, 0.4)
+    output = comparator.quantize(np.array([0.5, 0.3]), initial_state=1)
+    np.testing.assert_array_equal(output.binary, [1, 0])
+
+
+def test_double_threshold_invalid_initial_state():
+    with pytest.raises(ConfigurationError):
+        DoubleThresholdComparator(0.8, 0.4).quantize(np.array([0.5]), initial_state=2)
+
+
+def test_falling_edge_marks_peak_tail():
+    comparator = DoubleThresholdComparator(0.5, 0.25)
+    envelope = np.array([0.1, 0.2, 0.6, 0.9, 0.8, 0.2, 0.1, 0.05])
+    output = comparator.quantize(envelope)
+    assert output.transitions_to_low.size == 1
+    assert output.transitions_to_low[0] == 5  # first sample back at low state
+
+
+def test_from_peak_amplitude_rule():
+    comparator = DoubleThresholdComparator.from_peak_amplitude(1.0, gap_db=6.0,
+                                                               hysteresis_fraction=0.5)
+    assert comparator.high_threshold == pytest.approx(0.501, rel=1e-2)
+    assert comparator.low_threshold == pytest.approx(comparator.high_threshold / 2)
+
+
+def test_from_peak_amplitude_validation():
+    with pytest.raises(ConfigurationError):
+        DoubleThresholdComparator.from_peak_amplitude(0.0)
+    with pytest.raises(ConfigurationError):
+        DoubleThresholdComparator.from_peak_amplitude(1.0, gap_db=-1.0)
+    with pytest.raises(ConfigurationError):
+        DoubleThresholdComparator.from_peak_amplitude(1.0, hysteresis_fraction=1.0)
+
+
+def test_complex_envelope_uses_magnitude():
+    comparator = SingleThresholdComparator(0.5)
+    output = comparator.quantize(np.array([0.1 + 0.0j, 0.8j]))
+    np.testing.assert_array_equal(output.binary, [0, 1])
+
+
+def test_empty_envelope_rejected():
+    with pytest.raises(ConfigurationError):
+        SingleThresholdComparator(0.5).quantize(np.array([]))
+
+
+def test_power_profile_matches_table2():
+    comparator = DoubleThresholdComparator(0.5, 0.2)
+    assert comparator.average_power_uw() == pytest.approx(14.45)
+    assert comparator.cost_usd == pytest.approx(1.26)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=100))
+def test_hysteresis_never_chatters_more_than_single_threshold(values):
+    envelope = np.array(values)
+    single = SingleThresholdComparator(0.6).quantize(envelope)
+    double = DoubleThresholdComparator(0.6, 0.3).quantize(envelope)
+    assert double.transitions_to_high.size <= single.transitions_to_high.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=100))
+def test_output_is_always_binary(values):
+    output = DoubleThresholdComparator(0.7, 0.2).quantize(np.array(values))
+    assert set(np.unique(output.binary)).issubset({0, 1})

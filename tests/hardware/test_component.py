@@ -1,0 +1,71 @@
+"""Unit tests for the Component base class and PowerProfile."""
+
+import pytest
+
+from repro.exceptions import PowerModelError
+from repro.hardware.component import Component, PowerProfile
+
+
+def test_average_power_full_duty_equals_active():
+    profile = PowerProfile(active_power_uw=100.0, sleep_power_uw=1.0)
+    assert profile.average_power_uw(1.0) == pytest.approx(100.0)
+
+
+def test_average_power_zero_duty_equals_sleep():
+    profile = PowerProfile(active_power_uw=100.0, sleep_power_uw=1.0)
+    assert profile.average_power_uw(0.0) == pytest.approx(1.0)
+
+
+def test_average_power_interpolates():
+    profile = PowerProfile(active_power_uw=100.0, sleep_power_uw=0.0)
+    assert profile.average_power_uw(0.01) == pytest.approx(1.0)
+
+
+def test_average_power_rejects_bad_duty_cycle():
+    profile = PowerProfile(active_power_uw=10.0)
+    with pytest.raises(PowerModelError):
+        profile.average_power_uw(1.5)
+    with pytest.raises(PowerModelError):
+        profile.average_power_uw(-0.1)
+
+
+def test_energy_accumulates_over_time():
+    profile = PowerProfile(active_power_uw=50.0)
+    assert profile.energy_uj(2.0) == pytest.approx(100.0)
+    assert profile.energy_uj(2.0, duty_cycle=0.5) == pytest.approx(50.0)
+
+
+def test_energy_rejects_negative_duration():
+    with pytest.raises(PowerModelError):
+        PowerProfile(active_power_uw=1.0).energy_uj(-1.0)
+
+
+def test_sleep_cannot_exceed_active():
+    with pytest.raises(PowerModelError):
+        PowerProfile(active_power_uw=1.0, sleep_power_uw=2.0)
+
+
+def test_negative_values_rejected():
+    with pytest.raises(Exception):
+        PowerProfile(active_power_uw=-1.0)
+    with pytest.raises(Exception):
+        PowerProfile(cost_usd=-0.5)
+
+
+def test_component_exposes_power_and_cost():
+    component = Component("lna", PowerProfile(active_power_uw=200.0, cost_usd=4.15))
+    assert component.name == "lna"
+    assert component.average_power_uw() == pytest.approx(200.0)
+    assert component.energy_uj(0.5) == pytest.approx(100.0)
+    assert component.cost_usd == pytest.approx(4.15)
+
+
+def test_component_requires_name():
+    with pytest.raises(PowerModelError):
+        Component("")
+
+
+def test_component_default_profile_is_passive():
+    component = Component("saw")
+    assert component.average_power_uw() == 0.0
+    assert component.cost_usd == 0.0

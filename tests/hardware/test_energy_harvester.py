@@ -1,0 +1,76 @@
+"""Unit tests for the energy harvester and power management model."""
+
+import pytest
+
+from repro.constants import ASIC_TOTAL_POWER_UW, STANDARD_LORA_RX_POWER_MW
+from repro.exceptions import PowerModelError
+from repro.hardware.energy_harvester import EnergyHarvester
+
+
+def test_default_harvest_power_matches_paper_figure():
+    harvester = EnergyHarvester()
+    # 1 mW-second every 25.4 s is ~39.4 µW of raw harvested power.
+    assert harvester.harvest_power_uw == pytest.approx(39.4, abs=0.1)
+
+
+def test_net_harvest_power_subtracts_management_and_converter():
+    harvester = EnergyHarvester()
+    assert harvester.net_harvest_power_uw < harvester.harvest_power_uw
+    assert harvester.net_harvest_power_uw > 0.0
+
+
+def test_harvest_accrues_energy():
+    harvester = EnergyHarvester()
+    added = harvester.harvest(100.0)
+    assert added == pytest.approx(harvester.net_harvest_power_uw * 100.0)
+    assert harvester.stored_energy_uj == pytest.approx(added)
+
+
+def test_storage_saturates_at_capacity():
+    harvester = EnergyHarvester(storage_capacity_uj=100.0)
+    harvester.harvest(1e6)
+    assert harvester.stored_energy_uj == pytest.approx(100.0)
+
+
+def test_draw_reduces_storage_and_rejects_overdraw():
+    harvester = EnergyHarvester(initial_energy_uj=50.0)
+    harvester.draw(20.0)
+    assert harvester.stored_energy_uj == pytest.approx(30.0)
+    assert harvester.can_supply(30.0)
+    with pytest.raises(PowerModelError):
+        harvester.draw(31.0)
+
+
+def test_time_to_accumulate():
+    harvester = EnergyHarvester()
+    time_needed = harvester.time_to_accumulate_s(harvester.net_harvest_power_uw * 10.0)
+    assert time_needed == pytest.approx(10.0)
+
+
+def test_commodity_lora_receiver_needs_minutes_of_charging():
+    # The paper's 17-minute figure: a 40 mW receiver for a ~25 ms packet
+    # needs ~1 mJ, i.e. tens of seconds of harvesting; a continuously
+    # listening receiver is out of reach entirely.
+    harvester = EnergyHarvester()
+    assert not harvester.supports_continuous(STANDARD_LORA_RX_POWER_MW * 1e3)
+
+
+def test_saiyan_asic_is_sustainable_at_low_duty_cycle():
+    harvester = EnergyHarvester()
+    assert harvester.supports_continuous(ASIC_TOTAL_POWER_UW, duty_cycle=0.01)
+
+
+def test_saiyan_asic_continuous_operation_is_not_sustainable():
+    harvester = EnergyHarvester()
+    assert not harvester.supports_continuous(ASIC_TOTAL_POWER_UW, duty_cycle=1.0)
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        EnergyHarvester(harvest_power_uw=0.0)
+    with pytest.raises(PowerModelError):
+        EnergyHarvester(converter_efficiency=0.0)
+    with pytest.raises(PowerModelError):
+        EnergyHarvester().supports_continuous(10.0, duty_cycle=1.5)
+    with pytest.raises(Exception):
+        EnergyHarvester().draw(-1.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the square-law envelope detector."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.envelope_detector import EnvelopeDetector
+
+FS = 2e6
+
+
+def _am_signal(n=8192):
+    t = np.arange(n) / FS
+    envelope = 1.0 + 0.8 * np.cos(2 * np.pi * 5e3 * t)
+    carrier = np.exp(1j * 2 * np.pi * 300e3 * t)
+    return Signal(envelope * carrier, FS), envelope
+
+
+def test_output_is_real_and_non_negative():
+    signal, _ = _am_signal()
+    output = EnvelopeDetector().detect(signal)
+    assert not output.is_complex
+    assert np.all(np.asarray(output.samples) >= -1e-12)
+
+
+def test_square_law_recovers_am_envelope_shape():
+    signal, envelope = _am_signal()
+    output = EnvelopeDetector(rc_bandwidth_hz=50e3).detect(signal)
+    detected = np.asarray(output.samples)[500:-500]
+    expected = envelope[500:-500] ** 2
+    correlation = np.corrcoef(detected, expected)[0, 1]
+    assert correlation > 0.99
+
+
+def test_conversion_gain_scales_output():
+    signal, _ = _am_signal()
+    low = EnvelopeDetector(conversion_gain=1.0).detect(signal)
+    high = EnvelopeDetector(conversion_gain=3.0).detect(signal)
+    assert np.mean(np.asarray(high.samples)) == pytest.approx(
+        3.0 * np.mean(np.asarray(low.samples)), rel=1e-6)
+
+
+def test_output_noise_increases_variance():
+    signal = Signal(np.ones(20_000, dtype=complex), FS)
+    clean = EnvelopeDetector().detect(signal)
+    noisy = EnvelopeDetector(output_noise_rms=0.1).detect(signal, random_state=0)
+    assert np.std(np.asarray(noisy.samples)) > np.std(np.asarray(clean.samples))
+
+
+def test_constant_envelope_input_gives_constant_output():
+    # A LoRa chirp has constant envelope: the detector output carries no
+    # symbol information, which is exactly why Saiyan needs the SAW filter.
+    from repro.dsp.chirp import lora_symbol_waveform
+
+    chirp = lora_symbol_waveform(5, 7, 500e3, FS)
+    output = EnvelopeDetector().detect(chirp)
+    samples = np.asarray(output.samples)
+    assert np.std(samples) / np.mean(samples) < 1e-6
+
+
+def test_self_mixing_cross_term_present():
+    # |s + n|^2 = |s|^2 + 2 Re(s n*) + |n|^2: with a deterministic "noise"
+    # equal to the signal, the output quadruples instead of doubling.
+    signal = Signal(np.ones(1000, dtype=complex), FS)
+    doubled = Signal(2.0 * np.ones(1000, dtype=complex), FS)
+    detector = EnvelopeDetector()
+    assert np.mean(np.asarray(detector.detect(doubled).samples)) == pytest.approx(
+        4.0 * np.mean(np.asarray(detector.detect(signal).samples)))
+
+
+def test_rc_filter_limits_bandwidth():
+    signal, _ = _am_signal()
+    wide = EnvelopeDetector(rc_bandwidth_hz=None).detect(signal)
+    narrow = EnvelopeDetector(rc_bandwidth_hz=1e3).detect(signal)
+    # The 5 kHz AM content is attenuated by a 1 kHz RC filter.
+    assert np.std(np.asarray(narrow.samples)) < np.std(np.asarray(wide.samples))
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        EnvelopeDetector(conversion_gain=0.0)
+    with pytest.raises(Exception):
+        EnvelopeDetector(output_noise_rms=-1.0)
+    with pytest.raises(ConfigurationError):
+        EnvelopeDetector().detect(np.ones(10))
+
+
+def test_passive_detector_draws_no_power():
+    assert EnvelopeDetector().average_power_uw() == 0.0

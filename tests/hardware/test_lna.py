@@ -1,0 +1,61 @@
+"""Unit tests for the LNA model."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.lna import LowNoiseAmplifier
+
+
+def _signal(power_w=1e-9, n=20_000, rate=2e6):
+    amplitude = np.sqrt(power_w)
+    return Signal(amplitude * np.ones(n, dtype=complex), rate)
+
+
+def test_noiseless_gain_is_exact():
+    lna = LowNoiseAmplifier(gain_db=20.0)
+    signal = _signal()
+    amplified = lna.apply(signal, add_noise=False)
+    assert amplified.power() == pytest.approx(100.0 * signal.power(), rel=1e-9)
+
+
+def test_noise_is_added_when_enabled():
+    lna = LowNoiseAmplifier(gain_db=20.0, noise_figure_db=3.0)
+    signal = _signal(power_w=1e-15)
+    amplified = lna.apply(signal, random_state=0, add_noise=True)
+    clean = lna.apply(signal, add_noise=False)
+    assert amplified.power() > clean.power()
+
+
+def test_higher_noise_figure_adds_more_noise():
+    signal = _signal(power_w=0.0 + 1e-18)
+    quiet = LowNoiseAmplifier(gain_db=20.0, noise_figure_db=1.0).apply(
+        signal, random_state=1).power()
+    noisy = LowNoiseAmplifier(gain_db=20.0, noise_figure_db=10.0).apply(
+        signal, random_state=1).power()
+    assert noisy > quiet
+
+
+def test_zero_gain_passthrough():
+    lna = LowNoiseAmplifier(gain_db=0.0)
+    signal = _signal()
+    assert lna.apply(signal, add_noise=False).power() == pytest.approx(signal.power())
+
+
+def test_rejects_negative_gain_or_nf():
+    with pytest.raises(ConfigurationError):
+        LowNoiseAmplifier(gain_db=-1.0)
+    with pytest.raises(ConfigurationError):
+        LowNoiseAmplifier(noise_figure_db=-0.5)
+
+
+def test_rejects_non_signal_input():
+    with pytest.raises(ConfigurationError):
+        LowNoiseAmplifier().apply(np.ones(10))
+
+
+def test_power_profile_matches_table2():
+    lna = LowNoiseAmplifier()
+    assert lna.average_power_uw() == pytest.approx(248.5)
+    assert lna.cost_usd == pytest.approx(4.15)

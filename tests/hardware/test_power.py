@@ -1,0 +1,100 @@
+"""Unit tests for the power ledger and the Table 2 / ASIC budgets."""
+
+import pytest
+
+from repro.constants import (
+    ASIC_TOTAL_POWER_UW,
+    PCB_COMPONENT_POWER_UW,
+    PCB_TOTAL_COST_USD,
+    PCB_TOTAL_POWER_UW,
+)
+from repro.exceptions import PowerModelError
+from repro.hardware.component import Component, PowerProfile
+from repro.hardware.power import PowerLedger, asic_power_budget, pcb_power_table
+
+
+def test_ledger_totals():
+    ledger = PowerLedger()
+    ledger.add("a", 10.0, cost_usd=1.0)
+    ledger.add("b", 20.0, cost_usd=2.5)
+    assert ledger.total_power_uw == pytest.approx(30.0)
+    assert ledger.total_cost_usd == pytest.approx(3.5)
+
+
+def test_ledger_add_component_applies_duty_cycle():
+    ledger = PowerLedger(duty_cycle=0.5)
+    ledger.add_component(Component("x", PowerProfile(active_power_uw=100.0)))
+    assert ledger.power_of("x") == pytest.approx(50.0)
+
+
+def test_ledger_fraction_of_total():
+    ledger = PowerLedger()
+    ledger.add("a", 75.0)
+    ledger.add("b", 25.0)
+    assert ledger.fraction_of_total("a") == pytest.approx(0.75)
+
+
+def test_ledger_unknown_entry_raises():
+    with pytest.raises(PowerModelError):
+        PowerLedger().power_of("missing")
+
+
+def test_ledger_energy_over_duration():
+    ledger = PowerLedger()
+    ledger.add("a", 10.0)
+    assert ledger.energy_uj(3.0) == pytest.approx(30.0)
+
+
+def test_ledger_rows_include_total():
+    ledger = PowerLedger()
+    ledger.add("a", 1.0)
+    rows = ledger.as_rows()
+    assert rows[-1][0] == "total"
+
+
+def test_ledger_format_table_contains_components():
+    ledger = PowerLedger()
+    ledger.add("lna", 248.5, cost_usd=4.15)
+    text = ledger.format_table()
+    assert "lna" in text
+    assert "total" in text
+
+
+def test_ledger_rejects_bad_duty_cycle():
+    with pytest.raises(PowerModelError):
+        PowerLedger(duty_cycle=0.0)
+
+
+def test_pcb_power_table_matches_paper_total():
+    ledger = pcb_power_table()
+    assert ledger.total_power_uw == pytest.approx(PCB_TOTAL_POWER_UW, abs=0.5)
+    assert ledger.total_cost_usd == pytest.approx(PCB_TOTAL_COST_USD, abs=0.1)
+
+
+def test_pcb_power_table_component_shares_match_paper():
+    ledger = pcb_power_table()
+    assert ledger.fraction_of_total("lna") == pytest.approx(0.673, abs=0.01)
+    assert ledger.fraction_of_total("oscillator") == pytest.approx(0.235, abs=0.01)
+
+
+def test_pcb_power_table_scales_with_duty_cycle():
+    ledger = pcb_power_table(duty_cycle=0.02)
+    assert ledger.power_of("lna") == pytest.approx(2 * PCB_COMPONENT_POWER_UW["lna"])
+
+
+def test_pcb_power_table_rejects_bad_duty_cycle():
+    with pytest.raises(PowerModelError):
+        pcb_power_table(duty_cycle=0.0)
+
+
+def test_asic_budget_matches_paper():
+    ledger = asic_power_budget()
+    assert ledger.total_power_uw == pytest.approx(ASIC_TOTAL_POWER_UW, abs=0.1)
+    assert ledger.power_of("lna") == pytest.approx(68.4)
+    assert ledger.power_of("oscillator") == pytest.approx(22.8)
+    assert ledger.power_of("digital") == pytest.approx(2.0)
+
+
+def test_asic_is_much_cheaper_in_power_than_pcb():
+    saving = 1.0 - asic_power_budget().total_power_uw / pcb_power_table().total_power_uw
+    assert saving == pytest.approx(0.748, abs=0.01)

@@ -1,0 +1,160 @@
+"""Unit tests for the RF mixer, oscillator, delay line, IF amplifier and LPF."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.if_amplifier import IFAmplifier
+from repro.hardware.lpf import AnalogLowPassFilter
+from repro.hardware.oscillator import DelayLine, Oscillator
+from repro.hardware.rf_mixer import RFMixer
+
+FS = 2e6
+
+
+def _tone(freq, n=16384, amplitude=1.0):
+    t = np.arange(n) / FS
+    return Signal(amplitude * np.cos(2 * np.pi * freq * t), FS)
+
+
+def _band_peak(signal, low, high):
+    spectrum = np.abs(np.fft.rfft(np.asarray(signal.samples)))
+    freqs = np.fft.rfftfreq(len(signal), d=1 / signal.sample_rate)
+    mask = (freqs >= low) & (freqs <= high)
+    return spectrum[mask].max() if np.any(mask) else 0.0
+
+
+# ---------------------------------------------------------------------------
+# RFMixer
+# ---------------------------------------------------------------------------
+
+def test_mixer_creates_sum_and_difference_products():
+    mixed = RFMixer().mix(_tone(300e3), 200e3)
+    assert _band_peak(mixed, 95e3, 105e3) > 0.2 * _band_peak(mixed, 0, FS / 2)
+    assert _band_peak(mixed, 495e3, 505e3) > 0.2 * _band_peak(mixed, 0, FS / 2)
+
+
+def test_mixer_conversion_loss_reduces_power():
+    signal = _tone(300e3)
+    lossless = RFMixer(conversion_loss_db=0.0).mix(signal, 200e3)
+    lossy = RFMixer(conversion_loss_db=6.0).mix(signal, 200e3)
+    assert lossy.power() == pytest.approx(lossless.power() / 4.0, rel=0.01)
+
+
+def test_mixer_mix_with_explicit_clock():
+    mixer = RFMixer()
+    signal = _tone(300e3)
+    clock = Oscillator(200e3).generate(signal.duration, FS)
+    by_frequency = mixer.mix(signal, 200e3)
+    by_clock = mixer.mix_with(signal, clock)
+    assert by_clock.power() == pytest.approx(by_frequency.power(), rel=0.01)
+
+
+def test_mixer_validation():
+    with pytest.raises(ConfigurationError):
+        RFMixer().mix(_tone(1e3), 0.0)
+    with pytest.raises(ConfigurationError):
+        RFMixer().mix(np.ones(4), 1e3)
+    short_clock = Signal(np.ones(4), FS)
+    with pytest.raises(ConfigurationError):
+        RFMixer().mix_with(_tone(1e3), short_clock)
+
+
+# ---------------------------------------------------------------------------
+# Oscillator and DelayLine
+# ---------------------------------------------------------------------------
+
+def test_oscillator_generates_requested_frequency():
+    clock = Oscillator(100e3).generate(1e-3, FS)
+    assert _band_peak(clock, 95e3, 105e3) > 10 * _band_peak(clock, 200e3, 300e3)
+
+
+def test_oscillator_requires_adequate_sample_rate():
+    with pytest.raises(ConfigurationError):
+        Oscillator(1.5e6).generate(1e-3, FS)
+
+
+def test_oscillator_phase_noise_perturbs_waveform():
+    clean = Oscillator(100e3).generate(1e-3, FS)
+    noisy = Oscillator(100e3, phase_noise_rms_rad=0.3).generate(
+        1e-3, FS, rng=np.random.default_rng(0))
+    assert not np.allclose(np.asarray(clean.samples), np.asarray(noisy.samples))
+
+
+def test_oscillator_power_matches_table2():
+    assert Oscillator(500e3).average_power_uw() == pytest.approx(86.8)
+
+
+def test_delay_line_phase_shift_formula():
+    line = DelayLine(delay_s=1e-6)
+    assert line.phase_shift_rad(500e3) == pytest.approx(np.pi, rel=1e-9)
+
+
+def test_delay_line_tuned_for_full_period():
+    line = DelayLine.tuned_for(500e3)
+    assert np.cos(line.phase_shift_rad(500e3)) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_delay_line_apply_shifts_waveform():
+    clock = Oscillator(100e3).generate(1e-3, FS)
+    delayed = DelayLine(delay_s=10 / FS).apply(clock)
+    np.testing.assert_allclose(np.asarray(delayed.samples)[10:50],
+                               np.asarray(clock.samples)[:40], atol=1e-9)
+
+
+def test_delay_line_zero_delay_is_identity():
+    clock = Oscillator(100e3).generate(1e-4, FS)
+    assert DelayLine(0.0).apply(clock) is clock
+
+
+# ---------------------------------------------------------------------------
+# IFAmplifier
+# ---------------------------------------------------------------------------
+
+def test_if_amplifier_selects_and_amplifies_band():
+    amplifier = IFAmplifier(center_frequency_hz=500e3, bandwidth_hz=200e3, gain_db=20.0)
+    in_band = amplifier.apply(_tone(500e3))
+    out_of_band = amplifier.apply(_tone(100e3))
+    assert in_band.power() > 10.0 * _tone(500e3).power()
+    assert out_of_band.power() < 0.05 * _tone(100e3).power()
+
+
+def test_if_amplifier_passband_edges():
+    amplifier = IFAmplifier(400e3, 100e3)
+    low, high = amplifier.passband
+    assert low == pytest.approx(350e3)
+    assert high == pytest.approx(450e3)
+
+
+def test_if_amplifier_validation():
+    with pytest.raises(ConfigurationError):
+        IFAmplifier(center_frequency_hz=50e3, bandwidth_hz=200e3)
+    amplifier = IFAmplifier(900e3, 300e3)
+    with pytest.raises(ConfigurationError):
+        amplifier.apply(_tone(100e3))  # passband exceeds Nyquist
+
+
+# ---------------------------------------------------------------------------
+# AnalogLowPassFilter
+# ---------------------------------------------------------------------------
+
+def test_lpf_passes_low_and_blocks_high():
+    lpf = AnalogLowPassFilter(50e3)
+    assert lpf.apply(_tone(10e3)).power() > 0.4
+    assert lpf.apply(_tone(400e3)).power() < 0.01
+
+
+def test_lpf_above_nyquist_is_transparent():
+    lpf = AnalogLowPassFilter(5e6)
+    signal = _tone(100e3)
+    assert lpf.apply(signal) is signal
+
+
+def test_lpf_validation():
+    with pytest.raises(Exception):
+        AnalogLowPassFilter(0.0)
+    with pytest.raises(ConfigurationError):
+        AnalogLowPassFilter(10e3, num_taps=1)
+    with pytest.raises(ConfigurationError):
+        AnalogLowPassFilter(10e3).apply(np.ones(3))

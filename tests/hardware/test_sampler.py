@@ -1,0 +1,56 @@
+"""Unit tests for the MCU voltage sampler."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.hardware.sampler import VoltageSampler
+
+
+def test_output_rate_and_length():
+    waveform = Signal(np.arange(2000, dtype=float), 2e6)  # 1 ms
+    sampler = VoltageSampler(50e3)
+    sampled = sampler.sample(waveform)
+    assert sampled.sample_rate == pytest.approx(50e3)
+    assert len(sampled) == 50
+
+
+def test_sampling_picks_hold_values():
+    waveform = Signal(np.arange(1000, dtype=float), 1e6)
+    sampler = VoltageSampler(100e3)
+    sampled = sampler.sample(waveform)
+    np.testing.assert_allclose(np.asarray(sampled.samples)[:5], [0, 10, 20, 30, 40])
+
+
+def test_sampling_binary_waveform_stays_binary():
+    binary = (np.arange(4000) % 7 < 3).astype(float)
+    sampled = VoltageSampler(64e3).sample(Signal(binary, 2e6))
+    assert set(np.unique(sampled.samples)).issubset({0.0, 1.0})
+
+
+def test_oversampling_beyond_input_rate_holds_samples():
+    waveform = Signal(np.array([1.0, 2.0, 3.0, 4.0]), 4.0)
+    sampled = VoltageSampler(8.0).sample(waveform)
+    assert len(sampled) == 8
+    assert np.asarray(sampled.samples)[0] == 1.0
+
+
+def test_samples_per_duration():
+    sampler = VoltageSampler(25e3)
+    assert sampler.samples_per_duration(256e-6) == 6
+
+
+def test_power_scales_with_rate():
+    slow = VoltageSampler(10e3)
+    fast = VoltageSampler(400e3)
+    assert fast.average_power_uw() > slow.average_power_uw()
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        VoltageSampler(0.0)
+    with pytest.raises(ConfigurationError):
+        VoltageSampler(10e3).sample(np.ones(5))
+    with pytest.raises(Exception):
+        VoltageSampler(10e3).samples_per_duration(0.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the SAW filter model (Figure 5 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    SAW_GAIN_SPAN_125KHZ_DB,
+    SAW_GAIN_SPAN_250KHZ_DB,
+    SAW_GAIN_SPAN_500KHZ_DB,
+    SAW_INSERTION_LOSS_DB,
+)
+from repro.dsp.chirp import lora_symbol_waveform
+from repro.exceptions import ConfigurationError
+from repro.hardware.saw_filter import SAWFilter, SAWFilterResponse
+
+
+def test_insertion_loss_at_band_top():
+    saw = SAWFilter()
+    assert float(np.asarray(saw.gain_db(500e3))) == pytest.approx(-SAW_INSERTION_LOSS_DB)
+
+
+def test_gain_is_monotone_across_critical_band():
+    saw = SAWFilter()
+    offsets = np.linspace(0, 500e3, 101)
+    gains = np.asarray(saw.gain_db(offsets))
+    assert np.all(np.diff(gains) >= -1e-9)
+
+
+def test_amplitude_gaps_match_figure5():
+    saw = SAWFilter()
+    assert saw.amplitude_gap_db(500e3) == pytest.approx(SAW_GAIN_SPAN_500KHZ_DB)
+    assert saw.amplitude_gap_db(250e3) == pytest.approx(SAW_GAIN_SPAN_250KHZ_DB)
+    assert saw.amplitude_gap_db(125e3) == pytest.approx(SAW_GAIN_SPAN_125KHZ_DB)
+
+
+def test_gap_grows_with_bandwidth():
+    saw = SAWFilter()
+    assert (saw.amplitude_gap_db(125e3) < saw.amplitude_gap_db(250e3)
+            < saw.amplitude_gap_db(500e3))
+
+
+def test_out_of_band_rejection_below_critical_band():
+    saw = SAWFilter()
+    # 2 MHz below the LoRa band start is far outside the critical band.
+    assert float(np.asarray(saw.gain_db(-2e6))) < -40.0
+
+
+def test_gain_linear_matches_db():
+    saw = SAWFilter()
+    gain_db = float(np.asarray(saw.gain_db(250e3)))
+    assert float(np.asarray(saw.gain_linear(250e3))) == pytest.approx(10 ** (gain_db / 20))
+
+
+def test_response_validation_rejects_non_monotone_anchors():
+    with pytest.raises(ConfigurationError):
+        SAWFilterResponse(anchors_db=((0.0, 0.0), (125e3, 10.0), (250e3, 5.0)))
+
+
+def test_response_validation_requires_zero_first_anchor():
+    with pytest.raises(ConfigurationError):
+        SAWFilterResponse(anchors_db=((10e3, 0.0), (125e3, 5.0)))
+
+
+def test_reference_must_be_below_center():
+    with pytest.raises(ConfigurationError):
+        SAWFilter(baseband_reference_hz=434.5e6)
+
+
+def test_apply_transforms_fm_chirp_into_am_signal():
+    saw = SAWFilter()
+    chirp = lora_symbol_waveform(0, 7, 500e3, 2e6)
+    output = saw.apply(chirp)
+    envelope = np.abs(np.asarray(output.samples))
+    # The input is constant-envelope; the output must vary strongly.
+    variation = envelope.max() / max(envelope.mean(), 1e-12)
+    assert variation > 2.0
+
+
+def test_apply_peak_aligns_with_top_of_frequency_sweep():
+    saw = SAWFilter()
+    chirp = lora_symbol_waveform(0, 7, 500e3, 2e6)
+    output = saw.apply(chirp)
+    envelope = np.abs(np.asarray(output.samples))
+    peak_fraction = int(np.argmax(envelope)) / envelope.size
+    # Symbol 0 sweeps to the top of the band at the end of the symbol.
+    assert peak_fraction > 0.8
+
+
+def test_apply_requires_signal_instance():
+    with pytest.raises(ConfigurationError):
+        SAWFilter().apply(np.ones(16))
+
+
+def test_temperature_shift_moves_response():
+    nominal = SAWFilter(temperature_c=25.0)
+    cold = SAWFilter(temperature_c=-10.0)
+    assert cold.frequency_shift_hz != 0.0
+    assert float(np.asarray(cold.gain_db(500e3))) < float(np.asarray(nominal.gain_db(500e3)))
+
+
+def test_with_temperature_returns_new_instance():
+    saw = SAWFilter()
+    cold = saw.with_temperature(-8.6)
+    assert cold.temperature_c == -8.6
+    assert saw.temperature_c == 25.0
+
+
+def test_temperature_effect_on_gap_is_small():
+    # The calibrated drift keeps the range variation under ~10% (Figure 24),
+    # which corresponds to a top-of-band gain change of a couple of dB.
+    nominal = SAWFilter(temperature_c=25.0)
+    cold = SAWFilter(temperature_c=-8.6)
+    delta = (float(np.asarray(nominal.gain_db(500e3)))
+             - float(np.asarray(cold.gain_db(500e3))))
+    assert 0.0 < delta < 6.0
+
+
+def test_saw_filter_is_passive_and_cheap():
+    saw = SAWFilter()
+    assert saw.average_power_uw() == 0.0
+    assert saw.cost_usd == pytest.approx(3.87)

@@ -1,0 +1,102 @@
+"""Integration tests: transmitter -> channel -> Saiyan tag, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import indoor_environment, outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.receiver import SaiyanReceiver
+from repro.lora.modulation import LoRaModulator
+from repro.lora.packet import LoRaPacket, PacketStructure
+from repro.lora.parameters import DownlinkParameters
+from repro.net.feedback import decode_command, encode_command
+from repro.net.packets import CommandType, DownlinkCommand
+from repro.net.tag import BackscatterTag
+
+
+def _transmit_and_receive(downlink, packet, distance_m, *, mode=SaiyanMode.SUPER,
+                          environment=None, seed=0):
+    environment = environment or outdoor_environment(fading=NoFading())
+    link = environment.link_budget()
+    modulator = LoRaModulator(downlink, oversampling=4)
+    waveform = modulator.modulate(packet)
+    received = link.apply_to_waveform(waveform, distance_m, random_state=seed)
+    receiver = SaiyanReceiver(SaiyanConfig(downlink=downlink, mode=mode),
+                              structure=packet.structure)
+    return receiver.receive(received, reference=packet, random_state=seed + 1)
+
+
+def test_short_range_packet_is_error_free(downlink, rng):
+    structure = PacketStructure(payload_symbols=12)
+    packet = LoRaPacket.random(12, downlink, rng=rng)
+    packet = LoRaPacket(payload_bits=packet.payload_bits, parameters=downlink,
+                        structure=structure)
+    report = _transmit_and_receive(downlink, packet, 20.0)
+    assert report.packet_ok
+
+
+def test_medium_range_super_saiyan_still_decodes(downlink, rng):
+    structure = PacketStructure(payload_symbols=8)
+    packet = LoRaPacket.random(8, downlink, rng=rng)
+    packet = LoRaPacket(payload_bits=packet.payload_bits, parameters=downlink,
+                        structure=structure)
+    report = _transmit_and_receive(downlink, packet, 100.0, seed=5)
+    assert report.detected
+    assert report.bit_error_rate < 0.1
+
+
+def test_vanilla_receiver_works_at_close_range(downlink, rng):
+    structure = PacketStructure(payload_symbols=6)
+    packet = LoRaPacket.random(6, downlink, rng=rng)
+    packet = LoRaPacket(payload_bits=packet.payload_bits, parameters=downlink,
+                        structure=structure)
+    report = _transmit_and_receive(downlink, packet, 10.0, mode=SaiyanMode.VANILLA, seed=7)
+    assert report.detected
+    assert report.bit_error_rate < 0.15
+
+
+def test_indoor_wall_degrades_link(downlink, rng):
+    structure = PacketStructure(payload_symbols=6)
+    packet = LoRaPacket.random(6, downlink, rng=rng)
+    packet = LoRaPacket(payload_bits=packet.payload_bits, parameters=downlink,
+                        structure=structure)
+    outdoor_report = _transmit_and_receive(downlink, packet, 40.0, seed=9)
+    indoor_report = _transmit_and_receive(
+        downlink, packet, 40.0, seed=9,
+        environment=indoor_environment(num_walls=2, fading=NoFading()))
+    assert outdoor_report.detected
+    # Two concrete walls at 40 m push the signal towards the noise floor.
+    assert indoor_report.bit_error_rate >= outdoor_report.bit_error_rate
+
+
+def test_feedback_command_survives_the_full_pipeline(downlink, rng):
+    """Encode a command, send it as a downlink packet, decode it on the tag."""
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1, argument=7)
+    bits = encode_command(command)
+    structure = PacketStructure(payload_symbols=int(np.ceil(bits.size / downlink.bits_per_chirp)))
+    packet = LoRaPacket(payload_bits=bits, parameters=downlink, structure=structure)
+    report = _transmit_and_receive(downlink, packet, 50.0, seed=11)
+    assert report.packet_ok
+    decoded = decode_command(report.bits[: bits.size])
+    assert decoded == command
+    # The tag acts on the decoded command.
+    tag = BackscatterTag(1, config=SaiyanConfig(downlink=downlink))
+    original = tag.next_packet(random_state=rng)
+    # Make the argument point at the packet the tag actually sent.
+    command_for_tag = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                                      argument=original.sequence)
+    reply = tag.handle_command(command_for_tag, rss_dbm=-60.0)
+    assert reply is not None and reply.is_retransmission
+
+
+def test_different_downlink_rates_round_trip(rng):
+    for k in (1, 3):
+        downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3,
+                                      bits_per_chirp=k)
+        structure = PacketStructure(payload_symbols=6)
+        packet = LoRaPacket.random(6, downlink, rng=rng)
+        packet = LoRaPacket(payload_bits=packet.payload_bits, parameters=downlink,
+                            structure=structure)
+        report = _transmit_and_receive(downlink, packet, 30.0, seed=13 + k)
+        assert report.packet_ok

@@ -1,0 +1,133 @@
+"""Unit tests for the Hamming FEC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lora.coding import HammingCode, hamming_decode, hamming_encode
+
+
+def test_block_length_per_coding_rate():
+    assert HammingCode(1).block_length == 5
+    assert HammingCode(2).block_length == 6
+    assert HammingCode(3).block_length == 7
+    assert HammingCode(4).block_length == 8
+
+
+def test_correction_capability_flags():
+    assert not HammingCode(1).can_correct
+    assert not HammingCode(2).can_correct
+    assert HammingCode(3).can_correct
+    assert HammingCode(4).can_correct
+
+
+def test_encode_length_scaling():
+    bits = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+    for cr in range(1, 5):
+        coded = hamming_encode(bits, cr)
+        assert coded.size == 2 * (4 + cr)
+
+
+def test_round_trip_no_errors_all_rates():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=32)
+    for cr in range(1, 5):
+        decoded = hamming_decode(hamming_encode(bits, cr), cr)
+        np.testing.assert_array_equal(decoded, bits)
+
+
+def test_cr3_corrects_single_data_bit_error():
+    bits = np.array([1, 0, 1, 1])
+    code = HammingCode(3)
+    coded = code.encode(bits)
+    corrupted = coded.copy()
+    corrupted[2] ^= 1  # flip one data bit
+    decoded, corrected = code.decode(corrupted)
+    np.testing.assert_array_equal(decoded, bits)
+    assert corrected == 1
+
+
+def test_cr4_corrects_single_data_bit_error():
+    bits = np.array([0, 1, 1, 0])
+    code = HammingCode(4)
+    coded = code.encode(bits)
+    corrupted = coded.copy()
+    corrupted[0] ^= 1
+    decoded, corrected = code.decode(corrupted)
+    np.testing.assert_array_equal(decoded, bits)
+    assert corrected == 1
+
+
+def test_cr3_parity_bit_error_does_not_corrupt_data():
+    bits = np.array([1, 1, 0, 0])
+    code = HammingCode(3)
+    coded = code.encode(bits)
+    corrupted = coded.copy()
+    corrupted[5] ^= 1  # flip a parity bit
+    decoded, _ = code.decode(corrupted)
+    np.testing.assert_array_equal(decoded, bits)
+
+
+def test_cr1_detects_single_error():
+    bits = np.array([1, 0, 0, 1])
+    code = HammingCode(1)
+    coded = code.encode(bits)
+    corrupted = coded.copy()
+    corrupted[1] ^= 1
+    assert code.detect_errors(corrupted) == 1
+    assert code.detect_errors(coded) == 0
+
+
+def test_cr2_detects_errors():
+    bits = np.array([0, 0, 1, 1])
+    code = HammingCode(2)
+    coded = code.encode(bits)
+    corrupted = coded.copy()
+    corrupted[0] ^= 1
+    assert code.detect_errors(corrupted) >= 1
+
+
+def test_encode_rejects_non_multiple_of_four():
+    with pytest.raises(ConfigurationError):
+        hamming_encode(np.array([1, 0, 1]), 3)
+
+
+def test_encode_rejects_non_binary_values():
+    with pytest.raises(ConfigurationError):
+        hamming_encode(np.array([0, 1, 2, 0]), 3)
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ConfigurationError):
+        HammingCode(3).decode(np.zeros(6, dtype=int))
+
+
+def test_invalid_coding_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        HammingCode(0)
+    with pytest.raises(ConfigurationError):
+        HammingCode(5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=40),
+       st.integers(min_value=1, max_value=4))
+def test_round_trip_property(bits, cr):
+    bits = np.array(bits[: 4 * (len(bits) // 4)], dtype=int)
+    if bits.size == 0:
+        return
+    decoded = hamming_decode(hamming_encode(bits, cr), cr)
+    np.testing.assert_array_equal(decoded, bits)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=6))
+def test_cr3_single_error_always_corrected_property(nibble_value, error_position):
+    bits = np.array([(nibble_value >> i) & 1 for i in range(4)])
+    code = HammingCode(3)
+    coded = code.encode(bits)
+    corrupted = coded.copy()
+    corrupted[error_position] ^= 1
+    decoded, _ = code.decode(corrupted)
+    np.testing.assert_array_equal(decoded, bits)

@@ -1,0 +1,74 @@
+"""Unit tests for the CRC-16."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lora.crc import append_crc, crc16, crc_bits, verify_crc
+
+
+def test_crc_is_deterministic():
+    bits = np.array([1, 0, 1, 1, 0, 0, 1])
+    assert crc16(bits) == crc16(bits)
+
+
+def test_crc_differs_for_different_inputs():
+    a = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+    b = a.copy()
+    b[3] ^= 1
+    assert crc16(a) != crc16(b)
+
+
+def test_crc_bits_are_sixteen_binary_values():
+    bits = crc_bits(np.array([1, 0, 1]))
+    assert bits.size == 16
+    assert set(np.unique(bits)).issubset({0, 1})
+
+
+def test_append_and_verify_round_trip():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=64)
+    assert verify_crc(append_crc(bits))
+
+
+def test_verify_detects_single_bit_error():
+    bits = np.random.default_rng(1).integers(0, 2, size=40)
+    protected = append_crc(bits)
+    for position in range(protected.size):
+        corrupted = protected.copy()
+        corrupted[position] ^= 1
+        assert not verify_crc(corrupted)
+
+
+def test_verify_detects_burst_errors():
+    bits = np.random.default_rng(2).integers(0, 2, size=48)
+    protected = append_crc(bits)
+    corrupted = protected.copy()
+    corrupted[5:13] ^= 1
+    assert not verify_crc(corrupted)
+
+
+def test_verify_rejects_too_short_sequences():
+    with pytest.raises(ConfigurationError):
+        verify_crc(np.ones(10, dtype=int))
+
+
+def test_crc_rejects_non_binary_input():
+    with pytest.raises(ConfigurationError):
+        crc16(np.array([0, 1, 3]))
+
+
+def test_empty_payload_round_trip():
+    assert verify_crc(append_crc(np.zeros(0, dtype=int)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=120),
+       st.integers(min_value=0))
+def test_single_flip_always_detected_property(bits, position):
+    bits = np.array(bits, dtype=int)
+    protected = append_crc(bits)
+    corrupted = protected.copy()
+    corrupted[position % protected.size] ^= 1
+    assert not verify_crc(corrupted)

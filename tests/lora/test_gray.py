@@ -1,0 +1,51 @@
+"""Unit tests for Gray coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lora.gray import (
+    gray_decode,
+    gray_decode_array,
+    gray_encode,
+    gray_encode_array,
+)
+
+
+def test_known_gray_codes():
+    assert [gray_encode(v) for v in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+
+def test_gray_decode_inverts_encode_small_values():
+    for value in range(256):
+        assert gray_decode(gray_encode(value)) == value
+
+
+def test_adjacent_values_differ_in_one_bit():
+    for value in range(1, 1024):
+        diff = gray_encode(value) ^ gray_encode(value - 1)
+        assert bin(diff).count("1") == 1
+
+
+def test_gray_encode_rejects_negative():
+    with pytest.raises(Exception):
+        gray_encode(-1)
+
+
+def test_array_versions_match_scalar():
+    values = np.arange(64)
+    np.testing.assert_array_equal(gray_encode_array(values),
+                                  [gray_encode(int(v)) for v in values])
+    np.testing.assert_array_equal(gray_decode_array(gray_encode_array(values)), values)
+
+
+def test_array_versions_reject_negative():
+    with pytest.raises(ValueError):
+        gray_encode_array(np.array([-1]))
+    with pytest.raises(ValueError):
+        gray_decode_array(np.array([-3]))
+
+
+@given(st.integers(min_value=0, max_value=2**20))
+def test_gray_round_trip_property(value):
+    assert gray_decode(gray_encode(value)) == value

@@ -1,0 +1,68 @@
+"""Unit tests for the diagonal interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lora.interleaving import deinterleave, interleave
+
+
+def test_round_trip_small_block():
+    bits = np.arange(12) % 2
+    out = deinterleave(interleave(bits, 3, 4), 3, 4)
+    np.testing.assert_array_equal(out, bits)
+
+
+def test_round_trip_lora_sized_block():
+    rng = np.random.default_rng(1)
+    sf, cr = 7, 3
+    bits = rng.integers(0, 2, size=sf * (4 + cr))
+    out = deinterleave(interleave(bits, sf, 4 + cr), sf, 4 + cr)
+    np.testing.assert_array_equal(out, bits)
+
+
+def test_interleave_is_a_permutation():
+    bits = np.arange(35)
+    shuffled = interleave(bits, 7, 5)
+    assert sorted(shuffled.tolist()) == sorted(bits.tolist())
+
+
+def test_interleave_actually_moves_bits():
+    bits = np.arange(35)
+    shuffled = interleave(bits, 7, 5)
+    assert not np.array_equal(shuffled, bits)
+
+
+def test_single_symbol_corruption_spreads_across_codewords():
+    # Corrupting one transmitted symbol (one row of the interleaved block)
+    # damages at most one bit of each codeword, which is exactly the error
+    # pattern the Hamming code can repair.
+    sf, block = 7, 5
+    bits = np.zeros(sf * block, dtype=int)
+    interleaved = interleave(bits, sf, block)
+    corrupted = interleaved.copy().reshape(block, sf)
+    corrupted[2, :] ^= 1  # wipe out one transmitted symbol's bits
+    recovered = deinterleave(corrupted.reshape(-1), sf, block)
+    errors_per_codeword = recovered.reshape(sf, block).sum(axis=1)
+    assert errors_per_codeword.max() <= 1
+    assert errors_per_codeword.sum() == sf
+
+
+def test_dimension_validation():
+    with pytest.raises(ConfigurationError):
+        interleave(np.zeros(10), 0, 5)
+    with pytest.raises(ConfigurationError):
+        interleave(np.zeros(10), 3, 4)
+    with pytest.raises(ConfigurationError):
+        deinterleave(np.zeros(10), 3, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**20))
+def test_round_trip_property(rows, columns, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, size=rows * columns)
+    out = deinterleave(interleave(bits, rows, columns), rows, columns)
+    np.testing.assert_array_equal(out, bits)

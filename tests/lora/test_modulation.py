@@ -1,0 +1,113 @@
+"""Unit tests for the LoRa modulator."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.chirp import instantaneous_frequency
+from repro.exceptions import ConfigurationError
+from repro.lora.modulation import LoRaModulator
+from repro.lora.packet import LoRaPacket, PacketStructure
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+
+
+def test_sample_rate_is_oversampling_times_bandwidth(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    assert modulator.sample_rate == pytest.approx(2e6)
+    assert modulator.samples_per_symbol == 512
+
+
+def test_symbol_waveform_length(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    assert len(modulator.symbol_waveform(0)) == modulator.samples_per_symbol
+
+
+def test_symbol_waveform_rejects_out_of_alphabet(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    with pytest.raises(ConfigurationError):
+        modulator.symbol_waveform(downlink.alphabet_size)
+
+
+def test_symbol_waveform_starting_frequency_scales(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    for symbol in range(downlink.alphabet_size):
+        freq = instantaneous_frequency(modulator.symbol_waveform(symbol))
+        expected = symbol * downlink.bandwidth_hz / downlink.alphabet_size
+        assert freq[2:8].mean() == pytest.approx(expected, abs=0.06 * downlink.bandwidth_hz)
+
+
+def test_preamble_is_repeated_upchirps(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    preamble = modulator.preamble_waveform(3)
+    n = modulator.samples_per_symbol
+    first = np.asarray(preamble.samples)[:n]
+    second = np.asarray(preamble.samples)[n:2 * n]
+    np.testing.assert_allclose(first, second)
+
+
+def test_preamble_rejects_zero_chirps(downlink):
+    with pytest.raises(ConfigurationError):
+        LoRaModulator(downlink).preamble_waveform(0)
+
+
+def test_sync_waveform_duration(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    sync = modulator.sync_waveform(2.25)
+    assert len(sync) == pytest.approx(2.25 * modulator.samples_per_symbol, abs=2)
+
+
+def test_sync_waveform_zero_duration(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    assert len(modulator.sync_waveform(0)) == 1
+
+
+def test_modulate_symbols_concatenates(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    waveform = modulator.modulate_symbols([0, 1, 2])
+    assert len(waveform) == 3 * modulator.samples_per_symbol
+
+
+def test_modulate_symbols_rejects_empty(downlink):
+    with pytest.raises(ConfigurationError):
+        LoRaModulator(downlink).modulate_symbols([])
+
+
+def test_modulate_full_packet_length(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    packet = LoRaPacket.from_symbols([0, 1, 2, 3],
+                                     downlink,
+                                     structure=PacketStructure(payload_symbols=4))
+    waveform = modulator.modulate(packet)
+    expected_symbols = 10 + 2.25 + 4
+    assert len(waveform) == pytest.approx(expected_symbols * modulator.samples_per_symbol,
+                                          abs=4)
+
+
+def test_payload_start_index_matches_structure(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4)
+    packet = LoRaPacket.from_symbols([0, 1], downlink,
+                                     structure=PacketStructure(payload_symbols=2))
+    start = modulator.payload_start_index(packet)
+    assert start == pytest.approx(12.25 * modulator.samples_per_symbol, abs=2)
+
+
+def test_constant_envelope_of_modulated_packet(downlink):
+    modulator = LoRaModulator(downlink, oversampling=4, amplitude=0.5)
+    packet = LoRaPacket.from_symbols([1, 3], downlink)
+    waveform = modulator.modulate(packet)
+    magnitudes = np.abs(np.asarray(waveform.samples))
+    magnitudes = magnitudes[magnitudes > 1e-12]
+    np.testing.assert_allclose(magnitudes, 0.5, rtol=1e-6)
+
+
+def test_standard_lora_parameters_supported():
+    params = LoRaParameters(spreading_factor=8, bandwidth_hz=250e3)
+    modulator = LoRaModulator(params, oversampling=2)
+    waveform = modulator.modulate_symbols([0, 100, 255])
+    assert len(waveform) == 3 * modulator.samples_per_symbol
+
+
+def test_invalid_constructor_arguments(downlink):
+    with pytest.raises(ConfigurationError):
+        LoRaModulator("not parameters")
+    with pytest.raises(ConfigurationError):
+        LoRaModulator(downlink, oversampling=0)

@@ -1,0 +1,114 @@
+"""Unit tests for the packet structure and bit/symbol packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lora.packet import (
+    LoRaPacket,
+    PacketStructure,
+    bits_to_symbols,
+    symbols_to_bits,
+)
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+
+
+def test_bits_to_symbols_msb_first():
+    np.testing.assert_array_equal(bits_to_symbols([1, 0, 1, 1], 2), [2, 3])
+
+
+def test_bits_to_symbols_pads_with_zeros():
+    np.testing.assert_array_equal(bits_to_symbols([1, 1, 1], 2), [3, 2])
+
+
+def test_symbols_to_bits_round_trip():
+    bits = np.array([1, 0, 0, 1, 1, 1, 0, 0])
+    np.testing.assert_array_equal(symbols_to_bits(bits_to_symbols(bits, 4), 4), bits)
+
+
+def test_symbols_to_bits_rejects_out_of_range():
+    with pytest.raises(ConfigurationError):
+        symbols_to_bits([4], 2)
+
+
+def test_bits_to_symbols_rejects_non_binary():
+    with pytest.raises(ConfigurationError):
+        bits_to_symbols([0, 2], 2)
+
+
+def test_empty_arrays_are_handled():
+    assert bits_to_symbols([], 3).size == 0
+    assert symbols_to_bits([], 3).size == 0
+
+
+def test_packet_structure_defaults_match_paper():
+    structure = PacketStructure()
+    assert structure.preamble_symbols == 10
+    assert structure.sync_symbols == 2.25
+
+
+def test_packet_structure_total_and_duration():
+    structure = PacketStructure(preamble_symbols=10, sync_symbols=2.25, payload_symbols=32)
+    assert structure.total_symbols == pytest.approx(44.25)
+    assert structure.duration_s(256e-6) == pytest.approx(44.25 * 256e-6)
+    assert structure.payload_start_s(256e-6) == pytest.approx(12.25 * 256e-6)
+
+
+def test_packet_structure_validation():
+    with pytest.raises(Exception):
+        PacketStructure(preamble_symbols=0)
+    with pytest.raises(ConfigurationError):
+        PacketStructure(sync_symbols=-1)
+    with pytest.raises(ConfigurationError):
+        PacketStructure().duration_s(0.0)
+
+
+def test_lora_packet_symbols_derived_from_bits():
+    downlink = DownlinkParameters(bits_per_chirp=2)
+    packet = LoRaPacket(payload_bits=np.array([1, 0, 1, 1]), parameters=downlink)
+    np.testing.assert_array_equal(packet.symbols, [2, 3])
+    assert packet.bits_per_symbol == 2
+    assert packet.num_payload_symbols == 2
+
+
+def test_lora_packet_standard_parameters_use_sf_bits():
+    params = LoRaParameters(spreading_factor=7)
+    packet = LoRaPacket(payload_bits=np.zeros(14, dtype=int), parameters=params)
+    assert packet.bits_per_symbol == 7
+    assert packet.num_payload_symbols == 2
+
+
+def test_lora_packet_rejects_non_binary_bits():
+    with pytest.raises(ConfigurationError):
+        LoRaPacket(payload_bits=np.array([0, 1, 5]), parameters=DownlinkParameters())
+
+
+def test_packet_duration_scales_with_payload():
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=2)
+    short = LoRaPacket.from_symbols([1, 2], downlink)
+    long = LoRaPacket.from_symbols(list(range(4)) * 8, downlink)
+    assert long.duration_s > short.duration_s
+
+
+def test_from_symbols_round_trip():
+    downlink = DownlinkParameters(bits_per_chirp=3)
+    packet = LoRaPacket.from_symbols([7, 0, 5], downlink)
+    np.testing.assert_array_equal(packet.symbols, [7, 0, 5])
+
+
+def test_random_packet_uses_alphabet(downlink):
+    rng = np.random.default_rng(0)
+    packet = LoRaPacket.random(50, downlink, rng=rng)
+    assert packet.num_payload_symbols == 50
+    assert packet.symbols.max() < downlink.alphabet_size
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=6))
+def test_bits_symbols_round_trip_property(bits, width):
+    bits = np.array(bits, dtype=int)
+    symbols = bits_to_symbols(bits, width)
+    recovered = symbols_to_bits(symbols, width)[: bits.size]
+    np.testing.assert_array_equal(recovered, bits)

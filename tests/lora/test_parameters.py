@@ -1,0 +1,116 @@
+"""Unit tests for LoRa and downlink parameters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+
+
+def test_default_lora_parameters_match_paper_setup():
+    params = LoRaParameters()
+    assert params.spreading_factor == 7
+    assert params.bandwidth_hz == 500e3
+    assert params.carrier_hz == 433.5e6
+
+
+def test_chips_per_symbol():
+    assert LoRaParameters(spreading_factor=7).chips_per_symbol == 128
+    assert LoRaParameters(spreading_factor=12).chips_per_symbol == 4096
+
+
+def test_symbol_duration():
+    params = LoRaParameters(spreading_factor=7, bandwidth_hz=500e3)
+    assert params.symbol_duration_s == pytest.approx(256e-6)
+
+
+def test_raw_bit_rate():
+    params = LoRaParameters(spreading_factor=7, bandwidth_hz=500e3)
+    assert params.raw_bit_rate == pytest.approx(7 * 500e3 / 128)
+
+
+def test_coded_bit_rate_scales_with_coding_rate():
+    base = LoRaParameters(coding_rate=1)
+    heavy = LoRaParameters(coding_rate=4)
+    assert base.coded_bit_rate > heavy.coded_bit_rate
+    assert base.code_rate_fraction == pytest.approx(4 / 5)
+    assert heavy.code_rate_fraction == pytest.approx(4 / 8)
+
+
+def test_lora_parameters_validation():
+    with pytest.raises(ConfigurationError):
+        LoRaParameters(spreading_factor=4)
+    with pytest.raises(ConfigurationError):
+        LoRaParameters(spreading_factor=13)
+    with pytest.raises(ConfigurationError):
+        LoRaParameters(coding_rate=5)
+    with pytest.raises(ConfigurationError):
+        LoRaParameters(bandwidth_hz=2e6)
+
+
+def test_lora_with_replaces_fields():
+    params = LoRaParameters().with_(spreading_factor=9)
+    assert params.spreading_factor == 9
+    assert params.bandwidth_hz == 500e3
+
+
+def test_lora_describe_mentions_sf_and_bw():
+    text = LoRaParameters().describe()
+    assert "SF=7" in text
+    assert "500" in text
+
+
+def test_downlink_alphabet_size():
+    assert DownlinkParameters(bits_per_chirp=1).alphabet_size == 2
+    assert DownlinkParameters(bits_per_chirp=5).alphabet_size == 32
+
+
+def test_downlink_data_rate_formula():
+    # K * BW / 2^SF from §2.3.
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=5)
+    assert downlink.data_rate_bps == pytest.approx(5 * 500e3 / 128)
+
+
+def test_downlink_nyquist_sampling_rate_matches_table1():
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=1)
+    assert downlink.nyquist_sampling_rate_hz == pytest.approx(15.625e3)
+
+
+def test_downlink_practical_rate_uses_3_2_factor():
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3, bits_per_chirp=1)
+    assert downlink.practical_sampling_rate_hz == pytest.approx(25e3)
+
+
+def test_downlink_symbol_offsets_are_evenly_spaced():
+    downlink = DownlinkParameters(bits_per_chirp=2, bandwidth_hz=500e3)
+    offsets = [downlink.symbol_offset_hz(m) for m in range(4)]
+    assert offsets == pytest.approx([0.0, 125e3, 250e3, 375e3])
+
+
+def test_downlink_rejects_k_larger_than_sf():
+    with pytest.raises(ConfigurationError):
+        DownlinkParameters(spreading_factor=7, bits_per_chirp=8)
+
+
+def test_downlink_to_lora_conversion():
+    downlink = DownlinkParameters(spreading_factor=9, bandwidth_hz=250e3)
+    lora = downlink.to_lora(coding_rate=2)
+    assert lora.spreading_factor == 9
+    assert lora.bandwidth_hz == 250e3
+    assert lora.coding_rate == 2
+
+
+def test_downlink_describe():
+    assert "K=2" in DownlinkParameters().describe()
+
+
+@given(st.integers(min_value=5, max_value=12), st.integers(min_value=1, max_value=5))
+def test_downlink_rate_and_sampling_consistency(sf, k):
+    if k > sf:
+        return
+    downlink = DownlinkParameters(spreading_factor=sf, bits_per_chirp=k)
+    # Nyquist rate is exactly twice the candidate-position event rate.
+    assert downlink.nyquist_sampling_rate_hz == pytest.approx(
+        2 * downlink.bandwidth_hz / 2 ** (sf - k))
+    # The practical rate always exceeds the Nyquist rate.
+    assert downlink.practical_sampling_rate_hz > downlink.nyquist_sampling_rate_hz

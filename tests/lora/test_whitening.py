@@ -1,0 +1,65 @@
+"""Unit tests for data whitening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.lora.whitening import dewhiten, whiten, whitening_sequence
+
+
+def test_sequence_is_binary():
+    sequence = whitening_sequence(256)
+    assert set(np.unique(sequence)).issubset({0, 1})
+
+
+def test_sequence_is_deterministic():
+    np.testing.assert_array_equal(whitening_sequence(128), whitening_sequence(128))
+
+
+def test_sequence_is_balanced():
+    sequence = whitening_sequence(511)
+    ones = sequence.sum()
+    # A maximal-length 9-bit LFSR produces 256 ones in 511 bits.
+    assert 200 < ones < 312
+
+
+def test_sequence_has_long_period():
+    sequence = whitening_sequence(1022)
+    first, second = sequence[:511], sequence[511:]
+    np.testing.assert_array_equal(first, second)
+    assert not np.array_equal(sequence[:100], sequence[100:200])
+
+
+def test_whiten_dewhiten_round_trip():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=300)
+    np.testing.assert_array_equal(dewhiten(whiten(bits)), bits)
+
+
+def test_whiten_changes_all_zero_input():
+    bits = np.zeros(64, dtype=int)
+    assert whiten(bits).sum() > 0
+
+
+def test_whiten_rejects_non_binary():
+    with pytest.raises(ConfigurationError):
+        whiten(np.array([0, 2, 1]))
+
+
+def test_whitening_sequence_rejects_bad_seed():
+    with pytest.raises(ConfigurationError):
+        whitening_sequence(10, seed=0)
+    with pytest.raises(ConfigurationError):
+        whitening_sequence(10, seed=1 << 9)
+
+
+def test_whitening_sequence_rejects_negative_length():
+    with pytest.raises(ConfigurationError):
+        whitening_sequence(-1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=200))
+def test_whitening_is_involution_property(bits):
+    bits = np.array(bits, dtype=int)
+    np.testing.assert_array_equal(whiten(whiten(bits)), bits)

@@ -1,0 +1,97 @@
+"""Unit tests for the access point's feedback logic."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import InterferenceEnvironment, Jammer
+from repro.core.config import SaiyanMode
+from repro.exceptions import ProtocolError
+from repro.net.access_point import AccessPoint
+from repro.net.channel_hopping import ChannelHopController, ChannelPlan
+from repro.net.packets import CommandType, UplinkPacket
+from repro.net.retransmission import RetransmissionPolicy
+
+
+def _packet(tag=1, seq=0):
+    return UplinkPacket(tag_id=tag, sequence=seq, payload_bits=np.zeros(8, dtype=int))
+
+
+def test_observe_uplink_updates_stats_and_prr():
+    ap = AccessPoint()
+    ap.observe_uplink(_packet(seq=0), received=True)
+    ap.observe_uplink(_packet(seq=1), received=False)
+    assert ap.stats.packets_received == 1
+    assert ap.stats.packets_lost == 1
+    assert ap.packet_reception_ratio() == pytest.approx(0.5)
+
+
+def test_retransmission_requests_only_for_lost_packets():
+    ap = AccessPoint(retransmission_policy=RetransmissionPolicy(max_retransmissions=2))
+    ap.observe_uplink(_packet(seq=0), received=True)
+    ap.observe_uplink(_packet(seq=1), received=False)
+    commands = ap.retransmission_requests()
+    assert len(commands) == 1
+    assert commands[0].command is CommandType.RETRANSMIT
+    assert commands[0].argument == 1
+    assert ap.stats.retransmission_requests == 1
+
+
+def test_request_retransmission_for_specific_packet():
+    ap = AccessPoint(retransmission_policy=RetransmissionPolicy(max_retransmissions=1))
+    ap.observe_uplink(_packet(seq=5), received=False)
+    command = ap.request_retransmission_for((1, 5))
+    assert command is not None
+    assert command.argument == 5
+    # Budget exhausted after one request.
+    assert ap.request_retransmission_for((1, 5)) is None
+
+
+def test_request_retransmission_for_delivered_packet_is_none():
+    ap = AccessPoint()
+    ap.observe_uplink(_packet(seq=0), received=True)
+    assert ap.request_retransmission_for((1, 0)) is None
+
+
+def test_maybe_hop_without_controller_is_noop():
+    ap = AccessPoint()
+    assert ap.maybe_hop(0) is None
+    with pytest.raises(ProtocolError):
+        ap.require_hop_controller()
+
+
+def test_maybe_hop_with_jammed_channel_issues_command():
+    interference = InterferenceEnvironment()
+    interference.add(Jammer(frequency_hz=433.5e6, power_dbm=20.0, bandwidth_hz=600e3,
+                            distance_m=3.0))
+    controller = ChannelHopController(plan=ChannelPlan(), interference=interference,
+                                      interference_threshold_dbm=-80.0)
+    ap = AccessPoint(hop_controller=controller)
+    command = ap.maybe_hop(0, target_tag_id=9)
+    assert command is not None
+    assert command.command is CommandType.CHANNEL_HOP
+    assert ap.stats.channel_hops == 1
+
+
+def test_maybe_adapt_rate_issues_command_on_strong_link():
+    ap = AccessPoint()
+    command = ap.maybe_adapt_rate(4, link_rss_dbm=-60.0, mode=SaiyanMode.SUPER)
+    assert command is not None
+    assert command.command is CommandType.RATE_CHANGE
+    assert command.argument > 1
+    assert ap.stats.rate_changes == 1
+
+
+def test_maybe_adapt_rate_weak_link_stays_at_minimum():
+    ap = AccessPoint()
+    command = ap.maybe_adapt_rate(4, link_rss_dbm=-90.0, mode=SaiyanMode.SUPER)
+    # The adapter starts at the minimum rate, so a weak link changes nothing.
+    assert command is None
+
+
+def test_sensor_command_builder():
+    ap = AccessPoint()
+    on = ap.sensor_command(3, turn_on=True)
+    off = ap.sensor_command(3, turn_on=False)
+    assert on.command is CommandType.SENSOR_ON
+    assert off.command is CommandType.SENSOR_OFF
+    assert on.target_tag_id == 3

@@ -1,0 +1,73 @@
+"""Unit tests for the channel plan and hop controller."""
+
+import pytest
+
+from repro.channel.interference import InterferenceEnvironment, Jammer
+from repro.exceptions import ProtocolError
+from repro.net.channel_hopping import ChannelHopController, ChannelPlan
+from repro.net.packets import CommandType
+
+
+def _plan():
+    return ChannelPlan(base_frequency_hz=433.5e6, spacing_hz=500e3, num_channels=4)
+
+
+def _controller(jammer_freq=None):
+    interference = InterferenceEnvironment()
+    if jammer_freq is not None:
+        interference.add(Jammer(frequency_hz=jammer_freq, power_dbm=20.0,
+                                bandwidth_hz=1.2e6, distance_m=3.0))
+    return ChannelHopController(plan=_plan(), interference=interference,
+                                interference_threshold_dbm=-80.0)
+
+
+def test_plan_frequencies():
+    plan = _plan()
+    assert plan.frequency_of(0) == pytest.approx(433.5e6)
+    assert plan.frequency_of(2) == pytest.approx(434.5e6)
+    assert plan.all_frequencies() == pytest.approx([433.5e6, 434e6, 434.5e6, 435e6])
+
+
+def test_plan_index_of_nearest():
+    plan = _plan()
+    assert plan.index_of(434.4e6) == 2
+    assert plan.index_of(433.6e6) == 0
+
+
+def test_plan_validation():
+    with pytest.raises(Exception):
+        ChannelPlan(num_channels=0)
+    with pytest.raises(Exception):
+        _plan().frequency_of(4)
+
+
+def test_clean_spectrum_no_hop():
+    controller = _controller()
+    assert controller.channel_is_clean(0)
+    assert not controller.should_hop(0)
+    assert controller.hop_command(0) is None
+    assert controller.hops_issued == 0
+
+
+def test_jammed_channel_triggers_hop_to_clean_channel():
+    controller = _controller(jammer_freq=433.0e6)
+    assert controller.should_hop(0)
+    command = controller.hop_command(0, target_tag_id=7)
+    assert command is not None
+    assert command.command is CommandType.CHANNEL_HOP
+    assert command.target_tag_id == 7
+    assert command.argument != 0
+    assert controller.channel_is_clean(command.argument)
+    assert controller.hops_issued == 1
+
+
+def test_cleanest_channel_excludes_current():
+    controller = _controller(jammer_freq=433.0e6)
+    assert controller.cleanest_channel(exclude=0) != 0
+
+
+def test_no_eligible_channel_raises():
+    plan = ChannelPlan(num_channels=1)
+    controller = ChannelHopController(plan=plan, interference=InterferenceEnvironment())
+    with pytest.raises(ProtocolError):
+        controller.cleanest_channel(exclude=0)

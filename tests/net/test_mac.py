@@ -1,0 +1,82 @@
+"""Unit tests for the slotted-ALOHA MAC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ProtocolError
+from repro.net.mac import SlottedAlohaMac, SlotOutcome
+from repro.net.tag import BackscatterTag
+
+
+def _tags(n):
+    return [BackscatterTag(i) for i in range(n)]
+
+
+def test_slot_outcome_classification():
+    assert SlotOutcome(slot=0, tag_ids=()).is_idle
+    assert SlotOutcome(slot=0, tag_ids=(1,)).is_success
+    assert SlotOutcome(slot=0, tag_ids=(1, 2)).is_collision
+
+
+def test_run_round_assigns_every_tag_exactly_once():
+    mac = SlottedAlohaMac(num_slots=8)
+    result = mac.run_round(_tags(5), random_state=0)
+    assigned = [tag for outcome in result.outcomes for tag in outcome.tag_ids]
+    assert sorted(assigned) == [0, 1, 2, 3, 4]
+    assert len(result.outcomes) == 8
+
+
+def test_single_tag_never_collides():
+    mac = SlottedAlohaMac(num_slots=4)
+    result = mac.run_round(_tags(1), random_state=1)
+    assert result.num_collisions == 0
+    assert result.successful_tags == [0]
+
+
+def test_more_tags_than_slots_forces_collisions():
+    mac = SlottedAlohaMac(num_slots=2)
+    result = mac.run_round(_tags(5), random_state=2)
+    assert result.num_collisions >= 1
+    assert len(result.successful_tags) + len(result.collided_tags) == 5
+
+
+def test_resolve_eventually_delivers_all_acks():
+    mac = SlottedAlohaMac(num_slots=4, max_rounds=32)
+    rounds, results = mac.resolve(_tags(6), random_state=3)
+    assert rounds <= 32
+    delivered = [tag for result in results for tag in result.successful_tags]
+    assert sorted(delivered) == [0, 1, 2, 3, 4, 5]
+
+
+def test_resolve_collided_tags_retry_later():
+    mac = SlottedAlohaMac(num_slots=2, max_rounds=64)
+    rounds, results = mac.resolve(_tags(4), random_state=4)
+    assert rounds >= 2  # with 4 tags in 2 slots, one round is never enough
+
+
+def test_resolve_raises_when_rounds_exhausted():
+    mac = SlottedAlohaMac(num_slots=1, max_rounds=3)
+    with pytest.raises(ProtocolError):
+        mac.resolve(_tags(2), random_state=5)  # same slot forever
+
+
+def test_run_round_requires_tags():
+    with pytest.raises(ProtocolError):
+        SlottedAlohaMac().run_round([])
+
+
+def test_expected_success_probability_formula():
+    mac = SlottedAlohaMac(num_slots=8)
+    assert mac.expected_success_probability(1) == pytest.approx(1.0)
+    assert mac.expected_success_probability(2) == pytest.approx(7 / 8)
+    assert mac.expected_success_probability(9) < mac.expected_success_probability(2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=1000))
+def test_every_tag_appears_exactly_once_per_round(num_tags, num_slots, seed):
+    mac = SlottedAlohaMac(num_slots=num_slots)
+    result = mac.run_round(_tags(num_tags), random_state=seed)
+    assigned = sorted(tag for outcome in result.outcomes for tag in outcome.tag_ids)
+    assert assigned == list(range(num_tags))

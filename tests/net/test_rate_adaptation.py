@@ -1,0 +1,70 @@
+"""Unit tests for the rate adapter."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.net.packets import CommandType
+from repro.net.rate_adaptation import RateAdapter
+
+
+def test_ideal_bits_scales_with_margin():
+    adapter = RateAdapter(margin_steps_db=3.0, min_bits=1, max_bits=5)
+    assert adapter.ideal_bits(-5.0) == 1
+    assert adapter.ideal_bits(0.0) == 1
+    assert adapter.ideal_bits(3.5) == 2
+    assert adapter.ideal_bits(12.5) == 5
+    assert adapter.ideal_bits(100.0) == 5
+
+
+def test_evaluate_tracks_per_tag_state():
+    adapter = RateAdapter()
+    first = adapter.evaluate(1, 10.0)
+    assert first.changed
+    again = adapter.evaluate(1, 10.0)
+    assert not again.changed
+    assert adapter.current_bits(1) == first.bits_per_chirp
+
+
+def test_rate_steps_down_immediately_when_margin_collapses():
+    adapter = RateAdapter()
+    adapter.evaluate(1, 12.0)
+    decision = adapter.evaluate(1, 0.0)
+    assert decision.bits_per_chirp == 1
+    assert decision.changed
+
+
+def test_hysteresis_prevents_bouncing_up():
+    adapter = RateAdapter(margin_steps_db=3.0, hysteresis_db=2.0)
+    adapter.evaluate(1, 0.0)
+    # 3.5 dB margin would justify 2 bits, but not with the 2 dB hysteresis.
+    decision = adapter.evaluate(1, 3.5)
+    assert decision.bits_per_chirp == 1
+    # With comfortable margin the step up happens.
+    decision = adapter.evaluate(1, 6.5)
+    assert decision.bits_per_chirp >= 2
+
+
+def test_command_for_only_on_change():
+    adapter = RateAdapter()
+    command = adapter.command_for(3, 9.0)
+    assert command is not None
+    assert command.command is CommandType.RATE_CHANGE
+    assert command.target_tag_id == 3
+    assert adapter.command_for(3, 9.0) is None
+
+
+def test_independent_tags():
+    adapter = RateAdapter()
+    adapter.evaluate(1, 12.0)
+    assert adapter.current_bits(2) == adapter.min_bits
+
+
+def test_validation():
+    with pytest.raises(ProtocolError):
+        RateAdapter(margin_steps_db=0.0)
+    with pytest.raises(ProtocolError):
+        RateAdapter(hysteresis_db=-1.0)
+    with pytest.raises(Exception):
+        RateAdapter(min_bits=3, max_bits=2)
+    with pytest.raises(Exception):
+        RateAdapter().evaluate(300, 3.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the ARQ tracker and retransmission policy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.net.packets import UplinkPacket
+from repro.net.retransmission import ArqTracker, RetransmissionPolicy
+
+
+def _packet(tag=1, seq=0):
+    return UplinkPacket(tag_id=tag, sequence=seq, payload_bits=np.zeros(4, dtype=int))
+
+
+def test_policy_bounds():
+    assert RetransmissionPolicy(max_retransmissions=0).max_retransmissions == 0
+    with pytest.raises(Exception):
+        RetransmissionPolicy(max_retransmissions=-1)
+    with pytest.raises(Exception):
+        RetransmissionPolicy(max_retransmissions=17)
+
+
+def test_tracker_counts_delivered_and_lost():
+    tracker = ArqTracker()
+    tracker.register_transmission(_packet(seq=0), received=True)
+    tracker.register_transmission(_packet(seq=1), received=False)
+    assert tracker.total_packets == 2
+    assert tracker.delivered_packets == 1
+    assert tracker.packet_reception_ratio() == pytest.approx(0.5)
+
+
+def test_needs_retransmission_only_for_lost_packets():
+    tracker = ArqTracker()
+    tracker.register_transmission(_packet(seq=0), received=True)
+    tracker.register_transmission(_packet(seq=1), received=False)
+    assert not tracker.needs_retransmission((1, 0))
+    assert tracker.needs_retransmission((1, 1))
+    assert not tracker.needs_retransmission((1, 99))
+
+
+def test_retransmission_budget_is_enforced():
+    tracker = ArqTracker(policy=RetransmissionPolicy(max_retransmissions=2))
+    tracker.register_transmission(_packet(seq=0), received=False)
+    tracker.record_request((1, 0))
+    tracker.record_request((1, 0))
+    assert not tracker.needs_retransmission((1, 0))
+    with pytest.raises(ProtocolError):
+        tracker.record_request((1, 0))
+
+
+def test_record_request_requires_registration():
+    tracker = ArqTracker()
+    with pytest.raises(ProtocolError):
+        tracker.record_request((1, 5))
+
+
+def test_late_delivery_counts_once():
+    tracker = ArqTracker()
+    tracker.register_transmission(_packet(seq=0), received=False)
+    tracker.register_transmission(_packet(seq=0), received=True)
+    assert tracker.total_packets == 1
+    assert tracker.delivered_packets == 1
+    assert tracker.total_transmissions == 2
+
+
+def test_pending_keys_lists_only_retryable_losses():
+    tracker = ArqTracker(policy=RetransmissionPolicy(max_retransmissions=1))
+    tracker.register_transmission(_packet(seq=0), received=False)
+    tracker.register_transmission(_packet(seq=1), received=True)
+    tracker.register_transmission(_packet(tag=2, seq=0), received=False)
+    assert set(tracker.pending_keys()) == {(1, 0), (2, 0)}
+    tracker.record_request((1, 0))
+    assert set(tracker.pending_keys()) == {(2, 0)}
+
+
+def test_zero_budget_disables_arq():
+    tracker = ArqTracker(policy=RetransmissionPolicy(max_retransmissions=0))
+    tracker.register_transmission(_packet(seq=0), received=False)
+    assert not tracker.needs_retransmission((1, 0))
+
+
+def test_register_rejects_non_packet():
+    with pytest.raises(ProtocolError):
+        ArqTracker().register_transmission("packet", received=True)
+
+
+def test_empty_tracker_prr_is_zero():
+    assert ArqTracker().packet_reception_ratio() == 0.0

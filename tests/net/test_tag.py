@@ -1,0 +1,131 @@
+"""Unit tests for the backscatter tag."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.net.packets import CommandType, DownlinkCommand
+from repro.net.tag import BackscatterTag
+
+
+@pytest.fixture
+def tag(saiyan_config):
+    return BackscatterTag(1, config=saiyan_config, payload_bits_per_packet=32)
+
+
+def test_tag_generates_sequential_packets(tag, rng):
+    first = tag.next_packet(random_state=rng)
+    second = tag.next_packet(random_state=rng)
+    assert first.sequence == 0
+    assert second.sequence == 1
+    assert first.payload_bits.size == 32
+    assert tag.state.transmissions == 2
+
+
+def test_tag_can_hear_depends_on_mode(downlink):
+    super_tag = BackscatterTag(1, config=SaiyanConfig(downlink=downlink,
+                                                      mode=SaiyanMode.SUPER))
+    vanilla_tag = BackscatterTag(2, config=SaiyanConfig(downlink=downlink,
+                                                        mode=SaiyanMode.VANILLA))
+    # A weak downlink only the full pipeline can hear.
+    weak_rss = -80.0
+    assert super_tag.can_hear(weak_rss)
+    assert not vanilla_tag.can_hear(weak_rss)
+
+
+def test_retransmit_command_returns_buffered_packet(tag, rng):
+    packet = tag.next_packet(random_state=rng)
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                              argument=packet.sequence)
+    reply = tag.handle_command(command, rss_dbm=-60.0)
+    assert reply is not None
+    assert reply.sequence == packet.sequence
+    assert reply.is_retransmission
+    np.testing.assert_array_equal(reply.payload_bits, packet.payload_bits)
+    assert tag.state.retransmissions == 1
+
+
+def test_retransmit_unknown_sequence_is_ignored(tag):
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1, argument=99)
+    assert tag.handle_command(command, rss_dbm=-60.0) is None
+    assert tag.state.commands_ignored == 1
+
+
+def test_retransmit_matches_sequence_modulo_256(tag, rng):
+    for _ in range(260):
+        packet = tag.next_packet(random_state=rng)
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                              argument=packet.sequence % 256)
+    reply = tag.handle_command(command, rss_dbm=-60.0)
+    assert reply is not None
+    assert reply.sequence == packet.sequence
+
+
+def test_command_below_sensitivity_is_ignored(tag, rng):
+    packet = tag.next_packet(random_state=rng)
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                              argument=packet.sequence)
+    assert tag.handle_command(command, rss_dbm=-120.0) is None
+    assert tag.state.commands_ignored == 1
+
+
+def test_command_for_other_tag_is_ignored_silently(tag):
+    command = DownlinkCommand(command=CommandType.SENSOR_OFF, target_tag_id=42)
+    assert tag.handle_command(command, rss_dbm=-60.0) is None
+    assert tag.state.commands_received == 0
+    assert tag.state.commands_ignored == 0
+
+
+def test_corrupted_command_is_ignored(tag):
+    assert tag.handle_command(None, rss_dbm=-60.0) is None
+    assert tag.state.commands_ignored == 1
+
+
+def test_channel_hop_command_changes_channel(tag):
+    command = DownlinkCommand(command=CommandType.CHANNEL_HOP, target_tag_id=1, argument=2)
+    ack = tag.handle_command(command, rss_dbm=-60.0)
+    assert ack is not None
+    assert tag.state.channel_hz == pytest.approx(433.5e6 + 2 * 500e3)
+
+
+def test_rate_change_command_updates_bits_per_chirp(tag):
+    command = DownlinkCommand(command=CommandType.RATE_CHANGE, target_tag_id=1, argument=5)
+    tag.handle_command(command, rss_dbm=-60.0)
+    assert tag.state.bits_per_chirp == 5
+
+
+def test_rate_change_out_of_range_is_ignored(tag):
+    command = DownlinkCommand(command=CommandType.RATE_CHANGE, target_tag_id=1, argument=9)
+    tag.handle_command(command, rss_dbm=-60.0)
+    assert tag.state.bits_per_chirp == 2
+
+
+def test_sensor_commands_toggle_state(tag):
+    tag.handle_command(DownlinkCommand(command=CommandType.SENSOR_OFF, target_tag_id=1),
+                       rss_dbm=-60.0)
+    assert not tag.state.sensors_on
+    tag.handle_command(DownlinkCommand(command=CommandType.SENSOR_ON, target_tag_id=1),
+                       rss_dbm=-60.0)
+    assert tag.state.sensors_on
+
+
+def test_slot_selection_within_bounds(tag):
+    slots = {tag.select_slot(8, random_state=i) for i in range(40)}
+    assert min(slots) >= 0
+    assert max(slots) < 8
+    assert len(slots) > 1
+
+
+def test_buffer_management(tag, rng):
+    for _ in range(5):
+        tag.next_packet(random_state=rng)
+    assert tag.buffered_sequences() == [0, 1, 2, 3, 4]
+    tag.drop_before(3)
+    assert tag.buffered_sequences() == [3, 4]
+
+
+def test_tag_id_validation(saiyan_config):
+    with pytest.raises(Exception):
+        BackscatterTag(255, config=saiyan_config)
+    with pytest.raises(Exception):
+        BackscatterTag(-1, config=saiyan_config)

@@ -1,0 +1,95 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.events import EventScheduler
+
+
+def test_events_execute_in_time_order():
+    scheduler = EventScheduler()
+    order = []
+    scheduler.schedule(2.0, lambda: order.append("b"))
+    scheduler.schedule(1.0, lambda: order.append("a"))
+    scheduler.schedule(3.0, lambda: order.append("c"))
+    scheduler.run()
+    assert order == ["a", "b", "c"]
+    assert scheduler.now == pytest.approx(3.0)
+    assert scheduler.processed == 3
+
+
+def test_ties_break_by_insertion_order():
+    scheduler = EventScheduler()
+    order = []
+    scheduler.schedule(1.0, lambda: order.append(1))
+    scheduler.schedule(1.0, lambda: order.append(2))
+    scheduler.run()
+    assert order == [1, 2]
+
+
+def test_schedule_at_absolute_time():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule_at(5.0, lambda: fired.append(scheduler.now))
+    scheduler.run()
+    assert fired == [5.0]
+
+
+def test_cancelled_events_are_skipped():
+    scheduler = EventScheduler()
+    fired = []
+    event = scheduler.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    scheduler.run()
+    assert fired == []
+    assert scheduler.processed == 0
+
+
+def test_run_until_horizon_stops_early():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(1.0, lambda: fired.append(1))
+    scheduler.schedule(10.0, lambda: fired.append(2))
+    scheduler.run(until=5.0)
+    assert fired == [1]
+    assert scheduler.now == pytest.approx(5.0)
+    assert scheduler.pending == 1
+
+
+def test_run_max_events_limit():
+    scheduler = EventScheduler()
+    counter = []
+    for i in range(5):
+        scheduler.schedule(float(i), lambda i=i: counter.append(i))
+    scheduler.run(max_events=2)
+    assert counter == [0, 1]
+
+
+def test_events_can_schedule_more_events():
+    scheduler = EventScheduler()
+    fired = []
+
+    def first():
+        fired.append("first")
+        scheduler.schedule(1.0, lambda: fired.append("second"))
+
+    scheduler.schedule(1.0, first)
+    scheduler.run()
+    assert fired == ["first", "second"]
+    assert scheduler.now == pytest.approx(2.0)
+
+
+def test_step_returns_false_when_empty():
+    assert not EventScheduler().step()
+
+
+def test_validation():
+    scheduler = EventScheduler()
+    with pytest.raises(ConfigurationError):
+        scheduler.schedule(-1.0, lambda: None)
+    with pytest.raises(ConfigurationError):
+        scheduler.schedule(1.0, "not callable")
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(ConfigurationError):
+        scheduler.schedule_at(0.5, lambda: None)

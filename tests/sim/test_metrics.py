@@ -1,0 +1,81 @@
+"""Unit tests for the evaluation metrics and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import (
+    SeriesResult,
+    SweepResult,
+    bit_error_rate,
+    packet_reception_ratio,
+    throughput_bps,
+)
+
+
+def test_bit_error_rate_basic():
+    assert bit_error_rate([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.25)
+    assert bit_error_rate([0, 1], [0, 1]) == 0.0
+    assert bit_error_rate([], []) == 0.0
+
+
+def test_bit_error_rate_rejects_length_mismatch():
+    with pytest.raises(ConfigurationError):
+        bit_error_rate([0, 1], [0])
+
+
+def test_packet_reception_ratio():
+    assert packet_reception_ratio(8, 10) == pytest.approx(0.8)
+    assert packet_reception_ratio(0, 0) == 0.0
+    with pytest.raises(ConfigurationError):
+        packet_reception_ratio(5, 4)
+    with pytest.raises(ConfigurationError):
+        packet_reception_ratio(-1, 4)
+
+
+def test_throughput_discounts_ber_and_detection():
+    assert throughput_bps(1000.0, 0.0) == pytest.approx(1000.0)
+    assert throughput_bps(1000.0, 0.1) == pytest.approx(900.0)
+    assert throughput_bps(1000.0, 0.0, detection_probability=0.5) == pytest.approx(500.0)
+    with pytest.raises(ConfigurationError):
+        throughput_bps(1000.0, 1.5)
+
+
+def test_series_result_validation_and_lookup():
+    series = SeriesResult.from_arrays("ber", [1, 2, 3], [0.1, 0.2, 0.3],
+                                      x_label="K", y_label="BER")
+    assert series.y_at(2) == pytest.approx(0.2)
+    assert series.y_at(2.4) == pytest.approx(0.2)
+    assert series.y_max == pytest.approx(0.3)
+    assert series.y_min == pytest.approx(0.1)
+    with pytest.raises(ConfigurationError):
+        SeriesResult(name="bad", x=(1, 2), y=(1,))
+
+
+def test_sweep_result_series_management():
+    sweep = SweepResult(title="demo")
+    sweep.add_series(SeriesResult.from_arrays("a", [1], [2]))
+    sweep.add_scalar("total", 5.0)
+    assert sweep.get_series("a").y_at(1) == 2.0
+    assert sweep.series_names == ["a"]
+    assert sweep.scalars["total"] == 5.0
+    with pytest.raises(ConfigurationError):
+        sweep.get_series("missing")
+
+
+def test_reporting_helpers_render_text():
+    from repro.sim.reporting import format_series, format_sweep, format_table
+
+    series = SeriesResult.from_arrays("ber", [1, 2], [0.1, 0.2], x_label="K", y_label="BER")
+    assert "ber" in format_series(series)
+    table = format_table(["a", "b"], [[1, 2.5], ["x", 3]])
+    assert "a" in table and "x" in table
+    sweep = SweepResult(title="demo", notes="note")
+    sweep.add_series(series)
+    sweep.add_scalar("v", 1.0)
+    rendered = format_sweep(sweep)
+    assert "demo" in rendered and "note" in rendered
+    with pytest.raises(ConfigurationError):
+        format_table(["a"], [[1, 2]])
+    with pytest.raises(ConfigurationError):
+        format_series("not a series")

@@ -1,0 +1,113 @@
+"""Unit tests for the feedback-loop network simulator."""
+
+import pytest
+
+from repro.channel.interference import InterferenceEnvironment, Jammer
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.exceptions import ConfigurationError
+from repro.net.channel_hopping import ChannelHopController, ChannelPlan
+from repro.sim.network import FeedbackNetworkSimulator
+
+
+def _simulator(uplink_probability=0.8, downlink_rss=-70.0, mode=SaiyanMode.SUPER):
+    return FeedbackNetworkSimulator(
+        uplink_success_probability=lambda tag, channel: uplink_probability,
+        downlink_rss_dbm=lambda tag: downlink_rss,
+        config=SaiyanConfig(mode=mode),
+    )
+
+
+def test_no_retransmission_prr_matches_uplink_probability():
+    simulator = _simulator(uplink_probability=0.7)
+    result = simulator.run_retransmission_experiment(num_packets=2000,
+                                                     max_retransmissions=0,
+                                                     random_state=1)
+    assert result.prr == pytest.approx(0.7, abs=0.04)
+    assert result.feedback_heard == 0
+
+
+def test_retransmissions_lift_prr_towards_one():
+    simulator = _simulator(uplink_probability=0.5)
+    single = simulator.run_retransmission_experiment(num_packets=1500,
+                                                     max_retransmissions=1,
+                                                     random_state=2)
+    triple = simulator.run_retransmission_experiment(num_packets=1500,
+                                                     max_retransmissions=3,
+                                                     random_state=2)
+    assert single.prr == pytest.approx(0.75, abs=0.05)
+    assert triple.prr == pytest.approx(1 - 0.5**4, abs=0.05)
+    assert triple.total_transmissions > single.total_transmissions
+
+
+def test_unheard_feedback_disables_arq():
+    # Downlink far below even the Super Saiyan sensitivity: the tag never
+    # hears the retransmission requests, so the PRR stays at the single-shot
+    # value -- exactly the situation of a tag without Saiyan.
+    simulator = _simulator(uplink_probability=0.5, downlink_rss=-120.0)
+    result = simulator.run_retransmission_experiment(num_packets=1000,
+                                                     max_retransmissions=3,
+                                                     random_state=3)
+    assert result.prr == pytest.approx(0.5, abs=0.05)
+    assert result.feedback_heard == 0
+    assert result.feedback_missed > 0
+
+
+def test_vanilla_mode_needs_stronger_downlink():
+    strong = _simulator(uplink_probability=0.5, downlink_rss=-60.0,
+                        mode=SaiyanMode.VANILLA)
+    weak = _simulator(uplink_probability=0.5, downlink_rss=-75.0,
+                      mode=SaiyanMode.VANILLA)
+    prr_strong = strong.run_retransmission_experiment(num_packets=800,
+                                                      max_retransmissions=2,
+                                                      random_state=4).prr
+    prr_weak = weak.run_retransmission_experiment(num_packets=800,
+                                                  max_retransmissions=2,
+                                                  random_state=4).prr
+    assert prr_strong > prr_weak + 0.2
+
+
+def test_mean_transmissions_per_packet_reflects_arq():
+    simulator = _simulator(uplink_probability=0.5)
+    result = simulator.run_retransmission_experiment(num_packets=1000,
+                                                     max_retransmissions=3,
+                                                     random_state=5)
+    assert 1.5 < result.mean_transmissions_per_packet < 2.2
+
+
+def test_invalid_uplink_probability_raises():
+    simulator = _simulator(uplink_probability=1.4)
+    with pytest.raises(ConfigurationError):
+        simulator.run_retransmission_experiment(num_packets=10, random_state=0)
+
+
+def test_channel_hopping_experiment_switches_channel():
+    plan = ChannelPlan()
+    interference = InterferenceEnvironment()
+    interference.add(Jammer(frequency_hz=433.5e6, power_dbm=20.0, bandwidth_hz=600e3,
+                            distance_m=3.0))
+    controller = ChannelHopController(plan=plan, interference=interference,
+                                      interference_threshold_dbm=-80.0)
+
+    def uplink_probability(tag, channel_index):
+        return 0.45 if channel_index == 0 else 0.92
+
+    simulator = FeedbackNetworkSimulator(
+        uplink_success_probability=uplink_probability,
+        downlink_rss_dbm=lambda tag: -70.0,
+        config=SaiyanConfig(mode=SaiyanMode.SUPER),
+    )
+    windows = simulator.run_channel_hopping_experiment(
+        hop_controller=controller, num_windows=30, packets_per_window=20,
+        hop_after_window=10, random_state=6)
+    jammed = [w.prr for w in windows if w.channel_index == 0]
+    clean = [w.prr for w in windows if w.channel_index != 0]
+    assert jammed and clean
+    assert sum(clean) / len(clean) > sum(jammed) / len(jammed) + 0.2
+    values, fractions = FeedbackNetworkSimulator.prr_cdf(windows)
+    assert values.size == len(windows)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_prr_cdf_requires_windows():
+    with pytest.raises(ConfigurationError):
+        FeedbackNetworkSimulator.prr_cdf([])

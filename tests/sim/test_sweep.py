@@ -1,0 +1,33 @@
+"""Unit tests for the sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.sweep import sweep_1d, sweep_2d
+
+
+def test_sweep_1d_evaluates_in_order():
+    values, results = sweep_1d([1, 2, 3], lambda x: x * 10.0)
+    assert values == [1, 2, 3]
+    np.testing.assert_allclose(results, [10.0, 20.0, 30.0])
+
+
+def test_sweep_1d_validation():
+    with pytest.raises(ConfigurationError):
+        sweep_1d([], lambda x: x)
+    with pytest.raises(ConfigurationError):
+        sweep_1d([1], "not callable")
+
+
+def test_sweep_2d_shape_and_values():
+    grid = sweep_2d([1, 2], [10, 20, 30], lambda r, c: r * c)
+    assert grid.shape == (2, 3)
+    np.testing.assert_allclose(grid, [[10, 20, 30], [20, 40, 60]])
+
+
+def test_sweep_2d_validation():
+    with pytest.raises(ConfigurationError):
+        sweep_2d([], [1], lambda r, c: 0)
+    with pytest.raises(ConfigurationError):
+        sweep_2d([1], [1], None)

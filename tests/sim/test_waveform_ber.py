@@ -1,0 +1,53 @@
+"""Unit tests for the waveform-level Monte-Carlo error measurement."""
+
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.exceptions import ConfigurationError
+from repro.lora.parameters import DownlinkParameters
+from repro.sim.waveform_ber import compare_modes, measure_symbol_errors, snr_sweep
+
+
+@pytest.fixture
+def config(downlink):
+    return SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER)
+
+
+def test_high_snr_is_error_free(config):
+    point = measure_symbol_errors(config, 30.0, num_symbols=24, random_state=0)
+    assert point.symbols == 24
+    assert point.symbol_errors == 0
+    assert point.bit_error_rate == 0.0
+
+
+def test_very_low_snr_produces_errors(config):
+    point = measure_symbol_errors(config, -15.0, num_symbols=24, random_state=1)
+    assert point.symbol_errors > 0
+    assert 0.0 < point.symbol_error_rate <= 1.0
+    assert point.bit_errors <= point.symbol_errors * config.downlink.bits_per_chirp
+
+
+def test_error_rate_decreases_with_snr(config):
+    sweep = snr_sweep(config, [-12.0, 20.0], num_symbols=32, random_state=2)
+    assert sweep[0].symbol_error_rate >= sweep[1].symbol_error_rate
+    assert sweep[1].symbol_error_rate == 0.0
+
+
+def test_super_mode_at_least_as_good_as_vanilla(downlink):
+    results = compare_modes(downlink, 3.0, num_symbols=32, random_state=3)
+    assert (results[SaiyanMode.SUPER].symbol_error_rate
+            <= results[SaiyanMode.VANILLA].symbol_error_rate)
+
+
+def test_point_counters_are_consistent(config):
+    point = measure_symbol_errors(config, 0.0, num_symbols=20, random_state=4)
+    assert point.bits == 20 * config.downlink.bits_per_chirp
+    assert 0 <= point.bit_errors <= point.bits
+    assert 0 <= point.symbol_errors <= point.symbols
+
+
+def test_validation(downlink):
+    with pytest.raises(ConfigurationError):
+        measure_symbol_errors("not a config", 10.0)
+    with pytest.raises(Exception):
+        measure_symbol_errors(SaiyanConfig(downlink=downlink), 10.0, num_symbols=0)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_experiments_list(capsys):
+    assert main(["experiments", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig21" in out and "tab2" in out
+
+
+def test_experiments_single_artefact(capsys):
+    assert main(["experiments", "--only", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "span_500khz_db" in out
+
+
+def test_experiments_unknown_artefact(capsys):
+    assert main(["experiments", "--only", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown artefact" in err
+
+
+def test_power_asic(capsys):
+    assert main(["power", "--implementation", "asic"]) == 0
+    out = capsys.readouterr().out
+    assert "ASIC" in out
+    assert "lna" in out
+    assert "energy per" in out
+
+
+def test_power_pcb_custom_duty_cycle(capsys):
+    assert main(["power", "--implementation", "pcb", "--duty-cycle", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "PCB" in out
+    assert "2.0%" in out
+
+
+def test_range_outdoor(capsys):
+    assert main(["range", "--environment", "outdoor"]) == 0
+    out = capsys.readouterr().out
+    assert "saiyan-super" in out
+    assert "plora" in out
+    assert "outdoor" in out
+
+
+def test_range_indoor_two_walls(capsys):
+    assert main(["range", "--environment", "indoor", "--walls", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "indoor-2wall" in out
+
+
+def test_range_custom_downlink(capsys):
+    assert main(["range", "--bits", "1", "--bandwidth-khz", "125"]) == 0
+    out = capsys.readouterr().out
+    assert "K=1" in out
+    assert "125" in out
+
+
+def test_missing_command_is_an_error():
+    with pytest.raises(SystemExit):
+        main([])

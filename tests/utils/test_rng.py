@@ -1,0 +1,43 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import as_rng, spawn_child
+
+
+def test_as_rng_none_returns_generator():
+    assert isinstance(as_rng(None), np.random.Generator)
+
+
+def test_as_rng_seed_is_reproducible():
+    a = as_rng(42).integers(0, 1000, size=10)
+    b = as_rng(42).integers(0, 1000, size=10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_rng_different_seeds_differ():
+    a = as_rng(1).integers(0, 1_000_000, size=10)
+    b = as_rng(2).integers(0, 1_000_000, size=10)
+    assert not np.array_equal(a, b)
+
+
+def test_as_rng_passes_through_generator():
+    generator = np.random.default_rng(7)
+    assert as_rng(generator) is generator
+
+
+def test_spawn_child_produces_independent_streams():
+    parent_a = np.random.default_rng(3)
+    parent_b = np.random.default_rng(3)
+    child_a = spawn_child(parent_a, 0)
+    child_b = spawn_child(parent_b, 1)
+    values_a = child_a.integers(0, 1_000_000, size=20)
+    values_b = child_b.integers(0, 1_000_000, size=20)
+    assert not np.array_equal(values_a, values_b)
+
+
+def test_spawn_child_reproducible_for_same_index():
+    child1 = spawn_child(np.random.default_rng(9), 4)
+    child2 = spawn_child(np.random.default_rng(9), 4)
+    np.testing.assert_array_equal(child1.integers(0, 100, size=5),
+                                  child2.integers(0, 100, size=5))

@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import units
+
+
+def test_db_to_linear_zero_db_is_unity():
+    assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+
+def test_db_to_linear_ten_db_is_ten():
+    assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+
+def test_linear_to_db_inverse_of_db_to_linear():
+    for value in (0.01, 0.5, 1.0, 2.0, 100.0):
+        assert units.linear_to_db(units.db_to_linear(value)) == pytest.approx(value)
+
+
+def test_linear_to_db_of_zero_is_negative_infinity():
+    assert np.isneginf(units.linear_to_db(0.0))
+
+
+def test_dbm_to_watts_zero_dbm_is_one_milliwatt():
+    assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+
+def test_dbm_to_watts_thirty_dbm_is_one_watt():
+    assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+
+def test_watts_to_dbm_round_trip():
+    for dbm in (-120.0, -85.8, 0.0, 20.0):
+        assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+
+def test_dbm_to_volts_uses_50_ohm_reference():
+    # 0 dBm into 50 ohms is 223.6 mV RMS.
+    assert units.dbm_to_volts(0.0) == pytest.approx(0.2236, rel=1e-3)
+
+
+def test_volts_to_dbm_round_trip():
+    for dbm in (-60.0, -20.0, 0.0, 10.0):
+        assert units.volts_to_dbm(units.dbm_to_volts(dbm)) == pytest.approx(dbm)
+
+
+def test_power_amplitude_round_trip():
+    assert units.amplitude_to_power(units.power_to_amplitude(4.0)) == pytest.approx(4.0)
+
+
+def test_hz_mhz_round_trip():
+    assert units.mhz_to_hz(units.hz_to_mhz(433.5e6)) == pytest.approx(433.5e6)
+
+
+def test_seconds_microseconds_round_trip():
+    assert units.us_to_seconds(units.seconds_to_us(0.000256)) == pytest.approx(0.000256)
+
+
+def test_wavelength_at_433mhz_is_about_69cm():
+    assert units.wavelength(433.5e6) == pytest.approx(0.6916, rel=1e-3)
+
+
+def test_vectorised_conversions_accept_arrays():
+    values = np.array([-10.0, 0.0, 10.0])
+    linear = units.db_to_linear(values)
+    assert linear.shape == values.shape
+    np.testing.assert_allclose(units.linear_to_db(linear), values)
+
+
+@given(st.floats(min_value=-150.0, max_value=50.0))
+def test_dbm_watt_round_trip_property(dbm):
+    assert float(units.watts_to_dbm(units.dbm_to_watts(dbm))) == pytest.approx(dbm, abs=1e-9)
+
+
+@given(st.floats(min_value=1e-12, max_value=1e6))
+def test_db_linear_round_trip_property(linear):
+    assert float(units.db_to_linear(units.linear_to_db(linear))) == pytest.approx(
+        linear, rel=1e-9)

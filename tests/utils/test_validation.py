@@ -1,0 +1,101 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils import validation
+
+
+def test_ensure_positive_accepts_positive_values():
+    assert validation.ensure_positive(3.5, "x") == 3.5
+
+
+def test_ensure_positive_rejects_zero():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_positive(0.0, "x")
+
+
+def test_ensure_positive_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_positive(-1, "x")
+
+
+def test_ensure_positive_rejects_bool():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_positive(True, "x")
+
+
+def test_ensure_positive_rejects_non_number():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_positive("nope", "x")
+
+
+def test_ensure_non_negative_accepts_zero():
+    assert validation.ensure_non_negative(0, "x") == 0.0
+
+
+def test_ensure_non_negative_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_non_negative(-0.1, "x")
+
+
+def test_ensure_in_range_inclusive_bounds():
+    assert validation.ensure_in_range(1.0, "x", 0.0, 1.0) == 1.0
+    assert validation.ensure_in_range(0.0, "x", 0.0, 1.0) == 0.0
+
+
+def test_ensure_in_range_exclusive_bounds_reject_edges():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+    with pytest.raises(ConfigurationError):
+        validation.ensure_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+
+def test_ensure_in_range_rejects_outside():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_in_range(2.0, "x", 0.0, 1.0)
+
+
+def test_ensure_probability_accepts_half():
+    assert validation.ensure_probability(0.5, "p") == 0.5
+
+
+def test_ensure_probability_rejects_above_one():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_probability(1.5, "p")
+
+
+def test_ensure_one_of_accepts_member():
+    assert validation.ensure_one_of("a", "x", ["a", "b"]) == "a"
+
+
+def test_ensure_one_of_rejects_non_member():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_one_of("c", "x", ["a", "b"])
+
+
+def test_ensure_integer_accepts_int():
+    assert validation.ensure_integer(5, "n") == 5
+
+
+def test_ensure_integer_rejects_float():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_integer(5.0, "n")
+
+
+def test_ensure_integer_rejects_bool():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_integer(True, "n")
+
+
+def test_ensure_integer_enforces_bounds():
+    with pytest.raises(ConfigurationError):
+        validation.ensure_integer(3, "n", minimum=4)
+    with pytest.raises(ConfigurationError):
+        validation.ensure_integer(7, "n", maximum=6)
+    assert validation.ensure_integer(5, "n", minimum=5, maximum=5) == 5
+
+
+def test_error_messages_mention_parameter_name():
+    with pytest.raises(ConfigurationError, match="my_param"):
+        validation.ensure_positive(-1, "my_param")
