@@ -1,0 +1,45 @@
+"""Regenerate the golden-figure fixtures under ``tests/golden/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/regenerate_golden.py
+
+One JSON fixture is written per artefact of ``run_all(fast=True)`` (the
+serialised :class:`~repro.sim.metrics.SweepResult`).  The regression test
+``tests/sim/test_golden_figures.py`` re-runs every driver and asserts the
+produced arrays match these fixtures within 1e-9, so the figures stay
+pinned while the hot paths underneath them are rewritten.
+
+Only rerun this script when a figure is *supposed* to change (a calibration
+fix, a new paper artefact); commit the refreshed fixtures together with the
+change that caused them and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.experiments import run_all  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    results = run_all(fast=True)
+    for artefact, result in sorted(results.items()):
+        path = GOLDEN_DIR / f"{artefact}.json"
+        path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(REPO_ROOT)} "
+              f"({len(result.series)} series, {len(result.scalars)} scalars)")
+    print(f"{len(results)} fixtures regenerated under {GOLDEN_DIR.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

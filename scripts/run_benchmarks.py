@@ -1,0 +1,166 @@
+"""Timing harness for the batch simulation engine.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py [--output BENCH_batch.json]
+                                                    [--packets 100000]
+
+Two sections are measured and written to ``BENCH_batch.json``:
+
+* ``figures`` — wall clock of every figure/table driver on the batch path
+  (one :class:`~repro.sim.batch.BatchRunner` pass, manifests included);
+* ``engines`` — scalar-vs-batch head-to-heads on the Monte-Carlo hot paths
+  (link-level packet simulation at 100k packets, ARQ retransmission,
+  channel hopping), asserting that both engines produce identical results
+  before reporting the speedup.
+
+Future PRs rerun this script to track the performance trajectory; the
+committed ``BENCH_batch.json`` is the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.channel.environment import outdoor_environment  # noqa: E402
+from repro.channel.fading import RicianFading  # noqa: E402
+from repro.channel.interference import InterferenceEnvironment, Jammer  # noqa: E402
+from repro.core.config import SaiyanConfig, SaiyanMode  # noqa: E402
+from repro.lora.parameters import DownlinkParameters  # noqa: E402
+from repro.net.channel_hopping import ChannelHopController, ChannelPlan  # noqa: E402
+from repro.sim.batch import BatchRunner, simulate_link_packets  # noqa: E402
+from repro.sim.link_sim import SaiyanLinkModel  # noqa: E402
+from repro.sim.network import FeedbackNetworkSimulator  # noqa: E402
+
+
+def _time(func) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def _engine_head_to_head(name: str, run) -> dict:
+    scalar_s, scalar_result = _time(lambda: run("scalar"))
+    batch_s, batch_result = _time(lambda: run("batch"))
+    if scalar_result != batch_result:
+        raise AssertionError(f"{name}: scalar and batch engines disagree "
+                             f"({scalar_result!r} vs {batch_result!r})")
+    speedup = scalar_s / batch_s if batch_s > 0 else float("inf")
+    print(f"  {name:<28} scalar {scalar_s * 1e3:9.1f} ms   "
+          f"batch {batch_s * 1e3:8.1f} ms   speedup {speedup:6.1f}x")
+    return {"scalar_s": scalar_s, "batch_s": batch_s, "speedup": speedup,
+            "engines_agree": True}
+
+
+def benchmark_engines(num_packets: int) -> dict:
+    """Scalar-vs-batch wall clock on the Monte-Carlo hot paths."""
+    print(f"engine head-to-heads ({num_packets} packets):")
+    engines: dict[str, dict] = {}
+
+    downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3,
+                                  bits_per_chirp=2)
+    model = SaiyanLinkModel(
+        config=SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER),
+        link=outdoor_environment(fading=RicianFading(k_factor_db=9.0)).link_budget())
+
+    def run_link(engine: str):
+        result = simulate_link_packets(model, 130.0, num_packets,
+                                       random_state=42, engine=engine)
+        return (result.detected, result.delivered, result.bit_errors)
+
+    engines[f"link_monte_carlo_{num_packets}"] = _engine_head_to_head(
+        "link Monte-Carlo", run_link)
+
+    config = SaiyanConfig(downlink=downlink, mode=SaiyanMode.SUPER)
+
+    def run_retransmission(engine: str):
+        simulator = FeedbackNetworkSimulator(
+            uplink_success_probability=lambda tag, channel: 0.456,
+            downlink_rss_dbm=lambda tag: -60.0,
+            config=config)
+        return simulator.run_retransmission_experiment(
+            num_packets=num_packets // 5, max_retransmissions=3,
+            random_state=26, engine=engine)
+
+    engines[f"retransmission_{num_packets // 5}"] = _engine_head_to_head(
+        "ARQ retransmission", run_retransmission)
+
+    def run_hopping(engine: str):
+        interference = InterferenceEnvironment()
+        interference.add(Jammer(frequency_hz=433.5e6, power_dbm=20.0,
+                                bandwidth_hz=1.2e6, distance_m=3.0))
+        controller = ChannelHopController(
+            plan=ChannelPlan(base_frequency_hz=433.5e6, spacing_hz=500e3,
+                             num_channels=4),
+            interference=interference, interference_threshold_dbm=-80.0)
+        simulator = FeedbackNetworkSimulator(
+            uplink_success_probability=lambda tag, channel: 0.9,
+            downlink_rss_dbm=lambda tag: -60.0,
+            config=config)
+        windows = simulator.run_channel_hopping_experiment(
+            hop_controller=controller, num_windows=50,
+            packets_per_window=num_packets // 100, hop_after_window=25,
+            random_state=27, engine=engine)
+        return [(w.window_index, w.channel_index, w.jammed, w.prr)
+                for w in windows]
+
+    engines[f"channel_hopping_50x{num_packets // 100}"] = _engine_head_to_head(
+        "channel hopping", run_hopping)
+    return engines
+
+
+def benchmark_figures() -> dict:
+    """Wall clock of every figure driver on the batch path."""
+    print("figure drivers (batch path):")
+    report = BatchRunner().run()
+    figures = {}
+    for artefact, manifest in report.manifests.items():
+        figures[artefact] = {"batch_s": manifest.wall_clock_s,
+                             "title": manifest.title}
+        print(f"  {artefact:<8} {manifest.wall_clock_s * 1e3:8.1f} ms   "
+              f"{manifest.title}")
+    print(f"  total    {report.total_wall_clock_s() * 1e3:8.1f} ms")
+    return figures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_batch.json"))
+    parser.add_argument("--packets", type=int, default=100_000,
+                        help="packets for the link Monte-Carlo head-to-head")
+    args = parser.parse_args(argv)
+
+    engines = benchmark_engines(args.packets)
+    figures = benchmark_figures()
+    payload = {
+        "engines": engines,
+        "figures": figures,
+        "figures_total_s": sum(entry["batch_s"] for entry in figures.values()),
+        "packets": args.packets,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "platform": platform.platform(),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    link_speedup = engines[f"link_monte_carlo_{args.packets}"]["speedup"]
+    if link_speedup < 10.0:
+        print(f"WARNING: link Monte-Carlo speedup {link_speedup:.1f}x "
+              f"is below the 10x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

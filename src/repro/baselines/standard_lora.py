@@ -23,6 +23,7 @@ from repro.hardware.adc import ADC
 from repro.lora.demodulation import DemodulationResult, LoRaDemodulator
 from repro.lora.packet import LoRaPacket, PacketStructure
 from repro.lora.parameters import DownlinkParameters, LoRaParameters
+from repro.utils import arrays
 
 #: SNR (dB, in the chirp bandwidth) above which a commodity LoRa receiver
 #: demodulates SF7 essentially error-free.  LoRa's processing gain lets it
@@ -85,18 +86,18 @@ class StandardLoRaReceiver:
         return LORA_SNR_THRESHOLDS_DB[spreading_factor]
 
     @classmethod
-    def symbol_error_probability(cls, snr_db: float, spreading_factor: int) -> float:
+    def symbol_error_probability(cls, snr_db, spreading_factor: int):
         """Approximate symbol error probability of FFT demodulation.
 
         Uses the union bound for non-coherent orthogonal signalling with
         ``2**SF`` hypotheses and the LoRa processing gain ``2**SF``:
         ``P_s ≈ (M-1)/2 * exp(-gamma/2)`` where ``gamma`` is the post-despread
-        SNR, clipped to [0, 1].
+        SNR, clipped to [0, 1].  ``snr_db`` may be a scalar or an array.
         """
         chips = 2 ** spreading_factor
-        gamma = 10.0 ** (snr_db / 10.0) * chips
+        gamma = 10.0 ** (np.asarray(snr_db, dtype=float) / 10.0) * chips
         p = (chips - 1) / 2.0 * np.exp(-gamma / 2.0)
-        return float(np.clip(p, 0.0, 1.0))
+        return arrays.match_scalar(np.clip(p, 0.0, 1.0), snr_db)
 
     def energy_per_packet_uj(self, packet_duration_s: float) -> float:
         """Energy (µJ) the commodity chain spends receiving one packet."""

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.channel.link_budget import LinkBudget, LinkResult
 from repro.constants import DEFAULT_TX_POWER_DBM
 from repro.exceptions import LinkError
+from repro.utils import arrays
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import ensure_non_negative
 
@@ -43,19 +46,29 @@ class BackscatterLink:
     def __post_init__(self) -> None:
         ensure_non_negative(self.backscatter_loss_db, "backscatter_loss_db")
 
-    def received_power_dbm(self, tx_to_tag_m: float, tag_to_rx_m: float, *,
+    def received_power_dbm(self, tx_to_tag_m, tag_to_rx_m, *,
                            random_state: RandomState = None,
-                           include_fading: bool = False) -> float:
-        """Return the receiver's RSS (dBm) for the two-segment geometry."""
-        if tx_to_tag_m <= 0 or tag_to_rx_m <= 0:
+                           include_fading: bool = False):
+        """Return the receiver's RSS (dBm) for the two-segment geometry.
+
+        Both distances may be scalars or broadcast-compatible arrays; with
+        arrays one fading realisation is drawn per element of the broadcast
+        shape for each hop (forward block first, then backward block).
+        """
+        if np.any(np.asarray(tx_to_tag_m) <= 0) or np.any(np.asarray(tag_to_rx_m) <= 0):
             raise LinkError("both link distances must be positive")
         rng = as_rng(random_state)
-        power_at_tag = self.forward.rss_dbm(tx_to_tag_m, random_state=rng,
+        shape = np.broadcast_shapes(np.shape(tx_to_tag_m), np.shape(tag_to_rx_m))
+        forward_distances = np.broadcast_to(arrays.as_float_array(tx_to_tag_m), shape) \
+            if shape else tx_to_tag_m
+        backward_distances = np.broadcast_to(arrays.as_float_array(tag_to_rx_m), shape) \
+            if shape else tag_to_rx_m
+        power_at_tag = self.forward.rss_dbm(forward_distances, random_state=rng,
                                             include_fading=include_fading)
         reflected = power_at_tag - self.backscatter_loss_db
-        backward_loss = self.backward.total_loss_db(tag_to_rx_m, random_state=rng,
+        backward_loss = self.backward.total_loss_db(backward_distances, random_state=rng,
                                                     include_fading=include_fading)
-        return reflected - backward_loss
+        return arrays.match_scalar(reflected - backward_loss, tx_to_tag_m, tag_to_rx_m)
 
     def evaluate(self, tx_to_tag_m: float, tag_to_rx_m: float, bandwidth_hz: float, *,
                  random_state: RandomState = None,

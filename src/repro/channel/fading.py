@@ -23,11 +23,11 @@ class FadingModel(ABC):
     """Interface of a small-scale fading model."""
 
     @abstractmethod
-    def sample_power_gain(self, *, size: int | None = None,
+    def sample_power_gain(self, *, size: int | tuple | None = None,
                           random_state: RandomState = None):
         """Return one (or ``size``) multiplicative power gain realisations."""
 
-    def sample_gain_db(self, *, size: int | None = None,
+    def sample_gain_db(self, *, size: int | tuple | None = None,
                        random_state: RandomState = None):
         """Return fading gain realisations in dB."""
         gain = self.sample_power_gain(size=size, random_state=random_state)
@@ -38,7 +38,7 @@ class FadingModel(ABC):
 class NoFading(FadingModel):
     """Deterministic channel: the power gain is always one."""
 
-    def sample_power_gain(self, *, size: int | None = None,
+    def sample_power_gain(self, *, size: int | tuple | None = None,
                           random_state: RandomState = None):
         if size is None:
             return 1.0
@@ -49,7 +49,7 @@ class NoFading(FadingModel):
 class RayleighFading(FadingModel):
     """Rayleigh fading (no dominant path); power gain is unit-mean exponential."""
 
-    def sample_power_gain(self, *, size: int | None = None,
+    def sample_power_gain(self, *, size: int | tuple | None = None,
                           random_state: RandomState = None):
         rng = as_rng(random_state)
         gain = rng.exponential(1.0, size=size)
@@ -69,16 +69,20 @@ class RicianFading(FadingModel):
     def __post_init__(self) -> None:
         ensure_non_negative(self.k_factor_db + 40.0, "k_factor_db (must be > -40 dB)")
 
-    def sample_power_gain(self, *, size: int | None = None,
+    def sample_power_gain(self, *, size: int | tuple | None = None,
                           random_state: RandomState = None):
         rng = as_rng(random_state)
         k = 10.0 ** (self.k_factor_db / 10.0)
-        n = 1 if size is None else int(size)
+        n = 1 if size is None else int(np.prod(size))
         # Direct path amplitude and scattered (complex Gaussian) component,
-        # normalised so E[|h|^2] = 1.
+        # normalised so E[|h|^2] = 1.  The two normals of realisation i are
+        # drawn as row i of an (n, 2) block so that a batch of n draws
+        # consumes the generator exactly like n sequential draws — the
+        # bit-identity contract of the batch simulation engines.
         direct = np.sqrt(k / (k + 1.0))
         sigma = np.sqrt(1.0 / (2.0 * (k + 1.0)))
-        scattered = sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+        components = rng.standard_normal((n, 2))
+        scattered = sigma * (components[:, 0] + 1j * components[:, 1])
         h = direct + scattered
         gain = np.abs(h) ** 2
-        return float(gain[0]) if size is None else gain
+        return float(gain[0]) if size is None else gain.reshape(size)

@@ -27,6 +27,7 @@ from repro.constants import (
 from repro.dsp.noise import add_awgn, noise_power_dbm
 from repro.dsp.signals import Signal
 from repro.exceptions import LinkError
+from repro.utils import arrays
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.units import dbm_to_watts
 from repro.utils.validation import ensure_non_negative, ensure_positive
@@ -98,36 +99,65 @@ class LinkBudget:
         ensure_non_negative(self.noise_figure_db, "noise_figure_db")
 
     # ------------------------------------------------------------------
-    def total_loss_db(self, distance_m: float, *, random_state: RandomState = None,
-                      include_fading: bool = False) -> float:
+    def total_loss_db(self, distance_m, *, random_state: RandomState = None,
+                      include_fading: bool = False):
         """Return the end-to-end attenuation (dB) at ``distance_m``.
 
         Antenna gains reduce the loss; walls and path loss increase it.  With
-        ``include_fading=True`` one fading realisation is drawn and applied.
+        ``include_fading=True`` one fading realisation is drawn and applied
+        per distance.  ``distance_m`` may be a scalar (float out, historical
+        behaviour) or an array (one loss realisation per element).
         """
-        if distance_m <= 0:
+        distances = arrays.as_float_array(distance_m)
+        if np.any(distances <= 0):
             raise LinkError(f"distance_m must be positive, got {distance_m}")
         rng = as_rng(random_state)
-        loss = self.path_loss.sample_loss_db(distance_m, self.frequency_hz,
-                                             random_state=rng)
-        loss += self.walls.total_loss_db
-        loss -= self.tx_antenna_gain_dbi + self.rx_antenna_gain_dbi
+        size = None if np.ndim(distance_m) == 0 else np.shape(distance_m)
+        loss = (self._deterministic_loss_db(distance_m)
+                + self.path_loss.sample_shadowing_db(size=size, random_state=rng))
         if include_fading:
-            loss -= float(self.fading.sample_gain_db(random_state=rng))
-        return float(loss)
+            loss = loss - self.fading.sample_gain_db(size=size, random_state=rng)
+        return arrays.match_scalar(loss, distance_m)
 
-    def rss_dbm(self, distance_m: float, *, random_state: RandomState = None,
-                include_fading: bool = False) -> float:
+    def rss_dbm(self, distance_m, *, random_state: RandomState = None,
+                include_fading: bool = False):
         """Return the received signal strength (dBm) at ``distance_m``."""
+        # total_loss_db already dispatches float-for-scalar/array-for-array.
         return self.tx_power_dbm - self.total_loss_db(
             distance_m, random_state=random_state, include_fading=include_fading)
+
+    def _deterministic_loss_db(self, distance_m):
+        """Mean path loss plus walls minus antenna gains (no randomness).
+
+        The single composition of the deterministic loss terms, shared by
+        :meth:`total_loss_db` and :meth:`mean_rss_dbm` so the stochastic and
+        mean paths cannot drift apart when a loss term is added.
+        """
+        loss = self.path_loss.mean_loss_db(distance_m, self.frequency_hz)
+        loss = loss + self.walls.total_loss_db
+        return loss - (self.tx_antenna_gain_dbi + self.rx_antenna_gain_dbi)
+
+    def mean_rss_dbm(self, distance_m):
+        """Return the deterministic (mean) RSS, ignoring shadowing and fading.
+
+        The batch Monte-Carlo engines build per-packet RSS realisations as
+        ``mean_rss - shadowing + fading`` with block draws from dedicated
+        substreams, so the mean component must not consume any randomness.
+        """
+        return arrays.match_scalar(
+            self.tx_power_dbm - self._deterministic_loss_db(distance_m), distance_m)
+
+    @property
+    def shadowing_sigma_db(self) -> float:
+        """Shadowing standard deviation of the underlying path-loss model."""
+        return float(self.path_loss.shadowing_sigma_db)
 
     def noise_dbm(self, bandwidth_hz: float) -> float:
         """Return the receiver noise power (dBm) in ``bandwidth_hz``."""
         return float(noise_power_dbm(bandwidth_hz, self.noise_figure_db))
 
-    def snr_db(self, distance_m: float, bandwidth_hz: float, *,
-               random_state: RandomState = None, include_fading: bool = False) -> float:
+    def snr_db(self, distance_m, bandwidth_hz: float, *,
+               random_state: RandomState = None, include_fading: bool = False):
         """Return the SNR (dB) at ``distance_m`` in ``bandwidth_hz``."""
         return (self.rss_dbm(distance_m, random_state=random_state,
                              include_fading=include_fading)

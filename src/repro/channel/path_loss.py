@@ -19,53 +19,80 @@ import numpy as np
 
 from repro.constants import SPEED_OF_LIGHT_M_S
 from repro.exceptions import LinkError
+from repro.utils import arrays
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import ensure_non_negative, ensure_positive
 
 
-def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+def free_space_path_loss_db(distance_m, frequency_hz: float):
     """Return the Friis free-space path loss (dB) at ``distance_m``.
 
     ``FSPL = 20 log10(4 pi d f / c)``.  Distances below one wavelength are
     clamped to one wavelength to keep the formula in its far-field domain.
+    Accepts a scalar or an array of distances (array in, array out).
     """
-    if distance_m <= 0:
+    distances = arrays.as_float_array(distance_m)
+    if np.any(distances <= 0):
         raise LinkError(f"distance_m must be positive, got {distance_m}")
     ensure_positive(frequency_hz, "frequency_hz")
     wavelength = SPEED_OF_LIGHT_M_S / frequency_hz
-    distance = max(float(distance_m), wavelength)
-    return float(20.0 * np.log10(4.0 * np.pi * distance * frequency_hz / SPEED_OF_LIGHT_M_S))
+    distance = np.maximum(distances, wavelength)
+    loss = 20.0 * np.log10(4.0 * np.pi * distance * frequency_hz / SPEED_OF_LIGHT_M_S)
+    return arrays.match_scalar(loss, distance_m)
 
 
-def log_distance_path_loss_db(distance_m: float, frequency_hz: float, *,
+def log_distance_path_loss_db(distance_m, frequency_hz: float, *,
                               exponent: float = 2.7, reference_distance_m: float = 1.0,
-                              shadowing_db: float = 0.0) -> float:
+                              shadowing_db: float = 0.0):
     """Return the log-distance path loss (dB) at ``distance_m``.
 
     The loss at the reference distance is the free-space loss; beyond it the
     loss grows with ``10 * exponent * log10(d / d0)`` plus an optional fixed
-    shadowing margin.
+    shadowing margin.  Accepts a scalar or an array of distances.
     """
-    if distance_m <= 0:
+    distances = arrays.as_float_array(distance_m)
+    if np.any(distances <= 0):
         raise LinkError(f"distance_m must be positive, got {distance_m}")
     ensure_positive(exponent, "exponent")
     ensure_positive(reference_distance_m, "reference_distance_m")
     reference_loss = free_space_path_loss_db(reference_distance_m, frequency_hz)
-    distance = max(float(distance_m), reference_distance_m)
-    return float(reference_loss
-                 + 10.0 * exponent * np.log10(distance / reference_distance_m)
-                 + shadowing_db)
+    distance = np.maximum(distances, reference_distance_m)
+    loss = (reference_loss
+            + 10.0 * exponent * np.log10(distance / reference_distance_m)
+            + shadowing_db)
+    return arrays.match_scalar(loss, distance_m)
 
 
 class PathLossModel(ABC):
     """Interface of a deterministic-plus-stochastic path-loss model."""
 
     @abstractmethod
-    def mean_loss_db(self, distance_m: float, frequency_hz: float) -> float:
-        """Return the mean (deterministic) path loss in dB."""
+    def mean_loss_db(self, distance_m, frequency_hz: float):
+        """Return the mean (deterministic) path loss in dB (scalar or array)."""
 
-    def sample_loss_db(self, distance_m: float, frequency_hz: float, *,
-                       random_state: RandomState = None) -> float:
+    @property
+    def shadowing_sigma_db(self) -> float:
+        """Standard deviation of the stochastic shadowing term (0 = none)."""
+        return 0.0
+
+    def sample_shadowing_db(self, *, size: int | tuple | None = None,
+                            random_state: RandomState = None):
+        """Draw shadowing realisations (dB); zero without consuming the RNG
+        when the model is deterministic.
+
+        The batch simulation engines rely on this contract: a deterministic
+        model must not advance the generator, and a stochastic model must
+        consume exactly one normal draw per output element so that block
+        draws and per-element draws stay bit-identical.
+        """
+        if self.shadowing_sigma_db <= 0:
+            return 0.0 if size is None else np.zeros(size)
+        rng = as_rng(random_state)
+        draw = rng.normal(0.0, self.shadowing_sigma_db, size=size)
+        return float(draw) if size is None else draw
+
+    def sample_loss_db(self, distance_m, frequency_hz: float, *,
+                       random_state: RandomState = None):
         """Return one realisation of the path loss, including shadowing."""
         return self.mean_loss_db(distance_m, frequency_hz)
 
@@ -74,7 +101,7 @@ class PathLossModel(ABC):
 class FreeSpacePathLoss(PathLossModel):
     """Friis free-space propagation."""
 
-    def mean_loss_db(self, distance_m: float, frequency_hz: float) -> float:
+    def mean_loss_db(self, distance_m, frequency_hz: float):
         return free_space_path_loss_db(distance_m, frequency_hz)
 
 
@@ -106,7 +133,7 @@ class LogDistancePathLoss(PathLossModel):
         ensure_non_negative(self.shadowing_sigma_db, "shadowing_sigma_db")
         ensure_non_negative(self.fixed_extra_loss_db, "fixed_extra_loss_db")
 
-    def mean_loss_db(self, distance_m: float, frequency_hz: float) -> float:
+    def mean_loss_db(self, distance_m, frequency_hz: float):
         return log_distance_path_loss_db(
             distance_m, frequency_hz,
             exponent=self.exponent,
@@ -114,10 +141,10 @@ class LogDistancePathLoss(PathLossModel):
             shadowing_db=self.fixed_extra_loss_db,
         )
 
-    def sample_loss_db(self, distance_m: float, frequency_hz: float, *,
-                       random_state: RandomState = None) -> float:
+    def sample_loss_db(self, distance_m, frequency_hz: float, *,
+                       random_state: RandomState = None):
         loss = self.mean_loss_db(distance_m, frequency_hz)
         if self.shadowing_sigma_db > 0:
-            rng = as_rng(random_state)
-            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+            size = None if np.ndim(distance_m) == 0 else np.shape(distance_m)
+            loss = loss + self.sample_shadowing_db(size=size, random_state=random_state)
         return loss

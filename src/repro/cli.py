@@ -63,13 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-#: Artefact ids accepted by ``repro experiments --only`` (the keys of
-#: :func:`repro.sim.experiments.run_all`).
-ARTEFACT_IDS: tuple[str, ...] = (
-    "fig2", "fig5", "fig6", "fig7", "tab1", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab2",
-    "fig26", "fig27",
-)
+#: Artefact ids accepted by ``repro experiments --only`` — derived from the
+#: driver registry so the CLI can never drift out of sync with it.
+ARTEFACT_IDS: tuple[str, ...] = tuple(experiments.FIGURE_DRIVERS)
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
@@ -83,9 +79,8 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print(f"unknown artefact id(s): {', '.join(unknown)}", file=sys.stderr)
         print("available artefacts:", " ".join(available), file=sys.stderr)
         return 2
-    results = experiments.run_all()
     for name in wanted:
-        print(format_sweep(results[name]))
+        print(format_sweep(experiments.FIGURE_DRIVERS[name]()))
         print()
     return 0
 

@@ -25,6 +25,15 @@ from repro.sim.metrics import (
     SeriesResult,
     SweepResult,
 )
+from repro.sim.batch import (
+    BatchRunner,
+    BatchRunReport,
+    PacketBatchResult,
+    RunManifest,
+    demodulation_ranges,
+    detection_ranges,
+    simulate_link_packets,
+)
 from repro.sim.link_sim import SaiyanLinkModel, BaselineLinkModel, BackscatterUplinkModel
 from repro.sim.network import FeedbackNetworkSimulator, RetransmissionExperimentResult
 from repro.sim.sweep import sweep_1d, sweep_2d
@@ -38,6 +47,13 @@ from repro.sim import experiments
 from repro.sim.reporting import format_series, format_table
 
 __all__ = [
+    "BatchRunner",
+    "BatchRunReport",
+    "PacketBatchResult",
+    "RunManifest",
+    "demodulation_ranges",
+    "detection_ranges",
+    "simulate_link_packets",
     "EventScheduler",
     "Event",
     "bit_error_rate",

@@ -1,0 +1,587 @@
+"""Batch simulation engine: vectorized Monte-Carlo packet runs and sweeps.
+
+The scalar experiment drivers regenerate every figure through Python loops —
+one packet, one grid point, one fading draw at a time.  That is fine for the
+few-thousand-packet runs behind the published figures but collapses at the
+millions-of-packets scale the roadmap targets.  This module provides the
+batch path:
+
+* :func:`simulate_link_packets` — the Monte-Carlo downlink packet simulator
+  behind :meth:`SaiyanLinkModel.simulate_packets`, with a vectorized
+  ``engine="batch"`` and a packet-by-packet ``engine="scalar"`` reference.
+  Both engines draw from the same per-category random substreams (shadowing,
+  fading, detection, bit errors), so a fixed seed produces **bit-identical**
+  counts on either path — the batch engine is a drop-in replacement, not a
+  statistical approximation of the loop.
+* :func:`run_retransmission` / :func:`run_channel_hopping` — the network
+  level equivalents behind :class:`FeedbackNetworkSimulator`, with the same
+  scalar/batch bit-parity contract (payload and uplink-attempt substreams,
+  fixed-width attempt rows).
+* :func:`demodulation_ranges` / :func:`detection_ranges` — vectorized
+  bisection over whole model families sharing a link budget, replacing the
+  per-config scalar bisection loops of the range figures with array ops that
+  return exactly the same floats.
+* :class:`BatchRunner` — evaluates figure-driver sweeps (optionally fanned
+  out over a process pool) and records one :class:`RunManifest` per artefact
+  (driver config snapshot, seed, wall clock, scalar metrics) so batch runs
+  are auditable and comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.constants import BER_RANGE_THRESHOLD
+from repro.exceptions import ConfigurationError, LinkError
+from repro.sim.metrics import SweepResult
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import ensure_integer
+
+#: Number of bisection iterations used by the scalar range searches; the
+#: vectorized searches must use the same count to reproduce the same floats.
+_BISECTION_ITERATIONS: int = 64
+
+
+# ---------------------------------------------------------------------------
+# Link-level Monte-Carlo packet engine
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PacketBatchResult:
+    """Outcome of one Monte-Carlo packet simulation run."""
+
+    num_packets: int
+    detected: int
+    delivered: int
+    bit_errors: int
+
+    @property
+    def detection_ratio(self) -> float:
+        """Fraction of packets detected."""
+        return self.detected / self.num_packets if self.num_packets else 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of packets delivered error-free."""
+        return self.delivered / self.num_packets if self.num_packets else 0.0
+
+
+def _link_packet_streams(random_state: RandomState):
+    """Spawn the four per-category substreams of the packet engines.
+
+    Order: shadowing, fading, detection, bit errors.  Both engines must draw
+    the same number of values from each stream (block draws in the batch
+    engine, one-at-a-time draws in the scalar engine) for bit-parity.
+    """
+    return as_rng(random_state).spawn(4)
+
+
+def simulate_link_packets(model, distance_m: float, num_packets: int, *,
+                          payload_bits: int = 64,
+                          include_fading: bool = True,
+                          random_state: RandomState = None,
+                          engine: str = "batch") -> PacketBatchResult:
+    """Simulate ``num_packets`` downlink packets at ``distance_m``.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.sim.link_sim.SaiyanLinkModel` (anything exposing
+        ``link``, ``detection_probability`` and ``bit_error_rate``).
+    engine:
+        ``"batch"`` evaluates the whole run as block array operations;
+        ``"scalar"`` runs the packet-by-packet reference loop.  Both engines
+        return bit-identical counts for the same ``random_state``.
+    """
+    num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
+    payload_bits = ensure_integer(payload_bits, "payload_bits", minimum=1)
+    if engine == "batch":
+        return _simulate_link_packets_batch(model, distance_m, num_packets,
+                                            payload_bits=payload_bits,
+                                            include_fading=include_fading,
+                                            random_state=random_state)
+    if engine == "scalar":
+        return _simulate_link_packets_scalar(model, distance_m, num_packets,
+                                             payload_bits=payload_bits,
+                                             include_fading=include_fading,
+                                             random_state=random_state)
+    raise ConfigurationError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
+
+
+def _simulate_link_packets_batch(model, distance_m, num_packets, *, payload_bits,
+                                 include_fading, random_state) -> PacketBatchResult:
+    shadow_rng, fading_rng, detect_rng, bits_rng = _link_packet_streams(random_state)
+    link = model.link
+    mean_rss = link.mean_rss_dbm(float(distance_m))
+    rss = np.full(num_packets, mean_rss)
+    rss -= link.path_loss.sample_shadowing_db(size=num_packets, random_state=shadow_rng)
+    if include_fading:
+        rss += link.fading.sample_gain_db(size=num_packets, random_state=fading_rng)
+    detection = model.detection_probability(rss)
+    detected_mask = detect_rng.random(num_packets) < detection
+    ber = np.asarray(model.bit_error_rate(rss[detected_mask]))
+    errors = bits_rng.binomial(payload_bits, ber) if ber.size else np.zeros(0, dtype=int)
+    return PacketBatchResult(
+        num_packets=num_packets,
+        detected=int(detected_mask.sum()),
+        delivered=int(np.count_nonzero(errors == 0)),
+        bit_errors=int(errors.sum()),
+    )
+
+
+def _simulate_link_packets_scalar(model, distance_m, num_packets, *, payload_bits,
+                                  include_fading, random_state) -> PacketBatchResult:
+    shadow_rng, fading_rng, detect_rng, bits_rng = _link_packet_streams(random_state)
+    link = model.link
+    mean_rss = link.mean_rss_dbm(float(distance_m))
+    detected = delivered = bit_errors = 0
+    for _ in range(num_packets):
+        rss = mean_rss - link.path_loss.sample_shadowing_db(random_state=shadow_rng)
+        if include_fading:
+            rss += link.fading.sample_gain_db(random_state=fading_rng)
+        if detect_rng.random() >= model.detection_probability(rss):
+            continue
+        detected += 1
+        errors = int(bits_rng.binomial(payload_bits, model.bit_error_rate(rss)))
+        bit_errors += errors
+        if errors == 0:
+            delivered += 1
+    return PacketBatchResult(num_packets=num_packets, detected=detected,
+                             delivered=delivered, bit_errors=bit_errors)
+
+
+# ---------------------------------------------------------------------------
+# Network-level engines (feedback loop case studies)
+# ---------------------------------------------------------------------------
+
+def run_retransmission(simulator, *, num_packets: int, max_retransmissions: int,
+                       tag_id: int, random_state: RandomState, engine: str = "batch"):
+    """Run the Figure 26 retransmission experiment for one tag.
+
+    The batch engine evaluates all uplink attempts as one uniform block of
+    shape ``(num_packets, 1 + max_retransmissions)``; the scalar engine runs
+    the full protocol objects (tag, access point, ARQ tracker) but draws the
+    same fixed-width attempt row per packet, so the two engines agree
+    bit-for-bit under a fixed seed.
+
+    The link is treated as stationary over one experiment: both engines
+    sample ``simulator``'s uplink-probability and downlink-RSS callables
+    exactly once per run, so the bit-parity contract also holds for
+    stochastic or stateful callables.
+    """
+    from repro.sim.network import RetransmissionExperimentResult
+
+    num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
+    max_retransmissions = ensure_integer(max_retransmissions, "max_retransmissions",
+                                         minimum=0, maximum=16)
+    if engine == "batch":
+        return _run_retransmission_batch(simulator, RetransmissionExperimentResult,
+                                         num_packets, max_retransmissions, tag_id,
+                                         random_state)
+    if engine == "scalar":
+        return _run_retransmission_scalar(simulator, num_packets, max_retransmissions,
+                                          tag_id, random_state)
+    raise ConfigurationError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
+
+
+def _network_streams(random_state: RandomState):
+    """Spawn the payload and uplink-attempt substreams of the network engines."""
+    return as_rng(random_state).spawn(2)
+
+
+def _run_retransmission_batch(simulator, result_cls, num_packets, max_retransmissions,
+                              tag_id, random_state):
+    from repro.net.tag import BackscatterTag
+
+    payload_rng, attempt_rng = _network_streams(random_state)
+    tag = BackscatterTag(tag_id, config=simulator.config)
+    probability = simulator._uplink_probability(tag, 0)
+    can_hear = tag.can_hear(float(simulator.downlink_rss_dbm(tag)))
+    attempts = max_retransmissions + 1
+    # Payload contents never influence delivery, but the scalar engine draws
+    # them through tag.next_packet; consume the same block for stream parity.
+    payload_rng.integers(0, 2, size=(num_packets, tag.payload_bits_per_packet))
+    success = attempt_rng.random((num_packets, attempts)) < probability
+    if can_hear and max_retransmissions > 0:
+        delivered_mask = success.any(axis=1)
+        first_success = np.argmax(success, axis=1)
+        attempts_used = np.where(delivered_mask, first_success + 1, attempts)
+        feedback_heard = int((attempts_used - 1).sum())
+        feedback_missed = 0
+    else:
+        delivered_mask = success[:, 0]
+        attempts_used = np.ones(num_packets, dtype=np.int64)
+        feedback_heard = 0
+        feedback_missed = (int(np.count_nonzero(~delivered_mask))
+                           if max_retransmissions > 0 else 0)
+    return result_cls(
+        max_retransmissions=max_retransmissions,
+        packets=num_packets,
+        delivered=int(delivered_mask.sum()),
+        total_transmissions=int(attempts_used.sum()),
+        feedback_heard=feedback_heard,
+        feedback_missed=feedback_missed,
+    )
+
+
+def _run_retransmission_scalar(simulator, num_packets, max_retransmissions, tag_id,
+                               random_state):
+    from repro.net.access_point import AccessPoint
+    from repro.net.retransmission import RetransmissionPolicy
+    from repro.net.tag import BackscatterTag
+    from repro.sim.network import RetransmissionExperimentResult
+
+    payload_rng, attempt_rng = _network_streams(random_state)
+    tag = BackscatterTag(tag_id, config=simulator.config)
+    access_point = AccessPoint(
+        retransmission_policy=RetransmissionPolicy(max_retransmissions=max_retransmissions))
+    attempts = max_retransmissions + 1
+    # The link is modelled as stationary over one experiment: the uplink
+    # probability and downlink RSS callables are sampled once per run, at the
+    # same points the batch engine samples them, so both engines see the same
+    # values even when a caller supplies stochastic or stateful callables.
+    probability = simulator._uplink_probability(tag, 0)
+    rss = float(simulator.downlink_rss_dbm(tag))
+    feedback_heard = feedback_missed = 0
+    for _ in range(num_packets):
+        packet = tag.next_packet(random_state=payload_rng)
+        # Fixed-width attempt row: the batch engine draws the same block.
+        attempt_draws = attempt_rng.random(attempts)
+        success = bool(attempt_draws[0] < probability)
+        access_point.observe_uplink(packet, received=success)
+        attempt = 1
+        while not success:
+            command = access_point.request_retransmission_for(packet.key)
+            if command is None:
+                break
+            reply = tag.handle_command(command, rss_dbm=rss)
+            if reply is None:
+                feedback_missed += 1
+                break
+            feedback_heard += 1
+            success = bool(attempt_draws[attempt] < probability)
+            attempt += 1
+            access_point.observe_uplink(reply, received=success)
+    return RetransmissionExperimentResult(
+        max_retransmissions=max_retransmissions,
+        packets=num_packets,
+        delivered=access_point.arq.delivered_packets,
+        total_transmissions=access_point.arq.total_transmissions,
+        feedback_heard=feedback_heard,
+        feedback_missed=feedback_missed,
+    )
+
+
+def run_channel_hopping(simulator, *, hop_controller, num_windows: int,
+                        packets_per_window: int, hop_after_window: int | None,
+                        tag_id: int, random_state: RandomState,
+                        engine: str = "batch"):
+    """Run the Figure 27 channel-hopping experiment.
+
+    Window-level control flow (spectrum checks, hop commands, tag reactions)
+    stays sequential in both engines — it is a feedback loop — but the batch
+    engine evaluates each window's packets as one uniform block instead of a
+    per-packet Python loop.
+    """
+    num_windows = ensure_integer(num_windows, "num_windows", minimum=1)
+    packets_per_window = ensure_integer(packets_per_window, "packets_per_window",
+                                        minimum=1)
+    if engine not in ("batch", "scalar"):
+        raise ConfigurationError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
+    from repro.net.access_point import AccessPoint
+    from repro.net.tag import BackscatterTag
+    from repro.sim.network import ChannelHoppingWindow
+    from repro.sim.metrics import packet_reception_ratio
+
+    payload_rng, uplink_rng = _network_streams(random_state)
+    tag = BackscatterTag(tag_id, config=simulator.config)
+    access_point = AccessPoint(hop_controller=hop_controller)
+    current_channel = 0
+    windows = []
+    for window_index in range(num_windows):
+        probability = simulator._uplink_probability(tag, current_channel)
+        if engine == "batch":
+            payload_rng.integers(0, 2,
+                                 size=(packets_per_window, tag.payload_bits_per_packet))
+            delivered = int(np.count_nonzero(
+                uplink_rng.random(packets_per_window) < probability))
+        else:
+            delivered = 0
+            for _ in range(packets_per_window):
+                packet = tag.next_packet(random_state=payload_rng)
+                success = bool(uplink_rng.random() < probability)
+                access_point.observe_uplink(packet, received=success)
+                if success:
+                    delivered += 1
+        jammed = not hop_controller.channel_is_clean(current_channel)
+        windows.append(ChannelHoppingWindow(
+            window_index=window_index,
+            channel_index=current_channel,
+            jammed=jammed,
+            prr=packet_reception_ratio(delivered, packets_per_window),
+        ))
+        allowed_to_hop = hop_after_window is None or window_index >= hop_after_window
+        if allowed_to_hop:
+            command = access_point.maybe_hop(current_channel, target_tag_id=tag.tag_id)
+            if command is not None:
+                rss = float(simulator.downlink_rss_dbm(tag))
+                reply = tag.handle_command(command, rss_dbm=rss)
+                if reply is not None:
+                    current_channel = int(command.argument)
+    return windows
+
+
+# ---------------------------------------------------------------------------
+# Vectorized range searches
+# ---------------------------------------------------------------------------
+
+def _shared_deterministic_link(models: Sequence):
+    link = models[0].link
+    if any(model.link != link for model in models[1:]):
+        raise ConfigurationError(
+            "vectorized range search requires all models to share one link budget")
+    if link.shadowing_sigma_db > 0:
+        raise LinkError("vectorized range search requires a deterministic link "
+                        "(shadowing_sigma_db == 0)")
+    return link
+
+
+def _bisect_ranges(condition, num_models: int, max_distance_m: float) -> np.ndarray:
+    """Shared vectorized bisection: largest distance where ``condition`` holds.
+
+    Replicates the scalar searches exactly: same 0.5 m near point, same edge
+    checks, same iteration count — so the array result is bit-identical to
+    looping the scalar per-model bisection.
+    """
+    low = np.full(num_models, 0.5)
+    high = np.full(num_models, float(max_distance_m))
+    dead = ~condition(low)
+    saturated = condition(high)
+    for _ in range(_BISECTION_ITERATIONS):
+        mid = (low + high) / 2.0
+        ok = condition(mid)
+        low = np.where(ok, mid, low)
+        high = np.where(ok, high, mid)
+    ranges = np.where(saturated, float(max_distance_m), low)
+    return np.where(dead, 0.0, ranges)
+
+
+def demodulation_ranges(models: Sequence, *, ber_threshold: float = BER_RANGE_THRESHOLD,
+                        max_distance_m: float = 2000.0) -> np.ndarray:
+    """Vectorized :meth:`SaiyanLinkModel.demodulation_range_m` over a model family.
+
+    All models must share one (deterministic) link budget; they may differ in
+    mode, coding rate, bandwidth, spreading factor or SAW temperature — the
+    whole family is bisected simultaneously as array operations and returns
+    exactly the floats the scalar per-model bisection produces.
+    """
+    from repro.sim.link_sim import ber_from_margin
+
+    if not models:
+        raise ConfigurationError("demodulation_ranges requires at least one model")
+    link = _shared_deterministic_link(models)
+    sensitivities = np.array([model.demodulation_sensitivity_dbm() for model in models])
+
+    def below_threshold(distance: np.ndarray) -> np.ndarray:
+        margin = link.rss_dbm(distance) - sensitivities
+        return ber_from_margin(margin) <= ber_threshold
+
+    return _bisect_ranges(below_threshold, len(models), max_distance_m)
+
+
+def detection_ranges(models: Sequence, *, probability: float = 0.5,
+                     max_distance_m: float = 2000.0) -> np.ndarray:
+    """Vectorized detection-range search over models sharing one link budget.
+
+    Works for :class:`~repro.sim.link_sim.SaiyanLinkModel` and
+    :class:`~repro.sim.link_sim.BaselineLinkModel` alike (both expose
+    ``detection_sensitivity_dbm`` as a property); the logistic detection
+    roll-off of the whole family is evaluated as one array expression per
+    bisection step.
+    """
+    from repro.sim.link_sim import detection_probability_from_margin
+
+    if not models:
+        raise ConfigurationError("detection_ranges requires at least one model")
+    if not 0.0 < probability < 1.0:
+        raise LinkError(f"probability must be in (0, 1), got {probability}")
+    link = _shared_deterministic_link(models)
+    sensitivities = np.array([model.detection_sensitivity_dbm for model in models])
+
+    def detectable(distance: np.ndarray) -> np.ndarray:
+        margin = link.rss_dbm(distance) - sensitivities
+        return detection_probability_from_margin(margin) >= probability
+
+    return _bisect_ranges(detectable, len(models), max_distance_m)
+
+
+# ---------------------------------------------------------------------------
+# Batch runner with per-run manifests
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunManifest:
+    """Audit record of one batch-evaluated artefact."""
+
+    artefact: str
+    title: str
+    driver: str
+    seed: int | None
+    config: dict
+    scalars: dict
+    series_lengths: dict
+    wall_clock_s: float
+    engine: str = "batch"
+    numpy_version: str = np.__version__
+    python_version: str = platform.python_version()
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable representation of the manifest."""
+        return {
+            "artefact": self.artefact,
+            "title": self.title,
+            "driver": self.driver,
+            "seed": self.seed,
+            "config": self.config,
+            "scalars": self.scalars,
+            "series_lengths": self.series_lengths,
+            "wall_clock_s": self.wall_clock_s,
+            "engine": self.engine,
+            "numpy_version": self.numpy_version,
+            "python_version": self.python_version,
+        }
+
+
+@dataclass
+class BatchRunReport:
+    """Results and manifests of one :class:`BatchRunner` invocation."""
+
+    results: dict[str, SweepResult] = field(default_factory=dict)
+    manifests: dict[str, RunManifest] = field(default_factory=dict)
+
+    def total_wall_clock_s(self) -> float:
+        """Summed driver wall clock across all artefacts."""
+        return float(sum(m.wall_clock_s for m in self.manifests.values()))
+
+
+def _driver_config_snapshot(driver: Callable) -> tuple[dict, int | None]:
+    """Extract the JSON-encodable default kwargs and seed of a figure driver."""
+    config: dict = {}
+    seed: int | None = None
+    for name, parameter in inspect.signature(driver).parameters.items():
+        if parameter.default is inspect.Parameter.empty:
+            continue
+        default = parameter.default
+        if name == "random_state" and isinstance(default, int):
+            seed = default
+        try:
+            json.dumps(default)
+            config[name] = default
+        except TypeError:
+            config[name] = repr(default)
+    return config, seed
+
+
+def _evaluate_driver(artefact: str, driver: Callable) -> tuple[SweepResult, RunManifest]:
+    config, seed = _driver_config_snapshot(driver)
+    start = time.perf_counter()
+    result = driver()
+    elapsed = time.perf_counter() - start
+    manifest = RunManifest(
+        artefact=artefact,
+        title=result.title,
+        driver=f"{driver.__module__}.{driver.__qualname__}",
+        seed=seed,
+        config=config,
+        scalars=dict(result.scalars),
+        series_lengths={series.name: len(series.x) for series in result.series},
+        wall_clock_s=elapsed,
+    )
+    return result, manifest
+
+
+def _evaluate_registered(artefact: str) -> tuple[str, SweepResult, RunManifest]:
+    """Process-pool entry point: evaluate one artefact from the registry."""
+    from repro.sim.experiments import FIGURE_DRIVERS
+
+    result, manifest = _evaluate_driver(artefact, FIGURE_DRIVERS[artefact])
+    return artefact, result, manifest
+
+
+class BatchRunner:
+    """Evaluate figure-driver sweeps on the batch path, with manifests.
+
+    Parameters
+    ----------
+    drivers:
+        Mapping of artefact id to zero-argument driver callable.  Defaults
+        to :data:`repro.sim.experiments.FIGURE_DRIVERS` (every paper figure
+        and table).
+    manifest_dir:
+        When given, one ``<artefact>.json`` manifest is written per run.
+    processes:
+        When > 1, artefacts are fanned out over a process pool (only
+        available for the default registry, whose drivers are importable by
+        worker processes).
+    """
+
+    def __init__(self, drivers: Mapping[str, Callable] | None = None, *,
+                 manifest_dir: str | Path | None = None,
+                 processes: int | None = None) -> None:
+        if drivers is None:
+            from repro.sim.experiments import FIGURE_DRIVERS
+
+            drivers = FIGURE_DRIVERS
+        self.drivers = dict(drivers)
+        self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
+        self.processes = processes
+        if processes is not None and processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+
+    # ------------------------------------------------------------------
+    def run(self, artefacts: Iterable[str] | None = None) -> BatchRunReport:
+        """Evaluate the selected artefacts (all by default) and return a report."""
+        selected = list(artefacts) if artefacts is not None else list(self.drivers)
+        unknown = [artefact for artefact in selected if artefact not in self.drivers]
+        if unknown:
+            raise ConfigurationError(f"unknown artefacts {unknown}; "
+                                     f"known: {sorted(self.drivers)}")
+        report = BatchRunReport()
+        if self.processes is not None and self.processes > 1:
+            self._run_parallel(selected, report)
+        else:
+            for artefact in selected:
+                result, manifest = _evaluate_driver(artefact, self.drivers[artefact])
+                report.results[artefact] = result
+                report.manifests[artefact] = manifest
+        if self.manifest_dir is not None:
+            self._write_manifests(report)
+        return report
+
+    def _run_parallel(self, selected: list[str], report: BatchRunReport) -> None:
+        from repro.sim.experiments import FIGURE_DRIVERS
+
+        non_registry = [artefact for artefact in selected
+                        if FIGURE_DRIVERS.get(artefact) is not self.drivers[artefact]]
+        if non_registry:
+            raise ConfigurationError(
+                f"process fan-out requires registry drivers; {non_registry} are custom")
+        with ProcessPoolExecutor(max_workers=self.processes) as pool:
+            for artefact, result, manifest in pool.map(_evaluate_registered, selected):
+                report.results[artefact] = result
+                report.manifests[artefact] = manifest
+
+    def _write_manifests(self, report: BatchRunReport) -> None:
+        self.manifest_dir.mkdir(parents=True, exist_ok=True)
+        for artefact, manifest in report.manifests.items():
+            path = self.manifest_dir / f"{artefact}.json"
+            path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))

@@ -13,6 +13,8 @@ for runtime (the benchmark defaults keep every driver under a few seconds).
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.baselines.aloba import AlobaDetector
@@ -42,6 +44,7 @@ from repro.hardware.saw_filter import SAWFilter
 from repro.lora.modulation import LoRaModulator
 from repro.lora.parameters import DownlinkParameters, LoRaParameters
 from repro.net.channel_hopping import ChannelHopController, ChannelPlan
+from repro.sim.batch import demodulation_ranges, detection_ranges
 from repro.sim.link_sim import BackscatterUplinkModel, BaselineLinkModel, SaiyanLinkModel
 from repro.sim.metrics import SeriesResult, SweepResult
 from repro.sim.network import FeedbackNetworkSimulator
@@ -80,15 +83,16 @@ def figure2_baseline_uplink_ber(*, tag_to_rx_m: float = 100.0,
     result = SweepResult(title="Figure 2: baseline backscatter uplink BER vs tag-to-Tx distance")
     environment = outdoor_environment(fading=RicianFading(k_factor_db=12.0))
     link = environment.link_budget()
+    num_fading_draws = 100
+    distance_grid = np.tile(np.asarray(distances_m, dtype=float)[:, None],
+                            (1, num_fading_draws))
     for name, penalty in (("plora", 3.0), ("aloba", 6.0)):
         uplink = BackscatterUplinkModel(
             uplink=BackscatterLink(forward=link, backward=link),
             spreading_factor=7, bandwidth_hz=500e3, modulation_penalty_db=penalty)
-        bers = []
-        for distance in distances_m:
-            draws = [uplink.bit_error_rate(distance, tag_to_rx_m, random_state=rng,
-                                           include_fading=True) for _ in range(100)]
-            bers.append(float(np.clip(np.mean(draws), 1e-6, 0.5)))
+        draws = uplink.bit_error_rate(distance_grid, tag_to_rx_m, random_state=rng,
+                                      include_fading=True)
+        bers = np.clip(np.mean(draws, axis=1), 1e-6, 0.5)
         result.add_series(SeriesResult.from_arrays(
             name, distances_m, bers, x_label="tag-to-Tx distance (m)", y_label="BER"))
     plora = result.get_series("plora")
@@ -302,11 +306,11 @@ def figure16_coding_rate(*, distances_m: tuple[float, ...] = (10, 20, 50, 100, 1
     """Outdoor BER and throughput against the coding rate (bits per chirp)."""
     result = SweepResult(title="Figure 16: BER and throughput vs coding rate (outdoor)")
     model = _saiyan_model()
+    coding_rates = np.asarray(bits_per_chirp_values)
     for distance in distances_m:
         rss = model.rss_at(distance)
-        bers = [model.bit_error_rate(rss, bits_per_chirp=k) for k in bits_per_chirp_values]
-        throughputs = [model.throughput_bps(rss, bits_per_chirp=k) / 1e3
-                       for k in bits_per_chirp_values]
+        bers = model.bit_error_rate(rss, bits_per_chirp=coding_rates)
+        throughputs = model.throughput_bps(rss, bits_per_chirp=coding_rates) / 1e3
         result.add_series(SeriesResult.from_arrays(
             f"ber_{int(distance)}m", bits_per_chirp_values, bers,
             x_label="coding rate (K)", y_label="BER"))
@@ -330,14 +334,13 @@ def figure17_spreading_factor(*, spreading_factors: tuple[int, ...] = (7, 8, 9, 
     result = SweepResult(title="Figure 17: range and throughput vs spreading factor")
     environment = outdoor_environment(fading=NoFading())
     for k in bits_per_chirp_values:
-        ranges = []
-        throughputs = []
-        for sf in spreading_factors:
-            downlink = DownlinkParameters(spreading_factor=sf, bandwidth_hz=500e3,
-                                          bits_per_chirp=k)
-            model = _saiyan_model(downlink=downlink, environment=environment)
-            ranges.append(model.demodulation_range_m())
-            throughputs.append(model.throughput_at_distance(10.0) / 1e3)
+        models = [_saiyan_model(downlink=DownlinkParameters(spreading_factor=sf,
+                                                            bandwidth_hz=500e3,
+                                                            bits_per_chirp=k),
+                                environment=environment)
+                  for sf in spreading_factors]
+        ranges = demodulation_ranges(models)
+        throughputs = [model.throughput_at_distance(10.0) / 1e3 for model in models]
         result.add_series(SeriesResult.from_arrays(
             f"range_k{k}", spreading_factors, ranges, x_label="SF", y_label="range (m)"))
         result.add_series(SeriesResult.from_arrays(
@@ -358,14 +361,13 @@ def figure18_bandwidth(*, bandwidths_hz: tuple[float, ...] = (125e3, 250e3, 500e
     result = SweepResult(title="Figure 18: range and throughput vs bandwidth")
     environment = outdoor_environment(fading=NoFading())
     for k in bits_per_chirp_values:
-        ranges = []
-        throughputs = []
-        for bandwidth in bandwidths_hz:
-            downlink = DownlinkParameters(spreading_factor=7, bandwidth_hz=bandwidth,
-                                          bits_per_chirp=k)
-            model = _saiyan_model(downlink=downlink, environment=environment)
-            ranges.append(model.demodulation_range_m())
-            throughputs.append(model.throughput_at_distance(10.0) / 1e3)
+        models = [_saiyan_model(downlink=DownlinkParameters(spreading_factor=7,
+                                                            bandwidth_hz=bandwidth,
+                                                            bits_per_chirp=k),
+                                environment=environment)
+                  for bandwidth in bandwidths_hz]
+        ranges = demodulation_ranges(models)
+        throughputs = [model.throughput_at_distance(10.0) / 1e3 for model in models]
         bw_khz = [b / 1e3 for b in bandwidths_hz]
         result.add_series(SeriesResult.from_arrays(
             f"range_k{k}", bw_khz, ranges, x_label="BW (kHz)", y_label="range (m)"))
@@ -387,13 +389,11 @@ def _indoor_figure(num_walls: int, title: str,
                    bits_per_chirp_values: tuple[int, ...]) -> SweepResult:
     result = SweepResult(title=title)
     environment = indoor_environment(num_walls=num_walls, fading=NoFading())
-    ranges = []
-    throughputs = []
-    for k in bits_per_chirp_values:
-        downlink = DEFAULT_DOWNLINK.with_(bits_per_chirp=k)
-        model = _saiyan_model(downlink=downlink, environment=environment)
-        ranges.append(model.demodulation_range_m())
-        throughputs.append(model.throughput_at_distance(5.0) / 1e3)
+    models = [_saiyan_model(downlink=DEFAULT_DOWNLINK.with_(bits_per_chirp=k),
+                            environment=environment)
+              for k in bits_per_chirp_values]
+    ranges = demodulation_ranges(models)
+    throughputs = [model.throughput_at_distance(5.0) / 1e3 for model in models]
     result.add_series(SeriesResult.from_arrays(
         "range", bits_per_chirp_values, ranges, x_label="coding rate (K)",
         y_label="range (m)"))
@@ -446,9 +446,9 @@ def figure21_detection_range() -> SweepResult:
         # *decodes* packets reliably (148.6 m outdoors), which corresponds to
         # this model's demodulation range; raw energy detection reaches a bit
         # further (the ~180 m of Figure 22) and is reported as a scalar.
-        saiyan_range = saiyan.demodulation_range_m()
-        plora_range = BaselineLinkModel("plora", link).detection_range_m()
-        aloba_range = BaselineLinkModel("aloba", link).detection_range_m()
+        saiyan_range = float(demodulation_ranges([saiyan])[0])
+        aloba_range, plora_range = detection_ranges(
+            [BaselineLinkModel("aloba", link), BaselineLinkModel("plora", link)])
         result.add_series(SeriesResult.from_arrays(
             scenario_name, (0, 1, 2), (aloba_range, plora_range, saiyan_range),
             x_label="system (0=Aloba, 1=PLoRa, 2=Saiyan)", y_label="detection range (m)"))
@@ -474,9 +474,9 @@ def figure22_sensitivity(*, distances_m: tuple[float, ...] = (10, 30, 50, 70, 90
     """RSS and BER against distance; the detection limit defines the sensitivity."""
     model = _saiyan_model()
     result = SweepResult(title="Figure 22: RSS and BER over distance (receiver sensitivity)")
-    rss_values = [model.rss_at(d) for d in distances_m]
-    ber_values = [model.bit_error_rate(rss) for rss in rss_values]
-    detection = [model.detection_probability(rss) for rss in rss_values]
+    rss_values = model.rss_at(np.asarray(distances_m, dtype=float))
+    ber_values = model.bit_error_rate(rss_values)
+    detection = model.detection_probability(rss_values)
     result.add_series(SeriesResult.from_arrays(
         "rss", distances_m, rss_values, x_label="distance (m)", y_label="RSS (dBm)"))
     result.add_series(SeriesResult.from_arrays(
@@ -484,13 +484,13 @@ def figure22_sensitivity(*, distances_m: tuple[float, ...] = (10, 30, 50, 70, 90
     result.add_series(SeriesResult.from_arrays(
         "detection_probability", distances_m, detection,
         x_label="distance (m)", y_label="P(detect)"))
-    result.add_scalar("sensitivity_dbm", model.detection_sensitivity_dbm())
+    result.add_scalar("sensitivity_dbm", model.detection_sensitivity_dbm)
     result.add_scalar("detection_range_m", model.detection_range_m())
     result.add_scalar("envelope_detector_sensitivity_dbm",
                       BaselineLinkModel("envelope", model.link).detection_sensitivity_dbm)
     result.add_scalar("sensitivity_gain_over_envelope_db",
                       BaselineLinkModel("envelope", model.link).detection_sensitivity_dbm
-                      - model.detection_sensitivity_dbm())
+                      - model.detection_sensitivity_dbm)
     result.notes = ("Paper: Saiyan detects packets down to -85.8 dBm (about 180 m), 30 dB "
                     "better than a conventional envelope detector.")
     return result
@@ -508,16 +508,13 @@ def figure23_amplitude_gap(*, distances_m: tuple[float, ...] = (10, 30, 50, 70, 
     link = environment.link_budget()
     result = SweepResult(title="Figure 23: SAW amplitude gap vs distance")
     noise_dbm = link.noise_dbm(500e3)
+    rss = link.rss_dbm(np.asarray(distances_m, dtype=float))
     for bandwidth in (125e3, 250e3, 500e3):
-        gaps = []
         intrinsic_gap = saw.amplitude_gap_db(bandwidth)
         top_gain = float(np.asarray(saw.gain_db(bandwidth)))
-        for distance in distances_m:
-            rss = link.rss_dbm(distance)
-            top_dbm = rss + top_gain
-            bottom_dbm = top_dbm - intrinsic_gap
-            observable_bottom = max(bottom_dbm, noise_dbm)
-            gaps.append(max(top_dbm - observable_bottom, 0.0))
+        top_dbm = rss + top_gain
+        observable_bottom = np.maximum(top_dbm - intrinsic_gap, noise_dbm)
+        gaps = np.maximum(top_dbm - observable_bottom, 0.0)
         result.add_series(SeriesResult.from_arrays(
             f"gap_{int(bandwidth / 1e3)}khz", distances_m, gaps,
             x_label="Tx-to-tag distance (m)", y_label="amplitude gap (dB)"))
@@ -543,10 +540,9 @@ def figure24_temperature(*, hours: tuple[float, ...] = (8, 10, 12, 14, 16, 18, 2
     temperatures = [-8.6, -5.0, -1.0, 1.6, 0.0, -3.0, -6.0]
     environment = outdoor_environment(fading=NoFading())
     result = SweepResult(title="Figure 24: demodulation range vs temperature")
-    ranges = []
-    for temperature in temperatures:
-        model = _saiyan_model(environment=environment, temperature_c=temperature)
-        ranges.append(model.demodulation_range_m())
+    models = [_saiyan_model(environment=environment, temperature_c=temperature)
+              for temperature in temperatures]
+    ranges = demodulation_ranges(models)
     result.add_series(SeriesResult.from_arrays(
         "temperature", hours, temperatures, x_label="time (h)", y_label="temperature (C)"))
     result.add_series(SeriesResult.from_arrays(
@@ -568,13 +564,15 @@ def figure25_ablation(*, bits_per_chirp_values: tuple[int, ...] = (1, 2, 3, 4, 5
     """Demodulation range of vanilla / +frequency-shift / +correlation per coding rate."""
     environment = outdoor_environment(fading=NoFading())
     result = SweepResult(title="Figure 25: ablation study")
-    ranges: dict[SaiyanMode, list[float]] = {}
-    for mode in (SaiyanMode.VANILLA, SaiyanMode.FREQUENCY_SHIFT, SaiyanMode.SUPER):
-        mode_ranges = []
-        for k in bits_per_chirp_values:
-            downlink = DEFAULT_DOWNLINK.with_(bits_per_chirp=k)
-            model = _saiyan_model(mode=mode, downlink=downlink, environment=environment)
-            mode_ranges.append(model.demodulation_range_m())
+    modes = (SaiyanMode.VANILLA, SaiyanMode.FREQUENCY_SHIFT, SaiyanMode.SUPER)
+    # One bisection over the whole mode x coding-rate family at once.
+    family = [_saiyan_model(mode=mode, downlink=DEFAULT_DOWNLINK.with_(bits_per_chirp=k),
+                            environment=environment)
+              for mode in modes for k in bits_per_chirp_values]
+    family_ranges = demodulation_ranges(family).reshape(len(modes),
+                                                        len(bits_per_chirp_values))
+    ranges: dict[SaiyanMode, np.ndarray] = {}
+    for mode, mode_ranges in zip(modes, family_ranges):
         ranges[mode] = mode_ranges
         result.add_series(SeriesResult.from_arrays(
             mode.value, bits_per_chirp_values, mode_ranges,
@@ -720,30 +718,37 @@ def figure27_channel_hopping(*, num_windows: int = 60, packets_per_window: int =
 
 
 # ---------------------------------------------------------------------------
-# Convenience: run everything (used by EXPERIMENTS.md regeneration)
+# Registry and convenience runner (used by the CLI, the BatchRunner, the
+# golden-figure regression tests and the EXPERIMENTS.md regeneration)
 # ---------------------------------------------------------------------------
+
+#: Every paper artefact, keyed by id, mapped to its zero-argument driver.
+#: :class:`repro.sim.batch.BatchRunner` fans these out (optionally over a
+#: process pool) and records one manifest per artefact.
+FIGURE_DRIVERS: dict[str, Callable[[], SweepResult]] = {
+    "fig2": figure2_baseline_uplink_ber,
+    "fig5": figure5_saw_response,
+    "fig6": figure6_saw_symbols,
+    "fig7": figure7_comparator,
+    "tab1": table1_sampling_rate,
+    "fig10": figure10_cyclic_shift,
+    "fig16": figure16_coding_rate,
+    "fig17": figure17_spreading_factor,
+    "fig18": figure18_bandwidth,
+    "fig19": figure19_one_wall,
+    "fig20": figure20_two_walls,
+    "fig21": figure21_detection_range,
+    "fig22": figure22_sensitivity,
+    "fig23": figure23_amplitude_gap,
+    "fig24": figure24_temperature,
+    "fig25": figure25_ablation,
+    "tab2": table2_power_cost,
+    "fig26": figure26_retransmission,
+    "fig27": figure27_channel_hopping,
+}
+
 
 def run_all(*, fast: bool = True) -> dict[str, SweepResult]:
     """Run every experiment driver and return the results keyed by artefact id."""
     del fast  # all drivers are already fast; the flag is kept for API stability
-    return {
-        "fig2": figure2_baseline_uplink_ber(),
-        "fig5": figure5_saw_response(),
-        "fig6": figure6_saw_symbols(),
-        "fig7": figure7_comparator(),
-        "tab1": table1_sampling_rate(),
-        "fig10": figure10_cyclic_shift(),
-        "fig16": figure16_coding_rate(),
-        "fig17": figure17_spreading_factor(),
-        "fig18": figure18_bandwidth(),
-        "fig19": figure19_one_wall(),
-        "fig20": figure20_two_walls(),
-        "fig21": figure21_detection_range(),
-        "fig22": figure22_sensitivity(),
-        "fig23": figure23_amplitude_gap(),
-        "fig24": figure24_temperature(),
-        "fig25": figure25_ablation(),
-        "tab2": table2_power_cost(),
-        "fig26": figure26_retransmission(),
-        "fig27": figure27_channel_hopping(),
-    }
+    return {artefact: driver() for artefact, driver in FIGURE_DRIVERS.items()}

@@ -38,6 +38,7 @@ from repro.core.receiver import SaiyanReceiver
 from repro.exceptions import ConfigurationError, LinkError
 from repro.hardware.saw_filter import SAWFilter
 from repro.sim.metrics import throughput_bps
+from repro.utils import arrays
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import ensure_integer, ensure_positive
 
@@ -75,6 +76,29 @@ DETECTION_ROLLOFF_DB: float = 1.5
 
 #: BER at the demodulation sensitivity, by definition of the range metric.
 BER_AT_SENSITIVITY: float = BER_RANGE_THRESHOLD
+
+
+def ber_from_margin(margin_db):
+    """Log-linear BER at ``margin_db`` above the demodulation sensitivity.
+
+    The calibrated 30 dB-per-decade curve, clipped to [1e-7, 0.5].  The single
+    formula behind every BER in the library: the scalar model methods and the
+    vectorized range searches (:func:`repro.sim.batch.demodulation_ranges`)
+    share it so the two paths cannot drift apart.
+    """
+    log_ber = (np.log10(BER_AT_SENSITIVITY)
+               - np.asarray(margin_db, dtype=float) / BER_SLOPE_DB_PER_DECADE)
+    return np.clip(10.0 ** log_ber, 1e-7, 0.5)
+
+
+def detection_probability_from_margin(margin_db):
+    """Logistic detection probability at ``margin_db`` above the sensitivity.
+
+    Shared by the scalar model methods and the vectorized range searches
+    (:func:`repro.sim.batch.detection_ranges`), like :func:`ber_from_margin`.
+    """
+    margin = np.asarray(margin_db, dtype=float)
+    return 1.0 / (1.0 + np.exp(-margin / (DETECTION_ROLLOFF_DB / 4.0)))
 
 
 @dataclass
@@ -132,20 +156,34 @@ class SaiyanLinkModel:
         current_top = float(np.asarray(self.saw_filter.gain_db(bandwidth)))
         return max(nominal_top - current_top, 0.0)
 
-    def _bits_penalty_db(self, bits_per_chirp: int | None = None) -> float:
-        """Sensitivity loss from packing more bits per chirp."""
+    def _bits_penalty_db(self, bits_per_chirp=None):
+        """Sensitivity loss from packing more bits per chirp.
+
+        ``bits_per_chirp`` may be a scalar or an array of coding rates, in
+        which case an array of penalties is returned (used to broadcast the
+        figure sweeps over config grids).
+        """
         bits = self.config.downlink.bits_per_chirp if bits_per_chirp is None else bits_per_chirp
-        return (bits - REFERENCE_BITS_PER_CHIRP) * BITS_PER_CHIRP_PENALTY_DB
+        return (np.asarray(bits, dtype=float) - REFERENCE_BITS_PER_CHIRP) \
+            * BITS_PER_CHIRP_PENALTY_DB
 
-    def demodulation_sensitivity_dbm(self, *, bits_per_chirp: int | None = None) -> float:
-        """RSS at which the BER equals 1e-3 for this configuration."""
+    def demodulation_sensitivity_dbm(self, *, bits_per_chirp=None):
+        """RSS at which the BER equals 1e-3 for this configuration.
+
+        Returns a float for a scalar (or default) ``bits_per_chirp`` and an
+        array when an array of coding rates is supplied.
+        """
         base = SaiyanReceiver.demodulation_sensitivity_dbm(self.config.mode)
-        return (base
-                + self._bits_penalty_db(bits_per_chirp)
-                + self._bandwidth_penalty_db()
-                + self._temperature_penalty_db()
-                - self._spreading_factor_bonus_db())
+        sensitivity = (base
+                       + self._bits_penalty_db(bits_per_chirp)
+                       + self._bandwidth_penalty_db()
+                       + self._temperature_penalty_db()
+                       - self._spreading_factor_bonus_db())
+        if bits_per_chirp is None:
+            return float(sensitivity)
+        return arrays.match_scalar(sensitivity, bits_per_chirp)
 
+    @property
     def detection_sensitivity_dbm(self) -> float:
         """RSS at which packet detection still succeeds (50 % point)."""
         base = SaiyanReceiver.detection_sensitivity_dbm(self.config.mode)
@@ -155,29 +193,38 @@ class SaiyanLinkModel:
     # ------------------------------------------------------------------
     # RSS-domain performance
     # ------------------------------------------------------------------
-    def detection_probability(self, rss_dbm: float) -> float:
-        """Probability of detecting a packet at ``rss_dbm`` (logistic roll-off)."""
-        margin = rss_dbm - self.detection_sensitivity_dbm()
-        return float(1.0 / (1.0 + np.exp(-margin / (DETECTION_ROLLOFF_DB / 4.0))))
+    def detection_probability(self, rss_dbm):
+        """Probability of detecting a packet at ``rss_dbm`` (logistic roll-off).
 
-    def bit_error_rate(self, rss_dbm: float, *, bits_per_chirp: int | None = None) -> float:
+        ``rss_dbm`` may be a scalar (float out) or an array (array out).
+        """
+        margin = arrays.as_float_array(rss_dbm) - self.detection_sensitivity_dbm
+        return arrays.match_scalar(detection_probability_from_margin(margin), rss_dbm)
+
+    def bit_error_rate(self, rss_dbm, *, bits_per_chirp=None):
         """BER at ``rss_dbm`` for this configuration.
 
         Log-linear in the RSS margin over the demodulation sensitivity, with
-        the calibrated 30 dB-per-decade slope; clipped to [1e-7, 0.5].
+        the calibrated 30 dB-per-decade slope; clipped to [1e-7, 0.5].  Both
+        ``rss_dbm`` and ``bits_per_chirp`` may be scalars or broadcast-
+        compatible arrays, enabling whole figure sweeps in one call.
         """
         sensitivity = self.demodulation_sensitivity_dbm(bits_per_chirp=bits_per_chirp)
-        margin = rss_dbm - sensitivity
-        log_ber = np.log10(BER_AT_SENSITIVITY) - margin / BER_SLOPE_DB_PER_DECADE
-        return float(np.clip(10.0 ** log_ber, 1e-7, 0.5))
+        ber = ber_from_margin(arrays.as_float_array(rss_dbm) - sensitivity)
+        if bits_per_chirp is None:
+            return arrays.match_scalar(ber, rss_dbm)
+        return arrays.match_scalar(ber, rss_dbm, bits_per_chirp)
 
-    def data_rate_bps(self, *, bits_per_chirp: int | None = None) -> float:
-        """Raw downlink data rate ``K * BW / 2**SF``."""
+    def data_rate_bps(self, *, bits_per_chirp=None):
+        """Raw downlink data rate ``K * BW / 2**SF`` (scalar or array in ``K``)."""
         bits = self.config.downlink.bits_per_chirp if bits_per_chirp is None else bits_per_chirp
-        return bits * self.config.downlink.bandwidth_hz / (
+        rate = np.asarray(bits, dtype=float) * self.config.downlink.bandwidth_hz / (
             2 ** self.config.downlink.spreading_factor)
+        if bits_per_chirp is None:
+            return float(rate)
+        return arrays.match_scalar(rate, bits_per_chirp)
 
-    def throughput_bps(self, rss_dbm: float, *, bits_per_chirp: int | None = None) -> float:
+    def throughput_bps(self, rss_dbm, *, bits_per_chirp=None):
         """Goodput at ``rss_dbm``: data rate discounted by BER and detection."""
         ber = self.bit_error_rate(rss_dbm, bits_per_chirp=bits_per_chirp)
         detection = self.detection_probability(rss_dbm)
@@ -187,20 +234,18 @@ class SaiyanLinkModel:
     # ------------------------------------------------------------------
     # Distance-domain performance
     # ------------------------------------------------------------------
-    def rss_at(self, distance_m: float, *, random_state: RandomState = None,
-               include_fading: bool = False) -> float:
-        """RSS at ``distance_m`` over the configured link."""
+    def rss_at(self, distance_m, *, random_state: RandomState = None,
+               include_fading: bool = False):
+        """RSS at ``distance_m`` (scalar or array) over the configured link."""
         return self.link.rss_dbm(distance_m, random_state=random_state,
                                  include_fading=include_fading)
 
-    def ber_at_distance(self, distance_m: float, *,
-                        bits_per_chirp: int | None = None) -> float:
-        """Mean-RSS BER at ``distance_m``."""
+    def ber_at_distance(self, distance_m, *, bits_per_chirp=None):
+        """Mean-RSS BER at ``distance_m`` (scalar or array)."""
         return self.bit_error_rate(self.rss_at(distance_m), bits_per_chirp=bits_per_chirp)
 
-    def throughput_at_distance(self, distance_m: float, *,
-                               bits_per_chirp: int | None = None) -> float:
-        """Mean-RSS goodput at ``distance_m``."""
+    def throughput_at_distance(self, distance_m, *, bits_per_chirp=None):
+        """Mean-RSS goodput at ``distance_m`` (scalar or array)."""
         return self.throughput_bps(self.rss_at(distance_m), bits_per_chirp=bits_per_chirp)
 
     def demodulation_range_m(self, *, ber_threshold: float = BER_RANGE_THRESHOLD,
@@ -245,27 +290,23 @@ class SaiyanLinkModel:
     def simulate_packets(self, distance_m: float, num_packets: int, *,
                          payload_bits: int = 64,
                          include_fading: bool = True,
-                         random_state: RandomState = None) -> tuple[int, int, int]:
+                         random_state: RandomState = None,
+                         engine: str = "batch") -> tuple[int, int, int]:
         """Simulate ``num_packets`` downlink packets at ``distance_m``.
 
         Returns ``(detected, delivered, bit_errors)`` where delivered counts
-        packets received without any bit error.
+        packets received without any bit error.  The default ``engine="batch"``
+        evaluates the whole Monte-Carlo run as block array operations;
+        ``engine="scalar"`` runs the packet-by-packet reference loop.  Both
+        engines draw from the same per-category substreams, so a fixed seed
+        produces bit-identical counts on either path.
         """
-        num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
-        payload_bits = ensure_integer(payload_bits, "payload_bits", minimum=1)
-        rng = as_rng(random_state)
-        detected = delivered = bit_errors = 0
-        for _ in range(num_packets):
-            rss = self.rss_at(distance_m, random_state=rng, include_fading=include_fading)
-            if rng.random() >= self.detection_probability(rss):
-                continue
-            detected += 1
-            ber = self.bit_error_rate(rss)
-            errors = int(rng.binomial(payload_bits, ber))
-            bit_errors += errors
-            if errors == 0:
-                delivered += 1
-        return detected, delivered, bit_errors
+        from repro.sim.batch import simulate_link_packets
+
+        result = simulate_link_packets(
+            self, distance_m, num_packets, payload_bits=payload_bits,
+            include_fading=include_fading, random_state=random_state, engine=engine)
+        return result.detected, result.delivered, result.bit_errors
 
     def with_mode(self, mode: SaiyanMode) -> "SaiyanLinkModel":
         """Return a copy of this model with a different Saiyan mode."""
@@ -305,10 +346,13 @@ class BaselineLinkModel:
         """Detection sensitivity of this baseline."""
         return self._SENSITIVITIES[self.name]
 
-    def detection_probability(self, rss_dbm: float) -> float:
-        """Logistic detection probability around the baseline's sensitivity."""
-        margin = rss_dbm - self.detection_sensitivity_dbm
-        return float(1.0 / (1.0 + np.exp(-margin / (DETECTION_ROLLOFF_DB / 4.0))))
+    def detection_probability(self, rss_dbm):
+        """Logistic detection probability around the baseline's sensitivity.
+
+        ``rss_dbm`` may be a scalar (float out) or an array (array out).
+        """
+        margin = arrays.as_float_array(rss_dbm) - self.detection_sensitivity_dbm
+        return arrays.match_scalar(detection_probability_from_margin(margin), rss_dbm)
 
     def detection_range_m(self, *, probability: float = 0.5,
                           max_distance_m: float = 2000.0) -> float:
@@ -355,24 +399,32 @@ class BackscatterUplinkModel:
     bandwidth_hz: float = 500e3
     modulation_penalty_db: float = 3.0
 
-    def snr_db(self, tx_to_tag_m: float, tag_to_rx_m: float, *,
-               random_state: RandomState = None, include_fading: bool = False) -> float:
-        """Uplink SNR at the access point for the given geometry."""
-        result = self.uplink.evaluate(tx_to_tag_m, tag_to_rx_m, self.bandwidth_hz,
-                                      random_state=random_state,
-                                      include_fading=include_fading)
-        return result.snr_db - self.modulation_penalty_db
+    def snr_db(self, tx_to_tag_m, tag_to_rx_m, *,
+               random_state: RandomState = None, include_fading: bool = False):
+        """Uplink SNR at the access point for the given geometry.
 
-    def symbol_error_probability(self, tx_to_tag_m: float, tag_to_rx_m: float, **kwargs) -> float:
+        Both distances may be scalars or broadcast-compatible arrays; array
+        inputs draw one fading realisation per element of the broadcast
+        shape and return an array of SNRs.
+        """
+        # received_power_dbm already dispatches float-for-scalar/array-for-array.
+        rss = self.uplink.received_power_dbm(tx_to_tag_m, tag_to_rx_m,
+                                             random_state=random_state,
+                                             include_fading=include_fading)
+        noise = self.uplink.backward.noise_dbm(self.bandwidth_hz)
+        return rss - noise - self.modulation_penalty_db
+
+    def symbol_error_probability(self, tx_to_tag_m, tag_to_rx_m, **kwargs):
         """Uplink symbol error probability at the access point."""
         snr = self.snr_db(tx_to_tag_m, tag_to_rx_m, **kwargs)
         return StandardLoRaReceiver.symbol_error_probability(snr, self.spreading_factor)
 
-    def bit_error_rate(self, tx_to_tag_m: float, tag_to_rx_m: float, **kwargs) -> float:
+    def bit_error_rate(self, tx_to_tag_m, tag_to_rx_m, **kwargs):
         """Uplink BER at the access point (orthogonal-modulation bit mapping)."""
         p_sym = self.symbol_error_probability(tx_to_tag_m, tag_to_rx_m, **kwargs)
         chips = 2 ** self.spreading_factor
-        return float(np.clip(p_sym * (chips / 2) / (chips - 1), 0.0, 0.5))
+        ber = np.clip(np.asarray(p_sym) * (chips / 2) / (chips - 1), 0.0, 0.5)
+        return arrays.match_scalar(ber, tx_to_tag_m, tag_to_rx_m)
 
     def packet_success_probability(self, tx_to_tag_m: float, tag_to_rx_m: float, *,
                                    payload_bits: int = 64,
@@ -382,14 +434,13 @@ class BackscatterUplinkModel:
 
         Averages over small-scale fading realisations, which is what turns
         the steep AWGN BER curve into the gradual packet-loss behaviour the
-        §5.3 retransmission study (Figure 26) builds on.
+        §5.3 retransmission study (Figure 26) builds on.  The fading draws
+        are evaluated as one broadcast batch.
         """
         payload_bits = ensure_integer(payload_bits, "payload_bits", minimum=1)
         num_fading_draws = ensure_integer(num_fading_draws, "num_fading_draws", minimum=1)
         rng = as_rng(random_state)
-        successes = 0.0
-        for _ in range(num_fading_draws):
-            ber = self.bit_error_rate(tx_to_tag_m, tag_to_rx_m,
-                                      random_state=rng, include_fading=True)
-            successes += (1.0 - ber) ** payload_bits
-        return float(successes / num_fading_draws)
+        bers = self.bit_error_rate(np.full(num_fading_draws, float(tx_to_tag_m)),
+                                   np.full(num_fading_draws, float(tag_to_rx_m)),
+                                   random_state=rng, include_fading=True)
+        return float(np.mean((1.0 - bers) ** payload_bits))

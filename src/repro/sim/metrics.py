@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.utils import arrays
 
 
 def bit_error_rate(transmitted, received) -> float:
@@ -39,22 +40,27 @@ def packet_reception_ratio(delivered: int, total: int) -> float:
     return delivered / total
 
 
-def throughput_bps(data_rate_bps: float, ber: float, *, detection_probability: float = 1.0
-                   ) -> float:
+def throughput_bps(data_rate_bps, ber, *, detection_probability=1.0):
     """Return the goodput: correctly decoded bits per second.
 
     The paper's throughput metric counts correctly decoded data, so the raw
     data rate is discounted by the fraction of erroneous bits and by the
-    probability that the packet was detected at all.
+    probability that the packet was detected at all.  All three inputs may
+    be scalars (float out) or broadcast-compatible arrays (array out).
     """
-    if data_rate_bps < 0:
+    # np.all-style checks so that NaN inputs fail validation (as the scalar
+    # chained comparisons always did) instead of flowing through silently.
+    if not np.all(np.asarray(data_rate_bps) >= 0):
         raise ConfigurationError("data_rate_bps must be >= 0")
-    if not 0.0 <= ber <= 1.0:
+    ber_array = np.asarray(ber)
+    if not np.all((ber_array >= 0.0) & (ber_array <= 1.0)):
         raise ConfigurationError(f"ber must be in [0, 1], got {ber}")
-    if not 0.0 <= detection_probability <= 1.0:
+    detection_array = np.asarray(detection_probability)
+    if not np.all((detection_array >= 0.0) & (detection_array <= 1.0)):
         raise ConfigurationError(
             f"detection_probability must be in [0, 1], got {detection_probability}")
-    return data_rate_bps * (1.0 - ber) * detection_probability
+    return arrays.match_scalar(data_rate_bps * (1.0 - ber_array) * detection_array,
+                               data_rate_bps, ber, detection_probability)
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,17 @@ class SeriesResult:
             raise ConfigurationError(f"series {self.name!r} is empty")
         index = int(np.argmin(np.abs(np.asarray(self.x) - x_value)))
         return self.y[index]
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable representation of this series."""
+        return {"name": self.name, "x": list(self.x), "y": list(self.y),
+                "x_label": self.x_label, "y_label": self.y_label}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SeriesResult":
+        """Rebuild a series from :meth:`to_dict` output."""
+        return cls(name=data["name"], x=tuple(data["x"]), y=tuple(data["y"]),
+                   x_label=data.get("x_label", "x"), y_label=data.get("y_label", "y"))
 
     @property
     def y_max(self) -> float:
@@ -130,3 +147,20 @@ class SweepResult:
     def series_names(self) -> list[str]:
         """Names of all series in insertion order."""
         return [series.name for series in self.series]
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable representation of this result."""
+        return {"title": self.title,
+                "series": [series.to_dict() for series in self.series],
+                "scalars": dict(self.scalars),
+                "notes": self.notes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        result = cls(title=data["title"], notes=data.get("notes", ""))
+        for series in data.get("series", ()):
+            result.add_series(SeriesResult.from_dict(series))
+        for name, value in data.get("scalars", {}).items():
+            result.add_scalar(name, value)
+        return result

@@ -20,13 +20,11 @@ import numpy as np
 
 from repro.core.config import SaiyanConfig
 from repro.exceptions import ConfigurationError
-from repro.net.access_point import AccessPoint
 from repro.net.channel_hopping import ChannelHopController
-from repro.net.retransmission import RetransmissionPolicy
 from repro.net.tag import BackscatterTag
 from repro.sim.metrics import packet_reception_ratio
-from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import ensure_integer, ensure_probability
+from repro.utils.rng import RandomState
+from repro.utils.validation import ensure_probability
 
 
 @dataclass
@@ -88,7 +86,8 @@ class FeedbackNetworkSimulator:
     def run_retransmission_experiment(self, *, num_packets: int = 1000,
                                       max_retransmissions: int = 3,
                                       tag_id: int = 1,
-                                      random_state: RandomState = None
+                                      random_state: RandomState = None,
+                                      engine: str = "batch"
                                       ) -> RetransmissionExperimentResult:
         """Run the Figure 26 experiment for one tag.
 
@@ -97,40 +96,19 @@ class FeedbackNetworkSimulator:
         tag only retransmits if it can demodulate the command (downlink RSS
         above its sensitivity) — without Saiyan that step always fails and
         the PRR stays at the single-shot value.
+
+        The default ``engine="batch"`` evaluates every uplink attempt as one
+        block of array draws; ``engine="scalar"`` runs the packet-by-packet
+        protocol loop (tag, access point, ARQ tracker).  Both engines share
+        the same substream discipline, so a fixed seed gives bit-identical
+        results either way.
         """
-        num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
-        max_retransmissions = ensure_integer(max_retransmissions, "max_retransmissions",
-                                             minimum=0, maximum=16)
-        rng = as_rng(random_state)
-        tag = BackscatterTag(tag_id, config=self.config)
-        access_point = AccessPoint(
-            retransmission_policy=RetransmissionPolicy(max_retransmissions=max_retransmissions))
-        feedback_heard = feedback_missed = 0
-        for _ in range(num_packets):
-            packet = tag.next_packet(random_state=rng)
-            channel_index = 0
-            success = rng.random() < self._uplink_probability(tag, channel_index)
-            access_point.observe_uplink(packet, received=success)
-            while not success:
-                command = access_point.request_retransmission_for(packet.key)
-                if command is None:
-                    break
-                rss = float(self.downlink_rss_dbm(tag))
-                reply = tag.handle_command(command, rss_dbm=rss)
-                if reply is None:
-                    feedback_missed += 1
-                    break
-                feedback_heard += 1
-                success = rng.random() < self._uplink_probability(tag, channel_index)
-                access_point.observe_uplink(reply, received=success)
-        return RetransmissionExperimentResult(
-            max_retransmissions=max_retransmissions,
-            packets=num_packets,
-            delivered=access_point.arq.delivered_packets,
-            total_transmissions=access_point.arq.total_transmissions,
-            feedback_heard=feedback_heard,
-            feedback_missed=feedback_missed,
-        )
+        from repro.sim.batch import run_retransmission
+
+        return run_retransmission(self, num_packets=num_packets,
+                                  max_retransmissions=max_retransmissions,
+                                  tag_id=tag_id, random_state=random_state,
+                                  engine=engine)
 
     def _uplink_probability(self, tag: BackscatterTag, channel_index: int) -> float:
         probability = float(self.uplink_success_probability(tag, channel_index))
@@ -142,7 +120,8 @@ class FeedbackNetworkSimulator:
                                        packets_per_window: int = 20,
                                        hop_after_window: int | None = None,
                                        tag_id: int = 1,
-                                       random_state: RandomState = None
+                                       random_state: RandomState = None,
+                                       engine: str = "batch"
                                        ) -> list[ChannelHoppingWindow]:
         """Run the Figure 27 experiment.
 
@@ -152,39 +131,19 @@ class FeedbackNetworkSimulator:
         the cleanest channel, which the tag obeys if it can hear the
         command.  The per-window PRR before and after the hop forms the CDF
         the paper plots.
+
+        The default ``engine="batch"`` draws each window's uplink attempts
+        as one block; ``engine="scalar"`` runs the per-packet loop.  Both
+        engines agree bit-for-bit under a fixed seed.
         """
-        num_windows = ensure_integer(num_windows, "num_windows", minimum=1)
-        packets_per_window = ensure_integer(packets_per_window, "packets_per_window",
-                                            minimum=1)
-        rng = as_rng(random_state)
-        tag = BackscatterTag(tag_id, config=self.config)
-        access_point = AccessPoint(hop_controller=hop_controller)
-        current_channel = 0
-        windows: list[ChannelHoppingWindow] = []
-        for window_index in range(num_windows):
-            delivered = 0
-            for _ in range(packets_per_window):
-                packet = tag.next_packet(random_state=rng)
-                success = rng.random() < self._uplink_probability(tag, current_channel)
-                access_point.observe_uplink(packet, received=success)
-                if success:
-                    delivered += 1
-            jammed = not hop_controller.channel_is_clean(current_channel)
-            windows.append(ChannelHoppingWindow(
-                window_index=window_index,
-                channel_index=current_channel,
-                jammed=jammed,
-                prr=packet_reception_ratio(delivered, packets_per_window),
-            ))
-            allowed_to_hop = hop_after_window is None or window_index >= hop_after_window
-            if allowed_to_hop:
-                command = access_point.maybe_hop(current_channel, target_tag_id=tag.tag_id)
-                if command is not None:
-                    rss = float(self.downlink_rss_dbm(tag))
-                    reply = tag.handle_command(command, rss_dbm=rss)
-                    if reply is not None:
-                        current_channel = int(command.argument)
-        return windows
+        from repro.sim.batch import run_channel_hopping
+
+        return run_channel_hopping(self, hop_controller=hop_controller,
+                                   num_windows=num_windows,
+                                   packets_per_window=packets_per_window,
+                                   hop_after_window=hop_after_window,
+                                   tag_id=tag_id, random_state=random_state,
+                                   engine=engine)
 
     # ------------------------------------------------------------------
     @staticmethod

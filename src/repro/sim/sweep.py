@@ -3,6 +3,13 @@
 Small conveniences used by the experiment drivers and available to library
 users who want to run their own sweeps: evaluate a function over a 1-D or
 2-D grid of parameters and collect the results as arrays.
+
+Both helpers accept either a scalar evaluator (called once per grid point,
+the historical behaviour) or — with ``vectorized=True`` — an array-in /
+array-out evaluator that receives the whole grid at once and returns the
+matching array of results.  The vectorized model methods in
+:mod:`repro.sim.link_sim` satisfy that contract directly, so whole figure
+sweeps collapse into a single NumPy expression.
 """
 
 from __future__ import annotations
@@ -14,8 +21,21 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 
 
-def sweep_1d(values: Iterable, evaluate: Callable[[object], float]) -> tuple[list, np.ndarray]:
+def _check_shape(results: np.ndarray, expected: tuple[int, ...]) -> np.ndarray:
+    if results.shape != expected:
+        raise ConfigurationError(
+            f"vectorized evaluator returned shape {results.shape}, "
+            f"expected {expected}")
+    return results
+
+
+def sweep_1d(values: Iterable, evaluate: Callable[[object], float], *,
+             vectorized: bool = False) -> tuple[list, np.ndarray]:
     """Evaluate ``evaluate`` at every entry of ``values``.
+
+    With ``vectorized=False`` (default) the evaluator is called once per
+    value; with ``vectorized=True`` it is called exactly once with the whole
+    value array and must return an array of the same length.
 
     Returns ``(values_list, results_array)``.
     """
@@ -24,13 +44,23 @@ def sweep_1d(values: Iterable, evaluate: Callable[[object], float]) -> tuple[lis
         raise ConfigurationError("sweep_1d requires at least one value")
     if not callable(evaluate):
         raise ConfigurationError("evaluate must be callable")
-    results = np.array([float(evaluate(value)) for value in values_list])
+    if vectorized:
+        results = np.asarray(evaluate(np.asarray(values_list)), dtype=float)
+        results = _check_shape(results, (len(values_list),))
+    else:
+        results = np.array([float(evaluate(value)) for value in values_list])
     return values_list, results
 
 
 def sweep_2d(rows: Sequence, columns: Sequence,
-             evaluate: Callable[[object, object], float]) -> np.ndarray:
+             evaluate: Callable[[object, object], float], *,
+             vectorized: bool = False) -> np.ndarray:
     """Evaluate ``evaluate`` over the cartesian product ``rows x columns``.
+
+    With ``vectorized=False`` (default) the evaluator is called once per
+    grid point; with ``vectorized=True`` it is called exactly once with two
+    broadcastable ``(len(rows), len(columns))`` grids and must return an
+    array of that shape.
 
     Returns a ``(len(rows), len(columns))`` array with
     ``result[i, j] = evaluate(rows[i], columns[j])``.
@@ -41,6 +71,11 @@ def sweep_2d(rows: Sequence, columns: Sequence,
         raise ConfigurationError("sweep_2d requires non-empty rows and columns")
     if not callable(evaluate):
         raise ConfigurationError("evaluate must be callable")
+    if vectorized:
+        row_grid, column_grid = np.meshgrid(np.asarray(rows), np.asarray(columns),
+                                            indexing="ij")
+        results = np.asarray(evaluate(row_grid, column_grid), dtype=float)
+        return _check_shape(results, (len(rows), len(columns)))
     result = np.empty((len(rows), len(columns)), dtype=float)
     for i, row in enumerate(rows):
         for j, column in enumerate(columns):

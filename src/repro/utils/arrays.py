@@ -1,0 +1,34 @@
+"""Scalar/array polymorphism helpers for the vectorized model APIs.
+
+Every vectorized model method in the library follows the same contract:
+scalar inputs return a plain ``float`` (the historical behaviour) and array
+inputs return an ``np.ndarray`` of matching shape.  These helpers centralise
+the input normalisation and the return-type dispatch so each method body can
+be written once, in array form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_scalar(*values) -> bool:
+    """Return True when every input is a zero-dimensional (scalar) value."""
+    return all(np.ndim(value) == 0 for value in values)
+
+
+def as_float_array(value) -> np.ndarray:
+    """Return ``value`` as a float64 array (zero-dim for scalars)."""
+    return np.asarray(value, dtype=float)
+
+
+def match_scalar(result, *inputs):
+    """Return ``float(result)`` when every input was scalar, else the array.
+
+    This is the single dispatch point that keeps the vectorized model
+    methods backwards compatible: ``f(-70.0)`` still returns a ``float``
+    while ``f(np.array([-70.0, -80.0]))`` returns an array.
+    """
+    if is_scalar(*inputs):
+        return float(result)
+    return np.asarray(result, dtype=float)

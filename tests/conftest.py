@@ -52,3 +52,11 @@ def modulator(downlink: DownlinkParameters) -> LoRaModulator:
 def outdoor_link():
     """The calibrated outdoor link budget without fading (deterministic RSS)."""
     return outdoor_environment(fading=NoFading()).link_budget()
+
+
+@pytest.fixture
+def saiyan_model(saiyan_config: SaiyanConfig, outdoor_link):
+    """A Super-Saiyan link model on the deterministic outdoor link."""
+    from repro.sim.link_sim import SaiyanLinkModel
+
+    return SaiyanLinkModel(config=saiyan_config, link=outdoor_link)

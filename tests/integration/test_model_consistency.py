@@ -93,7 +93,7 @@ def test_sensitivity_ladder_matches_receiver_constants():
     at the reference configuration (SF7, 500 kHz, K=2, 25 °C)."""
     for mode in SaiyanMode:
         model = _link_model(mode)
-        assert model.detection_sensitivity_dbm() == pytest.approx(
+        assert model.detection_sensitivity_dbm == pytest.approx(
             SaiyanReceiver.detection_sensitivity_dbm(mode), abs=1e-6)
         assert model.demodulation_sensitivity_dbm() == pytest.approx(
             SaiyanReceiver.demodulation_sensitivity_dbm(mode), abs=1e-6)

@@ -1,0 +1,319 @@
+"""Tests for the batch simulation engine (:mod:`repro.sim.batch`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import indoor_environment, outdoor_environment
+from repro.channel.fading import NoFading, RayleighFading, RicianFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.exceptions import ConfigurationError, LinkError
+from repro.lora.parameters import DownlinkParameters
+from repro.sim.batch import (
+    BatchRunner,
+    PacketBatchResult,
+    demodulation_ranges,
+    detection_ranges,
+    simulate_link_packets,
+)
+from repro.sim.link_sim import BaselineLinkModel, SaiyanLinkModel
+from repro.sim.metrics import SweepResult
+from repro.sim.network import FeedbackNetworkSimulator
+
+
+def _model(*, mode=SaiyanMode.SUPER, bits_per_chirp=2, spreading_factor=7,
+           bandwidth_hz=500e3, environment=None):
+    environment = environment or outdoor_environment(fading=NoFading())
+    downlink = DownlinkParameters(spreading_factor=spreading_factor,
+                                  bandwidth_hz=bandwidth_hz,
+                                  bits_per_chirp=bits_per_chirp)
+    return SaiyanLinkModel(config=SaiyanConfig(downlink=downlink, mode=mode),
+                           link=environment.link_budget())
+
+
+def _simulator(probability: float, rss_dbm: float) -> FeedbackNetworkSimulator:
+    return FeedbackNetworkSimulator(
+        uplink_success_probability=lambda tag, channel: probability,
+        downlink_rss_dbm=lambda tag: rss_dbm,
+        config=SaiyanConfig(downlink=DownlinkParameters(spreading_factor=7,
+                                                        bandwidth_hz=500e3,
+                                                        bits_per_chirp=2),
+                            mode=SaiyanMode.SUPER),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Link-level Monte-Carlo engine
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fading", [NoFading(), RayleighFading(),
+                                    RicianFading(k_factor_db=9.0)])
+@pytest.mark.parametrize("distance_m", [50.0, 140.0, 200.0])
+def test_link_engines_are_bit_identical(fading, distance_m):
+    model = _model(environment=outdoor_environment(fading=fading))
+    batch = simulate_link_packets(model, distance_m, 4000, random_state=99,
+                                  engine="batch")
+    scalar = simulate_link_packets(model, distance_m, 4000, random_state=99,
+                                   engine="scalar")
+    assert batch == scalar
+
+
+def test_link_engines_bit_identical_without_fading_draws():
+    model = _model()
+    batch = simulate_link_packets(model, 120.0, 2000, include_fading=False,
+                                  random_state=7, engine="batch")
+    scalar = simulate_link_packets(model, 120.0, 2000, include_fading=False,
+                                   random_state=7, engine="scalar")
+    assert batch == scalar
+
+
+def _with_shadowing(model: SaiyanLinkModel, sigma_db: float) -> SaiyanLinkModel:
+    from dataclasses import replace
+
+    shadowed_link = replace(model.link,
+                            path_loss=replace(model.link.path_loss,
+                                              shadowing_sigma_db=sigma_db))
+    return SaiyanLinkModel(config=model.config, link=shadowed_link,
+                           saw_filter=model.saw_filter)
+
+
+def test_link_engines_bit_identical_with_shadowing():
+    environment = outdoor_environment(fading=RayleighFading())
+    model = _with_shadowing(_model(environment=environment), 4.0)
+    assert model.link.shadowing_sigma_db > 0  # shadowing substream exercised
+    batch = simulate_link_packets(model, 80.0, 3000, random_state=5, engine="batch")
+    scalar = simulate_link_packets(model, 80.0, 3000, random_state=5, engine="scalar")
+    assert batch == scalar
+
+
+def test_packet_batch_result_ratios():
+    result = PacketBatchResult(num_packets=200, detected=150, delivered=120,
+                               bit_errors=77)
+    assert result.detection_ratio == pytest.approx(0.75)
+    assert result.delivery_ratio == pytest.approx(0.6)
+    empty = PacketBatchResult(num_packets=0, detected=0, delivered=0, bit_errors=0)
+    assert empty.detection_ratio == 0.0
+    assert empty.delivery_ratio == 0.0
+
+
+def test_counts_are_internally_consistent():
+    model = _model()
+    result = simulate_link_packets(model, 100.0, 5000, random_state=3)
+    assert 0 <= result.delivered <= result.detected <= result.num_packets
+    assert result.bit_errors >= 0
+
+
+def test_simulate_packets_method_delegates_to_engine():
+    model = _model()
+    detected, delivered, bit_errors = model.simulate_packets(
+        100.0, 1000, random_state=11, engine="batch")
+    result = simulate_link_packets(model, 100.0, 1000, random_state=11,
+                                   engine="scalar")
+    assert (detected, delivered, bit_errors) == (
+        result.detected, result.delivered, result.bit_errors)
+
+
+def test_unknown_engine_rejected():
+    model = _model()
+    with pytest.raises(ConfigurationError):
+        simulate_link_packets(model, 100.0, 10, engine="gpu")
+    simulator = _simulator(0.5, -60.0)
+    with pytest.raises(ConfigurationError):
+        simulator.run_retransmission_experiment(num_packets=10, engine="gpu")
+    from repro.net.channel_hopping import ChannelHopController, ChannelPlan
+    from repro.channel.interference import InterferenceEnvironment
+
+    controller = ChannelHopController(plan=ChannelPlan(base_frequency_hz=433.5e6,
+                                                       spacing_hz=500e3,
+                                                       num_channels=2),
+                                      interference=InterferenceEnvironment(),
+                                      interference_threshold_dbm=-80.0)
+    with pytest.raises(ConfigurationError):
+        simulator.run_channel_hopping_experiment(hop_controller=controller,
+                                                 num_windows=2,
+                                                 packets_per_window=2,
+                                                 engine="gpu")
+
+
+# ---------------------------------------------------------------------------
+# Network-level engines
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("max_retransmissions", [0, 1, 3])
+@pytest.mark.parametrize("probability,rss", [(0.45, -60.0), (0.82, -60.0),
+                                             (0.45, -120.0)])
+def test_retransmission_engines_are_bit_identical(max_retransmissions,
+                                                  probability, rss):
+    results = []
+    for engine in ("batch", "scalar"):
+        simulator = _simulator(probability, rss)
+        results.append(simulator.run_retransmission_experiment(
+            num_packets=1500, max_retransmissions=max_retransmissions,
+            random_state=np.random.default_rng(42), engine=engine))
+    assert results[0] == results[1]
+
+
+def test_retransmission_engines_agree_with_stochastic_callables():
+    # The link is stationary over one run: both engines sample the uplink
+    # probability and downlink RSS callables exactly once, so stochastic
+    # callables cannot break the bit-parity contract.
+    results = []
+    for engine in ("batch", "scalar"):
+        callable_rng = np.random.default_rng(7)
+        simulator = FeedbackNetworkSimulator(
+            uplink_success_probability=lambda tag, channel: 0.3 + 0.4 * callable_rng.random(),
+            downlink_rss_dbm=lambda tag: -88.0 + callable_rng.normal(0.0, 6.0),
+            config=SaiyanConfig(downlink=DownlinkParameters(spreading_factor=7,
+                                                            bandwidth_hz=500e3,
+                                                            bits_per_chirp=2),
+                                mode=SaiyanMode.SUPER),
+        )
+        results.append(simulator.run_retransmission_experiment(
+            num_packets=500, max_retransmissions=3, random_state=11,
+            engine=engine))
+    assert results[0] == results[1]
+
+
+def test_channel_hopping_engines_are_bit_identical():
+    from repro.channel.interference import InterferenceEnvironment, Jammer
+    from repro.net.channel_hopping import ChannelHopController, ChannelPlan
+
+    outcomes = []
+    for engine in ("batch", "scalar"):
+        plan = ChannelPlan(base_frequency_hz=433.5e6, spacing_hz=500e3,
+                           num_channels=4)
+        interference = InterferenceEnvironment()
+        interference.add(Jammer(frequency_hz=433.5e6, power_dbm=20.0,
+                                bandwidth_hz=1.2e6, distance_m=3.0))
+        controller = ChannelHopController(plan=plan, interference=interference,
+                                          interference_threshold_dbm=-80.0)
+        simulator = _simulator(0.9, -60.0)
+        windows = simulator.run_channel_hopping_experiment(
+            hop_controller=controller, num_windows=30, packets_per_window=20,
+            hop_after_window=15, random_state=np.random.default_rng(27),
+            engine=engine)
+        outcomes.append([(w.window_index, w.channel_index, w.jammed, w.prr)
+                         for w in windows])
+    assert outcomes[0] == outcomes[1]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized range searches
+# ---------------------------------------------------------------------------
+
+def test_demodulation_ranges_match_scalar_bisection_exactly():
+    environment = outdoor_environment(fading=NoFading())
+    models = [_model(mode=mode, bits_per_chirp=k, environment=environment)
+              for mode in (SaiyanMode.VANILLA, SaiyanMode.SUPER)
+              for k in (1, 3, 5)]
+    vectorized = demodulation_ranges(models)
+    scalar = np.array([model.demodulation_range_m() for model in models])
+    np.testing.assert_array_equal(vectorized, scalar)
+
+
+def test_demodulation_ranges_handles_dead_and_saturated_models():
+    environment = outdoor_environment(fading=NoFading())
+    model = _model(environment=environment)
+    dead = demodulation_ranges([model], ber_threshold=1e-8)  # below the clip floor
+    assert dead[0] == model.demodulation_range_m(ber_threshold=1e-8) == 0.0
+    saturated = demodulation_ranges([model], max_distance_m=1.0)
+    assert saturated[0] == model.demodulation_range_m(max_distance_m=1.0) == 1.0
+
+
+def test_detection_ranges_match_scalar_bisection_exactly():
+    environment = outdoor_environment(fading=NoFading())
+    link = environment.link_budget()
+    saiyan = _model(environment=environment)
+    baselines = [BaselineLinkModel(name, link) for name in ("plora", "aloba",
+                                                            "envelope")]
+    vectorized = detection_ranges([saiyan, *baselines])
+    scalar = np.array([saiyan.detection_range_m()]
+                      + [b.detection_range_m() for b in baselines])
+    np.testing.assert_array_equal(vectorized, scalar)
+
+
+def test_range_searches_validate_inputs():
+    environment = outdoor_environment(fading=NoFading())
+    with pytest.raises(ConfigurationError):
+        demodulation_ranges([])
+    with pytest.raises(ConfigurationError):
+        detection_ranges([])
+    with pytest.raises(LinkError):
+        detection_ranges([_model(environment=environment)], probability=1.5)
+    outdoor = _model(environment=environment)
+    indoor = _model(environment=indoor_environment(num_walls=1, fading=NoFading()))
+    with pytest.raises(ConfigurationError):
+        demodulation_ranges([outdoor, indoor])  # links differ
+    with pytest.raises(LinkError):
+        demodulation_ranges([_with_shadowing(outdoor, 4.0)])  # stochastic link
+
+
+# ---------------------------------------------------------------------------
+# BatchRunner and manifests
+# ---------------------------------------------------------------------------
+
+def test_batch_runner_runs_selected_artefacts(tmp_path):
+    runner = BatchRunner(manifest_dir=tmp_path)
+    report = runner.run(["fig22", "tab2"])
+    assert sorted(report.results) == ["fig22", "tab2"]
+    assert isinstance(report.results["fig22"], SweepResult)
+    assert report.total_wall_clock_s() > 0.0
+
+    manifest = json.loads((tmp_path / "fig22.json").read_text())
+    assert manifest["artefact"] == "fig22"
+    assert manifest["driver"].endswith("figure22_sensitivity")
+    assert manifest["engine"] == "batch"
+    assert manifest["wall_clock_s"] > 0.0
+    assert manifest["scalars"] == report.results["fig22"].scalars
+    assert set(manifest["series_lengths"]) == set(report.results["fig22"].series_names)
+
+
+def test_batch_runner_records_driver_seed_and_config(tmp_path):
+    runner = BatchRunner(manifest_dir=tmp_path)
+    runner.run(["fig26"])
+    manifest = json.loads((tmp_path / "fig26.json").read_text())
+    assert manifest["seed"] == 26
+    assert manifest["config"]["num_packets"] == 1000
+
+
+def test_batch_runner_custom_drivers():
+    calls = []
+
+    def driver() -> SweepResult:
+        calls.append(True)
+        result = SweepResult(title="custom")
+        result.add_scalar("value", 1.0)
+        return result
+
+    report = BatchRunner({"custom": driver}).run()
+    assert calls == [True]
+    assert report.results["custom"].scalars["value"] == 1.0
+    assert report.manifests["custom"].title == "custom"
+
+
+def test_batch_runner_rejects_unknown_artefacts_and_bad_processes():
+    runner = BatchRunner()
+    with pytest.raises(ConfigurationError):
+        runner.run(["nope"])
+    with pytest.raises(ConfigurationError):
+        BatchRunner(processes=0)
+
+
+def test_batch_runner_parallel_requires_registry_drivers():
+    runner = BatchRunner({"custom": lambda: SweepResult(title="x")}, processes=2)
+    with pytest.raises(ConfigurationError):
+        runner.run()
+
+
+def test_batch_runner_parallel_matches_serial():
+    artefacts = ["fig16", "fig22"]
+    serial = BatchRunner().run(artefacts)
+    parallel = BatchRunner(processes=2).run(artefacts)
+    for artefact in artefacts:
+        assert (parallel.results[artefact].scalars
+                == serial.results[artefact].scalars)
+        assert (parallel.results[artefact].series_names
+                == serial.results[artefact].series_names)

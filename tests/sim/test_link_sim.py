@@ -25,7 +25,7 @@ def _model(mode=SaiyanMode.SUPER, *, bits_per_chirp=2, bandwidth_hz=500e3,
 def test_super_demodulation_sensitivity_near_paper_value():
     model = _model()
     assert model.demodulation_sensitivity_dbm() == pytest.approx(-82.5, abs=1.0)
-    assert model.detection_sensitivity_dbm() == pytest.approx(SAIYAN_SENSITIVITY_DBM,
+    assert model.detection_sensitivity_dbm == pytest.approx(SAIYAN_SENSITIVITY_DBM,
                                                               abs=0.5)
 
 
@@ -56,7 +56,7 @@ def test_detection_probability_is_monotone_and_bounded():
     weak = model.detection_probability(-95.0)
     assert 0.99 < strong <= 1.0
     assert 0.0 <= weak < 0.05
-    assert model.detection_probability(model.detection_sensitivity_dbm()) == pytest.approx(
+    assert model.detection_probability(model.detection_sensitivity_dbm) == pytest.approx(
         0.5, abs=0.05)
 
 

@@ -41,6 +41,20 @@ def test_throughput_discounts_ber_and_detection():
         throughput_bps(1000.0, 1.5)
 
 
+def test_throughput_rejects_nan_inputs_scalar_and_array():
+    nan = float("nan")
+    with pytest.raises(ConfigurationError):
+        throughput_bps(nan, 0.1)
+    with pytest.raises(ConfigurationError):
+        throughput_bps(1000.0, nan)
+    with pytest.raises(ConfigurationError):
+        throughput_bps(1000.0, 0.1, detection_probability=nan)
+    with pytest.raises(ConfigurationError):
+        throughput_bps(np.array([1000.0, nan]), 0.1)
+    with pytest.raises(ConfigurationError):
+        throughput_bps(1000.0, np.array([0.1, nan]))
+
+
 def test_series_result_validation_and_lookup():
     series = SeriesResult.from_arrays("ber", [1, 2, 3], [0.1, 0.2, 0.3],
                                       x_label="K", y_label="BER")

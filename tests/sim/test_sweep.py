@@ -31,3 +31,52 @@ def test_sweep_2d_validation():
         sweep_2d([], [1], lambda r, c: 0)
     with pytest.raises(ConfigurationError):
         sweep_2d([1], [1], None)
+
+
+def test_sweep_1d_vectorized_matches_scalar_loop():
+    def scalar(x):
+        return x ** 2 + 1.0
+
+    values = [0.5, 1.0, 2.0, 4.0]
+    _, loop_results = sweep_1d(values, scalar)
+    calls = []
+
+    def vector(x):
+        calls.append(np.shape(x))
+        return x ** 2 + 1.0
+
+    vec_values, vec_results = sweep_1d(values, vector, vectorized=True)
+    assert vec_values == values
+    assert calls == [(len(values),)]  # exactly one whole-grid call
+    np.testing.assert_array_equal(vec_results, loop_results)
+
+
+def test_sweep_1d_vectorized_with_link_model(saiyan_model):
+    rss = np.linspace(-95.0, -60.0, 8)
+    _, loop_results = sweep_1d(rss, saiyan_model.bit_error_rate)
+    _, vec_results = sweep_1d(rss, saiyan_model.bit_error_rate, vectorized=True)
+    np.testing.assert_array_equal(vec_results, loop_results)
+
+
+def test_sweep_1d_vectorized_shape_mismatch_raises():
+    with pytest.raises(ConfigurationError):
+        sweep_1d([1.0, 2.0], lambda x: np.zeros(3), vectorized=True)
+
+
+def test_sweep_2d_vectorized_matches_scalar_loop():
+    rows, columns = [1.0, 2.0, 3.0], [10.0, 20.0]
+    loop_grid = sweep_2d(rows, columns, lambda r, c: r * c + r)
+    calls = []
+
+    def vector(r, c):
+        calls.append((np.shape(r), np.shape(c)))
+        return r * c + r
+
+    vec_grid = sweep_2d(rows, columns, vector, vectorized=True)
+    assert calls == [((3, 2), (3, 2))]
+    np.testing.assert_array_equal(vec_grid, loop_grid)
+
+
+def test_sweep_2d_vectorized_shape_mismatch_raises():
+    with pytest.raises(ConfigurationError):
+        sweep_2d([1.0], [2.0], lambda r, c: np.zeros((2, 2)), vectorized=True)

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the vectorized link models.
+
+Three invariants over random configurations and inputs:
+
+* scalar and array calls are equivalent — ``f(x)`` equals ``f([x, ...])[i]``
+  element for element, and scalar inputs still return plain floats;
+* the BER is monotone non-increasing in the RSS;
+* probabilities stay in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.standard_lora import StandardLoRaReceiver
+from repro.channel.environment import indoor_environment, outdoor_environment
+from repro.channel.fading import NoFading
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.lora.parameters import DownlinkParameters
+from repro.sim.link_sim import BaselineLinkModel, SaiyanLinkModel
+from repro.sim.metrics import throughput_bps
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+rss_values = st.floats(min_value=-140.0, max_value=-20.0, allow_nan=False)
+rss_arrays = st.lists(rss_values, min_size=1, max_size=16).map(np.asarray)
+
+
+def assert_ulp_equal(scalar: float, batched) -> None:
+    """Assert scalar-path and array-path results agree to rounding noise.
+
+    NumPy dispatches 0-d and n-d inputs of the transcendental ufuncs to
+    different kernels (libm vs. SIMD loops), which round differently in the
+    last bits; chained ufuncs (``10**x`` then ``exp``) amplify that to a few
+    ulps — so "equivalence" here means a 1e-12 relative tolerance, not
+    bitwise identity.
+    """
+    np.testing.assert_allclose(np.float64(batched), np.float64(scalar),
+                               rtol=1e-12, atol=0.0)
+
+
+@st.composite
+def saiyan_models(draw) -> SaiyanLinkModel:
+    downlink = DownlinkParameters(
+        spreading_factor=draw(st.integers(min_value=7, max_value=12)),
+        bandwidth_hz=draw(st.sampled_from((125e3, 250e3, 500e3))),
+        bits_per_chirp=draw(st.integers(min_value=1, max_value=5)),
+    )
+    mode = draw(st.sampled_from(tuple(SaiyanMode)))
+    if draw(st.booleans()):
+        environment = outdoor_environment(fading=NoFading())
+    else:
+        environment = indoor_environment(
+            num_walls=draw(st.integers(min_value=1, max_value=3)),
+            fading=NoFading())
+    return SaiyanLinkModel(config=SaiyanConfig(downlink=downlink, mode=mode),
+                           link=environment.link_budget())
+
+
+@SETTINGS
+@given(model=saiyan_models(), rss=rss_arrays)
+def test_detection_probability_scalar_array_equivalence(model, rss):
+    batched = model.detection_probability(rss)
+    assert isinstance(batched, np.ndarray)
+    assert batched.shape == rss.shape
+    for index, value in enumerate(rss):
+        scalar = model.detection_probability(float(value))
+        assert isinstance(scalar, float)
+        assert_ulp_equal(scalar, batched[index])
+
+
+@SETTINGS
+@given(model=saiyan_models(), rss=rss_arrays,
+       bits=st.one_of(st.none(), st.integers(min_value=1, max_value=5)))
+def test_bit_error_rate_scalar_array_equivalence(model, rss, bits):
+    batched = model.bit_error_rate(rss, bits_per_chirp=bits)
+    assert isinstance(batched, np.ndarray)
+    assert batched.shape == rss.shape
+    for index, value in enumerate(rss):
+        scalar = model.bit_error_rate(float(value), bits_per_chirp=bits)
+        assert isinstance(scalar, float)
+        assert_ulp_equal(scalar, batched[index])
+
+
+@SETTINGS
+@given(model=saiyan_models(), rss=rss_arrays)
+def test_throughput_scalar_array_equivalence(model, rss):
+    batched = model.throughput_bps(rss)
+    assert isinstance(batched, np.ndarray)
+    for index, value in enumerate(rss):
+        assert_ulp_equal(model.throughput_bps(float(value)), batched[index])
+
+
+@SETTINGS
+@given(model=saiyan_models(), rss=rss_arrays)
+def test_ber_is_monotone_non_increasing_in_rss(model, rss):
+    ordered = np.sort(rss)
+    ber = model.bit_error_rate(ordered)
+    assert np.all(np.diff(ber) <= 0.0)
+    assert np.all((ber >= 0.0) & (ber <= 0.5))
+
+
+@SETTINGS
+@given(model=saiyan_models(), rss=rss_arrays)
+def test_detection_probability_is_a_probability_and_monotone(model, rss):
+    detection = model.detection_probability(rss)
+    assert np.all((detection >= 0.0) & (detection <= 1.0))
+    ordered = model.detection_probability(np.sort(rss))
+    assert np.all(np.diff(ordered) >= 0.0)
+
+
+@SETTINGS
+@given(name=st.sampled_from(("plora", "aloba", "envelope")), rss=rss_arrays)
+def test_baseline_detection_probability_scalar_array_equivalence(name, rss):
+    model = BaselineLinkModel(name, outdoor_environment(fading=NoFading()).link_budget())
+    batched = model.detection_probability(rss)
+    assert np.all((batched >= 0.0) & (batched <= 1.0))
+    for index, value in enumerate(rss):
+        scalar = model.detection_probability(float(value))
+        assert isinstance(scalar, float)
+        assert_ulp_equal(scalar, batched[index])
+
+
+@SETTINGS
+@given(snr=st.lists(st.floats(min_value=-40.0, max_value=40.0, allow_nan=False),
+                    min_size=1, max_size=16).map(np.asarray),
+       spreading_factor=st.integers(min_value=7, max_value=12))
+def test_lora_symbol_error_scalar_array_equivalence(snr, spreading_factor):
+    batched = StandardLoRaReceiver.symbol_error_probability(snr, spreading_factor)
+    assert np.all((batched >= 0.0) & (batched <= 1.0))
+    for index, value in enumerate(snr):
+        scalar = StandardLoRaReceiver.symbol_error_probability(float(value),
+                                                               spreading_factor)
+        assert isinstance(scalar, float)
+        assert_ulp_equal(scalar, batched[index])
+
+
+@SETTINGS
+@given(rate=st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                     min_size=1, max_size=8).map(np.asarray),
+       ber=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       detection=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_metrics_throughput_scalar_array_equivalence(rate, ber, detection):
+    batched = throughput_bps(rate, ber, detection_probability=detection)
+    assert isinstance(batched, np.ndarray)
+    for index, value in enumerate(rate):
+        scalar = throughput_bps(float(value), ber, detection_probability=detection)
+        assert isinstance(scalar, float)
+        assert scalar == batched[index]
