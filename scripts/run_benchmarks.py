@@ -11,8 +11,11 @@ Two sections are measured and written to ``BENCH_batch.json``:
   (one :class:`~repro.sim.batch.BatchRunner` pass, manifests included);
 * ``engines`` — scalar-vs-batch head-to-heads on the Monte-Carlo hot paths
   (link-level packet simulation at 100k packets, ARQ retransmission,
-  channel hopping), asserting that both engines produce identical results
-  before reporting the speedup.
+  channel hopping, and the multi-tag network scenario engine), asserting
+  that both engines produce identical results before reporting the speedup.
+
+``--smoke`` shrinks every workload for CI: the head-to-heads still assert
+engine equality and the ≥10x link-speedup gate still applies.
 
 Future PRs rerun this script to track the performance trajectory; the
 committed ``BENCH_batch.json`` is the baseline.
@@ -116,6 +119,22 @@ def benchmark_engines(num_packets: int) -> dict:
 
     engines[f"channel_hopping_50x{num_packets // 100}"] = _engine_head_to_head(
         "channel hopping", run_hopping)
+
+    from repro.sim.network_engine import run_scenario
+    from repro.sim.scenario import get_scenario
+
+    packets_per_window = max(num_packets // 500, 10)
+    spec = get_scenario("aloha-arq-jammed").with_(
+        packets_per_window=packets_per_window)
+    offered = spec.num_tags * spec.num_windows * spec.packets_per_window
+
+    def run_network(engine: str):
+        engine = "event" if engine == "scalar" else engine
+        result = run_scenario(spec, random_state=53, engine=engine)
+        return result.comparison_key()
+
+    engines[f"network_scenario_{offered}"] = _engine_head_to_head(
+        "multi-tag network scenario", run_network)
     return engines
 
 
@@ -138,7 +157,12 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_batch.json"))
     parser.add_argument("--packets", type=int, default=100_000,
                         help="packets for the link Monte-Carlo head-to-head")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: shrink every workload (equality "
+                             "checks and the speedup gate still apply)")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.packets = min(args.packets, 20_000)
 
     engines = benchmark_engines(args.packets)
     figures = benchmark_figures()

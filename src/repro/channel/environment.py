@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.channel.fading import FadingModel, NoFading, RayleighFading, RicianFading
+from repro.exceptions import ConfigurationError
 from repro.channel.link_budget import LinkBudget
 from repro.channel.path_loss import LogDistancePathLoss
 from repro.channel.walls import WallAttenuation
@@ -54,6 +55,35 @@ class Environment:
         new_link = self.link.with_(walls=self.link.walls.with_walls(num_walls))
         return replace(self, link=new_link,
                        name=f"{self.name}+{num_walls}wall")
+
+
+def linear_deployment(num_tags: int, *, start_m: float = 5.0,
+                      spacing_m: float = 2.0) -> tuple[float, ...]:
+    """Tag-to-access-point distances of a linear (corridor/road) deployment.
+
+    Tag ``i`` sits ``start_m + i * spacing_m`` metres from the access point —
+    the layout of the paper's road and corridor field studies, and the
+    placement the multi-tag network scenarios use for heterogeneous links.
+    """
+    if num_tags < 1:
+        raise ConfigurationError(f"num_tags must be >= 1, got {num_tags}")
+    if start_m <= 0 or spacing_m < 0:
+        raise ConfigurationError(
+            f"start_m must be > 0 and spacing_m >= 0, got {start_m}, {spacing_m}")
+    return tuple(start_m + i * spacing_m for i in range(num_tags))
+
+
+def ring_deployment(num_tags: int, *, radius_m: float = 8.0) -> tuple[float, ...]:
+    """Tag-to-access-point distances of a ring deployment (equidistant tags).
+
+    All tags share one link distance, which isolates MAC effects (ALOHA
+    contention, collision probability) from link-quality differences.
+    """
+    if num_tags < 1:
+        raise ConfigurationError(f"num_tags must be >= 1, got {num_tags}")
+    if radius_m <= 0:
+        raise ConfigurationError(f"radius_m must be > 0, got {radius_m}")
+    return tuple(float(radius_m) for _ in range(num_tags))
 
 
 def outdoor_environment(*, tx_power_dbm: float = DEFAULT_TX_POWER_DBM,

@@ -1,9 +1,13 @@
 """Command-line interface for the Saiyan reproduction.
 
-Three subcommands cover the workflows a user reaches for most often::
+Four subcommands cover the workflows a user reaches for most often::
 
-    python -m repro experiments [--only fig21 fig25] [--list]
+    python -m repro experiments [--only fig21 fig25] [--list] [--seed N]
         Regenerate the paper's tables/figures and print the series + scalars.
+
+    python -m repro network --scenario aloha-dense [--seed N] [--engine batch]
+        Run a registered multi-tag network scenario on the scenario engine
+        and (optionally) record its BatchRunner JSON manifest.
 
     python -m repro power [--implementation asic|pcb] [--duty-cycle 0.01]
         Print the per-component power/cost ledger and the per-packet energy.
@@ -12,14 +16,20 @@ Three subcommands cover the workflows a user reaches for most often::
         Print detection/demodulation ranges of Saiyan (all modes) and the
         baselines in a given environment.
 
+Every subcommand accepts ``--seed`` and threads it into the engines, so two
+CLI runs with the same seed print the same numbers end to end (``power`` and
+``range`` are deterministic; the flag is accepted for interface uniformity).
+
 The same functionality is available programmatically through
-:mod:`repro.sim.experiments`, :mod:`repro.core.power_model` and
-:mod:`repro.sim.link_sim`; the CLI only arranges and prints it.
+:mod:`repro.sim.experiments`, :mod:`repro.sim.network_engine`,
+:mod:`repro.core.power_model` and :mod:`repro.sim.link_sim`; the CLI only
+arranges and prints it.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from collections.abc import Sequence
 
@@ -37,7 +47,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Saiyan (NSDI'22) reproduction: regenerate experiments, "
-                    "power budgets and range tables.",
+                    "run network scenarios, power budgets and range tables.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -47,6 +57,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="artefact ids to run (e.g. fig21 tab2); default: all")
     exp.add_argument("--list", action="store_true",
                      help="list available artefact ids and exit")
+
+    net = subparsers.add_parser(
+        "network", help="run a registered multi-tag network scenario")
+    net.add_argument("--scenario", default=None, metavar="NAME",
+                     help="scenario name (see --list)")
+    net.add_argument("--list", action="store_true",
+                     help="list registered scenarios and exit")
+    net.add_argument("--engine", choices=("batch", "event"), default="batch",
+                     help="vectorized batch path or the event-driven "
+                          "reference (bit-identical under a fixed seed)")
+    net.add_argument("--windows", type=int, default=None,
+                     help="override the scenario's number of windows")
+    net.add_argument("--packets-per-window", type=int, default=None,
+                     help="override the scenario's packets per window")
+    net.add_argument("--manifest-dir", default=None, metavar="DIR",
+                     help="write the run's BatchRunner JSON manifest here")
 
     power = subparsers.add_parser("power", help="print the tag power/cost budget")
     power.add_argument("--implementation", choices=("pcb", "asic"), default="asic")
@@ -60,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
     rng.add_argument("--bits", type=int, default=2, help="bits per chirp (K)")
     rng.add_argument("--spreading-factor", type=int, default=7)
     rng.add_argument("--bandwidth-khz", type=float, default=500.0)
+
+    for sub in (exp, net, power, rng):
+        sub.add_argument("--seed", type=int, default=None,
+                         help="seed threaded into the engines so repeated "
+                              "runs print identical numbers")
     return parser
 
 
@@ -80,8 +111,54 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print("available artefacts:", " ".join(available), file=sys.stderr)
         return 2
     for name in wanted:
-        print(format_sweep(experiments.FIGURE_DRIVERS[name]()))
+        driver = experiments.FIGURE_DRIVERS[name]
+        kwargs = {}
+        if args.seed is not None:
+            # Deterministic drivers (e.g. the SAW response) take no seed.
+            if "random_state" in inspect.signature(driver).parameters:
+                kwargs["random_state"] = args.seed
+        print(format_sweep(driver(**kwargs)))
         print()
+    return 0
+
+
+def _run_network(args: argparse.Namespace) -> int:
+    from repro.sim.batch import BatchRunner
+    from repro.sim.network_engine import make_scenario_driver
+    from repro.sim.scenario import scenario_names, get_scenario
+
+    if args.list:
+        print("registered scenarios:")
+        for name in scenario_names():
+            print(f"  {name:<20} {get_scenario(name).description}")
+        return 0
+    if args.scenario is None:
+        print("network: --scenario NAME is required (or --list)", file=sys.stderr)
+        return 2
+    names = scenario_names()
+    if args.scenario not in names:
+        print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        print("registered scenarios:", " ".join(names), file=sys.stderr)
+        return 2
+    if args.seed is not None and args.seed < 0:
+        print(f"network: --seed must be >= 0, got {args.seed}", file=sys.stderr)
+        return 2
+    from repro.exceptions import ConfigurationError
+
+    try:
+        driver = make_scenario_driver(args.scenario, random_state=args.seed,
+                                      engine=args.engine,
+                                      num_windows=args.windows,
+                                      packets_per_window=args.packets_per_window)
+        runner = BatchRunner(drivers={args.scenario: driver},
+                             manifest_dir=args.manifest_dir)
+        report = runner.run()
+    except ConfigurationError as error:
+        print(f"network: {error}", file=sys.stderr)
+        return 2
+    print(format_sweep(report.results[args.scenario]))
+    if args.manifest_dir is not None:
+        print(f"\nwrote manifest {args.manifest_dir}/{args.scenario}.json")
     return 0
 
 
@@ -127,6 +204,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "experiments":
         return _run_experiments(args)
+    if args.command == "network":
+        return _run_network(args)
     if args.command == "power":
         return _run_power(args)
     if args.command == "range":

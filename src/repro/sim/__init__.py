@@ -8,9 +8,15 @@ Three levels of fidelity are provided, trading accuracy for speed:
 * **Link level** — :mod:`repro.sim.link_sim`, a calibrated RSS -> BER /
   detection model that regenerates the field-study figures (BER, range and
   throughput sweeps) in milliseconds instead of hours.
-* **Network level** — :mod:`repro.sim.network`, an event-driven multi-tag
-  simulation of the feedback loop (ARQ retransmissions, channel hopping,
-  slotted-ALOHA acknowledgements) behind the §5.3 case studies.
+* **Network level** — :mod:`repro.sim.network_engine`, a scenario-driven
+  multi-tag simulation of the feedback loop (ARQ retransmissions, channel
+  hopping, rate adaptation, slotted-ALOHA contention) behind the §5.3 case
+  studies.  Deployments are declared as :class:`~repro.sim.scenario.ScenarioSpec`
+  values (:data:`~repro.sim.scenario.SCENARIOS` registry) and run either
+  event-driven on the :class:`~repro.sim.events.EventScheduler` or
+  vectorized on the batch path — bit-identically under a fixed seed.
+  :mod:`repro.sim.network` keeps the calibrated-probability front end of
+  the Figure 26/27 case studies on top of the same engine.
 
 :mod:`repro.sim.experiments` maps every table and figure of the paper's
 evaluation onto one driver function; the benchmark suite calls those
@@ -36,6 +42,8 @@ from repro.sim.batch import (
 )
 from repro.sim.link_sim import SaiyanLinkModel, BaselineLinkModel, BackscatterUplinkModel
 from repro.sim.network import FeedbackNetworkSimulator, RetransmissionExperimentResult
+from repro.sim.network_engine import ScenarioResult, run_scenario
+from repro.sim.scenario import SCENARIOS, ScenarioSpec, get_scenario, register_scenario
 from repro.sim.sweep import sweep_1d, sweep_2d
 from repro.sim.waveform_ber import (
     WaveformBerPoint,
@@ -66,6 +74,12 @@ __all__ = [
     "BackscatterUplinkModel",
     "FeedbackNetworkSimulator",
     "RetransmissionExperimentResult",
+    "ScenarioResult",
+    "run_scenario",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "get_scenario",
+    "register_scenario",
     "sweep_1d",
     "sweep_2d",
     "WaveformBerPoint",

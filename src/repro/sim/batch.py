@@ -13,10 +13,12 @@ batch path:
   fading, detection, bit errors), so a fixed seed produces **bit-identical**
   counts on either path — the batch engine is a drop-in replacement, not a
   statistical approximation of the loop.
-* :func:`run_retransmission` / :func:`run_channel_hopping` — the network
-  level equivalents behind :class:`FeedbackNetworkSimulator`, with the same
-  scalar/batch bit-parity contract (payload and uplink-attempt substreams,
-  fixed-width attempt rows).
+* :func:`run_scenario_windows` — the vectorized window kernel of the
+  scenario-driven network engine (:mod:`repro.sim.network_engine`): payload,
+  ALOHA-slot and fixed-width uplink-attempt blocks per measurement window,
+  with the same scalar/batch bit-parity contract as the link engine (the
+  event-driven reference consumes the identical per-category substreams one
+  row at a time).
 * :func:`demodulation_ranges` / :func:`detection_ranges` — vectorized
   bisection over whole model families sharing a link budget, replacing the
   per-config scalar bisection loops of the range figures with array ops that
@@ -160,184 +162,76 @@ def _simulate_link_packets_scalar(model, distance_m, num_packets, *, payload_bit
 
 
 # ---------------------------------------------------------------------------
-# Network-level engines (feedback loop case studies)
+# Network-level batch engine (scenario windows)
 # ---------------------------------------------------------------------------
 
-def run_retransmission(simulator, *, num_packets: int, max_retransmissions: int,
-                       tag_id: int, random_state: RandomState, engine: str = "batch"):
-    """Run the Figure 26 retransmission experiment for one tag.
+def run_scenario_windows(run) -> None:
+    """Evaluate every window of a prepared scenario run as array blocks.
 
-    The batch engine evaluates all uplink attempts as one uniform block of
-    shape ``(num_packets, 1 + max_retransmissions)``; the scalar engine runs
-    the full protocol objects (tag, access point, ARQ tracker) but draws the
-    same fixed-width attempt row per packet, so the two engines agree
-    bit-for-bit under a fixed seed.
+    ``run`` is a :class:`~repro.sim.network_engine.ScenarioRun`; the
+    sequential feedback-loop logic (jammer phases, hop and rate commands)
+    stays in the shared ``begin_window``/``record_window``/``end_window``
+    methods, while each window's packet rounds — payload bits, ALOHA slot
+    picks, fixed-width uplink attempt rows — are drawn and resolved as one
+    block per category.
 
-    The link is treated as stationary over one experiment: both engines
-    sample ``simulator``'s uplink-probability and downlink-RSS callables
-    exactly once per run, so the bit-parity contract also holds for
-    stochastic or stateful callables.
+    Draw discipline (must mirror the event engine exactly): per window, the
+    payload stream yields ``(packets, tags, payload_bits)`` ints, the slot
+    stream ``(packets, tags)`` ints (MAC scenarios only), and the attempt
+    stream ``(packets, tags, 1 + max_retransmissions)`` uniforms — all in
+    round-major, tag-minor order, exactly the order the event engine's
+    per-round callbacks consume the same streams one row at a time.
     """
-    from repro.sim.network import RetransmissionExperimentResult
-
-    num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
-    max_retransmissions = ensure_integer(max_retransmissions, "max_retransmissions",
-                                         minimum=0, maximum=16)
-    if engine == "batch":
-        return _run_retransmission_batch(simulator, RetransmissionExperimentResult,
-                                         num_packets, max_retransmissions, tag_id,
-                                         random_state)
-    if engine == "scalar":
-        return _run_retransmission_scalar(simulator, num_packets, max_retransmissions,
-                                          tag_id, random_state)
-    raise ConfigurationError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
-
-
-def _network_streams(random_state: RandomState):
-    """Spawn the payload and uplink-attempt substreams of the network engines."""
-    return as_rng(random_state).spawn(2)
-
-
-def _run_retransmission_batch(simulator, result_cls, num_packets, max_retransmissions,
-                              tag_id, random_state):
-    from repro.net.tag import BackscatterTag
-
-    payload_rng, attempt_rng = _network_streams(random_state)
-    tag = BackscatterTag(tag_id, config=simulator.config)
-    probability = simulator._uplink_probability(tag, 0)
-    can_hear = tag.can_hear(float(simulator.downlink_rss_dbm(tag)))
-    attempts = max_retransmissions + 1
-    # Payload contents never influence delivery, but the scalar engine draws
-    # them through tag.next_packet; consume the same block for stream parity.
-    payload_rng.integers(0, 2, size=(num_packets, tag.payload_bits_per_packet))
-    success = attempt_rng.random((num_packets, attempts)) < probability
-    if can_hear and max_retransmissions > 0:
-        delivered_mask = success.any(axis=1)
-        first_success = np.argmax(success, axis=1)
-        attempts_used = np.where(delivered_mask, first_success + 1, attempts)
-        feedback_heard = int((attempts_used - 1).sum())
-        feedback_missed = 0
-    else:
-        delivered_mask = success[:, 0]
-        attempts_used = np.ones(num_packets, dtype=np.int64)
-        feedback_heard = 0
-        feedback_missed = (int(np.count_nonzero(~delivered_mask))
-                           if max_retransmissions > 0 else 0)
-    return result_cls(
-        max_retransmissions=max_retransmissions,
-        packets=num_packets,
-        delivered=int(delivered_mask.sum()),
-        total_transmissions=int(attempts_used.sum()),
-        feedback_heard=feedback_heard,
-        feedback_missed=feedback_missed,
-    )
-
-
-def _run_retransmission_scalar(simulator, num_packets, max_retransmissions, tag_id,
-                               random_state):
-    from repro.net.access_point import AccessPoint
-    from repro.net.retransmission import RetransmissionPolicy
-    from repro.net.tag import BackscatterTag
-    from repro.sim.network import RetransmissionExperimentResult
-
-    payload_rng, attempt_rng = _network_streams(random_state)
-    tag = BackscatterTag(tag_id, config=simulator.config)
-    access_point = AccessPoint(
-        retransmission_policy=RetransmissionPolicy(max_retransmissions=max_retransmissions))
-    attempts = max_retransmissions + 1
-    # The link is modelled as stationary over one experiment: the uplink
-    # probability and downlink RSS callables are sampled once per run, at the
-    # same points the batch engine samples them, so both engines see the same
-    # values even when a caller supplies stochastic or stateful callables.
-    probability = simulator._uplink_probability(tag, 0)
-    rss = float(simulator.downlink_rss_dbm(tag))
-    feedback_heard = feedback_missed = 0
-    for _ in range(num_packets):
-        packet = tag.next_packet(random_state=payload_rng)
-        # Fixed-width attempt row: the batch engine draws the same block.
-        attempt_draws = attempt_rng.random(attempts)
-        success = bool(attempt_draws[0] < probability)
-        access_point.observe_uplink(packet, received=success)
-        attempt = 1
-        while not success:
-            command = access_point.request_retransmission_for(packet.key)
-            if command is None:
-                break
-            reply = tag.handle_command(command, rss_dbm=rss)
-            if reply is None:
-                feedback_missed += 1
-                break
-            feedback_heard += 1
-            success = bool(attempt_draws[attempt] < probability)
-            attempt += 1
-            access_point.observe_uplink(reply, received=success)
-    return RetransmissionExperimentResult(
-        max_retransmissions=max_retransmissions,
-        packets=num_packets,
-        delivered=access_point.arq.delivered_packets,
-        total_transmissions=access_point.arq.total_transmissions,
-        feedback_heard=feedback_heard,
-        feedback_missed=feedback_missed,
-    )
-
-
-def run_channel_hopping(simulator, *, hop_controller, num_windows: int,
-                        packets_per_window: int, hop_after_window: int | None,
-                        tag_id: int, random_state: RandomState,
-                        engine: str = "batch"):
-    """Run the Figure 27 channel-hopping experiment.
-
-    Window-level control flow (spectrum checks, hop commands, tag reactions)
-    stays sequential in both engines — it is a feedback loop — but the batch
-    engine evaluates each window's packets as one uniform block instead of a
-    per-packet Python loop.
-    """
-    num_windows = ensure_integer(num_windows, "num_windows", minimum=1)
-    packets_per_window = ensure_integer(packets_per_window, "packets_per_window",
-                                        minimum=1)
-    if engine not in ("batch", "scalar"):
-        raise ConfigurationError(f"unknown engine {engine!r}; expected 'batch' or 'scalar'")
-    from repro.net.access_point import AccessPoint
-    from repro.net.tag import BackscatterTag
-    from repro.sim.network import ChannelHoppingWindow
-    from repro.sim.metrics import packet_reception_ratio
-
-    payload_rng, uplink_rng = _network_streams(random_state)
-    tag = BackscatterTag(tag_id, config=simulator.config)
-    access_point = AccessPoint(hop_controller=hop_controller)
-    current_channel = 0
-    windows = []
-    for window_index in range(num_windows):
-        probability = simulator._uplink_probability(tag, current_channel)
-        if engine == "batch":
-            payload_rng.integers(0, 2,
-                                 size=(packets_per_window, tag.payload_bits_per_packet))
-            delivered = int(np.count_nonzero(
-                uplink_rng.random(packets_per_window) < probability))
+    spec = run.spec
+    packets = spec.packets_per_window
+    num_tags = spec.num_tags
+    attempts = run.attempts
+    budget = run.max_retransmissions
+    payload_bits = run.tags[0].payload_bits_per_packet
+    can_hear = np.asarray(run.can_hear, dtype=bool)
+    rounds = np.arange(packets)[:, None]
+    for window_index in range(spec.num_windows):
+        run.begin_window(window_index)
+        # Payload contents never influence delivery, but the event engine
+        # draws them through tag.next_packet; consume the same block.
+        run.payload_rng.integers(0, 2, size=(packets, num_tags, payload_bits))
+        if run.mac is not None:
+            num_slots = run.mac.num_slots
+            slots = run.slot_rng.integers(0, num_slots, size=(packets, num_tags))
+            occupancy = np.zeros((packets, num_slots), dtype=np.int64)
+            np.add.at(occupancy, (rounds, slots), 1)
+            collided = occupancy[rounds, slots] > 1
         else:
-            delivered = 0
-            for _ in range(packets_per_window):
-                packet = tag.next_packet(random_state=payload_rng)
-                success = bool(uplink_rng.random() < probability)
-                access_point.observe_uplink(packet, received=success)
-                if success:
-                    delivered += 1
-        jammed = not hop_controller.channel_is_clean(current_channel)
-        windows.append(ChannelHoppingWindow(
-            window_index=window_index,
-            channel_index=current_channel,
-            jammed=jammed,
-            prr=packet_reception_ratio(delivered, packets_per_window),
-        ))
-        allowed_to_hop = hop_after_window is None or window_index >= hop_after_window
-        if allowed_to_hop:
-            command = access_point.maybe_hop(current_channel, target_tag_id=tag.tag_id)
-            if command is not None:
-                rss = float(simulator.downlink_rss_dbm(tag))
-                reply = tag.handle_command(command, rss_dbm=rss)
-                if reply is not None:
-                    current_channel = int(command.argument)
-    return windows
+            collided = np.zeros((packets, num_tags), dtype=bool)
+        draws = run.attempt_rng.random((packets, num_tags, attempts))
+        probability = np.asarray(run.window_probability)
+        success = draws < probability[None, :, None]
+        first = success[:, :, 0]
+        if budget > 0:
+            arq_mask = can_hear[None, :]
+            any_success = success.any(axis=2)
+            first_index = np.argmax(success, axis=2)
+            delivered = np.where(arq_mask, any_success, first)
+            attempts_used = np.where(arq_mask,
+                                     np.where(any_success, first_index + 1, attempts),
+                                     1)
+        else:
+            delivered = first
+            attempts_used = np.ones((packets, num_tags), dtype=np.int64)
+        # A collision wipes the round: one (wasted) transmission, no ARQ —
+        # the access point cannot attribute a collided access to a tag.
+        delivered = delivered & ~collided
+        attempts_used = np.where(collided, 1, attempts_used)
+        if budget > 0:
+            heard = np.where(arq_mask & ~collided, attempts_used - 1, 0)
+            missed = (~arq_mask) & ~collided & ~delivered
+            run.feedback_heard += heard.sum(axis=0)
+            run.feedback_missed += missed.sum(axis=0)
+        run.window_delivered[:] = delivered.sum(axis=0)
+        run.window_transmissions[:] = attempts_used.sum(axis=0)
+        run.window_collisions[:] = collided.sum(axis=0)
+        run.record_window(window_index)
+        run.end_window(window_index)
 
 
 # ---------------------------------------------------------------------------

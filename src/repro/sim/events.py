@@ -5,6 +5,13 @@ periodic spectrum scans) are naturally expressed as events on a virtual
 clock.  The scheduler is deliberately minimal: a priority queue of
 ``(time, sequence, callback)`` entries, deterministic tie-breaking by
 insertion order, and a run loop with optional horizon.
+
+Cancellation is lazy: :meth:`Event.cancel` only marks the entry, and the
+scheduler drops marked entries when they surface at the head of the queue.
+To keep a long-lived simulation (many scheduled-then-cancelled timeouts)
+from accumulating dead entries, the scheduler compacts the queue whenever
+more than half of it is cancelled; :meth:`EventScheduler.drain_cancelled`
+forces that compaction.
 """
 
 from __future__ import annotations
@@ -25,10 +32,21 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _scheduler: "EventScheduler | None" = field(default=None, compare=False,
+                                                repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler skips it."""
+        """Mark the event so the scheduler skips it (idempotent).
+
+        Cancelling an event that already executed (or was already drained)
+        is a no-op: the scheduler detaches itself from every entry it pops,
+        so late cancels cannot corrupt the pending count.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._note_cancelled()
 
 
 class EventScheduler:
@@ -39,6 +57,7 @@ class EventScheduler:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     @property
@@ -48,13 +67,18 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled
 
     @property
     def processed(self) -> int:
         """Number of events executed so far."""
         return self._processed
+
+    def next_time(self) -> float | None:
+        """Virtual time of the next live event, or ``None`` when empty."""
+        self._prune_head()
+        return self._queue[0].time if self._queue else None
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
@@ -64,7 +88,7 @@ class EventScheduler:
         if not callable(callback):
             raise ConfigurationError("callback must be callable")
         event = Event(time=self._now + delay, sequence=next(self._counter),
-                      callback=callback)
+                      callback=callback, _scheduler=self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -76,11 +100,45 @@ class EventScheduler:
         return self.schedule(time - self._now, callback)
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        # Lazy deletion keeps cancel() O(1), but a workload that cancels
+        # most of what it schedules (ARQ timeouts that usually don't fire)
+        # would otherwise grow the heap without bound.
+        if self._cancelled > 1 and self._cancelled * 2 > len(self._queue):
+            self.drain_cancelled()
+
+    def drain_cancelled(self) -> int:
+        """Drop every cancelled entry from the queue; returns how many."""
+        drained = self._cancelled
+        if drained:
+            live = []
+            for event in self._queue:
+                if event.cancelled:
+                    event._scheduler = None
+                else:
+                    live.append(event)
+            self._queue = live
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+        return drained
+
+    def _prune_head(self) -> None:
+        """Pop cancelled events sitting at the head of the queue."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)._scheduler = None
+            self._cancelled -= 1
+
+    # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next event; returns False when the queue is empty."""
+        """Execute the next live event; returns False when none remain."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._scheduler = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.callback()
@@ -90,14 +148,28 @@ class EventScheduler:
 
     def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
-        ``max_events`` have executed."""
+        ``max_events`` have executed.
+
+        Horizon semantics: events scheduled exactly at ``until`` still
+        execute; the clock ends at ``max(now, until)`` even when the queue
+        drains (or is empty) before the horizon, so periodic processes can
+        be resumed from a well-defined time.  Cancelled events never count
+        towards ``max_events``.
+        """
+        if until is not None and until < self._now:
+            raise ConfigurationError(
+                f"cannot run to a horizon in the past (until={until}, "
+                f"now={self._now})")
         executed = 0
-        while self._queue:
+        while True:
             if max_events is not None and executed >= max_events:
                 return
-            next_event = self._queue[0]
-            if until is not None and next_event.time > until:
-                self._now = until
-                return
+            self._prune_head()
+            if not self._queue:
+                break
+            if until is not None and self._queue[0].time > until:
+                break
             if self.step():
                 executed += 1
+        if until is not None and until > self._now:
+            self._now = until

@@ -1,8 +1,11 @@
 """Network-level simulation of the feedback loop (§5.3 case studies).
 
-:class:`FeedbackNetworkSimulator` wires together tags, an access point, the
-uplink/downlink success models and the ARQ / channel-hopping controllers to
-reproduce the two case studies:
+:class:`FeedbackNetworkSimulator` is the calibrated-probability front end
+to the scenario engine: it wires a single tag, the uplink/downlink success
+callables and the ARQ / channel-hopping controllers into an ad-hoc
+:class:`~repro.sim.scenario.ScenarioSpec` and runs it through
+:func:`~repro.sim.network_engine.run_scenario`, reproducing the two case
+studies:
 
 * **Packet retransmission** (Figure 26) — PRR as a function of the number of
   allowed retransmissions, for links whose first-attempt loss rate matches
@@ -24,7 +27,7 @@ from repro.net.channel_hopping import ChannelHopController
 from repro.net.tag import BackscatterTag
 from repro.sim.metrics import packet_reception_ratio
 from repro.utils.rng import RandomState
-from repro.utils.validation import ensure_probability
+from repro.utils.validation import ensure_integer, ensure_probability
 
 
 @dataclass
@@ -61,6 +64,14 @@ class ChannelHoppingWindow:
     prr: float
 
 
+def _engine_name(engine: str) -> str:
+    """Map the historical engine names onto the scenario engine's."""
+    if engine not in ("batch", "scalar", "event"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'batch', 'event' or 'scalar'")
+    return engine
+
+
 @dataclass
 class FeedbackNetworkSimulator:
     """Simulates tags + access point + feedback loop at the packet level.
@@ -83,6 +94,19 @@ class FeedbackNetworkSimulator:
     config: SaiyanConfig = field(default_factory=SaiyanConfig)
 
     # ------------------------------------------------------------------
+    def _base_spec(self, name: str, **overrides):
+        from repro.sim.scenario import ScenarioSpec
+
+        return ScenarioSpec(
+            name=name,
+            tag_distances_m=(1.0,),  # unused: both link callables override
+            mode=self.config.mode,
+            downlink=self.config.downlink,
+            uplink_probability_override=self.uplink_success_probability,
+            downlink_rss_override=self.downlink_rss_dbm,
+            **overrides,
+        )
+
     def run_retransmission_experiment(self, *, num_packets: int = 1000,
                                       max_retransmissions: int = 3,
                                       tag_id: int = 1,
@@ -99,16 +123,37 @@ class FeedbackNetworkSimulator:
 
         The default ``engine="batch"`` evaluates every uplink attempt as one
         block of array draws; ``engine="scalar"`` runs the packet-by-packet
-        protocol loop (tag, access point, ARQ tracker).  Both engines share
+        protocol loop on the discrete-event scheduler.  Both engines share
         the same substream discipline, so a fixed seed gives bit-identical
-        results either way.
+        results either way.  The link is treated as stationary over one
+        experiment: the uplink-probability and downlink-RSS callables are
+        sampled once per run, so the parity contract also holds for
+        stochastic or stateful callables.
         """
-        from repro.sim.batch import run_retransmission
+        from repro.sim.network_engine import run_scenario
+        from repro.sim.scenario import ArqSpec
 
-        return run_retransmission(self, num_packets=num_packets,
-                                  max_retransmissions=max_retransmissions,
-                                  tag_id=tag_id, random_state=random_state,
-                                  engine=engine)
+        num_packets = ensure_integer(num_packets, "num_packets", minimum=1)
+        max_retransmissions = ensure_integer(
+            max_retransmissions, "max_retransmissions", minimum=0, maximum=16)
+        spec = self._base_spec(
+            "feedback-retransmission",
+            num_windows=1,
+            packets_per_window=num_packets,
+            arq=ArqSpec(max_retransmissions=max_retransmissions),
+            tag_ids=(tag_id,),
+        )
+        result = run_scenario(spec, random_state=random_state,
+                              engine=_engine_name(engine))
+        report = result.tags[0]
+        return RetransmissionExperimentResult(
+            max_retransmissions=max_retransmissions,
+            packets=num_packets,
+            delivered=report.delivered,
+            total_transmissions=report.transmissions,
+            feedback_heard=report.feedback_heard,
+            feedback_missed=report.feedback_missed,
+        )
 
     def _uplink_probability(self, tag: BackscatterTag, channel_index: int) -> float:
         probability = float(self.uplink_success_probability(tag, channel_index))
@@ -133,17 +178,38 @@ class FeedbackNetworkSimulator:
         the paper plots.
 
         The default ``engine="batch"`` draws each window's uplink attempts
-        as one block; ``engine="scalar"`` runs the per-packet loop.  Both
-        engines agree bit-for-bit under a fixed seed.
+        as one block; ``engine="scalar"`` runs the per-packet loop on the
+        discrete-event scheduler.  Both engines agree bit-for-bit under a
+        fixed seed.
         """
-        from repro.sim.batch import run_channel_hopping
+        from repro.sim.network_engine import run_scenario
+        from repro.sim.scenario import HoppingSpec
 
-        return run_channel_hopping(self, hop_controller=hop_controller,
-                                   num_windows=num_windows,
-                                   packets_per_window=packets_per_window,
-                                   hop_after_window=hop_after_window,
-                                   tag_id=tag_id, random_state=random_state,
-                                   engine=engine)
+        num_windows = ensure_integer(num_windows, "num_windows", minimum=1)
+        packets_per_window = ensure_integer(packets_per_window,
+                                            "packets_per_window", minimum=1)
+        spec = self._base_spec(
+            "feedback-hopping",
+            num_windows=num_windows,
+            packets_per_window=packets_per_window,
+            channel_plan=hop_controller.plan,
+            hopping=HoppingSpec(
+                interference_threshold_dbm=hop_controller.interference_threshold_dbm,
+                hop_after_window=hop_after_window),
+            tag_ids=(tag_id,),
+        )
+        result = run_scenario(spec, random_state=random_state,
+                              engine=_engine_name(engine),
+                              hop_controller=hop_controller)
+        return [
+            ChannelHoppingWindow(
+                window_index=window.window_index,
+                channel_index=window.outcomes[0].channel_index,
+                jammed=window.outcomes[0].jammed,
+                prr=window.outcomes[0].prr,
+            )
+            for window in result.windows
+        ]
 
     # ------------------------------------------------------------------
     @staticmethod

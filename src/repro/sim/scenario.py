@@ -1,0 +1,364 @@
+"""Declarative multi-tag network scenarios.
+
+A :class:`ScenarioSpec` describes one §5.3-style deployment — how many tags
+and where (:func:`~repro.channel.environment.linear_deployment` /
+:func:`~repro.channel.environment.ring_deployment` placements in an
+environment preset), how much traffic they offer, which jammers are active
+in which measurement windows, and which feedback controllers are enabled
+(ARQ retransmission, channel hopping, rate adaptation, slotted-ALOHA
+acknowledgement MAC).  :mod:`repro.sim.network_engine` runs any spec on the
+discrete-event scheduler or on the vectorized batch path, bit-identically.
+
+The :data:`SCENARIOS` registry names the ready-made deployments reachable
+from the CLI (``repro network --scenario <name>``); new scenarios register
+with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.channel.environment import (
+    Environment,
+    indoor_environment,
+    linear_deployment,
+    outdoor_environment,
+    ring_deployment,
+)
+from repro.channel.fading import NoFading
+from repro.channel.interference import Jammer
+from repro.core.config import SaiyanMode
+from repro.exceptions import ConfigurationError
+from repro.lora.parameters import DownlinkParameters
+from repro.net.channel_hopping import ChannelPlan
+from repro.utils.validation import ensure_integer
+
+
+# ---------------------------------------------------------------------------
+# Controller sub-specs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArqSpec:
+    """Enable on-demand retransmission with a per-packet budget."""
+
+    max_retransmissions: int = 3
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.max_retransmissions, "max_retransmissions",
+                       minimum=0, maximum=16)
+
+
+@dataclass(frozen=True)
+class HoppingSpec:
+    """Enable spectrum monitoring and channel-hop commands.
+
+    Parameters
+    ----------
+    interference_threshold_dbm:
+        A channel is "dirty" when its aggregate interference exceeds this.
+    hop_after_window:
+        Optional gate: the access point only starts commanding hops once
+        this window index has passed (the Figure 27 study jams for half the
+        run before reacting).
+    """
+
+    interference_threshold_dbm: float = -80.0
+    hop_after_window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.hop_after_window is not None:
+            ensure_integer(self.hop_after_window, "hop_after_window", minimum=0)
+
+
+@dataclass(frozen=True)
+class RateAdaptationSpec:
+    """Enable per-tag downlink rate adaptation (bits per chirp)."""
+
+    margin_steps_db: float = 3.0
+    hysteresis_db: float = 1.0
+    min_bits: int = 1
+    max_bits: int = 5
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.min_bits, "min_bits", minimum=1, maximum=8)
+        ensure_integer(self.max_bits, "max_bits", minimum=self.min_bits, maximum=8)
+
+
+@dataclass(frozen=True)
+class MacSpec:
+    """Enable slotted-ALOHA contention for the tags' uplink accesses."""
+
+    num_slots: int = 8
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.num_slots, "num_slots", minimum=1, maximum=256)
+
+
+@dataclass(frozen=True)
+class JammerPhase:
+    """One jammer plus the window range during which it transmits.
+
+    ``end_window`` is exclusive; ``None`` keeps the jammer on for the rest
+    of the run.  The jammer's ``duty_cycle`` models partial-time jamming
+    (the paper's USRP interferer is not wall-to-wall), which is what leaves
+    the jammed-channel PRR at ~47 % rather than zero.
+    """
+
+    jammer: Jammer
+    start_window: int = 0
+    end_window: int | None = None
+
+    def __post_init__(self) -> None:
+        ensure_integer(self.start_window, "start_window", minimum=0)
+        if self.end_window is not None:
+            ensure_integer(self.end_window, "end_window",
+                           minimum=self.start_window + 1)
+
+    def active_in(self, window_index: int) -> bool:
+        """Whether the jammer transmits during ``window_index``."""
+        if window_index < self.start_window:
+            return False
+        return self.end_window is None or window_index < self.end_window
+
+
+# ---------------------------------------------------------------------------
+# The scenario spec
+# ---------------------------------------------------------------------------
+
+_ENVIRONMENT_BUILDERS = {
+    "outdoor": lambda spec: outdoor_environment(fading=NoFading()),
+    "indoor": lambda spec: indoor_environment(num_walls=spec.num_walls,
+                                              fading=NoFading()),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative multi-tag network deployment.
+
+    Parameters
+    ----------
+    name / description:
+        Identity of the scenario (the registry key and the manifest title).
+    tag_distances_m:
+        Tag-to-access-point distance per tag; build with
+        :func:`~repro.channel.environment.linear_deployment` or
+        :func:`~repro.channel.environment.ring_deployment`.
+    num_windows / packets_per_window:
+        Traffic model: every tag offers ``packets_per_window`` packets in
+        each of ``num_windows`` measurement windows.
+    environment / num_walls:
+        Propagation preset ("outdoor" or "indoor"; ``num_walls`` applies to
+        indoor only).  Scenario links are deterministic (no fading draw);
+        the gradual packet loss comes from the calibrated BER roll-off.
+    arq / hopping / rate / mac:
+        Enabled feedback controllers; ``None`` disables each.
+    jammers:
+        Jammer phases driving the interference schedule.
+    uplink_probability_override / downlink_rss_override:
+        Escape hatches for calibrated experiments (the Figure 26/27 drivers
+        pin measured per-attempt probabilities instead of deriving them
+        from the propagation model).  Overrides are sampled once per tag
+        per window (uplink) and once per tag per run (downlink).
+    """
+
+    name: str
+    description: str = ""
+    tag_distances_m: tuple[float, ...] = (10.0,)
+    num_windows: int = 20
+    packets_per_window: int = 25
+    environment: str = "outdoor"
+    num_walls: int = 1
+    payload_bits: int = 64
+    mode: SaiyanMode = SaiyanMode.SUPER
+    downlink: DownlinkParameters = field(
+        default_factory=lambda: DownlinkParameters(spreading_factor=7,
+                                                   bandwidth_hz=500e3,
+                                                   bits_per_chirp=2))
+    channel_plan: ChannelPlan = field(default_factory=ChannelPlan)
+    modulation_penalty_db: float = 3.0
+    arq: ArqSpec | None = None
+    hopping: HoppingSpec | None = None
+    rate: RateAdaptationSpec | None = None
+    mac: MacSpec | None = None
+    jammers: tuple[JammerPhase, ...] = ()
+    seed: int = 0
+    tag_ids: tuple[int, ...] | None = None
+    uplink_probability_override: Callable | None = field(default=None, repr=False)
+    downlink_rss_override: Callable | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a name")
+        if not self.tag_distances_m:
+            raise ConfigurationError("a scenario needs at least one tag")
+        if any(d <= 0 for d in self.tag_distances_m):
+            raise ConfigurationError("tag distances must be positive")
+        if len(self.tag_distances_m) > 200:
+            raise ConfigurationError("at most 200 tags per scenario")
+        ensure_integer(self.num_windows, "num_windows", minimum=1)
+        ensure_integer(self.packets_per_window, "packets_per_window", minimum=1)
+        ensure_integer(self.payload_bits, "payload_bits", minimum=1)
+        if self.environment not in _ENVIRONMENT_BUILDERS:
+            raise ConfigurationError(
+                f"unknown environment {self.environment!r}; "
+                f"known: {sorted(_ENVIRONMENT_BUILDERS)}")
+        if not isinstance(self.jammers, tuple):
+            object.__setattr__(self, "jammers", tuple(self.jammers))
+        if not isinstance(self.tag_distances_m, tuple):
+            object.__setattr__(self, "tag_distances_m",
+                               tuple(float(d) for d in self.tag_distances_m))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tags(self) -> int:
+        """Number of tags in the deployment."""
+        return len(self.tag_distances_m)
+
+    def environment_preset(self) -> Environment:
+        """Build the (deterministic) propagation environment of the scenario."""
+        return _ENVIRONMENT_BUILDERS[self.environment](self)
+
+    def with_(self, **overrides) -> "ScenarioSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def summary(self) -> dict:
+        """JSON-encodable digest of the spec (recorded in run manifests)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "num_tags": self.num_tags,
+            "tag_distances_m": list(self.tag_distances_m),
+            "num_windows": self.num_windows,
+            "packets_per_window": self.packets_per_window,
+            "environment": self.environment,
+            "num_walls": self.num_walls if self.environment == "indoor" else 0,
+            "payload_bits": self.payload_bits,
+            "mode": self.mode.value,
+            "controllers": {
+                "arq": (None if self.arq is None
+                        else {"max_retransmissions": self.arq.max_retransmissions}),
+                "hopping": (None if self.hopping is None
+                            else {"interference_threshold_dbm":
+                                  self.hopping.interference_threshold_dbm,
+                                  "hop_after_window": self.hopping.hop_after_window}),
+                "rate": (None if self.rate is None
+                         else {"min_bits": self.rate.min_bits,
+                               "max_bits": self.rate.max_bits}),
+                "mac": (None if self.mac is None
+                        else {"num_slots": self.mac.num_slots}),
+            },
+            "num_jammer_phases": len(self.jammers),
+            "seed": self.seed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the :data:`SCENARIOS` registry (name must be unique)."""
+    if spec.name in SCENARIOS:
+        raise ConfigurationError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown scenario {name!r}; "
+                                 f"known: {sorted(SCENARIOS)}") from None
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Ready-made deployments (the CLI's ``repro network --scenario`` targets)
+# ---------------------------------------------------------------------------
+
+register_scenario(ScenarioSpec(
+    name="arq-outdoor",
+    description="Single outdoor tag at 25 m with a 3-retransmission ARQ "
+                "budget: the Figure 26 feedback loop on a physically "
+                "derived link instead of calibrated constants.",
+    tag_distances_m=linear_deployment(1, start_m=25.0, spacing_m=0.0),
+    num_windows=20,
+    packets_per_window=50,
+    arq=ArqSpec(max_retransmissions=3),
+    seed=26,
+))
+
+register_scenario(ScenarioSpec(
+    name="hopping-jammed",
+    description="Single outdoor tag on a 4-channel plan; a duty-cycled "
+                "jammer wrecks channel 0 until the access point commands a "
+                "hop half-way through the run (the Figure 27 case study).",
+    tag_distances_m=linear_deployment(1, start_m=12.0, spacing_m=0.0),
+    num_windows=40,
+    packets_per_window=25,
+    hopping=HoppingSpec(interference_threshold_dbm=-80.0, hop_after_window=20),
+    jammers=(JammerPhase(
+        jammer=Jammer(frequency_hz=433.4e6, power_dbm=20.0, bandwidth_hz=1.2e6,
+                      distance_m=3.0, duty_cycle=0.55)),),
+    seed=27,
+))
+
+register_scenario(ScenarioSpec(
+    name="aloha-dense",
+    description="Eight equidistant outdoor tags contending with slotted "
+                "ALOHA over eight acknowledgement slots: collisions, not "
+                "link quality, dominate the loss (Figure 15 machinery).",
+    tag_distances_m=ring_deployment(8, radius_m=10.0),
+    num_windows=20,
+    packets_per_window=20,
+    mac=MacSpec(num_slots=8),
+    seed=15,
+))
+
+register_scenario(ScenarioSpec(
+    name="indoor-rate-adapt",
+    description="Four indoor NLoS tags on a corridor (6/10/14/18 m through "
+                "one wall) with downlink rate adaptation: near tags earn "
+                "K=5, far tags fall back towards K=1, and ARQ patches the "
+                "residual loss.",
+    tag_distances_m=linear_deployment(4, start_m=6.0, spacing_m=4.0),
+    environment="indoor",
+    num_walls=1,
+    num_windows=24,
+    packets_per_window=25,
+    arq=ArqSpec(max_retransmissions=1),
+    rate=RateAdaptationSpec(margin_steps_db=8.0),
+    seed=16,
+))
+
+register_scenario(ScenarioSpec(
+    name="aloha-arq-jammed",
+    description="Six outdoor tags with everything on: slotted-ALOHA "
+                "contention, per-packet ARQ, and a mid-run jammer phase "
+                "that channel hopping escapes — the full feedback loop in "
+                "one deployment.",
+    tag_distances_m=linear_deployment(6, start_m=8.0, spacing_m=3.0),
+    num_windows=30,
+    packets_per_window=20,
+    arq=ArqSpec(max_retransmissions=2),
+    mac=MacSpec(num_slots=12),
+    hopping=HoppingSpec(interference_threshold_dbm=-80.0),
+    jammers=(JammerPhase(
+        jammer=Jammer(frequency_hz=433.4e6, power_dbm=20.0, bandwidth_hz=1.2e6,
+                      distance_m=3.0, duty_cycle=0.5),
+        start_window=10, end_window=20),),
+    seed=53,
+))

@@ -1,5 +1,8 @@
 """Unit tests for the slotted-ALOHA MAC."""
 
+import math
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -80,3 +83,30 @@ def test_every_tag_appears_exactly_once_per_round(num_tags, num_slots, seed):
     result = mac.run_round(_tags(num_tags), random_state=seed)
     assigned = sorted(tag for outcome in result.outcomes for tag in outcome.tag_ids)
     assert assigned == list(range(num_tags))
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_tags=st.integers(min_value=1, max_value=8),
+       num_slots=st.integers(min_value=2, max_value=16),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_expected_success_probability_matches_empirical_frequency(
+        num_tags, num_slots, seed):
+    """The analytic (1 - 1/S)**(n-1) matches measured slot outcomes.
+
+    One focal tag's per-round success indicators are i.i.d. Bernoulli(p)
+    across rounds, so a 5-sigma binomial confidence band around the
+    analytic value is a CI-appropriate tolerance (false-alarm probability
+    well under 1e-5 per example).
+    """
+    mac = SlottedAlohaMac(num_slots=num_slots)
+    tags = _tags(num_tags)
+    focal = tags[0].tag_id
+    rng = np.random.default_rng(seed)
+    rounds = 800
+    successes = 0
+    for _ in range(rounds):
+        result = mac.run_round(tags, random_state=rng)
+        successes += focal in result.successful_tags
+    expected = mac.expected_success_probability(num_tags)
+    sigma = math.sqrt(max(expected * (1.0 - expected), 1e-12) / rounds)
+    assert abs(successes / rounds - expected) <= 5.0 * sigma + 1e-9

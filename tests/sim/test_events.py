@@ -93,3 +93,151 @@ def test_validation():
     scheduler.run()
     with pytest.raises(ConfigurationError):
         scheduler.schedule_at(0.5, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Hardening: cancelled-event drain and horizon edge cases
+# ---------------------------------------------------------------------------
+
+def test_pending_excludes_cancelled_events():
+    scheduler = EventScheduler()
+    keep = scheduler.schedule(1.0, lambda: None)
+    cancel = scheduler.schedule(2.0, lambda: None)
+    cancel.cancel()
+    assert scheduler.pending == 1
+    assert keep.cancelled is False
+
+
+def test_cancel_is_idempotent():
+    scheduler = EventScheduler()
+    event = scheduler.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert scheduler.pending == 0
+    scheduler.run()
+    assert scheduler.processed == 0
+
+
+def test_mass_cancellation_compacts_the_queue():
+    scheduler = EventScheduler()
+    events = [scheduler.schedule(float(i), lambda: None) for i in range(100)]
+    survivor = scheduler.schedule(200.0, lambda: None)
+    for event in events:
+        event.cancel()
+    # Lazy deletion must not keep 100 dead entries around.
+    assert len(scheduler._queue) < 10
+    assert scheduler.pending == 1
+    assert survivor.cancelled is False
+
+
+def test_drain_cancelled_reports_count():
+    scheduler = EventScheduler()
+    scheduler.schedule(1.0, lambda: None)
+    dead = scheduler.schedule(2.0, lambda: None)
+    dead.cancel()
+    # A single cancellation stays lazily marked until drained explicitly.
+    assert scheduler.drain_cancelled() in (0, 1)
+    assert scheduler.pending == 1
+
+
+def test_next_time_skips_cancelled_head():
+    scheduler = EventScheduler()
+    first = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    first.cancel()
+    assert scheduler.next_time() == pytest.approx(2.0)
+
+
+def test_next_time_empty_queue():
+    assert EventScheduler().next_time() is None
+
+
+def test_event_exactly_at_horizon_executes():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(5.0, lambda: fired.append(scheduler.now))
+    scheduler.run(until=5.0)
+    assert fired == [5.0]
+    assert scheduler.now == pytest.approx(5.0)
+
+
+def test_run_advances_clock_to_horizon_when_queue_drains():
+    scheduler = EventScheduler()
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run(until=7.5)
+    assert scheduler.now == pytest.approx(7.5)
+
+
+def test_run_advances_clock_to_horizon_on_empty_queue():
+    scheduler = EventScheduler()
+    scheduler.run(until=3.0)
+    assert scheduler.now == pytest.approx(3.0)
+    assert scheduler.processed == 0
+
+
+def test_run_rejects_horizon_in_the_past():
+    scheduler = EventScheduler()
+    scheduler.schedule(2.0, lambda: None)
+    scheduler.run()
+    assert scheduler.now == pytest.approx(2.0)
+    with pytest.raises(ConfigurationError):
+        scheduler.run(until=1.0)
+
+
+def test_cancelled_events_do_not_count_towards_max_events():
+    scheduler = EventScheduler()
+    fired = []
+    dead = [scheduler.schedule(float(i), lambda: fired.append("dead"))
+            for i in range(3)]
+    scheduler.schedule(10.0, lambda: fired.append("a"))
+    scheduler.schedule(11.0, lambda: fired.append("b"))
+    for event in dead:
+        event.cancel()
+    scheduler.run(max_events=2)
+    assert fired == ["a", "b"]
+
+
+def test_cancelled_head_beyond_horizon_does_not_block():
+    scheduler = EventScheduler()
+    fired = []
+    dead = scheduler.schedule(1.0, lambda: fired.append("dead"))
+    dead.cancel()
+    scheduler.schedule(2.0, lambda: fired.append("live"))
+    scheduler.run(until=4.0)
+    assert fired == ["live"]
+    assert scheduler.now == pytest.approx(4.0)
+
+
+def test_cancel_inside_callback_prevents_execution():
+    scheduler = EventScheduler()
+    fired = []
+    later = scheduler.schedule(2.0, lambda: fired.append("later"))
+    scheduler.schedule(1.0, lambda: later.cancel())
+    scheduler.run()
+    assert fired == []
+    assert scheduler.processed == 1
+
+
+def test_cancel_after_execution_does_not_corrupt_pending():
+    scheduler = EventScheduler()
+    event = scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    event.cancel()
+    assert scheduler.pending == 0
+    live = scheduler.schedule(1.0, lambda: None)
+    assert scheduler.pending == 1
+    assert live.cancelled is False
+
+
+def test_callback_cancelling_its_own_event_is_harmless():
+    scheduler = EventScheduler()
+    events = []
+
+    def self_cancel():
+        events[0].cancel()
+
+    events.append(scheduler.schedule(1.0, self_cancel))
+    scheduler.schedule(2.0, lambda: None)
+    scheduler.run()
+    assert scheduler.processed == 2
+    assert scheduler.pending == 0

@@ -1,0 +1,126 @@
+"""Tests for the declarative scenario specs and their registry."""
+
+import pytest
+
+from repro.channel.environment import linear_deployment, ring_deployment
+from repro.channel.interference import Jammer
+from repro.exceptions import ConfigurationError
+from repro.sim.scenario import (
+    SCENARIOS,
+    ArqSpec,
+    HoppingSpec,
+    JammerPhase,
+    MacSpec,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+
+# ---------------------------------------------------------------------------
+# Deployment layouts
+# ---------------------------------------------------------------------------
+
+def test_linear_deployment_spacing():
+    assert linear_deployment(3, start_m=5.0, spacing_m=2.5) == (5.0, 7.5, 10.0)
+
+
+def test_ring_deployment_equidistant():
+    distances = ring_deployment(4, radius_m=9.0)
+    assert distances == (9.0, 9.0, 9.0, 9.0)
+
+
+def test_deployment_validation():
+    with pytest.raises(ConfigurationError):
+        linear_deployment(0)
+    with pytest.raises(ConfigurationError):
+        linear_deployment(2, start_m=-1.0)
+    with pytest.raises(ConfigurationError):
+        ring_deployment(3, radius_m=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+def test_spec_requires_tags_and_positive_distances():
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec(name="x", tag_distances_m=())
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec(name="x", tag_distances_m=(0.0,))
+
+
+def test_spec_rejects_unknown_environment():
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec(name="x", environment="underwater")
+
+
+def test_spec_with_returns_modified_copy():
+    spec = get_scenario("aloha-dense")
+    modified = spec.with_(num_windows=3)
+    assert modified.num_windows == 3
+    assert spec.num_windows != 3
+    assert modified.name == spec.name
+
+
+def test_jammer_phase_window_range():
+    phase = JammerPhase(jammer=Jammer(frequency_hz=433.5e6),
+                        start_window=2, end_window=5)
+    assert not phase.active_in(1)
+    assert phase.active_in(2)
+    assert phase.active_in(4)
+    assert not phase.active_in(5)
+    open_ended = JammerPhase(jammer=Jammer(frequency_hz=433.5e6))
+    assert open_ended.active_in(0) and open_ended.active_in(10_000)
+    with pytest.raises(ConfigurationError):
+        JammerPhase(jammer=Jammer(frequency_hz=433.5e6), start_window=3,
+                    end_window=3)
+
+
+def test_spec_summary_is_json_encodable():
+    import json
+
+    for name in scenario_names():
+        summary = get_scenario(name).summary()
+        encoded = json.loads(json.dumps(summary))
+        assert encoded["name"] == name
+        assert encoded["num_tags"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_has_the_acceptance_scenarios():
+    names = scenario_names()
+    assert len(names) >= 4
+    # One of each archetype: ARQ, jammed hopping, N-tag ALOHA, indoor rate.
+    assert any(SCENARIOS[n].arq is not None and SCENARIOS[n].num_tags == 1
+               for n in names)
+    assert any(SCENARIOS[n].hopping is not None and SCENARIOS[n].jammers
+               for n in names)
+    assert any(SCENARIOS[n].mac is not None and SCENARIOS[n].num_tags >= 4
+               for n in names)
+    assert any(SCENARIOS[n].rate is not None
+               and SCENARIOS[n].environment == "indoor" for n in names)
+
+
+def test_get_scenario_unknown_name():
+    with pytest.raises(ConfigurationError, match="unknown scenario"):
+        get_scenario("does-not-exist")
+
+
+def test_register_scenario_rejects_duplicates():
+    spec = get_scenario("aloha-dense")
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_scenario(spec)
+
+
+def test_controller_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ArqSpec(max_retransmissions=17)
+    with pytest.raises(ConfigurationError):
+        MacSpec(num_slots=0)
+    with pytest.raises(ConfigurationError):
+        HoppingSpec(hop_after_window=-1)

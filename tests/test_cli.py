@@ -63,3 +63,102 @@ def test_range_custom_downlink(capsys):
 def test_missing_command_is_an_error():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------------------------
+# network subcommand
+# ---------------------------------------------------------------------------
+
+def test_network_list(capsys):
+    assert main(["network", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "aloha-dense" in out
+    assert "hopping-jammed" in out
+
+
+def test_network_requires_scenario(capsys):
+    assert main(["network"]) == 2
+    assert "--scenario" in capsys.readouterr().err
+
+
+def test_network_unknown_scenario(capsys):
+    assert main(["network", "--scenario", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+
+
+def test_network_runs_scenario_and_writes_manifest(capsys, tmp_path):
+    import json
+
+    assert main(["network", "--scenario", "aloha-dense", "--seed", "3",
+                 "--windows", "3", "--packets-per-window", "5",
+                 "--manifest-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario: aloha-dense" in out
+    assert "overall_prr_pct" in out
+    manifest = json.loads((tmp_path / "aloha-dense.json").read_text())
+    assert manifest["seed"] == 3
+    assert manifest["config"]["scenario"] == "aloha-dense"
+    assert manifest["config"]["engine"] == "batch"
+    assert "network_prr" in manifest["series_lengths"]
+
+
+def test_network_engines_print_identical_numbers(capsys):
+    outputs = []
+    for engine in ("batch", "event"):
+        assert main(["network", "--scenario", "indoor-rate-adapt",
+                     "--seed", "11", "--windows", "4",
+                     "--packets-per-window", "10", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        # The notes line names the engine; the numbers must not differ.
+        outputs.append("\n".join(line for line in out.splitlines()
+                                 if "engine=" not in line))
+    assert outputs[0] == outputs[1]
+
+
+# ---------------------------------------------------------------------------
+# --seed: two same-seed runs agree end to end
+# ---------------------------------------------------------------------------
+
+def _capture(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+def test_network_same_seed_runs_agree(capsys):
+    argv = ["network", "--scenario", "aloha-dense", "--seed", "42",
+            "--windows", "4", "--packets-per-window", "10"]
+    assert _capture(capsys, argv) == _capture(capsys, argv)
+
+
+def test_network_different_seeds_differ(capsys):
+    base = ["network", "--scenario", "aloha-dense",
+            "--windows", "4", "--packets-per-window", "10"]
+    first = _capture(capsys, base + ["--seed", "1"])
+    second = _capture(capsys, base + ["--seed", "2"])
+    assert first != second
+
+
+def test_experiments_same_seed_runs_agree(capsys):
+    argv = ["experiments", "--only", "fig26", "--seed", "7"]
+    assert _capture(capsys, argv) == _capture(capsys, argv)
+
+
+def test_experiments_seed_accepted_by_deterministic_driver(capsys):
+    # fig5 takes no random_state; --seed must be accepted and ignored.
+    out = _capture(capsys, ["experiments", "--only", "fig5", "--seed", "9"])
+    assert "Figure 5" in out
+
+
+def test_power_and_range_accept_seed(capsys):
+    assert main(["power", "--seed", "4"]) == 0
+    capsys.readouterr()
+    assert main(["range", "--seed", "4"]) == 0
+    capsys.readouterr()
+
+
+def test_network_invalid_overrides_fail_cleanly(capsys):
+    assert main(["network", "--scenario", "aloha-dense", "--windows", "0"]) == 2
+    assert "network:" in capsys.readouterr().err
+    assert main(["network", "--scenario", "aloha-dense", "--seed", "-1"]) == 2
+    assert "--seed" in capsys.readouterr().err
