@@ -1,0 +1,71 @@
+"""Fail when a test file under ``tests/`` is not collected by pytest.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_test_collection.py
+
+A test directory can silently fall out of the tier-1 suite — a stray
+``conftest.py``, a module-name collision between package-less test
+directories, an import error that only surfaces under ``--ignore`` patterns.
+This guard compares the files pytest actually collects against every
+``tests/**/test_*.py`` on disk and exits non-zero on any difference, so CI
+fails loudly instead of green-lighting a suite that quietly shrank
+(``tests/baselines/`` and the ``tests/sim/`` engine batteries are the
+motivating cases).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def collected_test_files() -> set[str]:
+    """Return the repo-relative test files pytest collects under tests/."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", "tests"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    if result.returncode not in (0, 5):  # 5 = no tests collected
+        sys.stderr.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        raise SystemExit(f"pytest --collect-only failed with {result.returncode}")
+    files = set()
+    for line in result.stdout.splitlines():
+        if "::" in line:
+            files.add(line.split("::", 1)[0])
+    return files
+
+
+def expected_test_files() -> set[str]:
+    """Every tests/**/test_*.py on disk, repo-relative."""
+    return {path.relative_to(REPO_ROOT).as_posix()
+            for path in (REPO_ROOT / "tests").rglob("test_*.py")}
+
+
+def main() -> int:
+    collected = collected_test_files()
+    expected = expected_test_files()
+    missing = sorted(expected - collected)
+    if missing:
+        print("ERROR: test files on disk that pytest did not collect:",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        print("(empty test modules, name collisions and conftest mistakes "
+              "all end up here — fix before merging)", file=sys.stderr)
+        return 1
+    print(f"test collection complete: {len(expected)} test files, "
+          f"all collected")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

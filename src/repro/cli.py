@@ -1,6 +1,6 @@
 """Command-line interface for the Saiyan reproduction.
 
-Four subcommands cover the workflows a user reaches for most often::
+Five subcommands cover the workflows a user reaches for most often::
 
     python -m repro experiments [--only fig21 fig25] [--list] [--seed N]
         Regenerate the paper's tables/figures and print the series + scalars.
@@ -8,6 +8,11 @@ Four subcommands cover the workflows a user reaches for most often::
     python -m repro network --scenario aloha-dense [--seed N] [--engine batch]
         Run a registered multi-tag network scenario on the scenario engine
         and (optionally) record its BatchRunner JSON manifest.
+
+    python -m repro waveform --sweep modes [--seed N] [--shards 4]
+        Run a registered waveform-level receiver ablation sweep on the
+        sharded engine (bit-identical for any shard count under a fixed
+        seed) and (optionally) record its BatchRunner JSON manifest.
 
     python -m repro power [--implementation asic|pcb] [--duty-cycle 0.01]
         Print the per-component power/cost ledger and the per-packet energy.
@@ -22,8 +27,8 @@ CLI runs with the same seed print the same numbers end to end (``power`` and
 
 The same functionality is available programmatically through
 :mod:`repro.sim.experiments`, :mod:`repro.sim.network_engine`,
-:mod:`repro.core.power_model` and :mod:`repro.sim.link_sim`; the CLI only
-arranges and prints it.
+:mod:`repro.sim.waveform_engine`, :mod:`repro.core.power_model` and
+:mod:`repro.sim.link_sim`; the CLI only arranges and prints it.
 """
 
 from __future__ import annotations
@@ -74,6 +79,25 @@ def _build_parser() -> argparse.ArgumentParser:
     net.add_argument("--manifest-dir", default=None, metavar="DIR",
                      help="write the run's BatchRunner JSON manifest here")
 
+    wav = subparsers.add_parser(
+        "waveform", help="run a registered waveform-level ablation sweep")
+    wav.add_argument("--sweep", default=None, metavar="NAME",
+                     help="sweep name (see --list)")
+    wav.add_argument("--list", action="store_true",
+                     help="list registered waveform sweeps and exit")
+    wav.add_argument("--shards", type=int, default=1,
+                     help="worker processes; any shard count is bit-identical "
+                          "under a fixed seed")
+    wav.add_argument("--engine", choices=("batch", "serial"), default="batch",
+                     help="vectorized burst kernel or the serial reference "
+                          "loop (bit-identical under a fixed seed)")
+    wav.add_argument("--num-symbols", type=int, default=None,
+                     help="override the sweep's symbols per grid cell")
+    wav.add_argument("--symbols-per-burst", type=int, default=None,
+                     help="override the sweep's burst size")
+    wav.add_argument("--manifest-dir", default=None, metavar="DIR",
+                     help="write the run's BatchRunner JSON manifest here")
+
     power = subparsers.add_parser("power", help="print the tag power/cost budget")
     power.add_argument("--implementation", choices=("pcb", "asic"), default="asic")
     power.add_argument("--duty-cycle", type=float, default=0.01)
@@ -87,7 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rng.add_argument("--spreading-factor", type=int, default=7)
     rng.add_argument("--bandwidth-khz", type=float, default=500.0)
 
-    for sub in (exp, net, power, rng):
+    for sub in (exp, net, wav, power, rng):
         sub.add_argument("--seed", type=int, default=None,
                          help="seed threaded into the engines so repeated "
                               "runs print identical numbers")
@@ -162,6 +186,44 @@ def _run_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_waveform(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.sim.batch import BatchRunner
+    from repro.sim.waveform_engine import get_sweep, make_waveform_driver, sweep_names
+
+    if args.list:
+        print("registered waveform sweeps:")
+        for name in sweep_names():
+            print(f"  {name:<20} {get_sweep(name).description}")
+        return 0
+    if args.sweep is None:
+        print("waveform: --sweep NAME is required (or --list)", file=sys.stderr)
+        return 2
+    names = sweep_names()
+    if args.sweep not in names:
+        print(f"unknown waveform sweep {args.sweep!r}", file=sys.stderr)
+        print("registered sweeps:", " ".join(names), file=sys.stderr)
+        return 2
+    if args.seed is not None and args.seed < 0:
+        print(f"waveform: --seed must be >= 0, got {args.seed}", file=sys.stderr)
+        return 2
+    try:
+        driver = make_waveform_driver(args.sweep, random_state=args.seed,
+                                      shards=args.shards, engine=args.engine,
+                                      num_symbols=args.num_symbols,
+                                      symbols_per_burst=args.symbols_per_burst)
+        runner = BatchRunner(drivers={args.sweep: driver},
+                             manifest_dir=args.manifest_dir)
+        report = runner.run()
+    except ConfigurationError as error:
+        print(f"waveform: {error}", file=sys.stderr)
+        return 2
+    print(format_sweep(report.results[args.sweep]))
+    if args.manifest_dir is not None:
+        print(f"\nwrote manifest {args.manifest_dir}/{args.sweep}.json")
+    return 0
+
+
 def _run_power(args: argparse.Namespace) -> int:
     model = SaiyanPowerModel(duty_cycle=args.duty_cycle,
                              implementation=args.implementation)
@@ -206,6 +268,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiments(args)
     if args.command == "network":
         return _run_network(args)
+    if args.command == "waveform":
+        return _run_waveform(args)
     if args.command == "power":
         return _run_power(args)
     if args.command == "range":

@@ -73,6 +73,11 @@ class SaiyanConfig:
     correlation_threshold:
         Normalised-correlation level above which the correlator accepts a
         symbol hypothesis.
+    sampling_safety_factor:
+        Override for the comparator sampling-rate rule
+        ``factor x BW / 2^(SF-K)``.  ``None`` keeps the paper's 3.2x rule
+        (Table 1); the waveform ablation sweeps vary it to reproduce the
+        accuracy cliff below 3.2x.
     detection_snr_gain_db:
         Calibration constant capturing the demodulator-level benefit of the
         cyclic shifter beyond the raw 11 dB analog SNR gain (used by the
@@ -89,6 +94,7 @@ class SaiyanConfig:
     comparator_hysteresis_fraction: float = 0.5
     envelope_smoothing_fraction: float = 1.0
     correlation_threshold: float = 0.3
+    sampling_safety_factor: float | None = None
     detection_snr_gain_db: float = CYCLIC_SHIFT_SNR_GAIN_DB
 
     def __post_init__(self) -> None:
@@ -110,6 +116,8 @@ class SaiyanConfig:
                         "comparator_hysteresis_fraction", 0.0, 1.0, inclusive=False)
         ensure_positive(self.envelope_smoothing_fraction, "envelope_smoothing_fraction")
         ensure_in_range(self.correlation_threshold, "correlation_threshold", 0.0, 1.0)
+        if self.sampling_safety_factor is not None:
+            ensure_positive(self.sampling_safety_factor, "sampling_safety_factor")
         ensure_non_negative(self.detection_snr_gain_db, "detection_snr_gain_db")
 
     # ------------------------------------------------------------------
@@ -137,8 +145,16 @@ class SaiyanConfig:
 
     @property
     def mcu_sampling_rate_hz(self) -> float:
-        """Comparator sampling rate from the Table 1 rule."""
-        return self.downlink.practical_sampling_rate_hz
+        """Comparator sampling rate from the Table 1 rule.
+
+        Uses ``sampling_safety_factor`` when set (ablation studies);
+        otherwise the downlink's 3.2x practical rate.
+        """
+        if self.sampling_safety_factor is None:
+            return self.downlink.practical_sampling_rate_hz
+        downlink = self.downlink
+        return (self.sampling_safety_factor * downlink.bandwidth_hz
+                / (2 ** (downlink.spreading_factor - downlink.bits_per_chirp)))
 
     def with_(self, **kwargs) -> "SaiyanConfig":
         """Return a copy with some fields replaced."""

@@ -73,6 +73,19 @@ class CorrelationDemodulator:
         return self._templates.shape[1]
 
     # ------------------------------------------------------------------
+    def _score_centered(self, centered: np.ndarray) -> np.ndarray:
+        """Template scores of one already zero-mean window.
+
+        The single definition of the scoring (and of the zero-energy
+        convention: no energy -> all-zero scores, i.e. symbol 0 with
+        correlation 0), shared by the per-window and the batched decision
+        paths.
+        """
+        norm = np.linalg.norm(centered)
+        if norm <= 0:
+            return np.zeros(self._templates.shape[0])
+        return self._templates @ (centered / norm)
+
     def correlate_window(self, window: np.ndarray) -> np.ndarray:
         """Return the normalised correlation of one envelope window with each template."""
         window = np.asarray(window, dtype=float).ravel()
@@ -80,11 +93,7 @@ class CorrelationDemodulator:
         if window.size < n:
             window = np.concatenate([window, np.zeros(n - window.size)])
         window = window[:n]
-        window = window - np.mean(window)
-        norm = np.linalg.norm(window)
-        if norm <= 0:
-            return np.zeros(self._templates.shape[0])
-        return self._templates @ (window / norm)
+        return self._score_centered(window - np.mean(window))
 
     def decide_symbol(self, window: np.ndarray) -> tuple[int, float]:
         """Return ``(symbol, correlation)`` for one envelope window."""
@@ -108,10 +117,20 @@ class CorrelationDemodulator:
                 f"need {n * num_symbols} envelope samples for {num_symbols} symbols, "
                 f"got {samples.size}"
             )
+        # Centre all windows in one block operation (a batched row mean is
+        # bit-identical to the per-window np.mean), then keep the norm /
+        # template matvec per window exactly as correlate_window computes
+        # them — BLAS matrix-matrix products round differently from the
+        # per-window matvec, so those must not be batched.
+        block = samples[: n * num_symbols].reshape(num_symbols, n)
+        centered = block - np.mean(block, axis=1)[:, None]
         symbols = np.empty(num_symbols, dtype=np.int64)
         correlations = np.empty(num_symbols, dtype=float)
         for i in range(num_symbols):
-            symbols[i], correlations[i] = self.decide_symbol(samples[i * n: (i + 1) * n])
+            scores = self._score_centered(centered[i])
+            winner = int(np.argmax(scores))
+            symbols[i] = winner
+            correlations[i] = float(scores[winner])
         return symbols, correlations
 
     # ------------------------------------------------------------------

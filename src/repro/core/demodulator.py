@@ -132,6 +132,21 @@ class _SaiyanDemodulatorBase:
         return symbols, decisions
 
     # ------------------------------------------------------------------
+    def decide_envelope(self, envelope: Signal, num_symbols: int, *,
+                        thresholds: ThresholdPair | None = None
+                        ) -> tuple[np.ndarray, list[SymbolDecision]]:
+        """Run the decision stage only: front-end envelope -> symbols.
+
+        This is the exact decision code :meth:`demodulate_payload` uses after
+        the analog front end; the vectorized burst kernel
+        (:mod:`repro.sim.waveform_engine`) computes the envelopes of many
+        bursts as stacked array operations and then feeds each one through
+        this shared entry point, which is what keeps the engines bit-identical.
+        """
+        if self.config.mode.uses_correlation:
+            return self._decide_correlation(envelope, num_symbols)
+        return self._decide_peak_position(envelope, num_symbols, thresholds=thresholds)
+
     def demodulate_payload(self, rf_payload: Signal, num_symbols: int, *,
                            random_state: RandomState = None,
                            thresholds: ThresholdPair | None = None) -> PayloadDemodulation:
@@ -145,11 +160,8 @@ class _SaiyanDemodulatorBase:
             )
         front: FrontEndOutput = self.frontend.process(rf_payload, random_state=rng)
         envelope = front.envelope
-        if self.config.mode.uses_correlation:
-            symbols, decisions = self._decide_correlation(envelope, num_symbols)
-        else:
-            symbols, decisions = self._decide_peak_position(envelope, num_symbols,
-                                                            thresholds=thresholds)
+        symbols, decisions = self.decide_envelope(envelope, num_symbols,
+                                                  thresholds=thresholds)
         bits = self._bits_from_symbols(symbols)
         return PayloadDemodulation(symbols=symbols, bits=bits, decisions=decisions,
                                    envelope=envelope)

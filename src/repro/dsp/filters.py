@@ -76,6 +76,69 @@ def apply_fir(signal: Signal, taps: np.ndarray) -> Signal:
     return signal.with_samples(filtered)
 
 
+def apply_fir_stack(stack: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Batched :func:`apply_fir`: filter every row of a 2-D sample stack.
+
+    Row ``i`` of the result is bit-identical to
+    ``apply_fir(Signal(stack[i], fs), taps)`` — ``scipy.signal.lfilter``
+    applies the same direct-form recursion per row whether it runs on a 1-D
+    array or along the last axis of a 2-D array, and the zero-padding /
+    group-delay compensation here mirrors the 1-D helper exactly.  The batch
+    engines rely on that equivalence for engine bit-parity.
+    """
+    taps = np.asarray(taps, dtype=float)
+    if taps.ndim != 1 or taps.size < 1:
+        raise ConfigurationError("taps must be a non-empty 1-D array")
+    stack = np.asarray(stack)
+    if stack.ndim != 2:
+        raise ConfigurationError(f"stack must be 2-D, got shape {stack.shape}")
+    delay = (taps.size - 1) // 2
+    padded = np.concatenate(
+        [stack, np.zeros((stack.shape[0], delay), dtype=stack.dtype)], axis=1)
+    return sps.lfilter(taps, [1.0], padded, axis=1)[:, delay:]
+
+
+def frequency_gain_profile(n: int, sample_rate: float, gain_fn, *,
+                           complex_input: bool) -> np.ndarray:
+    """Precompute the per-bin gains :func:`frequency_domain_gain` would apply.
+
+    For a fixed signal length the gain evaluation (e.g. the interpolated SAW
+    response) is deterministic, so hot paths compute it once and reuse it
+    with :func:`apply_frequency_gain_stack`.
+    """
+    n = ensure_integer(n, "n", minimum=1)
+    ensure_positive(sample_rate, "sample_rate")
+    if complex_input:
+        freqs = np.fft.fftfreq(n, d=1.0 / sample_rate)
+    else:
+        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    gains = np.asarray(gain_fn(freqs), dtype=float)
+    if gains.shape != freqs.shape:
+        raise ConfigurationError("gain_fn must return one gain per frequency bin")
+    return gains
+
+
+def apply_frequency_gain_stack(stack: np.ndarray, gains: np.ndarray) -> np.ndarray:
+    """Batched :func:`frequency_domain_gain` with precomputed per-bin gains.
+
+    Row ``i`` of the result is bit-identical to shaping ``stack[i]`` alone:
+    pocketfft computes batched transforms independently per row, and the
+    gain multiply is elementwise.
+    """
+    stack = np.asarray(stack)
+    if stack.ndim != 2:
+        raise ConfigurationError(f"stack must be 2-D, got shape {stack.shape}")
+    n = stack.shape[1]
+    gains = np.asarray(gains, dtype=float)
+    if np.iscomplexobj(stack):
+        if gains.shape != (n,):
+            raise ConfigurationError("gains length must match the stack width")
+        return np.fft.ifft(np.fft.fft(stack, axis=1) * gains[None, :], axis=1)
+    if gains.shape != (n // 2 + 1,):
+        raise ConfigurationError("gains length must match the rfft bin count")
+    return np.fft.irfft(np.fft.rfft(stack, axis=1) * gains[None, :], n=n, axis=1)
+
+
 def lowpass_filter(signal: Signal, cutoff_hz: float, *, num_taps: int = 129) -> Signal:
     """Low-pass filter ``signal`` at ``cutoff_hz``."""
     taps = fir_lowpass(cutoff_hz, signal.sample_rate, num_taps=num_taps)

@@ -91,6 +91,17 @@ class LoRaModulator:
             amplitude=self.amplitude,
         ).relabel(f"symbol({symbol})")
 
+    def symbol_waveform_table(self) -> np.ndarray:
+        """Return the ``(alphabet, samples_per_symbol)`` symbol waveform matrix.
+
+        Row ``s`` holds exactly the samples of ``symbol_waveform(s)``, so
+        ``table[symbols].reshape(-1)`` equals :meth:`modulate_symbols` sample
+        for sample.  The batch engines index this table instead of
+        re-synthesising chirps per burst.
+        """
+        return np.vstack([np.asarray(self.symbol_waveform(symbol).samples)
+                          for symbol in range(self._alphabet_size)])
+
     def preamble_waveform(self, num_upchirps: int) -> Signal:
         """Return ``num_upchirps`` identical base up-chirps."""
         if num_upchirps < 1:

@@ -5,6 +5,10 @@ Three levels of fidelity are provided, trading accuracy for speed:
 * **Waveform level** — the :mod:`repro.core` pipeline operating on simulated
   analog waveforms; used by the unit/integration tests and the
   micro-benchmark experiments (SAW response, comparator behaviour, spectra).
+  :mod:`repro.sim.waveform_engine` evaluates declarative receiver x SNR
+  ablation grids on this level — vectorized burst kernel in process,
+  optionally sharded over worker processes, bit-identical to the serial
+  :func:`~repro.sim.waveform_ber.snr_sweep` under a fixed seed.
 * **Link level** — :mod:`repro.sim.link_sim`, a calibrated RSS -> BER /
   detection model that regenerates the field-study figures (BER, range and
   throughput sweeps) in milliseconds instead of hours.
@@ -51,6 +55,16 @@ from repro.sim.waveform_ber import (
     snr_sweep,
     compare_modes,
 )
+from repro.sim.waveform_engine import (
+    ReceiverSpec,
+    SaiyanBurstKernel,
+    WAVEFORM_SWEEPS,
+    WaveformCell,
+    WaveformSweepResult,
+    WaveformSweepSpec,
+    get_sweep,
+    run_sweep,
+)
 from repro.sim import experiments
 from repro.sim.reporting import format_series, format_table
 
@@ -86,6 +100,14 @@ __all__ = [
     "measure_symbol_errors",
     "snr_sweep",
     "compare_modes",
+    "ReceiverSpec",
+    "SaiyanBurstKernel",
+    "WAVEFORM_SWEEPS",
+    "WaveformCell",
+    "WaveformSweepResult",
+    "WaveformSweepSpec",
+    "get_sweep",
+    "run_sweep",
     "experiments",
     "format_series",
     "format_table",

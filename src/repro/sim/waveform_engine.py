@@ -1,0 +1,920 @@
+"""Sharded waveform-level ablation engine.
+
+:mod:`repro.sim.waveform_ber` measures symbol errors by pushing actual chirp
+waveforms through the actual Saiyan pipeline — one burst at a time, through
+a scalar Python loop that rebuilds the modulator, the demodulator and its
+correlation templates at every SNR point.  That is the mechanism-faithful
+reference, but it is the last scalar hot path in the repository and it
+cannot express the paper's receiver ablations (double-threshold comparator,
+the 3.2x sampling-rate rule, Saiyan against the PLoRa/Aloba/envelope
+baselines) as one declarative experiment.
+
+This module makes the waveform path a first-class batch subsystem:
+
+* :class:`WaveformSweepSpec` — a declarative grid of receivers x SNRs.  A
+  receiver arm is a :class:`ReceiverSpec`: any Saiyan configuration (mode,
+  SF, bandwidth, bits per chirp, oversampling, comparator sampling-rate
+  factor) or one of the four baseline receivers from :mod:`repro.baselines`,
+  all behind the common :class:`WaveformReceiver` protocol.
+* :class:`SaiyanBurstKernel` — the in-process vectorized hot path: all
+  bursts of one measurement are synthesised from a symbol-waveform table and
+  pushed through the analog front end as *stacked* array operations (batched
+  FFT for the SAW response, batched FIR for the IF/LPF stages), then decided
+  through the exact per-window decision code of the serial demodulator.
+* :func:`run_sweep` — evaluates a spec either in process or sharded across a
+  ``concurrent.futures.ProcessPoolExecutor``.
+
+RNG discipline (the PR 1/PR 2 substream contract, extended per shard): the
+root seed is split with ``Generator.spawn`` into **one substream per grid
+cell**, in receiver-major / SNR-minor order.  Shards receive their cells'
+substreams, so the shard count can never change a number.  For a
+single-receiver Saiyan sweep the cell substreams are exactly the per-point
+substreams of the serial :func:`repro.sim.waveform_ber.snr_sweep`, and
+within a cell the kernel draws the same per-burst blocks in the same order
+(symbols, channel AWGN, LNA noise) — which is why serial sweep, sharded
+engine and vectorized kernel are **bit-identical** under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.baselines.aloba import AlobaDetector
+from repro.baselines.envelope_receiver import ConventionalEnvelopeReceiver
+from repro.baselines.plora import PLoRaDetector
+from repro.constants import PREAMBLE_UPCHIRPS, THERMAL_NOISE_DBM_PER_HZ
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.dsp.chirp import lora_downchirp
+from repro.dsp.filters import (
+    apply_fir_stack,
+    apply_frequency_gain_stack,
+    fir_bandpass,
+    fir_lowpass,
+    frequency_gain_profile,
+)
+from repro.dsp.noise import awgn_samples
+from repro.dsp.signals import Signal
+from repro.exceptions import ConfigurationError
+from repro.lora.modulation import LoRaModulator
+from repro.lora.parameters import DownlinkParameters, LoRaParameters
+from repro.sim.metrics import SeriesResult, SweepResult
+from repro.sim.waveform_ber import (
+    WaveformBerPoint,
+    _build_demodulator,
+    count_bit_errors,
+    measure_symbol_errors,
+)
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.units import db_to_linear, dbm_to_watts
+from repro.utils.validation import ensure_integer
+
+#: Receiver kinds accepted by :class:`ReceiverSpec`.
+RECEIVER_KINDS: tuple[str, ...] = ("saiyan", "standard_lora", "plora", "aloba", "envelope")
+
+#: Upper bound on the rows of one stacked front-end evaluation (memory cap).
+_MAX_STACK_ROWS: int = 256
+
+
+def _draw_noisy_burst(rng: np.random.Generator, table: np.ndarray, alphabet: int,
+                      burst: int, snr_db: float) -> tuple[np.ndarray, np.ndarray]:
+    """Draw one burst's symbols and noisy waveform from ``rng``.
+
+    The single batch-side definition of the per-burst draw sequence —
+    symbol block, then channel AWGN sized from the measured waveform
+    power — which must mirror ``measure_symbol_errors`` (symbol table
+    indexing equals ``modulate_symbols``; the power/noise expressions equal
+    ``add_awgn_snr``) draw for draw, or the serial==kernel bit-parity
+    contract breaks.  The parity battery in
+    ``tests/sim/test_waveform_engine.py`` pins the pair.
+    """
+    tx = rng.integers(0, alphabet, size=burst)
+    row = table[tx].reshape(-1)
+    signal_power = float(np.mean(np.abs(row) ** 2))
+    noise_power = float(signal_power / db_to_linear(snr_db))
+    noisy = row + awgn_samples(row.size, noise_power, complex_valued=True,
+                               random_state=rng)
+    return tx, noisy
+
+
+# ---------------------------------------------------------------------------
+# Grid cells and the receiver protocol
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WaveformCell:
+    """Outcome of one (receiver, SNR) grid cell.
+
+    Demodulating receivers fill the symbol/bit counters; detection-only
+    receivers fill ``trials``/``detections``.  Counters are integers, so two
+    engines agreeing on a cell means they made identical decisions.
+    """
+
+    receiver: str
+    snr_db: float
+    symbols: int = 0
+    symbol_errors: int = 0
+    bits: int = 0
+    bit_errors: int = 0
+    trials: int = 0
+    detections: int = 0
+
+    @property
+    def symbol_error_rate(self) -> float:
+        """Fraction of symbols decoded incorrectly."""
+        return self.symbol_errors / self.symbols if self.symbols else 0.0
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Fraction of bits decoded incorrectly."""
+        return self.bit_errors / self.bits if self.bits else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of detection trials that declared a packet."""
+        return self.detections / self.trials if self.trials else 0.0
+
+
+@runtime_checkable
+class WaveformReceiver(Protocol):
+    """The contract every receiver arm of a waveform sweep implements."""
+
+    name: str
+    measures_symbols: bool
+
+    def measure(self, snr_db: float, *, num_symbols: int, symbols_per_burst: int,
+                random_state: RandomState, engine: str = "batch") -> WaveformCell:
+        """Evaluate one grid cell at ``snr_db``."""
+        ...  # pragma: no cover - protocol signature
+
+
+# ---------------------------------------------------------------------------
+# Receiver specification (declarative, picklable)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReceiverSpec:
+    """One receiver arm of a :class:`WaveformSweepSpec`.
+
+    ``kind="saiyan"`` selects the Saiyan pipeline with the given mode and
+    air interface; the other kinds select the corresponding baseline
+    receiver from :mod:`repro.baselines` operating on the same SF/BW and
+    oversampling.
+    """
+
+    kind: str = "saiyan"
+    mode: SaiyanMode = SaiyanMode.SUPER
+    spreading_factor: int = 7
+    bandwidth_hz: float = 500e3
+    bits_per_chirp: int = 2
+    oversampling: int = 4
+    sampling_safety_factor: float | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECEIVER_KINDS:
+            raise ConfigurationError(
+                f"unknown receiver kind {self.kind!r}; expected one of {RECEIVER_KINDS}")
+        if not isinstance(self.mode, SaiyanMode):
+            raise ConfigurationError(f"mode must be a SaiyanMode, got {self.mode!r}")
+        # Air-interface validation is delegated to the parameter classes.
+        self.downlink()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Series/registry name of this receiver arm."""
+        if self.label is not None:
+            return self.label
+        if self.kind == "saiyan":
+            return f"saiyan-{self.mode.value}"
+        return self.kind
+
+    @property
+    def measures_symbols(self) -> bool:
+        """Whether this arm demodulates payload symbols (vs detection only)."""
+        return self.kind in ("saiyan", "standard_lora")
+
+    def downlink(self) -> DownlinkParameters:
+        """The downlink air interface of this arm."""
+        return DownlinkParameters(spreading_factor=self.spreading_factor,
+                                  bandwidth_hz=self.bandwidth_hz,
+                                  bits_per_chirp=self.bits_per_chirp)
+
+    def config(self) -> SaiyanConfig:
+        """The Saiyan configuration of a ``kind="saiyan"`` arm."""
+        if self.kind != "saiyan":
+            raise ConfigurationError(f"receiver kind {self.kind!r} has no SaiyanConfig")
+        return SaiyanConfig(downlink=self.downlink(), mode=self.mode,
+                            oversampling=self.oversampling,
+                            sampling_safety_factor=self.sampling_safety_factor)
+
+    def build(self) -> "WaveformReceiver":
+        """Instantiate the receiver behind this spec."""
+        if self.kind == "saiyan":
+            return _SaiyanWaveformReceiver(self)
+        if self.kind == "standard_lora":
+            return _StandardLoRaWaveformReceiver(self)
+        return _DetectionWaveformReceiver(self)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized Saiyan burst kernel
+# ---------------------------------------------------------------------------
+
+class SaiyanBurstKernel:
+    """Vectorized, bit-identical replacement for ``measure_symbol_errors``.
+
+    All per-configuration state that the serial path rebuilds at every SNR
+    point — the symbol-waveform table, the correlation templates, the SAW
+    gain profile, the FIR taps of the IF/LPF stages, the mixer clocks — is
+    computed once here.  ``measure`` then draws the same per-burst RNG
+    blocks as the serial loop (symbols, channel AWGN, LNA noise, in that
+    order), evaluates the whole front end as stacked array operations
+    (batched FFT/FIR apply each row exactly as the 1-D ops would), and runs
+    the decision stage through the demodulator's shared
+    ``decide_envelope`` — so the error counts are bit-identical to the
+    serial reference under a fixed seed.
+    """
+
+    def __init__(self, config: SaiyanConfig) -> None:
+        if not isinstance(config, SaiyanConfig):
+            raise ConfigurationError(f"expected a SaiyanConfig, got {type(config).__name__}")
+        self.config = config
+        self.demodulator = _build_demodulator(config)
+        self.modulator = LoRaModulator(config.downlink, oversampling=config.oversampling)
+        self._table = self.modulator.symbol_waveform_table()
+        self._alphabet = config.downlink.alphabet_size
+        self._bits_per_symbol = config.downlink.bits_per_chirp
+        self._sps = self.modulator.samples_per_symbol
+        self._fs = self.modulator.sample_rate
+
+        frontend = self.demodulator.frontend
+        impairments = frontend.impairments
+        if (impairments.dc_offset or impairments.flicker_noise_power > 0
+                or impairments.detector_noise_rms > 0):
+            # Non-zero impairments draw RNG inside the shifter; the batched
+            # pipeline does not reorder those draws, so refuse rather than
+            # silently break the bit-parity contract.
+            raise ConfigurationError(
+                "SaiyanBurstKernel requires the default zero baseband impairments")
+        shifter = frontend.cyclic_shifter
+        self._shifter = shifter
+        self._uses_frequency_shift = config.mode.uses_frequency_shift
+        nyquist = self._fs / 2.0
+        if shifter.if_offset_hz + shifter.envelope_bandwidth_hz >= nyquist:
+            raise ConfigurationError(
+                "sample rate too low for the configured IF: need "
+                f"fs/2 > {shifter.if_offset_hz + shifter.envelope_bandwidth_hz} Hz, "
+                f"got {nyquist} Hz"
+            )
+
+        lna = frontend.lna
+        self._lna_amplitude_gain = np.sqrt(db_to_linear(lna.gain_db))
+        noise_density_dbm = THERMAL_NOISE_DBM_PER_HZ + lna.noise_figure_db
+        noise_power_w = float(dbm_to_watts(noise_density_dbm)) * self._fs
+        self._lna_noise_power = noise_power_w * db_to_linear(lna.gain_db)
+
+        self._conversion_gain = shifter.detector.conversion_gain
+        self._feedthrough = shifter.feedthrough
+        self._if_gain = np.sqrt(db_to_linear(shifter.if_gain_db))
+        self._mix_phase = shifter.delay_line.phase_shift_rad(shifter.if_offset_hz)
+        self._mix_loss = np.sqrt(db_to_linear(-shifter.output_mixer.conversion_loss_db))
+        if self._uses_frequency_shift:
+            self._bp_taps = fir_bandpass(
+                shifter.if_offset_hz - shifter.envelope_bandwidth_hz,
+                shifter.if_offset_hz + shifter.envelope_bandwidth_hz,
+                self._fs)
+        else:
+            self._bp_taps = None
+        # Both the cyclic-shifting and the direct path low-pass at the
+        # shifter's envelope bandwidth (transparent above Nyquist).
+        self._lp_transparent = shifter.envelope_bandwidth_hz >= nyquist
+        self._lp_taps = (None if self._lp_transparent
+                         else fir_lowpass(shifter.envelope_bandwidth_hz, self._fs))
+        self._saw_gain_fn = frontend.saw_filter.gain_linear
+        # Per burst length L: (SAW gain profile, CLK_in samples, CLK_out row).
+        self._length_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray | None]] = {}
+
+    # ------------------------------------------------------------------
+    def _profiles(self, length: int) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        cached = self._length_cache.get(length)
+        if cached is not None:
+            return cached
+        gains = frequency_gain_profile(length, self._fs, self._saw_gain_fn,
+                                       complex_input=True)
+        clk_in = np.asarray(self._shifter.oscillator.generate(
+            length / self._fs, self._fs).samples)[:length]
+        clk_out = None
+        if self._uses_frequency_shift:
+            t = np.arange(length) / self._fs
+            clk_out = np.cos(2 * np.pi * self._shifter.if_offset_hz * t + self._mix_phase)
+        cached = (gains, clk_in, clk_out)
+        self._length_cache[length] = cached
+        return cached
+
+    def _envelopes(self, noisy: np.ndarray, lna_noise: np.ndarray) -> np.ndarray:
+        """Run a ``(bursts, samples)`` stack through the analog front end."""
+        length = noisy.shape[1]
+        gains, clk_in, clk_out = self._profiles(length)
+        after_saw = apply_frequency_gain_stack(noisy, gains)
+        after_lna = after_saw * self._lna_amplitude_gain + lna_noise
+        if self._uses_frequency_shift:
+            composite = after_lna * (self._feedthrough + clk_in)[None, :]
+            detected = (self._conversion_gain * np.abs(composite) ** 2).astype(float)
+            if_signal = apply_fir_stack(detected, self._bp_taps) * self._if_gain
+            back = (if_signal * clk_out[None, :]) * self._mix_loss
+            envelopes = back if self._lp_transparent else apply_fir_stack(back, self._lp_taps)
+        else:
+            detected = (self._conversion_gain * np.abs(after_lna) ** 2).astype(float)
+            envelopes = (detected if self._lp_transparent
+                         else apply_fir_stack(detected, self._lp_taps))
+        return np.maximum(envelopes, 0.0)
+
+    def _burst_plan(self, num_symbols: int, symbols_per_burst: int) -> list[int]:
+        plan: list[int] = []
+        remaining = num_symbols
+        while remaining > 0:
+            burst = min(symbols_per_burst, remaining)
+            plan.append(burst)
+            remaining -= burst
+        return plan
+
+    def prepare(self, num_symbols: int, symbols_per_burst: int) -> None:
+        """Warm the per-length caches for a given burst plan.
+
+        Called by the sharded engine in the parent process before forking,
+        so worker processes inherit the precomputed profiles for free.
+        """
+        for burst in set(self._burst_plan(num_symbols, symbols_per_burst)):
+            self._profiles(burst * self._sps)
+
+    # ------------------------------------------------------------------
+    def measure_cells(self, snrs_db: Sequence[float],
+                      streams: Sequence[RandomState], *, num_symbols: int = 64,
+                      symbols_per_burst: int = 16) -> list[WaveformBerPoint]:
+        """Measure many SNR cells at once, stacking their bursts.
+
+        Each cell draws from its own generator in the exact serial order
+        (symbols, channel AWGN, LNA noise, burst after burst), then all
+        bursts of the same length — across every cell — go through the
+        front end as one stack.  Cells are RNG-independent, so stacking
+        across them cannot change any draw.
+        """
+        num_symbols = ensure_integer(num_symbols, "num_symbols", minimum=1)
+        symbols_per_burst = ensure_integer(symbols_per_burst, "symbols_per_burst",
+                                           minimum=1)
+        if len(snrs_db) != len(streams):
+            raise ConfigurationError("snrs_db and streams lengths differ")
+        plan = self._burst_plan(num_symbols, symbols_per_burst)
+        # Bound staged waveform memory: process whole cells in chunks whose
+        # total burst count stays near _MAX_STACK_ROWS.  Cells draw from
+        # independent substreams and rows are processed independently, so
+        # the chunking cannot change a single draw or float.
+        cells_per_chunk = max(1, _MAX_STACK_ROWS // len(plan))
+        symbol_errors = [0] * len(snrs_db)
+        bit_errors = [0] * len(snrs_db)
+        for chunk_start in range(0, len(snrs_db), cells_per_chunk):
+            chunk = range(chunk_start,
+                          min(chunk_start + cells_per_chunk, len(snrs_db)))
+            # burst size -> (owning cell per row, tx symbols, noisy, LNA rows)
+            groups: dict[int, tuple[list[int], list[np.ndarray],
+                                    list[np.ndarray], list[np.ndarray]]] = {}
+            for cell_index in chunk:
+                rng = as_rng(streams[cell_index])
+                snr_db = snrs_db[cell_index]
+                for burst in plan:
+                    tx, noisy = _draw_noisy_burst(rng, self._table, self._alphabet,
+                                                  burst, snr_db)
+                    lna_noise = awgn_samples(noisy.size, self._lna_noise_power,
+                                             complex_valued=True, random_state=rng)
+                    owners, tx_list, noisy_list, lna_list = groups.setdefault(
+                        burst, ([], [], [], []))
+                    owners.append(cell_index)
+                    tx_list.append(tx)
+                    noisy_list.append(noisy)
+                    lna_list.append(lna_noise)
+            for burst, (owners, tx_list, noisy_list, lna_list) in groups.items():
+                for start in range(0, len(owners), _MAX_STACK_ROWS):
+                    stop = start + _MAX_STACK_ROWS
+                    envelopes = self._envelopes(np.vstack(noisy_list[start:stop]),
+                                                np.vstack(lna_list[start:stop]))
+                    for owner, tx, envelope in zip(owners[start:stop],
+                                                   tx_list[start:stop], envelopes):
+                        signal = Signal(envelope, self._fs)
+                        decided, _ = self.demodulator.decide_envelope(signal, burst)
+                        symbol_errors[owner] += int(np.sum(decided != tx))
+                        bit_errors[owner] += count_bit_errors(
+                            tx, decided, self._bits_per_symbol)
+        return [WaveformBerPoint(snr_db=float(snr_db), symbols=num_symbols,
+                                 symbol_errors=symbol_errors[i],
+                                 bits=num_symbols * self._bits_per_symbol,
+                                 bit_errors=bit_errors[i])
+                for i, snr_db in enumerate(snrs_db)]
+
+    def measure(self, snr_db: float, *, num_symbols: int = 64,
+                symbols_per_burst: int = 16,
+                random_state: RandomState = None) -> WaveformBerPoint:
+        """Vectorized counterpart of :func:`~repro.sim.waveform_ber.measure_symbol_errors`."""
+        return self.measure_cells([float(snr_db)], [random_state],
+                                  num_symbols=num_symbols,
+                                  symbols_per_burst=symbols_per_burst)[0]
+
+
+# ---------------------------------------------------------------------------
+# Receiver adapters
+# ---------------------------------------------------------------------------
+
+class _SaiyanWaveformReceiver:
+    """Saiyan pipeline behind the :class:`WaveformReceiver` protocol."""
+
+    measures_symbols = True
+
+    def __init__(self, spec: ReceiverSpec) -> None:
+        self.name = spec.name
+        self.config = spec.config()
+        self._kernel: SaiyanBurstKernel | None = None
+
+    @property
+    def kernel(self) -> SaiyanBurstKernel:
+        """The lazily constructed vectorized burst kernel."""
+        if self._kernel is None:
+            self._kernel = SaiyanBurstKernel(self.config)
+        return self._kernel
+
+    def prepare(self, num_symbols: int, symbols_per_burst: int) -> None:
+        """Build the kernel and its length caches ahead of a fork."""
+        self.kernel.prepare(num_symbols, symbols_per_burst)
+
+    def _cell(self, point: WaveformBerPoint) -> WaveformCell:
+        return WaveformCell(receiver=self.name, snr_db=point.snr_db,
+                            symbols=point.symbols, symbol_errors=point.symbol_errors,
+                            bits=point.bits, bit_errors=point.bit_errors)
+
+    def measure_cells(self, snrs_db: Sequence[float], streams: Sequence[RandomState],
+                      *, num_symbols: int, symbols_per_burst: int) -> list[WaveformCell]:
+        """Batch path: all cells' bursts stacked through one kernel pass."""
+        points = self.kernel.measure_cells(snrs_db, streams, num_symbols=num_symbols,
+                                           symbols_per_burst=symbols_per_burst)
+        return [self._cell(point) for point in points]
+
+    def measure(self, snr_db: float, *, num_symbols: int, symbols_per_burst: int,
+                random_state: RandomState, engine: str = "batch") -> WaveformCell:
+        if engine == "serial":
+            point = measure_symbol_errors(self.config, float(snr_db),
+                                          num_symbols=num_symbols,
+                                          symbols_per_burst=symbols_per_burst,
+                                          random_state=random_state)
+        else:
+            point = self.kernel.measure(float(snr_db), num_symbols=num_symbols,
+                                        symbols_per_burst=symbols_per_burst,
+                                        random_state=random_state)
+        return self._cell(point)
+
+
+class _StandardLoRaWaveformReceiver:
+    """Commodity FFT receiver on the same downlink chirps (stacked dechirp)."""
+
+    measures_symbols = True
+
+    def __init__(self, spec: ReceiverSpec) -> None:
+        self.name = spec.name
+        downlink = spec.downlink()
+        self._modulator = LoRaModulator(downlink, oversampling=spec.oversampling)
+        self._table = self._modulator.symbol_waveform_table()
+        self._alphabet = downlink.alphabet_size
+        self._bits_per_symbol = downlink.bits_per_chirp
+        self._sps = self._modulator.samples_per_symbol
+        self._chips = 2 ** downlink.spreading_factor
+        oversampling = spec.oversampling
+        self._downchirp = np.asarray(lora_downchirp(
+            downlink.spreading_factor, downlink.bandwidth_hz,
+            self._modulator.sample_rate).samples)[: self._sps]
+        bins = np.arange(self._chips)
+        self._bins_low = bins % self._sps
+        self._bins_high = (bins + self._chips * (oversampling - 1)) % self._sps
+
+    def _decide_stack(self, windows: np.ndarray) -> np.ndarray:
+        """Stacked dechirp-FFT decisions, row-identical to ``demodulate_symbol``."""
+        dechirped = windows * self._downchirp[None, :]
+        spectrum = np.abs(np.fft.fft(dechirped, axis=1))
+        folded = spectrum[:, self._bins_low] + spectrum[:, self._bins_high]
+        raw = np.argmax(folded, axis=1)
+        if self._alphabet != self._chips:
+            step = self._chips / self._alphabet
+            raw = np.round(raw / step).astype(np.int64) % self._alphabet
+        return raw.astype(np.int64)
+
+    def measure(self, snr_db: float, *, num_symbols: int, symbols_per_burst: int,
+                random_state: RandomState, engine: str = "batch") -> WaveformCell:
+        del engine  # single implementation; deterministic either way
+        num_symbols = ensure_integer(num_symbols, "num_symbols", minimum=1)
+        symbols_per_burst = ensure_integer(symbols_per_burst, "symbols_per_burst",
+                                           minimum=1)
+        rng = as_rng(random_state)
+        symbol_errors = bit_errors = 0
+        remaining = num_symbols
+        while remaining > 0:
+            burst = min(symbols_per_burst, remaining)
+            tx, noisy = _draw_noisy_burst(rng, self._table, self._alphabet,
+                                          burst, float(snr_db))
+            decided = self._decide_stack(noisy.reshape(burst, self._sps))
+            symbol_errors += int(np.sum(decided != tx))
+            bit_errors += count_bit_errors(tx, decided, self._bits_per_symbol)
+            remaining -= burst
+        return WaveformCell(receiver=self.name, snr_db=float(snr_db),
+                            symbols=num_symbols, symbol_errors=symbol_errors,
+                            bits=num_symbols * self._bits_per_symbol,
+                            bit_errors=bit_errors)
+
+
+class _DetectionWaveformReceiver:
+    """PLoRa / Aloba / conventional-envelope packet detectors as sweep arms.
+
+    Each trial synthesises two symbol times of silence (the noise-floor
+    head the detectors calibrate against) followed by a standard LoRa
+    preamble, adds AWGN at the requested preamble SNR, and asks the
+    detector for its packet decision.
+    """
+
+    measures_symbols = False
+
+    def __init__(self, spec: ReceiverSpec) -> None:
+        self.name = spec.name
+        parameters = LoRaParameters(spreading_factor=spec.spreading_factor,
+                                    bandwidth_hz=spec.bandwidth_hz)
+        if spec.kind == "plora":
+            self._detector = PLoRaDetector(parameters, oversampling=spec.oversampling)
+        elif spec.kind == "aloba":
+            self._detector = AlobaDetector(parameters, oversampling=spec.oversampling)
+        else:
+            self._detector = ConventionalEnvelopeReceiver(parameters)
+        self._kind = spec.kind
+        modulator = LoRaModulator(parameters, oversampling=spec.oversampling)
+        preamble = np.asarray(modulator.preamble_waveform(PREAMBLE_UPCHIRPS).samples)
+        head = np.zeros(2 * modulator.samples_per_symbol, dtype=np.complex128)
+        self._clean = np.concatenate([head, preamble])
+        self._signal_power = float(np.mean(np.abs(preamble) ** 2))
+        self._fs = modulator.sample_rate
+
+    def _detect(self, waveform: Signal) -> bool:
+        if self._kind == "envelope":
+            return bool(self._detector.detect_energy(waveform))
+        return bool(self._detector.detect(waveform))
+
+    def measure(self, snr_db: float, *, num_symbols: int, symbols_per_burst: int,
+                random_state: RandomState, engine: str = "batch") -> WaveformCell:
+        del engine  # single implementation; deterministic either way
+        num_symbols = ensure_integer(num_symbols, "num_symbols", minimum=1)
+        symbols_per_burst = ensure_integer(symbols_per_burst, "symbols_per_burst",
+                                           minimum=1)
+        rng = as_rng(random_state)
+        trials = max(num_symbols // symbols_per_burst, 1)
+        noise_power = float(self._signal_power / db_to_linear(snr_db))
+        detections = 0
+        for _ in range(trials):
+            noise = awgn_samples(self._clean.size, noise_power, complex_valued=True,
+                                 random_state=rng)
+            if self._detect(Signal(self._clean + noise, self._fs)):
+                detections += 1
+        return WaveformCell(receiver=self.name, snr_db=float(snr_db),
+                            trials=trials, detections=detections)
+
+
+# ---------------------------------------------------------------------------
+# Sweep specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WaveformSweepSpec:
+    """A declarative receiver x SNR waveform ablation grid."""
+
+    name: str
+    description: str = ""
+    receivers: tuple[ReceiverSpec, ...] = (ReceiverSpec(),)
+    snrs_db: tuple[float, ...] = (-18.0, -12.0, -6.0, 0.0, 6.0, 12.0)
+    num_symbols: int = 64
+    symbols_per_burst: int = 16
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ConfigurationError("a waveform sweep needs at least one receiver")
+        if not all(isinstance(r, ReceiverSpec) for r in self.receivers):
+            raise ConfigurationError("receivers must be ReceiverSpec instances")
+        if not self.snrs_db:
+            raise ConfigurationError("a waveform sweep needs at least one SNR point")
+        ensure_integer(self.num_symbols, "num_symbols", minimum=1)
+        ensure_integer(self.symbols_per_burst, "symbols_per_burst", minimum=1)
+        names = [r.name for r in self.receivers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"receiver names must be unique, got {names}")
+        object.__setattr__(self, "snrs_db", tuple(float(s) for s in self.snrs_db))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Grid size: receivers x SNR points."""
+        return len(self.receivers) * len(self.snrs_db)
+
+    def cell_grid(self) -> list[tuple[int, int]]:
+        """The (receiver_index, snr_index) cells in substream order.
+
+        Receiver-major / SNR-minor: a single-receiver sweep assigns cell
+        substream *i* to SNR point *i*, exactly like the serial
+        :func:`~repro.sim.waveform_ber.snr_sweep`.
+        """
+        return [(ri, si) for ri in range(len(self.receivers))
+                for si in range(len(self.snrs_db))]
+
+    def with_(self, **kwargs) -> "WaveformSweepSpec":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The sharded engine
+# ---------------------------------------------------------------------------
+
+#: Built receivers keyed by their spec.  ``run_sweep`` warms this in the
+#: parent process before creating the shard pool, so fork-started workers
+#: inherit ready kernels (templates, waveform tables, FIR taps) for free;
+#: spawn-started workers simply rebuild.  Receivers are stateless w.r.t.
+#: measurements, so reuse can never change a result.
+_RECEIVER_CACHE: dict[ReceiverSpec, "WaveformReceiver"] = {}
+
+
+def _cached_receiver(spec: ReceiverSpec) -> "WaveformReceiver":
+    receiver = _RECEIVER_CACHE.get(spec)
+    if receiver is None:
+        receiver = spec.build()
+        _RECEIVER_CACHE[spec] = receiver
+    return receiver
+
+
+def _evaluate_cells(spec: WaveformSweepSpec, engine: str,
+                    indices: Sequence[int],
+                    streams: Sequence[np.random.Generator]
+                    ) -> list[tuple[int, WaveformCell]]:
+    """Worker entry point: evaluate the given grid cells with their substreams.
+
+    Cells are grouped by receiver so each shard builds a receiver (and its
+    burst kernel) at most once, no matter how many of its SNR points it
+    owns; a receiver's cells then run through the stacked batch path when
+    available.
+    """
+    grid = spec.cell_grid()
+    by_receiver: dict[int, list[tuple[int, np.random.Generator]]] = {}
+    for index, stream in zip(indices, streams):
+        receiver_index, _ = grid[index]
+        by_receiver.setdefault(receiver_index, []).append((index, stream))
+    results: list[tuple[int, WaveformCell]] = []
+    for receiver_index, owned in by_receiver.items():
+        receiver = _cached_receiver(spec.receivers[receiver_index])
+        if engine == "batch" and hasattr(receiver, "measure_cells"):
+            snrs = [spec.snrs_db[grid[index][1]] for index, _ in owned]
+            cells = receiver.measure_cells(
+                snrs, [stream for _, stream in owned],
+                num_symbols=spec.num_symbols,
+                symbols_per_burst=spec.symbols_per_burst)
+            results.extend((index, cell) for (index, _), cell in zip(owned, cells))
+            continue
+        for index, stream in owned:
+            _, snr_index = grid[index]
+            cell = receiver.measure(spec.snrs_db[snr_index],
+                                    num_symbols=spec.num_symbols,
+                                    symbols_per_burst=spec.symbols_per_burst,
+                                    random_state=stream, engine=engine)
+            results.append((index, cell))
+    return results
+
+
+@dataclass
+class WaveformSweepResult:
+    """All grid cells of one sweep evaluation, plus run metadata."""
+
+    spec: WaveformSweepSpec
+    cells: list[WaveformCell] = field(default_factory=list)
+    seed: int | None = None
+    engine: str = "batch"
+    shards: int = 1
+
+    # ------------------------------------------------------------------
+    def cells_for(self, receiver_name: str) -> list[WaveformCell]:
+        """The SNR-ordered cells of one receiver arm."""
+        names = [r.name for r in self.spec.receivers]
+        if receiver_name not in names:
+            raise ConfigurationError(
+                f"no receiver named {receiver_name!r}; known: {names}")
+        receiver_index = names.index(receiver_name)
+        n_snrs = len(self.spec.snrs_db)
+        start = receiver_index * n_snrs
+        return self.cells[start: start + n_snrs]
+
+    def to_sweep_result(self) -> SweepResult:
+        """Flatten into a :class:`SweepResult` for the BatchRunner machinery."""
+        result = SweepResult(title=f"Waveform sweep: {self.spec.name}")
+        snrs = self.spec.snrs_db
+        for receiver in self.spec.receivers:
+            cells = self.cells_for(receiver.name)
+            if receiver.measures_symbols:
+                result.add_series(SeriesResult.from_arrays(
+                    f"{receiver.name}_ser", snrs,
+                    [cell.symbol_error_rate for cell in cells],
+                    x_label="SNR (dB)", y_label="symbol error rate"))
+                result.add_series(SeriesResult.from_arrays(
+                    f"{receiver.name}_ber", snrs,
+                    [cell.bit_error_rate for cell in cells],
+                    x_label="SNR (dB)", y_label="BER"))
+                result.add_scalar(f"{receiver.name}_ser_min",
+                                  min(cell.symbol_error_rate for cell in cells))
+                result.add_scalar(f"{receiver.name}_ser_max",
+                                  max(cell.symbol_error_rate for cell in cells))
+            else:
+                result.add_series(SeriesResult.from_arrays(
+                    f"{receiver.name}_detection", snrs,
+                    [cell.detection_rate for cell in cells],
+                    x_label="SNR (dB)", y_label="detection rate"))
+                result.add_scalar(f"{receiver.name}_detection_max",
+                                  max(cell.detection_rate for cell in cells))
+        result.add_scalar("num_cells", self.spec.num_cells)
+        result.add_scalar("num_symbols", self.spec.num_symbols)
+        notes = self.spec.description or "Waveform-level receiver ablation."
+        result.notes = f"{notes} [engine={self.engine} shards={self.shards}]"
+        return result
+
+
+def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
+              shards: int = 1, engine: str = "batch") -> WaveformSweepResult:
+    """Evaluate every cell of ``spec``, optionally sharded across processes.
+
+    Parameters
+    ----------
+    spec:
+        The receiver x SNR grid to evaluate.
+    random_state:
+        Seed/generator for the whole sweep; ``None`` falls back to
+        ``spec.seed``.  The root generator is split into one substream per
+        grid cell, so the result is independent of ``shards``.
+    shards:
+        Number of worker processes.  ``1`` evaluates in-process (no pool).
+    engine:
+        ``"batch"`` uses the vectorized :class:`SaiyanBurstKernel` hot path;
+        ``"serial"`` runs the reference ``measure_symbol_errors`` loop.
+        Both are bit-identical under a fixed seed.
+    """
+    if not isinstance(spec, WaveformSweepSpec):
+        raise ConfigurationError(
+            f"expected a WaveformSweepSpec, got {type(spec).__name__}")
+    if engine not in ("batch", "serial"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'batch' or 'serial'")
+    shards = ensure_integer(shards, "shards", minimum=1)
+    if random_state is None:
+        random_state = spec.seed
+    seed = int(random_state) if isinstance(random_state, (int, np.integer)) else None
+    streams = as_rng(random_state).spawn(spec.num_cells)
+
+    indexed: list[tuple[int, WaveformCell]] = []
+    if shards == 1:
+        indexed = _evaluate_cells(spec, engine, range(spec.num_cells), streams)
+    else:
+        if engine == "batch":
+            # Build every receiver (kernels, templates, FIR taps) before the
+            # pool exists: fork-started workers inherit the warm cache.
+            for receiver_spec in spec.receivers:
+                receiver = _cached_receiver(receiver_spec)
+                if hasattr(receiver, "prepare"):
+                    receiver.prepare(spec.num_symbols, spec.symbols_per_burst)
+        assignments = [list(range(spec.num_cells))[k::shards] for k in range(shards)]
+        assignments = [a for a in assignments if a]
+        with ProcessPoolExecutor(max_workers=len(assignments)) as pool:
+            futures = [pool.submit(_evaluate_cells, spec, engine, indices,
+                                   [streams[i] for i in indices])
+                       for indices in assignments]
+            for future in futures:
+                indexed.extend(future.result())
+
+    cells: list[WaveformCell | None] = [None] * spec.num_cells
+    for index, cell in indexed:
+        cells[index] = cell
+    missing = [i for i, cell in enumerate(cells) if cell is None]
+    if missing:
+        raise ConfigurationError(f"shards returned no result for cells {missing}")
+    return WaveformSweepResult(spec=spec, cells=cells, seed=seed,
+                               engine=engine, shards=shards)
+
+
+# ---------------------------------------------------------------------------
+# Registered ablation sweeps
+# ---------------------------------------------------------------------------
+
+def _saiyan_arm(mode: SaiyanMode, **kwargs) -> ReceiverSpec:
+    return ReceiverSpec(kind="saiyan", mode=mode, **kwargs)
+
+
+#: Ready-made waveform ablation grids, runnable via ``repro waveform``.
+WAVEFORM_SWEEPS: dict[str, WaveformSweepSpec] = {
+    "modes": WaveformSweepSpec(
+        name="modes",
+        description=("Mechanism ablation: vanilla comparator pipeline vs "
+                     "+cyclic-frequency-shift vs +correlation (Figure 25 at "
+                     "waveform level)."),
+        receivers=(_saiyan_arm(SaiyanMode.VANILLA),
+                   _saiyan_arm(SaiyanMode.FREQUENCY_SHIFT),
+                   _saiyan_arm(SaiyanMode.SUPER)),
+        snrs_db=(-18.0, -12.0, -6.0, 0.0, 6.0, 12.0),
+        seed=1137,
+    ),
+    "sampling-rate": WaveformSweepSpec(
+        name="sampling-rate",
+        description=("The 3.2x sampling-rate rule (Table 1): vanilla-pipeline "
+                     "accuracy against the comparator sampling-rate factor."),
+        receivers=tuple(_saiyan_arm(SaiyanMode.VANILLA, sampling_safety_factor=factor,
+                                    label=f"vanilla-{factor:g}x")
+                        for factor in (1.2, 2.0, 2.6, 3.2, 4.0)),
+        snrs_db=(12.0, 18.0, 24.0, 30.0),
+        seed=251,
+    ),
+    "baselines": WaveformSweepSpec(
+        name="baselines",
+        description=("Saiyan vs the baseline receivers at waveform level: "
+                     "SER for the demodulating receivers, preamble detection "
+                     "rate for PLoRa/Aloba/envelope."),
+        receivers=(_saiyan_arm(SaiyanMode.SUPER),
+                   ReceiverSpec(kind="standard_lora"),
+                   ReceiverSpec(kind="plora"),
+                   ReceiverSpec(kind="aloba"),
+                   ReceiverSpec(kind="envelope")),
+        snrs_db=(-24.0, -18.0, -12.0, -6.0, 0.0, 6.0, 12.0),
+        seed=73,
+    ),
+    "coding-rate": WaveformSweepSpec(
+        name="coding-rate",
+        description=("Super-Saiyan SER against the downlink coding rate "
+                     "K=1..4 (Figure 16 mechanism check)."),
+        receivers=tuple(_saiyan_arm(SaiyanMode.SUPER, bits_per_chirp=k,
+                                    label=f"super-k{k}") for k in (1, 2, 3, 4)),
+        snrs_db=(-15.0, -9.0, -3.0, 3.0),
+        seed=91,
+    ),
+    "oversampling": WaveformSweepSpec(
+        name="oversampling",
+        description=("Simulation-fidelity check: Super-Saiyan SER across "
+                     "analog oversampling factors."),
+        receivers=tuple(_saiyan_arm(SaiyanMode.SUPER, oversampling=oversampling,
+                                    label=f"super-os{oversampling}")
+                        for oversampling in (4, 6, 8)),
+        snrs_db=(-12.0, -6.0, 0.0),
+        seed=17,
+    ),
+}
+
+
+def sweep_names() -> list[str]:
+    """Registered waveform sweep names, sorted."""
+    return sorted(WAVEFORM_SWEEPS)
+
+
+def get_sweep(name: str) -> WaveformSweepSpec:
+    """Look up a registered sweep by name."""
+    if name not in WAVEFORM_SWEEPS:
+        raise ConfigurationError(
+            f"unknown waveform sweep {name!r}; known: {sweep_names()}")
+    return WAVEFORM_SWEEPS[name]
+
+
+def make_waveform_driver(name: str, *, random_state: RandomState = None,
+                         shards: int = 1, engine: str = "batch",
+                         num_symbols: int | None = None,
+                         symbols_per_burst: int | None = None):
+    """Build a zero-argument figure-style driver for a registered sweep.
+
+    Like the network engine's scenario drivers, the returned callable makes
+    waveform sweeps first-class citizens of the
+    :class:`~repro.sim.batch.BatchRunner` machinery: each CLI run records
+    one JSON manifest (driver, seed, config snapshot, scalars, wall clock).
+    """
+    spec = get_sweep(name)
+    if num_symbols is not None:
+        spec = spec.with_(num_symbols=num_symbols)
+    if symbols_per_burst is not None:
+        spec = spec.with_(symbols_per_burst=symbols_per_burst)
+    seed = spec.seed if random_state is None else random_state
+    frozen_spec = spec
+
+    def driver(*, sweep: str = name, random_state=seed, engine: str = engine,
+               shards: int = shards, num_symbols: int = spec.num_symbols,
+               symbols_per_burst: int = spec.symbols_per_burst) -> SweepResult:
+        del sweep  # manifest snapshot only
+        run_spec = frozen_spec.with_(num_symbols=num_symbols,
+                                     symbols_per_burst=symbols_per_burst)
+        return run_sweep(run_spec, random_state=random_state, shards=shards,
+                         engine=engine).to_sweep_result()
+
+    driver.__name__ = f"waveform_{name.replace('-', '_')}"
+    driver.__qualname__ = driver.__name__
+    return driver

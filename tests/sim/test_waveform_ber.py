@@ -1,5 +1,6 @@
 """Unit tests for the waveform-level Monte-Carlo error measurement."""
 
+import numpy as np
 import pytest
 
 from repro.core.config import SaiyanConfig, SaiyanMode
@@ -44,6 +45,32 @@ def test_point_counters_are_consistent(config):
     assert point.bits == 20 * config.downlink.bits_per_chirp
     assert 0 <= point.bit_errors <= point.bits
     assert 0 <= point.symbol_errors <= point.symbols
+
+
+def test_compare_modes_accepts_a_generator(downlink):
+    """Regression: a Generator random_state used to raise TypeError via
+    int(random_state) + index; every other API accepts one."""
+    results = compare_modes(downlink, 3.0, num_symbols=16,
+                            random_state=np.random.default_rng(11))
+    assert set(results) == {SaiyanMode.VANILLA, SaiyanMode.SUPER}
+
+
+def test_compare_modes_seed_and_generator_agree(downlink):
+    from_seed = compare_modes(downlink, 3.0, num_symbols=16, random_state=11)
+    from_generator = compare_modes(downlink, 3.0, num_symbols=16,
+                                   random_state=np.random.default_rng(11))
+    assert from_seed == from_generator
+
+
+def test_snr_sweep_points_use_independent_substreams(config):
+    """Each SNR point draws from its own spawn child, so a sweep equals the
+    per-point measurements under the same spawned streams."""
+    snrs = [-6.0, 4.0]
+    sweep = snr_sweep(config, snrs, num_symbols=16, random_state=21)
+    streams = np.random.default_rng(21).spawn(len(snrs))
+    singles = [measure_symbol_errors(config, snr, num_symbols=16, random_state=stream)
+               for snr, stream in zip(snrs, streams)]
+    assert sweep == singles
 
 
 def test_validation(downlink):

@@ -1,0 +1,231 @@
+"""Tests for the sharded waveform-level ablation engine.
+
+The battery pins the engine's core contract: the serial ``snr_sweep``, the
+in-process vectorized burst kernel and the sharded process-pool evaluation
+are bit-identical under a fixed seed, for every Saiyan mode and for burst
+plans with a tail burst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.exceptions import ConfigurationError
+from repro.lora.demodulation import LoRaDemodulator
+from repro.lora.modulation import LoRaModulator
+from repro.lora.parameters import DownlinkParameters
+from repro.sim.waveform_ber import measure_symbol_errors, snr_sweep
+from repro.sim.waveform_engine import (
+    WAVEFORM_SWEEPS,
+    ReceiverSpec,
+    SaiyanBurstKernel,
+    WaveformCell,
+    WaveformSweepSpec,
+    get_sweep,
+    run_sweep,
+    sweep_names,
+)
+
+SNRS = (-12.0, 0.0)
+
+
+def _saiyan_spec(mode=SaiyanMode.SUPER, *, snrs=SNRS, num_symbols=24, **kwargs):
+    return WaveformSweepSpec(
+        name="test", receivers=(ReceiverSpec(mode=mode, **kwargs),),
+        snrs_db=snrs, num_symbols=num_symbols, symbols_per_burst=16, seed=99)
+
+
+def _counts(cells):
+    return [(c.symbol_errors, c.bit_errors) for c in cells]
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: serial snr_sweep == kernel == sharded engine
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", list(SaiyanMode))
+def test_kernel_bit_identical_to_serial_measurement(mode, downlink):
+    config = SaiyanConfig(downlink=downlink, mode=mode)
+    kernel = SaiyanBurstKernel(config)
+    for snr in (-10.0, 2.0):
+        serial = measure_symbol_errors(config, snr, num_symbols=24,
+                                       random_state=31)
+        batched = kernel.measure(snr, num_symbols=24, random_state=31)
+        assert serial == batched
+
+
+def test_kernel_bit_identical_with_tail_burst(saiyan_config):
+    kernel = SaiyanBurstKernel(saiyan_config)
+    # 21 symbols at 8 per burst: two full bursts plus a 5-symbol tail.
+    serial = measure_symbol_errors(saiyan_config, -4.0, num_symbols=21,
+                                   symbols_per_burst=8, random_state=5)
+    batched = kernel.measure(-4.0, num_symbols=21, symbols_per_burst=8,
+                             random_state=5)
+    assert serial == batched
+
+
+@pytest.mark.parametrize("mode", [SaiyanMode.VANILLA, SaiyanMode.SUPER])
+def test_engine_bit_identical_to_serial_snr_sweep(mode, downlink):
+    config = SaiyanConfig(downlink=downlink, mode=mode)
+    spec = _saiyan_spec(mode)
+    serial = snr_sweep(config, spec.snrs_db, num_symbols=spec.num_symbols,
+                       random_state=spec.seed)
+    result = run_sweep(spec)
+    assert _counts(result.cells) == _counts(serial)
+
+
+def test_engine_engines_and_shards_agree(downlink):
+    """serial engine == batch engine == 1, 2 and 4 shards, bit for bit."""
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    reference = run_sweep(spec, engine="serial")
+    for shards, engine in ((1, "batch"), (2, "batch"), (4, "batch"), (2, "serial")):
+        result = run_sweep(spec, shards=shards, engine=engine)
+        assert result.cells == reference.cells, (shards, engine)
+
+
+def test_measure_cells_matches_per_cell_measurement(saiyan_config):
+    kernel = SaiyanBurstKernel(saiyan_config)
+    snrs = [-8.0, -2.0, 4.0]
+    streams = np.random.default_rng(17).spawn(len(snrs))
+    stacked = kernel.measure_cells(snrs, streams, num_symbols=16)
+    single_streams = np.random.default_rng(17).spawn(len(snrs))
+    singles = [kernel.measure(snr, num_symbols=16, random_state=stream)
+               for snr, stream in zip(snrs, single_streams)]
+    assert stacked == singles
+
+
+def test_generator_random_state_threads_through_engine(saiyan_config):
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    from_seed = run_sweep(spec, random_state=123)
+    from_generator = run_sweep(spec, random_state=np.random.default_rng(123))
+    assert from_seed.cells == from_generator.cells
+    assert from_seed.seed == 123
+    assert from_generator.seed is None
+
+
+# ---------------------------------------------------------------------------
+# The standard-LoRa stacked dechirp path
+# ---------------------------------------------------------------------------
+
+def test_stacked_dechirp_matches_serial_lora_demodulator(downlink):
+    from repro.dsp.noise import add_awgn_snr
+
+    receiver = ReceiverSpec(kind="standard_lora").build()
+    modulator = LoRaModulator(downlink, oversampling=4)
+    demodulator = LoRaDemodulator(downlink, oversampling=4)
+    rng = np.random.default_rng(3)
+    symbols = rng.integers(0, downlink.alphabet_size, size=12)
+    noisy = add_awgn_snr(modulator.modulate_symbols(symbols), -2.0, random_state=rng)
+    serial = demodulator.demodulate_payload(noisy, 12).symbols
+    stacked = receiver._decide_stack(
+        np.asarray(noisy.samples).reshape(12, modulator.samples_per_symbol))
+    np.testing.assert_array_equal(stacked, serial)
+
+
+def test_standard_lora_beats_saiyan_at_low_snr():
+    spec = WaveformSweepSpec(
+        name="test",
+        receivers=(ReceiverSpec(kind="saiyan"), ReceiverSpec(kind="standard_lora")),
+        snrs_db=(-15.0,), num_symbols=48, seed=8)
+    result = run_sweep(spec)
+    saiyan = result.cells_for("saiyan-super")[0]
+    lora = result.cells_for("standard_lora")[0]
+    # The commodity coherent receiver enjoys the full processing gain.
+    assert lora.symbol_error_rate <= saiyan.symbol_error_rate
+
+
+# ---------------------------------------------------------------------------
+# Detection receivers
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", ["plora", "aloba", "envelope"])
+def test_detectors_are_deterministic_and_monotone_at_extremes(kind):
+    spec = WaveformSweepSpec(
+        name="test", receivers=(ReceiverSpec(kind=kind),),
+        snrs_db=(-40.0, 20.0), num_symbols=48, symbols_per_burst=16, seed=6)
+    first = run_sweep(spec)
+    second = run_sweep(spec)
+    assert first.cells == second.cells
+    low, high = first.cells
+    assert low.trials == high.trials == 3
+    assert high.detections == high.trials, f"{kind} must detect at +20 dB"
+    assert low.detections <= high.detections
+
+
+def test_detection_cells_report_rates_not_symbols():
+    spec = WaveformSweepSpec(name="test", receivers=(ReceiverSpec(kind="plora"),),
+                             snrs_db=(0.0,), num_symbols=32, seed=1)
+    cell = run_sweep(spec).cells[0]
+    assert cell.symbols == 0 and cell.bits == 0
+    assert 0.0 <= cell.detection_rate <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Spec validation and result plumbing
+# ---------------------------------------------------------------------------
+
+def test_spec_validation_errors():
+    with pytest.raises(ConfigurationError):
+        WaveformSweepSpec(name="x", receivers=())
+    with pytest.raises(ConfigurationError):
+        WaveformSweepSpec(name="x", snrs_db=())
+    with pytest.raises(ConfigurationError):
+        WaveformSweepSpec(name="x", num_symbols=0)
+    with pytest.raises(ConfigurationError):
+        WaveformSweepSpec(name="x", receivers=(ReceiverSpec(), ReceiverSpec()))
+    with pytest.raises(ConfigurationError):
+        ReceiverSpec(kind="nope")
+    with pytest.raises(ConfigurationError):
+        ReceiverSpec(kind="plora").config()
+    with pytest.raises(ConfigurationError):
+        run_sweep(_saiyan_spec(), engine="magic")
+    with pytest.raises(ConfigurationError):
+        run_sweep(_saiyan_spec(), shards=0)
+
+
+def test_sweep_result_series_and_cells_for():
+    spec = WaveformSweepSpec(
+        name="test",
+        receivers=(ReceiverSpec(mode=SaiyanMode.VANILLA), ReceiverSpec(kind="plora")),
+        snrs_db=(-6.0, 6.0), num_symbols=16, seed=4)
+    result = run_sweep(spec)
+    assert len(result.cells) == 4
+    assert [c.snr_db for c in result.cells_for("saiyan-vanilla")] == [-6.0, 6.0]
+    with pytest.raises(ConfigurationError):
+        result.cells_for("nope")
+    sweep = result.to_sweep_result()
+    assert sweep.series_names == ["saiyan-vanilla_ser", "saiyan-vanilla_ber",
+                                  "plora_detection"]
+    assert sweep.scalars["num_cells"] == 4.0
+    assert "engine=batch" in sweep.notes
+
+
+def test_registry_names_and_lookup():
+    assert set(sweep_names()) == set(WAVEFORM_SWEEPS)
+    assert "modes" in sweep_names()
+    assert get_sweep("modes").receivers[0].kind == "saiyan"
+    with pytest.raises(ConfigurationError):
+        get_sweep("nope")
+    for name, spec in WAVEFORM_SWEEPS.items():
+        assert spec.name == name
+        assert spec.seed is not None, f"registered sweep {name} must be seeded"
+
+
+def test_sampling_rate_factor_reaches_the_quantizer():
+    fast = ReceiverSpec(mode=SaiyanMode.VANILLA, sampling_safety_factor=4.0).config()
+    slow = ReceiverSpec(mode=SaiyanMode.VANILLA, sampling_safety_factor=2.0).config()
+    default = ReceiverSpec(mode=SaiyanMode.VANILLA).config()
+    assert fast.mcu_sampling_rate_hz == 2.0 * slow.mcu_sampling_rate_hz
+    assert default.mcu_sampling_rate_hz == default.downlink.practical_sampling_rate_hz
+    with pytest.raises(ConfigurationError):
+        SaiyanConfig(sampling_safety_factor=0.0)
+
+
+def test_waveform_cell_rates():
+    cell = WaveformCell(receiver="r", snr_db=0.0, symbols=10, symbol_errors=3,
+                        bits=20, bit_errors=4)
+    assert cell.symbol_error_rate == pytest.approx(0.3)
+    assert cell.bit_error_rate == pytest.approx(0.2)
+    assert cell.detection_rate == 0.0

@@ -117,6 +117,55 @@ def test_network_engines_print_identical_numbers(capsys):
 
 
 # ---------------------------------------------------------------------------
+# waveform subcommand
+# ---------------------------------------------------------------------------
+
+def test_waveform_list(capsys):
+    assert main(["waveform", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "modes" in out
+    assert "sampling-rate" in out
+    assert "baselines" in out
+
+
+def test_waveform_requires_sweep(capsys):
+    assert main(["waveform"]) == 2
+    assert "--sweep" in capsys.readouterr().err
+
+
+def test_waveform_unknown_sweep(capsys):
+    assert main(["waveform", "--sweep", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown waveform sweep" in err
+
+
+def test_waveform_runs_sweep_and_writes_manifest(capsys, tmp_path):
+    import json
+
+    assert main(["waveform", "--sweep", "modes", "--seed", "3",
+                 "--num-symbols", "8", "--manifest-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Waveform sweep: modes" in out
+    assert "saiyan-super_ser" in out
+    manifest = json.loads((tmp_path / "modes.json").read_text())
+    assert manifest["seed"] == 3
+    assert manifest["config"]["sweep"] == "modes"
+    assert manifest["config"]["engine"] == "batch"
+    assert manifest["config"]["num_symbols"] == 8
+    assert "saiyan-vanilla_ser" in manifest["series_lengths"]
+
+
+def test_waveform_invalid_seed_fails_cleanly(capsys):
+    assert main(["waveform", "--sweep", "modes", "--seed", "-1"]) == 2
+    assert "--seed" in capsys.readouterr().err
+
+
+def test_waveform_invalid_override_fails_cleanly(capsys):
+    assert main(["waveform", "--sweep", "modes", "--num-symbols", "0"]) == 2
+    assert "waveform:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
 # --seed: two same-seed runs agree end to end
 # ---------------------------------------------------------------------------
 
@@ -137,6 +186,29 @@ def test_network_different_seeds_differ(capsys):
     first = _capture(capsys, base + ["--seed", "1"])
     second = _capture(capsys, base + ["--seed", "2"])
     assert first != second
+
+
+def test_waveform_same_seed_runs_agree(capsys):
+    argv = ["waveform", "--sweep", "modes", "--seed", "42", "--num-symbols", "8"]
+    assert _capture(capsys, argv) == _capture(capsys, argv)
+
+
+def test_waveform_different_seeds_differ(capsys):
+    base = ["waveform", "--sweep", "modes", "--num-symbols", "16"]
+    assert (_capture(capsys, base + ["--seed", "1"])
+            != _capture(capsys, base + ["--seed", "2"]))
+
+
+def test_waveform_shards_and_engines_print_identical_numbers(capsys):
+    outputs = []
+    for extra in (["--shards", "1"], ["--shards", "2"],
+                  ["--shards", "1", "--engine", "serial"]):
+        out = _capture(capsys, ["waveform", "--sweep", "modes", "--seed", "11",
+                                "--num-symbols", "8"] + extra)
+        # The notes line names the engine/shards; the numbers must not differ.
+        outputs.append("\n".join(line for line in out.splitlines()
+                                 if "engine=" not in line))
+    assert outputs[0] == outputs[1] == outputs[2]
 
 
 def test_experiments_same_seed_runs_agree(capsys):
