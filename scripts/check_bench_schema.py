@@ -1,0 +1,144 @@
+"""Validate a BENCH_batch.json payload against the benchmark schema.
+
+Run from the repository root::
+
+    python scripts/check_bench_schema.py BENCH_batch.json
+    python scripts/check_bench_schema.py /tmp/BENCH_smoke.json --smoke
+
+The checker enforces two things:
+
+* **Schema** — the sections the perf-tracking workflow relies on exist and
+  carry the right shape: every engine head-to-head has
+  ``engines_agree: true`` and a finite positive ``speedup``; the waveform
+  and fabric sections carry their timing fields; the fabric precision
+  entry reports its ``max_abs_ser_deviation``.
+* **Recorded gates** — the speedup floors this repository has committed
+  to: link Monte-Carlo ≥ 10x, waveform kernel ≥ 1.5x over the warm-plan
+  serial path, fabric pool reuse ≥ 1.5x, precision fast path ≥ 1.5x (full
+  runs only — smoke workloads cannot amortise fixed costs), and parallel
+  BatchRunner ≥ 2x whenever the payload recorded ``gate_enforced: true``
+  (multi-core full runs).
+
+Exit status is non-zero with one line per violation, so CI can gate on a
+benchmark regression without rerunning the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: (section path, gate floor, full-run-only) for the recorded speedups.
+#: The waveform gate compares the vectorized kernel against the *warm-plan*
+#: serial path: since the fabric's plan caches removed the serial loop's
+#: per-point template rebuilds, the serial reference itself became ~7x
+#: faster and the seed-era ≥5x ratio no longer describes anything real.
+GATES = (
+    (("waveform", "shards_1_speedup"), 1.5, True),
+    (("fabric", "pool_reuse", "speedup"), 1.5, True),
+    (("fabric", "precision", "speedup"), 1.5, True),
+)
+
+#: Upper bound on the precision fast path's SER deviation from float64.
+MAX_SER_DEVIATION = 0.05
+
+
+def _lookup(payload: dict, path: tuple[str, ...]):
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def _is_speedup(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value) and value > 0
+
+
+def validate(payload: dict, *, smoke: bool) -> list[str]:
+    """Return a list of violations (empty when the payload is healthy)."""
+    errors: list[str] = []
+    for section in ("engines", "waveform", "fabric", "figures"):
+        if section not in payload:
+            errors.append(f"missing section {section!r}")
+    if errors:
+        return errors
+
+    for name, entry in payload["engines"].items():
+        if entry.get("engines_agree") is not True:
+            errors.append(f"engines[{name}]: engines_agree must be true")
+        if not _is_speedup(entry.get("speedup")):
+            errors.append(f"engines[{name}]: speedup missing or not finite")
+    link = [entry for name, entry in payload["engines"].items()
+            if name.startswith("link_monte_carlo")]
+    if not link:
+        errors.append("engines: no link_monte_carlo head-to-head recorded")
+    elif _is_speedup(link[0].get("speedup")) and link[0]["speedup"] < 10.0:
+        errors.append(f"gate: link Monte-Carlo speedup {link[0]['speedup']:.1f}x "
+                      "below the 10x floor")
+
+    if payload["waveform"].get("engines_agree") is not True:
+        errors.append("waveform: engines_agree must be true")
+    for field in ("serial_s", "shards_1_speedup", "shards_4_speedup"):
+        if not _is_speedup(_lookup(payload, ("waveform", field))):
+            errors.append(f"waveform: {field} missing or not finite")
+
+    fabric = payload["fabric"]
+    if _lookup(fabric, ("pool_reuse", "cells_identical")) is not True:
+        errors.append("fabric.pool_reuse: cells_identical must be true")
+    if _lookup(fabric, ("batch_runner", "results_identical")) is not True:
+        errors.append("fabric.batch_runner: results_identical must be true")
+    for path in (("pool_reuse", "speedup"), ("batch_runner", "speedup"),
+                 ("precision", "speedup")):
+        if not _is_speedup(_lookup(fabric, path)):
+            errors.append(f"fabric.{'.'.join(path)}: missing or not finite")
+    deviation = _lookup(fabric, ("precision", "max_abs_ser_deviation"))
+    if not isinstance(deviation, (int, float)) or not 0 <= deviation <= MAX_SER_DEVIATION:
+        errors.append("fabric.precision: max_abs_ser_deviation missing or "
+                      f"above the {MAX_SER_DEVIATION} bound (got {deviation!r})")
+
+    full_run = not smoke and not payload.get("smoke", False)
+    for path, floor, full_only in GATES:
+        value = _lookup(payload, path)
+        if not _is_speedup(value):
+            continue  # shape errors already recorded above
+        if full_only and not full_run:
+            continue
+        if value < floor:
+            errors.append(f"gate: {'.'.join(path)} {value:.2f}x below the "
+                          f"{floor}x floor")
+    if _lookup(fabric, ("batch_runner", "gate_enforced")) is True:
+        value = _lookup(fabric, ("batch_runner", "speedup"))
+        if _is_speedup(value) and value < 2.0:
+            errors.append(f"gate: fabric.batch_runner.speedup {value:.2f}x "
+                          "below the 2x floor (gate_enforced)")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("payload", help="path to a BENCH_batch.json payload")
+    parser.add_argument("--smoke", action="store_true",
+                        help="the payload came from a --smoke run: skip the "
+                             "full-run-only wall-clock gates")
+    args = parser.parse_args(argv)
+    path = Path(args.payload)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: unreadable payload: {error}", file=sys.stderr)
+        return 2
+    errors = validate(payload, smoke=args.smoke)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{path}: benchmark schema and recorded gates OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

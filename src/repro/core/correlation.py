@@ -21,6 +21,15 @@ from repro.core.frontend import AnalogFrontEnd
 from repro.dsp.signals import Signal
 from repro.exceptions import ConfigurationError, DemodulationError
 from repro.lora.modulation import LoRaModulator
+from repro.utils.plans import PlanCache, freeze_array
+
+#: Memoized template banks keyed by the full (hashable) SaiyanConfig.  The
+#: bank is a pure function of the config whenever the analog chain is the
+#: config-default one (``AnalogFrontEnd.is_config_default_analog``) — the
+#: only case that consults this cache.  Banks are stored read-only; for a
+#: K=5 downlink a bank is 32 templates, so rebuilding it per demodulator is
+#: the single largest fixed cost of a waveform sweep.
+TEMPLATE_BANK_CACHE = PlanCache("template-banks", maxsize=32)
 
 
 class CorrelationDemodulator:
@@ -41,7 +50,13 @@ class CorrelationDemodulator:
         self.config = config
         self._frontend = frontend if frontend is not None else AnalogFrontEnd(config)
         self._modulator = LoRaModulator(config.downlink, oversampling=config.oversampling)
-        self._templates = self._build_templates()
+        if getattr(self._frontend, "is_config_default_analog", False):
+            self._templates = TEMPLATE_BANK_CACHE.get(
+                config, lambda: freeze_array(self._build_templates()))
+        else:
+            # A custom SAW/LNA changes the envelope shaping; the bank is no
+            # longer a function of the config alone, so build it privately.
+            self._templates = self._build_templates()
 
     # ------------------------------------------------------------------
     def _build_templates(self) -> np.ndarray:

@@ -75,6 +75,11 @@ class AnalogFrontEnd:
         self.saw_filter = saw_filter if saw_filter is not None else SAWFilter()
         self.lna = lna if lna is not None else LowNoiseAmplifier(
             gain_db=config.lna_gain_db, noise_figure_db=config.lna_noise_figure_db)
+        # True when the analog chain is fully determined by ``config`` (no
+        # custom SAW/LNA object).  Deterministic per-config plans — e.g. the
+        # correlation template bank — may only be memoized under the config
+        # hash when this holds.
+        self.is_config_default_analog = saw_filter is None and lna is None
         if impairments is None:
             impairments = BasebandImpairments(
                 dc_offset=0.0,

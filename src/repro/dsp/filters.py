@@ -14,7 +14,15 @@ from scipy import signal as sps
 
 from repro.dsp.signals import Signal
 from repro.exceptions import ConfigurationError
+from repro.utils.plans import PlanCache, freeze_array
 from repro.utils.validation import ensure_integer, ensure_positive
+
+#: Memoized windowed-sinc designs.  Tap vectors are pure functions of the
+#: full design tuple (kind, band edges, sample rate, tap count) — the cache
+#: key — and are returned read-only, so a hit is indistinguishable from a
+#: rebuild.  Bounded LRU: long multi-config sessions cannot grow it without
+#: limit (see repro.sim.execution for the fabric-wide cache registry).
+FIR_PLAN_CACHE = PlanCache("fir-plans", maxsize=128)
 
 
 def moving_average(signal: Signal, window: int) -> Signal:
@@ -39,7 +47,9 @@ def fir_lowpass(cutoff_hz: float, sample_rate: float, *, num_taps: int = 129) ->
         raise ConfigurationError(
             f"cutoff_hz ({cutoff_hz}) must be below the Nyquist frequency ({nyquist})"
         )
-    return sps.firwin(num_taps, cutoff_hz, fs=sample_rate)
+    key = ("lowpass", float(cutoff_hz), float(sample_rate), num_taps)
+    return FIR_PLAN_CACHE.get(
+        key, lambda: freeze_array(sps.firwin(num_taps, cutoff_hz, fs=sample_rate)))
 
 
 def fir_bandpass(low_hz: float, high_hz: float, sample_rate: float, *,
@@ -55,7 +65,10 @@ def fir_bandpass(low_hz: float, high_hz: float, sample_rate: float, *,
         raise ConfigurationError(
             f"high_hz ({high_hz}) must be below the Nyquist frequency ({nyquist})"
         )
-    return sps.firwin(num_taps, [low_hz, high_hz], pass_zero=False, fs=sample_rate)
+    key = ("bandpass", float(low_hz), float(high_hz), float(sample_rate), num_taps)
+    return FIR_PLAN_CACHE.get(
+        key, lambda: freeze_array(sps.firwin(num_taps, [low_hz, high_hz],
+                                             pass_zero=False, fs=sample_rate)))
 
 
 def apply_fir(signal: Signal, taps: np.ndarray) -> Signal:
@@ -98,6 +111,28 @@ def apply_fir_stack(stack: np.ndarray, taps: np.ndarray) -> np.ndarray:
     return sps.lfilter(taps, [1.0], padded, axis=1)[:, delay:]
 
 
+def apply_fir_stack_fast(stack: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Single-precision-friendly :func:`apply_fir_stack` via FFT convolution.
+
+    Computes the same linear convolution (with the same group-delay
+    compensation) through ``scipy.signal.fftconvolve``, which — unlike
+    ``lfilter`` — preserves float32/complex64 inputs instead of upcasting
+    to double.  The result is *numerically close* to :func:`apply_fir_stack`
+    but **not bitwise-identical** (FFT convolution rounds differently from
+    the direct-form recursion), so this helper belongs only on
+    tolerance-gated fast paths, never on engine bit-parity paths.
+    """
+    taps = np.asarray(taps)
+    if taps.ndim != 1 or taps.size < 1:
+        raise ConfigurationError("taps must be a non-empty 1-D array")
+    stack = np.asarray(stack)
+    if stack.ndim != 2:
+        raise ConfigurationError(f"stack must be 2-D, got shape {stack.shape}")
+    delay = (taps.size - 1) // 2
+    full = sps.fftconvolve(stack, taps[None, :], mode="full", axes=1)
+    return full[:, delay: delay + stack.shape[1]]
+
+
 def frequency_gain_profile(n: int, sample_rate: float, gain_fn, *,
                            complex_input: bool) -> np.ndarray:
     """Precompute the per-bin gains :func:`frequency_domain_gain` would apply.
@@ -129,7 +164,11 @@ def apply_frequency_gain_stack(stack: np.ndarray, gains: np.ndarray) -> np.ndarr
     if stack.ndim != 2:
         raise ConfigurationError(f"stack must be 2-D, got shape {stack.shape}")
     n = stack.shape[1]
-    gains = np.asarray(gains, dtype=float)
+    # Preserve an explicit float32 gain vector (the single-precision fast
+    # path); anything else is normalised to float64 as before.
+    gains = np.asarray(gains)
+    if gains.dtype != np.float32:
+        gains = gains.astype(float, copy=False)
     if np.iscomplexobj(stack):
         if gains.shape != (n,):
             raise ConfigurationError("gains length must match the stack width")

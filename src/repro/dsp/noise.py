@@ -43,7 +43,17 @@ def awgn_samples(n: int, noise_power: float, *, complex_valued: bool = True,
     rng = as_rng(random_state)
     if complex_valued:
         sigma = np.sqrt(noise_power / 2.0)
-        return sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+        # One 2n block draw equals two sequential n draws bit for bit (the
+        # PR 1 substream contract), and assembling I/Q in place produces the
+        # same floats as ``sigma * (i + 1j * q)`` without three complex
+        # temporaries — this helper sits on the hot path of every waveform
+        # engine, so the allocations matter.
+        block = rng.standard_normal(2 * n)
+        out = np.empty(n, dtype=np.complex128)
+        out.real = block[:n]
+        out.imag = block[n:]
+        out *= sigma
+        return out
     sigma = np.sqrt(noise_power)
     return sigma * rng.standard_normal(n)
 

@@ -35,7 +35,6 @@ import inspect
 import json
 import platform
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
@@ -423,9 +422,11 @@ class BatchRunner:
     manifest_dir:
         When given, one ``<artefact>.json`` manifest is written per run.
     processes:
-        When > 1, artefacts are fanned out over a process pool (only
+        When > 1, artefacts are fanned out over worker processes (only
         available for the default registry, whose drivers are importable by
-        worker processes).
+        worker processes).  Fan-out submits to the persistent pool of the
+        execution fabric (:mod:`repro.sim.execution`), so repeated runner
+        invocations reuse live, cache-warm workers.
     """
 
     def __init__(self, drivers: Mapping[str, Callable] | None = None, *,
@@ -442,15 +443,23 @@ class BatchRunner:
             raise ConfigurationError(f"processes must be >= 1, got {processes}")
 
     # ------------------------------------------------------------------
-    def run(self, artefacts: Iterable[str] | None = None) -> BatchRunReport:
-        """Evaluate the selected artefacts (all by default) and return a report."""
+    def run(self, artefacts: Iterable[str] | None = None, *,
+            parallel: bool = False) -> BatchRunReport:
+        """Evaluate the selected artefacts (all by default) and return a report.
+
+        ``parallel=True`` fans the artefacts out over the execution
+        fabric's warm pool (equivalent to constructing the runner with
+        ``processes`` set; registry drivers only).  Every driver embeds its
+        own seed, so a parallel run returns the same results and the same
+        manifests — modulo wall-clock fields — as a serial run.
+        """
         selected = list(artefacts) if artefacts is not None else list(self.drivers)
         unknown = [artefact for artefact in selected if artefact not in self.drivers]
         if unknown:
             raise ConfigurationError(f"unknown artefacts {unknown}; "
                                      f"known: {sorted(self.drivers)}")
         report = BatchRunReport()
-        if self.processes is not None and self.processes > 1:
+        if parallel or (self.processes is not None and self.processes > 1):
             self._run_parallel(selected, report)
         else:
             for artefact in selected:
@@ -462,6 +471,7 @@ class BatchRunner:
         return report
 
     def _run_parallel(self, selected: list[str], report: BatchRunReport) -> None:
+        from repro.sim.execution import get_fabric
         from repro.sim.experiments import FIGURE_DRIVERS
 
         non_registry = [artefact for artefact in selected
@@ -469,10 +479,18 @@ class BatchRunner:
         if non_registry:
             raise ConfigurationError(
                 f"process fan-out requires registry drivers; {non_registry} are custom")
-        with ProcessPoolExecutor(max_workers=self.processes) as pool:
-            for artefact, result, manifest in pool.map(_evaluate_registered, selected):
-                report.results[artefact] = result
-                report.manifests[artefact] = manifest
+        fabric = get_fabric()
+        workers = self.processes if self.processes else min(
+            len(selected), fabric.max_workers) or 1
+        jobs = [(artefact,) for artefact in selected]
+        # ``processes`` keeps its pre-fabric meaning of a concurrency
+        # bound: at most that many artefacts are in flight at once, even
+        # though the shared pool may be wider.
+        for artefact, result, manifest in fabric.map_jobs(
+                _evaluate_registered, jobs, min_workers=workers,
+                max_parallel=self.processes):
+            report.results[artefact] = result
+            report.manifests[artefact] = manifest
 
     def _write_manifests(self, report: BatchRunReport) -> None:
         self.manifest_dir.mkdir(parents=True, exist_ok=True)

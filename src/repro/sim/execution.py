@@ -1,0 +1,194 @@
+"""Persistent execution fabric: one warm process pool for every engine.
+
+Before this module existed each entry point paid its own fixed costs:
+:func:`repro.sim.waveform_engine.run_sweep` created and tore down a fresh
+``ProcessPoolExecutor`` per call, :class:`repro.sim.batch.BatchRunner`
+fan-out did the same, and chirp template banks / FIR plans / SAW gain
+profiles were re-synthesised per process.  The fabric amortises all of it:
+
+* :class:`ExecutionFabric` — a reusable, lazily created worker pool.  The
+  pool survives across submissions, so worker processes keep their
+  module-level plan caches warm: the first job on a worker builds its
+  receivers/templates/taps, every later job reuses them.  On platforms
+  with ``fork`` (Linux), workers additionally inherit whatever plans the
+  parent had already built when the pool was first created.
+* :meth:`ExecutionFabric.map_jobs` — the shard scheduler all three engines
+  submit to: the waveform engine's grid shards, the
+  :class:`~repro.sim.batch.BatchRunner` artefact fan-out, and the network
+  engine's scenario grids.  Results come back in job order; a broken pool
+  (a worker killed mid-job) is rebuilt once and the batch retried.
+* The plan-cache registry (:mod:`repro.utils.plans`) — bounded LRU caches
+  for deterministic per-config state, reported by :func:`fabric_stats`.
+
+Determinism contract: the fabric never touches RNG.  Every engine splits
+its seed into per-cell substreams *before* submitting, and jobs carry
+their substreams with them, so where a job runs (in process, warm worker,
+cold worker, any shard count) can never change a single draw.  Plan caches
+hold values that are pure functions of a hashable config, so a cache hit
+returns the same floats a rebuild would.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.utils.plans import PlanCache, all_plan_caches, plan_cache_stats  # noqa: F401
+from repro.utils.validation import ensure_integer
+
+#: Default pool width: every core, but at least 4 workers so sharded runs
+#: on small hosts still exercise real multi-process execution.
+DEFAULT_MAX_WORKERS: int = max(4, os.cpu_count() or 1)
+
+
+class ExecutionFabric:
+    """A persistent worker pool plus dispatch bookkeeping.
+
+    Parameters
+    ----------
+    max_workers:
+        Default pool width.  The pool is created lazily on first use at
+        ``max(max_workers, min_workers)`` workers; a later request for
+        more workers than the live pool holds recreates it wider (counted
+        in ``pools_created``).  This is a sizing default, not a resource
+        cap — to bound how many jobs run concurrently, pass
+        ``max_parallel`` to :meth:`map_jobs`.
+    """
+
+    def __init__(self, *, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = DEFAULT_MAX_WORKERS
+        self.max_workers = ensure_integer(max_workers, "max_workers", minimum=1)
+        self._executor: ProcessPoolExecutor | None = None
+        self._active_width = 0
+        self.pools_created = 0
+        self.jobs_dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether a pool currently exists (and is presumed healthy)."""
+        return self._executor is not None
+
+    @property
+    def width(self) -> int:
+        """Worker count of the live pool (0 when no pool exists)."""
+        return self._active_width if self._executor is not None else 0
+
+    def executor(self, min_workers: int = 1) -> ProcessPoolExecutor:
+        """Return the live pool, creating (or widening) it if needed.
+
+        Creating the pool is the expensive step the fabric exists to
+        amortise — callers should prefer :meth:`map_jobs` and let the
+        fabric keep one pool alive for the whole session.
+        """
+        min_workers = ensure_integer(min_workers, "min_workers", minimum=1)
+        if self._executor is not None and min_workers > self._active_width:
+            self.shutdown()
+        if self._executor is None:
+            self._active_width = max(self.max_workers, min_workers)
+            self._executor = ProcessPoolExecutor(max_workers=self._active_width)
+            self.pools_created += 1
+        return self._executor
+
+    def map_jobs(self, fn: Callable, jobs: Sequence[tuple], *,
+                 min_workers: int = 1, max_parallel: int | None = None) -> list:
+        """Run ``fn(*args)`` for every argument tuple, preserving job order.
+
+        This is the shard scheduler: each tuple in ``jobs`` is one
+        self-contained shard (spec + cell indices + RNG substreams, an
+        artefact id, a scenario), submitted to the warm pool.  If the pool
+        turns out to be broken (a worker died since the last call — even
+        while idle between calls), it is rebuilt once and the whole batch
+        resubmitted — jobs are pure functions of their arguments, so a
+        retry cannot change results.
+
+        ``max_parallel`` bounds how many jobs are outstanding at once (a
+        sliding window over the shared pool), for callers that use the
+        parallelism knob to limit memory/CPU rather than pool width.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if max_parallel is not None:
+            max_parallel = ensure_integer(max_parallel, "max_parallel", minimum=1)
+        for attempt in (0, 1):
+            try:
+                pool = self.executor(min_workers)
+                if max_parallel is None or max_parallel >= len(jobs):
+                    futures = [pool.submit(fn, *args) for args in jobs]
+                    results = [future.result() for future in futures]
+                else:
+                    results = _map_windowed(pool, fn, jobs, max_parallel)
+            except BrokenProcessPool:
+                self.shutdown()
+                if attempt:
+                    raise
+                continue
+            self.jobs_dispatched += len(jobs)
+            return results
+        raise ConfigurationError("unreachable")  # pragma: no cover
+
+    def shutdown(self) -> None:
+        """Tear down the pool (the next use lazily recreates it)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+            self._active_width = 0
+
+    def stats(self) -> dict:
+        """Pool lifecycle and dispatch counters (for benchmarks/tests)."""
+        return {"active": self.active, "width": self.width,
+                "max_workers": self.max_workers,
+                "pools_created": self.pools_created,
+                "jobs_dispatched": self.jobs_dispatched}
+
+
+def _map_windowed(pool: ProcessPoolExecutor, fn: Callable,
+                  jobs: list[tuple], width: int) -> list:
+    """Keep at most ``width`` jobs outstanding; return results in job order."""
+    results: list = [None] * len(jobs)
+    pending: dict = {}
+    next_index = 0
+    while pending or next_index < len(jobs):
+        while next_index < len(jobs) and len(pending) < width:
+            pending[pool.submit(fn, *jobs[next_index])] = next_index
+            next_index += 1
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            results[pending.pop(future)] = future.result()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# The process-wide fabric singleton
+# ---------------------------------------------------------------------------
+
+_FABRIC: ExecutionFabric | None = None
+
+
+def get_fabric() -> ExecutionFabric:
+    """The process-wide fabric all engines share (created on first use)."""
+    global _FABRIC
+    if _FABRIC is None:
+        _FABRIC = ExecutionFabric()
+        atexit.register(shutdown_fabric)
+    return _FABRIC
+
+
+def shutdown_fabric() -> None:
+    """Shut the shared fabric's pool down (it stays usable afterwards)."""
+    if _FABRIC is not None:
+        _FABRIC.shutdown()
+
+
+def fabric_stats() -> dict:
+    """Aggregate fabric + plan-cache statistics for reporting."""
+    pool = _FABRIC.stats() if _FABRIC is not None else {
+        "active": False, "width": 0, "max_workers": DEFAULT_MAX_WORKERS,
+        "pools_created": 0, "jobs_dispatched": 0}
+    return {"pool": pool, "plan_caches": plan_cache_stats()}

@@ -27,6 +27,7 @@ drifting apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -611,6 +612,55 @@ def run_scenario(spec: ScenarioSpec, *, random_state: RandomState = None,
         return run.finish("batch", seed=seed)
     events = _run_event_engine(run)
     return run.finish("event", seed=seed, events_processed=events)
+
+
+def _evaluate_scenario_job(name: str, random_state: int | None,
+                           engine: str) -> tuple[str, ScenarioResult]:
+    """Fabric worker entry point: run one registered scenario whole."""
+    from repro.sim.scenario import get_scenario
+
+    return name, run_scenario(get_scenario(name), random_state=random_state,
+                              engine=engine)
+
+
+def run_scenario_grid(names: Sequence[str] | None = None, *,
+                      random_state: int | None = None, engine: str = "batch",
+                      parallel: bool = True) -> dict[str, ScenarioResult]:
+    """Run a grid of registered scenarios, fanned out over the fabric pool.
+
+    Each scenario is evaluated whole in one worker with its own seed
+    (``random_state`` applied to every scenario, or each spec's default
+    when ``None``), so a parallel grid is result-identical to running the
+    scenarios one by one — the fabric only changes where the work runs.
+    Results come back keyed by scenario name, in grid order.
+
+    ``random_state`` must be an integer seed or ``None``: a shared
+    generator object would be consumed in pool-arrival order, breaking the
+    serial/parallel equivalence this function guarantees.
+    """
+    from repro.sim.scenario import scenario_names
+
+    if random_state is not None and not isinstance(random_state, (int, np.integer)):
+        raise ConfigurationError(
+            "run_scenario_grid needs an integer seed or None, got "
+            f"{type(random_state).__name__} (a shared generator would make "
+            "the grid depend on evaluation order)")
+    if engine not in ("batch", "event", "scalar"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'batch' or 'event'/'scalar'")
+    grid = list(names) if names is not None else scenario_names()
+    if not grid:
+        raise ConfigurationError("run_scenario_grid needs at least one scenario")
+    seed = None if random_state is None else int(random_state)
+    jobs = [(name, seed, engine) for name in grid]
+    if parallel and len(jobs) > 1:
+        from repro.sim.execution import get_fabric
+
+        pairs = get_fabric().map_jobs(_evaluate_scenario_job, jobs,
+                                      min_workers=min(len(jobs), 4))
+    else:
+        pairs = [_evaluate_scenario_job(*job) for job in jobs]
+    return dict(pairs)
 
 
 def make_scenario_driver(name: str, *, random_state: RandomState = None,

@@ -21,8 +21,13 @@ This module makes the waveform path a first-class batch subsystem:
   pushed through the analog front end as *stacked* array operations (batched
   FFT for the SAW response, batched FIR for the IF/LPF stages), then decided
   through the exact per-window decision code of the serial demodulator.
-* :func:`run_sweep` — evaluates a spec either in process or sharded across a
-  ``concurrent.futures.ProcessPoolExecutor``.
+* :func:`run_sweep` — evaluates a spec either in process or sharded across
+  worker processes.  Sharded runs submit to the persistent warm pool of the
+  execution fabric (:mod:`repro.sim.execution`) by default, so consecutive
+  sweeps reuse live workers — and those workers keep their receiver, FIR
+  and template-bank plan caches warm across submissions.  Pass
+  ``reuse_pool=False`` to fall back to a throwaway per-call pool (the
+  cold-spawn baseline the benchmarks measure against).
 
 RNG discipline (the PR 1/PR 2 substream contract, extended per shard): the
 root seed is split with ``Generator.spawn`` into **one substream per grid
@@ -33,6 +38,15 @@ substreams of the serial :func:`repro.sim.waveform_ber.snr_sweep`, and
 within a cell the kernel draws the same per-burst blocks in the same order
 (symbols, channel AWGN, LNA noise) — which is why serial sweep, sharded
 engine and vectorized kernel are **bit-identical** under a fixed seed.
+
+Precision modes: the default ``precision="reference"`` keeps every front-end
+operation in float64/complex128 and is covered by the bit-parity contract
+above.  ``precision="fast"`` is an opt-in complex64/float32 hot path for the
+Saiyan burst kernel — the same per-burst draws (so results are comparable
+point by point), but single-precision front-end arithmetic, FFT-convolution
+FIR stages and one batched template-correlation GEMM for the decision
+stage.  It is *tolerance-gated*, never bit-identical: equivalence against
+the reference path is pinned by tests with explicit error-rate bounds.
 """
 
 from __future__ import annotations
@@ -51,6 +65,7 @@ from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.dsp.chirp import lora_downchirp
 from repro.dsp.filters import (
     apply_fir_stack,
+    apply_fir_stack_fast,
     apply_frequency_gain_stack,
     fir_bandpass,
     fir_lowpass,
@@ -68,6 +83,7 @@ from repro.sim.waveform_ber import (
     count_bit_errors,
     measure_symbol_errors,
 )
+from repro.utils.plans import PlanCache, freeze_array
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.units import db_to_linear, dbm_to_watts
 from repro.utils.validation import ensure_integer
@@ -75,8 +91,20 @@ from repro.utils.validation import ensure_integer
 #: Receiver kinds accepted by :class:`ReceiverSpec`.
 RECEIVER_KINDS: tuple[str, ...] = ("saiyan", "standard_lora", "plora", "aloba", "envelope")
 
+#: Numeric precisions of the burst kernel.  ``"reference"`` (float64) is the
+#: bit-parity path; ``"fast"`` (complex64/float32) is tolerance-gated.
+PRECISIONS: tuple[str, ...] = ("reference", "fast")
+
 #: Upper bound on the rows of one stacked front-end evaluation (memory cap).
 _MAX_STACK_ROWS: int = 256
+
+#: Per-(config, burst length) front-end workspaces — SAW gain profile, input
+#: mixer clock samples, output mixer clock row — shared by every kernel of
+#: the same configuration (and, through fork, inherited by pool workers).
+#: All three are deterministic functions of the config (the kernel refuses
+#: non-zero impairments, and the oscillator is ideal under every
+#: SaiyanConfig), so a cache hit returns the same floats a rebuild would.
+_WORKSPACE_CACHE = PlanCache("fft-workspaces", maxsize=64)
 
 
 def _draw_noisy_burst(rng: np.random.Generator, table: np.ndarray, alphabet: int,
@@ -95,8 +123,34 @@ def _draw_noisy_burst(rng: np.random.Generator, table: np.ndarray, alphabet: int
     row = table[tx].reshape(-1)
     signal_power = float(np.mean(np.abs(row) ** 2))
     noise_power = float(signal_power / db_to_linear(snr_db))
-    noisy = row + awgn_samples(row.size, noise_power, complex_valued=True,
-                               random_state=rng)
+    noisy = awgn_samples(row.size, noise_power, complex_valued=True,
+                         random_state=rng)
+    # In-place add into the freshly drawn noise buffer: same floats as
+    # ``row + noise`` without a third full-row allocation on the hot path.
+    np.add(row, noisy, out=noisy)
+    return tx, noisy
+
+
+def _draw_noisy_burst_fast(rng: np.random.Generator, table32: np.ndarray,
+                           alphabet: int, burst: int,
+                           snr_db: float) -> tuple[np.ndarray, np.ndarray]:
+    """Single-precision staging twin of :func:`_draw_noisy_burst`.
+
+    Consumes the *identical* RNG stream (same calls, same sizes, float64
+    draws) so a fast sweep walks the same substreams as the reference
+    sweep, but gathers the symbol waveforms from a complex64 table and
+    assembles the noisy row in single precision.  Values therefore differ
+    from the reference rows at the float32 rounding level — this helper is
+    tolerance-gated and must never back a bit-parity path.
+    """
+    tx = rng.integers(0, alphabet, size=burst)
+    row = table32[tx].reshape(-1)
+    signal_power = float(np.mean(np.abs(row) ** 2))
+    noise_power = float(signal_power / db_to_linear(snr_db))
+    noise = awgn_samples(row.size, noise_power, complex_valued=True,
+                         random_state=rng)
+    noisy = noise.astype(np.complex64)
+    noisy += row
     return tx, noisy
 
 
@@ -212,10 +266,17 @@ class ReceiverSpec:
                             oversampling=self.oversampling,
                             sampling_safety_factor=self.sampling_safety_factor)
 
-    def build(self) -> "WaveformReceiver":
-        """Instantiate the receiver behind this spec."""
+    def build(self, *, precision: str = "reference") -> "WaveformReceiver":
+        """Instantiate the receiver behind this spec.
+
+        ``precision`` selects the burst-kernel arithmetic of Saiyan arms;
+        the baseline receivers are precision-agnostic and ignore it.
+        """
+        if precision not in PRECISIONS:
+            raise ConfigurationError(
+                f"unknown precision {precision!r}; expected one of {PRECISIONS}")
         if self.kind == "saiyan":
-            return _SaiyanWaveformReceiver(self)
+            return _SaiyanWaveformReceiver(self, precision=precision)
         if self.kind == "standard_lora":
             return _StandardLoRaWaveformReceiver(self)
         return _DetectionWaveformReceiver(self)
@@ -240,9 +301,14 @@ class SaiyanBurstKernel:
     serial reference under a fixed seed.
     """
 
-    def __init__(self, config: SaiyanConfig) -> None:
+    def __init__(self, config: SaiyanConfig, *, precision: str = "reference") -> None:
         if not isinstance(config, SaiyanConfig):
             raise ConfigurationError(f"expected a SaiyanConfig, got {type(config).__name__}")
+        if precision not in PRECISIONS:
+            raise ConfigurationError(
+                f"unknown precision {precision!r}; expected one of {PRECISIONS}")
+        self.precision = precision
+        self._fast = precision == "fast"
         self.config = config
         self.demodulator = _build_demodulator(config)
         self.modulator = LoRaModulator(config.downlink, oversampling=config.oversampling)
@@ -295,29 +361,68 @@ class SaiyanBurstKernel:
         self._lp_transparent = shifter.envelope_bandwidth_hz >= nyquist
         self._lp_taps = (None if self._lp_transparent
                          else fir_lowpass(shifter.envelope_bandwidth_hz, self._fs))
+        if self._fast:
+            self._bp_taps32 = (None if self._bp_taps is None
+                               else self._bp_taps.astype(np.float32))
+            self._lp_taps32 = (None if self._lp_taps is None
+                               else self._lp_taps.astype(np.float32))
+            self._table32 = self._table.astype(np.complex64)
+            # All scalar gains downstream of the envelope detector commute
+            # with the linear FIR stages, so the fast path applies their
+            # product once at the end of the chain.
+            if self._uses_frequency_shift:
+                self._fast_output_gain = np.float32(
+                    self._conversion_gain * self._if_gain * self._mix_loss)
+            else:
+                self._fast_output_gain = np.float32(self._conversion_gain)
         self._saw_gain_fn = frontend.saw_filter.gain_linear
-        # Per burst length L: (SAW gain profile, CLK_in samples, CLK_out row).
-        self._length_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray | None]] = {}
+        # Single-precision casts of the per-length workspaces and template
+        # bank, built lazily by the ``precision="fast"`` path only.
+        self._fast_length_cache: dict[int, tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray | None]] = {}
+        self._templates32: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def _profiles(self, length: int) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-        cached = self._length_cache.get(length)
-        if cached is not None:
-            return cached
-        gains = frequency_gain_profile(length, self._fs, self._saw_gain_fn,
-                                       complex_input=True)
-        clk_in = np.asarray(self._shifter.oscillator.generate(
-            length / self._fs, self._fs).samples)[:length]
-        clk_out = None
-        if self._uses_frequency_shift:
-            t = np.arange(length) / self._fs
-            clk_out = np.cos(2 * np.pi * self._shifter.if_offset_hz * t + self._mix_phase)
-        cached = (gains, clk_in, clk_out)
-        self._length_cache[length] = cached
+        """The (SAW gains, CLK_in samples, CLK_out row) workspace for ``length``.
+
+        Deterministic per (config, length), so it lives in the fabric-wide
+        :data:`_WORKSPACE_CACHE` — every kernel instance of the same
+        configuration (including re-built receivers in pool workers) shares
+        one read-only copy.
+        """
+
+        def build() -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+            gains = frequency_gain_profile(length, self._fs, self._saw_gain_fn,
+                                           complex_input=True)
+            clk_in = np.asarray(self._shifter.oscillator.generate(
+                length / self._fs, self._fs).samples)[:length]
+            clk_out = None
+            if self._uses_frequency_shift:
+                t = np.arange(length) / self._fs
+                clk_out = freeze_array(np.cos(
+                    2 * np.pi * self._shifter.if_offset_hz * t + self._mix_phase))
+            return (freeze_array(gains), freeze_array(clk_in), clk_out)
+
+        return _WORKSPACE_CACHE.get((self.config, length), build)
+
+    def _fast_profiles(self, length: int) -> tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray | None]:
+        """Float32 casts of the workspace, with the mixer feedthrough folded
+        into the CLK_in row so the hot loop multiplies one vector."""
+        cached = self._fast_length_cache.get(length)
+        if cached is None:
+            gains, clk_in, clk_out = self._profiles(length)
+            mix_in = (self._feedthrough + clk_in).astype(np.float32)
+            cached = (gains.astype(np.float32), mix_in,
+                      None if clk_out is None else clk_out.astype(np.float32))
+            self._fast_length_cache[length] = cached
         return cached
 
     def _envelopes(self, noisy: np.ndarray, lna_noise: np.ndarray) -> np.ndarray:
         """Run a ``(bursts, samples)`` stack through the analog front end."""
+        if self._fast:
+            return self._envelopes_fast(noisy, lna_noise)
         length = noisy.shape[1]
         gains, clk_in, clk_out = self._profiles(length)
         after_saw = apply_frequency_gain_stack(noisy, gains)
@@ -333,6 +438,66 @@ class SaiyanBurstKernel:
             envelopes = (detected if self._lp_transparent
                          else apply_fir_stack(detected, self._lp_taps))
         return np.maximum(envelopes, 0.0)
+
+    def _envelopes_fast(self, noisy: np.ndarray, lna_noise: np.ndarray) -> np.ndarray:
+        """Single-precision front end: same chain, complex64/float32 math.
+
+        The per-burst RNG draws happen upstream in float64 (identical order
+        to the reference path) and are cast here, so a fast run is
+        point-for-point comparable with — but not bit-identical to — the
+        reference run.  FIR stages use FFT convolution
+        (:func:`~repro.dsp.filters.apply_fir_stack_fast`) because
+        ``lfilter`` upcasts to double.
+        """
+        length = noisy.shape[1]
+        gains32, mix_in32, clk_out32 = self._fast_profiles(length)
+        noisy32 = np.asarray(noisy, dtype=np.complex64)
+        lna32 = np.asarray(lna_noise, dtype=np.complex64)
+        # The FFT output is owned by this frame, so the elementwise chain
+        # runs in place; scalar gains are fused into one final multiply
+        # (they commute with the linear FIR stages).
+        chain = apply_frequency_gain_stack(noisy32, gains32)
+        chain *= np.float32(self._lna_amplitude_gain)
+        chain += lna32
+        if self._uses_frequency_shift:
+            chain *= mix_in32[None, :]
+            detected = np.abs(chain)
+            np.multiply(detected, detected, out=detected)
+            if_signal = apply_fir_stack_fast(detected, self._bp_taps32)
+            if_signal *= clk_out32[None, :]
+            envelopes = (if_signal if self._lp_transparent
+                         else apply_fir_stack_fast(if_signal, self._lp_taps32))
+        else:
+            detected = np.abs(chain)
+            np.multiply(detected, detected, out=detected)
+            envelopes = (detected if self._lp_transparent
+                         else apply_fir_stack_fast(detected, self._lp_taps32))
+        envelopes *= self._fast_output_gain
+        return np.maximum(envelopes, np.float32(0.0), out=envelopes)
+
+    def _decide_correlation_stack(self, envelopes: np.ndarray,
+                                  burst: int) -> np.ndarray:
+        """Batched template-correlation decisions (fast path only).
+
+        One float32 GEMM scores every window of every burst row at once —
+        numerically close to the per-window matvec of
+        ``CorrelationDemodulator.demodulate`` but *not* bitwise-identical
+        (BLAS gemm rounds differently), which is exactly why the reference
+        path never uses it.  The zero-energy convention (all-zero window ->
+        symbol 0) matches the serial scorer.
+        """
+        correlator = self.demodulator.correlator
+        if self._templates32 is None:
+            self._templates32 = correlator.templates.astype(np.float32)
+        n = correlator.samples_per_symbol
+        windows = np.ascontiguousarray(
+            envelopes[:, : n * burst]).reshape(-1, n).astype(np.float32, copy=False)
+        centered = windows - windows.mean(axis=1, keepdims=True)
+        norms = np.linalg.norm(centered, axis=1)
+        scaled = centered / np.where(norms > 0, norms, 1.0)[:, None]
+        scores = scaled @ self._templates32.T
+        decided = np.argmax(scores, axis=1).astype(np.int64)
+        return decided.reshape(envelopes.shape[0], burst)
 
     def _burst_plan(self, num_symbols: int, symbols_per_burst: int) -> list[int]:
         plan: list[int] = []
@@ -387,10 +552,20 @@ class SaiyanBurstKernel:
                 rng = as_rng(streams[cell_index])
                 snr_db = snrs_db[cell_index]
                 for burst in plan:
-                    tx, noisy = _draw_noisy_burst(rng, self._table, self._alphabet,
-                                                  burst, snr_db)
-                    lna_noise = awgn_samples(noisy.size, self._lna_noise_power,
-                                             complex_valued=True, random_state=rng)
+                    if self._fast:
+                        # Same RNG calls in the same order as the reference
+                        # path, staged in single precision (tolerance-gated).
+                        tx, noisy = _draw_noisy_burst_fast(
+                            rng, self._table32, self._alphabet, burst, snr_db)
+                        lna_noise = awgn_samples(
+                            noisy.size, self._lna_noise_power, complex_valued=True,
+                            random_state=rng).astype(np.complex64)
+                    else:
+                        tx, noisy = _draw_noisy_burst(rng, self._table,
+                                                      self._alphabet, burst, snr_db)
+                        lna_noise = awgn_samples(noisy.size, self._lna_noise_power,
+                                                 complex_valued=True,
+                                                 random_state=rng)
                     owners, tx_list, noisy_list, lna_list = groups.setdefault(
                         burst, ([], [], [], []))
                     owners.append(cell_index)
@@ -402,8 +577,23 @@ class SaiyanBurstKernel:
                     stop = start + _MAX_STACK_ROWS
                     envelopes = self._envelopes(np.vstack(noisy_list[start:stop]),
                                                 np.vstack(lna_list[start:stop]))
+                    if self._fast and self.config.mode.uses_correlation:
+                        # Tolerance-gated fast path: one GEMM decides every
+                        # window of the whole stack at once.
+                        decided_rows = self._decide_correlation_stack(envelopes, burst)
+                        for owner, tx, decided in zip(owners[start:stop],
+                                                      tx_list[start:stop],
+                                                      decided_rows):
+                            symbol_errors[owner] += int(np.sum(decided != tx))
+                            bit_errors[owner] += count_bit_errors(
+                                tx, decided, self._bits_per_symbol)
+                        continue
                     for owner, tx, envelope in zip(owners[start:stop],
                                                    tx_list[start:stop], envelopes):
+                        if self._fast:
+                            # Comparator/peak decisions run per window on the
+                            # float64 grid the quantizer expects.
+                            envelope = np.asarray(envelope, dtype=float)
                         signal = Signal(envelope, self._fs)
                         decided, _ = self.demodulator.decide_envelope(signal, burst)
                         symbol_errors[owner] += int(np.sum(decided != tx))
@@ -433,16 +623,17 @@ class _SaiyanWaveformReceiver:
 
     measures_symbols = True
 
-    def __init__(self, spec: ReceiverSpec) -> None:
+    def __init__(self, spec: ReceiverSpec, *, precision: str = "reference") -> None:
         self.name = spec.name
         self.config = spec.config()
+        self.precision = precision
         self._kernel: SaiyanBurstKernel | None = None
 
     @property
     def kernel(self) -> SaiyanBurstKernel:
         """The lazily constructed vectorized burst kernel."""
         if self._kernel is None:
-            self._kernel = SaiyanBurstKernel(self.config)
+            self._kernel = SaiyanBurstKernel(self.config, precision=self.precision)
         return self._kernel
 
     def prepare(self, num_symbols: int, symbols_per_burst: int) -> None:
@@ -464,6 +655,10 @@ class _SaiyanWaveformReceiver:
     def measure(self, snr_db: float, *, num_symbols: int, symbols_per_burst: int,
                 random_state: RandomState, engine: str = "batch") -> WaveformCell:
         if engine == "serial":
+            if self.precision != "reference":
+                raise ConfigurationError(
+                    "the serial reference loop is float64-only; "
+                    "precision='fast' requires the batch engine")
             point = measure_symbol_errors(self.config, float(snr_db),
                                           num_symbols=num_symbols,
                                           symbols_per_burst=symbols_per_burst,
@@ -639,25 +834,28 @@ class WaveformSweepSpec:
 # The sharded engine
 # ---------------------------------------------------------------------------
 
-#: Built receivers keyed by their spec.  ``run_sweep`` warms this in the
-#: parent process before creating the shard pool, so fork-started workers
-#: inherit ready kernels (templates, waveform tables, FIR taps) for free;
-#: spawn-started workers simply rebuild.  Receivers are stateless w.r.t.
-#: measurements, so reuse can never change a result.
-_RECEIVER_CACHE: dict[ReceiverSpec, "WaveformReceiver"] = {}
+#: Built receivers keyed by ``(spec, precision)``.  ``run_sweep`` warms this
+#: in the parent process before the fabric pool exists, so fork-started
+#: workers inherit ready kernels (templates, waveform tables, FIR taps) for
+#: free; workers built later cache their own receivers across submissions
+#: because the fabric pool is persistent.  Receivers are stateless w.r.t.
+#: measurements, so reuse can never change a result.  Bounded LRU: a long
+#: multi-sweep session holds at most ``maxsize`` built receivers.
+_RECEIVER_CACHE: PlanCache = PlanCache("waveform-receivers", maxsize=16)
 
 
-def _cached_receiver(spec: ReceiverSpec) -> "WaveformReceiver":
-    receiver = _RECEIVER_CACHE.get(spec)
-    if receiver is None:
-        receiver = spec.build()
-        _RECEIVER_CACHE[spec] = receiver
-    return receiver
+def _cached_receiver(spec: ReceiverSpec,
+                     precision: str = "reference") -> "WaveformReceiver":
+    # Baseline arms are precision-agnostic; normalise their key so a fast
+    # sweep does not duplicate them in the cache.
+    key = (spec, precision if spec.kind == "saiyan" else "reference")
+    return _RECEIVER_CACHE.get(key, lambda: spec.build(precision=precision))
 
 
 def _evaluate_cells(spec: WaveformSweepSpec, engine: str,
                     indices: Sequence[int],
-                    streams: Sequence[np.random.Generator]
+                    streams: Sequence[np.random.Generator],
+                    precision: str = "reference"
                     ) -> list[tuple[int, WaveformCell]]:
     """Worker entry point: evaluate the given grid cells with their substreams.
 
@@ -673,7 +871,7 @@ def _evaluate_cells(spec: WaveformSweepSpec, engine: str,
         by_receiver.setdefault(receiver_index, []).append((index, stream))
     results: list[tuple[int, WaveformCell]] = []
     for receiver_index, owned in by_receiver.items():
-        receiver = _cached_receiver(spec.receivers[receiver_index])
+        receiver = _cached_receiver(spec.receivers[receiver_index], precision)
         if engine == "batch" and hasattr(receiver, "measure_cells"):
             snrs = [spec.snrs_db[grid[index][1]] for index, _ in owned]
             cells = receiver.measure_cells(
@@ -701,6 +899,7 @@ class WaveformSweepResult:
     seed: int | None = None
     engine: str = "batch"
     shards: int = 1
+    precision: str = "reference"
 
     # ------------------------------------------------------------------
     def cells_for(self, receiver_name: str) -> list[WaveformCell]:
@@ -743,12 +942,17 @@ class WaveformSweepResult:
         result.add_scalar("num_cells", self.spec.num_cells)
         result.add_scalar("num_symbols", self.spec.num_symbols)
         notes = self.spec.description or "Waveform-level receiver ablation."
-        result.notes = f"{notes} [engine={self.engine} shards={self.shards}]"
+        # The reference tag is omitted so golden fixtures predating the
+        # precision modes stay byte-for-byte unchanged.
+        precision = "" if self.precision == "reference" else f" precision={self.precision}"
+        result.notes = f"{notes} [engine={self.engine} shards={self.shards}{precision}]"
         return result
 
 
 def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
-              shards: int = 1, engine: str = "batch") -> WaveformSweepResult:
+              shards: int = 1, engine: str = "batch",
+              precision: str = "reference",
+              reuse_pool: bool = True) -> WaveformSweepResult:
     """Evaluate every cell of ``spec``, optionally sharded across processes.
 
     Parameters
@@ -765,6 +969,16 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
         ``"batch"`` uses the vectorized :class:`SaiyanBurstKernel` hot path;
         ``"serial"`` runs the reference ``measure_symbol_errors`` loop.
         Both are bit-identical under a fixed seed.
+    precision:
+        ``"reference"`` (default) keeps the float64 bit-parity contract;
+        ``"fast"`` opts Saiyan arms into the tolerance-gated
+        complex64/float32 kernel path (batch engine only).
+    reuse_pool:
+        Sharded runs submit to the persistent execution-fabric pool
+        (:mod:`repro.sim.execution`) by default, so consecutive sweeps
+        reuse live, cache-warm workers.  ``False`` creates and tears down
+        a throwaway pool for this call — the cold-spawn baseline the
+        benchmarks compare against.  Results are identical either way.
     """
     if not isinstance(spec, WaveformSweepSpec):
         raise ConfigurationError(
@@ -772,6 +986,13 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
     if engine not in ("batch", "serial"):
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected 'batch' or 'serial'")
+    if precision not in PRECISIONS:
+        raise ConfigurationError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}")
+    if precision == "fast" and engine == "serial":
+        raise ConfigurationError(
+            "the serial reference loop is float64-only; "
+            "precision='fast' requires the batch engine")
     shards = ensure_integer(shards, "shards", minimum=1)
     if random_state is None:
         random_state = spec.seed
@@ -780,23 +1001,31 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
 
     indexed: list[tuple[int, WaveformCell]] = []
     if shards == 1:
-        indexed = _evaluate_cells(spec, engine, range(spec.num_cells), streams)
+        indexed = _evaluate_cells(spec, engine, range(spec.num_cells), streams,
+                                  precision)
     else:
         if engine == "batch":
             # Build every receiver (kernels, templates, FIR taps) before the
             # pool exists: fork-started workers inherit the warm cache.
             for receiver_spec in spec.receivers:
-                receiver = _cached_receiver(receiver_spec)
+                receiver = _cached_receiver(receiver_spec, precision)
                 if hasattr(receiver, "prepare"):
                     receiver.prepare(spec.num_symbols, spec.symbols_per_burst)
         assignments = [list(range(spec.num_cells))[k::shards] for k in range(shards)]
         assignments = [a for a in assignments if a]
-        with ProcessPoolExecutor(max_workers=len(assignments)) as pool:
-            futures = [pool.submit(_evaluate_cells, spec, engine, indices,
-                                   [streams[i] for i in indices])
-                       for indices in assignments]
-            for future in futures:
-                indexed.extend(future.result())
+        jobs = [(spec, engine, indices, [streams[i] for i in indices], precision)
+                for indices in assignments]
+        if reuse_pool:
+            from repro.sim.execution import get_fabric
+
+            for shard_results in get_fabric().map_jobs(
+                    _evaluate_cells, jobs, min_workers=len(assignments)):
+                indexed.extend(shard_results)
+        else:
+            with ProcessPoolExecutor(max_workers=len(assignments)) as pool:
+                futures = [pool.submit(_evaluate_cells, *job) for job in jobs]
+                for future in futures:
+                    indexed.extend(future.result())
 
     cells: list[WaveformCell | None] = [None] * spec.num_cells
     for index, cell in indexed:
@@ -805,7 +1034,7 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
     if missing:
         raise ConfigurationError(f"shards returned no result for cells {missing}")
     return WaveformSweepResult(spec=spec, cells=cells, seed=seed,
-                               engine=engine, shards=shards)
+                               engine=engine, shards=shards, precision=precision)
 
 
 # ---------------------------------------------------------------------------
@@ -889,6 +1118,7 @@ def get_sweep(name: str) -> WaveformSweepSpec:
 
 def make_waveform_driver(name: str, *, random_state: RandomState = None,
                          shards: int = 1, engine: str = "batch",
+                         precision: str = "reference",
                          num_symbols: int | None = None,
                          symbols_per_burst: int | None = None):
     """Build a zero-argument figure-style driver for a registered sweep.
@@ -907,13 +1137,14 @@ def make_waveform_driver(name: str, *, random_state: RandomState = None,
     frozen_spec = spec
 
     def driver(*, sweep: str = name, random_state=seed, engine: str = engine,
-               shards: int = shards, num_symbols: int = spec.num_symbols,
+               shards: int = shards, precision: str = precision,
+               num_symbols: int = spec.num_symbols,
                symbols_per_burst: int = spec.symbols_per_burst) -> SweepResult:
         del sweep  # manifest snapshot only
         run_spec = frozen_spec.with_(num_symbols=num_symbols,
                                      symbols_per_burst=symbols_per_burst)
         return run_sweep(run_spec, random_state=random_state, shards=shards,
-                         engine=engine).to_sweep_result()
+                         engine=engine, precision=precision).to_sweep_result()
 
     driver.__name__ = f"waveform_{name.replace('-', '_')}"
     driver.__qualname__ = driver.__name__

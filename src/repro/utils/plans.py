@@ -1,0 +1,128 @@
+"""Bounded LRU caches for deterministic, reusable "plan" objects.
+
+The hot paths of the simulation engines repeatedly rebuild state that is a
+pure function of a hashable configuration: windowed-sinc FIR taps, chirp
+correlation-template banks, per-length SAW gain profiles and mixer clock
+rows.  A :class:`PlanCache` memoizes such plans with an explicit maximum
+size (least-recently-used eviction), so long multi-sweep sessions reuse
+warm plans without growing unbounded.
+
+Two rules keep memoization safe:
+
+* **Keys must capture every input.**  A plan is only cached under the full
+  tuple of values that determine it (the config hash); a mutated
+  configuration therefore *misses* and rebuilds.  Tests pin this for each
+  cache.
+* **Values must be treated as immutable.**  Builders should mark ndarray
+  plans read-only (:func:`freeze_array`) so an accidental in-place edit by
+  one consumer cannot corrupt every later cache hit.
+
+Every instance registers itself in a module-level registry so the
+execution fabric (:mod:`repro.sim.execution`) can report aggregate cache
+statistics; this module stays dependency-free (stdlib + numpy only) so the
+bottom layers (:mod:`repro.dsp`, :mod:`repro.core`) can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import ensure_integer
+
+#: All live PlanCache instances, keyed by their (unique) name.
+_REGISTRY: "OrderedDict[str, PlanCache]" = OrderedDict()
+
+
+def freeze_array(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only and return it (cache-value hygiene)."""
+    array = np.asarray(array)
+    array.flags.writeable = False
+    return array
+
+
+class PlanCache:
+    """A named, bounded, least-recently-used mapping of plan key -> plan.
+
+    Parameters
+    ----------
+    name:
+        Registry name (unique per process); shows up in fabric statistics.
+    maxsize:
+        Maximum number of cached plans.  Inserting beyond it evicts the
+        least recently *used* entry (a ``get`` hit refreshes recency).
+    """
+
+    def __init__(self, name: str, *, maxsize: int = 64) -> None:
+        if not name:
+            raise ConfigurationError("a PlanCache needs a non-empty name")
+        self.name = name
+        self.maxsize = ensure_integer(maxsize, "maxsize", minimum=1)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        # The registry is diagnostic (fabric statistics); a cache re-created
+        # under the same name simply replaces the old entry.
+        _REGISTRY[name] = self
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, build: Callable[[], object]):
+        """Return the cached plan for ``key``, building (and caching) on miss."""
+        entry = self._entries.get(key, _MISS)
+        if entry is not _MISS:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        plan = build()
+        self._entries[key] = plan
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self):
+        """The cached keys, least recently used first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached plan (statistics are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {"name": self.name, "size": len(self._entries),
+                "maxsize": self.maxsize, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PlanCache({self.name!r}, size={len(self._entries)}/"
+                f"{self.maxsize}, hits={self.hits}, misses={self.misses})")
+
+
+class _Miss:
+    __slots__ = ()
+
+
+_MISS = _Miss()
+
+
+def all_plan_caches() -> Iterator[PlanCache]:
+    """Iterate over every registered :class:`PlanCache`."""
+    return iter(_REGISTRY.values())
+
+
+def plan_cache_stats() -> dict[str, dict]:
+    """Statistics of every registered cache, keyed by cache name."""
+    return {cache.name: cache.stats() for cache in all_plan_caches()}

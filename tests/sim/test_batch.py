@@ -317,3 +317,42 @@ def test_batch_runner_parallel_matches_serial():
                 == serial.results[artefact].scalars)
         assert (parallel.results[artefact].series_names
                 == serial.results[artefact].series_names)
+
+
+def test_batch_runner_parallel_full_registry_matches_serial_manifests():
+    """run(parallel=True) over the whole registry: identical artefact
+    results and identical RunManifest JSON, modulo wall-clock fields."""
+    serial = BatchRunner().run()
+    parallel = BatchRunner().run(parallel=True)
+    assert set(serial.manifests) == set(parallel.manifests)
+    for artefact in serial.manifests:
+        serial_manifest = serial.manifests[artefact].to_dict()
+        parallel_manifest = parallel.manifests[artefact].to_dict()
+        assert serial_manifest.pop("wall_clock_s") > 0
+        assert parallel_manifest.pop("wall_clock_s") > 0
+        assert serial_manifest == parallel_manifest, artefact
+        assert (serial.results[artefact].scalars
+                == parallel.results[artefact].scalars), artefact
+        for serial_series, parallel_series in zip(
+                serial.results[artefact].series,
+                parallel.results[artefact].series):
+            assert serial_series.name == parallel_series.name
+            assert np.array_equal(serial_series.y, parallel_series.y), artefact
+
+
+def test_batch_runner_parallel_goes_through_the_fabric():
+    from repro.sim.execution import get_fabric
+
+    fabric = get_fabric()
+    BatchRunner().run(["fig16"], parallel=True)  # ensure the pool exists
+    pools_before = fabric.pools_created
+    jobs_before = fabric.jobs_dispatched
+    BatchRunner().run(["fig16", "tab2"], parallel=True)
+    assert fabric.pools_created == pools_before
+    assert fabric.jobs_dispatched == jobs_before + 2
+
+
+def test_batch_runner_run_parallel_kwarg_requires_registry_drivers():
+    runner = BatchRunner({"custom": lambda: SweepResult(title="x")})
+    with pytest.raises(ConfigurationError):
+        runner.run(parallel=True)

@@ -181,3 +181,43 @@ def test_duplicate_tag_ids_rejected():
     spec = _small_spec(tag_ids=(1, 1))
     with pytest.raises(ConfigurationError, match="unique"):
         run_scenario(spec, engine="batch")
+
+
+# ---------------------------------------------------------------------------
+# Scenario grids on the execution fabric
+# ---------------------------------------------------------------------------
+
+def test_scenario_grid_parallel_matches_serial():
+    from repro.sim.network_engine import run_scenario_grid
+    from repro.sim.scenario import scenario_names
+
+    parallel = run_scenario_grid(parallel=True)
+    serial = run_scenario_grid(parallel=False)
+    assert list(parallel) == list(serial) == scenario_names()
+    for name in parallel:
+        assert (parallel[name].comparison_key()
+                == serial[name].comparison_key()), name
+
+
+def test_scenario_grid_matches_individual_runs_with_shared_seed():
+    from repro.sim.network_engine import run_scenario_grid
+    from repro.sim.scenario import get_scenario
+
+    names = ["aloha-dense", "hopping-jammed"]
+    grid = run_scenario_grid(names, random_state=17)
+    for name in names:
+        lone = run_scenario(get_scenario(name), random_state=17)
+        assert grid[name].comparison_key() == lone.comparison_key(), name
+
+
+def test_scenario_grid_validates_inputs():
+    from repro.sim.network_engine import run_scenario_grid
+
+    with pytest.raises(ConfigurationError):
+        run_scenario_grid(random_state=np.random.default_rng(1))
+    with pytest.raises(ConfigurationError):
+        run_scenario_grid([])
+    with pytest.raises(ConfigurationError):
+        run_scenario_grid(engine="warp")
+    with pytest.raises(ConfigurationError):
+        run_scenario_grid(["no-such-scenario"])

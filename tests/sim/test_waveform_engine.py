@@ -17,8 +17,11 @@ from repro.lora.demodulation import LoRaDemodulator
 from repro.lora.modulation import LoRaModulator
 from repro.lora.parameters import DownlinkParameters
 from repro.sim.waveform_ber import measure_symbol_errors, snr_sweep
+from repro.sim import waveform_engine
 from repro.sim.waveform_engine import (
     WAVEFORM_SWEEPS,
+    _RECEIVER_CACHE,
+    _cached_receiver,
     ReceiverSpec,
     SaiyanBurstKernel,
     WaveformCell,
@@ -27,6 +30,7 @@ from repro.sim.waveform_engine import (
     run_sweep,
     sweep_names,
 )
+from repro.utils.plans import PlanCache
 
 SNRS = (-12.0, 0.0)
 
@@ -229,3 +233,134 @@ def test_waveform_cell_rates():
     assert cell.symbol_error_rate == pytest.approx(0.3)
     assert cell.bit_error_rate == pytest.approx(0.2)
     assert cell.detection_rate == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Execution fabric integration: warm pool reuse
+# ---------------------------------------------------------------------------
+
+def test_consecutive_sharded_sweeps_reuse_fabric_workers():
+    """Two sharded sweeps must reuse the same warm pool (no per-call churn)."""
+    from repro.sim.execution import get_fabric
+
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    reference = run_sweep(spec)
+    fabric = get_fabric()
+    first = run_sweep(spec, shards=2)   # creates the pool if none exists yet
+    pools_after_first = fabric.pools_created
+    jobs_after_first = fabric.jobs_dispatched
+    second = run_sweep(spec, shards=2)
+    assert fabric.pools_created == pools_after_first
+    assert fabric.jobs_dispatched == jobs_after_first + 2
+    assert first.cells == second.cells == reference.cells
+
+
+def test_cold_spawn_path_still_bit_identical():
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    reference = run_sweep(spec)
+    cold = run_sweep(spec, shards=2, reuse_pool=False)
+    assert cold.cells == reference.cells
+
+
+# ---------------------------------------------------------------------------
+# Bounded receiver cache
+# ---------------------------------------------------------------------------
+
+def test_receiver_cache_hits_on_identical_spec_and_misses_on_mutation():
+    spec = ReceiverSpec(kind="plora")
+    first = _cached_receiver(spec)
+    assert _cached_receiver(ReceiverSpec(kind="plora")) is first
+    # Any mutated field of the full spec must miss and build a new receiver.
+    assert _cached_receiver(ReceiverSpec(kind="plora", oversampling=6)) is not first
+    assert _cached_receiver(
+        ReceiverSpec(kind="plora", spreading_factor=8)) is not first
+
+
+def test_receiver_cache_keys_on_precision_for_saiyan_arms():
+    spec = ReceiverSpec()
+    reference = _cached_receiver(spec, "reference")
+    fast = _cached_receiver(spec, "fast")
+    assert reference is not fast
+    assert fast.precision == "fast"
+    # Precision-agnostic baseline arms share one entry across precisions.
+    baseline = ReceiverSpec(kind="aloba")
+    assert _cached_receiver(baseline, "fast") is _cached_receiver(baseline)
+
+
+def test_receiver_cache_is_bounded_and_evicts(monkeypatch):
+    assert isinstance(_RECEIVER_CACHE, PlanCache)
+    assert _RECEIVER_CACHE.maxsize == 16
+    small = PlanCache("test-receiver-evict", maxsize=2)
+    monkeypatch.setattr(waveform_engine, "_RECEIVER_CACHE", small)
+    specs = [ReceiverSpec(kind="plora"), ReceiverSpec(kind="aloba"),
+             ReceiverSpec(kind="envelope")]
+    first = _cached_receiver(specs[0])
+    for spec in specs[1:]:
+        _cached_receiver(spec)
+    assert len(small) == 2
+    assert small.evictions == 1
+    # The evicted (least recently used) receiver is rebuilt on next use.
+    assert _cached_receiver(specs[0]) is not first
+
+
+# ---------------------------------------------------------------------------
+# precision="fast": tolerance-gated complex64 kernel path
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", list(SaiyanMode))
+def test_fast_precision_tracks_reference_within_tolerance(mode):
+    """The complex64 path must stay within 0.05 SER of float64, per cell."""
+    spec = _saiyan_spec(mode, snrs=(-12.0, 0.0, 9.0), num_symbols=24)
+    reference = run_sweep(spec)
+    fast = run_sweep(spec, precision="fast")
+    assert fast.precision == "fast"
+    for ref_cell, fast_cell in zip(reference.cells, fast.cells):
+        assert abs(ref_cell.symbol_error_rate
+                   - fast_cell.symbol_error_rate) <= 0.05, mode
+        assert abs(ref_cell.bit_error_rate
+                   - fast_cell.bit_error_rate) <= 0.05, mode
+
+
+def test_fast_precision_envelopes_close_to_reference(saiyan_config):
+    reference_kernel = SaiyanBurstKernel(saiyan_config)
+    fast_kernel = SaiyanBurstKernel(saiyan_config, precision="fast")
+    rng = np.random.default_rng(11)
+    shape = (4, 4 * reference_kernel._sps)
+    noisy = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) * 1e-4
+    lna = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) * 1e-6
+    reference = reference_kernel._envelopes(noisy, lna)
+    fast = fast_kernel._envelopes(noisy, lna)
+    assert fast.dtype == np.float32
+    scale = float(np.max(np.abs(reference)))
+    assert float(np.max(np.abs(reference - fast))) <= 1e-4 * scale
+
+
+def test_fast_precision_is_deterministic():
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    assert run_sweep(spec, precision="fast").cells == \
+        run_sweep(spec, precision="fast").cells
+
+
+def test_fast_precision_sharded_matches_in_process():
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    in_process = run_sweep(spec, precision="fast")
+    sharded = run_sweep(spec, shards=2, precision="fast")
+    assert sharded.cells == in_process.cells
+
+
+def test_fast_precision_rejects_serial_engine():
+    with pytest.raises(ConfigurationError):
+        run_sweep(_saiyan_spec(), engine="serial", precision="fast")
+    with pytest.raises(ConfigurationError):
+        run_sweep(_saiyan_spec(), precision="double")
+    with pytest.raises(ConfigurationError):
+        SaiyanBurstKernel(ReceiverSpec().config(), precision="magic")
+
+
+def test_fast_precision_tagged_in_sweep_result_notes():
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    fast_notes = run_sweep(spec, precision="fast").to_sweep_result().notes
+    reference_notes = run_sweep(spec).to_sweep_result().notes
+    assert "precision=fast" in fast_notes
+    # The default path keeps the pre-PR-4 note format (golden stability).
+    assert "precision" not in reference_notes

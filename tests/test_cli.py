@@ -234,3 +234,63 @@ def test_network_invalid_overrides_fail_cleanly(capsys):
     assert "network:" in capsys.readouterr().err
     assert main(["network", "--scenario", "aloha-dense", "--seed", "-1"]) == 2
     assert "--seed" in capsys.readouterr().err
+
+
+def test_experiments_parallel_matches_serial_output(capsys):
+    assert main(["experiments", "--only", "fig5", "tab2"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["experiments", "--parallel", "--only", "fig5", "tab2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+
+
+def test_experiments_parallel_rejects_seed(capsys):
+    assert main(["experiments", "--parallel", "--seed", "3", "--only", "fig5"]) == 2
+    err = capsys.readouterr().err
+    assert "--parallel" in err and "--seed" in err
+
+
+def test_waveform_fast_precision_runs_and_tags_output(capsys):
+    assert main(["waveform", "--sweep", "modes", "--precision", "fast",
+                 "--num-symbols", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "precision=fast" in out
+
+
+def test_waveform_fast_precision_rejects_serial_engine(capsys):
+    assert main(["waveform", "--sweep", "modes", "--precision", "fast",
+                 "--engine", "serial", "--num-symbols", "8"]) == 2
+    err = capsys.readouterr().err
+    assert "float64-only" in err
+
+
+def test_waveform_default_precision_output_unchanged_by_flag(capsys):
+    assert main(["waveform", "--sweep", "modes", "--num-symbols", "8"]) == 0
+    default_out = capsys.readouterr().out
+    assert main(["waveform", "--sweep", "modes", "--precision", "reference",
+                 "--num-symbols", "8"]) == 0
+    explicit_out = capsys.readouterr().out
+    assert explicit_out == default_out
+    assert "precision" not in default_out
+
+
+def test_network_grid_runs_every_scenario(capsys):
+    assert main(["network", "--grid", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    from repro.sim.scenario import scenario_names
+
+    for name in scenario_names():
+        assert name in out
+
+
+def test_network_grid_conflicts_with_scenario(capsys):
+    assert main(["network", "--grid", "--scenario", "aloha-dense"]) == 2
+    err = capsys.readouterr().err
+    assert "--grid" in err
+
+
+def test_network_grid_rejects_single_scenario_flags(capsys):
+    assert main(["network", "--grid", "--windows", "3"]) == 2
+    assert "--windows" in capsys.readouterr().err
+    assert main(["network", "--grid", "--manifest-dir", "/tmp/x"]) == 2
+    assert "--manifest-dir" in capsys.readouterr().err
