@@ -51,7 +51,7 @@ def test_ablation_power_budget(benchmark):
     print(f"  commodity LoRa     : {budget['commodity_energy_uj']:8.1f} µJ")
     print(f"ADC alone draws {budget['adc_alone_uw'] / 1e3:.1f} mW — "
           f"{budget['adc_alone_uw'] / budget['asic_total_uw']:.0f}x the whole Saiyan ASIC")
-    print(f"harvester charge time per packet: commodity "
+    print("harvester charge time per packet: commodity "
           f"{budget['commodity_charge_time_s']:.0f} s vs ASIC "
           f"{budget['asic_charge_time_s']:.2f} s")
     # Removing the ADC/down-converter chain is what makes the design viable:

@@ -81,10 +81,10 @@ def _power_table() -> None:
     for name, energy, sustainable in rows:
         print(f"{name:<24}{energy:>20.1f}{str(sustainable):>24}")
     print(f"\nharvester: {harvester.net_harvest_power_uw:.1f} µW net "
-          f"(1 mW·s every 25.4 s, LTC3105 + power management)")
-    print(f"charging time for one commodity-LoRa packet: "
+          "(1 mW·s every 25.4 s, LTC3105 + power management)")
+    print("charging time for one commodity-LoRa packet: "
           f"{harvester.time_to_accumulate_s(commodity.energy_per_packet_uj(packet_duration)):.0f} s; "
-          f"for one Saiyan ASIC packet: "
+          "for one Saiyan ASIC packet: "
           f"{harvester.time_to_accumulate_s(asic.energy_per_packet_uj(32)):.1f} s")
 
 

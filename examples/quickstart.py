@@ -61,7 +61,7 @@ def main() -> None:
     print(f"energy:      {power.energy_per_packet_uj(16):.1f} µJ per packet on the ASIC "
           f"({power.energy_saving_factor(16):.0f}x less than a commodity LoRa receiver)")
     print(f"sensitivity: {SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.SUPER):.1f} dBm "
-          f"(vanilla Saiyan: "
+          "(vanilla Saiyan: "
           f"{SaiyanReceiver.detection_sensitivity_dbm(SaiyanMode.VANILLA):.1f} dBm)")
 
 

@@ -15,9 +15,12 @@ The checker enforces two things:
 * **Recorded gates** — the speedup floors this repository has committed
   to: link Monte-Carlo ≥ 10x, waveform kernel ≥ 1.5x over the warm-plan
   serial path, fabric pool reuse ≥ 1.5x, precision fast path ≥ 1.5x (full
-  runs only — smoke workloads cannot amortise fixed costs), and parallel
+  runs only — smoke workloads cannot amortise fixed costs), parallel
   BatchRunner ≥ 2x whenever the payload recorded ``gate_enforced: true``
-  (multi-core full runs).
+  (multi-core full runs), and the result store: warm passes must serve
+  ≥ 95 % of artefacts on every payload and be ≥ 5x faster than the cold
+  pass on full runs whose first pass was genuinely cold
+  (``prewarmed: false``).
 
 Exit status is non-zero with one line per violation, so CI can gate on a
 benchmark regression without rerunning the full benchmark suite.
@@ -62,7 +65,7 @@ def _is_speedup(value) -> bool:
 def validate(payload: dict, *, smoke: bool) -> list[str]:
     """Return a list of violations (empty when the payload is healthy)."""
     errors: list[str] = []
-    for section in ("engines", "waveform", "fabric", "figures"):
+    for section in ("engines", "waveform", "fabric", "store", "figures"):
         if section not in payload:
             errors.append(f"missing section {section!r}")
     if errors:
@@ -101,6 +104,16 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
         errors.append("fabric.precision: max_abs_ser_deviation missing or "
                       f"above the {MAX_SER_DEVIATION} bound (got {deviation!r})")
 
+    store = payload["store"]
+    if store.get("results_identical") is not True:
+        errors.append("store: results_identical must be true")
+    if not _is_speedup(store.get("speedup")):
+        errors.append("store: speedup missing or not finite")
+    hit_fraction = store.get("hit_fraction")
+    if not isinstance(hit_fraction, (int, float)) or hit_fraction < 0.95:
+        errors.append(f"gate: store.hit_fraction {hit_fraction!r} below the "
+                      "0.95 floor")
+
     full_run = not smoke and not payload.get("smoke", False)
     for path, floor, full_only in GATES:
         value = _lookup(payload, path)
@@ -116,6 +129,14 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
         if _is_speedup(value) and value < 2.0:
             errors.append(f"gate: fabric.batch_runner.speedup {value:.2f}x "
                           "below the 2x floor (gate_enforced)")
+    # The store warm-over-cold gate only describes runs whose first pass
+    # actually computed everything: a prewarmed store makes both passes
+    # warm, so the ratio is ~1x by construction.
+    if full_run and store.get("prewarmed") is False:
+        value = store.get("speedup")
+        if _is_speedup(value) and value < 5.0:
+            errors.append(f"gate: store.speedup {value:.2f}x below the "
+                          "5x floor")
     return errors
 
 

@@ -63,7 +63,7 @@ def main() -> int:
               "all end up here — fix before merging)", file=sys.stderr)
         return 1
     print(f"test collection complete: {len(expected)} test files, "
-          f"all collected")
+          "all collected")
     return 0
 
 

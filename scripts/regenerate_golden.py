@@ -13,31 +13,107 @@ pinned while the hot paths underneath them are rewritten.
 Only rerun this script when a figure is *supposed* to change (a calibration
 fix, a new paper artefact); commit the refreshed fixtures together with the
 change that caused them and say why in the commit message.
+
+``--check`` regenerates nothing on disk: it re-runs every driver and
+compares against the committed fixtures with the *same* tolerance
+semantics as ``tests/sim/test_golden_figures.py`` (titles and series sets
+exact, values within 1e-9) — the CI golden-drift guard.  A byte diff
+would be wrong here: values are seed-deterministic per platform, but
+NumPy kernels may differ in the last ulps across versions.
+``--output-dir`` writes the fixtures somewhere else instead of
+``tests/golden/``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
+
+import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.sim.experiments import run_all  # noqa: E402
+from repro.sim.metrics import SweepResult  # noqa: E402
 
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
+#: Same floor as tests/sim/test_golden_figures.py.
+TOLERANCE = 1e-9
 
-def main() -> int:
-    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+
+def _close(produced, committed) -> bool:
+    produced = np.asarray(produced, dtype=float)
+    committed = np.asarray(committed, dtype=float)
+    if produced.shape != committed.shape:
+        return False
+    with np.errstate(invalid="ignore"):
+        return bool(np.allclose(produced, committed, rtol=0.0,
+                                atol=TOLERANCE, equal_nan=True))
+
+
+def _drift(artefact: str, produced: SweepResult, path: Path) -> list[str]:
+    """Human-readable drift findings of one artefact vs its fixture."""
+    if not path.exists():
+        return [f"{artefact}: missing fixture {path}"]
+    committed = SweepResult.from_dict(json.loads(path.read_text()))
+    problems = []
+    if produced.title != committed.title:
+        problems.append(f"{artefact}: title {produced.title!r} != "
+                        f"{committed.title!r}")
+    if produced.series_names != committed.series_names:
+        problems.append(f"{artefact}: series {produced.series_names} != "
+                        f"{committed.series_names}")
+        return problems
+    for name in committed.series_names:
+        ours, theirs = produced.get_series(name), committed.get_series(name)
+        if not _close(ours.x, theirs.x) or not _close(ours.y, theirs.y):
+            problems.append(f"{artefact}/{name}: values drifted beyond "
+                            f"{TOLERANCE}")
+    if set(produced.scalars) != set(committed.scalars):
+        problems.append(f"{artefact}: scalar keys differ")
+    else:
+        for key, value in committed.scalars.items():
+            if not _close(produced.scalars[key], value):
+                problems.append(f"{artefact}: scalar {key!r} drifted beyond "
+                                f"{TOLERANCE}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", default=str(GOLDEN_DIR), metavar="DIR",
+                        help="where to write the fixtures (default: the "
+                             "committed tests/golden/)")
+    parser.add_argument("--check", action="store_true",
+                        help="write nothing: re-run every driver and fail if "
+                             "any committed fixture drifted beyond the "
+                             f"{TOLERANCE} tolerance or is missing/stale")
+    args = parser.parse_args(argv)
     results = run_all(fast=True)
+    if args.check:
+        problems: list[str] = []
+        for artefact, result in sorted(results.items()):
+            problems.extend(_drift(artefact, result, GOLDEN_DIR / f"{artefact}.json"))
+        stale = {path.stem for path in GOLDEN_DIR.glob("*.json")} - set(results)
+        problems.extend(f"{name}: stale fixture with no driver" for name in sorted(stale))
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(f"{len(results)} fixtures match the drivers "
+                  f"(tolerance {TOLERANCE})")
+        return 1 if problems else 0
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
     for artefact, result in sorted(results.items()):
-        path = GOLDEN_DIR / f"{artefact}.json"
+        path = output_dir / f"{artefact}.json"
         path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
-        print(f"wrote {path.relative_to(REPO_ROOT)} "
+        print(f"wrote {path} "
               f"({len(result.series)} series, {len(result.scalars)} scalars)")
-    print(f"{len(results)} fixtures regenerated under {GOLDEN_DIR.relative_to(REPO_ROOT)}")
+    print(f"{len(results)} fixtures regenerated under {output_dir}")
     return 0
 
 

@@ -15,7 +15,7 @@ demodulation range and ~44 m indoor (one-wall) at SF7/BW500, given the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.channel.fading import FadingModel, NoFading, RayleighFading, RicianFading
 from repro.exceptions import ConfigurationError

@@ -27,9 +27,20 @@ Five subcommands cover the workflows a user reaches for most often::
         Print detection/demodulation ranges of Saiyan (all modes) and the
         baselines in a given environment.
 
+    python -m repro store {stats,gc,clear} [--store-dir DIR]
+        Inspect or manage the content-addressed result store that backs
+        ``--store`` runs.
+
 Every subcommand accepts ``--seed`` and threads it into the engines, so two
 CLI runs with the same seed print the same numbers end to end (``power`` and
 ``range`` are deterministic; the flag is accepted for interface uniformity).
+
+The ``experiments``, ``network`` and ``waveform`` subcommands additionally
+accept ``--store``/``--no-store`` (and ``--store-dir DIR``): with the store
+enabled, every artefact / waveform grid cell / scenario run is looked up by
+its content digest before compute and persisted after, so an unchanged
+rerun prints byte-identical numbers while being served from the store (a
+hit/miss summary goes to stderr; stdout stays byte-identical either way).
 
 The same functionality is available programmatically through
 :mod:`repro.sim.experiments`, :mod:`repro.sim.network_engine`,
@@ -129,16 +140,63 @@ def _build_parser() -> argparse.ArgumentParser:
     rng.add_argument("--spreading-factor", type=int, default=7)
     rng.add_argument("--bandwidth-khz", type=float, default=500.0)
 
+    store = subparsers.add_parser(
+        "store", help="inspect or manage the content-addressed result store")
+    store.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: occupancy report; gc: prune to the entry "
+                            "bound (LRU order); clear: drop every entry")
+    store.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="store location (default: $REPRO_STORE_DIR or "
+                            "./.repro-store)")
+    store.add_argument("--max-entries", type=int, default=None,
+                       help="entry bound for gc (default: the store's "
+                            "built-in bound)")
+
     for sub in (exp, net, wav, power, rng):
         sub.add_argument("--seed", type=int, default=None,
                          help="seed threaded into the engines so repeated "
                               "runs print identical numbers")
+    for sub in (exp, net, wav):
+        sub.add_argument("--store", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="serve results from / persist them to the "
+                              "content-addressed result store (byte-identical "
+                              "output; hit/miss summary on stderr; default: "
+                              "off unless --store-dir is given)")
+        sub.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="store location (default: $REPRO_STORE_DIR or "
+                              "./.repro-store); implies --store")
     return parser
 
 
 #: Artefact ids accepted by ``repro experiments --only`` — derived from the
 #: driver registry so the CLI can never drift out of sync with it.
 ARTEFACT_IDS: tuple[str, ...] = tuple(experiments.FIGURE_DRIVERS)
+
+
+def _open_cli_store(args: argparse.Namespace):
+    """The :class:`~repro.sim.store.ResultStore` of a ``--store`` run, or None.
+
+    ``--store-dir`` alone enables the store (pointing at a store and then
+    ignoring it would be a silent no-op); an explicit ``--no-store`` wins.
+    """
+    store = getattr(args, "store", None)
+    if store is None:
+        store = getattr(args, "store_dir", None) is not None
+    if not store:
+        return None
+    from repro.sim.store import open_store
+
+    return open_store(args.store_dir)
+
+
+def _print_store_summary(store) -> None:
+    """One hit/miss line on stderr (stdout stays byte-identical)."""
+    if store is None:
+        return
+    stats = store.stats()
+    print(f"store: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+          f"{stats['entries']} entries at {stats['root']}", file=sys.stderr)
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
@@ -152,18 +210,22 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print(f"unknown artefact id(s): {', '.join(unknown)}", file=sys.stderr)
         print("available artefacts:", " ".join(available), file=sys.stderr)
         return 2
-    if args.parallel:
-        if args.seed is not None:
-            print("experiments: --parallel runs the registry drivers with "
-                  "their embedded seeds; --seed cannot be combined with it",
-                  file=sys.stderr)
-            return 2
+    if args.parallel and args.seed is not None:
+        print("experiments: --parallel runs the registry drivers with "
+              "their embedded seeds; --seed cannot be combined with it",
+              file=sys.stderr)
+        return 2
+    store = _open_cli_store(args)
+    if args.parallel or store is not None:
         from repro.sim.batch import BatchRunner
 
-        report = BatchRunner().run(wanted, parallel=True)
+        report = BatchRunner(store=store).run(
+            wanted, parallel=args.parallel,
+            random_state=None if args.parallel else args.seed)
         for name in wanted:
             print(format_sweep(report.results[name]))
             print()
+        _print_store_summary(store)
         return 0
     for name in wanted:
         driver = experiments.FIGURE_DRIVERS[name]
@@ -198,7 +260,7 @@ def _run_network(args: argparse.Namespace) -> int:
                         ("--manifest-dir", args.manifest_dir))
                        if value is not None]
         if unsupported:
-            print(f"network: --grid runs the registered scenario specs as-is; "
+            print("network: --grid runs the registered scenario specs as-is; "
                   f"{', '.join(unsupported)} only apply to single-scenario "
                   "runs", file=sys.stderr)
             return 2
@@ -207,10 +269,13 @@ def _run_network(args: argparse.Namespace) -> int:
             return 2
         from repro.sim.network_engine import run_scenario_grid
 
-        results = run_scenario_grid(random_state=args.seed, engine=args.engine)
+        store = _open_cli_store(args)
+        results = run_scenario_grid(random_state=args.seed, engine=args.engine,
+                                    store=store)
         for name, result in results.items():
             print(format_sweep(result.to_sweep_result()))
             print()
+        _print_store_summary(store)
         return 0
     if args.scenario is None:
         print("network: --scenario NAME is required (or --list)", file=sys.stderr)
@@ -226,10 +291,12 @@ def _run_network(args: argparse.Namespace) -> int:
     from repro.exceptions import ConfigurationError
 
     try:
+        store = _open_cli_store(args)
         driver = make_scenario_driver(args.scenario, random_state=args.seed,
                                       engine=args.engine,
                                       num_windows=args.windows,
-                                      packets_per_window=args.packets_per_window)
+                                      packets_per_window=args.packets_per_window,
+                                      store=store)
         runner = BatchRunner(drivers={args.scenario: driver},
                              manifest_dir=args.manifest_dir)
         report = runner.run()
@@ -237,6 +304,7 @@ def _run_network(args: argparse.Namespace) -> int:
         print(f"network: {error}", file=sys.stderr)
         return 2
     print(format_sweep(report.results[args.scenario]))
+    _print_store_summary(store)
     if args.manifest_dir is not None:
         print(f"\nwrote manifest {args.manifest_dir}/{args.scenario}.json")
     return 0
@@ -264,11 +332,13 @@ def _run_waveform(args: argparse.Namespace) -> int:
         print(f"waveform: --seed must be >= 0, got {args.seed}", file=sys.stderr)
         return 2
     try:
+        store = _open_cli_store(args)
         driver = make_waveform_driver(args.sweep, random_state=args.seed,
                                       shards=args.shards, engine=args.engine,
                                       precision=args.precision,
                                       num_symbols=args.num_symbols,
-                                      symbols_per_burst=args.symbols_per_burst)
+                                      symbols_per_burst=args.symbols_per_burst,
+                                      store=store)
         runner = BatchRunner(drivers={args.sweep: driver},
                              manifest_dir=args.manifest_dir)
         report = runner.run()
@@ -276,6 +346,7 @@ def _run_waveform(args: argparse.Namespace) -> int:
         print(f"waveform: {error}", file=sys.stderr)
         return 2
     print(format_sweep(report.results[args.sweep]))
+    _print_store_summary(store)
     if args.manifest_dir is not None:
         print(f"\nwrote manifest {args.manifest_dir}/{args.sweep}.json")
     return 0
@@ -290,8 +361,34 @@ def _run_power(args: argparse.Namespace) -> int:
     print(summary.ledger.format_table())
     energy = model.energy_per_packet_uj(args.payload_symbols)
     print(f"\nenergy per {args.payload_symbols}-symbol downlink packet: {energy:.1f} µJ")
-    print(f"saving vs commodity LoRa receiver: "
+    print("saving vs commodity LoRa receiver: "
           f"{model.energy_saving_factor(args.payload_symbols):.0f}x")
+    return 0
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError
+    from repro.sim.store import open_store
+
+    store = open_store(args.store_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"result store at {stats['root']}")
+        print(f"  entries      {stats['entries']}")
+        print(f"  bytes        {stats['bytes']}")
+        print(f"  max entries  {stats['max_entries']}")
+        return 0
+    if args.action == "gc":
+        try:
+            removed = store.gc(args.max_entries)
+        except ConfigurationError as error:
+            print(f"store: {error}", file=sys.stderr)
+            return 2
+        print(f"gc: removed {removed} entries, "
+              f"{store.stats()['entries']} remain")
+        return 0
+    removed = store.clear()
+    print(f"clear: removed {removed} entries")
     return 0
 
 
@@ -331,6 +428,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_power(args)
     if args.command == "range":
         return _run_range(args)
+    if args.command == "store":
+        return _run_store(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.core.config import SaiyanConfig
 from repro.exceptions import ConfigurationError, DemodulationError
-from repro.hardware.comparator import ComparatorOutput
 from repro.utils.validation import ensure_in_range, ensure_integer
 
 

@@ -47,7 +47,7 @@ def multiply_signals(a: Signal, b: Signal) -> Signal:
     """
     if not np.isclose(a.sample_rate, b.sample_rate):
         raise SignalError(
-            f"cannot mix signals with different sample rates "
+            "cannot mix signals with different sample rates "
             f"({a.sample_rate} Hz vs {b.sample_rate} Hz)"
         )
     if len(a) != len(b):

@@ -10,11 +10,10 @@ operation costs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
-from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.core.config import SaiyanConfig
 from repro.core.receiver import SaiyanReceiver
 from repro.exceptions import ProtocolError
 from repro.net.packets import AckPacket, CommandType, DownlinkCommand, UplinkPacket

@@ -336,6 +336,10 @@ class RunManifest:
     engine: str = "batch"
     numpy_version: str = np.__version__
     python_version: str = platform.python_version()
+    #: Result-store provenance: ``None`` when the run did not consult the
+    #: store, otherwise ``{"hit": bool, "digest": str | None}`` (plus a
+    #: ``"cells"`` summary when the driver reported per-cell provenance).
+    store: dict | None = None
 
     def to_dict(self) -> dict:
         """Return a JSON-serialisable representation of the manifest."""
@@ -351,6 +355,7 @@ class RunManifest:
             "engine": self.engine,
             "numpy_version": self.numpy_version,
             "python_version": self.python_version,
+            "store": self.store,
         }
 
 
@@ -384,10 +389,31 @@ def _driver_config_snapshot(driver: Callable) -> tuple[dict, int | None]:
     return config, seed
 
 
-def _evaluate_driver(artefact: str, driver: Callable) -> tuple[SweepResult, RunManifest]:
+def _driver_call_plan(driver: Callable,
+                      random_state: int | None) -> tuple[dict, int | None, dict]:
+    """The (config snapshot, manifest seed, call kwargs) of one invocation.
+
+    A ``random_state`` override is only applied to drivers that accept one
+    (deterministic drivers take no seed); the override shows up in both the
+    config snapshot and the manifest seed so store keys and manifests
+    describe the call that actually ran.
+    """
     config, seed = _driver_config_snapshot(driver)
+    kwargs: dict = {}
+    if (random_state is not None
+            and "random_state" in inspect.signature(driver).parameters):
+        kwargs["random_state"] = random_state
+        seed = random_state
+        config = {**config, "random_state": random_state}
+    return config, seed, kwargs
+
+
+def _evaluate_driver(artefact: str, driver: Callable, *,
+                     random_state: int | None = None
+                     ) -> tuple[SweepResult, RunManifest]:
+    config, seed, kwargs = _driver_call_plan(driver, random_state)
     start = time.perf_counter()
-    result = driver()
+    result = driver(**kwargs)
     elapsed = time.perf_counter() - start
     manifest = RunManifest(
         artefact=artefact,
@@ -398,8 +424,28 @@ def _evaluate_driver(artefact: str, driver: Callable) -> tuple[SweepResult, RunM
         scalars=dict(result.scalars),
         series_lengths={series.name: len(series.x) for series in result.series},
         wall_clock_s=elapsed,
+        store=_driver_cell_provenance(driver),
     )
     return result, manifest
+
+
+def _driver_cell_provenance(driver: Callable) -> dict | None:
+    """Per-cell store provenance a driver reported on itself, if any.
+
+    The waveform/scenario drivers built with a store
+    (:func:`repro.sim.waveform_engine.make_waveform_driver`,
+    :func:`repro.sim.network_engine.make_scenario_driver`) attach their
+    cell-level hit/miss record to the driver object after each run; the
+    manifest carries it so every artefact's provenance is auditable.
+    """
+    cells = getattr(driver, "store_provenance", None)
+    if cells is None:
+        return None
+    counts = {"hits": sum(1 for state in cells if state == "hit"),
+              "misses": sum(1 for state in cells if state == "miss")}
+    return {"hit": counts["misses"] == 0 and counts["hits"] > 0,
+            "digest": None,
+            "cells": {**counts, "provenance": list(cells)}}
 
 
 def _evaluate_registered(artefact: str) -> tuple[str, SweepResult, RunManifest]:
@@ -427,11 +473,19 @@ class BatchRunner:
         worker processes).  Fan-out submits to the persistent pool of the
         execution fabric (:mod:`repro.sim.execution`), so repeated runner
         invocations reuse live, cache-warm workers.
+    store:
+        Optional :class:`~repro.sim.store.ResultStore`.  Each artefact is
+        looked up by its content digest before compute and persisted after,
+        so an unchanged rerun is served from the store bit-identically; the
+        manifests record the hit/miss provenance per artefact.  Store I/O
+        happens in the parent process only (worker processes never touch
+        the store), so parallel runs stay deterministic.
     """
 
     def __init__(self, drivers: Mapping[str, Callable] | None = None, *,
                  manifest_dir: str | Path | None = None,
-                 processes: int | None = None) -> None:
+                 processes: int | None = None,
+                 store=None) -> None:
         if drivers is None:
             from repro.sim.experiments import FIGURE_DRIVERS
 
@@ -439,12 +493,14 @@ class BatchRunner:
         self.drivers = dict(drivers)
         self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
         self.processes = processes
+        self.store = store
         if processes is not None and processes < 1:
             raise ConfigurationError(f"processes must be >= 1, got {processes}")
 
     # ------------------------------------------------------------------
     def run(self, artefacts: Iterable[str] | None = None, *,
-            parallel: bool = False) -> BatchRunReport:
+            parallel: bool = False,
+            random_state: int | None = None) -> BatchRunReport:
         """Evaluate the selected artefacts (all by default) and return a report.
 
         ``parallel=True`` fans the artefacts out over the execution
@@ -452,23 +508,102 @@ class BatchRunner:
         ``processes`` set; registry drivers only).  Every driver embeds its
         own seed, so a parallel run returns the same results and the same
         manifests — modulo wall-clock fields — as a serial run.
+
+        ``random_state`` overrides the embedded seed of every driver that
+        accepts one (serial path only — the parallel fan-out runs registry
+        drivers with their embedded seeds).
         """
         selected = list(artefacts) if artefacts is not None else list(self.drivers)
         unknown = [artefact for artefact in selected if artefact not in self.drivers]
         if unknown:
             raise ConfigurationError(f"unknown artefacts {unknown}; "
                                      f"known: {sorted(self.drivers)}")
+        use_parallel = parallel or (self.processes is not None and self.processes > 1)
+        if random_state is not None and use_parallel:
+            raise ConfigurationError(
+                "the parallel fan-out runs registry drivers with their "
+                "embedded seeds; random_state requires the serial path")
         report = BatchRunReport()
-        if parallel or (self.processes is not None and self.processes > 1):
-            self._run_parallel(selected, report)
-        else:
-            for artefact in selected:
-                result, manifest = _evaluate_driver(artefact, self.drivers[artefact])
+        pending = selected
+        keys: dict[str, tuple[dict, str]] = {}
+        if self.store is not None:
+            pending = self._serve_from_store(selected, report, random_state, keys)
+        if pending and use_parallel:
+            self._run_parallel(pending, report)
+        elif pending:
+            for artefact in pending:
+                result, manifest = _evaluate_driver(
+                    artefact, self.drivers[artefact], random_state=random_state)
                 report.results[artefact] = result
                 report.manifests[artefact] = manifest
+        if self.store is not None:
+            self._persist_to_store(pending, report, keys)
+        # Hits resolve before misses compute; restore request order so
+        # reports are indistinguishable from a store-less run.
+        report.results = {a: report.results[a] for a in selected}
+        report.manifests = {a: report.manifests[a] for a in selected}
         if self.manifest_dir is not None:
             self._write_manifests(report)
         return report
+
+    def _serve_from_store(self, selected: list[str], report: BatchRunReport,
+                          random_state: int | None,
+                          keys: dict[str, tuple[dict, str]]) -> list[str]:
+        """Resolve store hits into ``report``; return the artefacts to compute."""
+        from repro.sim.store import UncacheableError, figure_driver_key
+
+        pending: list[str] = []
+        for artefact in selected:
+            driver = self.drivers[artefact]
+            config, seed, _ = _driver_call_plan(driver, random_state)
+            start = time.perf_counter()
+            try:
+                key = figure_driver_key(artefact, driver, config, seed)
+            except UncacheableError:
+                pending.append(artefact)
+                continue
+            digest = self.store.digest(key)
+            keys[artefact] = (key, digest)
+            payload = self.store.get(key, digest=digest)
+            if payload is None:
+                pending.append(artefact)
+                continue
+            try:
+                result = SweepResult.from_dict(payload)
+            except (KeyError, TypeError):
+                # Payload shape drifted (valid JSON, damaged content):
+                # recompute — a damaged store never becomes an error.
+                pending.append(artefact)
+                continue
+            report.results[artefact] = result
+            report.manifests[artefact] = RunManifest(
+                artefact=artefact,
+                title=result.title,
+                driver=f"{driver.__module__}.{driver.__qualname__}",
+                seed=seed,
+                config=config,
+                scalars=dict(result.scalars),
+                series_lengths={series.name: len(series.x)
+                                for series in result.series},
+                wall_clock_s=time.perf_counter() - start,
+                store={"hit": True, "digest": digest},
+            )
+        return pending
+
+    def _persist_to_store(self, computed: list[str], report: BatchRunReport,
+                          keys: dict[str, tuple[dict, str]]) -> None:
+        for artefact in computed:
+            manifest = report.manifests[artefact]
+            if artefact not in keys:  # uncacheable driver: record and move on
+                if manifest.store is None:
+                    manifest.store = {"hit": False, "digest": None}
+                continue
+            key, digest = keys[artefact]
+            self.store.put(key, report.results[artefact].to_dict(), digest=digest)
+            cells = manifest.store.get("cells") if manifest.store else None
+            manifest.store = {"hit": False, "digest": digest}
+            if cells is not None:
+                manifest.store["cells"] = cells
 
     def _run_parallel(self, selected: list[str], report: BatchRunReport) -> None:
         from repro.sim.execution import get_fabric

@@ -17,11 +17,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.baselines.aloba import AlobaDetector
-from repro.baselines.plora import PLoRaDetector
 from repro.channel.backscatter_link import BackscatterLink
 from repro.channel.environment import indoor_environment, outdoor_environment
-from repro.channel.fading import NoFading, RayleighFading, RicianFading
+from repro.channel.fading import NoFading, RicianFading
 from repro.channel.interference import InterferenceEnvironment, Jammer
 from repro.constants import (
     ASIC_TOTAL_POWER_UW,
@@ -33,8 +31,7 @@ from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.core.cyclic_shift import BasebandImpairments, CyclicFrequencyShifter
 from repro.core.quantizer import ThresholdCalibrator
 from repro.core.sampling import sampling_rate_table
-from repro.dsp.chirp import chirp_waveform, instantaneous_frequency
-from repro.dsp.measurements import estimate_snr_from_bands
+from repro.dsp.chirp import instantaneous_frequency
 from repro.dsp.noise import add_awgn_snr
 from repro.dsp.signals import Signal
 from repro.hardware.comparator import DoubleThresholdComparator, SingleThresholdComparator
@@ -42,14 +39,13 @@ from repro.hardware.envelope_detector import EnvelopeDetector
 from repro.hardware.power import asic_power_budget, pcb_power_table
 from repro.hardware.saw_filter import SAWFilter
 from repro.lora.modulation import LoRaModulator
-from repro.lora.parameters import DownlinkParameters, LoRaParameters
+from repro.lora.parameters import DownlinkParameters
 from repro.net.channel_hopping import ChannelHopController, ChannelPlan
 from repro.sim.batch import demodulation_ranges, detection_ranges
 from repro.sim.link_sim import BackscatterUplinkModel, BaselineLinkModel, SaiyanLinkModel
 from repro.sim.metrics import SeriesResult, SweepResult
 from repro.sim.network import FeedbackNetworkSimulator
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.units import watts_to_dbm
 
 #: Default downlink configuration of the field studies (§5 setup).
 DEFAULT_DOWNLINK = DownlinkParameters(spreading_factor=7, bandwidth_hz=500e3,

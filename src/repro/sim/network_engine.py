@@ -26,7 +26,7 @@ drifting apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -173,6 +173,45 @@ class ScenarioResult:
                 self.rate_changes)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (result-store payload format).
+
+        Every field is an int, float, str or a nesting thereof, so a
+        JSON round-trip (:meth:`from_dict`) rebuilds an equal result —
+        which is what lets the content-addressed store replay scenario
+        runs bit-identically.
+        """
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "seed": self.seed,
+            "windows": [{"window_index": window.window_index,
+                         "outcomes": [asdict(outcome)
+                                      for outcome in window.outcomes]}
+                        for window in self.windows],
+            "tags": [asdict(tag) for tag in self.tags],
+            "hops_issued": self.hops_issued,
+            "rate_changes": self.rate_changes,
+            "events_processed": self.events_processed,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        windows = [NetworkWindow(
+            window_index=entry["window_index"],
+            outcomes=tuple(TagWindowOutcome(**outcome)
+                           for outcome in entry["outcomes"]))
+            for entry in data["windows"]]
+        tags = [TagReport(**tag) for tag in data["tags"]]
+        return cls(scenario=data["scenario"], engine=data["engine"],
+                   seed=data["seed"], windows=windows, tags=tags,
+                   hops_issued=data["hops_issued"],
+                   rate_changes=data["rate_changes"],
+                   events_processed=data.get("events_processed", 0),
+                   description=data.get("description", ""))
+
     def to_sweep_result(self) -> SweepResult:
         """Flatten the run into the library's standard result container."""
         result = SweepResult(title=f"Scenario: {self.scenario}")
@@ -623,9 +662,60 @@ def _evaluate_scenario_job(name: str, random_state: int | None,
                               engine=engine)
 
 
+def _scenario_store_entry(spec: ScenarioSpec, random_state, engine: str, store):
+    """The single definition of the scenario hit/miss store protocol.
+
+    Returns ``(cached_result_or_None, persist_callable_or_None)``:
+    ``(result, None)`` on a hit, ``(None, persist)`` on a cacheable miss
+    (call ``persist(result)`` after computing), ``(None, None)`` when the
+    run is not cacheable (no store, non-integer seed, or a spec the
+    canonical encoding refuses — e.g. calibrated override callables).
+    """
+    if store is None:
+        return None, None
+    from repro.sim.store import UncacheableError, scenario_key
+
+    seed = spec.seed if random_state is None else random_state
+    if not isinstance(seed, (int, np.integer)):
+        return None, None
+    try:
+        key = scenario_key(spec, int(seed), engine)
+    except UncacheableError:
+        return None, None
+    digest = store.digest(key)
+    payload = store.get(key, digest=digest)
+    if payload is not None:
+        try:
+            return ScenarioResult.from_dict(payload), None
+        except (KeyError, TypeError):
+            pass  # payload shape drifted: recompute
+    return None, lambda result: store.put(key, result.to_dict(), digest=digest)
+
+
+def run_scenario_stored(spec: ScenarioSpec, *, random_state: int | None = None,
+                        engine: str = "batch",
+                        store=None) -> tuple[ScenarioResult, str]:
+    """Run one scenario through the result store; return (result, provenance).
+
+    Provenance is ``"hit"`` (replayed from the store), ``"miss"``
+    (computed and persisted) or ``"off"`` (not cacheable — see
+    :func:`_scenario_store_entry`).  The effective seed of a registered
+    scenario is always an integer (``spec.seed`` when ``random_state`` is
+    ``None``), so such runs are replayable by content address.
+    """
+    cached, persist = _scenario_store_entry(spec, random_state, engine, store)
+    if cached is not None:
+        return cached, "hit"
+    result = run_scenario(spec, random_state=random_state, engine=engine)
+    if persist is None:
+        return result, "off"
+    persist(result)
+    return result, "miss"
+
+
 def run_scenario_grid(names: Sequence[str] | None = None, *,
                       random_state: int | None = None, engine: str = "batch",
-                      parallel: bool = True) -> dict[str, ScenarioResult]:
+                      parallel: bool = True, store=None) -> dict[str, ScenarioResult]:
     """Run a grid of registered scenarios, fanned out over the fabric pool.
 
     Each scenario is evaluated whole in one worker with its own seed
@@ -637,8 +727,13 @@ def run_scenario_grid(names: Sequence[str] | None = None, *,
     ``random_state`` must be an integer seed or ``None``: a shared
     generator object would be consumed in pool-arrival order, breaking the
     serial/parallel equivalence this function guarantees.
+
+    With a ``store``, each scenario is looked up by its content digest in
+    the parent before any job is dispatched and persisted after; only the
+    missing scenarios are computed (store I/O never enters the worker
+    pool), so a warm grid rerun is served without touching the fabric.
     """
-    from repro.sim.scenario import scenario_names
+    from repro.sim.scenario import get_scenario, scenario_names
 
     if random_state is not None and not isinstance(random_state, (int, np.integer)):
         raise ConfigurationError(
@@ -652,7 +747,21 @@ def run_scenario_grid(names: Sequence[str] | None = None, *,
     if not grid:
         raise ConfigurationError("run_scenario_grid needs at least one scenario")
     seed = None if random_state is None else int(random_state)
-    jobs = [(name, seed, engine) for name in grid]
+    results: dict[str, ScenarioResult] = {}
+    pending = grid
+    persisters: dict[str, object] = {}
+    if store is not None:
+        pending = []
+        for name in grid:
+            cached, persist = _scenario_store_entry(get_scenario(name), seed,
+                                                    engine, store)
+            if cached is not None:
+                results[name] = cached
+                continue
+            if persist is not None:
+                persisters[name] = persist
+            pending.append(name)
+    jobs = [(name, seed, engine) for name in pending]
     if parallel and len(jobs) > 1:
         from repro.sim.execution import get_fabric
 
@@ -660,19 +769,29 @@ def run_scenario_grid(names: Sequence[str] | None = None, *,
                                       min_workers=min(len(jobs), 4))
     else:
         pairs = [_evaluate_scenario_job(*job) for job in jobs]
-    return dict(pairs)
+    for name, result in pairs:
+        results[name] = result
+        persist = persisters.get(name)
+        if persist is not None:
+            persist(result)
+    return {name: results[name] for name in grid}
 
 
 def make_scenario_driver(name: str, *, random_state: RandomState = None,
                          engine: str = "batch", num_windows: int | None = None,
-                         packets_per_window: int | None = None):
+                         packets_per_window: int | None = None,
+                         store=None):
     """Build a zero-argument figure-style driver for a registered scenario.
 
     The returned callable runs the scenario and flattens the outcome into a
     :class:`~repro.sim.metrics.SweepResult`, which makes scenarios first
     class citizens of the :class:`~repro.sim.batch.BatchRunner` machinery —
     each CLI run records one JSON manifest (driver, seed, config snapshot,
-    scalars, wall clock) exactly like the paper-figure artefacts.
+    scalars, wall clock) exactly like the paper-figure artefacts.  With a
+    ``store``, the run is served from / persisted to the result store and
+    the driver records its provenance on itself
+    (``driver.store_provenance``), which the runner copies into the
+    manifest.
     """
     from repro.sim.scenario import get_scenario
 
@@ -688,8 +807,10 @@ def make_scenario_driver(name: str, *, random_state: RandomState = None,
                num_windows: int = spec.num_windows,
                packets_per_window: int = spec.packets_per_window) -> SweepResult:
         del scenario, num_windows, packets_per_window  # manifest snapshot only
-        return run_scenario(frozen_spec, random_state=random_state,
-                            engine=engine).to_sweep_result()
+        result, provenance = run_scenario_stored(
+            frozen_spec, random_state=random_state, engine=engine, store=store)
+        driver.store_provenance = None if provenance == "off" else (provenance,)
+        return result.to_sweep_result()
 
     driver.__name__ = f"scenario_{name.replace('-', '_')}"
     driver.__qualname__ = driver.__name__

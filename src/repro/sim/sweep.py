@@ -29,13 +29,48 @@ def _check_shape(results: np.ndarray, expected: tuple[int, ...]) -> np.ndarray:
     return results
 
 
+def _stored_sweep(kind: str, store, store_key, grids: dict):
+    """Result-store plumbing shared by both sweep shapes.
+
+    Returns ``(cached_array_or_None, persist_callable_or_None)``.  The key
+    digests the caller-supplied evaluator identity (``store_key`` — pass
+    the evaluator function itself to fingerprint its source), the swept
+    grids and the ``vectorized`` flag: the scalar and vectorized call
+    styles agree only to ~1e-12 (different NumPy kernels for 0-d vs n-d
+    inputs), so they must never share an entry.
+    """
+    if store is None or store_key is None:
+        return None, None
+    from repro.sim.store import UncacheableError, sweep_key
+
+    try:
+        key = sweep_key(kind, store_key, grids)
+    except UncacheableError:
+        return None, None
+    digest = store.digest(key)
+    payload = store.get(key, digest=digest)
+    if payload is not None:
+        try:
+            return np.asarray(payload["results"], dtype=float), None
+        except (KeyError, TypeError, ValueError):
+            pass  # payload shape drifted: recompute
+    return None, lambda results: store.put(
+        key, {"results": results.tolist()}, digest=digest)
+
+
 def sweep_1d(values: Iterable, evaluate: Callable[[object], float], *,
-             vectorized: bool = False) -> tuple[list, np.ndarray]:
+             vectorized: bool = False, store=None,
+             store_key=None) -> tuple[list, np.ndarray]:
     """Evaluate ``evaluate`` at every entry of ``values``.
 
     With ``vectorized=False`` (default) the evaluator is called once per
     value; with ``vectorized=True`` it is called exactly once with the whole
     value array and must return an array of the same length.
+
+    With a ``store`` (a :class:`~repro.sim.store.ResultStore`) *and* a
+    ``store_key`` capturing the evaluator's identity — pass the evaluator
+    function itself, or any canonical spec — the whole result array is
+    served from / persisted to the store by content digest.
 
     Returns ``(values_list, results_array)``.
     """
@@ -44,23 +79,34 @@ def sweep_1d(values: Iterable, evaluate: Callable[[object], float], *,
         raise ConfigurationError("sweep_1d requires at least one value")
     if not callable(evaluate):
         raise ConfigurationError("evaluate must be callable")
+    cached, persist = _stored_sweep(
+        "sweep-1d", store, store_key,
+        {"values": values_list, "vectorized": vectorized})
+    if cached is not None:
+        return values_list, _check_shape(cached, (len(values_list),))
     if vectorized:
         results = np.asarray(evaluate(np.asarray(values_list)), dtype=float)
         results = _check_shape(results, (len(values_list),))
     else:
         results = np.array([float(evaluate(value)) for value in values_list])
+    if persist is not None:
+        persist(results)
     return values_list, results
 
 
 def sweep_2d(rows: Sequence, columns: Sequence,
              evaluate: Callable[[object, object], float], *,
-             vectorized: bool = False) -> np.ndarray:
+             vectorized: bool = False, store=None,
+             store_key=None) -> np.ndarray:
     """Evaluate ``evaluate`` over the cartesian product ``rows x columns``.
 
     With ``vectorized=False`` (default) the evaluator is called once per
     grid point; with ``vectorized=True`` it is called exactly once with two
     broadcastable ``(len(rows), len(columns))`` grids and must return an
     array of that shape.
+
+    ``store``/``store_key`` behave as in :func:`sweep_1d`: with both set,
+    the whole result grid is content-addressed in the result store.
 
     Returns a ``(len(rows), len(columns))`` array with
     ``result[i, j] = evaluate(rows[i], columns[j])``.
@@ -71,13 +117,22 @@ def sweep_2d(rows: Sequence, columns: Sequence,
         raise ConfigurationError("sweep_2d requires non-empty rows and columns")
     if not callable(evaluate):
         raise ConfigurationError("evaluate must be callable")
+    cached, persist = _stored_sweep(
+        "sweep-2d", store, store_key,
+        {"rows": rows, "columns": columns, "vectorized": vectorized})
+    if cached is not None:
+        return _check_shape(cached, (len(rows), len(columns)))
     if vectorized:
         row_grid, column_grid = np.meshgrid(np.asarray(rows), np.asarray(columns),
                                             indexing="ij")
-        results = np.asarray(evaluate(row_grid, column_grid), dtype=float)
-        return _check_shape(results, (len(rows), len(columns)))
-    result = np.empty((len(rows), len(columns)), dtype=float)
-    for i, row in enumerate(rows):
-        for j, column in enumerate(columns):
-            result[i, j] = float(evaluate(row, column))
+        result = _check_shape(
+            np.asarray(evaluate(row_grid, column_grid), dtype=float),
+            (len(rows), len(columns)))
+    else:
+        result = np.empty((len(rows), len(columns)), dtype=float)
+        for i, row in enumerate(rows):
+            for j, column in enumerate(columns):
+                result[i, j] = float(evaluate(row, column))
+    if persist is not None:
+        persist(result)
     return result

@@ -52,7 +52,7 @@ the reference path is pinned by tests with explicit error-rate bounds.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -900,8 +900,23 @@ class WaveformSweepResult:
     engine: str = "batch"
     shards: int = 1
     precision: str = "reference"
+    #: Per-cell result-store provenance, in cell order: ``"hit"`` /
+    #: ``"miss"`` per cell, or ``None`` when the run did not consult a
+    #: store (no store given, non-integer seed, or an uncacheable spec).
+    store_provenance: tuple[str, ...] | None = None
 
     # ------------------------------------------------------------------
+    @property
+    def store_hits(self) -> int:
+        """Cells served from the result store (0 without a store)."""
+        provenance = self.store_provenance or ()
+        return sum(1 for state in provenance if state == "hit")
+
+    @property
+    def store_misses(self) -> int:
+        """Cells computed and persisted on this run (0 without a store)."""
+        provenance = self.store_provenance or ()
+        return sum(1 for state in provenance if state == "miss")
     def cells_for(self, receiver_name: str) -> list[WaveformCell]:
         """The SNR-ordered cells of one receiver arm."""
         names = [r.name for r in self.spec.receivers]
@@ -949,10 +964,49 @@ class WaveformSweepResult:
         return result
 
 
+def _resolve_cells_from_store(spec: WaveformSweepSpec, seed: int | None,
+                              precision: str, store):
+    """Look every grid cell up in ``store``; return (cells, keys, provenance).
+
+    ``cells`` holds rehydrated :class:`WaveformCell` hits (``None`` where a
+    cell must be computed); ``keys`` the per-cell (key, digest) pairs, or
+    ``None`` when the run is not cacheable (no store, non-integer seed, or
+    a spec the canonical encoding refuses).
+    """
+    cells: list[WaveformCell | None] = [None] * spec.num_cells
+    if store is None or seed is None:
+        return cells, None, None
+    from repro.sim.store import UncacheableError, waveform_cell_key
+
+    grid = spec.cell_grid()
+    try:
+        keys = []
+        for index, (receiver_index, snr_index) in enumerate(grid):
+            key = waveform_cell_key(
+                spec.receivers[receiver_index], spec.snrs_db[snr_index],
+                index, seed, num_symbols=spec.num_symbols,
+                symbols_per_burst=spec.symbols_per_burst, precision=precision)
+            keys.append((key, store.digest(key)))
+    except UncacheableError:
+        return cells, None, None
+    provenance = ["miss"] * spec.num_cells
+    for index, (key, digest) in enumerate(keys):
+        payload = store.get(key, digest=digest)
+        if payload is None:
+            continue
+        try:
+            cells[index] = WaveformCell(**payload)
+            provenance[index] = "hit"
+        except TypeError:
+            # Payload shape drifted (e.g. a field was renamed): miss.
+            continue
+    return cells, keys, provenance
+
+
 def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
               shards: int = 1, engine: str = "batch",
               precision: str = "reference",
-              reuse_pool: bool = True) -> WaveformSweepResult:
+              reuse_pool: bool = True, store=None) -> WaveformSweepResult:
     """Evaluate every cell of ``spec``, optionally sharded across processes.
 
     Parameters
@@ -979,6 +1033,15 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
         reuse live, cache-warm workers.  ``False`` creates and tears down
         a throwaway pool for this call — the cold-spawn baseline the
         benchmarks compare against.  Results are identical either way.
+    store:
+        Optional :class:`~repro.sim.store.ResultStore`.  Each grid cell is
+        looked up by its content digest before compute (possible because
+        cell *i* always draws from the *i*-th spawn of the root seed,
+        independent of the grid size or shard count) and persisted after;
+        only the missing cells are evaluated.  Requires an integer seed —
+        a generator-seeded sweep is not replayable and skips the store.
+        Store I/O stays in the parent process; results are bit-identical
+        with or without a store.
     """
     if not isinstance(spec, WaveformSweepSpec):
         raise ConfigurationError(
@@ -999,19 +1062,27 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
     seed = int(random_state) if isinstance(random_state, (int, np.integer)) else None
     streams = as_rng(random_state).spawn(spec.num_cells)
 
+    cells, keys, provenance = _resolve_cells_from_store(spec, seed, precision, store)
+    pending = [index for index, cell in enumerate(cells) if cell is None]
+
     indexed: list[tuple[int, WaveformCell]] = []
-    if shards == 1:
-        indexed = _evaluate_cells(spec, engine, range(spec.num_cells), streams,
-                                  precision)
+    if not pending:
+        pass
+    elif shards == 1:
+        indexed = _evaluate_cells(spec, engine, pending,
+                                  [streams[i] for i in pending], precision)
     else:
         if engine == "batch":
-            # Build every receiver (kernels, templates, FIR taps) before the
-            # pool exists: fork-started workers inherit the warm cache.
-            for receiver_spec in spec.receivers:
-                receiver = _cached_receiver(receiver_spec, precision)
+            # Build every receiver with work left (kernels, templates, FIR
+            # taps) before the pool exists: fork-started workers inherit
+            # the warm cache.
+            grid = spec.cell_grid()
+            for receiver_index in sorted({grid[i][0] for i in pending}):
+                receiver = _cached_receiver(spec.receivers[receiver_index],
+                                            precision)
                 if hasattr(receiver, "prepare"):
                     receiver.prepare(spec.num_symbols, spec.symbols_per_burst)
-        assignments = [list(range(spec.num_cells))[k::shards] for k in range(shards)]
+        assignments = [pending[k::shards] for k in range(shards)]
         assignments = [a for a in assignments if a]
         jobs = [(spec, engine, indices, [streams[i] for i in indices], precision)
                 for indices in assignments]
@@ -1027,14 +1098,19 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
                 for future in futures:
                     indexed.extend(future.result())
 
-    cells: list[WaveformCell | None] = [None] * spec.num_cells
     for index, cell in indexed:
         cells[index] = cell
     missing = [i for i, cell in enumerate(cells) if cell is None]
     if missing:
         raise ConfigurationError(f"shards returned no result for cells {missing}")
+    if keys is not None:
+        for index in pending:
+            key, digest = keys[index]
+            store.put(key, asdict(cells[index]), digest=digest)
     return WaveformSweepResult(spec=spec, cells=cells, seed=seed,
-                               engine=engine, shards=shards, precision=precision)
+                               engine=engine, shards=shards, precision=precision,
+                               store_provenance=(tuple(provenance)
+                                                 if provenance is not None else None))
 
 
 # ---------------------------------------------------------------------------
@@ -1120,13 +1196,18 @@ def make_waveform_driver(name: str, *, random_state: RandomState = None,
                          shards: int = 1, engine: str = "batch",
                          precision: str = "reference",
                          num_symbols: int | None = None,
-                         symbols_per_burst: int | None = None):
+                         symbols_per_burst: int | None = None,
+                         store=None):
     """Build a zero-argument figure-style driver for a registered sweep.
 
     Like the network engine's scenario drivers, the returned callable makes
     waveform sweeps first-class citizens of the
     :class:`~repro.sim.batch.BatchRunner` machinery: each CLI run records
     one JSON manifest (driver, seed, config snapshot, scalars, wall clock).
+    With a ``store``, grid cells are served from / persisted to the result
+    store and the driver records the per-cell hit/miss provenance on
+    itself (``driver.store_provenance``), which the runner copies into the
+    manifest.
     """
     spec = get_sweep(name)
     if num_symbols is not None:
@@ -1143,8 +1224,10 @@ def make_waveform_driver(name: str, *, random_state: RandomState = None,
         del sweep  # manifest snapshot only
         run_spec = frozen_spec.with_(num_symbols=num_symbols,
                                      symbols_per_burst=symbols_per_burst)
-        return run_sweep(run_spec, random_state=random_state, shards=shards,
-                         engine=engine, precision=precision).to_sweep_result()
+        run = run_sweep(run_spec, random_state=random_state, shards=shards,
+                        engine=engine, precision=precision, store=store)
+        driver.store_provenance = run.store_provenance
+        return run.to_sweep_result()
 
     driver.__name__ = f"waveform_{name.replace('-', '_')}"
     driver.__qualname__ = driver.__name__

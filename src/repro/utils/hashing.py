@@ -1,0 +1,159 @@
+"""Canonical digests and code fingerprints for the result store.
+
+The content-addressed result store (:mod:`repro.sim.store`) keys every
+cached artefact by a digest of *everything that determines its bits*: the
+declarative spec, the seed, the engine/precision selection and a
+fingerprint of the code that computes it.  This module provides the three
+building blocks:
+
+* :func:`canonicalize` / :func:`canonical_json` — a deterministic,
+  JSON-stable encoding of the library's spec vocabulary (frozen
+  dataclasses, enums, numpy scalars/arrays, nested tuples).  Two equal
+  specs always encode to the same string; anything the encoding cannot
+  prove stable (callables, open files, arbitrary objects) raises
+  :class:`UncacheableError` so callers *skip the store* instead of caching
+  under an ambiguous key.
+* :func:`digest_of` — the SHA-256 content address of a canonicalised key.
+* :func:`source_fingerprint` — a digest of the *source text* of functions
+  and modules.  Store keys include the fingerprint of the driver function
+  and of the engine modules underneath it, so editing a driver invalidates
+  exactly that driver's entries while editing an engine module invalidates
+  everything it computes.
+
+Fingerprints hash source text, not bytecode: whitespace/comment edits do
+invalidate, which errs on the side of recomputing — the store's contract
+is "a hit is bit-identical to a recompute", never the other way round.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import importlib
+import inspect
+import json
+import math
+from types import ModuleType
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+class UncacheableError(ReproError):
+    """A value cannot be canonicalised into a stable store key.
+
+    Raised for callables and unknown object types.  Callers treat it as
+    "this run is not cacheable" and fall through to plain computation.
+    """
+
+
+def canonicalize(obj):
+    """Return a JSON-encodable, deterministic representation of ``obj``.
+
+    Handles the spec vocabulary of this library: ``None``, bools, ints,
+    finite floats, strings, numpy scalars, enums, (frozen) dataclasses,
+    mappings with string keys, sequences and numpy arrays.  Dataclasses are
+    tagged with their class name so two spec types with coincidentally
+    equal fields cannot collide.
+    """
+    # Enums first: IntEnum/StrEnum members pass the primitive isinstance
+    # checks below, and encoding them as bare values would let a member
+    # and its plain value alias to the same digest.
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__qualname__, "value": canonicalize(obj.value)}
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise UncacheableError(f"non-finite float {obj!r} has no canonical form")
+        return obj
+    if isinstance(obj, (np.integer, np.bool_)):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return canonicalize(float(obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonicalize(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__qualname__, "fields": fields}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": str(obj.dtype),
+                "shape": list(obj.shape),
+                "data": canonicalize(obj.ravel().tolist())}
+    if isinstance(obj, Mapping):
+        bad = [key for key in obj if not isinstance(key, str)]
+        if bad:
+            raise UncacheableError(
+                f"mapping keys must be strings for a canonical encoding, got {bad!r}")
+        return {key: canonicalize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, frozenset, set)):
+        items = [canonicalize(item) for item in obj]
+        if isinstance(obj, (frozenset, set)):
+            items = sorted(items, key=lambda item: json.dumps(
+                item, sort_keys=True, allow_nan=False))
+        return items
+    if callable(obj):
+        raise UncacheableError(
+            f"callable {obj!r} cannot be part of a store key (its behaviour "
+            "is not captured by any stable encoding)")
+    raise UncacheableError(f"cannot canonicalise {type(obj).__name__!r} value {obj!r}")
+
+
+def canonical_json(obj) -> str:
+    """The canonical JSON string of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(canonicalize(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def digest_of(obj) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Code fingerprints
+# ---------------------------------------------------------------------------
+
+@functools.lru_cache(maxsize=None)
+def _module_source(name: str) -> str:
+    return inspect.getsource(importlib.import_module(name))
+
+
+@functools.lru_cache(maxsize=256)
+def _callable_source(target: Callable) -> str:
+    return inspect.getsource(target)
+
+
+def _source_of(target) -> str:
+    """Source text of a function, partial, class, module or module name."""
+    while isinstance(target, functools.partial):
+        target = target.func
+    target = inspect.unwrap(target)
+    if isinstance(target, str):
+        return _module_source(target)
+    if isinstance(target, ModuleType):
+        return _module_source(target.__name__)
+    try:
+        return _callable_source(target)
+    except (OSError, TypeError) as error:
+        raise UncacheableError(
+            f"no retrievable source for {target!r}: {error}") from error
+
+
+def source_fingerprint(*targets) -> str:
+    """SHA-256 hex digest over the source text of every target, in order.
+
+    Targets may be functions (``functools.partial`` and ``@wraps`` chains
+    are unwrapped), classes, imported modules or dotted module names.  A
+    driver's fingerprint is its own function source — so editing one driver
+    invalidates only that driver's store entries — while engine-level
+    fingerprints hash whole modules, so an engine edit invalidates every
+    result computed through it.
+    """
+    if not targets:
+        raise UncacheableError("source_fingerprint needs at least one target")
+    blob = "\x00".join(_source_of(target) for target in targets)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

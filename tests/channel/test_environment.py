@@ -1,6 +1,5 @@
 """Unit tests for the environment presets."""
 
-import pytest
 
 from repro.channel.environment import (
     ideal_environment,

@@ -3,13 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.core.correlation import CorrelationDemodulator
 from repro.dsp.noise import add_awgn_snr
 from repro.dsp.signals import Signal
 from repro.exceptions import ConfigurationError, DemodulationError
-from repro.lora.modulation import LoRaModulator
-from repro.lora.parameters import DownlinkParameters
 
 
 @pytest.fixture

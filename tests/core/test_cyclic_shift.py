@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.cyclic_shift import BasebandImpairments, CyclicFrequencyShifter
-from repro.dsp.noise import add_awgn_snr
-from repro.dsp.signals import Signal
 from repro.exceptions import ConfigurationError
 from repro.hardware.saw_filter import SAWFilter
 from repro.lora.modulation import LoRaModulator

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.core.decoder import SaiyanPacketDecoder
 from repro.core.demodulator import SuperSaiyanDemodulator, VanillaSaiyanDemodulator
 from repro.dsp.signals import Signal

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.core.frontend import AnalogFrontEnd
 from repro.core.quantizer import SaiyanQuantizer, ThresholdCalibrator, ThresholdPair
 from repro.exceptions import ConfigurationError, DemodulationError

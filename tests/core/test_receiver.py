@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.channel.environment import outdoor_environment
-from repro.channel.fading import NoFading
 from repro.constants import SAIYAN_SENSITIVITY_DBM
 from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.core.receiver import ReceptionReport, SaiyanReceiver

@@ -1,7 +1,6 @@
 """Integration tests: transmitter -> channel -> Saiyan tag, end to end."""
 
 import numpy as np
-import pytest
 
 from repro.channel.environment import indoor_environment, outdoor_environment
 from repro.channel.fading import NoFading

@@ -9,10 +9,8 @@ from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.net.access_point import AccessPoint
 from repro.net.channel_hopping import ChannelHopController, ChannelPlan
 from repro.net.mac import SlottedAlohaMac
-from repro.net.retransmission import RetransmissionPolicy
 from repro.net.tag import BackscatterTag
 from repro.sim.network import FeedbackNetworkSimulator
-from repro.utils.rng import as_rng
 
 
 def test_saiyan_enables_arq_where_deaf_tag_cannot(downlink):
@@ -87,7 +85,7 @@ def test_rate_adaptation_assigns_higher_rates_to_closer_tags(downlink):
     access_point = AccessPoint()
     link = outdoor_environment(fading=NoFading()).link_budget()
     near_command = access_point.maybe_adapt_rate(1, link.rss_dbm(10.0))
-    far_command = access_point.maybe_adapt_rate(2, link.rss_dbm(140.0))
+    access_point.maybe_adapt_rate(2, link.rss_dbm(140.0))
     near_rate = access_point.rate_adapter.current_bits(1)
     far_rate = access_point.rate_adapter.current_bits(2)
     assert near_rate > far_rate

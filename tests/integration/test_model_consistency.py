@@ -6,7 +6,6 @@ agrees with the mechanism-level waveform pipeline and with the paper-derived
 constants, so the two layers cannot silently drift apart.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -9,7 +9,7 @@ from repro.exceptions import DemodulationError
 from repro.lora.demodulation import LoRaDemodulator
 from repro.lora.modulation import LoRaModulator
 from repro.lora.packet import LoRaPacket, PacketStructure
-from repro.lora.parameters import DownlinkParameters, LoRaParameters
+from repro.lora.parameters import DownlinkParameters
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from repro.dsp.chirp import instantaneous_frequency
 from repro.exceptions import ConfigurationError
 from repro.lora.modulation import LoRaModulator
 from repro.lora.packet import LoRaPacket, PacketStructure
-from repro.lora.parameters import DownlinkParameters, LoRaParameters
+from repro.lora.parameters import LoRaParameters
 
 
 def test_sample_rate_is_oversampling_times_bandwidth(downlink):

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.exceptions import ProtocolError
 from repro.net.feedback import FEEDBACK_PAYLOAD_BITS, decode_command, encode_command
 from repro.net.packets import (
-    BROADCAST_ADDRESS,
     AckPacket,
     CommandType,
     DownlinkCommand,

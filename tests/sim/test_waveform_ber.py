@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.exceptions import ConfigurationError
-from repro.lora.parameters import DownlinkParameters
 from repro.sim.waveform_ber import compare_modes, measure_symbol_errors, snr_sweep
 
 

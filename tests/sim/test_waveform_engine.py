@@ -15,7 +15,6 @@ from repro.core.config import SaiyanConfig, SaiyanMode
 from repro.exceptions import ConfigurationError
 from repro.lora.demodulation import LoRaDemodulator
 from repro.lora.modulation import LoRaModulator
-from repro.lora.parameters import DownlinkParameters
 from repro.sim.waveform_ber import measure_symbol_errors, snr_sweep
 from repro.sim import waveform_engine
 from repro.sim.waveform_engine import (

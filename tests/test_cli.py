@@ -294,3 +294,132 @@ def test_network_grid_rejects_single_scenario_flags(capsys):
     assert "--windows" in capsys.readouterr().err
     assert main(["network", "--grid", "--manifest-dir", "/tmp/x"]) == 2
     assert "--manifest-dir" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Result store: `repro store` and the --store flags
+# ---------------------------------------------------------------------------
+
+def test_store_stats_on_empty_store(capsys, tmp_path):
+    assert main(["store", "stats", "--store-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out
+    assert "entries      0" in out
+
+
+def test_store_gc_and_clear(capsys, tmp_path):
+    from repro.sim.store import ResultStore
+
+    store = ResultStore(tmp_path)
+    for i in range(3):
+        store.put({"kind": "cli-test", "i": i}, {"i": i})
+    assert main(["store", "gc", "--store-dir", str(tmp_path),
+                 "--max-entries", "1"]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["store", "clear", "--store-dir", str(tmp_path)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["store", "stats", "--store-dir", str(tmp_path)]) == 0
+    assert "entries      0" in capsys.readouterr().out
+
+
+def test_store_gc_rejects_negative_bound(capsys, tmp_path):
+    assert main(["store", "gc", "--store-dir", str(tmp_path),
+                 "--max-entries", "-1"]) == 2
+    assert "max_entries" in capsys.readouterr().err
+
+
+def test_experiments_store_rerun_is_byte_identical_and_warm(capsys, tmp_path):
+    args = ["experiments", "--only", "fig5", "fig2",
+            "--store", "--store-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "0 hit(s), 2 miss(es)" in cold.err
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "2 hit(s), 0 miss(es)" in warm.err
+    # And identical to a store-less run (stdout only).
+    assert main(["experiments", "--only", "fig5", "fig2"]) == 0
+    assert capsys.readouterr().out == cold.out
+
+
+def test_experiments_no_store_stays_silent(capsys, tmp_path):
+    assert main(["experiments", "--only", "fig5", "--no-store",
+                 "--store-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "store:" not in captured.err
+    assert not any(tmp_path.iterdir())
+
+
+def test_experiments_store_respects_seed(capsys, tmp_path):
+    args = ["experiments", "--only", "fig2", "--seed", "9",
+            "--store", "--store-dir", str(tmp_path)]
+    assert main(args) == 0
+    seeded = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == seeded
+    assert main(["experiments", "--only", "fig2", "--seed", "9"]) == 0
+    assert capsys.readouterr().out == seeded
+
+
+def test_waveform_store_rerun_is_byte_identical_and_warm(capsys, tmp_path):
+    args = ["waveform", "--sweep", "oversampling", "--num-symbols", "8",
+            "--store", "--store-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "miss(es)" in cold.err and "0 hit(s)" in cold.err
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "0 miss(es)" in warm.err
+
+
+def test_waveform_store_manifest_records_cell_provenance(capsys, tmp_path):
+    import json
+
+    manifest_dir = tmp_path / "manifests"
+    args = ["waveform", "--sweep", "oversampling", "--num-symbols", "8",
+            "--store", "--store-dir", str(tmp_path / "store"),
+            "--manifest-dir", str(manifest_dir)]
+    assert main(args) == 0
+    capsys.readouterr()
+    manifest = json.loads((manifest_dir / "oversampling.json").read_text())
+    cells = manifest["store"]["cells"]
+    assert cells["misses"] == len(cells["provenance"])
+    assert main(args) == 0
+    capsys.readouterr()
+    manifest = json.loads((manifest_dir / "oversampling.json").read_text())
+    assert manifest["store"]["hit"] is True
+    assert manifest["store"]["cells"]["hits"] == len(
+        manifest["store"]["cells"]["provenance"])
+
+
+def test_network_store_rerun_is_byte_identical_and_warm(capsys, tmp_path):
+    args = ["network", "--scenario", "aloha-dense",
+            "--store", "--store-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "1 miss(es)" in cold.err
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "1 hit(s), 0 miss(es)" in warm.err
+
+
+def test_network_grid_store_rerun_is_byte_identical_and_warm(capsys, tmp_path):
+    args = ["network", "--grid", "--seed", "4",
+            "--store", "--store-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "0 miss(es)" in warm.err
+
+
+def test_store_dir_alone_enables_the_store(capsys, tmp_path):
+    assert main(["experiments", "--only", "fig5",
+                 "--store-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "1 miss(es)" in captured.err
+    assert any(tmp_path.iterdir())
