@@ -1,0 +1,139 @@
+"""Convert a cProfile/pstats dump into folded-stack lines.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m cProfile -o /tmp/waveform.pstats \\
+        scripts/run_benchmarks.py --smoke --output /tmp/BENCH_smoke.json
+    python scripts/profile_to_folded.py /tmp/waveform.pstats > /tmp/waveform.folded
+
+The folded format — one ``frame;frame;...;frame <value>`` line per stack,
+values in integer microseconds of self time — is what flamegraph.pl,
+speedscope and most flame-graph viewers ingest directly, so a hotspot
+like the waveform kernel's FIR chain becomes one visual column instead of
+twenty interleaved ``print_stats`` rows.
+
+cProfile does not record full call stacks, only (caller -> callee) edges
+with per-edge cumulative times.  The converter therefore *reconstructs*
+stacks: each function's self time is walked upward through its callers,
+split proportionally to every incoming edge's cumulative share, until a
+root (no callers), a cycle, or the depth bound is reached.  The output is
+exact in total (the values sum to the profile's total self time, modulo
+the pruning threshold) and proportionally correct per edge, but a
+function called from two places with very different deep ancestries will
+show a blended ancestry — the standard, unavoidable pstats approximation.
+
+Importable API: :func:`folded_lines` takes a loaded :class:`pstats.Stats`
+(or anything :class:`pstats.Stats` accepts, e.g. a ``cProfile.Profile``)
+and returns the folded lines; the CLI just prints them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pstats
+import sys
+from pathlib import Path
+
+#: Stop splitting a stack once its attributed value falls below this many
+#: microseconds; the remainder is emitted at the truncated depth.  Keeps
+#: the proportional expansion from exploding combinatorially on wide
+#: call graphs while losing nothing a flame graph could render anyway.
+DEFAULT_MIN_USECONDS = 1.0
+
+#: Default bound on reconstructed stack depth (leaf included).
+DEFAULT_MAX_DEPTH = 24
+
+
+def _frame_label(func: tuple[str, int, str]) -> str:
+    """Human-readable frame name: ``module.py:lineno(function)``."""
+    filename, lineno, name = func
+    if filename == "~":  # builtins have no file
+        return name
+    return f"{Path(filename).name}:{lineno}({name})"
+
+
+def _ancestries(func, stats_dict, value_us: float, min_us: float,
+                max_depth: int, seen: tuple) -> list[tuple[list, float]]:
+    """Split ``value_us`` of ``func`` self time across its caller chains.
+
+    Returns ``(path, value)`` pairs where ``path`` is root-first and ends
+    at ``func``.  Cycles and exhausted depth truncate the walk at the
+    current frame rather than dropping time.
+    """
+    label = _frame_label(func)
+    callers = stats_dict.get(func, (0, 0, 0.0, 0.0, {}))[4]
+    total_in = sum(edge[3] for edge in callers.values())
+    if not callers or total_in <= 0 or max_depth <= 1 or value_us < min_us:
+        return [([label], value_us)]
+    results: list[tuple[list, float]] = []
+    for caller, edge in callers.items():
+        share = value_us * (edge[3] / total_in)
+        if share <= 0:
+            continue
+        if caller in seen:  # recursion: truncate at the repeated frame
+            results.append(([_frame_label(caller), label], share))
+            continue
+        for path, val in _ancestries(caller, stats_dict, share, min_us,
+                                     max_depth - 1, seen + (caller,)):
+            results.append((path + [label], val))
+    return results or [([label], value_us)]
+
+
+def folded_lines(stats, *, min_us: float = DEFAULT_MIN_USECONDS,
+                 max_depth: int = DEFAULT_MAX_DEPTH) -> list[str]:
+    """Folded-stack lines (microsecond self-time values) for a profile.
+
+    ``stats`` is a :class:`pstats.Stats` or any single argument its
+    constructor accepts (a dump filename, a ``cProfile.Profile``, ...).
+    """
+    if not isinstance(stats, pstats.Stats):
+        stats = pstats.Stats(stats)
+    merged: dict[str, float] = {}
+    for func, (_cc, _nc, tt, _ct, _callers) in stats.stats.items():
+        self_us = tt * 1e6
+        if self_us <= 0:
+            continue
+        for path, value in _ancestries(func, stats.stats, self_us, min_us,
+                                       max_depth, (func,)):
+            if value < min_us:
+                continue
+            key = ";".join(path)
+            merged[key] = merged.get(key, 0.0) + value
+    return [f"{stack} {round(value)}"
+            for stack, value in sorted(merged.items(),
+                                       key=lambda item: -item[1])
+            if round(value) >= 1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("profile", help="path to a cProfile/pstats dump "
+                                        "(python -m cProfile -o FILE ...)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write folded lines here instead of stdout")
+    parser.add_argument("--min-useconds", type=float,
+                        default=DEFAULT_MIN_USECONDS,
+                        help="prune stacks attributed less self time than "
+                             "this (default: %(default)s)")
+    parser.add_argument("--max-depth", type=int, default=DEFAULT_MAX_DEPTH,
+                        help="bound on reconstructed stack depth "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    try:
+        stats = pstats.Stats(args.profile)
+    except Exception as error:  # pstats raises bare exceptions on bad dumps
+        print(f"{args.profile}: unreadable profile: {error}", file=sys.stderr)
+        return 2
+    lines = folded_lines(stats, min_us=args.min_useconds,
+                         max_depth=args.max_depth)
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {len(lines)} folded stacks to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

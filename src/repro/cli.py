@@ -65,6 +65,21 @@ from repro.sim.link_sim import BaselineLinkModel, SaiyanLinkModel
 from repro.sim.reporting import format_sweep
 
 
+def _shards_arg(value: str) -> int | str:
+    """Parse ``--shards``: the literal ``auto`` or a positive integer."""
+    if value == "auto":
+        return "auto"
+    try:
+        shards = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {value!r}")
+    if shards < 1:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be >= 1, got {shards}")
+    return shards
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,9 +124,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="sweep name (see --list)")
     wav.add_argument("--list", action="store_true",
                      help="list registered waveform sweeps and exit")
-    wav.add_argument("--shards", type=int, default=1,
-                     help="worker processes; any shard count is bit-identical "
-                          "under a fixed seed")
+    wav.add_argument("--shards", type=_shards_arg, default="auto",
+                     metavar="N|auto",
+                     help="worker processes, or 'auto' to let the fabric's "
+                          "cost model pick (default); any shard count is "
+                          "bit-identical under a fixed seed")
     wav.add_argument("--engine", choices=("batch", "serial"), default="batch",
                      help="vectorized burst kernel or the serial reference "
                           "loop (bit-identical under a fixed seed)")

@@ -111,6 +111,53 @@ def apply_fir_stack(stack: np.ndarray, taps: np.ndarray) -> np.ndarray:
     return sps.lfilter(taps, [1.0], padded, axis=1)[:, delay:]
 
 
+def apply_fir_stack_gapped(stack: np.ndarray, taps: np.ndarray,
+                           row_length: int) -> np.ndarray:
+    """Bitwise :func:`apply_fir_stack` over a zero-gapped flat layout.
+
+    ``stack`` must have shape ``(rows, row_length + len(taps) - 1)`` where
+    the trailing ``len(taps) - 1`` columns of every row are zero (the
+    *gap*).  The gap lets the whole stack be convolved as **one** flat 1-D
+    ``np.convolve`` call — the zeros flush the overlap between consecutive
+    rows, so slicing the flat result back into rows recovers each row's own
+    convolution.  One long convolution beats ``lfilter``'s row loop by
+    ~40 % on the mega-batch shapes, which is why the fused kernel stages
+    its detected envelopes in this layout.
+
+    Bit-identity with ``apply_fir_stack(stack[:, :row_length], taps)`` needs
+    one repair: for rows after the first, the flat pass computes full
+    ``len(taps)``-term windows across the gap (all-zero terms, but present
+    in the accumulation), while the per-row recursion computes *short*
+    boundary sums for the first ``len(taps) - 1 - delay`` output columns.
+    Identical values, different floating-point accumulation grouping — so
+    those head columns are re-patched with a per-row boundary convolution.
+    The patch segment must be *strictly longer* than ``taps`` (hence the
+    ``row_length < len(taps) + 1`` fallback below): ``np.convolve`` swaps
+    its arguments when the second is not longer than the first, which
+    changes the accumulation order and breaks the bit-identity.
+    """
+    taps = np.asarray(taps, dtype=float)
+    if taps.ndim != 1 or taps.size < 1:
+        raise ConfigurationError("taps must be a non-empty 1-D array")
+    stack = np.asarray(stack)
+    if stack.ndim != 2:
+        raise ConfigurationError(f"stack must be 2-D, got shape {stack.shape}")
+    row_length = ensure_integer(row_length, "row_length", minimum=1)
+    rows, width = stack.shape
+    taps_len = taps.size
+    if width != row_length + taps_len - 1 or row_length < taps_len + 1:
+        # Layout mismatch or rows too short for the head patch: fall back to
+        # the per-row reference (same bits, slower).
+        return apply_fir_stack(stack[:, :row_length], taps)
+    delay = (taps_len - 1) // 2
+    flat = np.convolve(stack.reshape(-1), taps)
+    out = flat[: rows * width].reshape(rows, width)[:, delay: delay + row_length]
+    head = taps_len - 1 - delay
+    for r in range(1, rows):
+        out[r, :head] = np.convolve(taps, stack[r, : taps_len + 1])[delay: delay + head]
+    return out
+
+
 def apply_fir_stack_fast(stack: np.ndarray, taps: np.ndarray) -> np.ndarray:
     """Single-precision-friendly :func:`apply_fir_stack` via FFT convolution.
 
@@ -172,6 +219,15 @@ def apply_frequency_gain_stack(stack: np.ndarray, gains: np.ndarray) -> np.ndarr
     if np.iscomplexobj(stack):
         if gains.shape != (n,):
             raise ConfigurationError("gains length must match the stack width")
+        if stack.dtype == np.complex64 and gains.dtype == np.float32:
+            # Single-precision fast path: ``np.fft`` always upcasts to
+            # complex128, which silently dragged the whole downstream chain
+            # back into double; ``scipy.fft`` computes natively in
+            # complex64.  Tolerance-gated only — float32 transforms round
+            # differently from the float64 reference.
+            from scipy import fft as sfft
+
+            return sfft.ifft(sfft.fft(stack, axis=1) * gains[None, :], axis=1)
         return np.fft.ifft(np.fft.fft(stack, axis=1) * gains[None, :], axis=1)
     if gains.shape != (n // 2 + 1,):
         raise ConfigurationError("gains length must match the rfft bin count")

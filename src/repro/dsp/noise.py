@@ -58,6 +58,50 @@ def awgn_samples(n: int, noise_power: float, *, complex_valued: bool = True,
     return sigma * rng.standard_normal(n)
 
 
+def awgn_sample_pairs(n: int, noise_power_a: float, noise_power_b: float, *,
+                      random_state: RandomState = None,
+                      out_a: np.ndarray | None = None,
+                      out_b: np.ndarray | None = None,
+                      scratch: np.ndarray | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Draw two consecutive complex AWGN rows from one generator block.
+
+    Bit-identical to two sequential :func:`awgn_samples` calls: a single
+    ``4n`` ``standard_normal`` block equals two ``2n`` blocks draw for
+    draw (the PR 1 substream contract), and each row is assembled and
+    scaled exactly as :func:`awgn_samples` assembles it.  The fused
+    waveform kernel uses this to halve the per-burst generator dispatch
+    overhead (channel noise + LNA noise in one draw) without moving a
+    single sample.
+
+    ``out_a``/``out_b`` may supply preallocated complex128 destination
+    rows of length ``n`` (workspace reuse); ``scratch`` may supply a
+    float64 buffer of length ``4n`` for the normal block
+    (``standard_normal(out=...)`` equals a fresh allocation bit for bit).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    ensure_non_negative(noise_power_a, "noise_power_a")
+    ensure_non_negative(noise_power_b, "noise_power_b")
+    rng = as_rng(random_state)
+    if scratch is not None and scratch.shape == (4 * n,):
+        rng.standard_normal(out=scratch)
+        block = scratch
+    else:
+        block = rng.standard_normal(4 * n)
+    if out_a is None:
+        out_a = np.empty(n, dtype=np.complex128)
+    if out_b is None:
+        out_b = np.empty(n, dtype=np.complex128)
+    out_a.real = block[:n]
+    out_a.imag = block[n: 2 * n]
+    out_a *= np.sqrt(noise_power_a / 2.0)
+    out_b.real = block[2 * n: 3 * n]
+    out_b.imag = block[3 * n:]
+    out_b *= np.sqrt(noise_power_b / 2.0)
+    return out_a, out_b
+
+
 def add_awgn(signal: Signal, noise_power: float, *,
              random_state: RandomState = None) -> Signal:
     """Add AWGN of linear power ``noise_power`` to ``signal``."""

@@ -58,6 +58,12 @@ class BackscatterTag:
         self.state = TagState(channel_hz=self.config.downlink.carrier_hz,
                               bits_per_chirp=self.config.downlink.bits_per_chirp)
         self._history: dict[int, UplinkPacket] = {}
+        # Low-8-bit index over the history: downlink commands address
+        # packets by ``sequence % 256``, and sequences are assigned
+        # monotonically, so each bucket holds the *latest* (= largest)
+        # buffered sequence with that low byte.  Keeps retransmit lookups
+        # O(1) instead of scanning the whole buffer per command.
+        self._by_low8: dict[int, int] = {}
         self._pending_ack: AckPacket | None = None
 
     # ------------------------------------------------------------------
@@ -146,6 +152,7 @@ class BackscatterTag:
         packet = UplinkPacket(tag_id=self.tag_id, sequence=self.state.next_sequence,
                               payload_bits=bits, channel_hz=self.state.channel_hz)
         self._history[packet.sequence] = packet
+        self._by_low8[packet.sequence % 256] = packet.sequence
         self.state.next_sequence += 1
         self.state.transmissions += 1
         return packet
@@ -158,8 +165,8 @@ class BackscatterTag:
         (standard sliding-window semantics).
         """
         sequence = int(sequence)
-        candidates = [s for s in self._history if s % 256 == sequence % 256]
-        original = self._history[max(candidates)] if candidates else None
+        match = self._by_low8.get(sequence % 256)
+        original = self._history[match] if match is not None else None
         if original is None:
             self.state.commands_ignored += 1
             return None
@@ -187,3 +194,7 @@ class BackscatterTag:
         """Free buffered packets older than ``sequence`` (acknowledged data)."""
         for old in [s for s in self._history if s < sequence]:
             del self._history[old]
+            # A bucket entry is always the largest sequence with that low
+            # byte, so dropping it means the whole bucket is gone.
+            if self._by_low8.get(old % 256) == old:
+                del self._by_low8[old % 256]

@@ -365,6 +365,10 @@ class BatchRunReport:
 
     results: dict[str, SweepResult] = field(default_factory=dict)
     manifests: dict[str, RunManifest] = field(default_factory=dict)
+    #: How the run was actually executed: ``"serial"``, ``"parallel"``, or
+    #: ``"serial (cost model)"`` when a requested parallel run was routed
+    #: serial because the cost model predicted the fan-out tax would lose.
+    schedule: str | None = None
 
     def total_wall_clock_s(self) -> float:
         """Summed driver wall clock across all artefacts."""
@@ -500,7 +504,8 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def run(self, artefacts: Iterable[str] | None = None, *,
             parallel: bool = False,
-            random_state: int | None = None) -> BatchRunReport:
+            random_state: int | None = None,
+            schedule: str = "auto") -> BatchRunReport:
         """Evaluate the selected artefacts (all by default) and return a report.
 
         ``parallel=True`` fans the artefacts out over the execution
@@ -509,10 +514,21 @@ class BatchRunner:
         own seed, so a parallel run returns the same results and the same
         manifests — modulo wall-clock fields — as a serial run.
 
+        ``schedule="auto"`` (default) lets the fabric's cost model veto a
+        requested parallel run: on a single core, or when every selected
+        artefact has a measured cost and the mean prediction does not
+        cover the dispatch overhead, the artefacts run serially instead —
+        same results, no fan-out tax.  ``schedule="force"`` honours
+        ``parallel``/``processes`` unconditionally (the benchmark baseline
+        and the pre-cost-model behaviour).
+
         ``random_state`` overrides the embedded seed of every driver that
         accepts one (serial path only — the parallel fan-out runs registry
         drivers with their embedded seeds).
         """
+        if schedule not in ("auto", "force"):
+            raise ConfigurationError(
+                f"unknown schedule {schedule!r}; expected 'auto' or 'force'")
         selected = list(artefacts) if artefacts is not None else list(self.drivers)
         unknown = [artefact for artefact in selected if artefact not in self.drivers]
         if unknown:
@@ -528,6 +544,20 @@ class BatchRunner:
         keys: dict[str, tuple[dict, str]] = {}
         if self.store is not None:
             pending = self._serve_from_store(selected, report, random_state, keys)
+        from repro.sim.execution import get_cost_model
+
+        cost_model = get_cost_model()
+        report.schedule = "parallel" if use_parallel else "serial"
+        if pending and use_parallel:
+            # Validate before the cost model can veto the fan-out, so a
+            # parallel request over custom drivers fails identically on
+            # every host.
+            self._require_registry_drivers(pending)
+        if pending and use_parallel and schedule == "auto":
+            kinds = [f"artefact:{artefact}" for artefact in pending]
+            if not cost_model.should_parallelize(kinds):
+                use_parallel = False
+                report.schedule = "serial (cost model)"
         if pending and use_parallel:
             self._run_parallel(pending, report)
         elif pending:
@@ -536,6 +566,8 @@ class BatchRunner:
                     artefact, self.drivers[artefact], random_state=random_state)
                 report.results[artefact] = result
                 report.manifests[artefact] = manifest
+                cost_model.observe(f"artefact:{artefact}", 1.0,
+                                   manifest.wall_clock_s)
         if self.store is not None:
             self._persist_to_store(pending, report, keys)
         # Hits resolve before misses compute; restore request order so
@@ -605,8 +637,7 @@ class BatchRunner:
             if cells is not None:
                 manifest.store["cells"] = cells
 
-    def _run_parallel(self, selected: list[str], report: BatchRunReport) -> None:
-        from repro.sim.execution import get_fabric
+    def _require_registry_drivers(self, selected: list[str]) -> None:
         from repro.sim.experiments import FIGURE_DRIVERS
 
         non_registry = [artefact for artefact in selected
@@ -614,6 +645,11 @@ class BatchRunner:
         if non_registry:
             raise ConfigurationError(
                 f"process fan-out requires registry drivers; {non_registry} are custom")
+
+    def _run_parallel(self, selected: list[str], report: BatchRunReport) -> None:
+        from repro.sim.execution import get_fabric
+
+        self._require_registry_drivers(selected)
         fabric = get_fabric()
         workers = self.processes if self.processes else min(
             len(selected), fabric.max_workers) or 1

@@ -19,6 +19,11 @@ profiles were re-synthesised per process.  The fabric amortises all of it:
   (a worker killed mid-job) is rebuilt once and the batch retried.
 * The plan-cache registry (:mod:`repro.utils.plans`) — bounded LRU caches
   for deterministic per-config state, reported by :func:`fabric_stats`.
+* :class:`CostModel` — measured per-unit cost (EWMA) per job kind plus the
+  observed dispatch overhead, so the engines can decide serial vs parallel
+  (and the shard count) from data instead of defaults.  Kept alongside the
+  fabric as a process-wide singleton (:func:`get_cost_model`) and reported
+  by :func:`fabric_stats`.
 
 Determinism contract: the fabric never touches RNG.  Every engine splits
 its seed into per-cell substreams *before* submitting, and jobs carry
@@ -165,6 +170,185 @@ def _map_windowed(pool: ProcessPoolExecutor, fn: Callable,
 
 
 # ---------------------------------------------------------------------------
+# Adaptive cost model
+# ---------------------------------------------------------------------------
+
+class CostModel:
+    """Measured-cost accounting for the serial-vs-parallel decision.
+
+    The fabric's pool makes dispatch cheap but not free: submitting a job,
+    pickling its arguments and collecting the result costs a few tens of
+    milliseconds.  Small jobs are therefore *slower* sharded than run in
+    process — the fan-out tax the benchmarks kept recording.  This model
+    closes the loop NS-2 style: every in-process evaluation reports its
+    measured wall clock, the model keeps an exponentially weighted moving
+    average of the **per-unit cost** per job kind, and the schedulers
+    (:func:`repro.sim.waveform_engine.run_sweep`,
+    :func:`repro.sim.network_engine.run_scenario_grid`,
+    :meth:`repro.sim.batch.BatchRunner.run`) ask it whether predicted
+    compute actually amortises the measured dispatch overhead.
+
+    Scheduling decisions never touch RNG and never change *what* is
+    computed — only where — so the fabric's determinism contract is
+    untouched: auto-scheduled results are bit-identical to any forced
+    shard count.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA weight of the newest observation (0 < alpha <= 1).
+    dispatch_overhead_s:
+        Prior estimate of the per-job dispatch cost, refined by
+        :meth:`observe_dispatch`.
+    parallel_threshold:
+        A job must be predicted to cost at least this many dispatch
+        overheads before parallelising it can win.
+    cpu_count:
+        Core count used for clamping (defaults to the host's); on a
+        single core no parallel schedule can beat serial, so the model
+        always answers "serial" there.
+    """
+
+    def __init__(self, *, alpha: float = 0.3, dispatch_overhead_s: float = 0.03,
+                 parallel_threshold: float = 4.0,
+                 cpu_count: int | None = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if dispatch_overhead_s <= 0:
+            raise ConfigurationError(
+                f"dispatch_overhead_s must be positive, got {dispatch_overhead_s}")
+        if parallel_threshold <= 0:
+            raise ConfigurationError(
+                f"parallel_threshold must be positive, got {parallel_threshold}")
+        self.alpha = float(alpha)
+        self.parallel_threshold = float(parallel_threshold)
+        self.cpu_count = ensure_integer(
+            cpu_count if cpu_count is not None else (os.cpu_count() or 1),
+            "cpu_count", minimum=1)
+        self._dispatch_s = float(dispatch_overhead_s)
+        self._dispatch_samples = 0
+        self._per_unit: dict[str, float] = {}
+        self._samples: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def dispatch_overhead_s(self) -> float:
+        """Current per-job dispatch overhead estimate (prior until observed)."""
+        return self._dispatch_s
+
+    def observe(self, kind: str, units: float, seconds: float) -> None:
+        """Fold one measured evaluation into the per-unit EWMA of ``kind``."""
+        if units <= 0 or seconds < 0:
+            return
+        per_unit = seconds / units
+        previous = self._per_unit.get(kind)
+        if previous is None:
+            self._per_unit[kind] = per_unit
+        else:
+            self._per_unit[kind] = (self.alpha * per_unit
+                                    + (1.0 - self.alpha) * previous)
+        self._samples[kind] = self._samples.get(kind, 0) + 1
+
+    def observe_dispatch(self, seconds: float) -> None:
+        """Fold one measured per-job dispatch overhead into the EWMA."""
+        if seconds < 0:
+            return
+        if self._dispatch_samples == 0:
+            self._dispatch_s = float(seconds)
+        else:
+            self._dispatch_s = (self.alpha * seconds
+                                + (1.0 - self.alpha) * self._dispatch_s)
+        self._dispatch_samples += 1
+
+    def predict_seconds(self, kind: str, units: float) -> float | None:
+        """Predicted cost of ``units`` work of ``kind`` (None when cold)."""
+        per_unit = self._per_unit.get(kind)
+        if per_unit is None or units <= 0:
+            return None
+        return per_unit * units
+
+    # ------------------------------------------------------------------
+    def recommend_shards(self, kind: str, units: float, *,
+                         max_shards: int) -> int:
+        """Shard count minimising predicted wall clock for one evaluation.
+
+        Sharding ``k`` ways turns a ``p``-second job into roughly
+        ``p / k + k * d`` seconds of wall clock (``d`` = per-job dispatch
+        overhead: the shards dispatch through one pool, and submission /
+        result collection serialise in the parent).  That is minimised at
+        ``k* = sqrt(p / d)``, clamped to the cores and shards available.
+        Cold kinds (never measured) fall back to a conservative default so
+        the first run can seed the model; single-core hosts always get 1 —
+        no schedule can beat in-process there.
+        """
+        max_shards = ensure_integer(max_shards, "max_shards", minimum=1)
+        limit = min(max_shards, self.cpu_count)
+        if limit <= 1:
+            return 1
+        predicted = self.predict_seconds(kind, units)
+        if predicted is None:
+            return min(limit, 4)
+        if predicted < self.parallel_threshold * self._dispatch_s:
+            return 1
+        optimum = int(round((predicted / self._dispatch_s) ** 0.5))
+        return max(1, min(limit, optimum))
+
+    def should_parallelize(self, kinds: Sequence[str]) -> bool:
+        """Whether fanning one job per ``kind`` out to the pool should win.
+
+        Serial is the answer on one core, and whenever every kind has been
+        measured and the mean predicted job cost does not cover the
+        dispatch threshold.  Unmeasured kinds are scheduled optimistically
+        (parallel) so the pool path stays exercised and the next runs have
+        observations to work with.
+        """
+        if self.cpu_count <= 1 or not kinds:
+            return False
+        predictions = [self.predict_seconds(kind, 1.0) for kind in kinds]
+        if any(prediction is None for prediction in predictions):
+            return True
+        mean = sum(predictions) / len(predictions)
+        return mean >= self.parallel_threshold * self._dispatch_s
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters and estimates, in the shape ``fabric_stats`` reports."""
+        return {
+            "alpha": self.alpha,
+            "cpu_count": self.cpu_count,
+            "parallel_threshold": self.parallel_threshold,
+            "dispatch_overhead_s": self._dispatch_s,
+            "dispatch_samples": self._dispatch_samples,
+            "kinds": {kind: {"per_unit_s": self._per_unit[kind],
+                             "samples": self._samples.get(kind, 0)}
+                      for kind in sorted(self._per_unit)},
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-able state for persisting alongside the fabric's caches."""
+        return {
+            "alpha": self.alpha,
+            "parallel_threshold": self.parallel_threshold,
+            "dispatch_overhead_s": self._dispatch_s,
+            "dispatch_samples": self._dispatch_samples,
+            "per_unit": dict(self._per_unit),
+            "samples": dict(self._samples),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` (unknown keys ignored, shapes checked)."""
+        per_unit = state.get("per_unit", {})
+        samples = state.get("samples", {})
+        if not isinstance(per_unit, dict) or not isinstance(samples, dict):
+            raise ConfigurationError("cost-model snapshot shape invalid")
+        self._per_unit = {str(k): float(v) for k, v in per_unit.items()}
+        self._samples = {str(k): int(samples.get(k, 0)) for k in self._per_unit}
+        if "dispatch_overhead_s" in state:
+            self._dispatch_s = float(state["dispatch_overhead_s"])
+        self._dispatch_samples = int(state.get("dispatch_samples", 0))
+
+
+# ---------------------------------------------------------------------------
 # The process-wide fabric singleton
 # ---------------------------------------------------------------------------
 
@@ -186,9 +370,29 @@ def shutdown_fabric() -> None:
         _FABRIC.shutdown()
 
 
+_COST_MODEL: CostModel | None = None
+
+
+def get_cost_model() -> CostModel:
+    """The process-wide cost model the schedulers share (lazy, like the fabric)."""
+    global _COST_MODEL
+    if _COST_MODEL is None:
+        _COST_MODEL = CostModel()
+    return _COST_MODEL
+
+
+def reset_cost_model() -> None:
+    """Forget every observation (tests / benchmark cold-start sections)."""
+    global _COST_MODEL
+    _COST_MODEL = None
+
+
 def fabric_stats() -> dict:
-    """Aggregate fabric + plan-cache statistics for reporting."""
+    """Aggregate fabric + plan-cache + cost-model statistics for reporting."""
     pool = _FABRIC.stats() if _FABRIC is not None else {
         "active": False, "width": 0, "max_workers": DEFAULT_MAX_WORKERS,
         "pools_created": 0, "jobs_dispatched": 0}
-    return {"pool": pool, "plan_caches": plan_cache_stats()}
+    cost_model = (_COST_MODEL.stats() if _COST_MODEL is not None
+                  else CostModel().stats())
+    return {"pool": pool, "plan_caches": plan_cache_stats(),
+            "cost_model": cost_model}

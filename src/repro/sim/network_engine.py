@@ -26,6 +26,7 @@ drifting apart.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Sequence
 
@@ -723,6 +724,11 @@ def run_scenario_grid(names: Sequence[str] | None = None, *,
     when ``None``), so a parallel grid is result-identical to running the
     scenarios one by one — the fabric only changes where the work runs.
     Results come back keyed by scenario name, in grid order.
+    ``parallel=True`` is a request, not a command: the fabric's cost model
+    (:class:`~repro.sim.execution.CostModel`) routes the grid serially
+    when the measured per-scenario cost cannot cover the dispatch
+    overhead (always the case on single-core hosts) — results are
+    identical either way.
 
     ``random_state`` must be an integer seed or ``None``: a shared
     generator object would be consumed in pool-arrival order, breaking the
@@ -762,13 +768,29 @@ def run_scenario_grid(names: Sequence[str] | None = None, *,
                 persisters[name] = persist
             pending.append(name)
     jobs = [(name, seed, engine) for name in pending]
+    from repro.sim.execution import get_cost_model
+
+    cost_model = get_cost_model()
+    # The cost model may veto the fan-out: on one core, or when every
+    # pending scenario has a measured cost too small to cover the dispatch
+    # overhead, the grid runs in process instead — same results (each
+    # scenario owns its seed), no pool tax.
+    if parallel and len(jobs) > 1:
+        parallel = cost_model.should_parallelize(
+            [f"scenario:{engine}:{name}" for name in pending])
     if parallel and len(jobs) > 1:
         from repro.sim.execution import get_fabric
 
         pairs = get_fabric().map_jobs(_evaluate_scenario_job, jobs,
                                       min_workers=min(len(jobs), 4))
     else:
-        pairs = [_evaluate_scenario_job(*job) for job in jobs]
+        pairs = []
+        for job in jobs:
+            started = time.perf_counter()
+            pair = _evaluate_scenario_job(*job)
+            cost_model.observe(f"scenario:{engine}:{job[0]}", 1.0,
+                               time.perf_counter() - started)
+            pairs.append(pair)
     for name, result in pairs:
         results[name] = result
         persist = persisters.get(name)

@@ -51,6 +51,7 @@ the reference path is pinned by tests with explicit error-rate bounds.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, replace
 from typing import Protocol, Sequence, runtime_checkable
@@ -66,12 +67,13 @@ from repro.dsp.chirp import lora_downchirp
 from repro.dsp.filters import (
     apply_fir_stack,
     apply_fir_stack_fast,
+    apply_fir_stack_gapped,
     apply_frequency_gain_stack,
     fir_bandpass,
     fir_lowpass,
     frequency_gain_profile,
 )
-from repro.dsp.noise import awgn_samples
+from repro.dsp.noise import awgn_sample_pairs, awgn_samples
 from repro.dsp.signals import Signal
 from repro.exceptions import ConfigurationError
 from repro.lora.modulation import LoRaModulator
@@ -95,8 +97,30 @@ RECEIVER_KINDS: tuple[str, ...] = ("saiyan", "standard_lora", "plora", "aloba", 
 #: bit-parity path; ``"fast"`` (complex64/float32) is tolerance-gated.
 PRECISIONS: tuple[str, ...] = ("reference", "fast")
 
+#: Stacking modes of the burst kernel.  ``"fused"`` (default) stages every
+#: cell's bursts of a chunk into preallocated structure-of-arrays workspaces
+#: and runs one merged front-end pass; ``"chunked"`` is the previous
+#: vstack-per-group path.  Both are bit-identical (same draws, same floats).
+STACKINGS: tuple[str, ...] = ("fused", "chunked")
+
 #: Upper bound on the rows of one stacked front-end evaluation (memory cap).
 _MAX_STACK_ROWS: int = 256
+
+#: Byte budget of one fused mega-batch chunk, counting the staged complex
+#: rows, the gapped FIR buffers and the front end's FFT temporaries
+#: (conservatively ~80 bytes per staged sample).  96 MiB keeps the whole
+#: 96-point benchmark sweep in one pass while bounding peak memory.
+_MEGA_STACK_BYTES: int = 96 * 1024 * 1024
+
+#: Mutable structure-of-arrays workspaces of the fused mega-batch path,
+#: keyed by (config, precision, rows, row length).  A *scratch* cache in the
+#: sense of :mod:`repro.utils.plans`: the cached contract is the buffer
+#: layout, not the contents — every staged row is fully overwritten before
+#: the front end reads it, and the zero-gap columns of the FIR buffers are
+#: written at build time and never touched again.  Reusing the buffers
+#: across chunks and sweeps avoids the large-allocation + first-touch page
+#: fault cost that dominated per-call staging.
+_STACK_WORKSPACES = PlanCache("stacked-workspaces", maxsize=8, mutable=True)
 
 #: Per-(config, burst length) front-end workspaces — SAW gain profile, input
 #: mixer clock samples, output mixer clock row — shared by every kernel of
@@ -518,9 +542,205 @@ class SaiyanBurstKernel:
             self._profiles(burst * self._sps)
 
     # ------------------------------------------------------------------
+    def _stack_workspace(self, rows: int, length: int) -> dict:
+        """Borrow the fused staging buffers for a ``(rows, length)`` stack.
+
+        Lives in the fabric-wide mutable :data:`_STACK_WORKSPACES` cache so
+        consecutive chunks (and consecutive sweeps of the same shape) reuse
+        warm, already-paged buffers.  The zero gap columns of the FIR
+        buffers are part of the layout contract: they are zeroed once here
+        and the consumers only ever write the ``[:, :length]`` region.
+        """
+
+        def build() -> dict:
+            ws: dict = {"scratch": np.empty(4 * length)}
+            if self._fast:
+                ws["signal32"] = np.empty((rows, length), dtype=np.complex64)
+                ws["lna32"] = np.empty((rows, length), dtype=np.complex64)
+                ws["noise_a"] = np.empty(length, dtype=np.complex128)
+                ws["noise_b"] = np.empty(length, dtype=np.complex128)
+                return ws
+            ws["signal"] = np.empty((rows, length), dtype=np.complex128)
+            ws["lna"] = np.empty((rows, length), dtype=np.complex128)
+            if self._uses_frequency_shift:
+                ws["gap_bp"] = np.zeros((rows, length + self._bp_taps.size - 1))
+            if not self._lp_transparent:
+                ws["gap_lp"] = np.zeros((rows, length + self._lp_taps.size - 1))
+            elif not self._uses_frequency_shift:
+                ws["detected"] = np.empty((rows, length))
+            return ws
+
+        return _STACK_WORKSPACES.get(
+            (self.config, self.precision, rows, length), build)
+
+    def _frontend_fused(self, ws: dict, length: int) -> np.ndarray:
+        """Reference front end over the staged workspace, in place.
+
+        Computes exactly the floats of :meth:`_envelopes` on the staged
+        ``signal``/``lna`` stacks: the FFT/elementwise/FIR stages all apply
+        per row, in-place elementwise chains equal their out-of-place
+        spellings bit for bit, scalar multiplies commute, and
+        :func:`~repro.dsp.filters.apply_fir_stack_gapped` repairs the flat
+        convolution back to ``lfilter``'s bits.  Only the allocation
+        pattern differs from the chunked path — never a value.
+        """
+        gains, clk_in, clk_out = self._profiles(length)
+        after_saw = apply_frequency_gain_stack(ws["signal"], gains)
+        np.multiply(after_saw, self._lna_amplitude_gain, out=after_saw)
+        np.add(after_saw, ws["lna"], out=after_saw)
+        if self._uses_frequency_shift:
+            mix_in = self._feedthrough + clk_in
+            np.multiply(after_saw, mix_in[None, :], out=after_saw)
+            detected = ws["gap_bp"][:, :length]
+            np.abs(after_saw, out=detected)
+            np.multiply(detected, detected, out=detected)
+            np.multiply(detected, self._conversion_gain, out=detected)
+            if_signal = apply_fir_stack_gapped(ws["gap_bp"], self._bp_taps, length)
+            np.multiply(if_signal, self._if_gain, out=if_signal)
+            if self._lp_transparent:
+                np.multiply(if_signal, clk_out[None, :], out=if_signal)
+                np.multiply(if_signal, self._mix_loss, out=if_signal)
+                envelopes = if_signal
+            else:
+                back = ws["gap_lp"][:, :length]
+                np.multiply(if_signal, clk_out[None, :], out=back)
+                np.multiply(back, self._mix_loss, out=back)
+                envelopes = apply_fir_stack_gapped(ws["gap_lp"], self._lp_taps,
+                                                   length)
+        else:
+            detected = (ws["detected"] if self._lp_transparent
+                        else ws["gap_lp"][:, :length])
+            np.abs(after_saw, out=detected)
+            np.multiply(detected, detected, out=detected)
+            np.multiply(detected, self._conversion_gain, out=detected)
+            envelopes = (detected if self._lp_transparent
+                         else apply_fir_stack_gapped(ws["gap_lp"], self._lp_taps,
+                                                     length))
+        return np.maximum(envelopes, 0.0, out=envelopes)
+
+    def _count_errors_fused(self, envelopes: np.ndarray, burst: int,
+                            owners: list[int], tx_list: list[np.ndarray],
+                            symbol_errors: list[int],
+                            bit_errors: list[int]) -> None:
+        """Decision stage of one fused group, accumulating into the counters.
+
+        Correlation modes inline the exact per-window scoring of
+        ``CorrelationDemodulator.demodulate`` (batched row-mean centring,
+        then a per-window norm + template matvec — the GEMM/norm-axis
+        batching stays on the tolerance-gated fast path only), skipping the
+        per-row ``Signal`` wrapper the chunked path pays.  Other modes fall
+        back to the shared ``decide_envelope`` entry point per row.
+        """
+        if not self._fast and self.config.mode.uses_correlation:
+            correlator = self.demodulator.correlator
+            templates = correlator.templates
+            n = correlator.samples_per_symbol
+            for owner, tx, envelope in zip(owners, tx_list, envelopes):
+                block = envelope[: n * burst].reshape(burst, n)
+                centered = block - np.mean(block, axis=1)[:, None]
+                decided = np.empty(burst, dtype=np.int64)
+                for i in range(burst):
+                    window = centered[i]
+                    norm = np.linalg.norm(window)
+                    decided[i] = (int(np.argmax(templates @ (window / norm)))
+                                  if norm > 0 else 0)
+                symbol_errors[owner] += int(np.sum(decided != tx))
+                bit_errors[owner] += count_bit_errors(tx, decided,
+                                                      self._bits_per_symbol)
+            return
+        if self._fast and self.config.mode.uses_correlation:
+            decided_rows = self._decide_correlation_stack(envelopes, burst)
+            for owner, tx, decided in zip(owners, tx_list, decided_rows):
+                symbol_errors[owner] += int(np.sum(decided != tx))
+                bit_errors[owner] += count_bit_errors(tx, decided,
+                                                      self._bits_per_symbol)
+            return
+        for owner, tx, envelope in zip(owners, tx_list, envelopes):
+            if self._fast:
+                envelope = np.asarray(envelope, dtype=float)
+            signal = Signal(envelope, self._fs)
+            decided, _ = self.demodulator.decide_envelope(signal, burst)
+            symbol_errors[owner] += int(np.sum(decided != tx))
+            bit_errors[owner] += count_bit_errors(tx, decided,
+                                                  self._bits_per_symbol)
+
+    def _measure_cells_fused(self, snrs_db: Sequence[float],
+                             streams: Sequence[RandomState], plan: list[int],
+                             symbol_errors: list[int],
+                             bit_errors: list[int]) -> None:
+        """Fused mega-batch evaluation: stage straight into workspaces.
+
+        Per chunk of cells, every burst row is drawn directly into the
+        preallocated stack (channel + LNA noise merged into one generator
+        block per burst via :func:`~repro.dsp.noise.awgn_sample_pairs` —
+        bit-identical to the two sequential draws), then each burst-length
+        group runs one front-end pass and one decision sweep.  Cells draw
+        from independent substreams in plan order, exactly like the chunked
+        path, so the staging cannot change a single draw.
+        """
+        per_cell_bytes = sum(burst * self._sps * 80 for burst in plan)
+        cells_per_chunk = max(1, _MEGA_STACK_BYTES // max(per_cell_bytes, 1))
+        for chunk_start in range(0, len(snrs_db), cells_per_chunk):
+            chunk = range(chunk_start,
+                          min(chunk_start + cells_per_chunk, len(snrs_db)))
+            counts: dict[int, int] = {}
+            for burst in plan:
+                counts[burst] = counts.get(burst, 0) + 1
+            groups = {burst: (self._stack_workspace(count * len(chunk),
+                                                    burst * self._sps),
+                              [], [])
+                      for burst, count in counts.items()}
+            cursors = {burst: 0 for burst in counts}
+            for cell_index in chunk:
+                rng = as_rng(streams[cell_index])
+                snr_db = snrs_db[cell_index]
+                for burst in plan:
+                    ws, owners, tx_list = groups[burst]
+                    r = cursors[burst]
+                    cursors[burst] = r + 1
+                    if self._fast:
+                        tx = rng.integers(0, self._alphabet, size=burst)
+                        row = self._table32[tx].reshape(-1)
+                        signal_power = float(np.mean(np.abs(row) ** 2))
+                        noise_power = float(signal_power / db_to_linear(snr_db))
+                        awgn_sample_pairs(row.size, noise_power,
+                                          self._lna_noise_power,
+                                          random_state=rng,
+                                          out_a=ws["noise_a"],
+                                          out_b=ws["noise_b"],
+                                          scratch=ws["scratch"])
+                        # Assigning complex128 rows into the complex64 stack
+                        # applies the same cast as ``astype(np.complex64)``.
+                        ws["signal32"][r] = ws["noise_a"]
+                        ws["signal32"][r] += row
+                        ws["lna32"][r] = ws["noise_b"]
+                    else:
+                        tx = rng.integers(0, self._alphabet, size=burst)
+                        row = self._table[tx].reshape(-1)
+                        signal_power = float(np.mean(np.abs(row) ** 2))
+                        noise_power = float(signal_power / db_to_linear(snr_db))
+                        awgn_sample_pairs(row.size, noise_power,
+                                          self._lna_noise_power,
+                                          random_state=rng,
+                                          out_a=ws["signal"][r],
+                                          out_b=ws["lna"][r],
+                                          scratch=ws["scratch"])
+                        np.add(row, ws["signal"][r], out=ws["signal"][r])
+                    owners.append(cell_index)
+                    tx_list.append(tx)
+            for burst, (ws, owners, tx_list) in groups.items():
+                if self._fast:
+                    envelopes = self._envelopes_fast(ws["signal32"], ws["lna32"])
+                else:
+                    envelopes = self._frontend_fused(ws, burst * self._sps)
+                self._count_errors_fused(envelopes, burst, owners, tx_list,
+                                         symbol_errors, bit_errors)
+
+    # ------------------------------------------------------------------
     def measure_cells(self, snrs_db: Sequence[float],
                       streams: Sequence[RandomState], *, num_symbols: int = 64,
-                      symbols_per_burst: int = 16) -> list[WaveformBerPoint]:
+                      symbols_per_burst: int = 16,
+                      stacking: str = "fused") -> list[WaveformBerPoint]:
         """Measure many SNR cells at once, stacking their bursts.
 
         Each cell draws from its own generator in the exact serial order
@@ -528,13 +748,31 @@ class SaiyanBurstKernel:
         bursts of the same length — across every cell — go through the
         front end as one stack.  Cells are RNG-independent, so stacking
         across them cannot change any draw.
+
+        ``stacking="fused"`` (default) stages rows directly into the
+        preallocated mega-batch workspaces; ``"chunked"`` keeps the
+        previous vstack-per-group staging.  Both produce bit-identical
+        counters.
         """
         num_symbols = ensure_integer(num_symbols, "num_symbols", minimum=1)
         symbols_per_burst = ensure_integer(symbols_per_burst, "symbols_per_burst",
                                            minimum=1)
+        if stacking not in STACKINGS:
+            raise ConfigurationError(
+                f"unknown stacking {stacking!r}; expected one of {STACKINGS}")
         if len(snrs_db) != len(streams):
             raise ConfigurationError("snrs_db and streams lengths differ")
         plan = self._burst_plan(num_symbols, symbols_per_burst)
+        if stacking == "fused":
+            symbol_errors = [0] * len(snrs_db)
+            bit_errors = [0] * len(snrs_db)
+            self._measure_cells_fused(snrs_db, streams, plan,
+                                      symbol_errors, bit_errors)
+            return [WaveformBerPoint(snr_db=float(snr_db), symbols=num_symbols,
+                                     symbol_errors=symbol_errors[i],
+                                     bits=num_symbols * self._bits_per_symbol,
+                                     bit_errors=bit_errors[i])
+                    for i, snr_db in enumerate(snrs_db)]
         # Bound staged waveform memory: process whole cells in chunks whose
         # total burst count stays near _MAX_STACK_ROWS.  Cells draw from
         # independent substreams and rows are processed independently, so
@@ -607,11 +845,13 @@ class SaiyanBurstKernel:
 
     def measure(self, snr_db: float, *, num_symbols: int = 64,
                 symbols_per_burst: int = 16,
-                random_state: RandomState = None) -> WaveformBerPoint:
+                random_state: RandomState = None,
+                stacking: str = "fused") -> WaveformBerPoint:
         """Vectorized counterpart of :func:`~repro.sim.waveform_ber.measure_symbol_errors`."""
         return self.measure_cells([float(snr_db)], [random_state],
                                   num_symbols=num_symbols,
-                                  symbols_per_burst=symbols_per_burst)[0]
+                                  symbols_per_burst=symbols_per_burst,
+                                  stacking=stacking)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -1003,8 +1243,25 @@ def _resolve_cells_from_store(spec: WaveformSweepSpec, seed: int | None,
     return cells, keys, provenance
 
 
+def _sweep_units(spec: WaveformSweepSpec, pending: Sequence[int]) -> float:
+    """Workload size of the pending cells, in analog samples to synthesise.
+
+    The cost-model unit of the waveform engines: ``num_symbols`` chirps of
+    ``2^SF * oversampling`` samples each per cell.  Coarse by design — the
+    EWMA absorbs per-receiver constants; the unit only has to scale with
+    the workload so one model covers small smoke grids and full sweeps.
+    """
+    grid = spec.cell_grid()
+    units = 0.0
+    for index in pending:
+        receiver = spec.receivers[grid[index][0]]
+        units += (spec.num_symbols * (2 ** receiver.spreading_factor)
+                  * receiver.oversampling)
+    return units
+
+
 def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
-              shards: int = 1, engine: str = "batch",
+              shards: int | str = 1, engine: str = "batch",
               precision: str = "reference",
               reuse_pool: bool = True, store=None) -> WaveformSweepResult:
     """Evaluate every cell of ``spec``, optionally sharded across processes.
@@ -1019,6 +1276,11 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
         grid cell, so the result is independent of ``shards``.
     shards:
         Number of worker processes.  ``1`` evaluates in-process (no pool).
+        ``"auto"`` asks the execution fabric's cost model
+        (:class:`~repro.sim.execution.CostModel`) to pick the count from
+        the predicted workload cost vs the measured dispatch overhead —
+        the result is bit-identical to any forced count (the substream
+        split never depends on the schedule).
     engine:
         ``"batch"`` uses the vectorized :class:`SaiyanBurstKernel` hot path;
         ``"serial"`` runs the reference ``measure_symbol_errors`` loop.
@@ -1056,7 +1318,12 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
         raise ConfigurationError(
             "the serial reference loop is float64-only; "
             "precision='fast' requires the batch engine")
-    shards = ensure_integer(shards, "shards", minimum=1)
+    if isinstance(shards, str):
+        if shards != "auto":
+            raise ConfigurationError(
+                f"shards must be a positive integer or 'auto', got {shards!r}")
+    else:
+        shards = ensure_integer(shards, "shards", minimum=1)
     if random_state is None:
         random_state = spec.seed
     seed = int(random_state) if isinstance(random_state, (int, np.integer)) else None
@@ -1065,12 +1332,24 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
     cells, keys, provenance = _resolve_cells_from_store(spec, seed, precision, store)
     pending = [index for index, cell in enumerate(cells) if cell is None]
 
+    from repro.sim.execution import get_cost_model
+
+    cost_model = get_cost_model()
+    cost_kind = f"waveform:{engine}:{precision}"
+    units = _sweep_units(spec, pending) if pending else 0.0
+    if shards == "auto":
+        shards = (cost_model.recommend_shards(cost_kind, units,
+                                              max_shards=len(pending))
+                  if pending else 1)
+
     indexed: list[tuple[int, WaveformCell]] = []
     if not pending:
         pass
     elif shards == 1:
+        started = time.perf_counter()
         indexed = _evaluate_cells(spec, engine, pending,
                                   [streams[i] for i in pending], precision)
+        cost_model.observe(cost_kind, units, time.perf_counter() - started)
     else:
         if engine == "batch":
             # Build every receiver with work left (kernels, templates, FIR
@@ -1086,6 +1365,8 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
         assignments = [a for a in assignments if a]
         jobs = [(spec, engine, indices, [streams[i] for i in indices], precision)
                 for indices in assignments]
+        predicted = cost_model.predict_seconds(cost_kind, units)
+        started = time.perf_counter()
         if reuse_pool:
             from repro.sim.execution import get_fabric
 
@@ -1097,6 +1378,13 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
                 futures = [pool.submit(_evaluate_cells, *job) for job in jobs]
                 for future in futures:
                     indexed.extend(future.result())
+        if predicted is not None and reuse_pool:
+            # The wall clock beyond the predicted per-shard compute is the
+            # fan-out tax; attribute it evenly to the dispatched jobs so
+            # the model's dispatch-overhead EWMA tracks the live pool.
+            elapsed = time.perf_counter() - started
+            overhead = (elapsed - predicted / len(assignments)) / len(assignments)
+            cost_model.observe_dispatch(max(0.0, overhead))
 
     for index, cell in indexed:
         cells[index] = cell
@@ -1193,7 +1481,7 @@ def get_sweep(name: str) -> WaveformSweepSpec:
 
 
 def make_waveform_driver(name: str, *, random_state: RandomState = None,
-                         shards: int = 1, engine: str = "batch",
+                         shards: int | str = 1, engine: str = "batch",
                          precision: str = "reference",
                          num_symbols: int | None = None,
                          symbols_per_burst: int | None = None,
@@ -1218,7 +1506,7 @@ def make_waveform_driver(name: str, *, random_state: RandomState = None,
     frozen_spec = spec
 
     def driver(*, sweep: str = name, random_state=seed, engine: str = engine,
-               shards: int = shards, precision: str = precision,
+               shards: int | str = shards, precision: str = precision,
                num_symbols: int = spec.num_symbols,
                symbols_per_burst: int = spec.symbols_per_burst) -> SweepResult:
         del sweep  # manifest snapshot only

@@ -17,6 +17,17 @@ Two rules keep memoization safe:
   plans read-only (:func:`freeze_array`) so an accidental in-place edit by
   one consumer cannot corrupt every later cache hit.
 
+The one sanctioned exception is a cache constructed with ``mutable=True``:
+a *scratch-workspace* cache.  There the cached contract is the value's
+**shape/dtype layout**, not its contents — consumers borrow preallocated
+buffers (avoiding repeated large allocations and first-touch page faults
+on hot paths like the fused mega-batch kernel) and must fully overwrite
+every element they later read, never relying on leftover contents.  Any
+buffer with a standing invariant (e.g. "the FIR gap columns stay zero")
+must have that invariant restored by the consumer before returning.
+Scratch caches are flagged in :func:`plan_cache_stats` so the fabric
+report distinguishes them from immutable plan caches.
+
 Every instance registers itself in a module-level registry so the
 execution fabric (:mod:`repro.sim.execution`) can report aggregate cache
 statistics; this module stays dependency-free (stdlib + numpy only) so the
@@ -55,12 +66,19 @@ class PlanCache:
     maxsize:
         Maximum number of cached plans.  Inserting beyond it evicts the
         least recently *used* entry (a ``get`` hit refreshes recency).
+    mutable:
+        ``False`` (default) for ordinary plan caches whose values are
+        immutable.  ``True`` declares a scratch-workspace cache: values
+        are *mutable buffers* whose cached contract is their shape/dtype,
+        and consumers must overwrite before reading (see module docstring).
     """
 
-    def __init__(self, name: str, *, maxsize: int = 64) -> None:
+    def __init__(self, name: str, *, maxsize: int = 64,
+                 mutable: bool = False) -> None:
         if not name:
             raise ConfigurationError("a PlanCache needs a non-empty name")
         self.name = name
+        self.mutable = bool(mutable)
         self.maxsize = ensure_integer(maxsize, "maxsize", minimum=1)
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
@@ -103,8 +121,9 @@ class PlanCache:
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus current occupancy."""
         return {"name": self.name, "size": len(self._entries),
-                "maxsize": self.maxsize, "hits": self.hits,
-                "misses": self.misses, "evictions": self.evictions}
+                "maxsize": self.maxsize, "mutable": self.mutable,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PlanCache({self.name!r}, size={len(self._entries)}/"

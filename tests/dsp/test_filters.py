@@ -117,3 +117,51 @@ def test_frequency_domain_gain_complex_signal():
 def test_frequency_domain_gain_validates_shape():
     with pytest.raises(ConfigurationError):
         frequency_domain_gain(_tone(1e3), lambda freqs: np.ones(3))
+
+
+# ---------------------------------------------------------------------------
+# apply_fir_stack_gapped: the fused kernel's flat-convolve FIR
+# ---------------------------------------------------------------------------
+
+def _gapped_stack(rows, row_length, taps_len, seed=0, dtype=float):
+    rng = np.random.default_rng(seed)
+    stack = np.zeros((rows, row_length + taps_len - 1), dtype=dtype)
+    stack[:, :row_length] = rng.normal(size=(rows, row_length))
+    return stack
+
+
+def test_gapped_fir_bit_identical_to_row_reference():
+    from repro.dsp.filters import apply_fir_stack, apply_fir_stack_gapped
+
+    for taps_len, rows, row_length, seed in ((7, 1, 64, 0), (8, 3, 64, 1),
+                                             (33, 5, 256, 2), (5, 2, 7, 3)):
+        taps = np.random.default_rng(100 + seed).normal(size=taps_len)
+        stack = _gapped_stack(rows, row_length, taps_len, seed=seed)
+        gapped = apply_fir_stack_gapped(stack, taps, row_length)
+        reference = apply_fir_stack(stack[:, :row_length], taps)
+        assert np.array_equal(gapped, reference), (taps_len, rows, row_length)
+
+
+def test_gapped_fir_fallback_paths_are_bitwise():
+    from repro.dsp.filters import apply_fir_stack, apply_fir_stack_gapped
+
+    taps = np.random.default_rng(7).normal(size=9)
+    # Short rows (row_length < taps + 1): head patch impossible -> fallback.
+    short = _gapped_stack(3, 8, taps.size, seed=4)
+    assert np.array_equal(apply_fir_stack_gapped(short, taps, 8),
+                          apply_fir_stack(short[:, :8], taps))
+    # Width mismatch (not a gapped layout) -> fallback on the leading slice.
+    plain = np.random.default_rng(5).normal(size=(3, 40))
+    assert np.array_equal(apply_fir_stack_gapped(plain, taps, 40),
+                          apply_fir_stack(plain[:, :40], taps))
+
+
+def test_gapped_fir_validates_inputs():
+    from repro.dsp.filters import apply_fir_stack_gapped
+
+    with pytest.raises(ConfigurationError):
+        apply_fir_stack_gapped(np.ones((2, 10)), np.ones((2, 2)), 8)
+    with pytest.raises(ConfigurationError):
+        apply_fir_stack_gapped(np.ones(10), np.ones(3), 8)
+    with pytest.raises(Exception):
+        apply_fir_stack_gapped(np.ones((2, 10)), np.ones(3), 0)

@@ -129,3 +129,56 @@ def test_tag_id_validation(saiyan_config):
         BackscatterTag(255, config=saiyan_config)
     with pytest.raises(Exception):
         BackscatterTag(-1, config=saiyan_config)
+
+
+# ---------------------------------------------------------------------------
+# The low-8 retransmit index (O(1) lookup replacing the history scan)
+# ---------------------------------------------------------------------------
+
+def test_retransmit_low8_collision_prefers_latest(tag, rng):
+    # Sequences 3 and 259 share the low byte 3; the newer one must win.
+    for _ in range(260):
+        tag.next_packet(random_state=rng)
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                              argument=3)
+    reply = tag.handle_command(command, rss_dbm=-60.0)
+    assert reply is not None
+    assert reply.sequence == 259
+
+
+def test_retransmit_after_drop_before_forgets_dropped_buckets(tag, rng):
+    for _ in range(5):
+        tag.next_packet(random_state=rng)
+    tag.drop_before(3)
+    gone = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                           argument=1)
+    assert tag.handle_command(gone, rss_dbm=-60.0) is None
+    kept = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                           argument=4)
+    reply = tag.handle_command(kept, rss_dbm=-60.0)
+    assert reply is not None and reply.sequence == 4
+
+
+def test_drop_before_keeps_collision_survivors_addressable(tag, rng):
+    # Bucket 3 holds sequence 259 (the max); dropping everything below 256
+    # removes sequence 3 but must keep 259 reachable through the index.
+    for _ in range(260):
+        tag.next_packet(random_state=rng)
+    tag.drop_before(256)
+    command = DownlinkCommand(command=CommandType.RETRANSMIT, target_tag_id=1,
+                              argument=3)
+    reply = tag.handle_command(command, rss_dbm=-60.0)
+    assert reply is not None and reply.sequence == 259
+    assert tag.buffered_sequences() == [256, 257, 258, 259]
+
+
+def test_low8_index_stays_consistent_with_history(tag, rng):
+    for _ in range(300):
+        tag.next_packet(random_state=rng)
+    tag.drop_before(280)
+    for low8, sequence in tag._by_low8.items():
+        assert sequence % 256 == low8
+        assert sequence in tag._history
+    # Every buffered packet is reachable through its bucket's survivor.
+    for sequence in tag.buffered_sequences():
+        assert tag._by_low8[sequence % 256] >= sequence

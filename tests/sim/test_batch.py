@@ -344,10 +344,13 @@ def test_batch_runner_parallel_goes_through_the_fabric():
     from repro.sim.execution import get_fabric
 
     fabric = get_fabric()
-    BatchRunner().run(["fig16"], parallel=True)  # ensure the pool exists
+    # schedule="force" bypasses the cost model so the fan-out happens
+    # even on single-core hosts, where "auto" would route serially.
+    BatchRunner().run(["fig16"], parallel=True,
+                      schedule="force")  # ensure the pool exists
     pools_before = fabric.pools_created
     jobs_before = fabric.jobs_dispatched
-    BatchRunner().run(["fig16", "tab2"], parallel=True)
+    BatchRunner().run(["fig16", "tab2"], parallel=True, schedule="force")
     assert fabric.pools_created == pools_before
     assert fabric.jobs_dispatched == jobs_before + 2
 

@@ -1,0 +1,177 @@
+"""Unit battery for the execution fabric's adaptive cost model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.execution import (CostModel, get_cost_model, reset_cost_model)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+def test_constructor_validates_alpha():
+    for alpha in (0.0, -0.1, 1.5):
+        with pytest.raises(ConfigurationError):
+            CostModel(alpha=alpha)
+    assert CostModel(alpha=1.0).alpha == 1.0
+
+
+def test_constructor_validates_dispatch_and_threshold():
+    with pytest.raises(ConfigurationError):
+        CostModel(dispatch_overhead_s=0.0)
+    with pytest.raises(ConfigurationError):
+        CostModel(parallel_threshold=-1.0)
+    with pytest.raises(ConfigurationError):
+        CostModel(cpu_count=0)
+
+
+# ---------------------------------------------------------------------------
+# EWMA arithmetic
+# ---------------------------------------------------------------------------
+
+def test_observe_first_sample_sets_per_unit_exactly():
+    model = CostModel(alpha=0.3, cpu_count=8)
+    model.observe("waveform:batch:reference", units=100.0, seconds=2.0)
+    assert model.predict_seconds("waveform:batch:reference", 100.0) == pytest.approx(2.0)
+    assert model.predict_seconds("waveform:batch:reference", 50.0) == pytest.approx(1.0)
+
+
+def test_observe_ewma_update_matches_the_formula():
+    model = CostModel(alpha=0.25, cpu_count=8)
+    model.observe("k", units=1.0, seconds=1.0)     # per-unit = 1.0
+    model.observe("k", units=1.0, seconds=2.0)     # 0.25*2 + 0.75*1 = 1.25
+    assert model.predict_seconds("k", 1.0) == pytest.approx(1.25)
+    model.observe("k", units=2.0, seconds=1.0)     # 0.25*0.5 + 0.75*1.25
+    assert model.predict_seconds("k", 1.0) == pytest.approx(0.25 * 0.5 + 0.75 * 1.25)
+
+
+def test_observe_ignores_degenerate_samples():
+    model = CostModel(cpu_count=8)
+    model.observe("k", units=0.0, seconds=1.0)
+    model.observe("k", units=-5.0, seconds=1.0)
+    model.observe("k", units=1.0, seconds=-1.0)
+    assert model.predict_seconds("k", 1.0) is None
+
+
+def test_observe_dispatch_first_sample_replaces_the_prior():
+    model = CostModel(alpha=0.5, dispatch_overhead_s=0.5, cpu_count=8)
+    assert model.dispatch_overhead_s == pytest.approx(0.5)
+    model.observe_dispatch(0.1)                     # replaces the prior
+    assert model.dispatch_overhead_s == pytest.approx(0.1)
+    model.observe_dispatch(0.3)                     # 0.5*0.3 + 0.5*0.1
+    assert model.dispatch_overhead_s == pytest.approx(0.2)
+    model.observe_dispatch(-1.0)                    # ignored
+    assert model.dispatch_overhead_s == pytest.approx(0.2)
+
+
+def test_predict_seconds_cold_kind_is_none():
+    model = CostModel(cpu_count=8)
+    assert model.predict_seconds("never-seen", 10.0) is None
+    model.observe("seen", 1.0, 1.0)
+    assert model.predict_seconds("seen", 0.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Shard recommendation
+# ---------------------------------------------------------------------------
+
+def test_recommend_shards_single_core_is_always_one():
+    model = CostModel(cpu_count=1)
+    model.observe("k", 1.0, 100.0)
+    assert model.recommend_shards("k", 1.0, max_shards=16) == 1
+
+
+def test_recommend_shards_cold_start_fallback():
+    model = CostModel(cpu_count=16)
+    assert model.recommend_shards("cold", 100.0, max_shards=16) == 4
+    assert model.recommend_shards("cold", 100.0, max_shards=2) == 2
+
+
+def test_recommend_shards_small_jobs_stay_serial():
+    # Predicted cost below parallel_threshold * dispatch -> stay in-process.
+    model = CostModel(cpu_count=16, dispatch_overhead_s=0.05,
+                      parallel_threshold=4.0)
+    model.observe("k", units=1.0, seconds=0.1)     # 0.1 < 4 * 0.05
+    assert model.recommend_shards("k", 1.0, max_shards=16) == 1
+
+
+def test_recommend_shards_sqrt_optimum_and_clamps():
+    model = CostModel(alpha=1.0, cpu_count=64, dispatch_overhead_s=0.01)
+    model.observe("k", units=1.0, seconds=1.0)
+    # k* = sqrt(1.0 / 0.01) = 10
+    assert model.recommend_shards("k", 1.0, max_shards=64) == 10
+    assert model.recommend_shards("k", 1.0, max_shards=3) == 3
+    small = CostModel(alpha=1.0, cpu_count=2, dispatch_overhead_s=0.01)
+    small.observe("k", units=1.0, seconds=1.0)
+    assert small.recommend_shards("k", 1.0, max_shards=64) == 2
+
+
+# ---------------------------------------------------------------------------
+# Serial-vs-parallel decision
+# ---------------------------------------------------------------------------
+
+def test_should_parallelize_single_core_or_empty_is_false():
+    model = CostModel(cpu_count=1)
+    assert model.should_parallelize(["a", "b"]) is False
+    multi = CostModel(cpu_count=8)
+    assert multi.should_parallelize([]) is False
+
+
+def test_should_parallelize_cold_kinds_are_optimistic():
+    model = CostModel(cpu_count=8)
+    model.observe("warm", 1.0, 1e-6)
+    assert model.should_parallelize(["warm", "cold"]) is True
+
+
+def test_should_parallelize_overhead_threshold():
+    model = CostModel(cpu_count=8, dispatch_overhead_s=0.05,
+                      parallel_threshold=4.0)
+    model.observe("cheap", units=1.0, seconds=0.01)
+    assert model.should_parallelize(["cheap"]) is False   # 0.01 < 0.2
+    model.observe("dear", units=1.0, seconds=10.0)
+    assert model.should_parallelize(["dear"]) is True     # 10 >= 0.2
+    # Mean over mixed kinds decides: (10 + 0.01)/2 >= 0.2.
+    assert model.should_parallelize(["dear", "cheap"]) is True
+
+
+# ---------------------------------------------------------------------------
+# Stats / snapshot / singleton
+# ---------------------------------------------------------------------------
+
+def test_stats_shape_and_content():
+    model = CostModel(alpha=0.3, cpu_count=4)
+    model.observe("k", 2.0, 1.0)
+    stats = model.stats()
+    assert stats["alpha"] == 0.3
+    assert stats["cpu_count"] == 4
+    assert stats["kinds"]["k"]["per_unit_s"] == pytest.approx(0.5)
+    assert stats["kinds"]["k"]["samples"] == 1
+
+
+def test_snapshot_restore_round_trip():
+    model = CostModel(alpha=0.5, cpu_count=8)
+    model.observe("k", 1.0, 2.0)
+    model.observe_dispatch(0.07)
+    clone = CostModel(cpu_count=8)
+    clone.restore(model.snapshot())
+    assert clone.predict_seconds("k", 1.0) == pytest.approx(2.0)
+    assert clone.dispatch_overhead_s == pytest.approx(0.07)
+    assert clone.stats()["kinds"]["k"]["samples"] == 1
+
+
+def test_restore_rejects_bad_shapes():
+    model = CostModel(cpu_count=8)
+    with pytest.raises(ConfigurationError):
+        model.restore({"per_unit": "not-a-dict"})
+
+
+def test_get_cost_model_is_a_resettable_singleton():
+    reset_cost_model()
+    try:
+        first = get_cost_model()
+        assert get_cost_model() is first
+        reset_cost_model()
+        assert get_cost_model() is not first
+    finally:
+        reset_cost_model()

@@ -215,6 +215,8 @@ def test_get_fabric_returns_process_singleton():
 
 def test_fabric_stats_shape():
     stats = fabric_stats()
-    assert set(stats) == {"pool", "plan_caches"}
+    assert set(stats) == {"pool", "plan_caches", "cost_model"}
     assert {"active", "width", "max_workers", "pools_created",
             "jobs_dispatched"} <= set(stats["pool"])
+    assert {"alpha", "cpu_count", "dispatch_overhead_s",
+            "kinds"} <= set(stats["cost_model"])

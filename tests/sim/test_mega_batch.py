@@ -1,0 +1,130 @@
+"""Bit-parity battery for the fused mega-batch kernel and auto scheduling.
+
+The fused staging path puts every cell's bursts through one
+structure-of-arrays front-end pass.  Its entire contract is "bit-identical
+to everything else": the chunked staging it replaced, the serial
+reference loop, and any shard count — including the cost-model-resolved
+``shards="auto"`` route.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SaiyanConfig, SaiyanMode
+from repro.exceptions import ConfigurationError
+from repro.sim.waveform_ber import measure_symbol_errors
+from repro.sim.waveform_engine import (
+    STACKINGS,
+    WAVEFORM_SWEEPS,
+    ReceiverSpec,
+    SaiyanBurstKernel,
+    WaveformSweepSpec,
+    run_sweep,
+)
+
+SNRS = (-10.0, -2.0, 4.0)
+
+
+def _counts(points):
+    return [(p.symbol_errors, p.bit_errors) for p in points]
+
+
+def _measure(kernel, stacking, *, num_symbols=16, symbols_per_burst=16,
+             seed=23, snrs=SNRS):
+    streams = np.random.default_rng(seed).spawn(len(snrs))
+    return kernel.measure_cells(snrs, streams, num_symbols=num_symbols,
+                                symbols_per_burst=symbols_per_burst,
+                                stacking=stacking)
+
+
+# ---------------------------------------------------------------------------
+# Fused == chunked == serial, bit for bit
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", list(SaiyanMode))
+def test_fused_matches_chunked_every_mode(mode, downlink):
+    kernel = SaiyanBurstKernel(SaiyanConfig(downlink=downlink, mode=mode))
+    fused = _measure(kernel, "fused")
+    chunked = _measure(kernel, "chunked")
+    assert fused == chunked
+
+
+@pytest.mark.parametrize("mode", list(SaiyanMode))
+def test_fused_matches_serial_reference(mode, downlink):
+    config = SaiyanConfig(downlink=downlink, mode=mode)
+    kernel = SaiyanBurstKernel(config)
+    fused = _measure(kernel, "fused", seed=7)
+    streams = np.random.default_rng(7).spawn(len(SNRS))
+    serial = [measure_symbol_errors(config, snr, num_symbols=16,
+                                    symbols_per_burst=16, random_state=stream)
+              for snr, stream in zip(SNRS, streams)]
+    assert fused == serial
+
+
+def test_fused_matches_chunked_multi_burst_plan(saiyan_config):
+    # 40 symbols at 16 per burst: two full bursts plus an 8-symbol tail,
+    # so the fused staging must handle two different row lengths per cell.
+    kernel = SaiyanBurstKernel(saiyan_config)
+    fused = _measure(kernel, "fused", num_symbols=40, symbols_per_burst=16)
+    chunked = _measure(kernel, "chunked", num_symbols=40, symbols_per_burst=16)
+    assert fused == chunked
+
+
+def test_fused_matches_chunked_fast_precision(saiyan_config):
+    kernel = SaiyanBurstKernel(saiyan_config, precision="fast")
+    fused = _measure(kernel, "fused")
+    chunked = _measure(kernel, "chunked")
+    assert fused == chunked
+
+
+def test_fused_is_the_default_and_stacking_is_validated(saiyan_config):
+    kernel = SaiyanBurstKernel(saiyan_config)
+    streams = np.random.default_rng(3).spawn(1)
+    default = kernel.measure_cells([-4.0], streams, num_symbols=8)
+    explicit = _measure(kernel, "fused", num_symbols=8, seed=3, snrs=[-4.0])
+    assert default == explicit
+    assert set(STACKINGS) == {"fused", "chunked"}
+    with pytest.raises(ConfigurationError):
+        kernel.measure_cells([-4.0], streams, num_symbols=8,
+                             stacking="interleaved")
+
+
+def test_single_cell_measure_passes_stacking_through(saiyan_config):
+    kernel = SaiyanBurstKernel(saiyan_config)
+    fused = kernel.measure(-4.0, num_symbols=12, random_state=41)
+    chunked = kernel.measure(-4.0, num_symbols=12, random_state=41,
+                             stacking="chunked")
+    assert fused == chunked
+
+
+# ---------------------------------------------------------------------------
+# Auto scheduling: shards="auto" is bit-identical to any forced count
+# ---------------------------------------------------------------------------
+
+def _shrunk(spec: WaveformSweepSpec) -> WaveformSweepSpec:
+    """CI-size a registry sweep: few cells, few symbols, same structure."""
+    return spec.with_(snrs_db=spec.snrs_db[:2], num_symbols=8,
+                      symbols_per_burst=8)
+
+
+@settings(max_examples=6, deadline=None)
+@given(name=st.sampled_from(sorted(WAVEFORM_SWEEPS)),
+       forced=st.sampled_from([1, 2]))
+def test_auto_shards_bit_identical_across_registry(name, forced):
+    spec = _shrunk(WAVEFORM_SWEEPS[name])
+    auto = run_sweep(spec, shards="auto")
+    forced_run = run_sweep(spec, shards=forced)
+    assert auto.cells == forced_run.cells
+    assert isinstance(auto.shards, int) and auto.shards >= 1
+
+
+def test_run_sweep_rejects_unknown_shard_strings(saiyan_config):
+    spec = WaveformSweepSpec(name="t", receivers=(ReceiverSpec(),),
+                             snrs_db=(-4.0,), num_symbols=8, seed=1)
+    with pytest.raises(ConfigurationError):
+        run_sweep(spec, shards="all")
+    with pytest.raises(ConfigurationError):
+        run_sweep(spec, shards=0)
