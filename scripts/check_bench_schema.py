@@ -72,6 +72,11 @@ MIN_PARALLEL_VS_SERIAL = 0.98
 #: Upper bound on the precision fast paths' SER deviation from float64.
 MAX_SER_DEVIATION = 0.05
 
+#: Floor on serve.hit_or_coalesced_ratio — enforced on every payload,
+#: smoke or full: on the zipf-repeated mix the daemon must answer at
+#: least this fraction of requests from the store or by coalescing.
+MIN_HIT_OR_COALESCED = 0.95
+
 
 def _lookup(payload: dict, path: tuple[str, ...]):
     node = payload
@@ -90,7 +95,7 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
     """Return a list of violations (empty when the payload is healthy)."""
     errors: list[str] = []
     for section in ("engines", "waveform", "mega_batch", "fabric",
-                    "cost_model", "store", "figures"):
+                    "cost_model", "store", "serve", "figures"):
         if section not in payload:
             errors.append(f"missing section {section!r}")
     if errors:
@@ -163,6 +168,25 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
     if not isinstance(hit_fraction, (int, float)) or hit_fraction < 0.95:
         errors.append(f"gate: store.hit_fraction {hit_fraction!r} below the "
                       "0.95 floor")
+
+    serve = payload["serve"]
+    if serve.get("results_identical") is not True:
+        errors.append("serve: results_identical must be true (every repeated "
+                      "request must return byte-identical payloads)")
+    if not _is_speedup(serve.get("throughput_rps")):
+        errors.append("serve: throughput_rps missing or not finite")
+    ratio = serve.get("hit_or_coalesced_ratio")
+    # The serve-layer point of existence: on a zipf-repeated mix, ≥95% of
+    # requests must be answered without a fresh computation.  Applies to
+    # every payload, smoke included.
+    if not isinstance(ratio, (int, float)) or ratio < MIN_HIT_OR_COALESCED:
+        errors.append(f"gate: serve.hit_or_coalesced_ratio {ratio!r} below "
+                      f"the {MIN_HIT_OR_COALESCED} floor")
+    if serve.get("duplicate_computations") != 1:
+        errors.append("gate: serve.duplicate_computations must be exactly 1 "
+                      "(single-flight: a burst of identical requests "
+                      f"computed {serve.get('duplicate_computations')!r} "
+                      "times)")
 
     full_run = not smoke and not payload.get("smoke", False)
     for path, floor, full_only in GATES:

@@ -674,6 +674,73 @@ def benchmark_store(*, smoke: bool, store_dir: str | None = None) -> dict:
             shutil.rmtree(root, ignore_errors=True)
 
 
+def benchmark_serve(*, smoke: bool) -> dict:
+    """Serve daemon under a zipf repeated mix: throughput + coalescing.
+
+    Boots a real daemon (HTTP on loopback, ephemeral port, throwaway
+    store) and replays the MDS2-style repeated query mix through
+    concurrent clients; then probes single-flight directly by firing a
+    burst of identical requests at an uncached job and counting
+    computations.  The gates (hit-or-coalesced ratio, byte-identity,
+    exactly-one duplicate computation) live in check_bench_schema.py.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.loadgen import SMOKE_ARTEFACTS, figure_templates, run_load
+    from repro.serve.server import JobServer, serve_http
+    from repro.sim.experiments import FIGURE_DRIVERS
+    from repro.sim.store import ResultStore
+
+    requests = 240 if smoke else 800
+    clients = 8
+    artefacts = (list(SMOKE_ARTEFACTS) if smoke
+                 else sorted(FIGURE_DRIVERS))
+    root = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    print(f"serve daemon under load ({len(artefacts)} templates, "
+          f"{requests} requests, {clients} clients):")
+    job_server = JobServer(ResultStore(root), workers=2)
+    httpd = serve_http(job_server)
+    pump = threading.Thread(target=httpd.serve_forever, daemon=True)
+    pump.start()
+    try:
+        host, port = httpd.server_address[:2]
+        client = ServeClient(f"http://{host}:{port}")
+        metrics = run_load(client, figure_templates(artefacts),
+                           requests=requests, clients=clients, seed=0)
+
+        # Single-flight probe: a burst of identical requests for a job the
+        # store has never seen must trigger exactly one computation —
+        # later arrivals coalesce while it runs, or hit the store after.
+        probe = {"kind": "scenario", "name": "hopping-jammed"}
+        before = client.stats()["serve"]["computed"]
+        burst = [threading.Thread(
+            target=lambda: client.submit(probe, wait=True, timeout=300))
+            for _ in range(16)]
+        for thread in burst:
+            thread.start()
+        for thread in burst:
+            thread.join()
+        duplicate_computations = client.stats()["serve"]["computed"] - before
+
+        print(f"  throughput {metrics['throughput_rps']:8.1f} req/s   "
+              f"p50 {metrics['latency_p50_ms']:6.2f} ms   "
+              f"hit-or-coalesced {metrics['hit_or_coalesced_ratio']:.3f}   "
+              f"(byte-identical: {metrics['results_identical']})")
+        print(f"  single-flight burst: 16 identical requests -> "
+              f"{duplicate_computations} computation(s)")
+        return {**metrics,
+                "artefacts": len(artefacts),
+                "duplicate_computations": duplicate_computations}
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        job_server.stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def benchmark_figures() -> dict:
     """Wall clock of every figure driver on the batch path."""
     print("figure drivers (batch path):")
@@ -746,6 +813,9 @@ def main(argv=None) -> int:
                          lambda: benchmark_store(smoke=args.smoke,
                                                  store_dir=args.store_dir),
                          profiles)
+    serve = _run_section("serve",
+                         lambda: benchmark_serve(smoke=args.smoke),
+                         profiles)
     figures = _run_section("figures", benchmark_figures, profiles)
     payload = {
         "engines": engines,
@@ -754,6 +824,7 @@ def main(argv=None) -> int:
         "fabric": fabric,
         "cost_model": cost_model,
         "store": store,
+        "serve": serve,
         "figures": figures,
         "figures_total_s": sum(entry["batch_s"] for entry in figures.values()),
         "packets": args.packets,

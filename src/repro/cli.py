@@ -157,6 +157,49 @@ def _build_parser() -> argparse.ArgumentParser:
     rng.add_argument("--spreading-factor", type=int, default=7)
     rng.add_argument("--bandwidth-khz", type=float, default=500.0)
 
+    serve = subparsers.add_parser(
+        "serve", help="run or query the coalescing simulation job daemon")
+    serve_actions = serve.add_subparsers(dest="action", required=True)
+    serve_run = serve_actions.add_parser(
+        "run", help="start the daemon (HTTP, single-flight coalescing, "
+                    "persistent priority queue over the result store)")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=8642,
+                           help="listen port (0 picks an ephemeral port)")
+    serve_run.add_argument("--workers", type=int, default=2,
+                           help="queue worker threads (each engine call fans "
+                                "out over the shared process pool itself)")
+    serve_run.add_argument("--store-dir", default=None, metavar="DIR",
+                           help="result store backing the daemon (default: "
+                                "$REPRO_STORE_DIR or ./.repro-store)")
+    serve_submit = serve_actions.add_parser(
+        "submit", help="submit one job to a running daemon and print the "
+                       "result (byte-identical to the one-shot command)")
+    serve_submit.add_argument("--url", required=True, metavar="URL",
+                              help="daemon base URL, e.g. http://127.0.0.1:8642")
+    serve_submit.add_argument("--kind", choices=("figure", "scenario", "waveform"),
+                              default="figure")
+    serve_submit.add_argument("--name", required=True, metavar="NAME",
+                              help="artefact / scenario / sweep name")
+    serve_submit.add_argument("--seed", type=int, default=None)
+    serve_submit.add_argument("--engine", default=None,
+                              help="scenario: batch|event; waveform: "
+                                   "batch|serial (default batch)")
+    serve_submit.add_argument("--precision", default=None,
+                              choices=("reference", "fast"),
+                              help="waveform jobs only")
+    serve_submit.add_argument("--no-wait", action="store_true",
+                              help="enqueue and print the job digest instead "
+                                   "of waiting for the result")
+    serve_submit.add_argument("--timeout", type=float, default=300.0)
+    serve_status = serve_actions.add_parser(
+        "status", help="print one job's status/provenance as JSON")
+    serve_status.add_argument("--url", required=True, metavar="URL")
+    serve_status.add_argument("digest", help="job digest from submit")
+    serve_stats = serve_actions.add_parser(
+        "stats", help="print daemon counters (coalescing ratio, queue, store)")
+    serve_stats.add_argument("--url", required=True, metavar="URL")
+
     store = subparsers.add_parser(
         "store", help="inspect or manage the content-addressed result store")
     store.add_argument("action", choices=("stats", "gc", "clear"),
@@ -409,6 +452,82 @@ def _run_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import ConfigurationError
+
+    if args.action == "run":
+        from repro.serve.server import JobServer, serve_http
+        from repro.sim.store import open_store
+
+        job_server = JobServer(open_store(args.store_dir),
+                               workers=args.workers)
+        httpd = serve_http(job_server, host=args.host, port=args.port)
+        host, port = httpd.server_address[:2]
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(store: {job_server.store.root}, workers: {args.workers})",
+              file=sys.stderr)
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            job_server.stop()
+        return 0
+
+    from urllib.error import URLError
+
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        client = ServeClient(args.url)
+        if args.action == "status":
+            print(json.dumps(client.status(args.digest), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        # submit
+        job = {"kind": args.kind, "name": args.name}
+        if args.seed is not None:
+            job["seed"] = args.seed
+        if args.engine is not None:
+            job["engine"] = args.engine
+        if args.precision is not None:
+            job["precision"] = args.precision
+        reply = client.submit(job, wait=not args.no_wait, timeout=args.timeout)
+        if args.no_wait:
+            print(f"{reply['digest']} {reply['status']}")
+            return 0
+        if reply.get("status") != "done":
+            print(f"serve: job {reply.get('digest', '?')[:12]} "
+                  f"{reply.get('status')}: {reply.get('error')}",
+                  file=sys.stderr)
+            return 1
+        from repro.serve.jobs import decode_payload, parse_job
+
+        result = decode_payload(parse_job(job), reply["result"])
+        print(format_sweep(result))
+        print()
+        print(f"serve: {reply['digest'][:12]} provenance={reply['provenance']}",
+              file=sys.stderr)
+        return 0
+    except ConfigurationError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except ServeError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 1
+    except URLError as error:
+        print(f"serve: cannot reach daemon at {args.url}: {error.reason}",
+              file=sys.stderr)
+        return 2
+
+
 def _run_range(args: argparse.Namespace) -> int:
     if args.environment == "outdoor":
         environment = outdoor_environment(fading=NoFading())
@@ -445,6 +564,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_power(args)
     if args.command == "range":
         return _run_range(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "store":
         return _run_store(args)
     parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: a coalescing job server over the result store.
+
+The serve layer is a *transport* around the existing engines — it never
+computes anything itself.  Every request is reduced to a
+:class:`~repro.serve.jobs.JobSpec`, keyed with the same content digests
+the one-shot CLI uses (:mod:`repro.sim.store`), coalesced with identical
+in-flight requests (single-flight), served from the
+:class:`~repro.sim.store.ResultStore` when possible and otherwise queued
+onto the warm :class:`~repro.sim.execution.ExecutionFabric` in
+shortest-predicted-job-first order.  Because the digest vocabulary is
+shared, a result computed by ``repro experiments`` is a store hit for the
+server and vice versa — byte-identical either way.
+
+This package is excluded from :func:`repro.sim.store.library_fingerprint`
+(see ``_FINGERPRINT_EXCLUDE_PREFIXES``): serving infrastructure cannot
+change computed bits, so editing it must not invalidate the store.
+"""
+
+from repro.serve.jobs import JobSpec, decode_payload, execute_job, job_store_key, parse_job
+from repro.serve.queue import PersistentJobQueue
+from repro.serve.server import JobServer, serve_http
+
+__all__ = [
+    "JobSpec",
+    "JobServer",
+    "PersistentJobQueue",
+    "decode_payload",
+    "execute_job",
+    "job_store_key",
+    "parse_job",
+    "serve_http",
+]

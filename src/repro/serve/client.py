@@ -1,0 +1,76 @@
+"""A minimal stdlib HTTP client for the serve daemon.
+
+``urllib.request`` only — the client ships with the library so the CLI's
+``repro serve submit``/``status``/``stats`` subcommands and the load
+generator need nothing the container doesn't already have.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error reply from the daemon (carries the JSON body)."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"serve request failed ({status}): "
+                         f"{payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk to one serve daemon at ``base_url`` (e.g. http://127.0.0.1:8642)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 330.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ConfigurationError(
+                f"base_url must be an http(s) URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        request = Request(self.base_url + path, method=method)
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode()
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urlopen(request, data=data, timeout=self.timeout) as reply:
+                return json.loads(reply.read())
+        except HTTPError as error:
+            try:
+                payload = json.loads(error.read())
+            except (ValueError, json.JSONDecodeError):
+                payload = {"error": str(error)}
+            raise ServeError(error.code, payload) from None
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Mapping, *, wait: bool = True,
+               timeout: float | None = None) -> dict:
+        """Submit a job; with ``wait`` the reply includes ``result``."""
+        path = "/jobs"
+        if wait:
+            path += f"?wait=1&timeout={timeout if timeout is not None else 300}"
+        return self._call("POST", path, dict(job))
+
+    def status(self, digest: str) -> dict:
+        return self._call("GET", f"/jobs/{digest}")
+
+    def result(self, digest: str) -> dict:
+        return self._call("GET", f"/jobs/{digest}/result")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def healthz(self) -> bool:
+        return bool(self._call("GET", "/healthz").get("ok"))

@@ -1,0 +1,246 @@
+"""The serve layer's job vocabulary: parse, key, cost and execute.
+
+A job names one unit the repo already knows how to compute — a figure
+artefact, a registered network scenario or a registered waveform sweep —
+plus the handful of knobs that change its bits (seed, engine, precision).
+Everything else about a request (transport framing, wait semantics) lives
+in :mod:`repro.serve.server`; everything about *computing* lives in the
+engines.  This module is the only place that maps between the two, and
+its central invariant is key sharing: :func:`job_store_key` builds the
+exact store key the one-shot CLI path builds for the same work, so serve
+and CLI populate and hit one cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+
+KINDS: tuple[str, ...] = ("figure", "scenario", "waveform")
+
+#: Queue priority of a job whose kind the cost model has never observed.
+#: Large, so cold kinds run after everything with a known (short) cost —
+#: shortest-predicted-job-first stays meaningful from the first request.
+UNKNOWN_COST_PRIORITY: float = 1.0e9
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One normalized, validated service request.
+
+    ``seed=None`` means "the registered default" (figure drivers embed
+    their own; scenario/sweep specs carry ``spec.seed``), matching the
+    one-shot CLI's no-override behaviour so default requests share store
+    entries with default CLI runs.
+    """
+
+    kind: str
+    name: str
+    seed: int | None = None
+    engine: str = "batch"
+    precision: str = "reference"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name, "seed": self.seed,
+                "engine": self.engine, "precision": self.precision}
+
+
+def _known_names(kind: str) -> list[str]:
+    if kind == "figure":
+        from repro.sim.experiments import FIGURE_DRIVERS
+
+        return sorted(FIGURE_DRIVERS)
+    if kind == "scenario":
+        from repro.sim.scenario import scenario_names
+
+        return scenario_names()
+    from repro.sim.waveform_engine import sweep_names
+
+    return sweep_names()
+
+
+def parse_job(payload: Mapping) -> JobSpec:
+    """Validate a raw request mapping into a :class:`JobSpec`.
+
+    Rejects unknown fields (a typo must not silently become a default
+    that then aliases a different store entry), unknown names, invalid
+    engine/precision combinations and non-integer seeds.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"a job must be a mapping, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"kind", "name", "seed", "engine", "precision"})
+    if unknown:
+        raise ConfigurationError(f"unknown job fields {unknown}")
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        raise ConfigurationError(f"unknown job kind {kind!r}; expected one of {KINDS}")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError("a job needs a non-empty string 'name'")
+    if name not in _known_names(kind):
+        raise ConfigurationError(
+            f"unknown {kind} name {name!r}; known: {_known_names(kind)}")
+    seed = payload.get("seed")
+    if seed is not None:
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ConfigurationError(
+                f"seed must be an integer or null, got {seed!r}")
+    engine = payload.get("engine", "batch")
+    if kind == "figure":
+        if engine != "batch":
+            raise ConfigurationError(
+                "figure jobs run whole registered drivers; engine must be 'batch'")
+    elif kind == "scenario":
+        if engine not in ("batch", "event", "scalar"):
+            raise ConfigurationError(
+                f"unknown scenario engine {engine!r}; expected 'batch' or 'event'")
+        if engine == "scalar":
+            engine = "event"
+    else:
+        if engine not in ("batch", "serial"):
+            raise ConfigurationError(
+                f"unknown waveform engine {engine!r}; expected 'batch' or 'serial'")
+    precision = payload.get("precision", "reference")
+    if kind == "waveform":
+        if precision not in ("reference", "fast"):
+            raise ConfigurationError(
+                f"unknown precision {precision!r}; expected 'reference' or 'fast'")
+        if precision == "fast" and engine == "serial":
+            raise ConfigurationError(
+                "precision='fast' requires the batch engine")
+    elif precision != "reference":
+        raise ConfigurationError(
+            f"{kind} jobs are precision-less; leave precision='reference'")
+    return JobSpec(kind=kind, name=name, seed=seed, engine=engine,
+                   precision=precision)
+
+
+def job_store_key(spec: JobSpec) -> dict:
+    """The content-address of ``spec``'s result — the coalescing key.
+
+    Built with the *same* key builders the engines use, seed-resolved the
+    same way, so a serve request and the equivalent one-shot CLI run map
+    to one store entry.  May raise
+    :class:`~repro.sim.store.UncacheableError` (never for registered
+    jobs in practice).
+    """
+    if spec.kind == "figure":
+        from repro.sim.batch import _driver_call_plan
+        from repro.sim.experiments import FIGURE_DRIVERS
+        from repro.sim.store import figure_driver_key
+
+        driver = FIGURE_DRIVERS[spec.name]
+        config, seed, _ = _driver_call_plan(driver, spec.seed)
+        return figure_driver_key(spec.name, driver, config, seed)
+    if spec.kind == "scenario":
+        from repro.sim.scenario import get_scenario
+        from repro.sim.store import scenario_key
+
+        scenario = get_scenario(spec.name)
+        seed = scenario.seed if spec.seed is None else spec.seed
+        return scenario_key(scenario, seed, spec.engine)
+    from repro.sim.store import waveform_sweep_key
+    from repro.sim.waveform_engine import get_sweep
+
+    sweep = get_sweep(spec.name)
+    seed = sweep.seed if spec.seed is None else spec.seed
+    return waveform_sweep_key(sweep, seed, precision=spec.precision)
+
+
+def cost_profile(spec: JobSpec) -> tuple[str, float]:
+    """``(cost-model kind, units)`` of the job, matching the engines' own
+    :meth:`~repro.sim.execution.CostModel.observe` vocabulary so serve
+    predictions reuse every timing the one-shot paths already recorded."""
+    if spec.kind == "figure":
+        return f"artefact:{spec.name}", 1.0
+    if spec.kind == "scenario":
+        return f"scenario:{spec.engine}:{spec.name}", 1.0
+    from repro.sim.waveform_engine import _sweep_units, get_sweep
+
+    sweep = get_sweep(spec.name)
+    units = _sweep_units(sweep, range(sweep.num_cells))
+    return f"waveform:{spec.engine}:{spec.precision}", units
+
+
+def predict_priority(spec: JobSpec, cost_model=None) -> float:
+    """Queue priority = predicted seconds (smaller runs first)."""
+    if cost_model is None:
+        from repro.sim.execution import get_cost_model
+
+        cost_model = get_cost_model()
+    kind, units = cost_profile(spec)
+    predicted = cost_model.predict_seconds(kind, units)
+    return UNKNOWN_COST_PRIORITY if predicted is None else float(predicted)
+
+
+def execute_job(spec: JobSpec, store=None) -> tuple[dict, str]:
+    """Compute (or replay) ``spec``; return ``(payload, provenance)``.
+
+    The payload is the JSON-safe dict persisted under
+    :func:`job_store_key` — a :class:`~repro.sim.metrics.SweepResult`
+    dict for figure/waveform jobs, a
+    :class:`~repro.sim.network_engine.ScenarioResult` dict for scenario
+    jobs (exactly what the engines themselves store, so serve and CLI
+    payloads are interchangeable).  Provenance is ``"hit"`` / ``"miss"``
+    / ``"off"`` with the store-layer meanings.
+    """
+    if spec.kind == "figure":
+        from repro.sim.batch import BatchRunner
+
+        runner = BatchRunner(store=store)
+        report = runner.run([spec.name], random_state=spec.seed)
+        manifest = report.manifests[spec.name]
+        if store is None:
+            provenance = "off"
+        else:
+            provenance = "hit" if (manifest.store or {}).get("hit") else "miss"
+        return report.results[spec.name].to_dict(), provenance
+    if spec.kind == "scenario":
+        from repro.sim.network_engine import run_scenario_stored
+        from repro.sim.scenario import get_scenario
+
+        result, provenance = run_scenario_stored(
+            get_scenario(spec.name), random_state=spec.seed,
+            engine=spec.engine, store=store)
+        return result.to_dict(), provenance
+    from repro.sim.store import UncacheableError
+    from repro.sim.waveform_engine import get_sweep, run_sweep
+
+    sweep = get_sweep(spec.name)
+    key = digest = None
+    if store is not None:
+        try:
+            key = job_store_key(spec)
+            digest = store.digest(key)
+        except UncacheableError:
+            key = None
+        else:
+            payload = store.get(key, digest=digest)
+            if payload is not None:
+                return payload, "hit"
+    run = run_sweep(sweep, random_state=spec.seed, shards="auto",
+                    engine=spec.engine, precision=spec.precision, store=store)
+    payload = run.to_sweep_result().to_dict()
+    if key is None:
+        return payload, "off"
+    store.put(key, payload, digest=digest)
+    return payload, "miss"
+
+
+def decode_payload(spec: JobSpec, payload: Mapping):
+    """Rehydrate a stored job payload into a :class:`SweepResult`.
+
+    Scenario payloads are :class:`ScenarioResult` dicts; every kind comes
+    back as the figure-style :class:`~repro.sim.metrics.SweepResult` the
+    CLI formatter understands.
+    """
+    from repro.sim.metrics import SweepResult
+
+    if spec.kind == "scenario":
+        from repro.sim.network_engine import ScenarioResult
+
+        return ScenarioResult.from_dict(dict(payload)).to_sweep_result()
+    return SweepResult.from_dict(dict(payload))

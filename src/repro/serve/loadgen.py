@@ -1,0 +1,213 @@
+"""Load generator for the serve daemon: zipf request mix, N clients.
+
+Models the workload the Globus MDS2 study (PAPERS.md) showed collapsing
+an uncached information service: a small population of distinct queries
+requested over and over with zipf-skewed popularity.  The generator
+replays such a mix through concurrent HTTP clients and measures what the
+serve layer is for — the fraction of requests answered *without* a fresh
+computation (store hit or coalesced into an in-flight twin) and the
+sustained request throughput.
+
+Usable three ways:
+
+* :func:`run_load` — in-process harness for tests and
+  ``scripts/run_benchmarks.py``.
+* ``python -m repro.serve.loadgen --url http://...`` — drive an external
+  daemon.
+* ``python -m repro.serve.loadgen --smoke`` — self-hosted CI smoke: boot
+  a daemon on an ephemeral loopback port with a temporary store, run the
+  repeated mix, exit non-zero unless the hit-or-coalesced ratio clears
+  the gate (default 0.95).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+import numpy as np
+
+#: Figure artefacts cheap enough (<10 ms each) that a smoke run is
+#: compute-light yet still exercises queue, coalescing and store paths.
+SMOKE_ARTEFACTS: tuple[str, ...] = (
+    "fig2", "fig5", "fig6", "fig7", "fig16", "fig23", "tab1", "tab2")
+
+#: The serve-layer acceptance gate: on a repeated mix, at least this
+#: fraction of requests must be answered by the store or by coalescing.
+HIT_OR_COALESCED_GATE: float = 0.95
+
+
+def figure_templates(names) -> list[dict]:
+    """Job templates for the given figure artefacts (default seeds)."""
+    return [{"kind": "figure", "name": name} for name in names]
+
+
+def zipf_schedule(num_templates: int, requests: int, *, alpha: float = 1.1,
+                  seed: int = 0) -> list[int]:
+    """A deterministic zipf-weighted template index sequence.
+
+    Weight of rank ``r`` (1-based) is ``1 / r**alpha`` — the classic
+    finite zipf mix: a few hot queries dominate, a long tail repeats
+    rarely.  ``numpy``'s generator keeps it reproducible across hosts.
+    """
+    ranks = np.arange(1, num_templates + 1, dtype=float)
+    weights = 1.0 / ranks ** alpha
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    return [int(i) for i in rng.choice(num_templates, size=requests, p=weights)]
+
+
+def run_load(client, templates: list[dict], *, requests: int = 200,
+             clients: int = 8, alpha: float = 1.1, seed: int = 0,
+             timeout: float = 300.0) -> dict:
+    """Replay a zipf mix of ``templates`` through ``client`` and measure.
+
+    ``client`` is anything with ``submit(job, wait=True, timeout=...)``
+    and ``stats()`` — normally a
+    :class:`~repro.serve.client.ServeClient`.  Returns the benchmark
+    record: throughput, latency, the server-side hit-or-coalesced ratio
+    over this run (computed from stats deltas, so a pre-warmed daemon is
+    measured correctly) and a per-template byte-identity verdict.
+    """
+    schedule = zipf_schedule(len(templates), requests, alpha=alpha, seed=seed)
+    before = client.stats()["serve"]
+    payloads: list[dict | None] = [None] * len(templates)
+    identical = True
+    errors: list[str] = []
+    latencies: list[float] = []
+    lock = threading.Lock()
+    cursor = iter(schedule)
+
+    def next_index():
+        with lock:
+            return next(cursor, None)
+
+    def drive():
+        nonlocal identical
+        while True:
+            index = next_index()
+            if index is None:
+                return
+            started = time.perf_counter()
+            try:
+                reply = client.submit(templates[index], wait=True,
+                                      timeout=timeout)
+            except Exception as error:  # noqa: BLE001 - recorded, not raised
+                with lock:
+                    errors.append(f"{templates[index]['name']}: {error}")
+                continue
+            elapsed = time.perf_counter() - started
+            body = reply.get("result")
+            with lock:
+                latencies.append(elapsed)
+                if body is None:
+                    errors.append(f"{templates[index]['name']}: no result "
+                                  f"(status {reply.get('status')})")
+                elif payloads[index] is None:
+                    payloads[index] = body
+                elif payloads[index] != body:
+                    identical = False
+
+    threads = [threading.Thread(target=drive, name=f"loadgen-{i}")
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    after = client.stats()["serve"]
+    delta = {key: after[key] - before[key]
+             for key in ("requests", "coalesced", "store_hits", "computed",
+                         "failed")}
+    served = delta["coalesced"] + delta["store_hits"]
+    ratio = served / delta["requests"] if delta["requests"] else 0.0
+    latencies.sort()
+    return {
+        "templates": len(templates),
+        "requests": requests,
+        "clients": clients,
+        "alpha": alpha,
+        "wall_s": wall_s,
+        "throughput_rps": requests / wall_s if wall_s > 0 else 0.0,
+        "latency_p50_ms": 1e3 * latencies[len(latencies) // 2] if latencies else None,
+        "latency_max_ms": 1e3 * latencies[-1] if latencies else None,
+        "hit_or_coalesced_ratio": ratio,
+        "counters": delta,
+        "results_identical": identical and not errors,
+        "errors": errors[:10],
+    }
+
+
+# ----------------------------------------------------------------------
+def _self_hosted(args) -> dict:
+    """Boot a daemon on loopback, drive it over real HTTP, tear it down."""
+    import tempfile
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import JobServer, serve_http
+    from repro.sim.store import ResultStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-loadgen-") as root:
+        job_server = JobServer(ResultStore(root), workers=args.workers)
+        httpd = serve_http(job_server)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            client = ServeClient(f"http://{host}:{port}")
+            return run_load(client, figure_templates(args.artefacts),
+                            requests=args.requests, clients=args.clients,
+                            alpha=args.alpha, seed=args.seed)
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            job_server.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="Zipf-mix load generator for the repro serve daemon.")
+    parser.add_argument("--url", help="daemon base URL; omitted = self-host "
+                                      "an ephemeral daemon with a temp store")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fixed CI mix (cheap figures, few requests)")
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon worker threads (self-hosted mode only)")
+    parser.add_argument("--alpha", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--gate", type=float, default=HIT_OR_COALESCED_GATE,
+                        help="minimum hit-or-coalesced ratio (exit 1 below)")
+    parser.add_argument("--artefacts", nargs="*", default=None,
+                        help="figure artefacts in the mix (default: smoke set)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests = min(args.requests, 240)
+    if args.artefacts is None or not args.artefacts:
+        args.artefacts = list(SMOKE_ARTEFACTS)
+    if args.url:
+        from repro.serve.client import ServeClient
+
+        metrics = run_load(ServeClient(args.url),
+                           figure_templates(args.artefacts),
+                           requests=args.requests, clients=args.clients,
+                           alpha=args.alpha, seed=args.seed)
+    else:
+        metrics = _self_hosted(args)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    ok = (metrics["hit_or_coalesced_ratio"] >= args.gate
+          and metrics["results_identical"])
+    if not ok:
+        print(f"FAIL: ratio {metrics['hit_or_coalesced_ratio']:.3f} "
+              f"< gate {args.gate} or results not identical", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

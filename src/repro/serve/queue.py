@@ -1,0 +1,145 @@
+"""A persistent, priority-ordered job queue on SQLite.
+
+The daemon's pending work must survive a restart — a client that was told
+"queued" should find its job still queued (or done) when the server comes
+back, keyed by the same digest.  SQLite gives durability, atomic claims
+and ordered scans from the stdlib; one connection is shared across the
+server's worker threads behind an :class:`threading.RLock` (the queue's
+operations are each a single small transaction, so coarse locking costs
+nothing at service rates).
+
+Ordering is shortest-predicted-job-first: ``priority`` is the cost
+model's predicted seconds at enqueue time (see
+:func:`repro.serve.jobs.predict_priority`), with submission time then
+digest as deterministic tie-breaks — the same discipline the store's LRU
+eviction follows after the mtime-granularity fix.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["PersistentJobQueue"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    digest       TEXT PRIMARY KEY,
+    spec         TEXT NOT NULL,
+    priority     REAL NOT NULL,
+    status       TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    provenance   TEXT,
+    error        TEXT,
+    attempts     INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_claim
+    ON jobs (status, priority, submitted_at, digest);
+"""
+
+_STATUSES = ("queued", "running", "done", "failed")
+
+
+class PersistentJobQueue:
+    """Durable digest-keyed job queue with priority-ordered claims."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One shared connection: every access goes through self._lock, so
+        # cross-thread use is safe despite check_same_thread=False.
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        with self._lock, self._conn:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, digest: str, spec: dict, priority: float) -> None:
+        """Insert ``digest`` as queued (re-queues a failed/finished row).
+
+        Idempotent for an already-queued/running digest: the single-flight
+        map in the server makes duplicates impossible in one process, and
+        a crashed predecessor's row is simply refreshed.
+        """
+        with self._lock, self._conn:
+            self._conn.execute(
+                """INSERT INTO jobs (digest, spec, priority, status,
+                                     submitted_at, attempts)
+                   VALUES (?, ?, ?, 'queued', ?, 0)
+                   ON CONFLICT(digest) DO UPDATE SET
+                       spec = excluded.spec,
+                       priority = excluded.priority,
+                       status = 'queued',
+                       submitted_at = excluded.submitted_at,
+                       started_at = NULL, finished_at = NULL,
+                       provenance = NULL, error = NULL
+                   WHERE jobs.status NOT IN ('queued', 'running')""",
+                (digest, json.dumps(spec, sort_keys=True), float(priority),
+                 time.time()))
+
+    def claim(self) -> tuple[str, dict] | None:
+        """Atomically take the cheapest queued job; ``None`` when idle."""
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                """SELECT digest, spec FROM jobs WHERE status = 'queued'
+                   ORDER BY priority ASC, submitted_at ASC, digest ASC
+                   LIMIT 1""").fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                """UPDATE jobs SET status = 'running', started_at = ?,
+                                   attempts = attempts + 1
+                   WHERE digest = ?""", (time.time(), row["digest"]))
+            return row["digest"], json.loads(row["spec"])
+
+    def finish(self, digest: str, provenance: str) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                """UPDATE jobs SET status = 'done', finished_at = ?,
+                                   provenance = ? WHERE digest = ?""",
+                (time.time(), provenance, digest))
+
+    def fail(self, digest: str, error: str) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                """UPDATE jobs SET status = 'failed', finished_at = ?,
+                                   error = ? WHERE digest = ?""",
+                (time.time(), error, digest))
+
+    def recover(self) -> int:
+        """Re-queue jobs left ``running`` by a dead predecessor process."""
+        with self._lock, self._conn:
+            return self._conn.execute(
+                """UPDATE jobs SET status = 'queued', started_at = NULL
+                   WHERE status = 'running'""").rowcount
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> dict | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE digest = ?", (digest,)).fetchone()
+        if row is None:
+            return None
+        record = dict(row)
+        record["spec"] = json.loads(record["spec"])
+        return record
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        counts = {status: 0 for status in _STATUSES}
+        counts.update({row["status"]: row["n"] for row in rows})
+        return counts
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

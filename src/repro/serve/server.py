@@ -1,0 +1,366 @@
+"""The coalescing job server and its HTTP front end.
+
+Request lifecycle (all under one lock, so the sequence is atomic per
+request — this is what makes single-flight *strict*):
+
+1. parse → store key → digest (the coalescing key **is** the store
+   digest, so "identical request" means "identical result bits").
+2. digest already in flight → attach to that job (*coalesced*).
+3. store hit → answer immediately (*store*), no queue entry.
+4. otherwise register the job, persist it in the
+   :class:`~repro.serve.queue.PersistentJobQueue` with priority
+   = :meth:`CostModel.predict_seconds <repro.sim.execution.CostModel.predict_seconds>`
+   and wake a worker (*miss*).
+
+Worker threads claim queued digests cheapest-first and run
+:func:`~repro.serve.jobs.execute_job` on the warm execution fabric.  A
+failed job is **not** cached: its error is recorded, waiters are
+released, and a later identical submit re-queues it from scratch.
+
+The HTTP layer is a thin JSON translation on
+:class:`http.server.ThreadingHTTPServer` (stdlib only):
+
+* ``POST /jobs`` — submit; ``?wait=1[&timeout=s]`` blocks for the result.
+* ``GET /jobs/<digest>`` — status + provenance (+ queue bookkeeping).
+* ``GET /jobs/<digest>/result`` — the stored payload.
+* ``GET /stats`` — serve counters, queue counts, store/fabric stats.
+* ``GET /healthz`` — liveness probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ConfigurationError
+from repro.serve.jobs import (JobSpec, execute_job, job_store_key, parse_job,
+                              predict_priority)
+from repro.serve.queue import PersistentJobQueue
+
+__all__ = ["Job", "JobServer", "serve_http"]
+
+#: Completed jobs kept in memory for status queries; beyond this the
+#: oldest finished records are dropped (their payloads live in the store
+#: and their bookkeeping in the queue, so nothing is lost).
+DONE_MEMO_LIMIT: int = 1024
+
+
+@dataclass
+class Job:
+    """In-memory record of one coalesced unit of work."""
+
+    digest: str
+    spec: JobSpec
+    status: str = "queued"          # queued | running | done | failed
+    provenance: str | None = None   # store | hit | miss | off
+    payload: dict | None = None
+    error: str | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+
+    def describe(self) -> dict:
+        """JSON-safe status view (never includes the payload)."""
+        return {"digest": self.digest, "job": self.spec.to_dict(),
+                "status": self.status, "provenance": self.provenance,
+                "error": self.error, "submitted_at": self.submitted_at,
+                "finished_at": self.finished_at}
+
+
+class JobServer:
+    """Single-flight job broker over a :class:`ResultStore` and the fabric.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.sim.store.ResultStore` shared with the CLI.
+    queue_path:
+        SQLite file of the persistent queue; defaults to
+        ``<store root>/serve-queue.sqlite`` so daemon state lives next to
+        the results it indexes.
+    workers:
+        Worker threads executing queue claims.  Each claim runs one
+        engine call, which fans out over the shared process pool itself,
+        so a small thread count saturates the machine.
+    """
+
+    def __init__(self, store, *, queue_path: str | Path | None = None,
+                 workers: int = 2) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.queue = PersistentJobQueue(
+            queue_path if queue_path is not None
+            else Path(store.root) / "serve-queue.sqlite")
+        self.workers = workers
+        self._jobs: dict[str, Job] = {}
+        self._cond = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self.requests = 0
+        self.coalesced = 0
+        self.store_hits = 0
+        self.computed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "JobServer":
+        """Recover interrupted queue entries and start the worker pool."""
+        with self._cond:
+            if self._threads:
+                return self
+            self._stopping = False
+            requeued = self.queue.recover()
+            if requeued:
+                self._cond.notify_all()
+            for index in range(self.workers):
+                thread = threading.Thread(target=self._worker, daemon=True,
+                                          name=f"repro-serve-worker-{index}")
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+            threads, self._threads = self._threads, []
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self.queue.close()
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Mapping | JobSpec) -> Job:
+        """Coalesce/serve/queue one request; returns its :class:`Job`.
+
+        The returned job may already be finished (store hit or attach to
+        a completed memo entry); callers that need the result use
+        :meth:`wait`.
+        """
+        spec = request if isinstance(request, JobSpec) else parse_job(request)
+        key = job_store_key(spec)
+        digest = self.store.digest(key)
+        with self._cond:
+            self.requests += 1
+            existing = self._jobs.get(digest)
+            if existing is not None and existing.status in ("queued", "running"):
+                self.coalesced += 1
+                return existing
+            payload = self.store.get(key, digest=digest)
+            if payload is not None:
+                self.store_hits += 1
+                job = Job(digest=digest, spec=spec, status="done",
+                          provenance="store", payload=payload,
+                          finished_at=time.time())
+                job.done.set()
+                self._jobs[digest] = job
+                self._prune_memo()
+                return job
+            # Miss (or previously failed — both re-enter the queue).
+            job = Job(digest=digest, spec=spec)
+            self._jobs[digest] = job
+            self.queue.enqueue(digest, spec.to_dict(), predict_priority(spec))
+            self._cond.notify()
+            return job
+
+    def wait(self, job: Job, timeout: float | None = None) -> Job:
+        if not job.done.wait(timeout):
+            raise TimeoutError(
+                f"job {job.digest[:12]} still {job.status} after {timeout}s")
+        return job
+
+    def get(self, digest: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(digest)
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                claim = None if self._stopping else self.queue.claim()
+                while claim is None and not self._stopping:
+                    self._cond.wait(timeout=0.5)
+                    claim = self.queue.claim()
+                if self._stopping:
+                    return
+                digest, raw_spec = claim
+                job = self._jobs.get(digest)
+                if job is None:
+                    # Recovered from a previous daemon's queue: nobody is
+                    # waiting yet, but the work is owed.
+                    job = Job(digest=digest, spec=parse_job(raw_spec))
+                    self._jobs[digest] = job
+                job.status = "running"
+            try:
+                payload, provenance = execute_job(job.spec, self.store)
+            except Exception as error:  # noqa: BLE001 - served back to client
+                with self._cond:
+                    job.status = "failed"
+                    job.error = f"{type(error).__name__}: {error}"
+                    job.finished_at = time.time()
+                    self.failed += 1
+                self.queue.fail(digest, job.error)
+            else:
+                with self._cond:
+                    job.status = "done"
+                    job.provenance = provenance
+                    job.payload = payload
+                    job.finished_at = time.time()
+                    self.computed += 1
+                    self._prune_memo()
+                self.queue.finish(digest, provenance)
+            job.done.set()
+
+    def _prune_memo(self) -> None:
+        """Bound the in-memory map (callers hold the lock)."""
+        if len(self._jobs) <= DONE_MEMO_LIMIT:
+            return
+        finished = sorted(
+            (job for job in self._jobs.values() if job.status in ("done", "failed")),
+            key=lambda job: job.finished_at or 0.0)
+        for job in finished[:len(self._jobs) - DONE_MEMO_LIMIT]:
+            del self._jobs[job.digest]
+
+    # ------------------------------------------------------------------
+    def describe(self, digest: str) -> dict | None:
+        """Status + provenance of a digest (memory first, then queue)."""
+        job = self.get(digest)
+        record = self.queue.get(digest)
+        if job is None and record is None:
+            return None
+        view = job.describe() if job is not None else {
+            "digest": digest, "job": record["spec"],
+            "status": record["status"], "provenance": record["provenance"],
+            "error": record["error"], "submitted_at": record["submitted_at"],
+            "finished_at": record["finished_at"]}
+        if record is not None:
+            view["queue"] = {"attempts": record["attempts"],
+                             "priority": record["priority"]}
+        return view
+
+    def stats(self) -> dict:
+        from repro.sim.execution import fabric_stats
+
+        with self._cond:
+            counters = {"requests": self.requests,
+                        "coalesced": self.coalesced,
+                        "store_hits": self.store_hits,
+                        "computed": self.computed,
+                        "failed": self.failed,
+                        "inflight": sum(1 for job in self._jobs.values()
+                                        if job.status in ("queued", "running"))}
+        served = counters["coalesced"] + counters["store_hits"]
+        total = counters["requests"]
+        counters["hit_or_coalesced_ratio"] = (served / total) if total else 0.0
+        return {"serve": counters, "queue": self.queue.counts(),
+                "store": self.store.stats(), "fabric": fabric_stats()}
+
+
+# ----------------------------------------------------------------------
+class _ServeHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP translation of the :class:`JobServer` API."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    @property
+    def jobs(self) -> JobServer:
+        return self.server.job_server  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the client's business, not stderr's
+
+    # -- helpers -------------------------------------------------------
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        parts = urlsplit(self.path)
+        segments = [segment for segment in parts.path.split("/") if segment]
+        if segments == ["healthz"]:
+            return self._reply(200, {"ok": True})
+        if segments == ["stats"]:
+            return self._reply(200, self.jobs.stats())
+        if len(segments) >= 2 and segments[0] == "jobs":
+            digest = segments[1]
+            view = self.jobs.describe(digest)
+            if view is None:
+                return self._reply(404, {"error": f"unknown job {digest!r}"})
+            if len(segments) == 2:
+                return self._reply(200, view)
+            if segments[2:] == ["result"]:
+                job = self.jobs.get(digest)
+                if job is None or job.status != "done":
+                    return self._reply(409, {"error": "job not finished",
+                                             "status": view["status"]})
+                return self._reply(200, {"digest": digest,
+                                         "provenance": job.provenance,
+                                         "result": job.payload})
+        return self._reply(404, {"error": f"no route {parts.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        parts = urlsplit(self.path)
+        if [segment for segment in parts.path.split("/") if segment] != ["jobs"]:
+            return self._reply(404, {"error": f"no route {parts.path!r}"})
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as error:
+            return self._reply(400, {"error": f"bad request body: {error}"})
+        query = parse_qs(parts.query)
+        try:
+            job = self.jobs.submit(request)
+        except ConfigurationError as error:
+            return self._reply(400, {"error": str(error)})
+        if query.get("wait", ["0"])[-1] in ("1", "true", "yes"):
+            timeout = float(query.get("timeout", ["300"])[-1])
+            try:
+                self.jobs.wait(job, timeout)
+            except TimeoutError as error:
+                return self._reply(504, {"error": str(error),
+                                         **job.describe()})
+        view = job.describe()
+        if job.status == "done":
+            view["result"] = job.payload
+            return self._reply(200, view)
+        if job.status == "failed":
+            return self._reply(500, view)
+        return self._reply(202, view)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, job_server: JobServer) -> None:
+        super().__init__(address, _ServeHandler)
+        self.job_server = job_server
+
+
+def serve_http(job_server: JobServer, host: str = "127.0.0.1",
+               port: int = 0) -> ServeHTTPServer:
+    """Bind the HTTP front end (``port=0`` picks an ephemeral port).
+
+    The caller owns the loop: ``server.serve_forever()`` inline for a
+    daemon, or in a thread for tests — and ``server.shutdown()`` +
+    ``job_server.stop()`` to tear down.
+    """
+    job_server.start()
+    return ServeHTTPServer((host, port), job_server)

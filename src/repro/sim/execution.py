@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
@@ -48,6 +50,17 @@ from repro.utils.validation import ensure_integer
 #: Default pool width: every core, but at least 4 workers so sharded runs
 #: on small hosts still exercise real multi-process execution.
 DEFAULT_MAX_WORKERS: int = max(4, os.cpu_count() or 1)
+
+#: How many times one :meth:`ExecutionFabric.map_jobs` call may rebuild a
+#: broken pool before the error escapes.  Under sustained server load a
+#: worker can be OOM-killed on *consecutive* batches; a single-shot retry
+#: (the pre-serve behaviour) let the second break kill the daemon.
+POOL_REBUILD_LIMIT: int = 3
+
+#: Base of the exponential backoff between pool rebuilds.  An immediate
+#: respawn under the memory pressure that just killed a worker tends to
+#: die the same way; a short pause lets the host reclaim the workers.
+POOL_REBUILD_BACKOFF_S: float = 0.05
 
 
 class ExecutionFabric:
@@ -72,6 +85,12 @@ class ExecutionFabric:
         self._active_width = 0
         self.pools_created = 0
         self.jobs_dispatched = 0
+        self.pool_rebuilds = 0
+        # Serialises pool creation/teardown and the counters: the serve
+        # layer drives one fabric from several worker threads, and an
+        # unguarded executor() race would leak a second pool.  RLock:
+        # map_jobs takes it around executor() which takes it again.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -92,13 +111,14 @@ class ExecutionFabric:
         fabric keep one pool alive for the whole session.
         """
         min_workers = ensure_integer(min_workers, "min_workers", minimum=1)
-        if self._executor is not None and min_workers > self._active_width:
-            self.shutdown()
-        if self._executor is None:
-            self._active_width = max(self.max_workers, min_workers)
-            self._executor = ProcessPoolExecutor(max_workers=self._active_width)
-            self.pools_created += 1
-        return self._executor
+        with self._lock:
+            if self._executor is not None and min_workers > self._active_width:
+                self.shutdown()
+            if self._executor is None:
+                self._active_width = max(self.max_workers, min_workers)
+                self._executor = ProcessPoolExecutor(max_workers=self._active_width)
+                self.pools_created += 1
+            return self._executor
 
     def map_jobs(self, fn: Callable, jobs: Sequence[tuple], *,
                  min_workers: int = 1, max_parallel: int | None = None) -> list:
@@ -108,9 +128,13 @@ class ExecutionFabric:
         self-contained shard (spec + cell indices + RNG substreams, an
         artefact id, a scenario), submitted to the warm pool.  If the pool
         turns out to be broken (a worker died since the last call — even
-        while idle between calls), it is rebuilt once and the whole batch
+        while idle between calls, or OOM-killed mid-batch), it is torn
+        down and rebuilt with exponential backoff, up to
+        :data:`POOL_REBUILD_LIMIT` times per call, and the whole batch
         resubmitted — jobs are pure functions of their arguments, so a
-        retry cannot change results.
+        retry cannot change results.  Only a pool that breaks on every
+        rebuild lets the error escape; rebuilds are counted in
+        ``pool_rebuilds`` (reported by :func:`fabric_stats`).
 
         ``max_parallel`` bounds how many jobs are outstanding at once (a
         sliding window over the shared pool), for callers that use the
@@ -121,7 +145,9 @@ class ExecutionFabric:
             return []
         if max_parallel is not None:
             max_parallel = ensure_integer(max_parallel, "max_parallel", minimum=1)
-        for attempt in (0, 1):
+        for attempt in range(POOL_REBUILD_LIMIT + 1):
+            if attempt:
+                time.sleep(POOL_REBUILD_BACKOFF_S * (2 ** (attempt - 1)))
             try:
                 pool = self.executor(min_workers)
                 if max_parallel is None or max_parallel >= len(jobs):
@@ -131,26 +157,32 @@ class ExecutionFabric:
                     results = _map_windowed(pool, fn, jobs, max_parallel)
             except BrokenProcessPool:
                 self.shutdown()
-                if attempt:
+                if attempt >= POOL_REBUILD_LIMIT:
                     raise
+                with self._lock:
+                    self.pool_rebuilds += 1
                 continue
-            self.jobs_dispatched += len(jobs)
+            with self._lock:
+                self.jobs_dispatched += len(jobs)
             return results
         raise ConfigurationError("unreachable")  # pragma: no cover
 
     def shutdown(self) -> None:
         """Tear down the pool (the next use lazily recreates it)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
-            self._active_width = 0
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+                self._active_width = 0
 
     def stats(self) -> dict:
         """Pool lifecycle and dispatch counters (for benchmarks/tests)."""
-        return {"active": self.active, "width": self.width,
-                "max_workers": self.max_workers,
-                "pools_created": self.pools_created,
-                "jobs_dispatched": self.jobs_dispatched}
+        with self._lock:
+            return {"active": self.active, "width": self.width,
+                    "max_workers": self.max_workers,
+                    "pools_created": self.pools_created,
+                    "jobs_dispatched": self.jobs_dispatched,
+                    "pool_rebuilds": self.pool_rebuilds}
 
 
 def _map_windowed(pool: ProcessPoolExecutor, fn: Callable,
@@ -193,6 +225,13 @@ class CostModel:
     untouched: auto-scheduled results are bit-identical to any forced
     shard count.
 
+    The model is shared process-wide (:func:`get_cost_model`) and, under
+    the serve layer, fed from several threads at once; every read and
+    update of the EWMA state happens under an internal lock so concurrent
+    ``observe`` calls cannot interleave the read-modify-write and corrupt
+    a per-kind estimate.  Observations are microseconds apart in practice,
+    so contention is nil.
+
     Parameters
     ----------
     alpha:
@@ -229,40 +268,47 @@ class CostModel:
         self._dispatch_samples = 0
         self._per_unit: dict[str, float] = {}
         self._samples: dict[str, int] = {}
+        # RLock: should_parallelize/recommend_shards read the dispatch
+        # estimate via predict_seconds while already holding the lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
     def dispatch_overhead_s(self) -> float:
         """Current per-job dispatch overhead estimate (prior until observed)."""
-        return self._dispatch_s
+        with self._lock:
+            return self._dispatch_s
 
     def observe(self, kind: str, units: float, seconds: float) -> None:
         """Fold one measured evaluation into the per-unit EWMA of ``kind``."""
         if units <= 0 or seconds < 0:
             return
         per_unit = seconds / units
-        previous = self._per_unit.get(kind)
-        if previous is None:
-            self._per_unit[kind] = per_unit
-        else:
-            self._per_unit[kind] = (self.alpha * per_unit
-                                    + (1.0 - self.alpha) * previous)
-        self._samples[kind] = self._samples.get(kind, 0) + 1
+        with self._lock:
+            previous = self._per_unit.get(kind)
+            if previous is None:
+                self._per_unit[kind] = per_unit
+            else:
+                self._per_unit[kind] = (self.alpha * per_unit
+                                        + (1.0 - self.alpha) * previous)
+            self._samples[kind] = self._samples.get(kind, 0) + 1
 
     def observe_dispatch(self, seconds: float) -> None:
         """Fold one measured per-job dispatch overhead into the EWMA."""
         if seconds < 0:
             return
-        if self._dispatch_samples == 0:
-            self._dispatch_s = float(seconds)
-        else:
-            self._dispatch_s = (self.alpha * seconds
-                                + (1.0 - self.alpha) * self._dispatch_s)
-        self._dispatch_samples += 1
+        with self._lock:
+            if self._dispatch_samples == 0:
+                self._dispatch_s = float(seconds)
+            else:
+                self._dispatch_s = (self.alpha * seconds
+                                    + (1.0 - self.alpha) * self._dispatch_s)
+            self._dispatch_samples += 1
 
     def predict_seconds(self, kind: str, units: float) -> float | None:
         """Predicted cost of ``units`` work of ``kind`` (None when cold)."""
-        per_unit = self._per_unit.get(kind)
+        with self._lock:
+            per_unit = self._per_unit.get(kind)
         if per_unit is None or units <= 0:
             return None
         return per_unit * units
@@ -285,12 +331,14 @@ class CostModel:
         limit = min(max_shards, self.cpu_count)
         if limit <= 1:
             return 1
-        predicted = self.predict_seconds(kind, units)
+        with self._lock:
+            predicted = self.predict_seconds(kind, units)
+            dispatch_s = self._dispatch_s
         if predicted is None:
             return min(limit, 4)
-        if predicted < self.parallel_threshold * self._dispatch_s:
+        if predicted < self.parallel_threshold * dispatch_s:
             return 1
-        optimum = int(round((predicted / self._dispatch_s) ** 0.5))
+        optimum = int(round((predicted / dispatch_s) ** 0.5))
         return max(1, min(limit, optimum))
 
     def should_parallelize(self, kinds: Sequence[str]) -> bool:
@@ -304,36 +352,40 @@ class CostModel:
         """
         if self.cpu_count <= 1 or not kinds:
             return False
-        predictions = [self.predict_seconds(kind, 1.0) for kind in kinds]
+        with self._lock:
+            predictions = [self.predict_seconds(kind, 1.0) for kind in kinds]
+            dispatch_s = self._dispatch_s
         if any(prediction is None for prediction in predictions):
             return True
         mean = sum(predictions) / len(predictions)
-        return mean >= self.parallel_threshold * self._dispatch_s
+        return mean >= self.parallel_threshold * dispatch_s
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counters and estimates, in the shape ``fabric_stats`` reports."""
-        return {
-            "alpha": self.alpha,
-            "cpu_count": self.cpu_count,
-            "parallel_threshold": self.parallel_threshold,
-            "dispatch_overhead_s": self._dispatch_s,
-            "dispatch_samples": self._dispatch_samples,
-            "kinds": {kind: {"per_unit_s": self._per_unit[kind],
-                             "samples": self._samples.get(kind, 0)}
-                      for kind in sorted(self._per_unit)},
-        }
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "cpu_count": self.cpu_count,
+                "parallel_threshold": self.parallel_threshold,
+                "dispatch_overhead_s": self._dispatch_s,
+                "dispatch_samples": self._dispatch_samples,
+                "kinds": {kind: {"per_unit_s": self._per_unit[kind],
+                                 "samples": self._samples.get(kind, 0)}
+                          for kind in sorted(self._per_unit)},
+            }
 
     def snapshot(self) -> dict:
         """JSON-able state for persisting alongside the fabric's caches."""
-        return {
-            "alpha": self.alpha,
-            "parallel_threshold": self.parallel_threshold,
-            "dispatch_overhead_s": self._dispatch_s,
-            "dispatch_samples": self._dispatch_samples,
-            "per_unit": dict(self._per_unit),
-            "samples": dict(self._samples),
-        }
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "parallel_threshold": self.parallel_threshold,
+                "dispatch_overhead_s": self._dispatch_s,
+                "dispatch_samples": self._dispatch_samples,
+                "per_unit": dict(self._per_unit),
+                "samples": dict(self._samples),
+            }
 
     def restore(self, state: dict) -> None:
         """Load a :meth:`snapshot` (unknown keys ignored, shapes checked)."""
@@ -341,11 +393,13 @@ class CostModel:
         samples = state.get("samples", {})
         if not isinstance(per_unit, dict) or not isinstance(samples, dict):
             raise ConfigurationError("cost-model snapshot shape invalid")
-        self._per_unit = {str(k): float(v) for k, v in per_unit.items()}
-        self._samples = {str(k): int(samples.get(k, 0)) for k in self._per_unit}
-        if "dispatch_overhead_s" in state:
-            self._dispatch_s = float(state["dispatch_overhead_s"])
-        self._dispatch_samples = int(state.get("dispatch_samples", 0))
+        with self._lock:
+            self._per_unit = {str(k): float(v) for k, v in per_unit.items()}
+            self._samples = {str(k): int(samples.get(k, 0))
+                             for k in self._per_unit}
+            if "dispatch_overhead_s" in state:
+                self._dispatch_s = float(state["dispatch_overhead_s"])
+            self._dispatch_samples = int(state.get("dispatch_samples", 0))
 
 
 # ---------------------------------------------------------------------------
@@ -354,13 +408,19 @@ class CostModel:
 
 _FABRIC: ExecutionFabric | None = None
 
+#: Guards lazy singleton creation (a double-checked race under the serve
+#: layer's worker threads would leak a second pool / lose observations).
+_SINGLETON_LOCK = threading.Lock()
+
 
 def get_fabric() -> ExecutionFabric:
     """The process-wide fabric all engines share (created on first use)."""
     global _FABRIC
     if _FABRIC is None:
-        _FABRIC = ExecutionFabric()
-        atexit.register(shutdown_fabric)
+        with _SINGLETON_LOCK:
+            if _FABRIC is None:
+                _FABRIC = ExecutionFabric()
+                atexit.register(shutdown_fabric)
     return _FABRIC
 
 
@@ -377,7 +437,9 @@ def get_cost_model() -> CostModel:
     """The process-wide cost model the schedulers share (lazy, like the fabric)."""
     global _COST_MODEL
     if _COST_MODEL is None:
-        _COST_MODEL = CostModel()
+        with _SINGLETON_LOCK:
+            if _COST_MODEL is None:
+                _COST_MODEL = CostModel()
     return _COST_MODEL
 
 
@@ -391,7 +453,7 @@ def fabric_stats() -> dict:
     """Aggregate fabric + plan-cache + cost-model statistics for reporting."""
     pool = _FABRIC.stats() if _FABRIC is not None else {
         "active": False, "width": 0, "max_workers": DEFAULT_MAX_WORKERS,
-        "pools_created": 0, "jobs_dispatched": 0}
+        "pools_created": 0, "jobs_dispatched": 0, "pool_rebuilds": 0}
     cost_model = (_COST_MODEL.stats() if _COST_MODEL is not None
                   else CostModel().stats())
     return {"pool": pool, "plan_caches": plan_cache_stats(),

@@ -20,8 +20,17 @@ Layout and policy:
   entry — a killed process, a full disk — is treated as a **miss** and
   deleted, never an error.
 * The store is bounded: beyond ``max_entries`` the least-recently-*used*
-  entries are evicted (a hit refreshes the file's mtime).  Hit/miss/
-  eviction counters mirror :class:`repro.utils.plans.PlanCache`.
+  entries are evicted (a hit refreshes the file's mtime; ties — common on
+  filesystems with 1 s mtime granularity — break on the digest so the
+  eviction order is total and deterministic).  Hit/miss/eviction counters
+  mirror :class:`repro.utils.plans.PlanCache`.
+* The store is safe to share: one instance may be used from many threads
+  (an internal lock covers the counters and the eviction scan), and many
+  processes may point at one root.  Cross-process races are benign by
+  construction — writes are atomic, a concurrent eviction of an entry
+  another process just wrote merely turns that entry's first ``get`` into
+  a miss (recompute), and evicting a file a peer already deleted is a
+  no-op, never an error.
 * Invalidation is by key, not by clock: keys embed the driver's own
   source fingerprint plus a whole-library fingerprint and the
   numpy/python versions, so editing one driver re-computes only that
@@ -44,6 +53,7 @@ import json
 import os
 import platform
 import tempfile
+import threading
 from pathlib import Path
 from typing import Mapping
 
@@ -85,6 +95,12 @@ _FINGERPRINT_EXCLUDES: frozenset[str] = frozenset({
     "utils/hashing.py",
 })
 
+#: Package subtrees excluded wholesale.  The serve layer only arranges
+#: *where and when* results are computed (queueing, coalescing, transport);
+#: it can never change a computed bit, so its edits must not retire the
+#: whole store the way an engine edit does.
+_FINGERPRINT_EXCLUDE_PREFIXES: tuple[str, ...] = ("serve/",)
+
 
 @functools.lru_cache(maxsize=1)
 def library_fingerprint() -> str:
@@ -105,7 +121,8 @@ def library_fingerprint() -> str:
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root).as_posix()
-        if relative in _FINGERPRINT_EXCLUDES:
+        if (relative in _FINGERPRINT_EXCLUDES
+                or relative.startswith(_FINGERPRINT_EXCLUDE_PREFIXES)):
             continue
         digest.update(relative.encode("utf-8"))
         digest.update(b"\x00")
@@ -233,6 +250,26 @@ def waveform_cell_key(receiver, snr_db: float, cell_index: int, seed: int, *,
     return key
 
 
+def waveform_sweep_key(spec, seed: int, *, precision: str) -> dict:
+    """Key of one whole registered waveform sweep (the serve layer's unit).
+
+    The cell-level entries (:func:`waveform_cell_key`) stay the engine's
+    incremental-evaluation currency; this key addresses the *assembled*
+    :class:`~repro.sim.metrics.SweepResult` of a whole grid so a repeated
+    service request is one ``get`` instead of one per cell.  Like the cell
+    key, the engine and shard count are deliberately not part of the key
+    (bit-identical by contract) while ``precision`` is.
+    """
+    key = _base_key("waveform-sweep")
+    key.update({
+        "spec": canonicalize(spec),
+        "seed": int(seed),
+        "precision": precision,
+        "fingerprint": library_fingerprint(),
+    })
+    return key
+
+
 def scenario_key(spec, seed: int, engine: str = "batch") -> dict:
     """Key of one whole scenario run.
 
@@ -299,7 +336,14 @@ class ResultStore:
         :func:`default_store_root`.
     max_entries:
         Entry bound; inserting beyond it evicts the least recently used
-        entries (mtime order — a ``get`` hit refreshes the file's mtime).
+        entries ((mtime, digest) order — a ``get`` hit refreshes the
+        file's mtime, and the digest tie-break keeps the order total on
+        filesystems with coarse mtime granularity).
+
+    One instance may be shared by many threads: an internal re-entrant
+    lock serialises the counter updates, the incremental entry count and
+    the eviction scan.  The on-disk format additionally tolerates many
+    *processes* sharing one root — see the module docstring.
     """
 
     def __init__(self, root: str | Path | None = None, *,
@@ -317,6 +361,9 @@ class ResultStore:
         # Concurrent writers can skew it; it only gates *when* the
         # eviction scan runs, so staleness is benign.
         self._entry_count: int | None = None
+        # RLock: ``put`` holds it across the eviction check, which may
+        # re-enter ``_prune_to``.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -353,20 +400,27 @@ class ResultStore:
             stored_key = entry["key"]
             payload = entry["payload"]
         except FileNotFoundError:
-            self.misses += 1
+            # Includes the benign cross-process race where a concurrent
+            # eviction removed an entry between our path computation and
+            # the read: a miss (recompute), never an error.
+            with self._lock:
+                self.misses += 1
             return None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
             # Truncated/corrupt entry: treat as a miss and drop the file.
-            self.corrupt += 1
-            self.misses += 1
-            self._drop_entry(path)
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+                self._drop_entry(path)
             return None
         if canonical_json(stored_key) != canonical_json(key):
-            self.corrupt += 1
-            self.misses += 1
-            self._drop_entry(path)
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+                self._drop_entry(path)
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:  # pragma: no cover - advisory only
@@ -395,41 +449,50 @@ class ResultStore:
             # the canonical key encoding, not from this file.
             blob = json.dumps(entry, allow_nan=False)
         except (TypeError, ValueError):
-            self.uncacheable += 1
+            with self._lock:
+                self.uncacheable += 1
             return None
-        count_before = self._known_entry_count()
-        tmp_name = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            existed = path.exists()
-            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(blob)
-            os.replace(tmp_name, path)
-        except OSError:
-            # A read-only or full store must not fail the run: the
-            # computation already succeeded, so caching degrades to a no-op.
-            if tmp_name is not None:
-                self._unlink(Path(tmp_name))
-            self.uncacheable += 1
-            return None
-        self.puts += 1
-        self._entry_count = count_before + (0 if existed else 1)
-        self._evict_over_bound()
+        with self._lock:
+            count_before = self._known_entry_count()
+            tmp_name = None
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                existed = path.exists()
+                fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            except OSError:
+                # A read-only or full store must not fail the run: the
+                # computation already succeeded, so caching degrades to a
+                # no-op.
+                if tmp_name is not None:
+                    self._unlink(Path(tmp_name))
+                self.uncacheable += 1
+                return None
+            self.puts += 1
+            self._entry_count = count_before + (0 if existed else 1)
+            self._evict_over_bound()
         return path
 
     @staticmethod
-    def _unlink(path: Path) -> None:
+    def _unlink(path: Path) -> bool:
+        """Best-effort unlink; ``False`` when the file was already gone.
+
+        A missing file is the benign half of the delete-vs-put/-delete
+        race (another thread or process got there first); only a real
+        removal counts toward eviction statistics.
+        """
         try:
             path.unlink()
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
+        except OSError:
+            return False
+        return True
 
     def _drop_entry(self, path: Path) -> None:
         """Unlink an entry file, keeping the incremental count honest."""
-        if self._entry_count is not None and path.exists():
+        if self._unlink(path) and self._entry_count is not None:
             self._entry_count -= 1
-        self._unlink(path)
 
     def _known_entry_count(self) -> int:
         """Entry count from the incremental counter (one lazy scan)."""
@@ -438,24 +501,36 @@ class ResultStore:
         return self._entry_count
 
     @staticmethod
-    def _mtime(path: Path) -> float:
+    def _recency(path: Path) -> tuple[float, str]:
+        """LRU sort key: (mtime, digest).
+
+        The digest tie-break matters on filesystems with 1 s mtime
+        granularity, where a burst of puts all tie on mtime and a bare
+        mtime sort would evict in arbitrary (listing) order.  A vanished
+        file (concurrently evicted/replaced) sorts first and its unlink is
+        a counted no-op.
+        """
         try:
-            return path.stat().st_mtime
+            mtime = path.stat().st_mtime
         except OSError:
-            return 0.0
+            mtime = 0.0
+        return (mtime, path.name)
 
     def _prune_to(self, bound: int) -> int:
         """Drop least-recently-used entries beyond ``bound``; return count removed."""
-        paths = list(self._entry_paths())
-        excess = len(paths) - bound
-        removed = 0
-        if excess > 0:
-            for path in sorted(paths, key=self._mtime)[:excess]:
-                self._unlink(path)
-                removed += 1
-        self._entry_count = len(paths) - removed
-        self.evictions += removed
-        return removed
+        with self._lock:
+            paths = list(self._entry_paths())
+            excess = len(paths) - bound
+            removed = 0
+            if excess > 0:
+                for path in sorted(paths, key=self._recency)[:excess]:
+                    # Count only files actually removed *by us*: a peer
+                    # may have evicted (or replaced) the entry between the
+                    # scan and the unlink, which is benign.
+                    removed += self._unlink(path)
+            self._entry_count = len(paths) - removed
+            self.evictions += removed
+            return removed
 
     def _evict_over_bound(self) -> None:
         # The incremental counter gates the (O(n) scan + sort) prune so a
@@ -472,11 +547,11 @@ class ResultStore:
 
     def clear(self) -> int:
         """Remove every entry; return how many were removed."""
-        removed = 0
-        for path in list(self._entry_paths()):
-            self._unlink(path)
-            removed += 1
-        self._entry_count = 0
+        with self._lock:
+            removed = 0
+            for path in list(self._entry_paths()):
+                removed += self._unlink(path)
+            self._entry_count = 0
         if self.root.is_dir():
             for shard in self.root.iterdir():
                 if shard.is_dir() and len(shard.name) == 2:
@@ -496,18 +571,19 @@ class ResultStore:
             except OSError:
                 continue
             entries += 1
-        return {
-            "root": str(self.root),
-            "entries": entries,
-            "bytes": total_bytes,
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "corrupt": self.corrupt,
-            "puts": self.puts,
-            "uncacheable": self.uncacheable,
-        }
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "entries": entries,
+                "bytes": total_bytes,
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "corrupt": self.corrupt,
+                "puts": self.puts,
+                "uncacheable": self.uncacheable,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultStore({str(self.root)!r}, hits={self.hits}, "
@@ -534,4 +610,5 @@ __all__ = [
     "scenario_key",
     "sweep_key",
     "waveform_cell_key",
+    "waveform_sweep_key",
 ]

@@ -37,6 +37,7 @@ cycles.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Iterator
 
@@ -84,25 +85,37 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Guards the recency reorder/eviction and counters: the serve
+        # layer's worker threads share every registered cache, and an
+        # unguarded ``move_to_end``/``popitem`` pair can corrupt the
+        # OrderedDict mid-iteration.  RLock so a builder may (re-entrantly)
+        # consult the same cache.
+        self._lock = threading.RLock()
         # The registry is diagnostic (fabric statistics); a cache re-created
         # under the same name simply replaces the old entry.
         _REGISTRY[name] = self
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, build: Callable[[], object]):
-        """Return the cached plan for ``key``, building (and caching) on miss."""
-        entry = self._entries.get(key, _MISS)
-        if entry is not _MISS:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.misses += 1
-        plan = build()
-        self._entries[key] = plan
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        return plan
+        """Return the cached plan for ``key``, building (and caching) on miss.
+
+        The build runs under the cache lock: plans are pure functions of
+        the key, so holding it trades a little concurrency on cold misses
+        for never building the same plan twice.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISS)
+            if entry is not _MISS:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+            plan = build()
+            self._entries[key] = plan
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return plan
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
@@ -116,14 +129,16 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus current occupancy."""
-        return {"name": self.name, "size": len(self._entries),
-                "maxsize": self.maxsize, "mutable": self.mutable,
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"name": self.name, "size": len(self._entries),
+                    "maxsize": self.maxsize, "mutable": self.mutable,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PlanCache({self.name!r}, size={len(self._entries)}/"

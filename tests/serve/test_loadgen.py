@@ -1,0 +1,69 @@
+"""Load-generator tests: deterministic zipf mix, measured ratio/identity."""
+
+from __future__ import annotations
+
+import collections
+
+from repro.serve.loadgen import (HIT_OR_COALESCED_GATE, figure_templates,
+                                 run_load, zipf_schedule)
+from repro.serve.server import JobServer
+from repro.sim.store import ResultStore
+
+
+def test_zipf_schedule_is_deterministic_and_skewed():
+    first = zipf_schedule(8, 400, alpha=1.1, seed=3)
+    second = zipf_schedule(8, 400, alpha=1.1, seed=3)
+    assert first == second
+    assert len(first) == 400
+    assert set(first) <= set(range(8))
+    counts = collections.Counter(first)
+    # rank-0 is the hot query of the mix; the tail repeats far less
+    assert counts[0] > counts.most_common()[-1][1]
+
+
+class _InProcessClient:
+    """run_load's client protocol over a JobServer, no sockets."""
+
+    def __init__(self, server: JobServer) -> None:
+        self.server = server
+
+    def submit(self, job, *, wait=True, timeout=None):
+        record = self.server.submit(job)
+        if wait:
+            self.server.wait(record, timeout)
+        view = record.describe()
+        view["result"] = record.payload
+        return view
+
+    def stats(self):
+        return self.server.stats()
+
+
+def test_run_load_meets_the_gate_on_a_repeated_mix(tmp_path):
+    with JobServer(ResultStore(tmp_path / "store"),
+                   queue_path=tmp_path / "queue.sqlite") as server:
+        metrics = run_load(_InProcessClient(server),
+                           figure_templates(["fig5", "fig23", "tab1"]),
+                           requests=90, clients=4, seed=1)
+    assert metrics["counters"]["requests"] == 90
+    assert metrics["counters"]["failed"] == 0
+    # only the 3 first-touch uniques compute; everything else is served
+    assert metrics["counters"]["computed"] == 3
+    assert metrics["hit_or_coalesced_ratio"] >= HIT_OR_COALESCED_GATE
+    assert metrics["results_identical"] is True
+    assert metrics["throughput_rps"] > 0
+    assert metrics["errors"] == []
+
+
+def test_run_load_measures_deltas_not_lifetime_counters(tmp_path):
+    """A pre-warmed daemon's earlier traffic must not inflate the ratio."""
+    with JobServer(ResultStore(tmp_path / "store"),
+                   queue_path=tmp_path / "queue.sqlite") as server:
+        client = _InProcessClient(server)
+        run_load(client, figure_templates(["fig5"]), requests=10, clients=2)
+        metrics = run_load(client, figure_templates(["fig23"]),
+                           requests=10, clients=2)
+    # the second mix computed its one unique; ratio reflects only its run
+    assert metrics["counters"]["requests"] == 10
+    assert metrics["counters"]["computed"] == 1
+    assert metrics["hit_or_coalesced_ratio"] == (10 - 1) / 10

@@ -1,0 +1,96 @@
+"""Persistent queue tests: ordering, durability, recovery, re-queue."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.queue import PersistentJobQueue
+
+
+def _spec(name: str) -> dict:
+    return {"kind": "figure", "name": name}
+
+
+def test_claim_order_is_priority_then_fifo_then_digest(tmp_path):
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    queue.enqueue("cc", _spec("slow"), priority=10.0)
+    queue.enqueue("bb", _spec("fast"), priority=1.0)
+    queue.enqueue("aa", _spec("tie"), priority=1.0)
+    # bb was submitted before aa at the same priority -> FIFO wins
+    assert queue.claim()[0] == "bb"
+    assert queue.claim()[0] == "aa"
+    assert queue.claim()[0] == "cc"
+    assert queue.claim() is None
+    queue.close()
+
+
+def test_round_trips_spec_and_terminal_states(tmp_path):
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    queue.enqueue("aa", _spec("fig7"), priority=2.5)
+    digest, spec = queue.claim()
+    assert digest == "aa" and spec == _spec("fig7")
+    queue.finish("aa", "miss")
+    record = queue.get("aa")
+    assert record["status"] == "done"
+    assert record["provenance"] == "miss"
+    assert record["attempts"] == 1
+    assert queue.get("zz") is None
+    queue.close()
+
+
+def test_failed_digest_can_be_requeued_but_live_rows_cannot(tmp_path):
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    queue.enqueue("aa", _spec("fig7"), priority=1.0)
+    # re-enqueueing a queued row is a no-op (single-flight guarantee)
+    queue.enqueue("aa", _spec("fig7"), priority=99.0)
+    assert queue.get("aa")["priority"] == 1.0
+    queue.claim()
+    queue.fail("aa", "boom")
+    assert queue.get("aa")["error"] == "boom"
+    queue.enqueue("aa", _spec("fig7"), priority=3.0)
+    record = queue.get("aa")
+    assert record["status"] == "queued" and record["error"] is None
+    assert record["priority"] == 3.0
+    queue.close()
+
+
+def test_queue_survives_reopen_and_recovers_running_rows(tmp_path):
+    path = tmp_path / "q.sqlite"
+    first = PersistentJobQueue(path)
+    first.enqueue("aa", _spec("fig7"), priority=1.0)
+    first.enqueue("bb", _spec("fig5"), priority=2.0)
+    first.claim()  # aa left 'running' as if the daemon died here
+    first.close()
+
+    second = PersistentJobQueue(path)
+    assert second.counts() == {"queued": 1, "running": 1, "done": 0,
+                               "failed": 0}
+    assert second.recover() == 1
+    assert second.claim()[0] == "aa"  # cheapest again after recovery
+    assert second.claim()[0] == "bb"
+    second.close()
+
+
+def test_concurrent_claims_never_hand_out_a_digest_twice(tmp_path):
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    for index in range(40):
+        queue.enqueue(f"{index:04d}", _spec("fig7"), priority=float(index))
+    claimed: list[str] = []
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            claim = queue.claim()
+            if claim is None:
+                return
+            with lock:
+                claimed.append(claim[0])
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sorted(claimed) == [f"{index:04d}" for index in range(40)]
+    assert len(set(claimed)) == 40
+    queue.close()

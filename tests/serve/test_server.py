@@ -1,0 +1,269 @@
+"""Coalescing correctness and lifecycle tests for the job server.
+
+The deterministic single-flight battery exploits the server's split
+between submission and execution: with the worker pool not yet started,
+submissions pile up without racing the executor, so coalescing behaviour
+is asserted exactly — then the pool starts and the queue drains.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro.serve.server as server_mod
+from repro.serve.jobs import execute_job
+from repro.serve.server import DONE_MEMO_LIMIT, Job, JobServer, serve_http
+from repro.sim.store import ResultStore
+
+
+def _server(tmp_path, **kwargs) -> JobServer:
+    return JobServer(ResultStore(tmp_path / "store"),
+                     queue_path=tmp_path / "queue.sqlite", **kwargs)
+
+
+def _counting_execute(monkeypatch):
+    """Patch the server's execute_job with a call-recording delegate."""
+    calls: list = []
+
+    def record(spec, store):
+        calls.append(spec)
+        return execute_job(spec, store)
+
+    monkeypatch.setattr(server_mod, "execute_job", record)
+    return calls
+
+
+# ---------------------------------------------------------------------------
+# Single-flight coalescing
+# ---------------------------------------------------------------------------
+
+def test_identical_concurrent_requests_coalesce_to_one_dispatch(
+        tmp_path, monkeypatch):
+    """M identical requests -> exactly 1 computation, M byte-identical
+    payloads equal to the one-shot CLI result (ISSUE satellite #4)."""
+    from repro.sim.experiments import FIGURE_DRIVERS
+
+    calls = _counting_execute(monkeypatch)
+    server = _server(tmp_path)
+    request = {"kind": "figure", "name": "fig5"}
+    jobs: list[Job] = []
+    lock = threading.Lock()
+
+    def submit():
+        job = server.submit(request)
+        with lock:
+            jobs.append(job)
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len({id(job) for job in jobs}) == 1  # all attached to one flight
+    assert server.coalesced == 7
+    assert server.queue.counts()["queued"] == 1
+    try:
+        server.start()
+        payloads = [json.dumps(server.wait(job, 60).payload, sort_keys=True)
+                    for job in jobs]
+        ratio = server.stats()["serve"]["hit_or_coalesced_ratio"]
+    finally:
+        server.stop()
+    assert len(calls) == 1
+    one_shot = json.dumps(FIGURE_DRIVERS["fig5"]().to_dict(), sort_keys=True)
+    assert all(payload == one_shot for payload in payloads)
+    assert ratio == pytest.approx(7 / 8)
+
+
+def test_distinct_seeds_never_coalesce(tmp_path, monkeypatch):
+    calls = _counting_execute(monkeypatch)
+    server = _server(tmp_path)
+    first = server.submit({"kind": "scenario", "name": "aloha-dense",
+                           "seed": 1})
+    second = server.submit({"kind": "scenario", "name": "aloha-dense",
+                            "seed": 2})
+    assert first is not second
+    assert first.digest != second.digest
+    assert server.coalesced == 0
+    try:
+        server.start()
+        server.wait(first, 60)
+        server.wait(second, 60)
+    finally:
+        server.stop()
+    assert len(calls) == 2
+    assert first.payload != second.payload
+
+
+def test_repeat_request_is_a_store_hit_not_a_recompute(tmp_path, monkeypatch):
+    calls = _counting_execute(monkeypatch)
+    with _server(tmp_path) as server:
+        request = {"kind": "figure", "name": "fig5"}
+        first = server.wait(server.submit(request), 60)
+        second = server.submit(request)
+        assert second.status == "done"
+        assert second.provenance == "store"
+        assert second.payload == first.payload
+        assert len(calls) == 1
+        assert server.store_hits == 1
+
+
+def test_failed_job_is_not_cached_and_is_rerunnable(tmp_path, monkeypatch):
+    attempts: list = []
+
+    def flaky(spec, store):
+        attempts.append(spec)
+        if len(attempts) == 1:
+            raise RuntimeError("transient engine failure")
+        return execute_job(spec, store)
+
+    monkeypatch.setattr(server_mod, "execute_job", flaky)
+    with _server(tmp_path) as server:
+        request = {"kind": "figure", "name": "fig5"}
+        failed = server.wait(server.submit(request), 60)
+        assert failed.status == "failed"
+        assert "transient engine failure" in failed.error
+        assert failed.payload is None
+        assert server.store.stats()["entries"] == 0  # failure never cached
+        assert server.queue.get(failed.digest)["status"] == "failed"
+
+        retried = server.wait(server.submit(request), 60)
+        assert retried is not failed
+        assert retried.status == "done"
+        assert retried.provenance == "miss"
+        assert len(attempts) == 2
+        assert server.failed == 1 and server.computed == 1
+
+
+def test_queue_priority_orders_cheap_jobs_first(tmp_path, monkeypatch):
+    """With a warmed cost model, the cheaper of two queued jobs runs first."""
+    from repro.sim.execution import get_cost_model, reset_cost_model
+
+    reset_cost_model()
+    model = get_cost_model()
+    model.observe("artefact:fig5", 1.0, 5.0)     # "expensive"
+    model.observe("artefact:fig23", 1.0, 0.001)  # "cheap"
+    order = []
+
+    def record(spec, store):
+        order.append(spec.name)
+        return execute_job(spec, store)
+
+    monkeypatch.setattr(server_mod, "execute_job", record)
+    server = _server(tmp_path, workers=1)
+    slow = server.submit({"kind": "figure", "name": "fig5"})
+    fast = server.submit({"kind": "figure", "name": "fig23"})
+    try:
+        server.start()
+        server.wait(slow, 60)
+        server.wait(fast, 60)
+    finally:
+        server.stop()
+        reset_cost_model()
+    assert order == ["fig23", "fig5"]
+
+
+def test_restart_recovers_interrupted_queue_rows(tmp_path):
+    """Work claimed by a dead daemon is owed — and re-run on restart."""
+    first = _server(tmp_path)
+    job = first.submit({"kind": "figure", "name": "fig5"})
+    first.queue.claim()  # simulate: a worker took it, then the process died
+    assert first.queue.counts()["running"] == 1
+    first.queue.close()
+
+    second = _server(tmp_path)
+    try:
+        second.start()
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            record = second.queue.get(job.digest)
+            if record["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert second.queue.get(job.digest)["status"] == "done"
+        # and the result is now a store hit for everyone
+        attached = second.submit({"kind": "figure", "name": "fig5"})
+        assert attached.status == "done"
+    finally:
+        second.stop()
+
+
+def test_done_memo_is_bounded(tmp_path):
+    server = _server(tmp_path)
+    spec = server.submit({"kind": "figure", "name": "fig5"}).spec
+    with server._cond:
+        for index in range(DONE_MEMO_LIMIT + 50):
+            digest = f"{index:064d}"
+            job = Job(digest=digest, spec=spec, status="done",
+                      finished_at=float(index))
+            server._jobs[digest] = job
+        server._prune_memo()
+        assert len(server._jobs) <= DONE_MEMO_LIMIT
+        # the still-queued real submission is never pruned
+        assert any(job.status == "queued" for job in server._jobs.values())
+    server.queue.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def http_server(tmp_path):
+    from repro.serve.client import ServeClient
+
+    job_server = _server(tmp_path)
+    httpd = serve_http(job_server)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield ServeClient(f"http://{host}:{port}"), job_server
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        job_server.stop()
+
+
+def test_http_submit_wait_status_result_round_trip(http_server):
+    client, job_server = http_server
+    assert client.healthz()
+    reply = client.submit({"kind": "figure", "name": "fig5"}, wait=True,
+                          timeout=60)
+    assert reply["status"] == "done"
+    assert reply["provenance"] == "miss"
+    assert reply["result"]["title"]
+    digest = reply["digest"]
+    status = client.status(digest)
+    assert status["status"] == "done"
+    assert status["queue"]["attempts"] == 1
+    result = client.result(digest)
+    assert result["result"] == reply["result"]
+    stats = client.stats()
+    assert stats["serve"]["requests"] == 1
+    assert stats["queue"]["done"] == 1
+
+
+def test_http_rejects_bad_jobs_and_unknown_digests(http_server):
+    from repro.serve.client import ServeError
+
+    client, _ = http_server
+    with pytest.raises(ServeError) as bad_job:
+        client.submit({"kind": "figure", "name": "not-a-figure"})
+    assert bad_job.value.status == 400
+    with pytest.raises(ServeError) as missing:
+        client.status("f" * 64)
+    assert missing.value.status == 404
+
+
+def test_http_no_wait_returns_202_then_completes(http_server):
+    client, job_server = http_server
+    reply = client.submit({"kind": "figure", "name": "fig23"}, wait=False)
+    assert reply["status"] in ("queued", "running", "done")
+    job = job_server.get(reply["digest"])
+    job_server.wait(job, 60)
+    assert client.status(reply["digest"])["status"] == "done"

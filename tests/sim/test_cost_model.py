@@ -175,3 +175,93 @@ def test_get_cost_model_is_a_resettable_singleton():
         assert get_cost_model() is not first
     finally:
         reset_cost_model()
+
+
+# ---------------------------------------------------------------------------
+# Thread safety (the serve layer shares one model across worker threads)
+# ---------------------------------------------------------------------------
+
+def test_threaded_observe_hammer_keeps_estimates_finite_and_bounded():
+    """Concurrent observe/predict/snapshot from many threads must never
+    corrupt the EWMA state: every estimate stays inside the convex hull
+    of the observed values (any serial interleaving keeps it there), and
+    no sample is lost or double-counted."""
+    import math
+    import threading
+
+    model = CostModel(alpha=0.3, cpu_count=8)
+    kinds = [f"kind:{index}" for index in range(4)]
+    threads_n, per_thread = 8, 200
+
+    failures = []
+
+    def hammer(base):
+        try:
+            for i in range(per_thread):
+                kind = kinds[(base + i) % len(kinds)]
+                # per-unit values alternate between 0.5 and 1.0 exactly
+                model.observe(kind, units=1.0,
+                              seconds=0.5 + 0.5 * ((base + i) % 2))
+                model.observe_dispatch(0.01 + 0.001 * (i % 3))
+                predicted = model.predict_seconds(kind, 2.0)
+                assert predicted is None or (math.isfinite(predicted)
+                                             and 1.0 <= predicted <= 2.0)
+                snapshot = model.snapshot()
+                assert all(math.isfinite(value)
+                           for value in snapshot["per_unit"].values())
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            failures.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(base,))
+               for base in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert failures == []
+    stats = model.stats()
+    expected_samples = threads_n * per_thread // len(kinds)
+    for kind in kinds:
+        entry = stats["kinds"][kind]
+        assert entry["samples"] == expected_samples       # none lost
+        assert 0.5 <= entry["per_unit_s"] <= 1.0          # serial bounds
+    assert stats["dispatch_samples"] == threads_n * per_thread
+    assert 0.01 <= stats["dispatch_overhead_s"] <= 0.012
+
+
+def test_threaded_snapshot_restore_hammer_round_trips():
+    """snapshot() under concurrent observe() must always capture a
+    self-consistent state that restore() accepts."""
+    import threading
+
+    model = CostModel(alpha=0.5, cpu_count=4)
+    model.observe("k", 1.0, 1.0)
+    stop = threading.Event()
+    failures = []
+
+    def observer():
+        value = 0
+        while not stop.is_set():
+            model.observe("k", 1.0, 0.5 + (value % 10) / 10.0)
+            value += 1
+
+    def copier():
+        try:
+            for _ in range(300):
+                clone = CostModel(alpha=0.5, cpu_count=4)
+                clone.restore(model.snapshot())
+                predicted = clone.predict_seconds("k", 1.0)
+                assert predicted is not None and 0.5 <= predicted <= 1.4
+        except Exception as error:  # noqa: BLE001 - collected for assert
+            failures.append(error)
+
+    worker = threading.Thread(target=observer)
+    copiers = [threading.Thread(target=copier) for _ in range(3)]
+    worker.start()
+    for thread in copiers:
+        thread.start()
+    for thread in copiers:
+        thread.join()
+    stop.set()
+    worker.join()
+    assert failures == []

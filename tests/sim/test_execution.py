@@ -195,6 +195,67 @@ def test_fabric_recovers_from_a_worker_killed_while_idle():
         fabric.shutdown()
 
 
+class _InstantFuture:
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+class _BreakablePool:
+    """Fake executor whose submit raises BrokenProcessPool N times."""
+
+    def __init__(self, breaks: int):
+        self.breaks = breaks
+
+    def submit(self, fn, *args):
+        from concurrent.futures.process import BrokenProcessPool
+
+        if self.breaks:
+            self.breaks -= 1
+            raise BrokenProcessPool("injected worker death")
+        return _InstantFuture(fn(*args))
+
+
+def test_map_jobs_retries_consecutive_pool_breaks(monkeypatch):
+    """Two back-to-back broken pools (e.g. OOM-killed workers under server
+    load) must be absorbed by the bounded rebuild loop, not escape."""
+    from repro.sim import execution
+
+    monkeypatch.setattr(execution, "POOL_REBUILD_BACKOFF_S", 0.0)
+    fabric = ExecutionFabric(max_workers=1)
+    pool = _BreakablePool(breaks=2)
+    monkeypatch.setattr(fabric, "executor", lambda min_workers=1: pool)
+    results = fabric.map_jobs(lambda value: value * 2, [(1,), (2,), (3,)])
+    assert results == [2, 4, 6]
+    assert fabric.pool_rebuilds == 2
+    assert fabric.jobs_dispatched == 3
+    assert fabric.stats()["pool_rebuilds"] == 2
+
+
+def test_map_jobs_gives_up_after_the_rebuild_limit(monkeypatch):
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.sim import execution
+    from repro.sim.execution import POOL_REBUILD_LIMIT
+
+    monkeypatch.setattr(execution, "POOL_REBUILD_BACKOFF_S", 0.0)
+    fabric = ExecutionFabric(max_workers=1)
+    pool = _BreakablePool(breaks=10 ** 9)
+    monkeypatch.setattr(fabric, "executor", lambda min_workers=1: pool)
+    with pytest.raises(BrokenProcessPool):
+        fabric.map_jobs(lambda value: value, [(1,)])
+    assert fabric.pool_rebuilds == POOL_REBUILD_LIMIT
+    assert fabric.jobs_dispatched == 0
+
+
+def test_fabric_stats_report_pool_rebuilds_by_default():
+    assert fabric_stats()["pool"]["pool_rebuilds"] >= 0
+    fabric = ExecutionFabric(max_workers=1)
+    assert fabric.stats()["pool_rebuilds"] == 0
+
+
 def test_fabric_max_parallel_window_preserves_order():
     fabric = ExecutionFabric(max_workers=2)
     try:

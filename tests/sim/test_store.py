@@ -104,6 +104,76 @@ class TestResultStore:
         assert store.get({"i": 0}) == {"i": 0}     # kept: recently used
         assert store.get({"i": 1}) is None         # evicted instead
 
+    def test_eviction_tie_break_is_deterministic_on_equal_mtimes(self, tmp_path):
+        """On 1s-granularity filesystems a put burst ties on mtime; the
+        digest tie-break keeps LRU order total and deterministic."""
+        store = ResultStore(tmp_path)
+        keys = [{"kind": "test", "i": i} for i in range(4)]
+        paths = {}
+        for key in keys:
+            path = store.put(key, {"ok": True})
+            os.utime(path, (1000, 1000))           # everyone ties
+            paths[path.name] = key
+        assert store.gc(2) == 2
+        survivors = sorted(paths)[2:]              # largest digests survive
+        for name, key in paths.items():
+            expected = {"ok": True} if name in survivors else None
+            assert store.get(key) == expected
+
+    def test_eviction_of_an_already_deleted_entry_is_benign(self, tmp_path):
+        """A concurrent process deleting an entry mid-scan must not break
+        eviction (the delete-vs-put race the serve layer exposes)."""
+        store = ResultStore(tmp_path)
+        paths = []
+        for i in range(4):
+            path = store.put({"i": i}, {"i": i})
+            os.utime(path, (1000 + i, 1000 + i))
+            paths.append(path)
+        paths[0].unlink()                          # raced away behind our back
+        removed = store.gc(1)
+        assert removed == 2                        # only files actually deleted
+        assert store.stats()["entries"] == 1
+        assert store.get({"i": 3}) == {"i": 3}
+
+    def test_concurrent_put_and_evict_stress(self, tmp_path):
+        """Hammer put/get/gc from threads: no exceptions, bound respected,
+        and every surviving entry still round-trips."""
+        import threading
+
+        store = ResultStore(tmp_path, max_entries=8)
+        errors = []
+
+        def writer(base):
+            try:
+                for i in range(40):
+                    key = {"worker": base, "i": i}
+                    store.put(key, {"worker": base, "i": i})
+                    payload = store.get(key)
+                    assert payload is None or payload == {"worker": base, "i": i}
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        def collector():
+            try:
+                for _ in range(25):
+                    store.gc(4)
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(4)]
+        threads.append(threading.Thread(target=collector))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = store.stats()
+        assert stats["entries"] == len(_entry_files(store))
+        assert stats["entries"] <= 8
+        for path in _entry_files(store):
+            entry = json.loads(path.read_text())
+            assert store.get(entry["key"]) == entry["payload"]
+
     def test_gc_prunes_to_bound(self, tmp_path):
         store = ResultStore(tmp_path)
         for i in range(5):

@@ -423,3 +423,82 @@ def test_store_dir_alone_enables_the_store(capsys, tmp_path):
     captured = capsys.readouterr()
     assert "1 miss(es)" in captured.err
     assert any(tmp_path.iterdir())
+
+
+# ---------------------------------------------------------------------------
+# serve subcommand
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def serve_daemon(tmp_path):
+    """A live daemon on an ephemeral loopback port, for the client commands."""
+    import threading
+
+    from repro.serve.server import JobServer, serve_http
+    from repro.sim.store import ResultStore
+
+    job_server = JobServer(ResultStore(tmp_path / "store"),
+                           queue_path=tmp_path / "queue.sqlite")
+    httpd = serve_http(job_server)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        job_server.stop()
+
+
+def test_serve_submit_is_byte_identical_to_one_shot_cli(capsys, serve_daemon):
+    assert main(["serve", "submit", "--url", serve_daemon,
+                 "--name", "fig7"]) == 0
+    served = capsys.readouterr()
+    assert "provenance=miss" in served.err
+    assert main(["experiments", "--only", "fig7"]) == 0
+    one_shot = capsys.readouterr()
+    assert served.out == one_shot.out
+    # repeat is answered from the store, still byte-identical
+    assert main(["serve", "submit", "--url", serve_daemon,
+                 "--name", "fig7"]) == 0
+    repeat = capsys.readouterr()
+    assert repeat.out == served.out
+    assert "provenance=store" in repeat.err
+
+
+def test_serve_submit_scenario_matches_network_command(capsys, serve_daemon):
+    assert main(["serve", "submit", "--url", serve_daemon,
+                 "--kind", "scenario", "--name", "aloha-dense",
+                 "--seed", "4"]) == 0
+    served = capsys.readouterr().out
+    assert main(["network", "--scenario", "aloha-dense", "--seed", "4"]) == 0
+    # serve submit always ends with the experiments-style blank separator;
+    # the scenario table itself is byte-identical
+    assert served == capsys.readouterr().out + "\n"
+
+
+def test_serve_status_and_stats_commands(capsys, serve_daemon):
+    import json
+
+    assert main(["serve", "submit", "--url", serve_daemon,
+                 "--name", "fig5", "--no-wait"]) == 0
+    digest, status = capsys.readouterr().out.split()
+    assert status in ("queued", "running", "done")
+    assert main(["serve", "status", "--url", serve_daemon, digest]) == 0
+    view = json.loads(capsys.readouterr().out)
+    assert view["digest"] == digest
+    assert main(["serve", "stats", "--url", serve_daemon]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["serve"]["requests"] >= 1
+
+
+def test_serve_submit_rejects_unknown_names(capsys, serve_daemon):
+    assert main(["serve", "submit", "--url", serve_daemon,
+                 "--name", "fig999"]) == 1
+    assert "unknown figure name" in capsys.readouterr().err
+
+
+def test_serve_unreachable_daemon_is_a_clean_error(capsys):
+    assert main(["serve", "stats", "--url", "http://127.0.0.1:9"]) == 2
+    assert "cannot reach daemon" in capsys.readouterr().err
