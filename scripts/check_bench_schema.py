@@ -26,7 +26,11 @@ The checker enforces two things:
   ``gate_enforced: true``; and the result store: warm passes must serve
   ≥ 95 % of artefacts on every payload and be ≥ 5x faster than the cold
   pass on full runs whose first pass was genuinely cold
-  (``prewarmed: false``).
+  (``prewarmed: false``).  The ``chaos`` section carries hard robustness
+  gates on every payload: ``jobs_lost == 0``, ``results_identical``,
+  ``duplicate_computations == 1`` under an injected worker crash, at
+  least five distinct fault kinds fired, and a deterministic same-seed
+  rerun.
 
 The ``gate_enforced`` escape hatch is deliberately narrow: it exists only
 because process fan-out cannot beat serial execution on a single core, so
@@ -95,7 +99,7 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
     """Return a list of violations (empty when the payload is healthy)."""
     errors: list[str] = []
     for section in ("engines", "waveform", "mega_batch", "fabric",
-                    "cost_model", "store", "serve", "figures"):
+                    "cost_model", "store", "serve", "chaos", "figures"):
         if section not in payload:
             errors.append(f"missing section {section!r}")
     if errors:
@@ -187,6 +191,33 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
                       "(single-flight: a burst of identical requests "
                       f"computed {serve.get('duplicate_computations')!r} "
                       "times)")
+
+    chaos = payload["chaos"]
+    # The robustness invariants: under the injected fault schedule
+    # (including a worker crash mid-burst) the daemon may never lose an
+    # accepted job, never serve different bytes than the fault-free run,
+    # and never compute a coalesced burst more than once.  All three are
+    # hard gates on every payload — a flaky pass here is a correctness
+    # regression, not a perf regression.
+    if chaos.get("jobs_lost") != 0:
+        errors.append(f"gate: chaos.jobs_lost must be 0 "
+                      f"(got {chaos.get('jobs_lost')!r})")
+    if chaos.get("results_identical") is not True:
+        errors.append("gate: chaos.results_identical must be true (payloads "
+                      "served under faults must match the fault-free run "
+                      "byte for byte)")
+    if chaos.get("duplicate_computations") != 1:
+        errors.append("gate: chaos.duplicate_computations must be exactly 1 "
+                      "(single-flight under injected worker crash; got "
+                      f"{chaos.get('duplicate_computations')!r})")
+    kinds = chaos.get("fault_kinds")
+    if not isinstance(kinds, list) or len(kinds) < 5:
+        errors.append("chaos: fault_kinds must list at least 5 distinct "
+                      f"injected kinds (got {kinds!r})")
+    if chaos.get("repeat_stats_identical") is not True:
+        errors.append("gate: chaos.repeat_stats_identical must be true "
+                      "(same seed must reproduce the same schedule and "
+                      "stats)")
 
     full_run = not smoke and not payload.get("smoke", False)
     for path, floor, full_only in GATES:

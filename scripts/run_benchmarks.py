@@ -6,7 +6,7 @@ Run from the repository root::
                                                     [--packets 100000]
                                                     [--profile]
 
-Seven sections are measured and written to ``BENCH_batch.json``.  Every
+Nine sections are measured and written to ``BENCH_batch.json``.  Every
 deterministic timing is the best of three repetitions, and configurations
 that are compared against each other are timed with *interleaved*
 repetitions (``_time_best_each``) so host drift cannot bias a ratio
@@ -54,7 +54,13 @@ single passes because its cold/warm timings are stateful.
   one.  ``--store-dir`` points the section at a persistent store so a CI
   job can rerun the benchmark and prove cross-run reuse;
   ``--expect-store-warm`` then fails the run unless the *first* pass was
-  already served from the store (the CI warm-rerun assertion).
+  already served from the store (the CI warm-rerun assertion);
+* ``serve`` — a live daemon under a zipf-repeated query mix (throughput,
+  latency percentiles, hit-or-coalesced ratio, single-flight burst);
+* ``chaos`` — the seeded fault-injection harness
+  (``scripts/chaos_test.py``): six fault kinds replayed against a live
+  daemon, gated on zero lost jobs, byte-identical payloads, exactly one
+  computation under the coalescing burst, and a deterministic rerun.
 
 ``--smoke`` shrinks every workload for CI: the head-to-heads still assert
 engine equality and the ≥10x link-speedup gate still applies.  Wall-clock
@@ -741,6 +747,33 @@ def benchmark_serve(*, smoke: bool) -> dict:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def benchmark_chaos(*, smoke: bool) -> dict:
+    """Seeded fault-injection invariants (``scripts/chaos_test.py``).
+
+    Replays the harness's deterministic fault schedule — worker crash,
+    slow shard, store write error, corrupt store entry, queue lock
+    contention, HTTP disconnect — against a live self-hosted daemon and
+    records the robustness invariants the schema gates: no accepted job
+    lost, payloads byte-identical to the fault-free baseline, exactly one
+    computation under the coalescing burst even with a worker dying
+    mid-flight, and a bit-reproducible rerun of the same seed.
+    """
+    import chaos_test
+
+    print("chaos harness (seeded fault schedule against a live daemon):")
+    record = chaos_test.run_chaos(7, smoke=smoke)
+    print(f"  {record['faults_total']} faults across "
+          f"{len(record['fault_kinds'])} kinds   "
+          f"jobs lost {record['jobs_lost']}   "
+          f"duplicates {record['duplicate_computations']}   "
+          f"byte-identical {record['results_identical']}   "
+          f"deterministic rerun {record['repeat_stats_identical']}")
+    print(f"  admission: {record['rejected_requests']} rejected with "
+          f"Retry-After, degraded /healthz observed "
+          f"{record['degraded_observed']}")
+    return record
+
+
 def benchmark_figures() -> dict:
     """Wall clock of every figure driver on the batch path."""
     print("figure drivers (batch path):")
@@ -816,6 +849,8 @@ def main(argv=None) -> int:
     serve = _run_section("serve",
                          lambda: benchmark_serve(smoke=args.smoke),
                          profiles)
+    chaos = _run_section("chaos", lambda: benchmark_chaos(smoke=args.smoke),
+                         profiles)
     figures = _run_section("figures", benchmark_figures, profiles)
     payload = {
         "engines": engines,
@@ -825,6 +860,7 @@ def main(argv=None) -> int:
         "cost_model": cost_model,
         "store": store,
         "serve": serve,
+        "chaos": chaos,
         "figures": figures,
         "figures_total_s": sum(entry["batch_s"] for entry in figures.values()),
         "packets": args.packets,

@@ -172,6 +172,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument("--store-dir", default=None, metavar="DIR",
                            help="result store backing the daemon (default: "
                                 "$REPRO_STORE_DIR or ./.repro-store)")
+    serve_run.add_argument("--max-queue-depth", type=int, default=None,
+                           metavar="N",
+                           help="admission control: reject submits beyond N "
+                                "in-flight jobs with 503 + Retry-After "
+                                "(default: unbounded)")
+    serve_run.add_argument("--job-deadline", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-job wall-clock deadline; over-deadline "
+                                "jobs are failed and their hung worker "
+                                "replaced (default: none)")
     serve_submit = serve_actions.add_parser(
         "submit", help="submit one job to a running daemon and print the "
                        "result (byte-identical to the one-shot command)")
@@ -188,6 +198,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_submit.add_argument("--precision", default=None,
                               choices=("reference", "fast"),
                               help="waveform jobs only")
+    serve_submit.add_argument("--shards", default=None, metavar="N|auto",
+                              help="waveform jobs only: force the shard "
+                                   "count (scheduling hint; results and "
+                                   "store keys are shard-invariant)")
     serve_submit.add_argument("--no-wait", action="store_true",
                               help="enqueue and print the job digest instead "
                                    "of waiting for the result")
@@ -462,7 +476,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         from repro.sim.store import open_store
 
         job_server = JobServer(open_store(args.store_dir),
-                               workers=args.workers)
+                               workers=args.workers,
+                               max_queue_depth=args.max_queue_depth,
+                               job_deadline_s=args.job_deadline)
         httpd = serve_http(job_server, host=args.host, port=args.port)
         host, port = httpd.server_address[:2]
         print(f"repro serve listening on http://{host}:{port} "
@@ -499,6 +515,16 @@ def _run_serve(args: argparse.Namespace) -> int:
             job["engine"] = args.engine
         if args.precision is not None:
             job["precision"] = args.precision
+        if args.shards is not None:
+            if args.shards == "auto":
+                job["shards"] = "auto"
+            else:
+                try:
+                    job["shards"] = int(args.shards)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"--shards must be an integer or 'auto', "
+                        f"got {args.shards!r}") from None
         reply = client.submit(job, wait=not args.no_wait, timeout=args.timeout)
         if args.no_wait:
             print(f"{reply['digest']} {reply['status']}")
@@ -520,6 +546,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"serve: {error}", file=sys.stderr)
         return 2
     except ServeError as error:
+        if error.status == 0:
+            # the client exhausted its retries without ever reaching the
+            # daemon (connection refused/reset on every attempt)
+            print(f"serve: cannot reach daemon at {args.url}: "
+                  f"{error.payload.get('error', error)}", file=sys.stderr)
+            return 2
         print(f"serve: {error}", file=sys.stderr)
         return 1
     except URLError as error:

@@ -3,22 +3,47 @@
 ``urllib.request`` only — the client ships with the library so the CLI's
 ``repro serve submit``/``status``/``stats`` subcommands and the load
 generator need nothing the container doesn't already have.
+
+Retry policy: transient failures — connection refused/reset, a dropped
+response, or an admission-control ``503`` — are retried with jittered
+exponential backoff (full jitter, so a burst of rejected clients does not
+re-synchronise into the next burst), honouring the server's ``Retry-After``
+hint when present, up to a hard attempt cap.  Retrying a ``POST /jobs`` is
+safe by design: submits are idempotent (keyed by the store digest) and
+coalesce server-side, so a retry can never cause duplicate computation.
+Non-transient HTTP errors (400, 404, 409, 500, 504) raise immediately.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 from typing import Mapping
-from urllib.error import HTTPError
+from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "DEFAULT_RETRIES"]
+
+#: Default retry attempts *after* the first try (5 tries total).
+DEFAULT_RETRIES: int = 4
+
+#: Base of the exponential backoff (doubles per attempt, full jitter).
+BACKOFF_BASE_S: float = 0.05
+
+#: Backoff ceiling per sleep, with or without a ``Retry-After`` hint.
+BACKOFF_CAP_S: float = 2.0
 
 
 class ServeError(RuntimeError):
-    """An HTTP-level error reply from the daemon (carries the JSON body)."""
+    """An HTTP-level error reply from the daemon (carries the JSON body).
+
+    ``status`` 0 means the daemon could not be reached at all (connection
+    errors exhausted every retry).
+    """
 
     def __init__(self, status: int, payload: dict) -> None:
         super().__init__(f"serve request failed ({status}): "
@@ -28,31 +53,85 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talk to one serve daemon at ``base_url`` (e.g. http://127.0.0.1:8642)."""
+    """Talk to one serve daemon at ``base_url`` (e.g. http://127.0.0.1:8642).
 
-    def __init__(self, base_url: str, *, timeout: float = 330.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        Daemon address.
+    timeout:
+        Per-request socket timeout (seconds).
+    retries:
+        Transient-failure retries after the first attempt (0 disables).
+    jitter_seed:
+        Seeds the backoff jitter for deterministic tests/chaos replays;
+        ``None`` seeds from the OS.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 330.0,
+                 retries: int = DEFAULT_RETRIES,
+                 jitter_seed: int | None = None) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ConfigurationError(
                 f"base_url must be an http(s) URL, got {base_url!r}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.retries_used = 0
+        self._rng = random.Random(jitter_seed)
 
     # ------------------------------------------------------------------
+    def _backoff_s(self, attempt: int, retry_after: float | None) -> float:
+        """Sleep length before retry ``attempt`` (full jitter, capped)."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), BACKOFF_CAP_S)
+        return self._rng.uniform(
+            0.0, min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2 ** attempt)))
+
+    @staticmethod
+    def _retry_after(error: HTTPError) -> float | None:
+        value = error.headers.get("Retry-After") if error.headers else None
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except ValueError:
+            return None
+
     def _call(self, method: str, path: str, body: dict | None = None) -> dict:
         request = Request(self.base_url + path, method=method)
         data = None
         if body is not None:
             data = json.dumps(body).encode()
             request.add_header("Content-Type", "application/json")
-        try:
-            with urlopen(request, data=data, timeout=self.timeout) as reply:
-                return json.loads(reply.read())
-        except HTTPError as error:
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
             try:
-                payload = json.loads(error.read())
-            except (ValueError, json.JSONDecodeError):
-                payload = {"error": str(error)}
-            raise ServeError(error.code, payload) from None
+                with urlopen(request, data=data, timeout=self.timeout) as reply:
+                    return json.loads(reply.read())
+            except HTTPError as error:
+                try:
+                    payload = json.loads(error.read())
+                except (ValueError, json.JSONDecodeError):
+                    payload = {"error": str(error)}
+                if error.code == 503 and attempt < self.retries:
+                    self.retries_used += 1
+                    time.sleep(self._backoff_s(attempt, self._retry_after(error)))
+                    continue
+                raise ServeError(error.code, payload) from None
+            except (URLError, OSError, http.client.HTTPException) as error:
+                # Connection refused/reset, dropped mid-response
+                # (RemoteDisconnected), socket timeouts: all transient.
+                last_error = error
+                if attempt < self.retries:
+                    self.retries_used += 1
+                    time.sleep(self._backoff_s(attempt, None))
+                    continue
+        raise ServeError(0, {
+            "error": (f"daemon unreachable after {self.retries + 1} "
+                      f"attempts: {last_error}")}) from None
 
     # ------------------------------------------------------------------
     def submit(self, job: Mapping, *, wait: bool = True,
@@ -72,5 +151,9 @@ class ServeClient:
     def stats(self) -> dict:
         return self._call("GET", "/stats")
 
+    def health(self) -> dict:
+        """The full ``/healthz`` payload (``state``, ``reasons``)."""
+        return self._call("GET", "/healthz")
+
     def healthz(self) -> bool:
-        return bool(self._call("GET", "/healthz").get("ok"))
+        return bool(self.health().get("ok"))

@@ -41,10 +41,16 @@ class JobSpec:
     seed: int | None = None
     engine: str = "batch"
     precision: str = "reference"
+    #: Waveform scheduling hint only: forwarded to ``run_sweep`` so a
+    #: client (or the chaos harness on a single-core host) can force the
+    #: process pool.  Never part of the store key — any shard count
+    #: produces identical bits, so it must not split the cache.
+    shards: int | str = "auto"
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "name": self.name, "seed": self.seed,
-                "engine": self.engine, "precision": self.precision}
+                "engine": self.engine, "precision": self.precision,
+                "shards": self.shards}
 
 
 def _known_names(kind: str) -> list[str]:
@@ -71,7 +77,8 @@ def parse_job(payload: Mapping) -> JobSpec:
     if not isinstance(payload, Mapping):
         raise ConfigurationError(
             f"a job must be a mapping, got {type(payload).__name__}")
-    unknown = sorted(set(payload) - {"kind", "name", "seed", "engine", "precision"})
+    unknown = sorted(set(payload)
+                     - {"kind", "name", "seed", "engine", "precision", "shards"})
     if unknown:
         raise ConfigurationError(f"unknown job fields {unknown}")
     kind = payload.get("kind")
@@ -114,8 +121,19 @@ def parse_job(payload: Mapping) -> JobSpec:
     elif precision != "reference":
         raise ConfigurationError(
             f"{kind} jobs are precision-less; leave precision='reference'")
+    shards = payload.get("shards", "auto")
+    if isinstance(shards, str):
+        if shards != "auto":
+            raise ConfigurationError(
+                f"shards must be a positive integer or 'auto', got {shards!r}")
+    elif isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+        raise ConfigurationError(
+            f"shards must be a positive integer or 'auto', got {shards!r}")
+    if kind != "waveform" and shards != "auto":
+        raise ConfigurationError(
+            f"{kind} jobs do not shard; leave shards='auto'")
     return JobSpec(kind=kind, name=name, seed=seed, engine=engine,
-                   precision=precision)
+                   precision=precision, shards=shards)
 
 
 def job_store_key(spec: JobSpec) -> dict:
@@ -221,7 +239,7 @@ def execute_job(spec: JobSpec, store=None) -> tuple[dict, str]:
             payload = store.get(key, digest=digest)
             if payload is not None:
                 return payload, "hit"
-    run = run_sweep(sweep, random_state=spec.seed, shards="auto",
+    run = run_sweep(sweep, random_state=spec.seed, shards=spec.shards,
                     engine=spec.engine, precision=spec.precision, store=store)
     payload = run.to_sweep_result().to_dict()
     if key is None:

@@ -22,8 +22,26 @@ import sqlite3
 import threading
 import time
 from pathlib import Path
+from typing import Callable, Iterable
 
-__all__ = ["PersistentJobQueue"]
+from repro import faults
+
+__all__ = ["PersistentJobQueue", "LOCK_RETRY_LIMIT", "DEFAULT_MAX_ATTEMPTS"]
+
+#: Bounded retries for ``sqlite3.OperationalError: database is locked``.
+#: WAL mode makes real contention rare (a second process on the same DB,
+#: an aggressive backup tool), but when it happens the right move is a
+#: short exponential backoff, not an exception out of ``submit``.
+LOCK_RETRY_LIMIT: int = 5
+
+#: Base of the lock-retry backoff (doubles per attempt).
+LOCK_RETRY_BACKOFF_S: float = 0.01
+
+#: How many times a row may be claimed before :meth:`recover` marks it
+#: failed instead of re-queueing it.  Guards against the poison-job loop:
+#: a job that crashes its worker every time would otherwise be recovered
+#: and re-run forever.
+DEFAULT_MAX_ATTEMPTS: int = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -48,9 +66,13 @@ _STATUSES = ("queued", "running", "done", "failed")
 class PersistentJobQueue:
     """Durable digest-keyed job queue with priority-ordered claims."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_attempts = int(max_attempts)
+        self.lock_retries = 0
+        self.poisoned = 0
         # One shared connection: every access goes through self._lock, so
         # cross-thread use is safe despite check_same_thread=False.
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
@@ -61,15 +83,47 @@ class PersistentJobQueue:
             self._conn.executescript(_SCHEMA)
 
     # ------------------------------------------------------------------
+    def _transact(self, op: Callable[[sqlite3.Connection], object]):
+        """Run ``op`` in one transaction, retrying transient lock errors.
+
+        ``database is locked`` (another process holding the write lock, or
+        the injected ``queue.op`` fault) is retried with exponential
+        backoff up to :data:`LOCK_RETRY_LIMIT` times — counted in
+        ``lock_retries`` — before the error escapes.  Any other
+        ``OperationalError`` raises immediately.
+        """
+        last_error: sqlite3.OperationalError | None = None
+        for attempt in range(LOCK_RETRY_LIMIT + 1):
+            if attempt:
+                time.sleep(LOCK_RETRY_BACKOFF_S * (2 ** (attempt - 1)))
+            try:
+                with self._lock, self._conn:
+                    fault = faults.fire("queue.op")
+                    if fault is not None and fault.kind == "queue_locked":
+                        raise sqlite3.OperationalError("database is locked")
+                    return op(self._conn)
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc).lower():
+                    raise
+                last_error = exc
+                with self._lock:
+                    self.lock_retries += 1
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
     def enqueue(self, digest: str, spec: dict, priority: float) -> None:
         """Insert ``digest`` as queued (re-queues a failed/finished row).
 
         Idempotent for an already-queued/running digest: the single-flight
         map in the server makes duplicates impossible in one process, and
-        a crashed predecessor's row is simply refreshed.
+        a crashed predecessor's row is simply refreshed.  An explicit
+        re-enqueue of a failed/done row resets ``attempts`` — the caller
+        asked again, so the job gets a fresh retry budget (only the
+        crash-recovery loop accumulates attempts toward the poison cap).
         """
-        with self._lock, self._conn:
-            self._conn.execute(
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
                 """INSERT INTO jobs (digest, spec, priority, status,
                                      submitted_at, attempts)
                    VALUES (?, ?, ?, 'queued', ?, 0)
@@ -79,46 +133,82 @@ class PersistentJobQueue:
                        status = 'queued',
                        submitted_at = excluded.submitted_at,
                        started_at = NULL, finished_at = NULL,
-                       provenance = NULL, error = NULL
+                       provenance = NULL, error = NULL,
+                       attempts = 0
                    WHERE jobs.status NOT IN ('queued', 'running')""",
                 (digest, json.dumps(spec, sort_keys=True), float(priority),
                  time.time()))
+        self._transact(op)
 
     def claim(self) -> tuple[str, dict] | None:
         """Atomically take the cheapest queued job; ``None`` when idle."""
-        with self._lock, self._conn:
-            row = self._conn.execute(
+        def op(conn: sqlite3.Connection) -> tuple[str, dict] | None:
+            row = conn.execute(
                 """SELECT digest, spec FROM jobs WHERE status = 'queued'
                    ORDER BY priority ASC, submitted_at ASC, digest ASC
                    LIMIT 1""").fetchone()
             if row is None:
                 return None
-            self._conn.execute(
+            conn.execute(
                 """UPDATE jobs SET status = 'running', started_at = ?,
                                    attempts = attempts + 1
                    WHERE digest = ?""", (time.time(), row["digest"]))
             return row["digest"], json.loads(row["spec"])
+        return self._transact(op)
 
     def finish(self, digest: str, provenance: str) -> None:
-        with self._lock, self._conn:
-            self._conn.execute(
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
                 """UPDATE jobs SET status = 'done', finished_at = ?,
                                    provenance = ? WHERE digest = ?""",
                 (time.time(), provenance, digest))
+        self._transact(op)
 
     def fail(self, digest: str, error: str) -> None:
-        with self._lock, self._conn:
-            self._conn.execute(
+        def op(conn: sqlite3.Connection) -> None:
+            conn.execute(
                 """UPDATE jobs SET status = 'failed', finished_at = ?,
                                    error = ? WHERE digest = ?""",
                 (time.time(), error, digest))
+        self._transact(op)
 
-    def recover(self) -> int:
-        """Re-queue jobs left ``running`` by a dead predecessor process."""
-        with self._lock, self._conn:
-            return self._conn.execute(
-                """UPDATE jobs SET status = 'queued', started_at = NULL
-                   WHERE status = 'running'""").rowcount
+    def recover(self, exclude: Iterable[str] = ()) -> int:
+        """Re-queue ``running`` rows with no live worker; return how many.
+
+        ``exclude`` names the digests *this* process is actively working
+        on, so a periodic watchdog sweep never re-queues legitimate
+        in-flight jobs — everything else marked ``running`` is an orphan:
+        a predecessor process died, or a worker died between the SQLite
+        claim and its in-memory registration.  Orphans whose ``attempts``
+        already reached ``max_attempts`` are poison (they kill every
+        worker that touches them) and are marked ``failed`` instead of
+        re-queued — counted in ``poisoned``.
+        """
+        excluded = frozenset(exclude)
+
+        def op(conn: sqlite3.Connection) -> int:
+            rows = conn.execute(
+                "SELECT digest, attempts FROM jobs WHERE status = 'running'"
+            ).fetchall()
+            requeued = 0
+            for row in rows:
+                if row["digest"] in excluded:
+                    continue
+                if row["attempts"] >= self.max_attempts:
+                    conn.execute(
+                        """UPDATE jobs SET status = 'failed', finished_at = ?,
+                                           error = ? WHERE digest = ?""",
+                        (time.time(),
+                         f"poisoned: abandoned after {row['attempts']} attempts",
+                         row["digest"]))
+                    self.poisoned += 1
+                else:
+                    conn.execute(
+                        """UPDATE jobs SET status = 'queued', started_at = NULL
+                           WHERE digest = ?""", (row["digest"],))
+                    requeued += 1
+            return requeued
+        return self._transact(op)
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> dict | None:

@@ -59,6 +59,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import faults
 from repro.exceptions import ConfigurationError
 from repro.utils.hashing import (
     UncacheableError,
@@ -82,6 +83,12 @@ DEFAULT_STORE_DIRNAME: str = ".repro-store"
 #: with room to spare, while a runaway loop cannot fill the disk.
 DEFAULT_MAX_ENTRIES: int = 4096
 
+#: Consecutive failed writes before :attr:`ResultStore.read_only` reports
+#: the store as impaired.  One failure can be a transient race (root being
+#: recreated, tmpfile collision); a run of them means the disk is full or
+#: the mount is gone.
+READ_ONLY_THRESHOLD: int = 3
+
 #: Library files whose edits must NOT mass-invalidate the store, relative
 #: to the ``repro`` package root: the experiment drivers (invalidation is
 #: per-driver via each driver function's own source fingerprint), the
@@ -93,6 +100,10 @@ _FINGERPRINT_EXCLUDES: frozenset[str] = frozenset({
     "__main__.py",
     "sim/store.py",
     "utils/hashing.py",
+    # Fault injection changes how we *get* to a result (crashes, retries,
+    # timeouts), never the result itself; its edits must not retire the
+    # store.
+    "faults.py",
 })
 
 #: Package subtrees excluded wholesale.  The serve layer only arranges
@@ -356,6 +367,11 @@ class ResultStore:
         self.corrupt = 0
         self.puts = 0
         self.uncacheable = 0
+        self.write_errors = 0
+        # Consecutive failed writes; at READ_ONLY_THRESHOLD the store
+        # reports itself read-only (served by /healthz as "degraded").
+        # Any successful write resets it — the state is self-healing.
+        self._consecutive_write_failures = 0
         # Entry count, maintained incrementally after one lazy scan so a
         # cold run persisting N entries does not pay N directory scans.
         # Concurrent writers can skew it; it only gates *when* the
@@ -364,6 +380,20 @@ class ResultStore:
         # RLock: ``put`` holds it across the eviction check, which may
         # re-enter ``_prune_to``.
         self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    @property
+    def read_only(self) -> bool:
+        """Whether writes are persistently failing (degradation signal).
+
+        Flips true after :data:`READ_ONLY_THRESHOLD` *consecutive* failed
+        writes (disk full, permissions yanked, root on a dead mount) and
+        back to false on the first success.  Reads and recomputation keep
+        working either way — this only tells health endpoints that caching
+        is impaired.
+        """
+        with self._lock:
+            return self._consecutive_write_failures >= READ_ONLY_THRESHOLD
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -456,6 +486,9 @@ class ResultStore:
             count_before = self._known_entry_count()
             tmp_name = None
             try:
+                fault = faults.fire("store.write")
+                if fault is not None and fault.kind == "store_write_error":
+                    raise OSError(28, "injected store write fault")
                 path.parent.mkdir(parents=True, exist_ok=True)
                 existed = path.exists()
                 fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -469,10 +502,18 @@ class ResultStore:
                 if tmp_name is not None:
                     self._unlink(Path(tmp_name))
                 self.uncacheable += 1
+                self.write_errors += 1
+                self._consecutive_write_failures += 1
                 return None
             self.puts += 1
+            self._consecutive_write_failures = 0
             self._entry_count = count_before + (0 if existed else 1)
             self._evict_over_bound()
+            fault = faults.fire("store.corrupt")
+            if fault is not None and fault.kind == "store_corrupt_entry":
+                # Simulate torn/bit-rotted bytes landing on disk; the next
+                # ``get`` must treat them as a miss and drop the file.
+                path.write_bytes(b'{"schema": 1, "key": {truncated')
         return path
 
     @staticmethod
@@ -583,6 +624,9 @@ class ResultStore:
                 "corrupt": self.corrupt,
                 "puts": self.puts,
                 "uncacheable": self.uncacheable,
+                "write_errors": self.write_errors,
+                "read_only": (self._consecutive_write_failures
+                              >= READ_ONLY_THRESHOLD),
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -598,6 +642,7 @@ def open_store(root: str | Path | None = None, *,
 
 __all__ = [
     "DEFAULT_MAX_ENTRIES",
+    "READ_ONLY_THRESHOLD",
     "ResultStore",
     "STORE_DIR_ENV",
     "STORE_SCHEMA",

@@ -119,7 +119,10 @@ _MEGA_STACK_BYTES: int = 96 * 1024 * 1024
 #: the front end reads it, and the zero-gap columns of the FIR buffers are
 #: written at build time and never touched again.  Reusing the buffers
 #: across chunks and sweeps avoids the large-allocation + first-touch page
-#: fault cost that dominated per-call staging.
+#: fault cost that dominated per-call staging.  Borrowed via
+#: checkout/checkin (never ``get``): the serve layer's worker threads run
+#: whole sweeps concurrently, and two same-shaped sweeps sharing one
+#: staging buffer would silently corrupt each other's floats.
 _STACK_WORKSPACES = PlanCache("stacked-workspaces", maxsize=8, mutable=True)
 
 #: Per-(config, burst length) front-end workspaces — SAW gain profile, input
@@ -550,6 +553,11 @@ class SaiyanBurstKernel:
         warm, already-paged buffers.  The zero gap columns of the FIR
         buffers are part of the layout contract: they are zeroed once here
         and the consumers only ever write the ``[:, :length]`` region.
+
+        The borrow is *exclusive* (checkout removes the cache entry): a
+        concurrent same-shaped sweep on another thread builds its own
+        buffers rather than racing on these.  Pair every call with
+        :meth:`_release_workspace` once the chunk's envelopes are decided.
         """
 
         def build() -> dict:
@@ -570,8 +578,13 @@ class SaiyanBurstKernel:
                 ws["detected"] = np.empty((rows, length))
             return ws
 
-        return _STACK_WORKSPACES.get(
+        return _STACK_WORKSPACES.checkout(
             (self.config, self.precision, rows, length), build)
+
+    def _release_workspace(self, rows: int, length: int, ws: dict) -> None:
+        """Check a :meth:`_stack_workspace` borrow back in for reuse."""
+        _STACK_WORKSPACES.checkin(
+            (self.config, self.precision, rows, length), ws)
 
     def _frontend_fused(self, ws: dict, length: int) -> np.ndarray:
         """Reference front end over the staged workspace, in place.
@@ -690,51 +703,67 @@ class SaiyanBurstKernel:
                                                     burst * self._sps),
                               [], [])
                       for burst, count in counts.items()}
-            cursors = {burst: 0 for burst in counts}
-            for cell_index in chunk:
-                rng = as_rng(streams[cell_index])
-                snr_db = snrs_db[cell_index]
-                for burst in plan:
-                    ws, owners, tx_list = groups[burst]
-                    r = cursors[burst]
-                    cursors[burst] = r + 1
-                    if self._fast:
-                        tx = rng.integers(0, self._alphabet, size=burst)
-                        row = self._table32[tx].reshape(-1)
-                        signal_power = float(np.mean(np.abs(row) ** 2))
-                        noise_power = float(signal_power / db_to_linear(snr_db))
-                        awgn_sample_pairs(row.size, noise_power,
-                                          self._lna_noise_power,
-                                          random_state=rng,
-                                          out_a=ws["noise_a"],
-                                          out_b=ws["noise_b"],
-                                          scratch=ws["scratch"])
-                        # Assigning complex128 rows into the complex64 stack
-                        # applies the same cast as ``astype(np.complex64)``.
-                        ws["signal32"][r] = ws["noise_a"]
-                        ws["signal32"][r] += row
-                        ws["lna32"][r] = ws["noise_b"]
-                    else:
-                        tx = rng.integers(0, self._alphabet, size=burst)
-                        row = self._table[tx].reshape(-1)
-                        signal_power = float(np.mean(np.abs(row) ** 2))
-                        noise_power = float(signal_power / db_to_linear(snr_db))
-                        awgn_sample_pairs(row.size, noise_power,
-                                          self._lna_noise_power,
-                                          random_state=rng,
-                                          out_a=ws["signal"][r],
-                                          out_b=ws["lna"][r],
-                                          scratch=ws["scratch"])
-                        np.add(row, ws["signal"][r], out=ws["signal"][r])
-                    owners.append(cell_index)
-                    tx_list.append(tx)
-            for burst, (ws, owners, tx_list) in groups.items():
+            try:
+                self._measure_chunk_fused(chunk, groups, plan, snrs_db,
+                                          streams, symbol_errors, bit_errors)
+            finally:
+                # Hand every exclusive borrow back even if a cell raises,
+                # so the buffers stay warm for the next chunk/sweep.
+                for burst, (ws, _, _) in groups.items():
+                    self._release_workspace(counts[burst] * len(chunk),
+                                            burst * self._sps, ws)
+
+    def _measure_chunk_fused(self, chunk: range, groups: dict, plan: list[int],
+                             snrs_db: Sequence[float],
+                             streams: Sequence[RandomState],
+                             symbol_errors: list[int],
+                             bit_errors: list[int]) -> None:
+        """Stage, evaluate and decide one chunk of cells (buffers borrowed)."""
+        cursors = {burst: 0 for burst in groups}
+        for cell_index in chunk:
+            rng = as_rng(streams[cell_index])
+            snr_db = snrs_db[cell_index]
+            for burst in plan:
+                ws, owners, tx_list = groups[burst]
+                r = cursors[burst]
+                cursors[burst] = r + 1
                 if self._fast:
-                    envelopes = self._envelopes_fast(ws["signal32"], ws["lna32"])
+                    tx = rng.integers(0, self._alphabet, size=burst)
+                    row = self._table32[tx].reshape(-1)
+                    signal_power = float(np.mean(np.abs(row) ** 2))
+                    noise_power = float(signal_power / db_to_linear(snr_db))
+                    awgn_sample_pairs(row.size, noise_power,
+                                      self._lna_noise_power,
+                                      random_state=rng,
+                                      out_a=ws["noise_a"],
+                                      out_b=ws["noise_b"],
+                                      scratch=ws["scratch"])
+                    # Assigning complex128 rows into the complex64 stack
+                    # applies the same cast as ``astype(np.complex64)``.
+                    ws["signal32"][r] = ws["noise_a"]
+                    ws["signal32"][r] += row
+                    ws["lna32"][r] = ws["noise_b"]
                 else:
-                    envelopes = self._frontend_fused(ws, burst * self._sps)
-                self._count_errors_fused(envelopes, burst, owners, tx_list,
-                                         symbol_errors, bit_errors)
+                    tx = rng.integers(0, self._alphabet, size=burst)
+                    row = self._table[tx].reshape(-1)
+                    signal_power = float(np.mean(np.abs(row) ** 2))
+                    noise_power = float(signal_power / db_to_linear(snr_db))
+                    awgn_sample_pairs(row.size, noise_power,
+                                      self._lna_noise_power,
+                                      random_state=rng,
+                                      out_a=ws["signal"][r],
+                                      out_b=ws["lna"][r],
+                                      scratch=ws["scratch"])
+                    np.add(row, ws["signal"][r], out=ws["signal"][r])
+                owners.append(cell_index)
+                tx_list.append(tx)
+        for burst, (ws, owners, tx_list) in groups.items():
+            if self._fast:
+                envelopes = self._envelopes_fast(ws["signal32"], ws["lna32"])
+            else:
+                envelopes = self._frontend_fused(ws, burst * self._sps)
+            self._count_errors_fused(envelopes, burst, owners, tx_list,
+                                     symbol_errors, bit_errors)
 
     # ------------------------------------------------------------------
     def measure_cells(self, snrs_db: Sequence[float],
@@ -1370,8 +1399,13 @@ def run_sweep(spec: WaveformSweepSpec, *, random_state: RandomState = None,
         if reuse_pool:
             from repro.sim.execution import get_fabric
 
+            # The degradation contract for the hot path: a pool that stays
+            # broken through every rebuild runs the shards serially
+            # in-process instead of failing the sweep (results identical —
+            # jobs are pure functions of their arguments).
             for shard_results in get_fabric().map_jobs(
-                    _evaluate_cells, jobs, min_workers=len(assignments)):
+                    _evaluate_cells, jobs, min_workers=len(assignments),
+                    fallback_serial=True):
                 indexed.extend(shard_results)
         else:
             with ProcessPoolExecutor(max_workers=len(assignments)) as pool:

@@ -25,6 +25,10 @@ on hot paths like the fused mega-batch kernel) and must fully overwrite
 every element they later read, never relying on leftover contents.  Any
 buffer with a standing invariant (e.g. "the FIR gap columns stay zero")
 must have that invariant restored by the consumer before returning.
+Because scratch buffers are written in place, they must never be shared
+between concurrent consumers: borrow them with :meth:`PlanCache.checkout`
+(which *removes* the entry, so a simultaneous borrower of the same key
+builds its own buffer) and hand them back with :meth:`PlanCache.checkin`.
 Scratch caches are flagged in :func:`plan_cache_stats` so the fabric
 report distinguishes them from immutable plan caches.
 
@@ -116,6 +120,48 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
             return plan
+
+    def checkout(self, key: Hashable, build: Callable[[], object]):
+        """Borrow the plan for ``key`` *exclusively* (scratch caches only).
+
+        Unlike :meth:`get`, the entry is **removed** from the cache, so a
+        concurrent checkout of the same key cannot observe the same
+        mutable buffers — it misses and builds a private copy instead
+        (the second-order cost of a burst of same-shaped work; correct
+        bits always win over a warm buffer).  The build runs outside the
+        cache lock for the same reason: every concurrent borrower needs
+        its own value anyway.  Return the value with :meth:`checkin` when
+        every read of it is finished.
+        """
+        if not self.mutable:
+            raise ConfigurationError(
+                f"plan cache {self.name!r} is immutable; checkout/checkin "
+                "are for mutable scratch-workspace caches — use get()")
+        with self._lock:
+            entry = self._entries.pop(key, _MISS)
+            if entry is not _MISS:
+                self.hits += 1
+                return entry
+            self.misses += 1
+        return build()
+
+    def checkin(self, key: Hashable, plan: object) -> None:
+        """Return a checked-out scratch value to the cache under ``key``.
+
+        If a concurrent borrower already checked a value back in under the
+        same key, the newest one wins (the older buffers are simply
+        dropped); the LRU bound applies as for any insert.
+        """
+        if not self.mutable:
+            raise ConfigurationError(
+                f"plan cache {self.name!r} is immutable; checkout/checkin "
+                "are for mutable scratch-workspace caches — use get()")
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = plan
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries

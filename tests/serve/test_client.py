@@ -1,0 +1,155 @@
+"""Client retry-policy tests: 503 + Retry-After, connection errors, caps.
+
+The battery drives :class:`ServeClient` against two kinds of doubles:
+
+* a tiny in-process HTTP server scripted to answer a fixed status
+  sequence (503-then-200, drop-then-200), which exercises the real
+  ``urllib`` error paths end to end;
+* monkeypatched ``time.sleep`` so the backoff schedule is asserted
+  without waiting it out.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+import repro.serve.client as client_mod
+from repro.exceptions import ConfigurationError
+from repro.serve.client import BACKOFF_CAP_S, ServeClient, ServeError
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Answers each request with the next scripted action.
+
+    Actions: ``("status", code)`` replies with a JSON body (plus a
+    Retry-After header on 503), ``("drop",)`` closes the connection
+    without a reply.  Once the script is exhausted every request gets 200.
+    """
+
+    def _serve(self) -> None:
+        with self.server.lock:
+            action = (self.server.script.pop(0) if self.server.script
+                      else ("status", 200))
+            self.server.served.append(action)
+        if action[0] == "drop":
+            self.connection.close()
+            return
+        code = action[1]
+        body = json.dumps({"ok": code == 200, "error": f"scripted {code}",
+                           "retry_after_s": 0.01}).encode()
+        self.send_response(code)
+        if code == 503:
+            self.send_header("Retry-After", "0.01")
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _serve
+    do_POST = _serve
+
+    def log_message(self, *args):  # noqa: D102 - silence test output
+        pass
+
+
+@pytest.fixture
+def scripted():
+    """A factory: scripted([...]) -> (client_url, server)."""
+    servers = []
+
+    def boot(script: list[tuple]):
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+        httpd.script = list(script)
+        httpd.served = []
+        httpd.lock = threading.Lock()
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        servers.append(httpd)
+        host, port = httpd.server_address[:2]
+        return f"http://{host}:{port}", httpd
+
+    yield boot
+    for httpd in servers:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def test_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        ServeClient("ftp://example")
+    with pytest.raises(ConfigurationError):
+        ServeClient("http://localhost:1", retries=-1)
+
+
+def test_503_is_retried_honouring_retry_after(scripted):
+    url, httpd = scripted([("status", 503), ("status", 503), ("status", 200)])
+    client = ServeClient(url, retries=4, jitter_seed=0)
+    reply = client.healthz()
+    assert reply is True
+    assert client.retries_used == 2
+    assert [action[1] for action in httpd.served] == [503, 503, 200]
+
+
+def test_503_exhausts_retries_and_surfaces_the_error(scripted):
+    url, _ = scripted([("status", 503)] * 10)
+    client = ServeClient(url, retries=2, jitter_seed=0)
+    with pytest.raises(ServeError) as error:
+        client.stats()
+    assert error.value.status == 503
+    assert client.retries_used == 2  # the cap, not the script length
+
+
+def test_dropped_connection_is_retried(scripted):
+    url, httpd = scripted([("drop",), ("status", 200)])
+    client = ServeClient(url, retries=3, jitter_seed=0)
+    assert client.healthz() is True
+    assert client.retries_used == 1
+    assert httpd.served[0] == ("drop",)
+
+
+def test_unreachable_daemon_reports_status_zero(monkeypatch):
+    monkeypatch.setattr(client_mod.time, "sleep", lambda _s: None)
+    client = ServeClient("http://127.0.0.1:9", retries=2, jitter_seed=0)
+    with pytest.raises(ServeError) as error:
+        client.healthz()
+    assert error.value.status == 0
+    assert "3 attempts" in error.value.payload["error"]
+    assert client.retries_used == 2
+
+
+def test_non_transient_http_errors_raise_immediately(scripted):
+    url, httpd = scripted([("status", 404)])
+    client = ServeClient(url, retries=5, jitter_seed=0)
+    with pytest.raises(ServeError) as error:
+        client.status("f" * 64)
+    assert error.value.status == 404
+    assert client.retries_used == 0
+    assert len(httpd.served) == 1  # one request, no retry loop
+
+
+def test_zero_retries_disables_the_loop(scripted):
+    url, _ = scripted([("status", 503)])
+    client = ServeClient(url, retries=0)
+    with pytest.raises(ServeError) as error:
+        client.healthz()
+    assert error.value.status == 503
+    assert client.retries_used == 0
+
+
+def test_backoff_is_jittered_capped_and_seed_deterministic():
+    sleeps_a = [ServeClient("http://h", jitter_seed=42)._backoff_s(a, None)
+                for a in range(8)]
+    sleeps_b = [ServeClient("http://h", jitter_seed=42)._backoff_s(a, None)
+                for a in range(8)]
+    sleeps_c = [ServeClient("http://h", jitter_seed=43)._backoff_s(a, None)
+                for a in range(8)]
+    assert sleeps_a == sleeps_b  # same seed, same schedule
+    assert sleeps_a != sleeps_c  # the jitter is real
+    assert all(0.0 <= s <= BACKOFF_CAP_S for s in sleeps_a)
+    # a server Retry-After hint overrides the jitter, but stays capped
+    client = ServeClient("http://h", jitter_seed=0)
+    assert client._backoff_s(0, 0.5) == 0.5
+    assert client._backoff_s(0, 1e9) == BACKOFF_CAP_S

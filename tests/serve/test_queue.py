@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import threading
 
-from repro.serve.queue import PersistentJobQueue
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.serve.queue import LOCK_RETRY_LIMIT, PersistentJobQueue
 
 
 def _spec(name: str) -> dict:
@@ -93,4 +97,81 @@ def test_concurrent_claims_never_hand_out_a_digest_twice(tmp_path):
         thread.join()
     assert sorted(claimed) == [f"{index:04d}" for index in range(40)]
     assert len(set(claimed)) == 40
+    queue.close()
+
+
+# ---------------------------------------------------------------------------
+# Lock-fault absorption, orphan recovery, poison jobs
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_injected_lock_error_is_absorbed_with_a_bounded_retry(tmp_path, monkeypatch):
+    import repro.serve.queue as queue_mod
+
+    monkeypatch.setattr(queue_mod, "LOCK_RETRY_BACKOFF_S", 0.0)
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="queue_locked", site="queue.op", at=(0,)),))
+    with faults.inject(plan):
+        queue.enqueue("aa", _spec("fig7"), priority=1.0)  # retried, succeeds
+    assert queue.lock_retries == 1
+    assert queue.get("aa")["status"] == "queued"
+    queue.close()
+
+
+def test_lock_errors_exhaust_the_retry_budget_then_escape(tmp_path, monkeypatch):
+    import sqlite3
+
+    import repro.serve.queue as queue_mod
+
+    monkeypatch.setattr(queue_mod, "LOCK_RETRY_BACKOFF_S", 0.0)
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="queue_locked", site="queue.op", probability=1.0),))
+    with faults.inject(plan):
+        with pytest.raises(sqlite3.OperationalError):
+            queue.enqueue("aa", _spec("fig7"), priority=1.0)
+    assert queue.lock_retries == LOCK_RETRY_LIMIT + 1  # one per attempt
+    queue.close()
+
+
+def test_recover_spares_registered_workers_but_requeues_orphan_claims(tmp_path):
+    """Regression: a worker killed *between* its SQLite claim and its
+    in-memory registration leaves a running row no live thread owns.  The
+    watchdog's periodic ``recover(exclude=registered)`` must re-queue that
+    orphan while sparing legitimately in-flight digests."""
+    queue = PersistentJobQueue(tmp_path / "q.sqlite")
+    queue.enqueue("aa", _spec("fig7"), priority=1.0)
+    queue.enqueue("bb", _spec("fig5"), priority=2.0)
+    assert queue.claim()[0] == "aa"   # registered in-memory
+    assert queue.claim()[0] == "bb"   # worker died before registration
+    assert queue.recover(exclude=["aa"]) == 1
+    assert queue.get("aa")["status"] == "running"  # spared
+    record = queue.get("bb")
+    assert record["status"] == "queued" and record["started_at"] is None
+    assert record["attempts"] == 1  # the lost claim still counts
+    queue.close()
+
+
+def test_recover_poisons_rows_at_the_attempt_cap(tmp_path):
+    queue = PersistentJobQueue(tmp_path / "q.sqlite", max_attempts=2)
+    queue.enqueue("aa", _spec("fig7"), priority=1.0)
+    queue.claim()
+    assert queue.recover() == 1       # attempt 1 of 2: re-queued
+    queue.claim()
+    assert queue.recover() == 0       # cap reached: poisoned, not re-queued
+    assert queue.poisoned == 1
+    record = queue.get("aa")
+    assert record["status"] == "failed"
+    assert "poisoned" in record["error"]
+    # an explicit re-enqueue is a fresh ask: the retry budget resets
+    queue.enqueue("aa", _spec("fig7"), priority=1.0)
+    assert queue.get("aa")["attempts"] == 0
+    assert queue.claim()[0] == "aa"
     queue.close()

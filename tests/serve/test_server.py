@@ -267,3 +267,153 @@ def test_http_no_wait_returns_202_then_completes(http_server):
     job = job_server.get(reply["digest"])
     job_server.wait(job, 60)
     assert client.status(reply["digest"])["status"] == "done"
+
+
+# ---------------------------------------------------------------------------
+# Admission control, watchdog deadlines, fault injection
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    from repro import faults
+
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_server_rejects_bad_robustness_knobs(tmp_path):
+    from repro.exceptions import ConfigurationError
+
+    for kwargs in ({"max_queue_depth": 0}, {"job_deadline_s": 0.0},
+                   {"watchdog_interval_s": 0.0}):
+        with pytest.raises(ConfigurationError):
+            _server(tmp_path, **kwargs)
+
+
+def test_admission_control_rejects_then_recovers(tmp_path):
+    server = _server(tmp_path, max_queue_depth=1)
+    first = server.submit({"kind": "figure", "name": "fig5"})
+    with pytest.raises(server_mod.ServerBusyError) as busy:
+        server.submit({"kind": "figure", "name": "fig23"})
+    assert busy.value.retry_after_s > 0
+    assert server.rejected == 1
+    # coalesce attaches bypass admission: no new queue slot is needed
+    assert server.submit({"kind": "figure", "name": "fig5"}) is first
+    health = server.health()
+    assert health["ok"] is True              # saturated, but still live
+    assert health["state"] == "degraded"
+    assert any("saturated" in reason for reason in health["reasons"])
+    try:
+        server.start()
+        server.wait(first, 60)
+        second = server.wait(server.submit({"kind": "figure",
+                                            "name": "fig23"}), 60)
+        assert second.status == "done"       # capacity came back
+        assert server.health()["state"] == "ok"
+    finally:
+        server.stop()
+
+
+def test_http_admission_rejection_carries_retry_after(tmp_path, monkeypatch):
+    from repro.serve.client import ServeClient, ServeError
+
+    # gate the worker so the first job deterministically holds the single
+    # admission slot, however fast the figure computes on a warm process
+    release = threading.Event()
+
+    def gated(spec, store):
+        release.wait(30)
+        return execute_job(spec, store)
+
+    monkeypatch.setattr(server_mod, "execute_job", gated)
+    job_server = _server(tmp_path, max_queue_depth=1)
+    httpd = serve_http(job_server)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    host, port = httpd.server_address[:2]
+    try:
+        raw = ServeClient(f"http://{host}:{port}", retries=0)
+        raw.submit({"kind": "figure", "name": "fig5"}, wait=False)
+        with pytest.raises(ServeError) as busy:
+            raw.submit({"kind": "figure", "name": "fig23"}, wait=False)
+        assert busy.value.status == 503
+        assert busy.value.payload["retry_after_s"] > 0
+        # a retrying client rides the 503 out once the slot frees up
+        release.set()
+        patient = ServeClient(f"http://{host}:{port}", retries=10,
+                              jitter_seed=1)
+        reply = patient.submit({"kind": "figure", "name": "fig23"},
+                               wait=True, timeout=60)
+        assert reply["status"] == "done"
+    finally:
+        release.set()
+        httpd.shutdown()
+        httpd.server_close()
+        job_server.stop()
+
+
+def test_watchdog_abandons_hung_jobs_and_replaces_the_worker(
+        tmp_path, monkeypatch):
+    release = threading.Event()
+    calls: list = []
+
+    def hanging_once(spec, store):
+        calls.append(spec)
+        if len(calls) == 1:
+            release.wait(30)   # a hung engine: deadlocked import, runaway job
+        return execute_job(spec, store)
+
+    monkeypatch.setattr(server_mod, "execute_job", hanging_once)
+    server = _server(tmp_path, workers=1, job_deadline_s=0.3,
+                     watchdog_interval_s=0.05)
+    request = {"kind": "figure", "name": "fig23"}
+    job = server.submit(request)
+    try:
+        server.start()
+        abandoned = server.wait(job, 15)     # released by the watchdog
+        assert abandoned.status == "failed"
+        assert "deadline exceeded" in abandoned.error
+        assert server.deadline_abandoned == 1
+        assert server.queue.get(job.digest)["status"] == "failed"
+        # the hung worker finishes late; its result must be discarded
+        release.set()
+        deadline = time.time() + 10
+        while server.late_completions < 1 and time.time() < deadline:
+            time.sleep(0.02)
+        assert server.late_completions == 1
+        assert server.get(job.digest).status == "failed"  # still failed
+        # the late result was discarded from the job view, but its store
+        # write is benign (byte-identical by the determinism contract), so
+        # the resubmit is served instantly — by the replacement worker's
+        # server, without another computation
+        retried = server.wait(server.submit(request), 60)
+        assert retried is not job and retried.status == "done"
+        assert retried.provenance == "store"
+        assert len(calls) == 1
+    finally:
+        release.set()
+        server.stop()
+
+
+def test_injected_http_disconnect_is_ridden_out_by_client_retry(tmp_path):
+    from repro import faults
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.serve.client import ServeClient
+
+    job_server = _server(tmp_path)
+    httpd = serve_http(job_server)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    host, port = httpd.server_address[:2]
+    try:
+        client = ServeClient(f"http://{host}:{port}", retries=3,
+                             jitter_seed=0)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="http_disconnect", site="http.reply", at=(0,)),))
+        with faults.inject(plan):
+            assert client.healthz() is True   # first reply dropped mid-flight
+        assert client.retries_used == 1
+        assert plan.stats()["fired"] == {"http.reply:http_disconnect": 1}
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        job_server.stop()

@@ -14,10 +14,15 @@ import os
 import numpy as np
 import pytest
 
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from repro import faults
 from repro.dsp.filters import FIR_PLAN_CACHE, fir_lowpass
 from repro.exceptions import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
 from repro.sim.execution import (
     DEFAULT_MAX_WORKERS,
+    POOL_REBUILD_LIMIT,
     ExecutionFabric,
     fabric_stats,
     get_fabric,
@@ -281,3 +286,136 @@ def test_fabric_stats_shape():
             "jobs_dispatched"} <= set(stats["pool"])
     assert {"alpha", "cpu_count", "dispatch_overhead_s",
             "kinds"} <= set(stats["cost_model"])
+
+
+# ---------------------------------------------------------------------------
+# Deadlines, fault injection, graceful degradation
+# ---------------------------------------------------------------------------
+
+def _napping_job(seconds):
+    import time
+
+    time.sleep(seconds)
+    return "overslept"
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_map_jobs_rejects_nonpositive_deadline():
+    fabric = ExecutionFabric(max_workers=1)
+    try:
+        with pytest.raises(ConfigurationError):
+            fabric.map_jobs(_job_pid, [("a",)], job_timeout_s=0.0)
+    finally:
+        fabric.shutdown()
+
+
+def test_map_jobs_deadline_kills_hung_shards_then_raises(monkeypatch):
+    from repro.sim import execution
+
+    monkeypatch.setattr(execution, "POOL_REBUILD_BACKOFF_S", 0.0)
+    fabric = ExecutionFabric(max_workers=1)
+    try:
+        with pytest.raises(FuturesTimeoutError):
+            fabric.map_jobs(_napping_job, [(30.0,)], job_timeout_s=0.2)
+        stats = fabric.stats()
+        # one timeout per attempt, one rebuild between attempts
+        assert stats["shard_timeouts"] == POOL_REBUILD_LIMIT + 1
+        assert stats["pool_rebuilds"] == POOL_REBUILD_LIMIT
+        assert stats["rebuilding"] is False
+        # the fabric stays usable afterwards: fresh pool, healthy batch
+        assert fabric.map_jobs(_job_pid, [("ok",)])[0][0] == "ok"
+    finally:
+        fabric.shutdown()
+
+
+def test_injected_worker_crash_is_absorbed_by_the_rebuild_loop(monkeypatch):
+    from repro.sim import execution
+
+    monkeypatch.setattr(execution, "POOL_REBUILD_BACKOFF_S", 0.0)
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker_crash", site="fabric.job", at=(0,)),))
+    fabric = ExecutionFabric(max_workers=1)
+    try:
+        with faults.inject(plan):
+            results = fabric.map_jobs(_job_pid, [("a",), ("b",)])
+        assert [tag for tag, _ in results] == ["a", "b"]
+        assert fabric.pool_rebuilds == 1
+        assert plan.stats()["fired"] == {"fabric.job:worker_crash": 1}
+    finally:
+        fabric.shutdown()
+
+
+def test_injected_slow_shard_delays_without_corrupting_results():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="slow_shard", site="fabric.job", at=(0,),
+                  delay_s=0.05),))
+    fabric = ExecutionFabric(max_workers=1)
+    try:
+        with faults.inject(plan):
+            results = fabric.map_jobs(_job_pid, [("a",), ("b",)])
+        assert [tag for tag, _ in results] == ["a", "b"]
+        assert fabric.stats()["shard_timeouts"] == 0
+        assert plan.fault_kinds_fired() == ("slow_shard",)
+    finally:
+        fabric.shutdown()
+
+
+def test_fallback_serial_answers_in_process_when_rebuilds_exhaust(monkeypatch):
+    from repro.sim import execution
+
+    monkeypatch.setattr(execution, "POOL_REBUILD_BACKOFF_S", 0.0)
+    # every submission crashes its worker; the pool can never deliver
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker_crash", site="fabric.job", probability=1.0),))
+    fabric = ExecutionFabric(max_workers=1)
+    try:
+        with faults.inject(plan):
+            results = fabric.map_jobs(_job_pid, [("a",)], fallback_serial=True)
+        assert results[0][0] == "a"
+        assert results[0][1] == os.getpid()  # computed in this process
+        stats = fabric.stats()
+        assert stats["serial_fallbacks"] == 1
+        assert stats["pool_rebuilds"] == POOL_REBUILD_LIMIT
+    finally:
+        fabric.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# PlanCache checkout/checkin (exclusive scratch-workspace borrows)
+# ---------------------------------------------------------------------------
+
+def test_checkout_is_an_exclusive_borrow():
+    cache = PlanCache("test-borrow", maxsize=4, mutable=True)
+    first = cache.checkout("k", lambda: {"buf": 1})
+    # while borrowed, a second consumer must get a private workspace
+    second = cache.checkout("k", lambda: {"buf": 2})
+    assert first is not second
+    cache.checkin("k", first)
+    assert cache.checkout("k", lambda: {"buf": 3}) is first  # warm again
+
+
+def test_checkin_newest_wins_and_stays_bounded():
+    cache = PlanCache("test-checkin", maxsize=1, mutable=True)
+    a = cache.checkout("k", lambda: "A")
+    b = cache.checkout("k", lambda: "B")
+    cache.checkin("k", a)
+    cache.checkin("k", b)   # replaces a: last returned borrow wins
+    assert cache.checkout("k", lambda: "C") is b
+    cache.checkin("k", b)
+    cache.checkin("other", "D")  # maxsize=1 evicts the LRU entry
+    assert len(cache) == 1
+    assert cache.evictions >= 1
+
+
+def test_immutable_caches_refuse_checkout_checkin():
+    cache = PlanCache("test-frozen", maxsize=4)
+    with pytest.raises(ConfigurationError):
+        cache.checkout("k", lambda: object())
+    with pytest.raises(ConfigurationError):
+        cache.checkin("k", object())

@@ -1,0 +1,139 @@
+"""Deterministic fault-injection plumbing tests (repro.faults)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultError, FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+def test_spec_rejects_unknown_kind_site_and_bad_knobs():
+    with pytest.raises(FaultError):
+        FaultSpec(kind="lightning", site="fabric.job", at=(0,))
+    with pytest.raises(FaultError):
+        FaultSpec(kind="worker_crash", site="the.moon", at=(0,))
+    with pytest.raises(FaultError):
+        FaultSpec(kind="worker_crash", site="fabric.job", probability=1.5)
+    with pytest.raises(FaultError):
+        FaultSpec(kind="worker_crash", site="fabric.job", at=(0,),
+                  max_fires=0)
+    with pytest.raises(FaultError):
+        # neither an index schedule nor a probability: the spec can never fire
+        FaultSpec(kind="worker_crash", site="fabric.job")
+
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(seed=13, specs=(
+        FaultSpec(kind="worker_crash", site="fabric.job", at=(0, 4)),
+        FaultSpec(kind="queue_locked", site="queue.op", probability=0.25,
+                  max_fires=3),
+    ))
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.seed == plan.seed
+    assert clone.specs == plan.specs
+    assert json.loads(plan.to_json())["specs"][0]["kind"] == "worker_crash"
+
+
+# ---------------------------------------------------------------------------
+# Firing semantics
+# ---------------------------------------------------------------------------
+
+def test_at_index_schedule_fires_exactly_at_those_calls():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="slow_shard", site="fabric.job", at=(1, 3)),))
+    fired = [plan.fire("fabric.job") for _ in range(6)]
+    assert [spec.kind if spec else None for spec in fired] == [
+        None, "slow_shard", None, "slow_shard", None, None]
+    assert plan.stats()["fired"] == {"fabric.job:slow_shard": 2}
+    assert plan.fault_kinds_fired() == ("slow_shard",)
+
+
+def test_sites_count_independently():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="store_write_error", site="store.write", at=(0,)),
+        FaultSpec(kind="queue_locked", site="queue.op", at=(0,)),
+    ))
+    assert plan.fire("queue.op").kind == "queue_locked"
+    assert plan.fire("store.write").kind == "store_write_error"
+    assert plan.fire("store.write") is None
+
+
+def test_max_fires_bounds_a_probabilistic_spec():
+    plan = FaultPlan(seed=3, specs=(
+        FaultSpec(kind="queue_locked", site="queue.op", probability=1.0,
+                  max_fires=2),))
+    kinds = [plan.fire("queue.op") for _ in range(10)]
+    assert sum(1 for spec in kinds if spec is not None) == 2
+
+
+def test_seeded_probability_schedule_is_reproducible():
+    def fire_pattern(seed: int) -> list[bool]:
+        plan = FaultPlan(seed=seed, specs=(
+            FaultSpec(kind="http_disconnect", site="http.reply",
+                      probability=0.5),))
+        return [plan.fire("http.reply") is not None for _ in range(64)]
+
+    assert fire_pattern(11) == fire_pattern(11)
+    assert fire_pattern(11) != fire_pattern(12)  # seed actually matters
+    assert any(fire_pattern(11)) and not all(fire_pattern(11))
+
+
+def test_reset_replays_the_same_schedule():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker_crash", site="fabric.job", at=(2,)),))
+    first = [plan.fire("fabric.job") is not None for _ in range(4)]
+    plan.reset()
+    second = [plan.fire("fabric.job") is not None for _ in range(4)]
+    assert first == second == [False, False, True, False]
+
+
+# ---------------------------------------------------------------------------
+# Global install / inject
+# ---------------------------------------------------------------------------
+
+def test_module_fire_is_a_noop_without_an_installed_plan():
+    assert faults.active() is None
+    assert faults.fire("fabric.job") is None
+    assert faults.fire("store.write") is None
+
+
+def test_inject_installs_and_restores():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="worker_crash", site="fabric.job", at=(0,)),))
+    with faults.inject(plan):
+        assert faults.active() is plan
+        assert faults.fire("fabric.job").kind == "worker_crash"
+    assert faults.active() is None
+
+
+def test_env_var_plan_installs_on_load(monkeypatch):
+    plan = FaultPlan(seed=5, specs=(
+        FaultSpec(kind="queue_locked", site="queue.op", at=(0,)),))
+    monkeypatch.setenv(faults.PLAN_ENV_VAR, plan.to_json())
+    faults._install_from_env()
+    try:
+        assert faults.active() is not None
+        assert faults.active().seed == 5
+    finally:
+        faults.clear()
+
+
+def test_env_var_garbage_raises_a_clear_error(monkeypatch):
+    monkeypatch.setenv(faults.PLAN_ENV_VAR, "{not json")
+    with pytest.raises(FaultError):
+        faults._install_from_env()
+    assert faults.active() is None

@@ -6,11 +6,14 @@ import os
 import numpy as np
 import pytest
 
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
 from repro.sim.batch import BatchRunner
 from repro.sim.metrics import SeriesResult, SweepResult
 from repro.sim.network_engine import run_scenario_grid, run_scenario_stored
 from repro.sim.scenario import get_scenario
 from repro.sim.store import (
+    READ_ONLY_THRESHOLD,
     ResultStore,
     figure_driver_key,
     scenario_key,
@@ -558,3 +561,76 @@ class TestSweepStore:
         store = ResultStore(tmp_path)
         sweep_1d([1.0], _square, store=store)
         assert store.stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault injection and graceful degradation
+# ---------------------------------------------------------------------------
+
+class TestStoreFaultsAndDegradation:
+    @pytest.fixture(autouse=True)
+    def _clean_plan(self):
+        faults.clear()
+        yield
+        faults.clear()
+
+    def test_injected_write_fault_degrades_to_uncached_success(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="store_write_error", site="store.write", at=(0,)),))
+        with faults.inject(plan):
+            assert store.put(KEY_A, {"x": 1}) is None   # degraded to no-op
+            assert store.get(KEY_A) is None             # nothing on disk
+            path = store.put(KEY_A, {"x": 1})           # next write is healthy
+        assert path is not None
+        assert store.get(KEY_A) == {"x": 1}
+        stats = store.stats()
+        assert stats["write_errors"] == 1
+        assert stats["read_only"] is False  # one blip is not persistent failure
+
+    def test_persistent_write_failures_flip_read_only_then_self_heal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="store_write_error", site="store.write",
+                      probability=1.0, max_fires=READ_ONLY_THRESHOLD),))
+        with faults.inject(plan):
+            for i in range(READ_ONLY_THRESHOLD):
+                assert store.put({"kind": "test", "i": i}, {"v": i}) is None
+            assert store.read_only is True
+            assert store.stats()["read_only"] is True
+            # the fault budget is spent: the first healthy write self-heals
+            assert store.put(KEY_B, {"ok": 1}) is not None
+        assert store.read_only is False
+        assert store.get(KEY_B) == {"ok": 1}
+
+    def test_injected_corrupt_entry_is_a_miss_then_recovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="store_corrupt_entry", site="store.corrupt",
+                      at=(0,)),))
+        with faults.inject(plan):
+            path = store.put(KEY_A, {"x": 1})
+        assert path is not None and path.exists()
+        assert store.get(KEY_A) is None   # bit-rot detected: a miss
+        assert store.corrupt == 1
+        assert not path.exists()          # the damaged file was dropped
+        store.put(KEY_A, {"x": 1})
+        assert store.get(KEY_A) == {"x": 1}
+
+    def test_store_root_deleted_under_a_live_store(self, tmp_path):
+        """`rm -rf` of the store root under a live server must degrade to
+        misses (recompute) and recreate the tree on the next write — the
+        daemon never crashes and never reports read-only."""
+        import shutil
+
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.put(KEY_A, {"x": 1})
+        assert store.get(KEY_A) == {"x": 1}
+        shutil.rmtree(root)
+        assert store.get(KEY_A) is None            # graceful miss
+        path = store.put(KEY_A, {"x": 2})          # recreates the shard dirs
+        assert path is not None and path.exists()
+        assert store.get(KEY_A) == {"x": 2}
+        assert store.stats()["read_only"] is False
+        assert store.stats()["hits"] == 2

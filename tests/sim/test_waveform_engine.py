@@ -363,3 +363,37 @@ def test_fast_precision_tagged_in_sweep_result_notes():
     assert "precision=fast" in fast_notes
     # The default path keeps the pre-PR-4 note format (golden stability).
     assert "precision" not in reference_notes
+
+
+def test_concurrent_same_shape_sweeps_stay_bit_identical():
+    """Regression: the fused engine's staging workspaces are cached per
+    (config, precision, rows, length) key, so two threads running the
+    *same-shaped* sweep at once (the serve layer's worker pool does exactly
+    this) used to receive the same numpy buffers and silently corrupt each
+    other's floats.  Workspaces are now exclusive borrows
+    (checkout/checkin); concurrent runs must match the sequential answer
+    bit for bit, every time.
+    """
+    import threading
+
+    spec = _saiyan_spec(SaiyanMode.SUPER, num_symbols=16)
+    reference = run_sweep(spec, random_state=11, shards=1)
+    for _ in range(3):
+        results = [None, None, None]
+        errors = []
+
+        def worker(slot):
+            try:
+                results[slot] = run_sweep(spec, random_state=11, shards=1)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(len(results))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for result in results:
+            assert result.cells == reference.cells
