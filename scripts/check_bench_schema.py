@@ -30,7 +30,12 @@ The checker enforces two things:
   gates on every payload: ``jobs_lost == 0``, ``results_identical``,
   ``duplicate_computations == 1`` under an injected worker crash, at
   least five distinct fault kinds fired, and a deterministic same-seed
-  rerun.
+  rerun.  The ``report`` section is *optional* (older payloads predate
+  the report generator), but when one is recorded it must prove the
+  report contract: at least one artefact rendered,
+  ``byte_reproducible: true`` (two renders of the same store are
+  byte-identical), and ``missing_provenance == 0`` (every rendered
+  number carries digest + seed + fingerprint provenance).
 
 The ``gate_enforced`` escape hatch is deliberately narrow: it exists only
 because process fan-out cannot beat serial execution on a single core, so
@@ -218,6 +223,28 @@ def validate(payload: dict, *, smoke: bool) -> list[str]:
         errors.append("gate: chaos.repeat_stats_identical must be true "
                       "(same seed must reproduce the same schedule and "
                       "stats)")
+
+    report = payload.get("report")
+    # The report section is optional (older payloads predate the report
+    # generator); when one is recorded it must prove the report contract:
+    # artefacts rendered, byte-reproducible double render, full provenance.
+    if report is not None:
+        if not isinstance(report, dict):
+            errors.append("report: must be a mapping when recorded")
+        else:
+            artefacts = report.get("artefacts")
+            if not isinstance(artefacts, int) or artefacts < 1:
+                errors.append("report: artefacts missing or < 1 "
+                              f"(got {artefacts!r})")
+            if report.get("byte_reproducible") is not True:
+                errors.append("gate: report.byte_reproducible must be true "
+                              "(two consecutive renders of the same store "
+                              "must be byte-identical)")
+            if report.get("missing_provenance") != 0:
+                errors.append("gate: report.missing_provenance must be 0 "
+                              "(every rendered number must carry digest + "
+                              "seed + fingerprint provenance; got "
+                              f"{report.get('missing_provenance')!r})")
 
     full_run = not smoke and not payload.get("smoke", False)
     for path, floor, full_only in GATES:

@@ -6,7 +6,7 @@ Run from the repository root::
                                                     [--packets 100000]
                                                     [--profile]
 
-Nine sections are measured and written to ``BENCH_batch.json``.  Every
+Ten sections are measured and written to ``BENCH_batch.json``.  Every
 deterministic timing is the best of three repetitions, and configurations
 that are compared against each other are timed with *interleaved*
 repetitions (``_time_best_each``) so host drift cannot bias a ratio
@@ -60,7 +60,11 @@ single passes because its cold/warm timings are stateful.
 * ``chaos`` — the seeded fault-injection harness
   (``scripts/chaos_test.py``): six fault kinds replayed against a live
   daemon, gated on zero lost jobs, byte-identical payloads, exactly one
-  computation under the coalescing burst, and a deterministic rerun.
+  computation under the coalescing burst, and a deterministic rerun;
+* ``report`` — the store-backed report generator: a fresh store is
+  populated through the incremental-evaluation machinery and the full
+  report is rendered twice, gated on byte-identical renders, at least
+  one artefact, and zero artefacts missing provenance.
 
 ``--smoke`` shrinks every workload for CI: the head-to-heads still assert
 engine equality and the ≥10x link-speedup gate still applies.  Wall-clock
@@ -774,6 +778,61 @@ def benchmark_chaos(*, smoke: bool) -> dict:
     return record
 
 
+def benchmark_report(*, smoke: bool) -> dict:
+    """Report generator: double render over a fresh store (byte-identical).
+
+    Populates a throwaway store through the normal incremental-evaluation
+    machinery (every figure driver plus every registered scenario), then
+    renders the store-backed report twice and records the contract the
+    schema gates when this section is present: at least one artefact
+    rendered, zero artefacts missing provenance, and the two renders
+    byte-identical (the report is a pure function of the store — no
+    timestamps, no hostnames).
+    """
+    import shutil
+    import tempfile
+
+    from repro.report.render import render_report
+    from repro.sim.network_engine import run_scenario_stored
+    from repro.sim.scenario import SCENARIOS
+    from repro.sim.store import open_store
+
+    # The artefact registry is already CI-sized; smoke and full runs
+    # render the same inventory.
+    del smoke
+    root = Path(tempfile.mkdtemp(prefix="repro-report-bench-"))
+    print("report generator (double render over a fresh store):")
+    try:
+        store = open_store(root)
+        BatchRunner(store=store).run()
+        for name in sorted(SCENARIOS):
+            run_scenario_stored(SCENARIOS[name], store=store)
+        first_s, first = _time(lambda: render_report(store))
+        second_s, second = _time(lambda: render_report(store))
+        byte_reproducible = (first["markdown"] == second["markdown"]
+                             and first["html"] == second["html"])
+        summary = first["summary"]
+        print(f"  {summary['artefacts']} artefacts "
+              f"({summary['figures']} figures, "
+              f"{summary['scenarios']} scenarios)   "
+              f"render {first_s * 1e3:7.1f} ms / {second_s * 1e3:7.1f} ms   "
+              f"byte-identical {byte_reproducible}   "
+              f"missing provenance {len(summary['missing_provenance'])}")
+        return {
+            "artefacts": summary["artefacts"],
+            "figures": summary["figures"],
+            "scenarios": summary["scenarios"],
+            "missing": len(summary["missing"]),
+            "missing_provenance": len(summary["missing_provenance"]),
+            "registry_entries": summary["registry_entries"],
+            "byte_reproducible": byte_reproducible,
+            "first_render_s": first_s,
+            "second_render_s": second_s,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def benchmark_figures() -> dict:
     """Wall clock of every figure driver on the batch path."""
     print("figure drivers (batch path):")
@@ -851,6 +910,9 @@ def main(argv=None) -> int:
                          profiles)
     chaos = _run_section("chaos", lambda: benchmark_chaos(smoke=args.smoke),
                          profiles)
+    report = _run_section("report",
+                          lambda: benchmark_report(smoke=args.smoke),
+                          profiles)
     figures = _run_section("figures", benchmark_figures, profiles)
     payload = {
         "engines": engines,
@@ -861,6 +923,7 @@ def main(argv=None) -> int:
         "store": store,
         "serve": serve,
         "chaos": chaos,
+        "report": report,
         "figures": figures,
         "figures_total_s": sum(entry["batch_s"] for entry in figures.values()),
         "packets": args.packets,

@@ -31,6 +31,22 @@ Five subcommands cover the workflows a user reaches for most often::
         Inspect or manage the content-addressed result store that backs
         ``--store`` runs.
 
+    python -m repro registry {list,show,gc-orphans,rebuild} [--store-dir DIR]
+        Query or repair the machine-readable run registry — the JSONL
+        index over the store (digest → kind/name/seed/fingerprints/env).
+
+    python -m repro reproduce [--dry-run] [--only NAME...] [--store-dir DIR]
+        Resolve every registered figure/table/scenario against the store,
+        compute only the missing units, and assert the figure artefacts
+        against the committed golden fixtures (non-zero exit on drift).
+        ``--dry-run`` prints the plan without computing anything.
+
+    python -m repro report [--output-dir DIR] [--smoke] [--store-dir DIR]
+        Render every store-resident artefact, the benchmark gates and the
+        serve/chaos stats into one self-contained markdown + HTML report,
+        every number carrying store provenance.  ``--smoke`` exits
+        non-zero when any rendered artefact lacks provenance fields.
+
 Every subcommand accepts ``--seed`` and threads it into the engines, so two
 CLI runs with the same seed print the same numbers end to end (``power`` and
 ``range`` are deterministic; the flag is accepted for interface uniformity).
@@ -225,6 +241,53 @@ def _build_parser() -> argparse.ArgumentParser:
     store.add_argument("--max-entries", type=int, default=None,
                        help="entry bound for gc (default: the store's "
                             "built-in bound)")
+
+    registry = subparsers.add_parser(
+        "registry", help="query or repair the run registry over the store")
+    registry.add_argument("action",
+                          choices=("list", "show", "gc-orphans", "rebuild"),
+                          help="list: print all rows; show: one row by digest "
+                               "prefix; gc-orphans: drop rows whose entry is "
+                               "gone; rebuild: re-index the store by scan")
+    registry.add_argument("digest", nargs="?", default=None,
+                          help="digest (prefix) for 'show'")
+    registry.add_argument("--kind", default=None, metavar="KIND",
+                          help="list: only rows of this kind (e.g. "
+                               "figure-driver, scenario, waveform-cell)")
+    registry.add_argument("--store-dir", default=None, metavar="DIR",
+                          help="store location (default: $REPRO_STORE_DIR or "
+                               "./.repro-store)")
+
+    repr_cmd = subparsers.add_parser(
+        "reproduce", help="resolve every registered artefact against the "
+                          "store, compute the missing ones, verify goldens")
+    repr_cmd.add_argument("--dry-run", action="store_true",
+                          help="print the plan (store-hit vs compute per "
+                               "unit) without computing or verifying anything")
+    repr_cmd.add_argument("--only", nargs="*", default=None, metavar="NAME",
+                          help="restrict to these artefact/scenario names")
+    repr_cmd.add_argument("--golden-dir", default=None, metavar="DIR",
+                          help="golden fixtures to verify against (default: "
+                               "the committed tests/golden/)")
+    repr_cmd.add_argument("--store-dir", default=None, metavar="DIR",
+                          help="store location (default: $REPRO_STORE_DIR or "
+                               "./.repro-store)")
+
+    report = subparsers.add_parser(
+        "report", help="render the store into one self-contained "
+                       "markdown + HTML report with per-artefact provenance")
+    report.add_argument("--output-dir", default="report", metavar="DIR",
+                        help="where report.md / report.html are written "
+                             "(default: ./report)")
+    report.add_argument("--bench", default=None, metavar="FILE",
+                        help="benchmark record to include (default: the "
+                             "committed BENCH_batch.json)")
+    report.add_argument("--smoke", action="store_true",
+                        help="CI gate: exit non-zero when any rendered "
+                             "artefact lacks provenance fields")
+    report.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="store location (default: $REPRO_STORE_DIR or "
+                             "./.repro-store)")
 
     for sub in (exp, net, wav, power, rng):
         sub.add_argument("--seed", type=int, default=None,
@@ -466,6 +529,77 @@ def _run_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_registry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.store import open_store
+
+    store = open_store(args.store_dir)
+    registry = store.registry
+    if args.action == "rebuild":
+        count = registry.rebuild()
+        print(f"rebuild: indexed {count} entries")
+        return 0
+    if args.action == "gc-orphans":
+        removed = registry.gc_orphans()
+        print(f"gc-orphans: removed {removed} stale row(s)")
+        return 0
+    if args.action == "show":
+        if args.digest is None:
+            print("registry: show requires a digest (prefix)", file=sys.stderr)
+            return 2
+        try:
+            row = registry.lookup(args.digest)
+        except ValueError as error:
+            print(f"registry: {error}", file=sys.stderr)
+            return 2
+        if row is None:
+            print(f"registry: no row matches {args.digest!r}", file=sys.stderr)
+            return 1
+        print(json.dumps(row, indent=2, sort_keys=True))
+        return 0
+    rows = registry.rows(kind=args.kind)
+    for row in rows:
+        seed = row.get("seed")
+        print(f"{row['digest'][:12]}  {str(row.get('kind', '?')):<16}"
+              f"{str(row.get('name', '?')):<30}"
+              f"seed={'-' if seed is None else seed}")
+    print(f"{len(rows)} row(s)", file=sys.stderr)
+    return 0
+
+
+def _run_reproduce(args: argparse.Namespace) -> int:
+    from repro.report.reproduce import run_reproduce
+    from repro.sim.store import open_store
+
+    return run_reproduce(open_store(args.store_dir), only=args.only,
+                         dry_run=args.dry_run, golden_dir=args.golden_dir)
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.report.render import write_report
+    from repro.sim.store import open_store
+
+    summary = write_report(open_store(args.store_dir), args.output_dir,
+                           bench_path=args.bench, smoke=args.smoke)
+    print(f"report: {summary['artefacts']} artefacts "
+          f"({summary['figures']} figures/tables, {summary['scenarios']} "
+          f"scenarios), {len(summary['missing'])} missing, "
+          f"{summary['registry_entries']} registry rows")
+    for path in summary["paths"].values():
+        print(f"  wrote {path}")
+    if summary["missing_provenance"]:
+        for problem in summary["missing_provenance"]:
+            print(f"report: missing provenance — {problem}", file=sys.stderr)
+        if args.smoke:
+            return 1
+    if args.smoke and summary["artefacts"] == 0:
+        print("report: smoke found an empty store (no artefacts rendered)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -600,6 +734,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "store":
         return _run_store(args)
+    if args.command == "registry":
+        return _run_registry(args)
+    if args.command == "reproduce":
+        return _run_reproduce(args)
+    if args.command == "report":
+        return _run_report(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

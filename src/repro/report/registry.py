@@ -1,0 +1,284 @@
+"""Machine-readable run registry: a queryable index over the result store.
+
+The store answers "give me the payload for this exact key"; the registry
+answers the discovery question — *what runs exist?* — without reading every
+entry file.  It is a JSONL file (``registry.jsonl`` in the store root) with
+one row per entry digest:
+
+``registry_schema``
+    Row-format version (:data:`REGISTRY_SCHEMA`).
+``digest`` / ``kind`` / ``name``
+    The entry's content address, its key kind (``figure-driver``,
+    ``scenario``, ``waveform-sweep``, ``waveform-cell``, …) and a
+    human-readable name derived from the key (artefact id, scenario or
+    sweep name, receiver arm).
+``seed`` / ``env`` / ``store_schema``
+    The run's seed (``None`` for deterministic drivers), the
+    numpy/python environment fingerprint and the store key schema.
+``fingerprint`` / ``driver_fingerprint`` / ``scaffold_fingerprint``
+    The code fingerprints embedded in the key (library-wide, and — for
+    figure drivers — per-driver and per-module-scaffold).
+``bytes`` / ``recorded_at``
+    Entry file size and mtime at indexing time (advisory; the entry file
+    is always the source of truth).
+
+Maintenance contract: the registry is **advisory and self-healing**.  It
+is appended incrementally from :meth:`repro.sim.store.ResultStore.put`
+(via ``store.subscribe``; a failed append can never fail a computation),
+later rows win per digest, and any staleness — gc'd/evicted entries, a
+store populated without a registry, a deleted registry file — is repaired
+by :meth:`RunRegistry.rebuild` (full scan of the entry files, each of
+which carries its complete key) or :meth:`RunRegistry.gc_orphans` (drop
+rows whose entry file is gone).  ``rows()`` rebuilds lazily when the
+registry file is missing but the store has entries.
+
+Concurrency: one instance may be shared by many threads (a lock covers
+append and rewrite); rewrites are atomic (temp file + ``os.replace``) so
+concurrent readers never see a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+#: Bump to retire every existing registry row (row-format change).
+REGISTRY_SCHEMA: int = 1
+
+#: Registry file name, relative to the store root.
+REGISTRY_FILENAME: str = "registry.jsonl"
+
+
+def _enum_value(obj):
+    """Unwrap a canonicalized enum ({"__enum__": ..., "value": ...})."""
+    if isinstance(obj, dict) and "__enum__" in obj:
+        return obj.get("value")
+    return obj
+
+
+def _dataclass_fields(obj) -> dict:
+    """Fields of a canonicalized dataclass, or ``{}``."""
+    if isinstance(obj, dict) and "__dataclass__" in obj:
+        fields = obj.get("fields")
+        if isinstance(fields, dict):
+            return fields
+    return {}
+
+
+def _receiver_name(receiver) -> str:
+    """Mirror :attr:`repro.sim.waveform_engine.ReceiverSpec.name`.
+
+    ``name`` is a *property*, not a dataclass field, so it is absent from
+    the canonical encoding; rebuild it from the encoded fields with
+    defensive fallbacks (a key written by a future spec version must
+    degrade to a generic name, never to an error).
+    """
+    fields = _dataclass_fields(receiver)
+    label = fields.get("label")
+    if isinstance(label, str):
+        return label
+    kind = fields.get("kind", "receiver")
+    if kind == "saiyan":
+        mode = _enum_value(fields.get("mode"))
+        return f"saiyan-{mode}" if mode is not None else "saiyan"
+    return str(kind)
+
+
+def display_name(key) -> str:
+    """Human-readable name of a store entry, derived from its key."""
+    if not isinstance(key, dict):
+        return "?"
+    kind = key.get("kind")
+    if kind == "figure-driver":
+        return str(key.get("artefact", "?"))
+    if kind in ("scenario", "waveform-sweep"):
+        name = _dataclass_fields(key.get("spec")).get("name")
+        return str(name) if name is not None else "?"
+    if kind == "waveform-cell":
+        receiver = _receiver_name(key.get("receiver"))
+        snr = key.get("snr_db")
+        snr_text = f"{snr:g}dB" if isinstance(snr, (int, float)) else "?dB"
+        return f"{receiver}@{snr_text}/cell{key.get('cell_index', '?')}"
+    return str(kind or "?")
+
+
+class RunRegistry:
+    """JSONL-backed index over one :class:`~repro.sim.store.ResultStore`.
+
+    Constructing a registry subscribes it to the store's put notifications,
+    so every successful write is indexed incrementally; ``rebuild()`` and
+    ``gc_orphans()`` repair any staleness by scanning the entry files.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self._lock = threading.Lock()
+        store.subscribe(self.record)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """The registry file (``registry.jsonl`` in the store root)."""
+        return self.store.root / REGISTRY_FILENAME
+
+    # ------------------------------------------------------------------
+    def row_for(self, digest: str, key, path: Path) -> dict:
+        """Build one registry row from an entry's digest, key and file."""
+        key = key if isinstance(key, dict) else {}
+        try:
+            stat = path.stat()
+            size, mtime = stat.st_size, stat.st_mtime
+        except OSError:
+            size, mtime = None, None
+        seed = key.get("seed")
+        return {
+            "registry_schema": REGISTRY_SCHEMA,
+            "digest": digest,
+            "kind": key.get("kind", "?"),
+            "name": display_name(key),
+            "seed": seed if isinstance(seed, int) else None,
+            "store_schema": key.get("schema"),
+            "env": key.get("env"),
+            "fingerprint": key.get("fingerprint"),
+            "driver_fingerprint": key.get("driver_fingerprint"),
+            "scaffold_fingerprint": key.get("scaffold_fingerprint"),
+            "bytes": size,
+            "recorded_at": mtime,
+        }
+
+    # ------------------------------------------------------------------
+    def record(self, digest: str, key, path) -> None:
+        """Append one row for a just-written entry (the put listener).
+
+        Best-effort by contract: an unwritable registry (read-only store,
+        full disk) silently skips the append — ``rebuild()`` recovers the
+        rows later, and the computation that triggered the put already
+        succeeded.
+        """
+        row = self.row_for(digest, key, Path(path))
+        line = json.dumps(row, sort_keys=True, allow_nan=False)
+        with self._lock:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with self.path.open("a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+            except (OSError, ValueError):
+                pass
+
+    # ------------------------------------------------------------------
+    def _load(self) -> dict[str, dict]:
+        """Rows by digest from the registry file; later lines win.
+
+        Corrupt lines (a torn append from a killed process) are skipped —
+        the registry is advisory, so damage degrades to missing rows, never
+        to an error.
+        """
+        rows: dict[str, dict] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return rows
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(row, dict) and isinstance(row.get("digest"), str):
+                rows[row["digest"]] = row
+        return rows
+
+    def _rewrite(self, rows: dict[str, dict]) -> None:
+        """Atomically replace the registry file with ``rows``."""
+        lines = [json.dumps(rows[digest], sort_keys=True, allow_nan=False)
+                 for digest in sorted(rows)]
+        blob = "".join(line + "\n" for line in lines)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def rebuild(self) -> int:
+        """Re-index the whole store by scanning its entry files.
+
+        Every entry file carries its full key, so a scan reconstructs the
+        registry exactly — this is the repair path for a store populated
+        without a registry, a deleted registry file, or any suspected
+        staleness.  Returns the number of rows written.
+        """
+        with self._lock:
+            rows: dict[str, dict] = {}
+            for path in self.store._entry_paths():
+                digest = path.stem
+                try:
+                    entry = json.loads(path.read_text(encoding="utf-8"))
+                    key = entry["key"]
+                except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                    continue  # corrupt entry: the store treats it as a miss
+                rows[digest] = self.row_for(digest, key, path)
+            self._rewrite(rows)
+            return len(rows)
+
+    def gc_orphans(self) -> int:
+        """Drop rows whose entry file is gone (gc'd, evicted, cleared).
+
+        Returns the number of rows removed.  The complementary staleness —
+        entries present but unindexed — is repaired by :meth:`rebuild`.
+        """
+        with self._lock:
+            rows = self._load()
+            live = {digest: row for digest, row in rows.items()
+                    if self.store.path_for(digest).exists()}
+            removed = len(rows) - len(live)
+            if removed:
+                self._rewrite(live)
+            return removed
+
+    # ------------------------------------------------------------------
+    def rows(self, *, kind: str | None = None) -> list[dict]:
+        """All rows, sorted by (kind, name, digest); lazily rebuilt.
+
+        When the registry file is missing but the store has entries (a
+        store populated before the registry existed, e.g. by a bare
+        :class:`ResultStore`), the index is rebuilt by scan first.
+        """
+        if not self.path.exists() and any(True for _ in self.store._entry_paths()):
+            self.rebuild()
+        rows = sorted(self._load().values(),
+                      key=lambda row: (str(row.get("kind", "")),
+                                       str(row.get("name", "")),
+                                       str(row.get("digest", ""))))
+        if kind is not None:
+            rows = [row for row in rows if row.get("kind") == kind]
+        return rows
+
+    def lookup(self, digest_prefix: str) -> dict | None:
+        """The unique row whose digest starts with ``digest_prefix``.
+
+        Returns ``None`` when no row matches; raises ``ValueError`` when
+        the prefix is ambiguous.
+        """
+        matches = [row for digest, row in sorted(self._load().items())
+                   if digest.startswith(digest_prefix)]
+        if len(matches) > 1:
+            raise ValueError(
+                f"digest prefix {digest_prefix!r} is ambiguous "
+                f"({len(matches)} matches)")
+        return matches[0] if matches else None
+
+
+__all__ = ["REGISTRY_FILENAME", "REGISTRY_SCHEMA", "RunRegistry", "display_name"]

@@ -1,0 +1,412 @@
+"""Generated results report: every number straight from the store.
+
+``repro report`` renders one self-contained markdown + HTML report from
+three machine-readable sources and nothing else:
+
+* the **result store** — figure/table artefacts and scenario runs are
+  loaded from their content-addressed entry files (the same payloads a
+  warm CLI rerun replays), never recomputed and never hand-edited;
+* the **run registry** (:mod:`repro.report.registry`) — the index that
+  says what exists, summarised per kind;
+* the committed **benchmark record** (``BENCH_batch.json``) — engine
+  speedups, mega-batch/fabric/cost-model gates, serve and chaos stats.
+
+Provenance contract: every rendered artefact carries a footnote with its
+store digest, seed, driver/library code fingerprints and numpy/python
+versions, all read from the entry's own key.  The renderer embeds **no
+timestamps, hostnames or wall-clock values** and iterates in sorted
+order, so two consecutive renders of the same store are byte-identical —
+the report is a pure function of (store contents, committed bench file,
+code).  Charts are hand-rolled inline SVG (no plotting dependency).
+
+``smoke=True`` is the CI gate: it renders whatever the store holds and
+reports any artefact whose provenance is incomplete (missing digest,
+seed field, fingerprint or environment) in ``summary["missing_provenance"]``
+— the CLI turns that into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import html as _html_escape
+import json
+from pathlib import Path
+
+from repro.report.registry import RunRegistry
+from repro.report.reproduce import build_plan
+
+#: Fixed series palette (matplotlib tab10 order, for familiarity).
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+            "#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2")
+
+_CSS = """
+body { font-family: sans-serif; max-width: 72em; margin: 2em auto; color: #222; }
+h1, h2 { border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: left; }
+th { background: #f0f0f0; }
+p.prov { color: #666; font-size: 0.82em; }
+code { background: #f5f5f5; padding: 0 0.2em; }
+svg { background: #fff; border: 1px solid #ddd; }
+"""
+
+
+def _fmt(value) -> str:
+    """Deterministic human formatting of one JSON scalar."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _esc(text) -> str:
+    return _html_escape.escape(str(text), quote=False)
+
+
+def _load_entry(store, digest: str):
+    """(key, payload) of one entry file, or ``None`` when unreadable."""
+    try:
+        entry = json.loads(store.path_for(digest).read_text(encoding="utf-8"))
+        return entry["key"], entry["payload"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        return None
+
+
+def _provenance(digest: str, key: dict, *, driver: bool) -> tuple[dict, list[str]]:
+    """(provenance fields, missing-field names) of one entry key."""
+    env = key.get("env") if isinstance(key.get("env"), dict) else {}
+    prov = {
+        "digest": digest,
+        "seed": key.get("seed") if "seed" in key else "missing",
+        "fingerprint": key.get("fingerprint"),
+        "driver_fingerprint": key.get("driver_fingerprint"),
+        "numpy": env.get("numpy"),
+        "python": env.get("python"),
+    }
+    missing = [field for field in ("fingerprint", "numpy", "python")
+               if not prov[field]]
+    if "seed" not in key:
+        missing.append("seed")
+    if driver and not prov["driver_fingerprint"]:
+        missing.append("driver_fingerprint")
+    return prov, missing
+
+
+def _prov_line(prov: dict) -> str:
+    seed = prov["seed"]
+    seed_text = "deterministic" if seed is None else str(seed)
+    parts = [f"digest `{str(prov['digest'])[:16]}…`", f"seed {seed_text}"]
+    if prov.get("driver_fingerprint"):
+        parts.append(f"driver `{str(prov['driver_fingerprint'])[:12]}…`")
+    parts.append(f"library `{str(prov['fingerprint'])[:12]}…`")
+    parts.append(f"numpy {prov['numpy']}")
+    parts.append(f"python {prov['python']}")
+    return "provenance: " + " · ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# SVG charts
+# ---------------------------------------------------------------------------
+
+def _svg_chart(result) -> str:
+    """Inline SVG line chart of one :class:`SweepResult` (or '')."""
+    series = [s for s in result.series if len(s.x) > 0]
+    if not series:
+        return ""
+    width, height = 640, 300
+    ml, mr, mt, mb = 64, 16, 18, 52
+    xs = [v for s in series for v in s.x]
+    ys = [v for s in series for v in s.y]
+    xmin, xmax, ymin, ymax = min(xs), max(xs), min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    def sx(x: float) -> float:
+        return ml + (x - xmin) / xspan * (width - ml - mr)
+
+    def sy(y: float) -> float:
+        return height - mb - (y - ymin) / yspan * (height - mt - mb)
+
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+             f'height="{height + 16 * len(series)}" role="img">',
+             f'<rect x="{ml}" y="{mt}" width="{width - ml - mr}" '
+             f'height="{height - mt - mb}" fill="none" stroke="#999"/>']
+    for index, s in enumerate(series):
+        colour = _PALETTE[index % len(_PALETTE)]
+        points = " ".join(f"{sx(x):.2f},{sy(y):.2f}" for x, y in zip(s.x, s.y))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="{colour}" stroke-width="1.5"/>')
+        legend_y = height + 12 + 16 * index
+        parts.append(f'<rect x="{ml}" y="{legend_y - 9}" width="10" '
+                     f'height="10" fill="{colour}"/>')
+        parts.append(f'<text x="{ml + 16}" y="{legend_y}" font-size="12">'
+                     f'{_esc(s.name)}</text>')
+    axis = series[0]
+    parts.append(f'<text x="{ml}" y="{height - mb + 16}" font-size="11">'
+                 f'{_fmt(xmin)}</text>')
+    parts.append(f'<text x="{width - mr}" y="{height - mb + 16}" '
+                 f'font-size="11" text-anchor="end">{_fmt(xmax)}</text>')
+    parts.append(f'<text x="{ml - 6}" y="{height - mb}" font-size="11" '
+                 f'text-anchor="end">{_fmt(ymin)}</text>')
+    parts.append(f'<text x="{ml - 6}" y="{mt + 10}" font-size="11" '
+                 f'text-anchor="end">{_fmt(ymax)}</text>')
+    parts.append(f'<text x="{(ml + width - mr) / 2}" y="{height - mb + 32}" '
+                 f'font-size="12" text-anchor="middle">{_esc(axis.x_label)}</text>')
+    parts.append(f'<text x="14" y="{(mt + height - mb) / 2}" font-size="12" '
+                 f'text-anchor="middle" transform="rotate(-90 14 '
+                 f'{(mt + height - mb) / 2})">{_esc(axis.y_label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Report assembly
+# ---------------------------------------------------------------------------
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def _html_table(headers: list[str], rows: list[list[str]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows)
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _bench_sections(bench: dict) -> list[tuple[str, list[list[str]]]]:
+    """Flatten the benchmark record into (section title, rows) tables."""
+    sections = []
+    for name in ("engines", "waveform", "mega_batch", "fabric", "cost_model",
+                 "store", "serve", "chaos", "figures", "report"):
+        payload = bench.get(name)
+        if not isinstance(payload, dict):
+            continue
+        rows = []
+        for key in sorted(payload):
+            value = payload[key]
+            if isinstance(value, dict):
+                for sub in sorted(value):
+                    if not isinstance(value[sub], (dict, list)):
+                        rows.append([f"{key}.{sub}", _fmt(value[sub])])
+            elif not isinstance(value, list):
+                rows.append([key, _fmt(value)])
+        if rows:
+            sections.append((name, rows))
+    return sections
+
+
+def render_report(store, *, bench: dict | None = None,
+                  smoke: bool = False) -> dict:
+    """Render the report; return ``{"markdown", "html", "summary"}``.
+
+    Pure function of (store contents, ``bench``, code): no timestamps, no
+    recomputation, sorted iteration throughout — rendering twice from the
+    same store yields byte-identical output.
+    """
+    from repro.sim.network_engine import ScenarioResult
+    from repro.sim.metrics import SweepResult
+    from repro.sim.store import environment_fingerprint, library_fingerprint
+
+    registry = getattr(store, "registry", None)
+    if registry is None:
+        # Cache on the store: RunRegistry subscribes to puts, and repeated
+        # renders must not pile up one listener each.
+        registry = store.registry = RunRegistry(store)
+    plan = build_plan(store)
+    figures, scenarios, missing, missing_provenance = [], [], [], []
+    for item in plan:
+        loaded = _load_entry(store, item.digest) if item.cached else None
+        if loaded is None:
+            missing.append(f"{item.kind}:{item.name}")
+            continue
+        key, payload = loaded
+        prov, absent = _provenance(item.digest, key,
+                                   driver=item.kind == "figure")
+        if absent:
+            missing_provenance.append(
+                f"{item.kind}:{item.name}: missing {', '.join(absent)}")
+        try:
+            if item.kind == "figure":
+                figures.append((item.name, SweepResult.from_dict(payload), prov))
+            else:
+                scenarios.append((item.name, ScenarioResult.from_dict(payload),
+                                  prov))
+        except (KeyError, TypeError):
+            missing.append(f"{item.kind}:{item.name}")
+
+    rows = registry.rows()
+    kind_counts: dict[str, int] = {}
+    kind_bytes: dict[str, int] = {}
+    for row in rows:
+        kind = str(row.get("kind", "?"))
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        kind_bytes[kind] = kind_bytes.get(kind, 0) + int(row.get("bytes") or 0)
+
+    env = environment_fingerprint()
+    library = library_fingerprint()
+
+    md: list[str] = []
+    html: list[str] = ["<!DOCTYPE html>", "<html><head><meta charset='utf-8'>",
+                       "<title>Saiyan reproduction report</title>",
+                       f"<style>{_CSS}</style></head><body>"]
+
+    def emit(md_lines: list[str], html_text: str) -> None:
+        md.extend(md_lines + [""])
+        html.append(html_text)
+
+    intro = ("Generated by `repro report` straight from the content-addressed "
+             "result store — every number below is a store payload with its "
+             "own provenance footnote (entry digest, seed, code fingerprints, "
+             "numpy/python versions); nothing is hand-edited. "
+             f"Rendering environment: numpy {env['numpy']}, python "
+             f"{env['python']}, library fingerprint `{library[:16]}…`.")
+    emit(["# Saiyan reproduction report", "", intro],
+         f"<h1>Saiyan reproduction report</h1><p>{_esc(intro)}</p>")
+
+    emit([f"Artefacts rendered: {len(figures)} figures/tables, "
+          f"{len(scenarios)} scenarios; {len(missing)} registered units "
+          "absent from the store."],
+         f"<p>Artefacts rendered: {len(figures)} figures/tables, "
+         f"{len(scenarios)} scenarios; {len(missing)} registered units "
+         "absent from the store.</p>")
+
+    if figures:
+        emit(["## Paper figures & tables"], "<h2>Paper figures &amp; tables</h2>")
+    for name, result, prov in figures:
+        heading = f"{name} — {result.title}"
+        section = [f"### {heading}", ""]
+        chart = _svg_chart(result)
+        html_part = [f"<section><h3>{_esc(heading)}</h3>", chart]
+        if result.series:
+            series_rows = [[s.name, str(len(s.x)), s.x_label, s.y_label]
+                           for s in result.series]
+            section.extend(_md_table(["series", "points", "x", "y"],
+                                     series_rows))
+            section.append("")
+        if result.scalars:
+            scalar_rows = [[key, _fmt(value)]
+                           for key, value in result.scalars.items()]
+            section.extend(_md_table(["scalar", "value"], scalar_rows))
+            section.append("")
+            html_part.append(_html_table(["scalar", "value"], scalar_rows))
+        line = _prov_line(prov)
+        section.append(f"_{line}_")
+        html_part.append(f"<p class='prov'>{_esc(line)}</p></section>")
+        emit(section, "\n".join(html_part))
+
+    if scenarios:
+        headers = ["scenario", "tags", "PRR", "collisions", "hops",
+                   "rate changes", "seed", "digest"]
+        rows_ = [[name, str(len(result.tags)), f"{result.prr:.1%}",
+                  str(result.collisions), str(result.hops_issued),
+                  str(result.rate_changes), str(prov["seed"]),
+                  f"{prov['digest'][:12]}…"]
+                 for name, result, prov in scenarios]
+        emit(["## Network scenarios", ""] + _md_table(headers, rows_),
+             "<h2>Network scenarios</h2>" + _html_table(headers, rows_))
+
+    if bench:
+        emit(["## Benchmark gates (BENCH_batch.json)", "",
+              f"Recorded on numpy {bench.get('numpy_version', '?')} / "
+              f"python {bench.get('python_version', '?')}."],
+             "<h2>Benchmark gates (BENCH_batch.json)</h2>"
+             f"<p>Recorded on numpy {_esc(bench.get('numpy_version', '?'))} / "
+             f"python {_esc(bench.get('python_version', '?'))}.</p>")
+        for title, rows_ in _bench_sections(bench):
+            emit([f"### {title}", ""] + _md_table(["metric", "value"], rows_),
+                 f"<h3>{_esc(title)}</h3>"
+                 + _html_table(["metric", "value"], rows_))
+
+    if rows:
+        reg_rows = [[kind, str(kind_counts[kind]), str(kind_bytes[kind])]
+                    for kind in sorted(kind_counts)]
+        emit(["## Run registry", "",
+              f"{len(rows)} indexed entries in `registry.jsonl`.", ""]
+             + _md_table(["kind", "entries", "bytes"], reg_rows),
+             f"<h2>Run registry</h2><p>{len(rows)} indexed entries in "
+             "<code>registry.jsonl</code>.</p>"
+             + _html_table(["kind", "entries", "bytes"], reg_rows))
+
+    appendix = figures + [(name, None, prov) for name, _, prov in scenarios]
+    if appendix:
+        headers = ["artefact", "digest", "seed", "driver fingerprint",
+                   "library fingerprint", "numpy", "python"]
+        rows_ = []
+        for name, _, prov in appendix:
+            seed = prov["seed"]
+            rows_.append([
+                name, f"{prov['digest'][:16]}…",
+                "deterministic" if seed is None else str(seed),
+                f"{str(prov['driver_fingerprint'])[:12]}…"
+                if prov.get("driver_fingerprint") else "—",
+                f"{str(prov['fingerprint'])[:12]}…",
+                str(prov["numpy"]), str(prov["python"])])
+        emit(["## Provenance appendix", ""] + _md_table(headers, rows_),
+             "<h2>Provenance appendix</h2>" + _html_table(headers, rows_))
+
+    if missing:
+        emit(["## Missing from the store", "",
+              "Run `repro reproduce` to compute these:", ""]
+             + [f"- `{name}`" for name in missing],
+             "<h2>Missing from the store</h2><p>Run <code>repro reproduce"
+             "</code> to compute these:</p><ul>"
+             + "".join(f"<li><code>{_esc(name)}</code></li>"
+                       for name in missing) + "</ul>")
+
+    html.append("</body></html>")
+    summary = {
+        "artefacts": len(figures) + len(scenarios),
+        "figures": len(figures),
+        "scenarios": len(scenarios),
+        "missing": missing,
+        "missing_provenance": missing_provenance,
+        "registry_entries": len(rows),
+        "smoke": smoke,
+    }
+    return {"markdown": "\n".join(md).rstrip() + "\n",
+            "html": "\n".join(html) + "\n",
+            "summary": summary}
+
+
+def load_bench(bench_path=None) -> dict | None:
+    """The benchmark record to render, or ``None`` when unavailable.
+
+    ``bench_path`` defaults to the committed ``BENCH_batch.json``; a
+    missing or unreadable file degrades to ``None`` (the report simply
+    omits the benchmark section).
+    """
+    if bench_path is None:
+        bench_path = Path(__file__).resolve().parents[3] / "BENCH_batch.json"
+    try:
+        payload = json.loads(Path(bench_path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def write_report(store, output_dir, *, bench_path=None,
+                 smoke: bool = False) -> dict:
+    """Render and write ``report.md`` + ``report.html``; return the summary.
+
+    ``bench_path`` defaults to the committed ``BENCH_batch.json`` when it
+    exists; pass an explicit path to render another benchmark record, or a
+    missing path to omit the benchmark section.
+    """
+    rendered = render_report(store, bench=load_bench(bench_path), smoke=smoke)
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    paths = {}
+    for suffix, text in (("md", rendered["markdown"]), ("html", rendered["html"])):
+        path = output_dir / f"report.{suffix}"
+        path.write_text(text, encoding="utf-8")
+        paths[suffix] = str(path)
+    rendered["summary"]["paths"] = paths
+    return rendered["summary"]
+
+
+__all__ = ["load_bench", "render_report", "write_report"]

@@ -151,6 +151,11 @@ class ServeClient:
     def stats(self) -> dict:
         return self._call("GET", "/stats")
 
+    def registry(self, *, kind: str | None = None) -> dict:
+        """The run-registry rows over the daemon's store (``{"rows", "count"}``)."""
+        path = "/registry" if kind is None else f"/registry?kind={kind}"
+        return self._call("GET", path)
+
     def health(self) -> dict:
         """The full ``/healthz`` payload (``state``, ``reasons``)."""
         return self._call("GET", "/healthz")

@@ -17,6 +17,12 @@ Worker threads claim queued digests cheapest-first and run
 failed job is **not** cached: its error is recorded, waiters are
 released, and a later identical submit re-queues it from scratch.
 
+Determinism contract: workers execute through the *same* entry points
+as the one-shot CLI, and every engine is deterministic under a fixed
+seed, so a served payload is byte-identical to the one-shot output —
+which is also why a late result from an abandoned worker can be
+discarded safely: any store write it made carries the same bits.
+
 The HTTP layer is a thin JSON translation on
 :class:`http.server.ThreadingHTTPServer` (stdlib only):
 
@@ -24,6 +30,11 @@ The HTTP layer is a thin JSON translation on
 * ``GET /jobs/<digest>`` — status + provenance (+ queue bookkeeping).
 * ``GET /jobs/<digest>/result`` — the stored payload.
 * ``GET /stats`` — serve counters, queue counts, store/fabric stats.
+* ``GET /registry`` — the run-registry rows over the backing store
+  (``?kind=`` filters; see :mod:`repro.report.registry`).
+* ``GET /report`` — the generated results report rendered straight from
+  the backing store (``?format=md`` for markdown, HTML otherwise) —
+  entirely cache-hit-backed, no recomputation.
 * ``GET /healthz`` — liveness probe (always 200; ``state`` flips to
   ``degraded`` while the pool is rebuilding, the store is read-only, or
   admission control is rejecting).
@@ -543,6 +554,24 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, body: str, content_type: str) -> None:
+        """Non-JSON reply (the rendered report); same fault hook as _reply."""
+        fault = faults.fire("http.reply")
+        if fault is not None and fault.kind == "http_disconnect":
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:  # pragma: no cover - racing client close
+                pass
+            self.wfile = _NullWriter()
+            return
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         parts = urlsplit(self.path)
@@ -551,6 +580,28 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return self._reply(200, self.jobs.health())
         if segments == ["stats"]:
             return self._reply(200, self.jobs.stats())
+        if segments == ["registry"]:
+            from repro.report.registry import RunRegistry
+
+            store = self.jobs.store
+            registry = getattr(store, "registry", None)
+            if registry is None:
+                # Cache on the store: RunRegistry subscribes to puts, and
+                # one listener per request would pile up.
+                registry = store.registry = RunRegistry(store)
+            query = parse_qs(parts.query)
+            kind = query.get("kind", [None])[0]
+            rows = registry.rows(kind=kind)
+            return self._reply(200, {"rows": rows, "count": len(rows)})
+        if segments == ["report"]:
+            from repro.report.render import load_bench, render_report
+
+            rendered = render_report(self.jobs.store, bench=load_bench())
+            fmt = parse_qs(parts.query).get("format", ["html"])[0]
+            if fmt == "md":
+                return self._reply_text(200, rendered["markdown"],
+                                        "text/markdown")
+            return self._reply_text(200, rendered["html"], "text/html")
         if len(segments) >= 2 and segments[0] == "jobs":
             digest = segments[1]
             view = self.jobs.describe(digest)

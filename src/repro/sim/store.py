@@ -107,10 +107,11 @@ _FINGERPRINT_EXCLUDES: frozenset[str] = frozenset({
 })
 
 #: Package subtrees excluded wholesale.  The serve layer only arranges
-#: *where and when* results are computed (queueing, coalescing, transport);
-#: it can never change a computed bit, so its edits must not retire the
+#: *where and when* results are computed (queueing, coalescing, transport)
+#: and the report layer only *renders* what the store already holds;
+#: neither can change a computed bit, so their edits must not retire the
 #: whole store the way an engine edit does.
-_FINGERPRINT_EXCLUDE_PREFIXES: tuple[str, ...] = ("serve/",)
+_FINGERPRINT_EXCLUDE_PREFIXES: tuple[str, ...] = ("serve/", "report/")
 
 
 @functools.lru_cache(maxsize=1)
@@ -380,6 +381,22 @@ class ResultStore:
         # RLock: ``put`` holds it across the eviction check, which may
         # re-enter ``_prune_to``.
         self._lock = threading.RLock()
+        # Observers notified after every successful ``put`` (the run
+        # registry hangs off this).  Notification happens outside the
+        # lock and observer failures are swallowed: an index is
+        # advisory, the store of record is the entry files themselves.
+        self._put_listeners: list = []
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback) -> None:
+        """Register ``callback(digest, key, path)`` for successful puts.
+
+        ``key`` is the canonicalized key exactly as persisted in the entry
+        file.  Callbacks run outside the store lock, after the entry is
+        durable on disk; exceptions they raise are swallowed (an observer
+        must never fail a computation that already succeeded).
+        """
+        self._put_listeners.append(callback)
 
     # ------------------------------------------------------------------
     @property
@@ -514,6 +531,11 @@ class ResultStore:
                 # Simulate torn/bit-rotted bytes landing on disk; the next
                 # ``get`` must treat them as a miss and drop the file.
                 path.write_bytes(b'{"schema": 1, "key": {truncated')
+        for listener in list(self._put_listeners):
+            try:
+                listener(digest, entry["key"], path)
+            except Exception:  # noqa: BLE001 - observers are advisory
+                pass
         return path
 
     @staticmethod
@@ -635,9 +657,23 @@ class ResultStore:
 
 
 def open_store(root: str | Path | None = None, *,
-               max_entries: int = DEFAULT_MAX_ENTRIES) -> ResultStore:
-    """Construct a :class:`ResultStore` (thin alias used by the CLI/benchmarks)."""
-    return ResultStore(root, max_entries=max_entries)
+               max_entries: int = DEFAULT_MAX_ENTRIES,
+               registry: bool = True) -> ResultStore:
+    """Construct a :class:`ResultStore` used by the CLI/serve/benchmarks.
+
+    With ``registry=True`` (the default) a :class:`repro.report.registry.
+    RunRegistry` is attached so every ``put`` is indexed incrementally;
+    the registry instance is exposed as ``store.registry``.  Pass
+    ``registry=False`` (or construct :class:`ResultStore` directly) for a
+    bare store.
+    """
+    store = ResultStore(root, max_entries=max_entries)
+    if registry:
+        # Lazy import: the report package imports key builders from here.
+        from repro.report.registry import RunRegistry
+
+        store.registry = RunRegistry(store)  # subscribes itself
+    return store
 
 
 __all__ = [

@@ -1,0 +1,158 @@
+"""Tests for the run registry: incremental puts, rebuild-by-scan, gc."""
+
+import json
+
+import pytest
+
+from repro.report.registry import (REGISTRY_FILENAME, REGISTRY_SCHEMA,
+                                   RunRegistry, display_name)
+from repro.sim.store import ResultStore, open_store
+
+
+def _figure_key(artefact: str, seed: int = 7) -> dict:
+    return {"schema": 1, "kind": "figure-driver", "artefact": artefact,
+            "seed": seed, "fingerprint": "lib0", "driver_fingerprint": "drv0",
+            "scaffold_fingerprint": "scaf0",
+            "env": {"numpy": "2.0", "python": "3.12"}}
+
+
+def test_open_store_attaches_a_registry(tmp_path):
+    store = open_store(tmp_path / "store")
+    assert isinstance(store.registry, RunRegistry)
+    assert store.registry.path == store.root / REGISTRY_FILENAME
+
+
+def test_put_is_indexed_incrementally(tmp_path):
+    store = open_store(tmp_path / "store")
+    key = _figure_key("fig21")
+    store.put(key, {"value": 1})
+    rows = store.registry.rows()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["registry_schema"] == REGISTRY_SCHEMA
+    assert row["digest"] == store.digest(key)
+    assert row["kind"] == "figure-driver"
+    assert row["name"] == "fig21"
+    assert row["seed"] == 7
+    assert row["fingerprint"] == "lib0"
+    assert row["driver_fingerprint"] == "drv0"
+    assert row["bytes"] and row["bytes"] > 0
+    # The index is the JSONL file itself, one row per line.
+    lines = store.registry.path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["digest"] == store.digest(key)
+
+
+def test_registry_failure_never_fails_the_put(tmp_path):
+    store = open_store(tmp_path / "store")
+
+    def explode(digest, key, path):
+        raise RuntimeError("registry broke")
+
+    store.subscribe(explode)
+    key = _figure_key("fig22")
+    assert store.put(key, {"value": 2}) is not None
+    assert store.get(key) == {"value": 2}
+
+
+def test_rows_rebuild_lazily_for_a_bare_store(tmp_path):
+    # A store populated without a registry (bare ResultStore): attaching a
+    # registry later must self-heal by scanning the entry files.
+    root = tmp_path / "store"
+    bare = ResultStore(root)
+    keys = [_figure_key(f"fig{i}") for i in range(3)]
+    for i, key in enumerate(keys):
+        bare.put(key, {"value": i})
+    registry = RunRegistry(ResultStore(root))
+    assert not registry.path.exists()
+    rows = registry.rows()
+    assert registry.path.exists()
+    assert sorted(row["name"] for row in rows) == ["fig0", "fig1", "fig2"]
+
+
+def test_rebuild_by_scan_after_store_clear(tmp_path):
+    store = open_store(tmp_path / "store")
+    for i in range(3):
+        store.put(_figure_key(f"fig{i}"), {"value": i})
+    assert len(store.registry.rows()) == 3
+    store.clear()
+    assert store.registry.rebuild() == 0
+    assert store.registry.rows() == []
+
+
+def test_rebuild_by_scan_after_gc(tmp_path):
+    store = open_store(tmp_path / "store")
+    for i in range(4):
+        store.put(_figure_key(f"fig{i}"), {"value": i})
+    store.gc(2)
+    assert store.registry.rebuild() == 2
+    names = {row["name"] for row in store.registry.rows()}
+    assert len(names) == 2
+    # Every surviving row points at a live entry file.
+    for row in store.registry.rows():
+        assert store.path_for(row["digest"]).exists()
+
+
+def test_gc_orphans_drops_rows_for_evicted_entries(tmp_path):
+    store = open_store(tmp_path / "store", max_entries=2)
+    for i in range(5):
+        store.put(_figure_key(f"fig{i}"), {"value": i})
+    # Incremental appends recorded all five puts, but LRU eviction kept
+    # only two entries on disk; gc-orphans reconciles the index.
+    assert len(store.registry.rows()) == 5
+    removed = store.registry.gc_orphans()
+    assert removed == 3
+    rows = store.registry.rows()
+    assert len(rows) == 2
+    for row in rows:
+        assert store.path_for(row["digest"]).exists()
+
+
+def test_rows_kind_filter_and_sort(tmp_path):
+    store = open_store(tmp_path / "store")
+    store.put(_figure_key("fig9"), {"value": 1})
+    store.put({"schema": 1, "kind": "scenario", "seed": 3,
+               "spec": {"__dataclass__": "ScenarioSpec",
+                        "fields": {"name": "aloha-dense"}},
+               "fingerprint": "lib0"}, {"value": 2})
+    rows = store.registry.rows()
+    assert [row["kind"] for row in rows] == ["figure-driver", "scenario"]
+    scenarios = store.registry.rows(kind="scenario")
+    assert len(scenarios) == 1
+    assert scenarios[0]["name"] == "aloha-dense"
+    assert scenarios[0]["seed"] == 3
+
+
+def test_lookup_by_digest_prefix(tmp_path):
+    store = open_store(tmp_path / "store")
+    key = _figure_key("fig5")
+    store.put(key, {"value": 1})
+    store.put(_figure_key("fig6"), {"value": 2})
+    digest = store.digest(key)
+    assert store.registry.lookup(digest[:12])["name"] == "fig5"
+    assert store.registry.lookup("f" * 64) is None
+    with pytest.raises(ValueError):
+        store.registry.lookup("")  # every digest matches the empty prefix
+
+
+def test_corrupt_registry_lines_are_skipped(tmp_path):
+    store = open_store(tmp_path / "store")
+    store.put(_figure_key("fig1"), {"value": 1})
+    with store.registry.path.open("a") as handle:
+        handle.write("{torn json\n")
+    rows = store.registry.rows()
+    assert [row["name"] for row in rows] == ["fig1"]
+
+
+def test_display_name_shapes():
+    assert display_name(_figure_key("fig21")) == "fig21"
+    assert display_name({"kind": "scenario",
+                         "spec": {"__dataclass__": "ScenarioSpec",
+                                  "fields": {"name": "arq-outdoor"}}}) == "arq-outdoor"
+    cell = {"kind": "waveform-cell", "snr_db": -6.0, "cell_index": 3,
+            "receiver": {"__dataclass__": "ReceiverSpec",
+                         "fields": {"kind": "saiyan",
+                                    "mode": {"__enum__": "SaiyanMode",
+                                             "value": "super"}}}}
+    assert display_name(cell) == "saiyan-super@-6dB/cell3"
+    assert display_name("not-a-key") == "?"

@@ -1,0 +1,123 @@
+"""Tests for ``repro reproduce``: plan resolution, dry-run, golden drift."""
+
+import io
+import json
+
+import pytest
+
+from repro.report.reproduce import (DEFAULT_GOLDEN_DIR, build_plan,
+                                    golden_drift, run_reproduce)
+from repro.sim.batch import BatchRunner
+from repro.sim.store import open_store
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return open_store(tmp_path / "store")
+
+
+def test_build_plan_covers_every_registered_unit(store):
+    from repro.sim.experiments import FIGURE_DRIVERS
+    from repro.sim.scenario import scenario_names
+
+    plan = build_plan(store)
+    figures = [item for item in plan if item.kind == "figure"]
+    scenarios = [item for item in plan if item.kind == "scenario"]
+    assert {item.name for item in figures} == set(FIGURE_DRIVERS)
+    assert [item.name for item in scenarios] == list(scenario_names())
+    # Cold store: nothing is resident, every unit has a digest and every
+    # figure points at its committed fixture.
+    assert not any(item.cached for item in plan)
+    assert all(item.digest for item in plan)
+    for item in figures:
+        assert item.golden == DEFAULT_GOLDEN_DIR / f"{item.name}.json"
+
+
+def test_plan_resolves_store_hits_after_a_run(store):
+    BatchRunner(store=store).run(["fig22"])
+    plan = {item.name: item for item in build_plan(store, only=["fig22"])}
+    assert plan["fig22"].cached
+    assert store.path_for(plan["fig22"].digest).exists()
+
+
+def test_dry_run_performs_no_computation(store, monkeypatch):
+    # A dry run must never invoke engine code: resolution is key
+    # construction plus a stat on the entry path.  Make any evaluation
+    # explode to prove it.
+    import repro.sim.batch as batch
+    import repro.sim.network_engine as network_engine
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("dry run must not compute anything")
+
+    monkeypatch.setattr(batch, "_evaluate_driver", forbidden)
+    monkeypatch.setattr(network_engine, "run_scenario", forbidden)
+    out = io.StringIO()
+    assert run_reproduce(store, dry_run=True, out=out) == 0
+    text = out.getvalue()
+    assert "dry run: nothing computed, nothing verified." in text
+    assert "compute" in text  # the cold store resolves everything to compute
+
+
+def test_dry_run_plan_output_lists_units_and_digests(store):
+    BatchRunner(store=store).run(["fig22"])
+    out = io.StringIO()
+    assert run_reproduce(store, only=["fig22", "aloha-dense"],
+                         dry_run=True, out=out) == 0
+    lines = out.getvalue().splitlines()
+    assert lines[0].startswith("reproduce plan (2 units, 1 store-resident, "
+                               "1 to compute)")
+    by_name = {line.split()[2]: line for line in lines[1:-1]}
+    assert by_name["fig22"].split()[0] == "store-hit"
+    assert by_name["aloha-dense"].split()[0] == "compute"
+    # The printed digest prefix matches the plan's resolution.
+    digest = next(item.digest for item in build_plan(store, only=["fig22"]))
+    assert digest[:12] in by_name["fig22"]
+
+
+def test_reproduce_empty_selection_is_an_error(store):
+    assert run_reproduce(store, only=["no-such-unit"],
+                         dry_run=True, out=io.StringIO()) == 2
+
+
+def test_reproduce_verifies_against_goldens_and_warm_store_hits(store):
+    out = io.StringIO()
+    assert run_reproduce(store, only=["fig22"], out=out) == 0
+    assert "computed" in out.getvalue()
+    # Warm rerun: the unit is served from the store, still golden-clean.
+    out = io.StringIO()
+    assert run_reproduce(store, only=["fig22"], out=out) == 0
+    assert "hit" in out.getvalue()
+    assert "0 problem(s)" in out.getvalue()
+
+
+def test_reproduce_detects_golden_drift(store, tmp_path, capsys):
+    golden_dir = tmp_path / "golden"
+    golden_dir.mkdir()
+    fixture = json.loads((DEFAULT_GOLDEN_DIR / "fig22.json").read_text())
+    series = fixture["series"][0]
+    series["y"][0] += 1.0  # drift far beyond the 1e-9 tolerance
+    (golden_dir / "fig22.json").write_text(json.dumps(fixture))
+    assert run_reproduce(store, only=["fig22"], golden_dir=golden_dir,
+                         out=io.StringIO()) == 1
+    assert "drifted beyond" in capsys.readouterr().err
+
+
+def test_reproduce_reports_missing_fixture(store, tmp_path):
+    golden_dir = tmp_path / "empty-golden"
+    golden_dir.mkdir()
+    assert run_reproduce(store, only=["fig22"], golden_dir=golden_dir,
+                         out=io.StringIO()) == 1
+
+
+def test_golden_drift_flags_title_and_series_changes(store):
+    BatchRunner(store=store).run(["fig22"])
+    from repro.sim.metrics import SweepResult
+
+    path = DEFAULT_GOLDEN_DIR / "fig22.json"
+    committed = SweepResult.from_dict(json.loads(path.read_text()))
+    assert golden_drift("fig22", committed, path) == []
+    renamed = SweepResult(title="wrong title", series=committed.series,
+                          scalars=committed.scalars)
+    assert any("title" in problem
+               for problem in golden_drift("fig22", renamed, path))

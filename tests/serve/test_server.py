@@ -417,3 +417,35 @@ def test_injected_http_disconnect_is_ridden_out_by_client_retry(tmp_path):
         httpd.shutdown()
         httpd.server_close()
         job_server.stop()
+
+
+def test_http_registry_endpoint_lists_store_rows(http_server):
+    client, job_server = http_server
+    client.submit({"kind": "figure", "name": "fig5"}, wait=True, timeout=60)
+    reply = client.registry()
+    assert reply["count"] == 1
+    row = reply["rows"][0]
+    assert row["kind"] == "figure-driver"
+    assert row["name"] == "fig5"
+    assert row["digest"]
+    assert client.registry(kind="scenario") == {"rows": [], "count": 0}
+    # Repeated requests reuse one registry instance cached on the store —
+    # a fresh RunRegistry per request would stack put listeners forever.
+    client.registry()
+    assert len(job_server.store._put_listeners) == 1
+
+
+def test_http_report_endpoint_renders_html_and_markdown(http_server):
+    from urllib.request import urlopen
+
+    client, _ = http_server
+    client.submit({"kind": "figure", "name": "fig5"}, wait=True, timeout=60)
+    with urlopen(client.base_url + "/report") as reply:
+        assert reply.headers["Content-Type"].startswith("text/html")
+        html = reply.read().decode()
+    assert "fig5" in html
+    assert "<svg" in html
+    with urlopen(client.base_url + "/report?format=md") as reply:
+        assert reply.headers["Content-Type"].startswith("text/markdown")
+        markdown = reply.read().decode()
+    assert "fig5" in markdown

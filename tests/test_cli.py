@@ -502,3 +502,80 @@ def test_serve_submit_rejects_unknown_names(capsys, serve_daemon):
 def test_serve_unreachable_daemon_is_a_clean_error(capsys):
     assert main(["serve", "stats", "--url", "http://127.0.0.1:9"]) == 2
     assert "cannot reach daemon" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Run registry, reproduce, report
+# ---------------------------------------------------------------------------
+
+def test_registry_list_and_show(capsys, tmp_path):
+    assert main(["experiments", "--only", "fig5",
+                 "--store", "--store-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["registry", "list", "--store-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "figure-driver" in captured.out
+    assert "fig5" in captured.out
+    assert "1 row(s)" in captured.err
+    digest_prefix = captured.out.split()[0]
+    assert main(["registry", "show", digest_prefix,
+                 "--store-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert '"name": "fig5"' in out
+    assert '"kind": "figure-driver"' in out
+
+
+def test_registry_show_requires_a_matching_digest(capsys, tmp_path):
+    assert main(["registry", "show", "ffffffffffff",
+                 "--store-dir", str(tmp_path)]) == 1
+    assert "no row matches" in capsys.readouterr().err
+    assert main(["registry", "show", "--store-dir", str(tmp_path)]) == 2
+    assert "requires a digest" in capsys.readouterr().err
+
+
+def test_registry_rebuild_and_gc_orphans(capsys, tmp_path):
+    from repro.sim.store import ResultStore
+
+    store = ResultStore(tmp_path)
+    store.put({"kind": "cli-registry-test", "i": 1}, {"i": 1})
+    assert main(["registry", "rebuild", "--store-dir", str(tmp_path)]) == 0
+    assert "indexed 1 entries" in capsys.readouterr().out
+    store.clear()
+    assert main(["registry", "gc-orphans", "--store-dir", str(tmp_path)]) == 0
+    assert "removed 1 stale row(s)" in capsys.readouterr().out
+
+
+def test_reproduce_dry_run_prints_the_plan_only(capsys, tmp_path):
+    assert main(["reproduce", "--dry-run", "--only", "fig5",
+                 "--store-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "reproduce plan (1 units, 0 store-resident, 1 to compute)" in out
+    assert "dry run: nothing computed, nothing verified." in out
+    # Nothing was evaluated: the store stayed empty.
+    assert main(["store", "stats", "--store-dir", str(tmp_path)]) == 0
+    assert "entries      0" in capsys.readouterr().out
+
+
+def test_reproduce_then_report_round_trip(capsys, tmp_path):
+    store_dir = str(tmp_path / "store")
+    assert main(["reproduce", "--only", "fig5", "--store-dir", store_dir]) == 0
+    first = capsys.readouterr().out
+    assert "computed" in first
+    assert "0 problem(s)" in first
+    # Warm rerun: zero recomputation, everything a store hit.
+    assert main(["reproduce", "--only", "fig5", "--store-dir", store_dir]) == 0
+    assert "hit" in capsys.readouterr().out
+    out_dir = tmp_path / "report"
+    assert main(["report", "--smoke", "--store-dir", store_dir,
+                 "--output-dir", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "1 artefacts" in out
+    assert (out_dir / "report.md").exists()
+    assert (out_dir / "report.html").exists()
+    assert "fig5" in (out_dir / "report.md").read_text()
+
+
+def test_report_smoke_fails_on_an_empty_store(capsys, tmp_path):
+    assert main(["report", "--smoke", "--store-dir", str(tmp_path),
+                 "--output-dir", str(tmp_path / "out")]) == 1
+    assert "empty store" in capsys.readouterr().err
